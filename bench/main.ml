@@ -1,0 +1,201 @@
+(* Benchmark harness.
+
+   Two parts:
+   - the per-claim experiment tables (E1-E10 of DESIGN.md), regenerating
+     every analytic "table" of the paper's evaluation, and
+   - Bechamel microbenchmarks of the substrates (Galois-field arithmetic,
+     codec encode/decode, simulator and adversary step rates).
+
+   Usage: main.exe [tables|micro|all] (default: all). *)
+
+open Bechamel
+open Toolkit
+
+let ns_per_run results name =
+  match Hashtbl.find_opt results name with
+  | None -> nan
+  | Some ols -> (
+    match Analyze.OLS.estimates ols with
+    | Some (e :: _) -> e
+    | _ -> nan)
+
+let run_group ~name tests =
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] (Test.make_grouped ~name tests) in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let table =
+    Sb_util.Table.create ~title:(Printf.sprintf "B  %s (ns/op)" name)
+      [ ("benchmark", Sb_util.Table.Left); ("ns/op", Sb_util.Table.Right) ]
+  in
+  let names = Hashtbl.fold (fun k _ acc -> k :: acc) results [] in
+  List.iter
+    (fun n ->
+      Sb_util.Table.add_row table [ n; Printf.sprintf "%.1f" (ns_per_run results n) ])
+    (List.sort compare names);
+  Sb_util.Table.print table
+
+(* ------------------------------------------------------------------ *)
+(* Microbenchmarks                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let value_bytes = 1024
+let prng = Sb_util.Prng.create 4242
+let value = Sb_util.Prng.bytes prng value_bytes
+
+let codec_tests =
+  let mk name codec =
+    let open Sb_codec.Codec in
+    let k = codec.k in
+    (* Decode from the last k of the first k+2 block indices, when the
+       codec has spare blocks; otherwise from the k data blocks. *)
+    let avail = match codec.n with Some n -> min n (k + 2) | None -> k + 2 in
+    let blocks = List.init avail (fun i -> (i, codec.encode value i)) in
+    let last_k = List.filteri (fun idx _ -> idx >= avail - k) blocks in
+    [
+      Test.make ~name:(name ^ "-encode1")
+        (Staged.stage (fun () -> ignore (codec.encode value 0)));
+      Test.make
+        ~name:(name ^ "-encode-all")
+        (Staged.stage (fun () ->
+             let n = match codec.n with Some n -> n | None -> k + 4 in
+             for i = 0 to n - 1 do
+               ignore (codec.encode value i)
+             done));
+      Test.make ~name:(name ^ "-decode")
+        (Staged.stage (fun () -> ignore (codec.decode last_k)));
+    ]
+  in
+  List.concat
+    [
+      mk "replication" (Sb_codec.Codec.replication ~value_bytes ~n:12);
+      mk "striping-k4" (Sb_codec.Codec.striping ~value_bytes ~k:4);
+      mk "rs-vand-k4n12" (Sb_codec.Codec.rs_vandermonde ~value_bytes ~k:4 ~n:12);
+      mk "rs-vand-k8n24" (Sb_codec.Codec.rs_vandermonde ~value_bytes ~k:8 ~n:24);
+      mk "rs-cauchy-k4n12" (Sb_codec.Codec.rs_cauchy ~value_bytes ~k:4 ~n:12);
+      mk "rs16-k4n12" (Sb_codec.Codec.rs_vandermonde16 ~value_bytes ~k:4 ~n:12);
+      mk "fountain-k4" (Sb_codec.Codec.fountain ~value_bytes ~k:4 ());
+    ]
+
+let gf_tests =
+  [
+    Test.make ~name:"gf256-mul-table"
+      (Staged.stage (fun () ->
+           let acc = ref 0 in
+           for i = 1 to 255 do
+             acc := !acc lxor Sb_gf.Gf256.mul i 173
+           done;
+           ignore !acc));
+    Test.make ~name:"gf256-mul-slow"
+      (Staged.stage (fun () ->
+           let acc = ref 0 in
+           for i = 1 to 255 do
+             acc := !acc lxor Sb_gf.Gf256.mul_slow i 173
+           done;
+           ignore !acc));
+    Test.make ~name:"gf256-inv"
+      (Staged.stage (fun () ->
+           let acc = ref 0 in
+           for i = 1 to 255 do
+             acc := !acc lxor Sb_gf.Gf256.inv i
+           done;
+           ignore !acc));
+    Test.make ~name:"gf2p16-mul-table"
+      (Staged.stage (fun () ->
+           let acc = ref 0 in
+           for i = 1 to 255 do
+             acc := !acc lxor Sb_gf.Gf2p16.mul (i * 171) 44203
+           done;
+           ignore !acc));
+  ]
+
+let sim_tests =
+  let vb = 64 in
+  let f = 2 and k = 2 in
+  let n = (2 * f) + k in
+  let codec = Sb_codec.Codec.rs_vandermonde ~value_bytes:vb ~k ~n in
+  let cfg = { Sb_registers.Common.n; f; codec } in
+  let workload =
+    Sb_experiments.Workloads.writers_and_readers ~value_bytes:vb ~writers:2
+      ~writes_each:2 ~readers:2 ~reads_each:2
+  in
+  let full_run algo policy_of () =
+    let w = Sb_sim.Runtime.create ~algorithm:algo ~n ~f ~workload () in
+    ignore (Sb_sim.Runtime.run w (policy_of ()))
+  in
+  [
+    Test.make ~name:"sim-adaptive-random-run"
+      (Staged.stage
+         (full_run (Sb_registers.Adaptive.make cfg) (fun () ->
+              Sb_sim.Runtime.random_policy ~seed:1 ())));
+    Test.make ~name:"sim-adaptive-fifo-run"
+      (Staged.stage
+         (full_run (Sb_registers.Adaptive.make cfg) (fun () ->
+              Sb_sim.Runtime.fifo_policy ())));
+    Test.make ~name:"sim-abd-random-run"
+      (Staged.stage
+         (full_run
+            (Sb_registers.Abd.make
+               { cfg with codec = Sb_codec.Codec.replication ~value_bytes:vb ~n })
+            (fun () -> Sb_sim.Runtime.random_policy ~seed:1 ())));
+    Test.make ~name:"adversary-lower-bound-run"
+      (Staged.stage (fun () ->
+           ignore
+             (Sb_adversary.Lower_bound.run
+                ~algorithm:(Sb_registers.Adaptive.make_unbounded cfg)
+                ~cfg ~c:4 ())));
+    Test.make ~name:"msgnet-adaptive-random-run"
+      (Staged.stage (fun () ->
+           let w =
+             Sb_msgnet.Mp_runtime.create ~algorithm:(Sb_registers.Adaptive.make cfg)
+               ~n ~f ~workload ()
+           in
+           ignore
+             (Sb_msgnet.Mp_runtime.run w (Sb_msgnet.Mp_runtime.random_policy ~seed:1 ()))));
+    Test.make ~name:"kv-put-get"
+      (Staged.stage (fun () ->
+           let store = Sb_kv.Store.create ~cfg () in
+           Sb_kv.Store.put store ~key:"k" (Bytes.of_string "value");
+           ignore (Sb_kv.Store.get store ~key:"k")));
+    Test.make ~name:"sim-versioned-random-run"
+      (Staged.stage
+         (full_run
+            (Sb_registers.Adaptive.make_versioned ~delta:2 cfg)
+            (fun () -> Sb_sim.Runtime.random_policy ~seed:1 ())));
+  ]
+
+let collision_tests =
+  let vb = 256 in
+  let k = 8 and n = 24 in
+  let base = Sb_util.Prng.bytes (Sb_util.Prng.create 5) vb in
+  [
+    Test.make ~name:"rs-colliding-pair-k8"
+      (Staged.stage (fun () ->
+           ignore
+             (Sb_codec.Codec.rs_vandermonde_colliding ~value_bytes:vb ~k ~n
+                ~indices:[ 0; 3; 7; 11 ] ~base)));
+  ]
+
+let micro () =
+  run_group ~name:"galois-field" gf_tests;
+  run_group ~name:"codecs-1KiB" codec_tests;
+  run_group ~name:"collision-finder" collision_tests;
+  run_group ~name:"simulator" sim_tests
+
+let tables () =
+  List.iter Sb_experiments.Experiments.print_outcome
+    (Sb_experiments.Experiments.all ())
+
+let () =
+  let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  match mode with
+  | "tables" -> tables ()
+  | "micro" -> micro ()
+  | "all" ->
+    tables ();
+    micro ()
+  | _ ->
+    prerr_endline "usage: main.exe [tables|micro|all]";
+    exit 2

@@ -1,0 +1,430 @@
+(* spacebounds: command-line driver for the reproduction.
+
+   Subcommands:
+   - experiments     run the per-claim experiment tables (E1-E17)
+   - quorums         check the quorum structure behind "await n - f"
+   - replay          re-check a saved trace against the consistency levels
+   - lower-bound     drive one algorithm with the adversary Ad
+   - simulate        run a workload under a fair random schedule and
+                     check the history's consistency
+   - adversary-demo  step-by-step Ad walkthrough (the paper's Figure 3) *)
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type algo_kind =
+  | Adaptive
+  | Pure_ec
+  | Abd
+  | Abd_atomic
+  | Safe
+  | Versioned of int
+  | Rateless
+
+let algo_conv =
+  let parse s =
+    match s with
+    | "adaptive" -> Ok Adaptive
+    | "pure-ec" -> Ok Pure_ec
+    | "abd" | "replication" -> Ok Abd
+    | "abd-atomic" -> Ok Abd_atomic
+    | "safe" -> Ok Safe
+    | "rateless" -> Ok Rateless
+    | _ -> (
+      match String.split_on_char ':' s with
+      | [ "versioned"; d ] -> (
+        match int_of_string_opt d with
+        | Some d when d >= 0 -> Ok (Versioned d)
+        | _ -> Error (`Msg "versioned:<delta> needs a non-negative integer"))
+      | _ -> Error (`Msg (Printf.sprintf "unknown algorithm %S" s)))
+  in
+  let print ppf = function
+    | Adaptive -> Format.fprintf ppf "adaptive"
+    | Pure_ec -> Format.fprintf ppf "pure-ec"
+    | Abd -> Format.fprintf ppf "abd"
+    | Abd_atomic -> Format.fprintf ppf "abd-atomic"
+    | Safe -> Format.fprintf ppf "safe"
+    | Versioned d -> Format.fprintf ppf "versioned:%d" d
+    | Rateless -> Format.fprintf ppf "rateless"
+  in
+  Arg.conv (parse, print)
+
+let algo_arg =
+  Arg.(
+    value
+    & opt algo_conv Adaptive
+    & info [ "a"; "algorithm" ] ~docv:"ALGO"
+        ~doc:"Register emulation: adaptive, pure-ec, abd (replication), \
+              abd-atomic, safe, versioned:<delta>, rateless.")
+
+let value_bytes_arg =
+  Arg.(
+    value
+    & opt int Sb_experiments.Experiments.default_value_bytes
+    & info [ "value-bytes" ] ~docv:"BYTES" ~doc:"Value size; D = 8*BYTES bits.")
+
+let f_arg =
+  Arg.(value & opt int 4 & info [ "f" ] ~docv:"F" ~doc:"Base-object failures tolerated.")
+
+let k_arg =
+  Arg.(value & opt int 4 & info [ "k" ] ~docv:"K" ~doc:"Code dimension (k-of-n).")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Scheduler seed.")
+
+let build ~algo ~value_bytes ~f ~k =
+  match algo with
+  | Abd | Abd_atomic ->
+    let n = (2 * f) + 1 in
+    let cfg =
+      { Sb_registers.Common.n; f;
+        codec = Sb_codec.Codec.replication ~value_bytes ~n }
+    in
+    let make =
+      if algo = Abd then Sb_registers.Abd.make else Sb_registers.Abd_atomic.make
+    in
+    (make cfg, cfg)
+  | _ ->
+    let n = (2 * f) + k in
+    let codec =
+      if n <= 256 then Sb_codec.Codec.rs_vandermonde ~value_bytes ~k ~n
+      else Sb_codec.Codec.rs_vandermonde16 ~value_bytes ~k ~n
+    in
+    let cfg = { Sb_registers.Common.n; f; codec } in
+    let make =
+      match algo with
+      | Adaptive -> Sb_registers.Adaptive.make
+      | Pure_ec -> Sb_registers.Adaptive.make_unbounded
+      | Safe -> Sb_registers.Safe_register.make
+      | Versioned delta -> Sb_registers.Adaptive.make_versioned ~delta
+      | Rateless -> fun cfg -> Sb_registers.Rateless.make ~codec_seed:7 cfg
+      | Abd | Abd_atomic -> assert false
+    in
+    (make cfg, cfg)
+
+(* ------------------------------------------------------------------ *)
+(* experiments                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let experiments_cmd =
+  let only =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "e"; "only" ] ~docv:"ID" ~doc:"Run a single experiment (E1..E17).")
+  in
+  let csv_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"DIR"
+          ~doc:"Also write each experiment's table as DIR/<id>.csv.")
+  in
+  let markdown =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "markdown" ] ~docv:"FILE"
+          ~doc:"Also write a self-contained markdown report to FILE.")
+  in
+  let run only csv_dir markdown =
+    let outcomes = Sb_experiments.Experiments.all () in
+    let outcomes =
+      match only with
+      | None -> outcomes
+      | Some id ->
+        List.filter
+          (fun (o : Sb_experiments.Experiments.outcome) ->
+            String.lowercase_ascii o.id = String.lowercase_ascii id)
+          outcomes
+    in
+    if outcomes = [] then begin
+      prerr_endline "no such experiment";
+      exit 2
+    end;
+    List.iter Sb_experiments.Experiments.print_outcome outcomes;
+    (match csv_dir with
+     | None -> ()
+     | Some dir ->
+       if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+       List.iter
+         (fun (o : Sb_experiments.Experiments.outcome) ->
+           let path = Filename.concat dir (String.lowercase_ascii o.id ^ ".csv") in
+           let oc = open_out path in
+           output_string oc (Sb_util.Table.to_csv o.table);
+           close_out oc)
+         outcomes;
+       Printf.printf "CSV tables written to %s/\n" dir);
+    (match markdown with
+     | None -> ()
+     | Some file ->
+       let oc = open_out file in
+       output_string oc (Sb_experiments.Experiments.to_markdown outcomes);
+       close_out oc;
+       Printf.printf "markdown report written to %s\n" file);
+    if List.for_all (fun (o : Sb_experiments.Experiments.outcome) -> o.ok) outcomes
+    then print_endline "all experiment shapes match the paper"
+    else begin
+      print_endline "SOME EXPERIMENT SHAPES DO NOT MATCH";
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "experiments" ~doc:"Run the per-claim experiments (E1-E17).")
+    Term.(const run $ only $ csv_dir $ markdown)
+
+(* ------------------------------------------------------------------ *)
+(* lower-bound                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let lower_bound_cmd =
+  let c_arg =
+    Arg.(value & opt int 4 & info [ "c" ] ~docv:"C" ~doc:"Concurrent writers.")
+  in
+  let ell_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "ell" ] ~docv:"BITS" ~doc:"Adversary threshold (default D/2).")
+  in
+  let run algo value_bytes f k c ell =
+    let algorithm, cfg = build ~algo ~value_bytes ~f ~k in
+    let r = Sb_adversary.Lower_bound.run ?ell_bits:ell ~algorithm ~cfg ~c () in
+    let d = 8 * value_bytes in
+    Printf.printf "algorithm        : %s\n" algorithm.Sb_sim.Runtime.name;
+    Printf.printf "n, f, k, c, D    : %d, %d, %d, %d, %d bits\n" cfg.n cfg.f k c d;
+    Printf.printf "branch reached   : %s\n"
+      (match r.branch with
+       | Frozen_objects -> "frozen objects (|F| > f)"
+       | Saturated_writes -> "saturated writes (|C+| = c)"
+       | Exhausted -> "step budget exhausted");
+    Printf.printf "steps            : %d\n" r.steps;
+    Printf.printf "max storage      : %d bits in objects, %d incl. in-flight\n"
+      r.max_obj_bits r.max_total_bits;
+    Printf.printf "Theorem 1 bound  : %d bits  (min((f+1)ell, c(D-ell+1)))\n"
+      r.lower_bound_bits;
+    Printf.printf "completed writes : %d\n" r.completed_writes
+  in
+  Cmd.v
+    (Cmd.info "lower-bound" ~doc:"Drive an algorithm with the adversary Ad (Definition 7).")
+    Term.(const run $ algo_arg $ value_bytes_arg $ f_arg $ k_arg $ c_arg $ ell_arg)
+
+(* ------------------------------------------------------------------ *)
+(* simulate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let simulate_cmd =
+  let writers =
+    Arg.(value & opt int 3 & info [ "writers" ] ~docv:"N" ~doc:"Writer clients.")
+  in
+  let writes_each =
+    Arg.(value & opt int 2 & info [ "writes-each" ] ~docv:"N" ~doc:"Writes per writer.")
+  in
+  let readers =
+    Arg.(value & opt int 2 & info [ "readers" ] ~docv:"N" ~doc:"Reader clients.")
+  in
+  let reads_each =
+    Arg.(value & opt int 2 & info [ "reads-each" ] ~docv:"N" ~doc:"Reads per reader.")
+  in
+  let show_trace =
+    Arg.(value & flag & info [ "trace" ] ~doc:"Print the full event trace.")
+  in
+  let save =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save" ] ~docv:"FILE"
+          ~doc:"Write the run's event trace to FILE (replayable with the \
+                replay command).")
+  in
+  let run algo value_bytes f k seed writers writes_each readers reads_each show_trace
+      save =
+    let algorithm, cfg = build ~algo ~value_bytes ~f ~k in
+    let workload =
+      Sb_experiments.Workloads.writers_and_readers ~value_bytes ~writers
+        ~writes_each ~readers ~reads_each
+    in
+    let m =
+      Sb_experiments.Runs.measure ~seed ~algorithm ~cfg ~workload ()
+    in
+    if show_trace then
+      Format.printf "%a@." Sb_spec.History.pp m.history;
+    (match save with
+     | None -> ()
+     | Some file ->
+       (* Re-run deterministically to recover the raw trace (measure
+          consumes the world). *)
+       let w =
+         Sb_sim.Runtime.create ~seed ~algorithm ~n:cfg.n ~f:cfg.f ~workload ()
+       in
+       ignore (Sb_sim.Runtime.run w (Sb_sim.Runtime.random_policy ~seed ()));
+       let oc = open_out file in
+       List.iter
+         (fun line ->
+           output_string oc line;
+           output_char oc '\n')
+         (Sb_sim.Trace.to_lines (Sb_sim.Runtime.trace w));
+       close_out oc;
+       Printf.printf "trace saved to %s\n" file);
+    Printf.printf "algorithm       : %s (n=%d f=%d k=%d D=%d bits, seed %d)\n"
+      m.algorithm cfg.n cfg.f k (8 * value_bytes) seed;
+    Printf.printf "steps           : %d (quiescent: %b)\n" m.steps m.quiescent;
+    Printf.printf "writes          : %d/%d completed\n" m.completed_writes m.invoked_writes;
+    Printf.printf "reads           : %d/%d completed (max %d rounds)\n"
+      m.completed_reads m.invoked_reads m.max_read_rounds;
+    Printf.printf "storage         : max %d bits (obj), %d (total), final %d\n"
+      m.max_obj_bits m.max_total_bits m.final_obj_bits;
+    Format.printf "weak regularity : %a@." Sb_spec.Regularity.pp_verdict m.weak;
+    Format.printf "strong regular. : %a@." Sb_spec.Regularity.pp_verdict m.strong
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run a workload under a fair random schedule.")
+    Term.(
+      const run $ algo_arg $ value_bytes_arg $ f_arg $ k_arg $ seed_arg $ writers
+      $ writes_each $ readers $ reads_each $ show_trace $ save)
+
+(* ------------------------------------------------------------------ *)
+(* replay                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let replay_cmd =
+  let file =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "file" ] ~docv:"FILE" ~doc:"Trace file written by simulate --save.")
+  in
+  let run value_bytes file =
+    let ic = open_in file in
+    let lines = In_channel.input_lines ic in
+    close_in ic;
+    match Sb_sim.Trace.of_lines lines with
+    | Error msg ->
+      Printf.eprintf "failed to parse %s: %s\n" file msg;
+      exit 1
+    | Ok tr ->
+      let initial = Bytes.make value_bytes '\000' in
+      let history = Sb_spec.History.of_trace ~initial tr in
+      Printf.printf "events     : %d\n" (Sb_sim.Trace.length tr);
+      Printf.printf "writes     : %d\n" (List.length history.Sb_spec.History.writes);
+      Printf.printf "reads      : %d\n" (List.length history.Sb_spec.History.reads);
+      Format.printf "weak       : %a@." Sb_spec.Regularity.pp_verdict
+        (Sb_spec.Regularity.check_weak history);
+      Format.printf "strong     : %a@." Sb_spec.Regularity.pp_verdict
+        (Sb_spec.Regularity.check_strong history);
+      Format.printf "safe       : %a@." Sb_spec.Regularity.pp_verdict
+        (Sb_spec.Regularity.check_safe history);
+      let total_ops =
+        List.length history.Sb_spec.History.writes
+        + List.length history.Sb_spec.History.reads
+      in
+      if total_ops <= 62 then
+        Format.printf "atomic     : %a@." Sb_spec.Regularity.pp_verdict
+          (Sb_spec.Regularity.check_atomic history)
+      else Format.printf "atomic     : skipped (history too large)@."
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:"Re-check a saved trace against the register consistency conditions.")
+    Term.(const run $ value_bytes_arg $ file)
+
+(* ------------------------------------------------------------------ *)
+(* adversary-demo (Figure 3 walkthrough)                               *)
+(* ------------------------------------------------------------------ *)
+
+let demo_cmd =
+  let c_arg =
+    Arg.(value & opt int 3 & info [ "c" ] ~docv:"C" ~doc:"Concurrent writers.")
+  in
+  let steps_arg =
+    Arg.(value & opt int 40 & info [ "steps" ] ~docv:"N" ~doc:"Snapshots to print.")
+  in
+  let run algo value_bytes f k c steps =
+    let algorithm, cfg = build ~algo ~value_bytes ~f ~k in
+    let d = 8 * value_bytes in
+    let ell = d / 2 in
+    let workload =
+      Array.init c (fun i ->
+          [ Sb_sim.Trace.Write (Sb_util.Values.distinct ~value_bytes i) ])
+    in
+    let w =
+      Sb_sim.Runtime.create ~algorithm ~n:cfg.n ~f:cfg.f ~workload ()
+    in
+    Printf.printf
+      "Adversary Ad vs %s: n=%d f=%d k=%d D=%d bits ell=%d (cf. paper Fig. 3)\n\n"
+      algorithm.Sb_sim.Runtime.name cfg.n cfg.f k d ell;
+    let count = ref 0 in
+    let on_step (s : Sb_adversary.Ad.snapshot) =
+      if !count < steps then begin
+        incr count;
+        Printf.printf
+          "t=%-5d |F|=%-2d F={%s}  |C+|=%-2d C+={%s}  |C-|=%-2d  storage=%d bits\n"
+          s.time (List.length s.frozen)
+          (String.concat "," (List.map string_of_int s.frozen))
+          (List.length s.c_plus)
+          (String.concat "," (List.map (fun o -> "w" ^ string_of_int o) s.c_plus))
+          (List.length s.c_minus) s.storage_obj_bits
+      end
+    in
+    let halt_when (s : Sb_adversary.Ad.snapshot) =
+      !count >= steps
+      || List.length s.frozen > cfg.f
+      || List.length s.c_plus >= c
+    in
+    let policy = Sb_adversary.Ad.policy ~ell_bits:ell ~d_bits:d ~halt_when ~on_step () in
+    let _ = Sb_sim.Runtime.run w policy in
+    let final = Sb_adversary.Ad.classify ~ell_bits:ell ~d_bits:d w in
+    Printf.printf "\nfinal: |F|=%d (f=%d), |C+|=%d (c=%d), storage=%d bits\n"
+      (List.length final.frozen) cfg.f (List.length final.c_plus) c
+      final.storage_obj_bits;
+    if List.length final.frozen > cfg.f then
+      print_endline "=> freeze branch: f+1 objects pinned at >= ell bits each"
+    else if List.length final.c_plus >= c then
+      print_endline "=> saturation branch: all c writes pinned at > D-ell bits each"
+  in
+  Cmd.v
+    (Cmd.info "adversary-demo"
+       ~doc:"Print Ad's F / C+ / C- evolution step by step (paper Figure 3).")
+    Term.(const run $ algo_arg $ value_bytes_arg $ f_arg $ k_arg $ c_arg $ steps_arg)
+
+(* ------------------------------------------------------------------ *)
+(* quorums                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let quorums_cmd =
+  let n_arg =
+    Arg.(value & opt int 6 & info [ "n" ] ~docv:"N" ~doc:"Number of base objects.")
+  in
+  let run n f k =
+    let module Q = Sb_quorums.Quorum in
+    let system, verdict = Q.register_requirements ~n ~f ~k in
+    Printf.printf "quorum system     : %s\n" system.Q.name;
+    Printf.printf "n >= 2f + k       : %b  (n=%d, f=%d, k=%d)\n" (n >= (2 * f) + k) n f k;
+    if n <= 20 then begin
+      Printf.printf "available after f : %b\n" (Q.available_after system ~failures:f);
+      Printf.printf "min intersection  : %d (need >= k = %d)\n"
+        (Q.min_intersection system) k;
+      let minimal = Q.minimal_quorums system in
+      Printf.printf "minimal quorums   : %d of size %d\n" (List.length minimal)
+        (match minimal with q :: _ -> List.length q | [] -> 0)
+    end;
+    Printf.printf "register-ready    : %b\n" verdict
+  in
+  Cmd.v
+    (Cmd.info "quorums"
+       ~doc:"Check the quorum-system requirements behind 'await n - f responses'.")
+    Term.(const run $ n_arg $ f_arg $ k_arg)
+
+let () =
+  let doc = "Space bounds for reliable storage (PODC 2016) — reproduction." in
+  let info = Cmd.info "spacebounds" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            experiments_cmd; lower_bound_cmd; simulate_cmd; replay_cmd; demo_cmd;
+            quorums_cmd;
+          ]))

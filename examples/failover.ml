@@ -1,0 +1,49 @@
+(* Reliability under crashes: the reason the storage exists at all.
+
+   We write values, crash f of the n base objects mid-run (the maximum
+   the system tolerates), keep writing and reading, and verify that
+   every operation still completes and every read returns a regular
+   value.  Quorums of size n - f never wait for the dead objects.
+
+   Run with: dune exec examples/failover.exe *)
+
+let () =
+  let value_bytes = 32 in
+  let f = 3 and k = 3 in
+  let n = (2 * f) + k in
+  let codec = Sb_codec.Codec.rs_cauchy ~value_bytes ~k ~n in
+  let cfg = { Sb_registers.Common.n; f; codec } in
+  let register = Sb_registers.Adaptive.make cfg in
+
+  let workload =
+    Sb_experiments.Workloads.writers_and_readers ~value_bytes ~writers:3
+      ~writes_each:4 ~readers:3 ~reads_each:4
+  in
+
+  (* Crash objects 0, 4 and 7 at steps 50, 120 and 200. *)
+  let crashes = [ (50, 0); (120, 4); (200, 7) ] in
+  let policy = Sb_sim.Runtime.random_policy ~crash_objs:crashes ~seed:11 () in
+  let world = Sb_sim.Runtime.create ~algorithm:register ~n ~f ~workload () in
+  let outcome = Sb_sim.Runtime.run world policy in
+
+  Printf.printf "n=%d objects, f=%d crashed mid-run (steps 50/120/200), k=%d\n\n" n f k;
+  let ops = Sb_sim.Trace.operations (Sb_sim.Runtime.trace world) in
+  let completed = List.filter (fun (_, _, _, ret, _) -> ret <> None) ops in
+  Printf.printf "operations      : %d invoked, %d completed\n" (List.length ops)
+    (List.length completed);
+  Printf.printf "run quiescent   : %b after %d steps\n" outcome.quiescent outcome.steps;
+  let alive = List.length (List.filter (Sb_sim.Runtime.obj_alive world)
+                             (List.init n (fun i -> i))) in
+  Printf.printf "objects alive   : %d of %d\n" alive n;
+
+  let history =
+    Sb_spec.History.of_trace ~initial:(Bytes.make value_bytes '\000')
+      (Sb_sim.Runtime.trace world)
+  in
+  Format.printf "weak regularity : %a@." Sb_spec.Regularity.pp_verdict
+    (Sb_spec.Regularity.check_weak history);
+  Format.printf "strong regular. : %a@." Sb_spec.Regularity.pp_verdict
+    (Sb_spec.Regularity.check_strong history);
+
+  Printf.printf "final storage   : %d bits across surviving objects\n"
+    (Sb_sim.Runtime.storage_bits_objects world)

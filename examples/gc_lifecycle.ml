@@ -1,0 +1,50 @@
+(* Storage over the lifetime of a run (Theorem 2's trajectory).
+
+   A burst of concurrent writes drives the adaptive algorithm's storage
+   up towards (c+1)(2f+k)D/k; as writes complete, the garbage-collection
+   round reclaims stale pieces; after quiescence the whole system holds
+   a single erasure-coded copy, (2f+k)D/k bits.  We sample the storage
+   at every scheduling step with Sb_experiments.Series and print the
+   trajectory.
+
+   Run with: dune exec examples/gc_lifecycle.exe *)
+
+module Series = Sb_experiments.Series
+
+let () =
+  let value_bytes = 64 in
+  let f = 4 and k = 4 in
+  let n = (2 * f) + k in
+  let codec = Sb_codec.Codec.rs_vandermonde ~value_bytes ~k ~n in
+  let cfg = { Sb_registers.Common.n; f; codec } in
+  let register = Sb_registers.Adaptive.make cfg in
+  let d = 8 * value_bytes in
+  let c = 6 in
+
+  let workload = Sb_experiments.Workloads.writers_only ~value_bytes ~c ~writes_each:2 in
+  let world = Sb_sim.Runtime.create ~algorithm:register ~n ~f ~workload () in
+
+  let policy, get_series =
+    Series.record ~probe:Sb_sim.Runtime.storage_bits_objects
+      (Sb_sim.Runtime.random_policy ~seed:3 ())
+  in
+  let outcome = Sb_sim.Runtime.run world policy in
+  let series = get_series () in
+
+  Printf.printf
+    "adaptive register, n=%d f=%d k=%d, D=%d bits, %d writers x 2 writes\n\n" n f k d c;
+  Printf.printf "storage (bits) over %d scheduling steps, peak %d:\n\n"
+    (Series.length series) (Series.peak series);
+  print_string (Series.sparkline series);
+  print_newline ();
+
+  Printf.printf
+    "peak storage        : %d bits (bound (c+1)(2f+k)D/k = %d, cap 2(2f+k)D = %d)\n"
+    (Series.peak series)
+    ((c + 1) * n * d / k)
+    (2 * n * d);
+  Printf.printf "mid-run storage     : %d bits\n" (Series.at_fraction series 0.5);
+  Printf.printf "final storage       : %d bits\n"
+    (Sb_sim.Runtime.storage_bits_objects world);
+  Printf.printf "quiescent bound     : (2f+k)D/k = %d bits\n" (n * d / k);
+  Printf.printf "run quiescent       : %b in %d steps\n" outcome.quiescent outcome.steps

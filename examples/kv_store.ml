@@ -1,0 +1,52 @@
+(* A tiny replicated key-value store built on the paper's adaptive
+   register: each key is backed by a 3-of-9 erasure-coded register that
+   tolerates f = 3 simulated storage-node crashes.
+
+   Run with: dune exec examples/kv_store.exe *)
+
+let () =
+  let f = 3 and k = 3 in
+  let n = (2 * f) + k in
+  let value_bytes = 64 in
+  let cfg =
+    { Sb_registers.Common.n; f;
+      codec = Sb_codec.Codec.rs_vandermonde ~value_bytes ~k ~n }
+  in
+  let store = Sb_kv.Store.create ~seed:2024 ~cfg () in
+
+  Printf.printf "replicated KV store: n=%d nodes/key, f=%d, %d-of-%d code, \
+                 %d-byte values\n\n" n f k n (Sb_kv.Store.max_value_bytes store);
+
+  (* A small user-profile workload. *)
+  Sb_kv.Store.put store ~key:"user:1:name" (Bytes.of_string "Ada Lovelace");
+  Sb_kv.Store.put store ~key:"user:1:role" (Bytes.of_string "analyst");
+  Sb_kv.Store.put store ~key:"user:2:name" (Bytes.of_string "Charles Babbage");
+  Sb_kv.Store.put store ~key:"user:2:role" (Bytes.of_string "engineer");
+  Sb_kv.Store.put store ~key:"user:1:role" (Bytes.of_string "programmer");
+
+  let show key =
+    match Sb_kv.Store.get store ~key with
+    | Some v -> Printf.printf "  %-12s = %s\n" key (Bytes.to_string v)
+    | None -> Printf.printf "  %-12s = <absent>\n" key
+  in
+  print_endline "after writes (note the overwrite of user:1:role):";
+  List.iter show [ "user:1:name"; "user:1:role"; "user:2:name"; "user:2:role"; "user:3:name" ];
+
+  Printf.printf "\nstorage: %d bits across %d keys (max over run: %d)\n"
+    (Sb_kv.Store.storage_bits store)
+    (List.length (Sb_kv.Store.keys store))
+    (Sb_kv.Store.max_storage_bits store);
+
+  (* Crash f of the nodes behind user:1:name — the data survives. *)
+  print_endline "\ncrashing 3 of the 9 nodes behind user:1:name...";
+  List.iter (fun node -> Sb_kv.Store.crash_node store ~key:"user:1:name" node) [ 0; 4; 8 ];
+  show "user:1:name";
+  Sb_kv.Store.put store ~key:"user:1:name" (Bytes.of_string "Countess Lovelace");
+  show "user:1:name";
+
+  (* Every key's history is machine-checked for strong regularity. *)
+  print_endline "\nconsistency check over every key's recorded history:";
+  List.iter
+    (fun (key, verdict) ->
+      Format.printf "  %-12s : %a@." key Sb_spec.Regularity.pp_verdict verdict)
+    (Sb_kv.Store.check_consistency store)

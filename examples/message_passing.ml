@@ -1,0 +1,53 @@
+(* The same register protocol over an asynchronous message-passing
+   network: base objects become server nodes, RMWs become requests, and
+   responses carry object-state snapshots — so channels hold code blocks,
+   the cost the paper explicitly charges to network-based algorithms
+   (Section 3.2).
+
+   Run with: dune exec examples/message_passing.exe *)
+
+module MP = Sb_msgnet.Mp_runtime
+
+let () =
+  let value_bytes = 64 in
+  let f = 2 and k = 2 in
+  let n = (2 * f) + k in
+  let codec = Sb_codec.Codec.rs_vandermonde ~value_bytes ~k ~n in
+  let cfg = { Sb_registers.Common.n; f; codec } in
+  let register = Sb_registers.Adaptive.make cfg in
+  let d = 8 * value_bytes in
+
+  let workload =
+    Sb_experiments.Workloads.writers_and_readers ~value_bytes ~writers:2
+      ~writes_each:2 ~readers:3 ~reads_each:3
+  in
+  let world = MP.create ~algorithm:register ~n ~f ~workload () in
+  (* Crash one server mid-run for good measure (f = 2 tolerated). *)
+  let policy = MP.random_policy ~crash_servers:[ (60, 1) ] ~seed:8 () in
+  let outcome = MP.run world policy in
+
+  Printf.printf
+    "adaptive register over message passing: %d servers, f=%d, %d-of-%d code, \
+     D=%d bits\n\n" n f k n d;
+  let ops = Sb_sim.Trace.operations (MP.trace world) in
+  Printf.printf "operations         : %d invoked, %d completed (quiescent: %b)\n"
+    (List.length ops)
+    (List.length (List.filter (fun (_, _, _, ret, _) -> ret <> None) ops))
+    outcome.MP.quiescent;
+  Printf.printf "server storage     : %d bits now, %d at peak\n"
+    (MP.storage_bits_servers world) (MP.max_bits_servers world);
+  Printf.printf "channel storage    : %d bits at peak -- blocks in flight count!\n"
+    (MP.max_bits_channels world);
+  Printf.printf "server 1 alive     : %b (crashed mid-run)\n" (MP.server_alive world 1);
+
+  let history =
+    Sb_spec.History.of_trace ~initial:(Bytes.make value_bytes '\000') (MP.trace world)
+  in
+  Format.printf "strong regularity  : %a@." Sb_spec.Regularity.pp_verdict
+    (Sb_spec.Regularity.check_strong history);
+
+  print_endline
+    "\nThe same protocol code ran unchanged: the message-passing runtime\n\
+     reinterprets the trigger/await effects as request/response messages,\n\
+     and the channel accounting shows why the paper counts in-flight\n\
+     blocks as storage.";

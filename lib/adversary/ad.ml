@@ -1,0 +1,77 @@
+module R = Sb_sim.Runtime
+
+type snapshot = {
+  time : int;
+  frozen : int list;
+  c_plus : int list;
+  c_minus : int list;
+  storage_obj_bits : int;
+  storage_total_bits : int;
+}
+
+let classify ~ell_bits ~d_bits ?(sticky_frozen = []) w =
+  let frozen =
+    List.filter
+      (fun i ->
+        R.obj_alive w i && (List.mem i sticky_frozen || R.obj_bits w i >= ell_bits))
+      (List.init (R.n_objects w) (fun i -> i))
+  in
+  let writes =
+    List.filter
+      (fun (op : R.op) ->
+        match op.kind with Sb_sim.Trace.Write _ -> true | Sb_sim.Trace.Read -> false)
+      (R.outstanding_ops w)
+  in
+  let c_plus, c_minus =
+    List.partition (fun op -> R.op_contribution w op > d_bits - ell_bits) writes
+  in
+  {
+    time = R.time w;
+    frozen;
+    c_plus = List.map (fun (op : R.op) -> op.id) c_plus;
+    c_minus = List.map (fun (op : R.op) -> op.id) c_minus;
+    storage_obj_bits = R.storage_bits_objects w;
+    storage_total_bits = R.storage_bits_total w;
+  }
+
+let policy ~ell_bits ~d_bits ?(halt_when = fun _ -> false) ?(on_step = fun _ -> ())
+    () =
+  let sticky_frozen = ref [] in
+  let rr_cursor = ref 0 in
+  fun w ->
+    let snap = classify ~ell_bits ~d_bits ~sticky_frozen:!sticky_frozen w in
+    sticky_frozen := snap.frozen;
+    on_step snap;
+    if halt_when snap then R.Halt
+    else begin
+      (* Rule 1: the longest-pending RMW by a C- operation (reads are
+         unrestricted) on a live unfrozen object. *)
+      let is_c_minus (op : R.op) =
+        match op.kind with
+        | Sb_sim.Trace.Read -> true
+        | Sb_sim.Trace.Write _ -> List.mem op.id snap.c_minus
+      in
+      let candidates =
+        List.filter
+          (fun (p : R.pending_info) ->
+            (not (List.mem p.p_obj snap.frozen)) && is_c_minus p.p_op)
+          (R.deliverable w)
+      in
+      match candidates with
+      | p :: _ -> R.Deliver p.ticket (* deliverable is oldest-first *)
+      | [] -> (
+        (* Rule 2: fair round-robin over steppable clients. *)
+        match R.steppable w with
+        | [] -> R.Halt
+        | steppables ->
+          let m = R.client_count w in
+          let rec find tries =
+            if tries >= m then R.Halt
+            else begin
+              let c = !rr_cursor mod m in
+              rr_cursor := !rr_cursor + 1;
+              if List.mem c steppables then R.Step c else find (tries + 1)
+            end
+          in
+          find 0)
+    end

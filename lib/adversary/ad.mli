@@ -1,0 +1,52 @@
+(** The lower-bound adversary Ad (Definition 7).
+
+    Ad drives any black-box-coding storage algorithm into high storage
+    cost by scheduling as follows, with respect to a bit threshold
+    [0 < ell <= D]:
+
+    - [F(t)] — the {e frozen} base objects, those already storing at
+      least [ell] bits of code blocks.  Once frozen, an object never
+      receives another RMW delivery (Observation 2), so its storage never
+      shrinks.
+    - [C-(t)] — outstanding writes whose storage contribution
+      [||S(t, w)||] (Definition 6) is at most [D - ell]; the complement
+      [C+(t)] holds writes that already contribute more than [D - ell]
+      bits.
+
+    Rule 1: if some RMW triggered by a [C-] operation is pending on a
+    live unfrozen object, deliver the longest-pending such RMW.
+    Rule 2: otherwise, step clients in fair round-robin order.
+
+    Lemma 3 shows every lock-free algorithm driven by Ad reaches a point
+    where [|F| > f] or [|C+| = c]; either way the storage cost is at
+    least [min((f+1) * ell, c * (D - ell + 1))] bits — with [ell = D/2]
+    this is the paper's Omega(min(f, c) * D) bound. *)
+
+type snapshot = {
+  time : int;
+  frozen : int list;      (** [F(t)]: frozen live base objects. *)
+  c_plus : int list;      (** Op ids of outstanding writes in [C+(t)]. *)
+  c_minus : int list;     (** Op ids of outstanding writes in [C-(t)]. *)
+  storage_obj_bits : int;
+  storage_total_bits : int;
+}
+
+val classify :
+  ell_bits:int -> d_bits:int -> ?sticky_frozen:int list -> Sb_sim.Runtime.world -> snapshot
+(** Computes [F]/[C+]/[C-] for the current world state.  [sticky_frozen]
+    carries objects frozen at earlier times (Observation 2 makes freezing
+    monotone under Ad; when replaying arbitrary schedules pass the
+    accumulated set). *)
+
+val policy :
+  ell_bits:int ->
+  d_bits:int ->
+  ?halt_when:(snapshot -> bool) ->
+  ?on_step:(snapshot -> unit) ->
+  unit ->
+  Sb_sim.Runtime.policy
+(** The Ad schedule.  [halt_when] lets the experiment driver stop the run
+    once the bound's disjunction is reached (e.g. [|F| > f] or
+    [|C+| = c]); [on_step] observes every snapshot (used by the
+    walkthrough example reproducing Figure 3).  The policy halts on its
+    own when neither rule has an enabled action. *)

@@ -1,0 +1,78 @@
+module MP = Sb_msgnet.Mp_runtime
+module R = Sb_sim.Runtime
+
+type snapshot = {
+  time : int;
+  frozen : int list;
+  c_plus : int list;
+  c_minus : int list;
+  storage_server_bits : int;
+  storage_channel_bits : int;
+}
+
+let classify ~ell_bits ~d_bits ?(sticky_frozen = []) w =
+  let frozen =
+    List.filter
+      (fun i ->
+        MP.server_alive w i
+        && (List.mem i sticky_frozen
+           || Sb_storage.Objstate.bits (MP.server_state w i) >= ell_bits))
+      (List.init (MP.n_servers w) Fun.id)
+  in
+  let writes =
+    List.filter
+      (fun (op : R.op) ->
+        match op.kind with Sb_sim.Trace.Write _ -> true | Sb_sim.Trace.Read -> false)
+      (MP.outstanding_ops w)
+  in
+  let c_plus, c_minus =
+    List.partition (fun op -> MP.op_contribution w op > d_bits - ell_bits) writes
+  in
+  {
+    time = MP.time w;
+    frozen;
+    c_plus = List.map (fun (op : R.op) -> op.id) c_plus;
+    c_minus = List.map (fun (op : R.op) -> op.id) c_minus;
+    storage_server_bits = MP.storage_bits_servers w;
+    storage_channel_bits = MP.storage_bits_channels w;
+  }
+
+let policy ~ell_bits ~d_bits ?(halt_when = fun _ -> false) ?(on_step = fun _ -> ())
+    () =
+  let sticky_frozen = ref [] in
+  let rr_cursor = ref 0 in
+  fun w ->
+    let snap = classify ~ell_bits ~d_bits ~sticky_frozen:!sticky_frozen w in
+    sticky_frozen := snap.frozen;
+    on_step snap;
+    if halt_when snap then MP.Halt
+    else begin
+      let deliverable = MP.deliverable w in
+      (* Responses never mutate objects: deliver them eagerly. *)
+      match
+        List.find_opt (fun (m : MP.message_info) -> m.kind = MP.Response) deliverable
+      with
+      | Some m -> MP.Deliver_msg m.msg_id
+      | None -> (
+        (* Rule 1: the oldest request of a C- operation (reads are
+           unrestricted) on an unfrozen server. *)
+        let is_c_minus op_id = not (List.mem op_id snap.c_plus) in
+        let candidate =
+          List.find_opt
+            (fun (m : MP.message_info) ->
+              m.kind = MP.Request
+              && (not (List.mem m.m_server snap.frozen))
+              && is_c_minus m.m_op)
+            deliverable
+        in
+        match candidate with
+        | Some m -> MP.Deliver_msg m.msg_id
+        | None -> (
+          (* Rule 2: rotate fairly over the currently steppable clients. *)
+          match List.sort compare (MP.steppable w) with
+          | [] -> MP.Halt
+          | steppables ->
+            let c = List.nth steppables (!rr_cursor mod List.length steppables) in
+            rr_cursor := !rr_cursor + 1;
+            MP.Step c))
+    end

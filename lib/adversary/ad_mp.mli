@@ -1,0 +1,36 @@
+(** The adversary Ad over the message-passing emulation.
+
+    The same schedule as {!Ad}, interpreted for {!Sb_msgnet.Mp_runtime}:
+    a pending RMW is a {e request} message, and its take-effect point is
+    the request's delivery at the server.  Responses never mutate base
+    objects, so Ad delivers them eagerly (they correspond to the
+    "respond" actions rule 2 schedules freely).
+
+    Contributions [||S(t,w)||] here include blocks travelling in
+    channels — request payloads and snapshot responses — so the run
+    demonstrates that the lower bound cannot be dodged by parking data
+    in the network (Section 3.2). *)
+
+type snapshot = {
+  time : int;
+  frozen : int list;
+  c_plus : int list;
+  c_minus : int list;
+  storage_server_bits : int;
+  storage_channel_bits : int;
+}
+
+val classify :
+  ell_bits:int ->
+  d_bits:int ->
+  ?sticky_frozen:int list ->
+  Sb_msgnet.Mp_runtime.world ->
+  snapshot
+
+val policy :
+  ell_bits:int ->
+  d_bits:int ->
+  ?halt_when:(snapshot -> bool) ->
+  ?on_step:(snapshot -> unit) ->
+  unit ->
+  Sb_msgnet.Mp_runtime.policy

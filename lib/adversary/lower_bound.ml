@@ -1,0 +1,134 @@
+module R = Sb_sim.Runtime
+
+type branch = Frozen_objects | Saturated_writes | Exhausted
+
+type result = {
+  branch : branch;
+  steps : int;
+  time_reached : int option;
+  max_obj_bits : int;
+  max_total_bits : int;
+  final_frozen : int;
+  final_c_plus : int;
+  completed_writes : int;
+  lower_bound_bits : int;
+}
+
+let run ?ell_bits ?(max_steps = 2_000_000) ?(halt_on_branch = true) ~algorithm
+    ~(cfg : Sb_registers.Common.config) ~c () =
+  let d_bits = Sb_codec.Codec.value_bits cfg.codec in
+  let ell_bits = Option.value ~default:(d_bits / 2) ell_bits in
+  if ell_bits <= 0 || ell_bits > d_bits then
+    invalid_arg "Lower_bound.run: need 0 < ell <= D";
+  let value_bytes = cfg.codec.Sb_codec.Codec.value_bytes in
+  let workload =
+    Array.init c (fun i -> [ Sb_sim.Trace.Write (Sb_util.Values.distinct ~value_bytes i) ])
+  in
+  let w = R.create ~algorithm ~n:cfg.n ~f:cfg.f ~workload () in
+  let reached = ref None in
+  let reached_branch = ref None in
+  let final = ref None in
+  let halt_when (snap : Ad.snapshot) =
+    final := Some snap;
+    let frozen_hit = List.length snap.frozen > cfg.f in
+    let saturated_hit = List.length snap.c_plus >= c in
+    let hit = frozen_hit || saturated_hit in
+    if hit && !reached = None then begin
+      reached := Some snap.time;
+      reached_branch := Some (if frozen_hit then Frozen_objects else Saturated_writes)
+    end;
+    hit && halt_on_branch
+  in
+  let policy = Ad.policy ~ell_bits ~d_bits ~halt_when () in
+  let outcome = R.run ~max_steps w policy in
+  let completed_writes =
+    List.length
+      (List.filter
+         (fun (_, kind, _, ret, _) ->
+           match kind with Sb_sim.Trace.Write _ -> ret <> None | _ -> false)
+         (Sb_sim.Trace.operations (R.trace w)))
+  in
+  let final_snap =
+    match !final with
+    | Some s -> s
+    | None -> Ad.classify ~ell_bits ~d_bits w
+  in
+  let branch =
+    match !reached_branch with
+    | Some b -> b
+    | None ->
+      if List.length final_snap.frozen > cfg.f then Frozen_objects
+      else if List.length final_snap.c_plus >= c then Saturated_writes
+      else Exhausted
+  in
+  {
+    branch;
+    steps = outcome.steps;
+    time_reached = !reached;
+    max_obj_bits = R.max_bits_objects w;
+    max_total_bits = R.max_bits_total w;
+    final_frozen = List.length final_snap.frozen;
+    final_c_plus = List.length final_snap.c_plus;
+    completed_writes;
+    lower_bound_bits = min ((cfg.f + 1) * ell_bits) (c * (d_bits - ell_bits + 1));
+  }
+
+let run_mp ?ell_bits ?(max_steps = 2_000_000) ~algorithm
+    ~(cfg : Sb_registers.Common.config) ~c () =
+  let module MP = Sb_msgnet.Mp_runtime in
+  let d_bits = Sb_codec.Codec.value_bits cfg.codec in
+  let ell_bits = Option.value ~default:(d_bits / 2) ell_bits in
+  if ell_bits <= 0 || ell_bits > d_bits then
+    invalid_arg "Lower_bound.run_mp: need 0 < ell <= D";
+  let value_bytes = cfg.codec.Sb_codec.Codec.value_bytes in
+  let workload =
+    Array.init c (fun i -> [ Sb_sim.Trace.Write (Sb_util.Values.distinct ~value_bytes i) ])
+  in
+  let w = MP.create ~algorithm ~n:cfg.n ~f:cfg.f ~workload () in
+  let reached = ref None in
+  let reached_branch = ref None in
+  let final = ref None in
+  let max_total = ref 0 in
+  let halt_when (snap : Ad_mp.snapshot) =
+    final := Some snap;
+    max_total := max !max_total (snap.storage_server_bits + snap.storage_channel_bits);
+    let frozen_hit = List.length snap.frozen > cfg.f in
+    let saturated_hit = List.length snap.c_plus >= c in
+    let hit = frozen_hit || saturated_hit in
+    if hit && !reached = None then begin
+      reached := Some snap.time;
+      reached_branch := Some (if frozen_hit then Frozen_objects else Saturated_writes)
+    end;
+    hit
+  in
+  let policy = Ad_mp.policy ~ell_bits ~d_bits ~halt_when () in
+  let outcome = MP.run ~max_steps w policy in
+  let completed_writes =
+    List.length
+      (List.filter
+         (fun (_, kind, _, ret, _) ->
+           match kind with Sb_sim.Trace.Write _ -> ret <> None | _ -> false)
+         (Sb_sim.Trace.operations (MP.trace w)))
+  in
+  let final_snap =
+    match !final with Some s -> s | None -> Ad_mp.classify ~ell_bits ~d_bits w
+  in
+  let branch =
+    match !reached_branch with
+    | Some b -> b
+    | None ->
+      if List.length final_snap.frozen > cfg.f then Frozen_objects
+      else if List.length final_snap.c_plus >= c then Saturated_writes
+      else Exhausted
+  in
+  {
+    branch;
+    steps = outcome.MP.steps;
+    time_reached = !reached;
+    max_obj_bits = MP.max_bits_servers w;
+    max_total_bits = !max_total;
+    final_frozen = List.length final_snap.frozen;
+    final_c_plus = List.length final_snap.c_plus;
+    completed_writes;
+    lower_bound_bits = min ((cfg.f + 1) * ell_bits) (c * (d_bits - ell_bits + 1));
+  }

@@ -1,0 +1,57 @@
+(** Lower-bound experiment driver (Theorem 1, Lemma 3).
+
+    Runs an algorithm against the adversary Ad with [c] concurrent
+    writers and reports which branch of Lemma 3's disjunction was reached
+    and how much storage the run pinned down. *)
+
+type branch =
+  | Frozen_objects  (** [|F(t)| > f]: f+1 objects hold >= ell bits each. *)
+  | Saturated_writes  (** [|C+(t)| = c]: all c writes exceed D - ell bits. *)
+  | Exhausted  (** Neither within the step budget (the algorithm may have
+                   completed writes — allowed when it pays the bound another
+                   way, or when [c] exceeds the number of outstanding
+                   writes the workload could keep alive). *)
+
+type result = {
+  branch : branch;
+  steps : int;
+  time_reached : int option;  (** Step at which the branch condition first held. *)
+  max_obj_bits : int;
+  max_total_bits : int;
+  final_frozen : int;
+  final_c_plus : int;
+  completed_writes : int;
+  lower_bound_bits : int;  (** [min((f+1) * ell, c * (D - ell + 1))]. *)
+}
+
+val run :
+  ?ell_bits:int ->
+  ?max_steps:int ->
+  ?halt_on_branch:bool ->
+  algorithm:Sb_sim.Runtime.algorithm ->
+  cfg:Sb_registers.Common.config ->
+  c:int ->
+  unit ->
+  result
+(** [run ~algorithm ~cfg ~c ()] invokes [c] concurrent writes of distinct
+    values and lets Ad schedule.  [ell_bits] defaults to [D/2], the value
+    used in the proof of Theorem 1.  [halt_on_branch] (default [true])
+    stops the run as soon as Lemma 3's disjunction holds; pass [false]
+    to let Ad keep scheduling — used to show wait-free safe-register
+    writes complete even under Ad while regular-register writes never
+    do. *)
+
+val run_mp :
+  ?ell_bits:int ->
+  ?max_steps:int ->
+  algorithm:Sb_sim.Runtime.algorithm ->
+  cfg:Sb_registers.Common.config ->
+  c:int ->
+  unit ->
+  result
+(** The same experiment over the message-passing emulation
+    ({!Sb_msgnet.Mp_runtime}, adversary {!Ad_mp}): contributions and the
+    reported storage include blocks travelling in channels, showing the
+    bound cannot be dodged by parking data in the network.  In the
+    result, [max_obj_bits] is the peak server-side storage and
+    [max_total_bits] the peak of servers plus channels. *)

@@ -1,0 +1,25 @@
+module R = Sb_sim.Runtime
+
+let step_someone w =
+  match R.steppable w with c :: _ -> R.Step c | [] -> R.Halt
+
+let starve_all () = fun w -> step_someone w
+
+let deliver_budget ~budget () =
+  let delivered = ref 0 in
+  fun w ->
+    if !delivered < budget then
+      match R.deliverable w with
+      | p :: _ ->
+        incr delivered;
+        R.Deliver p.R.ticket
+      | [] -> step_someone w
+    else step_someone w
+
+let starve_object ~obj () =
+  fun w ->
+    match
+      List.find_opt (fun (p : R.pending_info) -> p.p_obj <> obj) (R.deliverable w)
+    with
+    | Some p -> R.Deliver p.ticket
+    | None -> step_someone w

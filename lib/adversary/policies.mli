@@ -1,0 +1,22 @@
+(** Naive starvation policies, for ablating the adversary Ad.
+
+    Theorem 1's adversary is not just "be unfair": it must keep
+    {e selectively} delivering RMWs — those of low-contribution writes on
+    unfrozen objects — to force bits into the storage while denying
+    completion.  These simpler policies are unfair too, but pin little
+    or no storage; experiment E12 contrasts them with Ad. *)
+
+val starve_all : unit -> Sb_sim.Runtime.policy
+(** Never delivers any RMW: clients run until they all block on their
+    first quorum.  Denies progress but stores nothing beyond the initial
+    state. *)
+
+val deliver_budget : budget:int -> unit -> Sb_sim.Runtime.policy
+(** FIFO-delivers at most [budget] RMWs in total, then starves.  Denies
+    progress eventually, but the storage it pins is bounded by the
+    budget rather than by min(f, c) * D. *)
+
+val starve_object : obj:int -> unit -> Sb_sim.Runtime.policy
+(** FIFO-delivers everything except RMWs on one object.  With quorums of
+    size n - f (f >= 1), this denies nothing: algorithms make progress
+    and garbage-collect as usual. *)

@@ -1,0 +1,502 @@
+type t = {
+  name : string;
+  k : int;
+  n : int option;
+  value_bytes : int;
+  block_bytes : int -> int;
+  encode : bytes -> int -> bytes;
+  decode : (int * bytes) list -> bytes option;
+}
+
+let value_bits c = 8 * c.value_bytes
+let block_bits c i = 8 * c.block_bytes i
+let max_index c = c.n
+
+let dedup_blocks blocks =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun (i, _) ->
+      if Hashtbl.mem seen i then false
+      else begin
+        Hashtbl.add seen i ();
+        true
+      end)
+    blocks
+
+let check_value ~value_bytes v =
+  if Bytes.length v <> value_bytes then
+    invalid_arg
+      (Printf.sprintf "codec: value has %d bytes, expected %d" (Bytes.length v)
+         value_bytes)
+
+let check_index ?n i =
+  if i < 0 then invalid_arg "codec: negative block index";
+  match n with
+  | Some n when i >= n ->
+    invalid_arg (Printf.sprintf "codec: block index %d out of range [0,%d)" i n)
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Replication                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let replication ~value_bytes ~n =
+  if n < 1 then invalid_arg "Codec.replication: n must be >= 1";
+  {
+    name = Printf.sprintf "replication(n=%d)" n;
+    k = 1;
+    n = Some n;
+    value_bytes;
+    block_bytes = (fun i -> check_index ~n i; value_bytes);
+    encode =
+      (fun v i ->
+        check_value ~value_bytes v;
+        check_index ~n i;
+        Bytes.copy v);
+    decode =
+      (fun blocks ->
+        match dedup_blocks blocks with
+        | [] -> None
+        | (_, b) :: _ -> if Bytes.length b = value_bytes then Some (Bytes.copy b) else None);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Striping (k-of-k split, no redundancy)                              *)
+(* ------------------------------------------------------------------ *)
+
+let striping ~value_bytes ~k =
+  if k < 1 then invalid_arg "Codec.striping: k must be >= 1";
+  let frag = (value_bytes + k - 1) / k in
+  let frag = max frag 1 in
+  {
+    name = Printf.sprintf "striping(k=%d)" k;
+    k;
+    n = Some k;
+    value_bytes;
+    block_bytes = (fun i -> check_index ~n:k i; frag);
+    encode =
+      (fun v i ->
+        check_value ~value_bytes v;
+        check_index ~n:k i;
+        (Sb_util.Bytesx.chunks v ~size:frag ~count:k).(i));
+    decode =
+      (fun blocks ->
+        let blocks = dedup_blocks blocks in
+        let have = Hashtbl.create k in
+        List.iter (fun (i, b) -> if i >= 0 && i < k then Hashtbl.replace have i b) blocks;
+        if Hashtbl.length have < k then None
+        else
+          let cs = Array.init k (fun i -> Hashtbl.find have i) in
+          if Array.exists (fun c -> Bytes.length c <> frag) cs then None
+          else Some (Sb_util.Bytesx.concat_chunks cs ~len:value_bytes));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Single parity (RAID-5 style): k data fragments + 1 xor block        *)
+(* ------------------------------------------------------------------ *)
+
+let parity ~value_bytes ~k =
+  if k < 1 then invalid_arg "Codec.parity: k must be >= 1";
+  let n = k + 1 in
+  let frag = max 1 ((value_bytes + k - 1) / k) in
+  let fragments v = Sb_util.Bytesx.chunks v ~size:frag ~count:k in
+  let parity_of frags =
+    let out = Bytes.make frag '\000' in
+    Array.iter (fun f -> Sb_util.Bytesx.xor_into ~src:f ~dst:out) frags;
+    out
+  in
+  let encode v i =
+    check_value ~value_bytes v;
+    check_index ~n i;
+    let frags = fragments v in
+    if i < k then frags.(i) else parity_of frags
+  in
+  let decode blocks =
+    let blocks = dedup_blocks blocks in
+    let have = Hashtbl.create n in
+    List.iter
+      (fun (i, b) -> if i >= 0 && i < n && Bytes.length b = frag then Hashtbl.replace have i b)
+      blocks;
+    if Hashtbl.length have < k then None
+    else begin
+      let missing =
+        List.filter (fun i -> not (Hashtbl.mem have i)) (List.init k Fun.id)
+      in
+      match missing with
+      | [] ->
+        let frags = Array.init k (Hashtbl.find have) in
+        Some (Sb_util.Bytesx.concat_chunks frags ~len:value_bytes)
+      | [ j ] when Hashtbl.mem have k ->
+        (* Reconstruct the missing fragment from the parity. *)
+        let rebuilt = Bytes.copy (Hashtbl.find have k) in
+        List.iter
+          (fun i ->
+            if i <> j then Sb_util.Bytesx.xor_into ~src:(Hashtbl.find have i) ~dst:rebuilt)
+          (List.init k Fun.id);
+        let frags =
+          Array.init k (fun i -> if i = j then rebuilt else Hashtbl.find have i)
+        in
+        Some (Sb_util.Bytesx.concat_chunks frags ~len:value_bytes)
+      | _ -> None
+    end
+  in
+  {
+    name = Printf.sprintf "parity(k=%d)" k;
+    k;
+    n = Some n;
+    value_bytes;
+    block_bytes = (fun i -> check_index ~n i; frag);
+    encode;
+    decode;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Linear MDS codecs via a generator matrix functor                    *)
+(* ------------------------------------------------------------------ *)
+
+module type PACKED_FIELD = sig
+  include Sb_gf.Field.S
+
+  val elem_bytes : int
+  val get_elem : bytes -> int -> t
+  val set_elem : bytes -> int -> t -> unit
+end
+
+module Packed_gf256 = struct
+  include Sb_gf.Gf256
+
+  let elem_bytes = 1
+  let get_elem b i = Char.code (Bytes.get b i)
+  let set_elem b i v = Bytes.set b i (Char.chr v)
+end
+
+module Packed_gf2p16 = struct
+  include Sb_gf.Gf2p16
+
+  let elem_bytes = 2
+  let get_elem b i = Char.code (Bytes.get b (2 * i)) lor (Char.code (Bytes.get b ((2 * i) + 1)) lsl 8)
+
+  let set_elem b i v =
+    Bytes.set b (2 * i) (Char.chr (v land 0xff));
+    Bytes.set b ((2 * i) + 1) (Char.chr ((v lsr 8) land 0xff))
+end
+
+module Linear (F : PACKED_FIELD) = struct
+  module M = Sb_gf.Matrix.Make (F)
+
+  (* A codec from an [n x k] generator matrix, any [k] rows of which are
+     invertible (MDS property).  The value is padded and split into [k]
+     shards of [shard_elems] field elements; block [i] is row [i] of the
+     generator applied element-wise across shard positions. *)
+  let make ~name ~value_bytes ~k ~n gen =
+    if k < 1 then invalid_arg "Codec.linear: k must be >= 1";
+    if n < k then invalid_arg "Codec.linear: n must be >= k";
+    if M.rows gen <> n || M.cols gen <> k then
+      invalid_arg "Codec.linear: generator has wrong shape";
+    let shard_elems =
+      max 1 ((value_bytes + (k * F.elem_bytes) - 1) / (k * F.elem_bytes))
+    in
+    let shard_bytes = shard_elems * F.elem_bytes in
+    let shards_of_value v =
+      let v = Sb_util.Bytesx.pad_to v (k * shard_bytes) in
+      Array.init k (fun j -> Bytes.sub v (j * shard_bytes) shard_bytes)
+    in
+    let encode v i =
+      check_value ~value_bytes v;
+      check_index ~n i;
+      let shards = shards_of_value v in
+      let out = Bytes.make shard_bytes '\000' in
+      for j = 0 to k - 1 do
+        let coeff = M.get gen i j in
+        if coeff <> F.zero then
+          for p = 0 to shard_elems - 1 do
+            let cur = F.get_elem out p in
+            F.set_elem out p (F.add cur (F.mul coeff (F.get_elem shards.(j) p)))
+          done
+      done;
+      out
+    in
+    let decode blocks =
+      let blocks = dedup_blocks blocks in
+      let blocks =
+        List.filter (fun (i, b) -> i >= 0 && i < n && Bytes.length b = shard_bytes) blocks
+      in
+      if List.length blocks < k then None
+      else begin
+        let chosen = Array.of_list (List.filteri (fun idx _ -> idx < k) blocks) in
+        let rows = Array.map fst chosen in
+        let sub = M.sub_rows gen rows in
+        match M.invert sub with
+        | exception M.Singular -> None
+        | inverse ->
+          let out = Bytes.make (k * shard_bytes) '\000' in
+          (* shard_j[p] = sum_r inverse[j][r] * block_r[p] *)
+          for j = 0 to k - 1 do
+            for r = 0 to k - 1 do
+              let coeff = M.get inverse j r in
+              if coeff <> F.zero then begin
+                let block = snd chosen.(r) in
+                for p = 0 to shard_elems - 1 do
+                  let pos = (j * shard_elems) + p in
+                  let cur = F.get_elem out pos in
+                  F.set_elem out pos (F.add cur (F.mul coeff (F.get_elem block p)))
+                done
+              end
+            done
+          done;
+          Some (Bytes.sub out 0 value_bytes)
+      end
+    in
+    {
+      name;
+      k;
+      n = Some n;
+      value_bytes;
+      block_bytes = (fun i -> check_index ~n i; shard_bytes);
+      encode;
+      decode;
+    }
+
+  (* The paper's Claim 1, made constructive for linear codecs: two
+     values are I-colliding iff their shard vectors differ by an element
+     of the kernel of the generator submatrix G_I.  When |I| < k that
+     kernel is non-trivial (rank <= |I|), so a collision always exists;
+     we realise one by adding a kernel vector at a single element
+     position of each shard, choosing a position that stays inside the
+     un-padded part of the value. *)
+  let colliding_value ~value_bytes ~k gen ~indices ~base =
+    if Bytes.length base <> value_bytes then
+      invalid_arg "Codec.colliding_value: base value size mismatch";
+    let indices = List.sort_uniq Int.compare indices in
+    if List.exists (fun i -> i < 0 || i >= M.rows gen) indices then
+      invalid_arg "Codec.colliding_value: index out of range";
+    let shard_elems =
+      max 1 ((value_bytes + (k * F.elem_bytes) - 1) / (k * F.elem_bytes))
+    in
+    let shard_bytes = shard_elems * F.elem_bytes in
+    let sub = M.sub_rows gen (Array.of_list indices) in
+    let kernel = M.nullspace sub in
+    let realizable kvec p =
+      (* every touched element must lie wholly inside the value *)
+      Array.for_all (fun ok -> ok)
+        (Array.mapi
+           (fun j coeff ->
+             coeff = F.zero
+             || (j * shard_bytes) + ((p + 1) * F.elem_bytes) <= value_bytes)
+           kvec)
+    in
+    let apply kvec p =
+      let v' = Sb_util.Bytesx.pad_to (Bytes.copy base) (k * shard_bytes) in
+      Array.iteri
+        (fun j coeff ->
+          if coeff <> F.zero then begin
+            let pos = ((j * shard_bytes) / F.elem_bytes) + p in
+            F.set_elem v' pos (F.add (F.get_elem v' pos) coeff)
+          end)
+        kvec;
+      Bytes.sub v' 0 value_bytes
+    in
+    let rec search = function
+      | [] -> None
+      | kvec :: rest ->
+        let rec try_pos p =
+          if p >= shard_elems then search rest
+          else if realizable kvec p then Some (apply kvec p)
+          else try_pos (p + 1)
+        in
+        try_pos 0
+    in
+    search kernel
+
+  let vandermonde ~value_bytes ~k ~n =
+    if n > F.order then invalid_arg "Codec.rs_vandermonde: n exceeds field order";
+    (* Any k rows of a Vandermonde matrix with distinct points form a
+       square Vandermonde matrix, hence are invertible: MDS. *)
+    make
+      ~name:(Printf.sprintf "rs-vandermonde%s(k=%d,n=%d)"
+               (if F.bits = 16 then "16" else "") k n)
+      ~value_bytes ~k ~n
+      (M.vandermonde n k)
+
+  let cauchy ~value_bytes ~k ~n =
+    if n > F.order then invalid_arg "Codec.rs_cauchy: n exceeds field order";
+    (* Systematic generator [I; C]: every square submatrix of a Cauchy
+       matrix is invertible, which extends to any k rows of [I; C]. *)
+    let parity = if n > k then M.cauchy (n - k) k else M.create 0 k in
+    let gen =
+      M.init n k (fun i j ->
+          if i < k then (if i = j then F.one else F.zero)
+          else M.get parity (i - k) j)
+    in
+    make ~name:(Printf.sprintf "rs-cauchy(k=%d,n=%d)" k n) ~value_bytes ~k ~n gen
+end
+
+module Lin8 = Linear (Packed_gf256)
+module Lin16 = Linear (Packed_gf2p16)
+
+let rs_vandermonde ~value_bytes ~k ~n = Lin8.vandermonde ~value_bytes ~k ~n
+let rs_vandermonde16 ~value_bytes ~k ~n = Lin16.vandermonde ~value_bytes ~k ~n
+let rs_cauchy ~value_bytes ~k ~n = Lin8.cauchy ~value_bytes ~k ~n
+
+let rs_vandermonde_colliding ~value_bytes ~k ~n ~indices ~base =
+  Lin8.colliding_value ~value_bytes ~k (Lin8.M.vandermonde n k) ~indices ~base
+
+let rs_cauchy_colliding ~value_bytes ~k ~n ~indices ~base =
+  let parity =
+    if n > k then Lin8.M.cauchy (n - k) k else Lin8.M.create 0 k
+  in
+  let gen =
+    Lin8.M.init n k (fun i j ->
+        if i < k then (if i = j then 1 else 0) else Lin8.M.get parity (i - k) j)
+  in
+  Lin8.colliding_value ~value_bytes ~k gen ~indices ~base
+
+(* ------------------------------------------------------------------ *)
+(* LT fountain code (rateless)                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Robust-soliton cumulative distribution over degrees 1..k. *)
+let robust_soliton_cdf k =
+  let c = 0.1 and delta = 0.5 in
+  let r = c *. log (float_of_int k /. delta) *. sqrt (float_of_int k) in
+  let kf = float_of_int k in
+  let spike = int_of_float (Float.round (kf /. r)) in
+  let spike = max 1 (min k spike) in
+  let rho d = if d = 1 then 1.0 /. kf else 1.0 /. (float_of_int d *. float_of_int (d - 1)) in
+  let tau d =
+    if d < spike then r /. (float_of_int d *. kf)
+    else if d = spike then r *. log (r /. delta) /. kf
+    else 0.0
+  in
+  let weights = Array.init k (fun i -> rho (i + 1) +. tau (i + 1)) in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let cdf = Array.make k 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i w ->
+      acc := !acc +. (w /. total);
+      cdf.(i) <- !acc)
+    weights;
+  cdf.(k - 1) <- 1.0;
+  cdf
+
+let sample_degree cdf prng =
+  let u = Sb_util.Prng.float prng 1.0 in
+  let rec go i = if i >= Array.length cdf - 1 || u <= cdf.(i) then i + 1 else go (i + 1) in
+  go 0
+
+(* Deterministic neighbour set for block [i]: degree and fragment subset
+   are derived from a PRNG seeded with (seed, i), so E(v, i) is a pure
+   function of (v, i) as the paper's model requires. *)
+let lt_neighbours ~seed ~k ~cdf i =
+  let prng = Sb_util.Prng.create ((seed * 0x9e3779b1) lxor ((i + 1) * 0x85ebca6b)) in
+  let d = sample_degree cdf prng in
+  let chosen = Array.make k false in
+  let count = ref 0 in
+  while !count < d do
+    let j = Sb_util.Prng.int prng k in
+    if not chosen.(j) then begin
+      chosen.(j) <- true;
+      incr count
+    end
+  done;
+  chosen
+
+let fountain ?(seed = 0) ~value_bytes ~k () =
+  if k < 1 then invalid_arg "Codec.fountain: k must be >= 1";
+  let frag = max 1 ((value_bytes + k - 1) / k) in
+  let cdf = robust_soliton_cdf k in
+  let fragments v = Sb_util.Bytesx.chunks v ~size:frag ~count:k in
+  let encode v i =
+    check_value ~value_bytes v;
+    check_index i;
+    let neighbours = lt_neighbours ~seed ~k ~cdf i in
+    let frags = fragments v in
+    let out = Bytes.make frag '\000' in
+    Array.iteri (fun j on -> if on then Sb_util.Bytesx.xor_into ~src:frags.(j) ~dst:out) neighbours;
+    out
+  in
+  (* Decoding = Gaussian elimination over GF(2) on the k fragment
+     unknowns; strictly more powerful than peeling, so any full-rank set
+     of received blocks decodes. *)
+  let decode blocks =
+    let blocks = dedup_blocks blocks in
+    let blocks = List.filter (fun (i, b) -> i >= 0 && Bytes.length b = frag) blocks in
+    let rows =
+      List.map
+        (fun (i, b) -> (Array.copy (lt_neighbours ~seed ~k ~cdf i), Bytes.copy b))
+        blocks
+    in
+    let pivots = Array.make k None in
+    let reduce (coeffs, rhs) =
+      for j = 0 to k - 1 do
+        if coeffs.(j) then
+          match pivots.(j) with
+          | Some (pc, pr) ->
+            for j' = 0 to k - 1 do
+              coeffs.(j') <- coeffs.(j') <> pc.(j')
+            done;
+            Sb_util.Bytesx.xor_into ~src:pr ~dst:rhs
+          | None -> ()
+      done;
+      match Array.find_index (fun on -> on) coeffs with
+      | Some j -> pivots.(j) <- Some (coeffs, rhs)
+      | None -> ()
+    in
+    List.iter reduce rows;
+    if Array.exists (fun p -> p = None) pivots then None
+    else begin
+      (* Back-substitute to make the system diagonal. *)
+      for j = k - 1 downto 0 do
+        match pivots.(j) with
+        | None -> assert false
+        | Some (coeffs, rhs) ->
+          for j' = j + 1 to k - 1 do
+            if coeffs.(j') then begin
+              (match pivots.(j') with
+               | Some (_, pr) -> Sb_util.Bytesx.xor_into ~src:pr ~dst:rhs
+               | None -> assert false);
+              coeffs.(j') <- false
+            end
+          done
+      done;
+      let frags =
+        Array.init k (fun j ->
+            match pivots.(j) with Some (_, rhs) -> rhs | None -> assert false)
+      in
+      Some (Sb_util.Bytesx.concat_chunks frags ~len:value_bytes)
+    end
+  in
+  {
+    name = Printf.sprintf "fountain(k=%d)" k;
+    k;
+    n = None;
+    value_bytes;
+    block_bytes = (fun i -> check_index i; frag);
+    encode;
+    decode;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Symmetry check                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let is_symmetric ?indices ?(trials = 16) ?(seed = 42) c =
+  let indices =
+    match indices with
+    | Some is -> is
+    | None ->
+      let upper = match c.n with Some n -> min n 32 | None -> 32 in
+      List.init upper (fun i -> i)
+  in
+  let prng = Sb_util.Prng.create seed in
+  List.for_all
+    (fun i ->
+      let expected = c.block_bytes i in
+      let ok = ref true in
+      for _ = 1 to trials do
+        let v = Sb_util.Prng.bytes prng c.value_bytes in
+        if Bytes.length (c.encode v i) <> expected then ok := false
+      done;
+      !ok)
+    indices

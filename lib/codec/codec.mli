@@ -1,0 +1,117 @@
+(** Symmetric black-box coding schemes (Section 3 of the paper).
+
+    A codec packages the paper's encoding function [E : V x N -> E] and
+    decoding function [D : 2^E -> V + bot] for a fixed value size.  Values
+    are byte strings of exactly [value_bytes] bytes, so the paper's data
+    size is [D = 8 * value_bytes] bits.
+
+    All codecs in this library are {e symmetric} (Definition 3): the size
+    of block [i] depends only on [i], never on the encoded value.  The
+    test suite checks this property for every codec. *)
+
+type t = {
+  name : string;
+  (** Human-readable identifier, e.g. ["rs-vandermonde(3,5)"]. *)
+  k : int;
+  (** Number of distinct blocks sufficient to decode.  [k = 1] is
+      replication. *)
+  n : int option;
+  (** Number of distinct blocks the encoder produces, or [None] for a
+      rateless codec that can produce blocks for every [i] in ℕ. *)
+  value_bytes : int;
+  (** Size of every value in bytes; the paper's [D] is [8 * value_bytes]
+      bits. *)
+  block_bytes : int -> int;
+  (** [block_bytes i] is the size in bytes of block number [i]; constant
+      across values (symmetry). *)
+  encode : bytes -> int -> bytes;
+  (** [encode v i] is the paper's [E(v, i)].  Raises [Invalid_argument] if
+      [v] is not [value_bytes] long or [i] is out of range for a
+      fixed-rate codec. *)
+  decode : (int * bytes) list -> bytes option;
+  (** [decode blocks] is the paper's [D]: [Some v] if the supplied
+      [(index, block)] pairs determine a value, [None] otherwise.
+      Duplicate indices are tolerated (the first occurrence wins). *)
+}
+
+val value_bits : t -> int
+(** The paper's [D] in bits. *)
+
+val block_bits : t -> int -> int
+(** [block_bits c i] is the size of block [i] in bits. *)
+
+val max_index : t -> int option
+(** Largest valid block number plus one ([n]), or [None] if rateless. *)
+
+val dedup_blocks : (int * bytes) list -> (int * bytes) list
+(** Keeps the first block for each index, preserving order; helper shared
+    by decoder implementations. *)
+
+val replication : value_bytes:int -> n:int -> t
+(** Full replication: every block is the value itself; [k = 1].  This is
+    the codec under which the paper's adaptive algorithm degenerates to
+    ABD-style replication. *)
+
+val striping : value_bytes:int -> k:int -> t
+(** Split into [k] fragments with no redundancy: block [i] is the [i]-th
+    fragment, [n = k].  Decoding needs all [k] distinct fragments.  Useful
+    as a degenerate erasure code in tests. *)
+
+val parity : value_bytes:int -> k:int -> t
+(** RAID-5-style single parity: blocks [0 .. k-1] are the data fragments
+    and block [k] is their xor, so [n = k + 1] and any [k] blocks decode.
+    The cheapest non-trivial MDS code; its [(k+2)D/k]-for-one-failure
+    cost is the paper's introduction example. *)
+
+val rs_vandermonde : value_bytes:int -> k:int -> n:int -> t
+(** Classic Reed–Solomon over GF(2^8): the value is split into [k] data
+    shards that form polynomial coefficients; block [i] is the evaluation
+    at the [i]-th point.  Any [k] distinct blocks decode.  Requires
+    [k <= n <= 256]. *)
+
+val rs_vandermonde16 : value_bytes:int -> k:int -> n:int -> t
+(** Same construction over GF(2^16), for [n] up to 65536.  Values are
+    padded to an even number of bytes internally. *)
+
+val rs_cauchy : value_bytes:int -> k:int -> n:int -> t
+(** Systematic Reed–Solomon over GF(2^8) from the matrix [[I; Cauchy]]:
+    blocks [0 .. k-1] are the raw data shards; any [k] of the [n] blocks
+    decode.  Requires [n <= 256]. *)
+
+val fountain : ?seed:int -> value_bytes:int -> k:int -> unit -> t
+(** Rateless LT code with a robust-soliton degree distribution: block [i]
+    is the xor of a pseudo-random subset of the [k] source fragments
+    derived deterministically from [i] (and [seed], default 0).  Decoding
+    uses belief-propagation peeling backed by Gaussian elimination over
+    GF(2), so any set of blocks whose equations have full rank decodes;
+    [k] blocks {e may} not suffice, matching the paper's remark that
+    rateless codes use ℕ as the block-number domain. *)
+
+(** {1 Colliding values (Claim 1, constructive)}
+
+    The lower-bound proof rests on a pigeonhole argument: if the storage
+    holds fewer than [D] bits of a write's blocks (distinct indices
+    [I]), then two different values are {e I-colliding} — they produce
+    identical blocks at every index in [I].  For linear codecs this is
+    constructive: collisions are kernel elements of the generator
+    submatrix [G_I].  These functions compute an actual colliding
+    partner for a given value, or [None] when [I] already determines
+    the value (e.g. [|I| >= k], where the MDS property forbids
+    collisions). *)
+
+val rs_vandermonde_colliding :
+  value_bytes:int -> k:int -> n:int -> indices:int list -> base:bytes -> bytes option
+(** [Some v'] with [v' <> base] and
+    [encode v' i = encode base i] for every [i] in [indices], for the
+    codec {!rs_vandermonde} with the same parameters.  May also return
+    [None] on tiny padded values where no collision is expressible
+    inside the value's bytes. *)
+
+val rs_cauchy_colliding :
+  value_bytes:int -> k:int -> n:int -> indices:int list -> base:bytes -> bytes option
+(** Same for {!rs_cauchy}. *)
+
+val is_symmetric : ?indices:int list -> ?trials:int -> ?seed:int -> t -> bool
+(** Empirical check of Definition 3: encodes [trials] random value pairs
+    (default 16) at each index (default: [0 .. min (n-1) 31] or
+    [0 .. 31]) and verifies block sizes agree.  Used by the test suite. *)

@@ -1,0 +1,60 @@
+module R = Sb_sim.Runtime
+
+type measurement = {
+  algorithm : string;
+  steps : int;
+  quiescent : bool;
+  max_obj_bits : int;
+  max_total_bits : int;
+  final_obj_bits : int;
+  completed_writes : int;
+  completed_reads : int;
+  invoked_writes : int;
+  invoked_reads : int;
+  max_read_rounds : int;
+  history : Sb_spec.History.t;
+  weak : Sb_spec.Regularity.verdict;
+  strong : Sb_spec.Regularity.verdict;
+}
+
+let measure ?(seed = 1) ?(max_steps = 2_000_000) ?policy ~algorithm
+    ~(cfg : Sb_registers.Common.config) ~workload () =
+  let policy = match policy with Some p -> p | None -> R.random_policy ~seed () in
+  let w = R.create ~seed ~algorithm ~n:cfg.n ~f:cfg.f ~workload () in
+  let outcome = R.run ~max_steps w policy in
+  let ops = Sb_sim.Trace.operations (R.trace w) in
+  let count pred = List.length (List.filter pred ops) in
+  let is_write (_, kind, _, _, _) =
+    match kind with Sb_sim.Trace.Write _ -> true | _ -> false
+  in
+  let is_read op = not (is_write op) in
+  let returned (_, _, _, ret, _) = ret <> None in
+  let history =
+    Sb_spec.History.of_trace ~initial:(Sb_registers.Common.initial_value cfg)
+      (R.trace w)
+  in
+  {
+    algorithm = algorithm.R.name;
+    steps = outcome.steps;
+    quiescent = outcome.quiescent;
+    max_obj_bits = R.max_bits_objects w;
+    max_total_bits = R.max_bits_total w;
+    final_obj_bits = R.storage_bits_objects w;
+    completed_writes = count (fun op -> is_write op && returned op);
+    completed_reads = count (fun op -> is_read op && returned op);
+    invoked_writes = count is_write;
+    invoked_reads = count is_read;
+    max_read_rounds = R.max_read_rounds w;
+    history;
+    weak = Sb_spec.Regularity.check_weak history;
+    strong = Sb_spec.Regularity.check_strong history;
+  }
+
+let measure_many ?(seeds = [ 1; 2; 3; 4; 5 ]) ?max_steps ~algorithm ~cfg ~workload () =
+  List.map (fun seed -> measure ~seed ?max_steps ~algorithm ~cfg ~workload ()) seeds
+
+let worst ms =
+  match ms with
+  | [] -> invalid_arg "Runs.worst: no measurements"
+  | m :: rest ->
+    List.fold_left (fun best m -> if m.max_obj_bits > best.max_obj_bits then m else best) m rest

@@ -1,0 +1,51 @@
+(** One-stop measurement runner used by every experiment.
+
+    Runs an algorithm on a workload under a scheduling policy and
+    collects the quantities the paper's claims are stated in: the two
+    storage maxima, the final (post-GC) storage, operation completion
+    counts, read round counts, and the consistency verdicts of the
+    resulting history. *)
+
+type measurement = {
+  algorithm : string;
+  steps : int;
+  quiescent : bool;
+  max_obj_bits : int;     (** Max over time of base-object storage. *)
+  max_total_bits : int;   (** Same, including in-flight RMW payloads. *)
+  final_obj_bits : int;   (** Base-object storage when the run ended. *)
+  completed_writes : int;
+  completed_reads : int;
+  invoked_writes : int;
+  invoked_reads : int;
+  max_read_rounds : int;  (** Largest number of [readValue] rounds any
+                              completed read needed. *)
+  history : Sb_spec.History.t;
+  weak : Sb_spec.Regularity.verdict;
+  strong : Sb_spec.Regularity.verdict;
+}
+
+val measure :
+  ?seed:int ->
+  ?max_steps:int ->
+  ?policy:Sb_sim.Runtime.policy ->
+  algorithm:Sb_sim.Runtime.algorithm ->
+  cfg:Sb_registers.Common.config ->
+  workload:Sb_sim.Trace.op_kind list array ->
+  unit ->
+  measurement
+(** Defaults: the fair seeded random policy, 2,000,000 steps. *)
+
+val measure_many :
+  ?seeds:int list ->
+  ?max_steps:int ->
+  algorithm:Sb_sim.Runtime.algorithm ->
+  cfg:Sb_registers.Common.config ->
+  workload:Sb_sim.Trace.op_kind list array ->
+  unit ->
+  measurement list
+(** The same workload under several random schedules (defaults: seeds
+    1–5); experiments report the worst (max-storage) run, matching the
+    paper's worst-case storage-cost definition. *)
+
+val worst : measurement list -> measurement
+(** The measurement with the largest [max_obj_bits]. *)

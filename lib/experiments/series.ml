@@ -1,0 +1,56 @@
+type t = (int * int) list (* newest first internally *)
+
+let record ~probe policy =
+  let acc = ref [] in
+  let policy' w =
+    acc := (Sb_sim.Runtime.time w, probe w) :: !acc;
+    policy w
+  in
+  (policy', fun () -> !acc)
+
+let samples t = List.rev t
+let length t = List.length t
+let peak t = List.fold_left (fun m (_, v) -> max m v) 0 t
+let final t = match t with (_, v) :: _ -> v | [] -> 0
+
+let at_fraction t frac =
+  if frac < 0.0 || frac > 1.0 then invalid_arg "Series.at_fraction: out of range";
+  match samples t with
+  | [] -> invalid_arg "Series.at_fraction: empty series"
+  | s ->
+    let arr = Array.of_list s in
+    let idx = int_of_float (frac *. float_of_int (Array.length arr - 1)) in
+    snd arr.(idx)
+
+let sparkline ?(width = 60) ?(height = 12) t =
+  match samples t with
+  | [] -> ""
+  | s ->
+    let arr = Array.of_list s in
+    let total = Array.length arr in
+    let top = peak t in
+    if top = 0 then ""
+    else begin
+      let bucket = max 1 (total / width) in
+      let columns = min width (((total - 1) / bucket) + 1) in
+      let column_max col =
+        let lo = col * bucket and hi = min total ((col + 1) * bucket) in
+        let m = ref 0 in
+        for i = lo to hi - 1 do
+          m := max !m (snd arr.(i))
+        done;
+        !m
+      in
+      let buf = Buffer.create ((columns + 12) * height) in
+      for row = 0 to height - 1 do
+        let threshold = top * (height - row) / height in
+        Buffer.add_string buf (Printf.sprintf "%8d |" threshold);
+        for col = 0 to columns - 1 do
+          Buffer.add_char buf
+            (if column_max col >= threshold && threshold > 0 then '#' else ' ')
+        done;
+        Buffer.add_char buf '\n'
+      done;
+      Buffer.add_string buf (Printf.sprintf "         +%s\n" (String.make columns '-'));
+      Buffer.contents buf
+    end

@@ -1,0 +1,37 @@
+(** Time series of simulation quantities, sampled at every scheduling
+    decision.
+
+    Used to plot storage trajectories (the paper's "storage cost at time
+    t", Definition 2) as text charts, and to compute peaks over runs.
+    The sampler wraps any scheduling policy, so recording is transparent
+    to the run. *)
+
+type t
+(** An ordered sequence of [(time, value)] samples. *)
+
+val record :
+  probe:(Sb_sim.Runtime.world -> int) ->
+  Sb_sim.Runtime.policy ->
+  Sb_sim.Runtime.policy * (unit -> t)
+(** [record ~probe policy] is [(policy', get)]: [policy'] behaves like
+    [policy] but samples [probe world] before every decision; [get ()]
+    returns the samples collected so far. *)
+
+val samples : t -> (int * int) list
+val length : t -> int
+val peak : t -> int
+(** Largest sampled value (0 for an empty series). *)
+
+val final : t -> int
+(** Last sampled value (0 for an empty series). *)
+
+val at_fraction : t -> float -> int
+(** [at_fraction s 0.5] is the sample value halfway through the series
+    (by sample index).  Raises [Invalid_argument] outside [0, 1] or on
+    an empty series. *)
+
+val sparkline : ?width:int -> ?height:int -> t -> string
+(** A text chart ([width] columns, default 60; [height] rows, default
+    12): each column shows the maximum sampled value in its bucket,
+    with a y-axis of absolute values.  Returns [""] for an empty
+    series. *)

@@ -1,0 +1,20 @@
+(** Summary statistics over integer samples (storage bits, round counts,
+    step counts), used when an experiment reports across many seeds. *)
+
+type summary = {
+  count : int;
+  min : int;
+  max : int;
+  mean : float;
+  stddev : float;  (** Population standard deviation; 0 for one sample. *)
+  median : float;
+}
+
+val summarize : int list -> summary
+(** Raises [Invalid_argument] on an empty list. *)
+
+val percentile : int list -> p:float -> float
+(** Linear-interpolation percentile, [0 <= p <= 100]. *)
+
+val pp : Format.formatter -> summary -> unit
+(** Renders as ["min/median/max (mean ± sd)"]. *)

@@ -1,0 +1,19 @@
+let distinct_value ~value_bytes i = Sb_util.Values.distinct ~value_bytes i
+
+let writers_only ~value_bytes ~c ~writes_each =
+  Array.init c (fun i ->
+      List.init writes_each (fun j ->
+          Sb_sim.Trace.Write (distinct_value ~value_bytes ((i * writes_each) + j))))
+
+let writers_and_readers ~value_bytes ~writers ~writes_each ~readers ~reads_each =
+  let ws = writers_only ~value_bytes ~c:writers ~writes_each in
+  let rs = Array.init readers (fun _ -> List.init reads_each (fun _ -> Sb_sim.Trace.Read)) in
+  Array.append ws rs
+
+let value_index ~value_bytes v =
+  let rec go i =
+    if i >= 4096 then None
+    else if Bytes.equal (distinct_value ~value_bytes i) v then Some i
+    else go (i + 1)
+  in
+  go 0

@@ -1,0 +1,28 @@
+(** Workload generators for the experiments.
+
+    A workload assigns each client a queue of operations; the paper's
+    concurrency level [c] is realised by giving [c] distinct writer
+    clients overlapping writes. *)
+
+val distinct_value : value_bytes:int -> int -> bytes
+(** [distinct_value ~value_bytes i] is a value unique to [i], never equal
+    to the all-zero initial value, with every code piece differing across
+    values — so histories attribute read results unambiguously. *)
+
+val writers_only :
+  value_bytes:int -> c:int -> writes_each:int -> Sb_sim.Trace.op_kind list array
+(** [c] writer clients, each performing [writes_each] writes of distinct
+    values. *)
+
+val writers_and_readers :
+  value_bytes:int ->
+  writers:int ->
+  writes_each:int ->
+  readers:int ->
+  reads_each:int ->
+  Sb_sim.Trace.op_kind list array
+(** Writers first (clients [0 .. writers-1]), then reader clients. *)
+
+val value_index : value_bytes:int -> bytes -> int option
+(** Inverse of {!distinct_value} by search over the first 4096 indices
+    (diagnostics). *)

@@ -1,0 +1,81 @@
+type t = int
+
+let order = 256
+let bits = 8
+let zero = 0
+let one = 1
+let generator = 2
+
+(* Primitive polynomial x^8 + x^4 + x^3 + x^2 + 1. *)
+let poly = 0x11d
+
+let mul_slow a b =
+  let rec go a b acc =
+    if b = 0 then acc
+    else
+      let acc = if b land 1 <> 0 then acc lxor a else acc in
+      let a = a lsl 1 in
+      let a = if a land 0x100 <> 0 then a lxor poly else a in
+      go a (b lsr 1) acc
+  in
+  go a b 0
+
+let exp_table = Array.make 512 0
+let log_table = Array.make 256 0
+
+let () =
+  let x = ref 1 in
+  for i = 0 to 254 do
+    exp_table.(i) <- !x;
+    log_table.(!x) <- i;
+    x := mul_slow !x generator
+  done;
+  (* Duplicate so that exp_table.(log a + log b) needs no reduction. *)
+  for i = 255 to 511 do
+    exp_table.(i) <- exp_table.(i - 255)
+  done
+
+let add = ( lxor )
+let sub = ( lxor )
+
+let mul a b =
+  if a = 0 || b = 0 then 0
+  else exp_table.(log_table.(a) + log_table.(b))
+
+let inv a =
+  if a = 0 then raise Division_by_zero
+  else exp_table.(255 - log_table.(a))
+
+let div a b =
+  if b = 0 then raise Division_by_zero
+  else if a = 0 then 0
+  else exp_table.(log_table.(a) + 255 - log_table.(b))
+
+let pow a e =
+  if e < 0 then invalid_arg "Gf256.pow: negative exponent";
+  if e = 0 then 1
+  else if a = 0 then 0
+  else exp_table.(log_table.(a) * e mod 255)
+
+let exp i =
+  let i = ((i mod 255) + 255) mod 255 in
+  exp_table.(i)
+
+let log a = if a = 0 then raise Division_by_zero else log_table.(a)
+
+let mul_bytes_into ~coeff ~src ~dst =
+  let n = Bytes.length dst in
+  if Bytes.length src <> n then invalid_arg "Gf256.mul_bytes_into: length mismatch";
+  if coeff = 0 then ()
+  else if coeff = 1 then Sb_util.Bytesx.xor_into ~src ~dst
+  else begin
+    let lc = log_table.(coeff) in
+    for i = 0 to n - 1 do
+      let s = Char.code (Bytes.unsafe_get src i) in
+      if s <> 0 then
+        Bytes.unsafe_set dst i
+          (Char.unsafe_chr
+             (Char.code (Bytes.unsafe_get dst i)
+              lxor exp_table.(lc + log_table.(s))))
+    done
+  end

@@ -1,0 +1,16 @@
+(** GF(2^8), the field used by the default Reed–Solomon codec.
+
+    The field is constructed from the AES/Rijndael primitive polynomial
+    x^8 + x^4 + x^3 + x^2 + 1 (0x11d) with generator 2.  Multiplication
+    and inversion go through precomputed log/antilog tables. *)
+
+include Field.S
+
+val mul_slow : t -> t -> t
+(** Table-free carry-less ("Russian peasant") multiplication, kept as a
+    test oracle for the table-driven {!mul}. *)
+
+val mul_bytes_into : coeff:t -> src:bytes -> dst:bytes -> unit
+(** [mul_bytes_into ~coeff ~src ~dst] adds [coeff * src] into [dst]
+    element-wise, treating each byte as a field element — the inner loop of
+    Reed–Solomon encoding. *)

@@ -1,0 +1,63 @@
+type t = int
+
+let order = 65536
+let bits = 16
+let zero = 0
+let one = 1
+let generator = 3
+
+(* Primitive polynomial x^16 + x^12 + x^3 + x + 1. *)
+let poly = 0x1100b
+
+let mul_slow a b =
+  let rec go a b acc =
+    if b = 0 then acc
+    else
+      let acc = if b land 1 <> 0 then acc lxor a else acc in
+      let a = a lsl 1 in
+      let a = if a land 0x10000 <> 0 then a lxor poly else a in
+      go a (b lsr 1) acc
+  in
+  go a b 0
+
+let exp_table = Array.make (2 * 65535) 0
+let log_table = Array.make 65536 0
+
+let () =
+  let x = ref 1 in
+  for i = 0 to 65534 do
+    exp_table.(i) <- !x;
+    log_table.(!x) <- i;
+    x := mul_slow !x generator
+  done;
+  for i = 65535 to (2 * 65535) - 1 do
+    exp_table.(i) <- exp_table.(i - 65535)
+  done
+
+let add = ( lxor )
+let sub = ( lxor )
+
+let mul a b =
+  if a = 0 || b = 0 then 0
+  else exp_table.(log_table.(a) + log_table.(b))
+
+let inv a =
+  if a = 0 then raise Division_by_zero
+  else exp_table.(65535 - log_table.(a))
+
+let div a b =
+  if b = 0 then raise Division_by_zero
+  else if a = 0 then 0
+  else exp_table.(log_table.(a) + 65535 - log_table.(b))
+
+let pow a e =
+  if e < 0 then invalid_arg "Gf2p16.pow: negative exponent";
+  if e = 0 then 1
+  else if a = 0 then 0
+  else exp_table.(log_table.(a) * e mod 65535)
+
+let exp i =
+  let i = ((i mod 65535) + 65535) mod 65535 in
+  exp_table.(i)
+
+let log a = if a = 0 then raise Division_by_zero else log_table.(a)

@@ -1,0 +1,10 @@
+(** GF(2^16), for Reed–Solomon instances with more than 255 shares.
+
+    Constructed from the primitive polynomial
+    x^16 + x^12 + x^3 + x + 1 (0x1100b) with generator 3.  Tables are
+    built once at module initialisation (256 KiB of antilogs). *)
+
+include Field.S
+
+val mul_slow : t -> t -> t
+(** Table-free multiplication, used as a test oracle. *)

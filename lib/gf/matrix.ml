@@ -1,0 +1,226 @@
+(** Dense linear algebra over a finite field.
+
+    This is a functor so the Reed–Solomon codec can run over GF(2^8) or
+    GF(2^16).  Matrices are immutable from the caller's point of view:
+    every operation returns a fresh matrix. *)
+
+module Make (F : Field.S) = struct
+  type t = { rows : int; cols : int; data : int array }
+  (** Row-major storage; element [(i, j)] lives at [data.(i * cols + j)]. *)
+
+  let create rows cols =
+    if rows < 0 || cols < 0 then invalid_arg "Matrix.create: negative dimension";
+    { rows; cols; data = Array.make (rows * cols) F.zero }
+
+  let rows m = m.rows
+  let cols m = m.cols
+
+  let get m i j =
+    if i < 0 || i >= m.rows || j < 0 || j >= m.cols then
+      invalid_arg "Matrix.get: out of bounds";
+    m.data.((i * m.cols) + j)
+
+  let set m i j v =
+    if i < 0 || i >= m.rows || j < 0 || j >= m.cols then
+      invalid_arg "Matrix.set: out of bounds";
+    if v < 0 || v >= F.order then invalid_arg "Matrix.set: not a field element";
+    m.data.((i * m.cols) + j) <- v
+
+  let init rows cols f =
+    let m = create rows cols in
+    for i = 0 to rows - 1 do
+      for j = 0 to cols - 1 do
+        set m i j (f i j)
+      done
+    done;
+    m
+
+  let copy m = { m with data = Array.copy m.data }
+
+  let identity n = init n n (fun i j -> if i = j then F.one else F.zero)
+
+  let equal a b = a.rows = b.rows && a.cols = b.cols && a.data = b.data
+
+  let mul a b =
+    if a.cols <> b.rows then invalid_arg "Matrix.mul: dimension mismatch";
+    let out = create a.rows b.cols in
+    for i = 0 to a.rows - 1 do
+      for k = 0 to a.cols - 1 do
+        let aik = get a i k in
+        if aik <> F.zero then
+          for j = 0 to b.cols - 1 do
+            let cur = get out i j in
+            set out i j (F.add cur (F.mul aik (get b k j)))
+          done
+      done
+    done;
+    out
+
+  let apply m v =
+    if m.cols <> Array.length v then invalid_arg "Matrix.apply: dimension mismatch";
+    Array.init m.rows (fun i ->
+        let acc = ref F.zero in
+        for j = 0 to m.cols - 1 do
+          acc := F.add !acc (F.mul (get m i j) v.(j))
+        done;
+        !acc)
+
+  let swap_rows m i j =
+    if i <> j then
+      for col = 0 to m.cols - 1 do
+        let tmp = get m i col in
+        set m i col (get m j col);
+        set m j col tmp
+      done
+
+  let scale_row m i coeff =
+    for col = 0 to m.cols - 1 do
+      set m i col (F.mul coeff (get m i col))
+    done
+
+  (* row i <- row i + coeff * row j *)
+  let add_scaled_row m i j coeff =
+    if coeff <> F.zero then
+      for col = 0 to m.cols - 1 do
+        set m i col (F.add (get m i col) (F.mul coeff (get m j col)))
+      done
+
+  exception Singular
+
+  (* Gauss–Jordan elimination of [m], applying the same row operations to
+     [companion] (which carries the identity for inversion, or a
+     right-hand side for solving). *)
+  let eliminate m companion =
+    if m.rows <> m.cols then invalid_arg "Matrix.eliminate: not square";
+    let n = m.rows in
+    for col = 0 to n - 1 do
+      (* Find a pivot at or below the diagonal. *)
+      let pivot = ref (-1) in
+      (try
+         for row = col to n - 1 do
+           if get m row col <> F.zero then begin
+             pivot := row;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      if !pivot < 0 then raise Singular;
+      swap_rows m col !pivot;
+      swap_rows companion col !pivot;
+      let inv_pivot = F.inv (get m col col) in
+      scale_row m col inv_pivot;
+      scale_row companion col inv_pivot;
+      for row = 0 to n - 1 do
+        if row <> col then begin
+          let coeff = get m row col in
+          add_scaled_row m row col coeff;
+          add_scaled_row companion row col coeff
+        end
+      done
+    done
+
+  let invert m =
+    let work = copy m in
+    let out = identity m.rows in
+    eliminate work out;
+    out
+
+  let solve m rhs =
+    if m.rows <> Array.length rhs then invalid_arg "Matrix.solve: dimension mismatch";
+    let work = copy m in
+    let companion = init m.rows 1 (fun i _ -> rhs.(i)) in
+    eliminate work companion;
+    Array.init m.rows (fun i -> get companion i 0)
+
+  (* A basis of the right kernel {x | M x = 0}, via Gaussian elimination
+     to reduced row-echelon form.  Used by the collision finder that
+     makes the paper's Claim 1 executable: values colliding on a set of
+     stored block indices differ exactly by kernel elements of the
+     generator submatrix. *)
+  let nullspace m =
+    let rows_n = m.rows and cols_n = m.cols in
+    let work = copy m in
+    (* pivot_col.(r) = column of the pivot in row r, -1 if none *)
+    let pivot_of_row = Array.make rows_n (-1) in
+    let pivot_row_of_col = Array.make cols_n (-1) in
+    let r = ref 0 in
+    for col = 0 to cols_n - 1 do
+      if !r < rows_n then begin
+        (* find a pivot in this column at or below row !r *)
+        let pivot = ref (-1) in
+        (try
+           for row = !r to rows_n - 1 do
+             if get work row col <> F.zero then begin
+               pivot := row;
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        if !pivot >= 0 then begin
+          swap_rows work !r !pivot;
+          scale_row work !r (F.inv (get work !r col));
+          for row = 0 to rows_n - 1 do
+            if row <> !r then add_scaled_row work row !r (get work row col)
+          done;
+          pivot_of_row.(!r) <- col;
+          pivot_row_of_col.(col) <- !r;
+          incr r
+        end
+      end
+    done;
+    (* Free columns generate the kernel. *)
+    let basis = ref [] in
+    for col = 0 to cols_n - 1 do
+      if pivot_row_of_col.(col) < 0 then begin
+        let v = Array.make cols_n F.zero in
+        v.(col) <- F.one;
+        for row = 0 to rows_n - 1 do
+          let pc = pivot_of_row.(row) in
+          if pc >= 0 then
+            (* x_pc = - sum over free columns; minus is plus in char 2 *)
+            v.(pc) <- F.add v.(pc) (get work row col)
+        done;
+        basis := v :: !basis
+      end
+    done;
+    List.rev !basis
+
+  let sub_rows m indices =
+    let out = create (Array.length indices) m.cols in
+    Array.iteri
+      (fun oi src ->
+        for j = 0 to m.cols - 1 do
+          set out oi j (get m src j)
+        done)
+      indices;
+    out
+
+  (* Vandermonde matrix with distinct evaluation points x_i = generator^i,
+     padded with the point 0 for row 0 to keep points distinct for any
+     rows < order. Row i = [1, x_i, x_i^2, ...]. *)
+  let vandermonde rows cols =
+    if rows > F.order then invalid_arg "Matrix.vandermonde: too many rows";
+    init rows cols (fun i j ->
+        (* Points: 0, 1, g, g^2, ... are pairwise distinct. *)
+        let x = if i = 0 then F.zero else F.exp (i - 1) in
+        F.pow x j)
+
+  (* Cauchy matrix with x_i = generator^i (i-th distinct nonzero point set)
+     and y_j chosen disjoint from the x set; entry 1/(x_i + y_j). *)
+  let cauchy rows cols =
+    if rows + cols > F.order then invalid_arg "Matrix.cauchy: field too small";
+    init rows cols (fun i j -> F.inv (F.add (i + cols) j))
+    (* x_i = i + cols and y_j = j are disjoint integer point sets, and in
+       characteristic 2 x + y = 0 iff x = y, so every entry is defined. *)
+
+  let to_string m =
+    let buf = Buffer.create 64 in
+    for i = 0 to m.rows - 1 do
+      for j = 0 to m.cols - 1 do
+        if j > 0 then Buffer.add_char buf ' ';
+        Buffer.add_string buf (string_of_int (get m i j))
+      done;
+      Buffer.add_char buf '\n'
+    done;
+    Buffer.contents buf
+end

@@ -1,0 +1,75 @@
+(** Dense linear algebra over a finite field.
+
+    A functor over {!Field.S}, so the Reed–Solomon codecs can run over
+    GF(2^8) or GF(2^16).  Used for encoding (generator-matrix
+    application), decoding (submatrix inversion), and the constructive
+    side of the paper's Claim 1 (kernel computation: values colliding on
+    an index set [I] differ by elements of the kernel of the generator
+    submatrix [G_I]). *)
+
+module Make (F : Field.S) : sig
+  type t
+  (** A matrix with elements of [F], row-major. *)
+
+  val create : int -> int -> t
+  (** [create rows cols] is the all-zero matrix. *)
+
+  val init : int -> int -> (int -> int -> F.t) -> t
+  val rows : t -> int
+  val cols : t -> int
+
+  val get : t -> int -> int -> F.t
+  (** Raises [Invalid_argument] out of bounds. *)
+
+  val set : t -> int -> int -> F.t -> unit
+  (** Raises [Invalid_argument] out of bounds or when the value is not a
+      field element.  Mutates in place; the other operations never
+      mutate their inputs. *)
+
+  val copy : t -> t
+  val identity : int -> t
+  val equal : t -> t -> bool
+
+  val mul : t -> t -> t
+  (** Matrix product; raises [Invalid_argument] on dimension mismatch. *)
+
+  val apply : t -> F.t array -> F.t array
+  (** Matrix–vector product. *)
+
+  val swap_rows : t -> int -> int -> unit
+  val scale_row : t -> int -> F.t -> unit
+
+  exception Singular
+
+  val invert : t -> t
+  (** Gauss–Jordan inversion; raises {!Singular} when no inverse
+      exists and [Invalid_argument] when not square. *)
+
+  val solve : t -> F.t array -> F.t array
+  (** [solve a b] is the [x] with [a x = b]; raises {!Singular} on
+      singular systems. *)
+
+  val nullspace : t -> F.t array list
+  (** A basis of the right kernel [{x | M x = 0}] (empty for full
+      column rank).  The collision finder builds the paper's
+      [I]-colliding value pairs from these vectors. *)
+
+  val sub_rows : t -> int array -> t
+  (** [sub_rows m indices] stacks the selected rows (in the given
+      order) into a new matrix. *)
+
+  val vandermonde : int -> int -> t
+  (** [vandermonde n k]: row [i] is [[1, x_i, x_i^2, ..., x_i^(k-1)]]
+      with pairwise distinct points [x_0 = 0, x_i = g^(i-1)].  Any [k]
+      rows form an invertible matrix (the Reed–Solomon MDS property);
+      requires [n <= F.order]. *)
+
+  val cauchy : int -> int -> t
+  (** [cauchy rows cols]: entries [1/(x_i + y_j)] over disjoint point
+      sets; every square submatrix is invertible.  Stacked under an
+      identity it yields the systematic MDS generator used by
+      [rs_cauchy]; requires [rows + cols <= F.order]. *)
+
+  val to_string : t -> string
+  (** Rows of space-separated elements, for diagnostics. *)
+end

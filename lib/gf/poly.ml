@@ -1,0 +1,76 @@
+(** Univariate polynomials over a finite field, coefficient form
+    (lowest degree first).
+
+    Reed–Solomon shares are evaluations of the data polynomial; the
+    {!Matrix}-based decoder inverts a Vandermonde system, while
+    {!Make.interpolate} recovers the same coefficients by Lagrange
+    interpolation.  The codec test suite cross-checks the two decode
+    paths against each other. *)
+
+module Make (F : Field.S) = struct
+  type t = int array
+
+  let zero = [||]
+  let degree p = Array.length p - 1
+
+  let normalise p =
+    let rec last i = if i >= 0 && p.(i) = F.zero then last (i - 1) else i in
+    let d = last (Array.length p - 1) in
+    if d = Array.length p - 1 then p else Array.sub p 0 (d + 1)
+
+  let eval p x =
+    (* Horner's rule. *)
+    let acc = ref F.zero in
+    for i = Array.length p - 1 downto 0 do
+      acc := F.add (F.mul !acc x) p.(i)
+    done;
+    !acc
+
+  let add a b =
+    let n = max (Array.length a) (Array.length b) in
+    normalise
+      (Array.init n (fun i ->
+           let ca = if i < Array.length a then a.(i) else F.zero in
+           let cb = if i < Array.length b then b.(i) else F.zero in
+           F.add ca cb))
+
+  let scale c p =
+    if c = F.zero then zero else Array.map (fun x -> F.mul c x) p
+
+  let mul a b =
+    if Array.length a = 0 || Array.length b = 0 then zero
+    else begin
+      let out = Array.make (Array.length a + Array.length b - 1) F.zero in
+      Array.iteri
+        (fun i ca ->
+          if ca <> F.zero then
+            Array.iteri
+              (fun j cb -> out.(i + j) <- F.add out.(i + j) (F.mul ca cb))
+              b)
+        a;
+      normalise out
+    end
+
+  (* Lagrange interpolation through distinct points. *)
+  let interpolate points =
+    let xs = List.map fst points in
+    if List.length (List.sort_uniq Int.compare xs) <> List.length xs then
+      invalid_arg "Poly.interpolate: duplicate x coordinates";
+    List.fold_left
+      (fun acc (xj, yj) ->
+        if yj = F.zero then acc
+        else begin
+          (* L_j(x) = prod_{m <> j} (x - x_m) / (x_j - x_m) *)
+          let numerator, denominator =
+            List.fold_left
+              (fun (num, den) (xm, _) ->
+                if xm = xj then (num, den)
+                else (mul num [| xm; F.one |] (* x + x_m = x - x_m in char 2 *),
+                      F.mul den (F.sub xj xm)))
+              ([| F.one |], F.one)
+              points
+          in
+          add acc (scale (F.mul yj (F.inv denominator)) numerator)
+        end)
+      zero points
+end

@@ -1,0 +1,32 @@
+(** Univariate polynomials over a finite field, coefficient form
+    (lowest degree first).
+
+    Reed–Solomon shares are evaluations of the data polynomial; the
+    {!Matrix}-based decoder inverts a Vandermonde system, while
+    {!Make.interpolate} recovers the same coefficients by Lagrange
+    interpolation.  The test suite cross-checks the two decode paths
+    against each other. *)
+
+module Make (F : Field.S) : sig
+  type t = int array
+  (** Coefficients, lowest degree first; the zero polynomial is [[||]]. *)
+
+  val zero : t
+  val degree : t -> int
+  (** [-1] for the zero polynomial. *)
+
+  val normalise : t -> t
+  (** Drops trailing zero coefficients. *)
+
+  val eval : t -> F.t -> F.t
+  (** Horner evaluation. *)
+
+  val add : t -> t -> t
+  val scale : F.t -> t -> t
+  val mul : t -> t -> t
+
+  val interpolate : (F.t * F.t) list -> t
+  (** Lagrange interpolation through points with pairwise distinct
+      x-coordinates; the result has degree below the number of points.
+      Raises [Invalid_argument] on duplicate x-coordinates. *)
+end

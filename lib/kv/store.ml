@@ -1,0 +1,157 @@
+module R = Sb_sim.Runtime
+module Trace = Sb_sim.Trace
+module Common = Sb_registers.Common
+
+type consistency = Regular | Atomic | Safe_only
+
+type entry = {
+  world : R.world;
+  policy : R.policy;
+}
+
+type t = {
+  cfg : Common.config;
+  consistency : consistency;
+  algorithm : R.algorithm;
+  prng : Sb_util.Prng.t;
+  entries : (string, entry) Hashtbl.t;
+  mutable max_storage : int;
+}
+
+let length_prefix_bytes = 4
+
+let create ?(seed = 1) ?(consistency = Regular) ~(cfg : Common.config) () =
+  Common.validate cfg;
+  if cfg.codec.Sb_codec.Codec.value_bytes <= length_prefix_bytes then
+    invalid_arg "Store.create: value size too small for the length prefix";
+  let algorithm =
+    match consistency with
+    | Regular -> Sb_registers.Adaptive.make cfg
+    | Atomic -> Sb_registers.Abd_atomic.make cfg
+    | Safe_only -> Sb_registers.Safe_register.make cfg
+  in
+  {
+    cfg;
+    consistency;
+    algorithm;
+    prng = Sb_util.Prng.create seed;
+    entries = Hashtbl.create 16;
+    max_storage = 0;
+  }
+
+let max_value_bytes t =
+  t.cfg.codec.Sb_codec.Codec.value_bytes - length_prefix_bytes
+
+(* Frame a user payload into a fixed-size register value: 4-byte
+   little-endian length followed by the payload, zero-padded. *)
+let frame t payload =
+  let cap = max_value_bytes t in
+  if Bytes.length payload > cap then
+    invalid_arg
+      (Printf.sprintf "Store.put: value is %d bytes, capacity is %d"
+         (Bytes.length payload) cap);
+  let out = Bytes.make t.cfg.codec.Sb_codec.Codec.value_bytes '\000' in
+  Bytes.blit (Sb_util.Bytesx.of_int_le (Bytes.length payload) ~width:length_prefix_bytes)
+    0 out 0 length_prefix_bytes;
+  Bytes.blit payload 0 out length_prefix_bytes (Bytes.length payload);
+  out
+
+let unframe value =
+  let len = Sb_util.Bytesx.to_int_le (Bytes.sub value 0 length_prefix_bytes) in
+  if len > Bytes.length value - length_prefix_bytes then None
+  else Some (Bytes.sub value length_prefix_bytes len)
+
+let entry t key =
+  match Hashtbl.find_opt t.entries key with
+  | Some e -> e
+  | None ->
+    let world =
+      R.create
+        ~seed:(Sb_util.Prng.int t.prng 1_000_000_000)
+        ~algorithm:t.algorithm ~n:t.cfg.n ~f:t.cfg.f ~workload:[| [] |] ()
+    in
+    let policy =
+      R.random_policy ~seed:(Sb_util.Prng.int t.prng 1_000_000_000) ()
+    in
+    let e = { world; policy } in
+    Hashtbl.add t.entries key e;
+    e
+
+let storage_bits t =
+  Hashtbl.fold (fun _ e acc -> acc + R.storage_bits_objects e.world) t.entries 0
+
+let note_storage t =
+  let s = storage_bits t in
+  if s > t.max_storage then t.max_storage <- s
+
+let max_storage_bits t = t.max_storage
+
+(* Run the key's world until its single client has completed everything
+   it has queued. *)
+let drive t e =
+  let outcome = R.run e.world e.policy in
+  if not outcome.R.quiescent then
+    failwith "Store: operation did not complete (scheduler exhausted)";
+  note_storage t
+
+let put t ~key payload =
+  let e = entry t key in
+  R.enqueue_op e.world ~client:0 (Trace.Write (frame t payload));
+  drive t e
+
+let get t ~key =
+  match Hashtbl.find_opt t.entries key with
+  | None -> None
+  | Some e ->
+    R.enqueue_op e.world ~client:0 Trace.Read;
+    drive t e;
+    let reads =
+      List.filter_map
+        (fun (_, kind, _, ret, res) ->
+          match (kind, ret) with Trace.Read, Some _ -> Some res | _ -> None)
+        (Trace.operations (R.trace e.world))
+    in
+    (* The freshest read is the one we just ran. *)
+    (match List.rev reads with
+     | Some value :: _ ->
+       (* A framed v0 (all zeros) decodes to the empty payload with
+          length 0; distinguish "never written" by checking whether any
+          write happened on this key. *)
+       let wrote =
+         List.exists
+           (fun (_, kind, _, _, _) ->
+             match kind with Trace.Write _ -> true | Trace.Read -> false)
+           (Trace.operations (R.trace e.world))
+       in
+       if wrote then unframe value else None
+     | _ -> None)
+
+let delete t ~key =
+  Hashtbl.remove t.entries key;
+  note_storage t
+
+let keys t =
+  List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.entries [])
+
+let crash_node t ~key node =
+  match Hashtbl.find_opt t.entries key with
+  | None -> ()
+  | Some e -> ignore (R.step e.world (R.Crash_obj node))
+
+let check_consistency t =
+  let initial = Bytes.make t.cfg.codec.Sb_codec.Codec.value_bytes '\000' in
+  let checker h =
+    match t.consistency with
+    | Regular -> Sb_spec.Regularity.check_strong h
+    | Safe_only -> Sb_spec.Regularity.check_safe h
+    | Atomic -> (
+      (* The linearizability search is bounded to 62 operations; fall
+         back to strong regularity for longer-lived keys. *)
+      try Sb_spec.Regularity.check_atomic h
+      with Invalid_argument _ -> Sb_spec.Regularity.check_strong h)
+  in
+  List.map
+    (fun key ->
+      let e = Hashtbl.find t.entries key in
+      (key, checker (Sb_spec.History.of_trace ~initial (R.trace e.world))))
+    (keys t)

@@ -1,0 +1,70 @@
+(** A replicated key-value store composed of register emulations.
+
+    Each key is backed by its own register instance — its own set of [n]
+    simulated base objects running one of the [Sb_registers] algorithms —
+    so the store inherits the register's fault tolerance and consistency,
+    and its aggregate storage cost is the sum of the per-key costs.  This
+    is the application-level view the paper's introduction motivates
+    ("data is typically stored on a collection of nodes accessed
+    asynchronously by clients over a network"), built purely from the
+    public APIs of the lower layers.
+
+    Operations run to completion on a seeded random (fair) schedule, so
+    the store is synchronous at its interface while every operation
+    internally crosses the full asynchronous quorum protocol, including
+    any crashes injected with {!crash_node}.
+
+    Values shorter than the configured size are zero-padded; a length
+    prefix preserves exact round trips.  Empty values are allowed. *)
+
+type t
+
+type consistency = Regular | Atomic | Safe_only
+
+val create :
+  ?seed:int ->
+  ?consistency:consistency ->
+  cfg:Sb_registers.Common.config ->
+  unit ->
+  t
+(** [create ~cfg ()] builds an empty store whose registers use the given
+    configuration.  [consistency] picks the backing algorithm:
+    [Regular] (default) the paper's adaptive algorithm, [Atomic] the
+    write-back ABD (requires a replication codec), [Safe_only] the
+    Appendix-E register.  The usable payload is
+    [cfg.codec.value_bytes - 4] bytes ([4] bytes hold the length
+    prefix). *)
+
+val max_value_bytes : t -> int
+
+val put : t -> key:string -> bytes -> unit
+(** Writes a value; creates the key's register on first use.  Raises
+    [Invalid_argument] if the value exceeds {!max_value_bytes}. *)
+
+val get : t -> key:string -> bytes option
+(** Reads the latest value; [None] for never-written keys. *)
+
+val delete : t -> key:string -> unit
+(** Forgets the key and releases its register (its simulated base
+    objects disappear from the storage accounting). *)
+
+val keys : t -> string list
+(** Keys with a live register, sorted. *)
+
+val crash_node : t -> key:string -> int -> unit
+(** Crashes one of the key's base objects (at most [f] per key); later
+    operations on the key keep working from the surviving quorums.
+    No-op if the key does not exist. *)
+
+val storage_bits : t -> int
+(** Aggregate storage across all keys, in bits (Definition 2 applied to
+    every live register). *)
+
+val max_storage_bits : t -> int
+(** Running maximum of {!storage_bits} over the store's lifetime,
+    sampled after each operation. *)
+
+val check_consistency : t -> (string * Sb_spec.Regularity.verdict) list
+(** Runs the appropriate checker over every key's recorded history:
+    strong regularity for [Regular], atomicity for [Atomic], strong
+    safety for [Safe_only]. *)

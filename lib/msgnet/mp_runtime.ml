@@ -1,0 +1,472 @@
+open Effect.Deep
+module R = Sb_sim.Runtime
+module Trace = Sb_sim.Trace
+module Objstate = Sb_storage.Objstate
+
+type message_kind = Request | Response
+
+type message = {
+  msg_id : int;
+  kind : message_kind;
+  m_client : int;
+  m_server : int;
+  m_ticket : int;
+  m_op : int;
+  (* Requests carry the RMW and its declared payload; responses carry
+     the RMW's result. *)
+  req : (R.rmw * Sb_storage.Block.t list) option;
+  resp : R.resp option;
+  sent_at : int;
+}
+
+type message_info = {
+  msg_id : int;
+  kind : message_kind;
+  m_client : int;
+  m_server : int;
+  m_ticket : int;
+  m_op : int;
+  m_bits : int;
+  sent_at : int;
+}
+
+type fiber_outcome = Done of bytes option | Blocked
+
+type parked = {
+  w_tickets : int list;
+  w_quorum : int;
+  w_k : ((int * R.resp) list, fiber_outcome) continuation;
+}
+
+type client = {
+  cid : int;
+  mutable queue : Trace.op_kind list;
+  mutable crashed : bool;
+  mutable waiting : parked option;
+  mutable current_op : R.op option;
+  c_prng : Sb_util.Prng.t;
+}
+
+type world = {
+  n : int;
+  f : int;
+  fifo : bool;
+  algorithm : R.algorithm;
+  servers : Objstate.t array;
+  server_live : bool array;
+  clients : client array;
+  channel : (int, message) Hashtbl.t;
+  mutable channel_order : int list; (* newest first *)
+  responses : (int, int * R.resp) Hashtbl.t;
+  mutable next_msg : int;
+  mutable next_ticket : int;
+  mutable next_op : int;
+  mutable now : int;
+  tr : Trace.t;
+  mutable max_server_bits : int;
+  mutable max_channel_bits : int;
+  mutable requests_sent : int;
+  mutable responses_sent : int;
+}
+
+let resp_bits = function
+  | R.Ack -> 0
+  | R.Snap st -> Objstate.bits st
+
+let message_bits m =
+  match (m.req, m.resp) with
+  | Some (_, payload), _ -> Sb_storage.Accounting.bits_of_blocks payload
+  | None, Some resp -> resp_bits resp
+  | None, None -> 0
+
+let info_of (m : message) : message_info =
+  {
+    msg_id = m.msg_id;
+    kind = m.kind;
+    m_client = m.m_client;
+    m_server = m.m_server;
+    m_ticket = m.m_ticket;
+    m_op = m.m_op;
+    m_bits = message_bits m;
+    sent_at = m.sent_at;
+  }
+
+let create ?(seed = 1) ?(fifo = false) ~algorithm ~n ~f ~workload () =
+  if f < 0 || 2 * f >= n then invalid_arg "Mp_runtime.create: need 0 <= f < n/2";
+  let root = Sb_util.Prng.create seed in
+  {
+    n;
+    f;
+    fifo;
+    algorithm;
+    servers = Array.init n algorithm.R.init_obj;
+    server_live = Array.make n true;
+    clients =
+      Array.mapi
+        (fun i ops ->
+          {
+            cid = i;
+            queue = ops;
+            crashed = false;
+            waiting = None;
+            current_op = None;
+            c_prng = Sb_util.Prng.split root;
+          })
+        workload;
+    channel = Hashtbl.create 64;
+    channel_order = [];
+    responses = Hashtbl.create 64;
+    next_msg = 1;
+    next_ticket = 1;
+    next_op = 1;
+    now = 0;
+    tr = Trace.create ();
+    max_server_bits = 0;
+    max_channel_bits = 0;
+    requests_sent = 0;
+    responses_sent = 0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Introspection                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let time w = w.now
+let n_servers w = w.n
+let f_tolerance w = w.f
+let server_state w i = w.servers.(i)
+let server_alive w i = w.server_live.(i)
+
+let in_flight w =
+  List.rev_map (fun id -> info_of (Hashtbl.find w.channel id)) w.channel_order
+
+let storage_bits_servers w =
+  let acc = ref 0 in
+  for i = 0 to w.n - 1 do
+    if w.server_live.(i) then acc := !acc + Objstate.bits w.servers.(i)
+  done;
+  !acc
+
+let storage_bits_channels w =
+  Hashtbl.fold (fun _ m acc -> acc + message_bits m) w.channel 0
+
+let max_bits_servers w = w.max_server_bits
+let max_bits_channels w = w.max_channel_bits
+
+let outstanding_ops w =
+  Array.to_list w.clients
+  |> List.filter_map (fun cl -> if cl.crashed then None else cl.current_op)
+
+(* ||S(t,w)|| over the message-passing world: blocks at live servers,
+   request payloads in flight from clients other than w's own, and
+   blocks inside snapshot responses travelling in channels. *)
+let visible_blocks_excluding w ~client =
+  let server_blocks =
+    List.concat
+      (List.init w.n (fun i ->
+           if w.server_live.(i) then Objstate.blocks w.servers.(i) else []))
+  in
+  Hashtbl.fold
+    (fun _ (m : message) acc ->
+      match (m.req, m.resp) with
+      | Some (_, payload), _ ->
+        if m.m_client = client || w.clients.(m.m_client).crashed then acc
+        else payload @ acc
+      | None, Some (R.Snap st) -> Objstate.blocks st @ acc
+      | None, _ -> acc)
+    w.channel server_blocks
+
+let op_contribution w (op : R.op) =
+  Sb_storage.Accounting.contribution ~source:op.R.id
+    (visible_blocks_excluding w ~client:op.R.client)
+let requests_sent w = w.requests_sent
+let responses_sent w = w.responses_sent
+let trace w = w.tr
+
+let update_maxima w =
+  let s = storage_bits_servers w in
+  let c = storage_bits_channels w in
+  if s > w.max_server_bits then w.max_server_bits <- s;
+  if c > w.max_channel_bits then w.max_channel_bits <- c
+
+(* ------------------------------------------------------------------ *)
+(* Fibers: interpret the shared-memory effects over messages           *)
+(* ------------------------------------------------------------------ *)
+
+let responses_for w tickets =
+  List.filter_map (fun t -> Hashtbl.find_opt w.responses t) tickets
+
+let await_satisfied w tickets quorum =
+  List.fold_left
+    (fun acc t -> if Hashtbl.mem w.responses t then acc + 1 else acc)
+    0 tickets
+  >= quorum
+
+let send w (msg : message) =
+  (match msg.kind with
+   | Request -> w.requests_sent <- w.requests_sent + 1
+   | Response -> w.responses_sent <- w.responses_sent + 1);
+  Hashtbl.add w.channel msg.msg_id msg;
+  w.channel_order <- msg.msg_id :: w.channel_order
+
+let handle_fiber w (cl : client) (op : R.op) (body : unit -> bytes option) :
+    fiber_outcome =
+  match_with body ()
+    {
+      retc = (fun r -> Done r);
+      exnc = raise;
+      effc =
+        (fun (type b) (eff : b Effect.t) ->
+          match eff with
+          | R.Trigger (obj, payload, rmw) ->
+            Some
+              (fun (k : (b, fiber_outcome) continuation) ->
+                if obj < 0 || obj >= w.n then
+                  invalid_arg "Mp_runtime: no such server";
+                let ticket = w.next_ticket in
+                w.next_ticket <- ticket + 1;
+                let msg_id = w.next_msg in
+                w.next_msg <- msg_id + 1;
+                send w
+                  {
+                    msg_id;
+                    kind = Request;
+                    m_client = cl.cid;
+                    m_server = obj;
+                    m_ticket = ticket;
+                    m_op = op.R.id;
+                    req = Some (rmw, payload);
+                    resp = None;
+                    sent_at = w.now;
+                  };
+                Trace.add w.tr
+                  (Rmw_trigger
+                     {
+                       time = w.now;
+                       ticket;
+                       op = op.R.id;
+                       client = cl.cid;
+                       obj;
+                       payload_bits = Sb_storage.Accounting.bits_of_blocks payload;
+                     });
+                continue k ticket)
+          | R.Await (tickets, quorum) ->
+            Some
+              (fun (k : (b, fiber_outcome) continuation) ->
+                if await_satisfied w tickets quorum then
+                  continue k (responses_for w tickets)
+                else begin
+                  cl.waiting <- Some { w_tickets = tickets; w_quorum = quorum; w_k = k };
+                  Blocked
+                end)
+          | _ -> None);
+    }
+
+let finish_op w cl (op : R.op) result =
+  cl.current_op <- None;
+  Trace.add w.tr (Return { time = w.now; op = op.R.id; client = cl.cid; result })
+
+let invoke_next w cl =
+  match cl.queue with
+  | [] -> invalid_arg "Mp_runtime.step: client has no queued operation"
+  | kind :: rest ->
+    cl.queue <- rest;
+    let op = { R.id = w.next_op; client = cl.cid; kind; rounds = 0 } in
+    w.next_op <- w.next_op + 1;
+    cl.current_op <- Some op;
+    Trace.add w.tr (Invoke { time = w.now; op = op.R.id; client = cl.cid; kind });
+    let ctx = { R.self = cl.cid; op; n_objects = w.n; prng = cl.c_prng } in
+    let body () =
+      match kind with
+      | Trace.Write v ->
+        w.algorithm.R.write ctx v;
+        None
+      | Trace.Read -> w.algorithm.R.read ctx
+    in
+    (match handle_fiber w cl op body with
+     | Done result -> finish_op w cl op result
+     | Blocked -> ())
+
+let resume w cl =
+  match cl.waiting with
+  | None -> invalid_arg "Mp_runtime.step: client is not waiting"
+  | Some { w_tickets; w_quorum; w_k } ->
+    if not (await_satisfied w w_tickets w_quorum) then
+      invalid_arg "Mp_runtime.step: client's quorum is not satisfied";
+    cl.waiting <- None;
+    let op = match cl.current_op with Some op -> op | None -> assert false in
+    (match continue w_k (responses_for w w_tickets) with
+     | Done result -> finish_op w cl op result
+     | Blocked -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Scheduling                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type decision =
+  | Deliver_msg of int
+  | Step of int
+  | Crash_server of int
+  | Crash_client of int
+  | Halt
+
+type policy = world -> decision
+
+let destination_alive w (m : message) =
+  match m.kind with
+  | Request -> w.server_live.(m.m_server)
+  | Response -> not w.clients.(m.m_client).crashed
+
+(* Channel identity: messages between the same (client, server) pair in
+   the same direction share a channel; FIFO mode only exposes the oldest
+   undelivered message on each channel. *)
+let channel_key (m : message) = (m.kind, m.m_client, m.m_server)
+
+let head_of_channel w (m : message) =
+  List.for_all
+    (fun id ->
+      let m' = Hashtbl.find w.channel id in
+      channel_key m' <> channel_key m || m'.msg_id >= m.msg_id)
+    w.channel_order
+
+let deliverable w =
+  List.rev
+    (List.filter_map
+       (fun id ->
+         let m = Hashtbl.find w.channel id in
+         if
+           destination_alive w m
+           && ((not w.fifo) || head_of_channel w m)
+         then Some (info_of m)
+         else None)
+       w.channel_order)
+
+let steppable w =
+  Array.to_list w.clients
+  |> List.filter_map (fun cl ->
+         if cl.crashed then None
+         else
+           match (cl.current_op, cl.waiting) with
+           | None, _ when cl.queue <> [] -> Some cl.cid
+           | Some _, Some { w_tickets; w_quorum; _ }
+             when await_satisfied w w_tickets w_quorum ->
+             Some cl.cid
+           | _ -> None)
+
+let remove_msg w id =
+  Hashtbl.remove w.channel id;
+  w.channel_order <- List.filter (fun i -> i <> id) w.channel_order
+
+let deliver_msg w id =
+  match Hashtbl.find_opt w.channel id with
+  | None -> invalid_arg "Mp_runtime.step: unknown message"
+  | Some m -> (
+    if not (destination_alive w m) then
+      invalid_arg "Mp_runtime.step: destination has crashed";
+    if w.fifo && not (head_of_channel w m) then
+      invalid_arg "Mp_runtime.step: FIFO channel, an older message is pending";
+    remove_msg w id;
+    match m.kind with
+    | Request ->
+      let rmw, _payload =
+        match m.req with Some r -> r | None -> assert false
+      in
+      (* The RMW takes effect atomically at the server now. *)
+      let state, resp = rmw w.servers.(m.m_server) in
+      w.servers.(m.m_server) <- state;
+      Trace.add w.tr (Rmw_deliver { time = w.now; ticket = m.m_ticket; obj = m.m_server });
+      let reply = w.next_msg in
+      w.next_msg <- reply + 1;
+      if not w.clients.(m.m_client).crashed then
+        send w
+          {
+            msg_id = reply;
+            kind = Response;
+            m_client = m.m_client;
+            m_server = m.m_server;
+            m_ticket = m.m_ticket;
+            m_op = m.m_op;
+            req = None;
+            resp = Some resp;
+            sent_at = w.now;
+          }
+    | Response ->
+      let resp = match m.resp with Some r -> r | None -> assert false in
+      Hashtbl.replace w.responses m.m_ticket (m.m_server, resp))
+
+let step w decision =
+  w.now <- w.now + 1;
+  let continue_run =
+    match decision with
+    | Deliver_msg id ->
+      deliver_msg w id;
+      true
+    | Step c ->
+      let cl = w.clients.(c) in
+      if cl.crashed then invalid_arg "Mp_runtime.step: client has crashed";
+      (match (cl.current_op, cl.waiting) with
+       | None, _ when cl.queue <> [] ->
+         invoke_next w cl;
+         true
+       | Some _, Some _ ->
+         resume w cl;
+         true
+       | _ -> invalid_arg "Mp_runtime.step: client has nothing to do")
+    | Crash_server i ->
+      if i < 0 || i >= w.n then invalid_arg "Mp_runtime.step: no such server";
+      if not w.server_live.(i) then invalid_arg "Mp_runtime.step: server already crashed";
+      let dead =
+        Array.fold_left (fun acc a -> if a then acc else acc + 1) 0 w.server_live
+      in
+      if dead >= w.f then
+        invalid_arg "Mp_runtime.step: cannot crash more than f servers";
+      w.server_live.(i) <- false;
+      Trace.add w.tr (Crash_object { time = w.now; obj = i });
+      true
+    | Crash_client c ->
+      let cl = w.clients.(c) in
+      if cl.crashed then invalid_arg "Mp_runtime.step: client already crashed";
+      cl.crashed <- true;
+      cl.waiting <- None;
+      cl.queue <- [];
+      Trace.add w.tr (Crash_client { time = w.now; client = c });
+      true
+    | Halt -> false
+  in
+  update_maxima w;
+  continue_run
+
+type outcome = { world : world; steps : int; halted : bool; quiescent : bool }
+
+let quiescent w = deliverable w = [] && steppable w = []
+
+let run ?(max_steps = 1_000_000) w policy =
+  let rec go steps =
+    if steps >= max_steps then { world = w; steps; halted = false; quiescent = false }
+    else if quiescent w then { world = w; steps; halted = false; quiescent = true }
+    else if step w (policy w) then go (steps + 1)
+    else { world = w; steps = steps + 1; halted = true; quiescent = false }
+  in
+  update_maxima w;
+  go 0
+
+let random_policy ?(crash_servers = []) ~seed () =
+  let prng = Sb_util.Prng.create seed in
+  let remaining = ref (List.sort compare crash_servers) in
+  fun w ->
+    match !remaining with
+    | (t, srv) :: rest when time w >= t && server_alive w srv ->
+      remaining := rest;
+      Crash_server srv
+    | _ ->
+      let delivers = List.map (fun m -> Deliver_msg m.msg_id) (deliverable w) in
+      let steps = List.map (fun c -> Step c) (steppable w) in
+      let choices = Array.of_list (delivers @ steps) in
+      if Array.length choices = 0 then Halt else Sb_util.Prng.pick prng choices
+
+let fifo_policy () =
+  fun w ->
+    match deliverable w with
+    | m :: _ -> Deliver_msg m.msg_id
+    | [] -> (
+      match steppable w with c :: _ -> Step c | [] -> Halt)

@@ -1,0 +1,120 @@
+(** Message-passing emulation of the fault-prone shared memory.
+
+    The paper's base objects "typically reside at distinct storage nodes
+    accessed over a network" (Section 1); this runtime makes that
+    explicit.  Each base object is hosted by a {e server} node; a
+    triggered RMW becomes a {e request} message, the RMW takes effect
+    atomically when the server processes the request, and the result
+    travels back as a {e response} message.  Channels are asynchronous
+    and unordered; a scheduling policy picks every message delivery, so
+    runs are deterministic and adversarial schedules are expressible.
+
+    The register protocols of [Sb_registers] run {e unchanged} on this
+    runtime: it installs its own handler for the {!Sb_sim.Runtime.Trigger}
+    and {!Sb_sim.Runtime.Await} effects.
+
+    Storage accounting here includes {e channel} contents — request
+    payloads and the object-state snapshots carried by responses — which
+    is exactly the cost the paper charges to algorithms that "shift the
+    cost from storage nodes to the network and keep unbounded
+    information in channels" (Section 3.2, discussing [5, 8]). *)
+
+type world
+
+type message_kind = Request | Response
+
+type message_info = {
+  msg_id : int;
+  kind : message_kind;
+  m_client : int;     (** The client end of the exchange. *)
+  m_server : int;     (** The server (base object) end. *)
+  m_ticket : int;
+  m_op : int;         (** The operation the RMW belongs to. *)
+  m_bits : int;       (** Code-block bits carried by the message. *)
+  sent_at : int;
+}
+
+val create :
+  ?seed:int ->
+  ?fifo:bool ->
+  algorithm:Sb_sim.Runtime.algorithm ->
+  n:int ->
+  f:int ->
+  workload:Sb_sim.Trace.op_kind list array ->
+  unit ->
+  world
+(** Same shape as {!Sb_sim.Runtime.create}: [n] servers each hosting one
+    base object initialised by the algorithm, one client per workload
+    entry.  [fifo] (default [false]) makes every client↔server channel
+    deliver in sending order; the register algorithms are correct either
+    way, which the test suite checks. *)
+
+(** {1 Introspection} *)
+
+val time : world -> int
+val n_servers : world -> int
+val f_tolerance : world -> int
+val server_state : world -> int -> Sb_storage.Objstate.t
+val server_alive : world -> int -> bool
+val in_flight : world -> message_info list
+(** Undelivered messages, oldest first. *)
+
+val storage_bits_servers : world -> int
+(** Block bits stored at live servers (Definition 2 on the nodes). *)
+
+val storage_bits_channels : world -> int
+(** Block bits currently travelling in channels — request payloads plus
+    response snapshots. *)
+
+val max_bits_servers : world -> int
+val max_bits_channels : world -> int
+
+val requests_sent : world -> int
+val responses_sent : world -> int
+(** Message counts over the whole run (communication-cost accounting:
+    each protocol round costs [n] requests and up to [n] responses). *)
+
+val outstanding_ops : world -> Sb_sim.Runtime.op list
+(** Operations invoked but not returned by live clients. *)
+
+val op_contribution : world -> Sb_sim.Runtime.op -> int
+(** [||S(t, w)||] (Definition 6) over the message-passing world: blocks
+    at live servers, request payloads in flight from clients other than
+    [w]'s own, and blocks inside snapshot responses travelling in
+    channels. *)
+
+val trace : world -> Sb_sim.Trace.t
+
+(** {1 Scheduling} *)
+
+type decision =
+  | Deliver_msg of int   (** Deliver message [msg_id] to its destination:
+                             a request takes effect at the server, a
+                             response lands at the client. *)
+  | Step of int          (** Advance client [c] (invoke or resume). *)
+  | Crash_server of int
+  | Crash_client of int
+  | Halt
+
+type policy = world -> decision
+
+val deliverable : world -> message_info list
+(** Messages whose destination is still alive, oldest first. *)
+
+val steppable : world -> int list
+
+val step : world -> decision -> bool
+(** Executes one decision; [false] on [Halt]; raises [Invalid_argument]
+    on decisions that are not enabled. *)
+
+type outcome = { world : world; steps : int; halted : bool; quiescent : bool }
+
+val run : ?max_steps:int -> world -> policy -> outcome
+
+val random_policy : ?crash_servers:(int * int) list -> seed:int -> unit -> policy
+(** Uniform over enabled actions; optionally crashes servers at the
+    given [(time, server)] points. *)
+
+val fifo_policy : unit -> policy
+(** Always delivers the oldest deliverable message first: a synchronous,
+    failure-free network. *)

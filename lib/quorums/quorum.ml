@@ -1,0 +1,135 @@
+type t = {
+  universe : int;
+  name : string;
+  is_quorum : int list -> bool;
+}
+
+let normalise universe members =
+  let sorted = List.sort_uniq Int.compare members in
+  if List.exists (fun m -> m < 0 || m >= universe) sorted then
+    invalid_arg "Quorum: member out of range";
+  sorted
+
+let is_quorum t members = t.is_quorum (normalise t.universe members)
+
+let majority ~n =
+  if n < 1 then invalid_arg "Quorum.majority: empty universe";
+  {
+    universe = n;
+    name = Printf.sprintf "majority(n=%d)" n;
+    is_quorum = (fun q -> 2 * List.length q > n);
+  }
+
+let counting ~n ~size =
+  if n < 1 then invalid_arg "Quorum.counting: empty universe";
+  if size < 1 || size > n then invalid_arg "Quorum.counting: bad size";
+  {
+    universe = n;
+    name = Printf.sprintf "counting(n=%d,size=%d)" n size;
+    is_quorum = (fun q -> List.length q >= size);
+  }
+
+let grid ~rows ~cols =
+  if rows < 1 || cols < 1 then invalid_arg "Quorum.grid: empty grid";
+  let universe = rows * cols in
+  let is_quorum q =
+    let in_q = Array.make universe false in
+    List.iter (fun m -> in_q.(m) <- true) q;
+    let full_row r =
+      let rec go c = c >= cols || (in_q.((r * cols) + c) && go (c + 1)) in
+      go 0
+    in
+    let touches_row r =
+      let rec go c = c < cols && (in_q.((r * cols) + c) || go (c + 1)) in
+      go 0
+    in
+    let rec has_full r = r < rows && (full_row r || has_full (r + 1)) in
+    let rec touches_all r = r >= rows || (touches_row r && touches_all (r + 1)) in
+    has_full 0 && touches_all 0
+  in
+  { universe; name = Printf.sprintf "grid(%dx%d)" rows cols; is_quorum }
+
+let weighted ~weights ~threshold =
+  let universe = Array.length weights in
+  if universe = 0 then invalid_arg "Quorum.weighted: empty universe";
+  if Array.exists (fun w -> w < 0) weights then
+    invalid_arg "Quorum.weighted: negative weight";
+  {
+    universe;
+    name = Printf.sprintf "weighted(n=%d,threshold=%d)" universe threshold;
+    is_quorum =
+      (fun q -> List.fold_left (fun acc m -> acc + weights.(m)) 0 q >= threshold);
+  }
+
+(* --- exhaustive analyses ------------------------------------------- *)
+
+let check_small t label =
+  if t.universe > 20 then
+    invalid_arg (Printf.sprintf "Quorum.%s: universe too large for enumeration" label)
+
+let members_of_mask universe mask =
+  List.filter (fun i -> mask land (1 lsl i) <> 0) (List.init universe Fun.id)
+
+let quorum_mask t mask = t.is_quorum (members_of_mask t.universe mask)
+
+let minimal_quorums t =
+  check_small t "minimal_quorums";
+  let n = t.universe in
+  let all = (1 lsl n) - 1 in
+  let quorums = ref [] in
+  for mask = 1 to all do
+    if quorum_mask t mask then begin
+      (* minimal iff removing any single member breaks it *)
+      let minimal = ref true in
+      List.iter
+        (fun i ->
+          if mask land (1 lsl i) <> 0 && quorum_mask t (mask land lnot (1 lsl i)) then
+            minimal := false)
+        (List.init n Fun.id);
+      if !minimal then quorums := mask :: !quorums
+    end
+  done;
+  List.sort compare (List.map (members_of_mask n) !quorums)
+
+let popcount mask =
+  let rec go m acc = if m = 0 then acc else go (m lsr 1) (acc + (m land 1)) in
+  go mask 0
+
+let min_intersection t =
+  check_small t "min_intersection";
+  let minimal =
+    List.map
+      (fun q -> List.fold_left (fun acc i -> acc lor (1 lsl i)) 0 q)
+      (minimal_quorums t)
+  in
+  match minimal with
+  | [] -> 0
+  | _ ->
+    List.fold_left
+      (fun best q1 ->
+        List.fold_left (fun best q2 -> min best (popcount (q1 land q2))) best minimal)
+      t.universe minimal
+
+let available_after t ~failures =
+  check_small t "available_after";
+  if failures < 0 || failures > t.universe then
+    invalid_arg "Quorum.available_after: bad failure count";
+  let n = t.universe in
+  let all = (1 lsl n) - 1 in
+  (* Every set of n - failures objects (complement of a failure set)
+     must itself satisfy the quorum predicate or contain a quorum;
+     since predicates here are monotone it suffices to test the set. *)
+  let ok = ref true in
+  for mask = 0 to all do
+    if popcount mask = failures && not (quorum_mask t (all land lnot mask)) then
+      ok := false
+  done;
+  !ok
+
+let register_requirements ~n ~f ~k =
+  let t = counting ~n ~size:(n - f) in
+  let verdict =
+    if n > 20 then n >= (2 * f) + k
+    else available_after t ~failures:f && min_intersection t >= k
+  in
+  (t, verdict)

@@ -1,0 +1,64 @@
+(** Quorum systems over [n] base objects.
+
+    The paper's algorithms use the counting rule "await n − f responses",
+    which implicitly relies on two properties of the majority-style
+    quorum system it induces:
+
+    - {b availability}: every set of [n - f] objects contains a quorum,
+      so no operation blocks when at most [f] objects crash;
+    - {b k-intersection}: any two quorums share at least
+      [n - 2f >= k] objects, so a reader's quorum always overlaps a
+      writer's in enough objects to recover [k] distinct code pieces.
+
+    This module makes those structures explicit and verifiable.  A
+    quorum system is represented by its membership predicate plus the
+    universe size; concrete constructors cover the systems used in the
+    replication/erasure-coding literature.  [check_*] functions verify
+    the defining properties by exhaustive enumeration (exponential in
+    [n]; intended for tests and small configurations). *)
+
+type t = {
+  universe : int;               (** Objects are [0 .. universe-1]. *)
+  name : string;
+  is_quorum : int list -> bool; (** Membership test; input is sorted and
+                                    duplicate-free. *)
+}
+
+val majority : n:int -> t
+(** Sets of size strictly greater than [n/2]. *)
+
+val counting : n:int -> size:int -> t
+(** All sets of at least [size] objects — the paper's "await [size]
+    responses" rule; [counting ~n ~size:(n-f)] is what the register
+    emulations implement. *)
+
+val grid : rows:int -> cols:int -> t
+(** The grid quorum system: a quorum contains one full row plus one
+    element of every row ([universe = rows * cols]).  Included as the
+    classic low-load contrast to counting quorums. *)
+
+val weighted : weights:int array -> threshold:int -> t
+(** Sets whose total weight reaches [threshold]. *)
+
+val is_quorum : t -> int list -> bool
+(** Membership after sorting/deduplicating and bounds-checking. *)
+
+val min_intersection : t -> int
+(** The smallest [|Q1 ∩ Q2|] over all pairs of {e minimal} quorums,
+    by exhaustive enumeration.  Raises [Invalid_argument] if
+    [universe > 20]. *)
+
+val available_after : t -> failures:int -> bool
+(** Whether every set of [universe - failures] objects contains a
+    quorum (so the system stays live after [failures] crashes).
+    Exhaustive; [universe <= 20]. *)
+
+val minimal_quorums : t -> int list list
+(** All inclusion-minimal quorums, sorted.  Exhaustive; [universe <= 20]. *)
+
+val register_requirements : n:int -> f:int -> k:int -> t * bool
+(** The counting system the paper's register emulations use,
+    [counting ~n ~size:(n-f)], paired with the verdict of the two
+    properties above: available after [f] failures and
+    [k]-intersecting.  The boolean is [true] exactly when [n >= 2f + k]
+    — the paper's resilience condition. *)

@@ -1,0 +1,48 @@
+open Sb_storage
+module R = Sb_sim.Runtime
+
+let store_rmw chunk : R.rmw =
+  fun st ->
+    let keep =
+      match st.Objstate.vf with
+      | [ existing ] -> Timestamp.(existing.Chunk.ts >= chunk.Chunk.ts)
+      | _ -> false
+    in
+    let st =
+      if keep then st
+      else { st with vf = [ chunk ]; stored_ts = Timestamp.max st.stored_ts chunk.Chunk.ts }
+    in
+    (st, R.Ack)
+
+let make (cfg : Common.config) =
+  Common.validate cfg;
+  if cfg.codec.Sb_codec.Codec.k <> 1 then
+    invalid_arg "Abd.make: ABD requires a replication codec (k = 1)";
+  let v0 = Common.initial_value cfg in
+  let init_obj i =
+    let block = Block.initial ~index:i (cfg.codec.Sb_codec.Codec.encode v0 i) in
+    Objstate.init ~vf:[ Chunk.v ~ts:Timestamp.zero block ] ()
+  in
+  let write (ctx : R.ctx) v =
+    let encoder = Oracle.Encoder.create cfg.codec ~op:ctx.op.id ~value:v in
+    (* Round 1: collect timestamps. *)
+    let rs = Common.read_value cfg ctx in
+    let ts = Timestamp.make ~num:(Common.max_num rs + 1) ~client:ctx.self in
+    (* Round 2: store the replica everywhere, await a quorum. *)
+    ctx.op.rounds <- ctx.op.rounds + 1;
+    let tickets =
+      R.broadcast_rmw ~n:cfg.n
+        ~payload:(fun i -> [ Oracle.Encoder.get encoder i ])
+        (fun i -> store_rmw (Chunk.v ~ts (Oracle.Encoder.get encoder i)))
+    in
+    ignore (R.await ~tickets ~quorum:(Common.quorum cfg))
+  in
+  let read (ctx : R.ctx) =
+    let rs = Common.read_value cfg ctx in
+    (* Return the highest-timestamped replica; regularity needs no
+       write-back. *)
+    match Common.decodable_ts cfg.codec rs.chunks ~min_ts:Timestamp.zero with
+    | None -> None
+    | Some ts -> Common.decode_at cfg.codec rs.chunks ~ts
+  in
+  { R.name = "abd"; init_obj; write; read }

@@ -1,0 +1,21 @@
+(** ABD-style replicated register (Attiya, Bar-Noy, Dolev [4]).
+
+    The classic replication baseline the paper compares against: every
+    base object stores one full timestamped replica in its [Vf] field, so
+    the storage cost is a constant [n * D] bits independent of
+    concurrency — the O(fD) end of the paper's trade-off.
+
+    Writes take two rounds (read timestamps, then store the replica under
+    a higher timestamp); reads take one round and return the
+    highest-timestamped replica seen, with no write-back, which yields a
+    {e regular} (not atomic) MWMR register, matching the paper's setting.
+    Both operations are wait-free. *)
+
+val make : Common.config -> Sb_sim.Runtime.algorithm
+(** The codec in the configuration must be {!Sb_codec.Codec.replication}
+    (i.e. [k = 1]); raises [Invalid_argument] otherwise. *)
+
+val store_rmw : Sb_storage.Chunk.t -> Sb_sim.Runtime.rmw
+(** The conditional-overwrite RMW used by the update round: replaces the
+    single [Vf] replica if the incoming timestamp is strictly higher.
+    Shared with {!Abd_atomic}'s write-back phase. *)

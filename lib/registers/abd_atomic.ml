@@ -1,0 +1,32 @@
+open Sb_storage
+module R = Sb_sim.Runtime
+
+let make (cfg : Common.config) =
+  Common.validate cfg;
+  if cfg.codec.Sb_codec.Codec.k <> 1 then
+    invalid_arg "Abd_atomic.make: requires a replication codec (k = 1)";
+  let base = Abd.make cfg in
+  let write_back (ctx : R.ctx) ts value =
+    let encoder = Oracle.Encoder.create cfg.codec ~op:ctx.op.id ~value in
+    ctx.op.rounds <- ctx.op.rounds + 1;
+    let tickets =
+      R.broadcast_rmw ~n:cfg.n
+        ~payload:(fun i -> [ Oracle.Encoder.get encoder i ])
+        (fun i -> Abd.store_rmw (Chunk.v ~ts (Oracle.Encoder.get encoder i)))
+    in
+    ignore (R.await ~tickets ~quorum:(Common.quorum cfg))
+  in
+  let read (ctx : R.ctx) =
+    let rs = Common.read_value cfg ctx in
+    match Common.decodable_ts cfg.codec rs.chunks ~min_ts:Timestamp.zero with
+    | None -> None
+    | Some ts -> (
+      match Common.decode_at cfg.codec rs.chunks ~ts with
+      | None -> None
+      | Some value ->
+        (* Second phase: ensure a quorum holds this value before
+           returning, so no later read can see an older one. *)
+        write_back ctx ts value;
+        Some value)
+  in
+  { base with R.name = "abd-atomic"; read }

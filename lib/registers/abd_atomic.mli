@@ -1,0 +1,15 @@
+(** ABD with read write-back: an {e atomic} replicated MWMR register.
+
+    The paper's baselines are regular registers (reads never write).
+    This variant adds the classic second read phase — the reader writes
+    the value it is about to return back to a quorum before returning —
+    which upgrades regularity to atomicity (linearizability) at the cost
+    of a round trip and of readers mutating the storage.
+
+    Used by the test suite to witness the consistency hierarchy: the
+    plain {!Abd} register exhibits new/old inversions that this one
+    provably cannot. Storage cost is unchanged: n replicas, [n * D]
+    bits. *)
+
+val make : Common.config -> Sb_sim.Runtime.algorithm
+(** Requires a replication codec ([k = 1]), like {!Abd.make}. *)

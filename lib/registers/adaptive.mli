@@ -1,0 +1,46 @@
+(** The paper's adaptive register emulation (Section 5, Algorithms 1–3).
+
+    The algorithm combines erasure coding with replication: base objects
+    accumulate code {e pieces} of concurrently written values in their
+    [Vp] field until it holds pieces of [k] distinct writes, and then
+    switch to storing a {e full replica} (as [k] pieces of one value) in
+    their [Vf] field.  A write takes three rounds — read timestamps,
+    update, garbage-collect — and a read repeatedly samples the objects
+    until it sees [k] matching pieces of a sufficiently recent value.
+
+    Guarantees (Theorem 2, reproduced by experiments E3, E4, E9):
+    - strong regularity (MWRegWO) and FW-termination;
+    - storage at most [min((c+1)(2f+k)D/k, 2(2f+k)D)] bits, i.e.
+      O(min(f, c) · D) for [k = f];
+    - in runs with finitely many writes that all complete, storage
+      eventually shrinks to [(2f+k)D/k] bits. *)
+
+val make : Common.config -> Sb_sim.Runtime.algorithm
+(** The adaptive algorithm; requires [n >= 2f + k]. *)
+
+val make_unbounded : Common.config -> Sb_sim.Runtime.algorithm
+(** Ablation: the identical protocol with the replica switchover disabled
+    — [Vp] grows without bound under concurrency, like the purely
+    erasure-coded algorithms of [5, 6, 8, 9] that the paper's lower bound
+    targets.  Storage grows as Θ(cD) under the adversary (experiment
+    E1). *)
+
+val make_versioned : delta:int -> Common.config -> Sb_sim.Runtime.algorithm
+(** The bounded-version family of Cadambe et al. [6]: each object keeps
+    pieces of at most [delta + 1] versions (newest first) and no
+    replicas.  Storage is at most [(delta+1)(2f+k)D/k] bits, but the
+    choice is only comfortable when the write concurrency stays at or
+    below [delta]: beyond it, incomplete writes can evict the last
+    complete value's pieces, and reads must keep sampling until the
+    backlog drains (safety is preserved; read latency degrades —
+    experiment E15).  This is the paper's O(cD) cost made concrete:
+    version-bounded algorithms must provision [delta >= c]. *)
+
+val make_premature_gc : Common.config -> Sb_sim.Runtime.algorithm
+(** Negative control: like {!make_unbounded} but garbage-collecting
+    below the writer's {e own} timestamp before the write completes (and
+    reading without the [storedTS] barrier).  This is the classic unsafe
+    "delete old values before the new one is in place" shortcut the
+    paper's introduction warns coded storage against — under concurrency
+    it loses written values and produces regularity violations, which
+    the history checkers catch (experiment E13). *)

@@ -1,0 +1,99 @@
+open Sb_storage
+module R = Sb_sim.Runtime
+
+(* Store [pieces] (all of one write, distinct block numbers) at an
+   object, evicting chunks staler than the round-1 barrier — the same
+   discipline as the purely coded register. *)
+let update_rmw ~pieces ~ts ~stored_ts : R.rmw =
+  fun st ->
+    if Timestamp.(ts <= st.Objstate.stored_ts) then (st, R.Ack)
+    else begin
+      let fresh =
+        List.filter (fun (c : Chunk.t) -> Timestamp.(c.ts >= stored_ts)) st.vp
+      in
+      let added = List.map (fun p -> Chunk.v ~ts p) pieces in
+      (Objstate.with_stored_ts { st with Objstate.vp = added @ fresh } stored_ts, R.Ack)
+    end
+
+let gc_rmw ~pieces ~ts : R.rmw =
+  fun st ->
+    let keep = List.filter (fun (c : Chunk.t) -> Timestamp.(c.ts >= ts)) in
+    let vp = keep st.Objstate.vp in
+    let vp =
+      (* After a completed write, this object only needs its own share
+         of the new value. *)
+      if List.exists (fun (c : Chunk.t) -> Timestamp.equal c.ts ts) vp then
+        List.filter (fun (c : Chunk.t) -> not (Timestamp.equal c.ts ts)) vp
+        @ List.map (fun p -> Chunk.v ~ts p) pieces
+      else vp
+    in
+    (Objstate.with_stored_ts { st with Objstate.vp } ts, R.Ack)
+
+let make ?(blocks_per_object = 2) ~codec_seed (cfg : Common.config) =
+  if blocks_per_object < 1 then
+    invalid_arg "Rateless.make: need at least one block per object";
+  let value_bytes = cfg.codec.Sb_codec.Codec.value_bytes in
+  let k = cfg.codec.Sb_codec.Codec.k in
+  if cfg.n < (2 * cfg.f) + k then invalid_arg "Rateless.make: need n >= 2f + k";
+  let fountain = Sb_codec.Codec.fountain ~seed:codec_seed ~value_bytes ~k () in
+  let b = blocks_per_object in
+  let indices_for_object i = List.init b (fun j -> (b * i) + j) in
+  let quorum = cfg.n - cfg.f in
+  let v0 = Bytes.make value_bytes '\000' in
+  let init_obj i =
+    let vp =
+      List.map
+        (fun idx ->
+          Chunk.v ~ts:Timestamp.zero
+            (Block.initial ~index:idx (fountain.Sb_codec.Codec.encode v0 idx)))
+        (indices_for_object i)
+    in
+    Objstate.init ~vp ()
+  in
+  let write (ctx : R.ctx) v =
+    let encoder = Oracle.Encoder.create fountain ~op:ctx.op.id ~value:v in
+    let pieces_for i = List.map (Oracle.Encoder.get encoder) (indices_for_object i) in
+    let rs = Common.read_value cfg ctx in
+    let stored_ts = rs.max_stored_ts in
+    let ts = Timestamp.make ~num:(Common.max_num rs + 1) ~client:ctx.self in
+    ctx.op.rounds <- ctx.op.rounds + 1;
+    let tickets =
+      R.broadcast_rmw ~n:cfg.n ~payload:pieces_for (fun i ->
+          update_rmw ~pieces:(pieces_for i) ~ts ~stored_ts)
+    in
+    ignore (R.await ~tickets ~quorum);
+    ctx.op.rounds <- ctx.op.rounds + 1;
+    let tickets =
+      R.broadcast_rmw ~n:cfg.n ~payload:pieces_for (fun i ->
+          gc_rmw ~pieces:(pieces_for i) ~ts)
+    in
+    ignore (R.await ~tickets ~quorum)
+  in
+  let read (ctx : R.ctx) =
+    (* Accumulate chunks across sampling rounds: rateless decoding only
+       gets easier with more blocks. *)
+    let rec loop seen barrier =
+      let rs = Common.read_value cfg ctx in
+      let seen = rs.chunks @ seen in
+      let barrier = Timestamp.max barrier rs.max_stored_ts in
+      let candidates =
+        List.sort_uniq Timestamp.compare
+          (List.map (fun (c : Chunk.t) -> c.ts) seen)
+        |> List.filter (fun ts -> Timestamp.(ts >= barrier))
+        |> List.rev (* newest first *)
+      in
+      let decoded =
+        List.find_map
+          (fun ts ->
+            match
+              fountain.Sb_codec.Codec.decode (Common.distinct_pieces seen ~ts)
+            with
+            | Some v -> Some v
+            | None -> None)
+          candidates
+      in
+      match decoded with Some v -> Some v | None -> loop seen barrier
+    in
+    loop [] Timestamp.zero
+  in
+  { R.name = Printf.sprintf "rateless(b=%d)" b; init_obj; write; read }

@@ -1,0 +1,24 @@
+(** A register emulation over a {e rateless} (fountain) code.
+
+    The paper's model indexes code blocks by ℕ precisely to capture
+    rateless codes [13], where an encoder can generate a limitless
+    stream of blocks.  This register exercises that corner of the model:
+    each write stores [blocks_per_object] freshly generated LT blocks at
+    every base object (block numbers are globally distinct, so every
+    stored block adds information), and a reader decodes by Gaussian
+    elimination over whatever subset its quorums return.
+
+    Unlike the MDS registers, decodability is probabilistic: [k] blocks
+    do not always suffice, but [blocks_per_object * (n - f)] blocks fail
+    to reach full rank only with probability exponentially small in the
+    overhead.  A read that cannot decode yet simply samples another
+    round, like the adaptive algorithm's reads.  The test suite pins
+    seeds, making every run reproducible. *)
+
+val make :
+  ?blocks_per_object:int -> codec_seed:int -> Common.config -> Sb_sim.Runtime.algorithm
+(** [make ~codec_seed cfg] builds the register over
+    {!Sb_codec.Codec.fountain} with the configuration's [k]
+    ([cfg.codec] supplies [k] and the value size; its own encode/decode
+    are not used).  [blocks_per_object] defaults to 2, giving overhead
+    factor [2(n-f)/k] against rank deficiency. *)

@@ -1,0 +1,14 @@
+(** The simple safe wait-free register of Appendix E.
+
+    Each base object [bo_i] stores {e exactly one} timestamped code piece
+    (the [i]-th block of some value), so the storage cost is a constant
+    [n * D / k = (2f/k + 1) * D] bits — below the paper's lower bound,
+    which is possible because the register is only {e strongly safe}, not
+    regular: a read concurrent with writes may return the initial value
+    [v0] (Algorithm 5, line 18).
+
+    Writes take two rounds; reads take one round; both are wait-free
+    (Lemma 18).  Corollary 7 (reproduced by experiment E8) gives the
+    storage cost. *)
+
+val make : Common.config -> Sb_sim.Runtime.algorithm

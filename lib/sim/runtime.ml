@@ -1,0 +1,502 @@
+open Effect
+open Effect.Deep
+
+type resp = Ack | Snap of Sb_storage.Objstate.t
+type rmw = Sb_storage.Objstate.t -> Sb_storage.Objstate.t * resp
+
+type op = {
+  id : int;
+  client : int;
+  kind : Trace.op_kind;
+  mutable rounds : int;
+}
+
+type ctx = {
+  self : int;
+  op : op;
+  n_objects : int;
+  prng : Sb_util.Prng.t;
+}
+
+type algorithm = {
+  name : string;
+  init_obj : int -> Sb_storage.Objstate.t;
+  write : ctx -> bytes -> unit;
+  read : ctx -> bytes option;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Effects performed by protocol code                                  *)
+(* ------------------------------------------------------------------ *)
+
+type _ Effect.t +=
+  | Trigger : int * Sb_storage.Block.t list * rmw -> int Effect.t
+  | Await : int list * int -> (int * resp) list Effect.t
+
+let trigger ~obj ~payload rmw = perform (Trigger (obj, payload, rmw))
+let await ~tickets ~quorum = perform (Await (tickets, quorum))
+
+let broadcast_rmw ~n ~payload f =
+  List.init n (fun i -> trigger ~obj:i ~payload:(payload i) (f i))
+
+(* ------------------------------------------------------------------ *)
+(* World state                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Result of running a client fiber until it blocks or finishes. *)
+type fiber_outcome = Done of bytes option | Blocked
+
+type client_status = Idle | Parked | Runnable | Crashed
+
+type pending = {
+  ticket : int;
+  p_obj : int;
+  p_client : int;
+  p_op : op;
+  payload : Sb_storage.Block.t list;
+  p_rmw : rmw;
+  triggered_at : int;
+}
+
+type pending_info = {
+  ticket : int;
+  p_obj : int;
+  p_client : int;
+  p_op : op;
+  payload_bits : int;
+  triggered_at : int;
+}
+
+type parked = {
+  w_tickets : int list;
+  w_quorum : int;
+  w_k : ((int * resp) list, fiber_outcome) continuation;
+}
+
+type client = {
+  cid : int;
+  mutable queue : Trace.op_kind list;
+  mutable status : client_status;
+  mutable waiting : parked option;
+  mutable current_op : op option;
+  c_prng : Sb_util.Prng.t;
+}
+
+type world = {
+  n : int;
+  f : int;
+  algorithm : algorithm;
+  objects : Sb_storage.Objstate.t array;
+  alive : bool array;
+  clients : client array;
+  pendings : (int, pending) Hashtbl.t;
+  mutable pending_order : int list; (* tickets, newest first *)
+  responses : (int, int * resp) Hashtbl.t;
+  mutable next_ticket : int;
+  mutable next_op : int;
+  mutable now : int;
+  tr : Trace.t;
+  mutable all_ops : op list;
+  mutable max_obj_bits : int;
+  mutable max_total_bits : int;
+  (* Set while a client fiber is executing, so the effect handler can
+     attribute triggers to the right client and operation. *)
+  mutable running : (client * op) option;
+}
+
+let create ?(seed = 1) ~algorithm ~n ~f ~workload () =
+  if f < 0 || 2 * f >= n then
+    invalid_arg "Runtime.create: need 0 <= f < n/2";
+  let root_prng = Sb_util.Prng.create seed in
+  let clients =
+    Array.mapi
+      (fun i ops ->
+        {
+          cid = i;
+          queue = ops;
+          status = Idle;
+          waiting = None;
+          current_op = None;
+          c_prng = Sb_util.Prng.split root_prng;
+        })
+      workload
+  in
+  {
+    n;
+    f;
+    algorithm;
+    objects = Array.init n algorithm.init_obj;
+    alive = Array.make n true;
+    clients;
+    pendings = Hashtbl.create 64;
+    pending_order = [];
+    responses = Hashtbl.create 64;
+    next_ticket = 1;
+    next_op = 1;
+    now = 0;
+    tr = Trace.create ();
+    all_ops = [];
+    max_obj_bits = 0;
+    max_total_bits = 0;
+    running = None;
+  }
+
+let enqueue_op w ~client kind =
+  if client < 0 || client >= Array.length w.clients then
+    invalid_arg "Runtime.enqueue_op: no such client";
+  let cl = w.clients.(client) in
+  if cl.status = Crashed then invalid_arg "Runtime.enqueue_op: client has crashed";
+  cl.queue <- cl.queue @ [ kind ]
+
+(* ------------------------------------------------------------------ *)
+(* Introspection                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let time w = w.now
+let n_objects w = w.n
+let f_tolerance w = w.f
+let obj_state w i = w.objects.(i)
+let obj_alive w i = w.alive.(i)
+let obj_bits w i = if w.alive.(i) then Sb_storage.Objstate.bits w.objects.(i) else 0
+let client_count w = Array.length w.clients
+let client_status w c = w.clients.(c).status
+
+let client_has_work w c =
+  let cl = w.clients.(c) in
+  cl.status = Idle && cl.queue <> []
+
+let info_of_pending (p : pending) =
+  {
+    ticket = p.ticket;
+    p_obj = p.p_obj;
+    p_client = p.p_client;
+    p_op = p.p_op;
+    payload_bits = Sb_storage.Accounting.bits_of_blocks p.payload;
+    triggered_at = p.triggered_at;
+  }
+
+let pending_rmws w =
+  List.rev_map (fun t -> info_of_pending (Hashtbl.find w.pendings t)) w.pending_order
+
+let outstanding_ops w =
+  Array.to_list w.clients
+  |> List.filter_map (fun cl ->
+         if cl.status = Crashed then None else cl.current_op)
+
+let all_ops w = List.rev w.all_ops
+
+let max_read_rounds w =
+  List.fold_left
+    (fun acc (op : op) ->
+      match op.kind with Trace.Read -> max acc op.rounds | Trace.Write _ -> acc)
+    0 w.all_ops
+
+let storage_bits_objects w =
+  let acc = ref 0 in
+  for i = 0 to w.n - 1 do
+    if w.alive.(i) then acc := !acc + Sb_storage.Objstate.bits w.objects.(i)
+  done;
+  !acc
+
+let inflight_bits w =
+  Hashtbl.fold
+    (fun _ (p : pending) acc ->
+      if w.clients.(p.p_client).status = Crashed then acc
+      else acc + Sb_storage.Accounting.bits_of_blocks p.payload)
+    w.pendings 0
+
+let storage_bits_total w = storage_bits_objects w + inflight_bits w
+
+let visible_blocks_excluding w ~client =
+  let obj_blocks =
+    List.concat
+      (List.init w.n (fun i ->
+           if w.alive.(i) then Sb_storage.Objstate.blocks w.objects.(i) else []))
+  in
+  Hashtbl.fold
+    (fun _ (p : pending) acc ->
+      if p.p_client = client || w.clients.(p.p_client).status = Crashed then acc
+      else p.payload @ acc)
+    w.pendings obj_blocks
+
+let op_contribution w (op : op) =
+  Sb_storage.Accounting.contribution ~source:op.id
+    (visible_blocks_excluding w ~client:op.client)
+
+let max_bits_objects w = w.max_obj_bits
+let max_bits_total w = w.max_total_bits
+let trace w = w.tr
+
+let update_maxima w =
+  let ob = storage_bits_objects w in
+  let tb = ob + inflight_bits w in
+  if ob > w.max_obj_bits then w.max_obj_bits <- ob;
+  if tb > w.max_total_bits then w.max_total_bits <- tb
+
+(* ------------------------------------------------------------------ *)
+(* Fiber machinery                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let responses_for w tickets =
+  List.filter_map (fun t -> Hashtbl.find_opt w.responses t) tickets
+
+let await_satisfied w tickets quorum =
+  let count =
+    List.fold_left
+      (fun acc t -> if Hashtbl.mem w.responses t then acc + 1 else acc)
+      0 tickets
+  in
+  count >= quorum
+
+(* The deep handler interpreting protocol effects against world [w] for
+   client [cl] running operation [op]. *)
+let handle_fiber w cl op (body : unit -> bytes option) : fiber_outcome =
+  w.running <- Some (cl, op);
+  let result =
+    match_with body ()
+      {
+        retc = (fun r -> Done r);
+        exnc = raise;
+        effc =
+          (fun (type b) (eff : b Effect.t) ->
+            match eff with
+            | Trigger (obj, payload, rmw) ->
+              Some
+                (fun (k : (b, fiber_outcome) continuation) ->
+                  if obj < 0 || obj >= w.n then
+                    invalid_arg "Runtime.trigger: no such object";
+                  let ticket = w.next_ticket in
+                  w.next_ticket <- ticket + 1;
+                  let p =
+                    {
+                      ticket;
+                      p_obj = obj;
+                      p_client = cl.cid;
+                      p_op = op;
+                      payload;
+                      p_rmw = rmw;
+                      triggered_at = w.now;
+                    }
+                  in
+                  Hashtbl.add w.pendings ticket p;
+                  w.pending_order <- ticket :: w.pending_order;
+                  Trace.add w.tr
+                    (Rmw_trigger
+                       {
+                         time = w.now;
+                         ticket;
+                         op = op.id;
+                         client = cl.cid;
+                         obj;
+                         payload_bits = Sb_storage.Accounting.bits_of_blocks payload;
+                       });
+                  continue k ticket)
+            | Await (tickets, quorum) ->
+              Some
+                (fun (k : (b, fiber_outcome) continuation) ->
+                  if await_satisfied w tickets quorum then
+                    continue k (responses_for w tickets)
+                  else begin
+                    cl.waiting <- Some { w_tickets = tickets; w_quorum = quorum; w_k = k };
+                    cl.status <- Parked;
+                    Blocked
+                  end)
+            | _ -> None);
+      }
+  in
+  w.running <- None;
+  result
+
+let finish_op w cl (op : op) result =
+  cl.current_op <- None;
+  cl.status <- Idle;
+  Trace.add w.tr (Return { time = w.now; op = op.id; client = cl.cid; result })
+
+let invoke_next w cl =
+  match cl.queue with
+  | [] -> invalid_arg "Runtime.step: client has no queued operation"
+  | kind :: rest ->
+    cl.queue <- rest;
+    let op = { id = w.next_op; client = cl.cid; kind; rounds = 0 } in
+    w.next_op <- w.next_op + 1;
+    w.all_ops <- op :: w.all_ops;
+    cl.current_op <- Some op;
+    Trace.add w.tr (Invoke { time = w.now; op = op.id; client = cl.cid; kind });
+    let ctx = { self = cl.cid; op; n_objects = w.n; prng = cl.c_prng } in
+    let body () =
+      match kind with
+      | Trace.Write v ->
+        w.algorithm.write ctx v;
+        None
+      | Trace.Read -> w.algorithm.read ctx
+    in
+    (match handle_fiber w cl op body with
+     | Done result -> finish_op w cl op result
+     | Blocked -> ())
+
+let resume w cl =
+  match cl.waiting with
+  | None -> invalid_arg "Runtime.step: client is not waiting"
+  | Some { w_tickets; w_quorum; w_k } ->
+    if not (await_satisfied w w_tickets w_quorum) then
+      invalid_arg "Runtime.step: client's quorum is not satisfied";
+    cl.waiting <- None;
+    cl.status <- Idle;
+    let op = match cl.current_op with Some op -> op | None -> assert false in
+    w.running <- Some (cl, op);
+    let outcome = continue w_k (responses_for w w_tickets) in
+    w.running <- None;
+    (match outcome with
+     | Done result -> finish_op w cl op result
+     | Blocked -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Scheduling                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type decision =
+  | Deliver of int
+  | Step of int
+  | Crash_obj of int
+  | Crash_client of int
+  | Halt
+
+type policy = world -> decision
+
+let deliverable w =
+  List.rev
+    (List.filter_map
+       (fun t ->
+         let p = Hashtbl.find w.pendings t in
+         if w.alive.(p.p_obj) then Some (info_of_pending p) else None)
+       w.pending_order)
+
+let steppable w =
+  Array.to_list w.clients
+  |> List.filter_map (fun cl ->
+         match cl.status with
+         | Idle when cl.queue <> [] -> Some cl.cid
+         | Runnable -> Some cl.cid
+         | Parked -> (
+           match cl.waiting with
+           | Some { w_tickets; w_quorum; _ }
+             when await_satisfied w w_tickets w_quorum ->
+             Some cl.cid
+           | _ -> None)
+         | _ -> None)
+
+let deliver w ticket =
+  match Hashtbl.find_opt w.pendings ticket with
+  | None -> invalid_arg "Runtime.step: unknown ticket"
+  | Some p ->
+    if not w.alive.(p.p_obj) then
+      invalid_arg "Runtime.step: object has crashed; RMW cannot take effect";
+    Hashtbl.remove w.pendings ticket;
+    w.pending_order <- List.filter (fun t -> t <> ticket) w.pending_order;
+    let state, resp = p.p_rmw w.objects.(p.p_obj) in
+    w.objects.(p.p_obj) <- state;
+    Trace.add w.tr (Rmw_deliver { time = w.now; ticket; obj = p.p_obj });
+    let cl = w.clients.(p.p_client) in
+    if cl.status <> Crashed then begin
+      Hashtbl.replace w.responses ticket (p.p_obj, resp);
+      match cl.status, cl.waiting with
+      | Parked, Some { w_tickets; w_quorum; _ }
+        when await_satisfied w w_tickets w_quorum ->
+        cl.status <- Runnable
+      | _ -> ()
+    end
+
+let crash_obj w i =
+  if i < 0 || i >= w.n then invalid_arg "Runtime.step: no such object";
+  if not w.alive.(i) then invalid_arg "Runtime.step: object already crashed";
+  let crashed = Array.fold_left (fun acc a -> if a then acc else acc + 1) 0 w.alive in
+  if crashed >= w.f then
+    invalid_arg "Runtime.step: cannot crash more than f base objects";
+  w.alive.(i) <- false;
+  Trace.add w.tr (Crash_object { time = w.now; obj = i })
+
+let crash_client w c =
+  if c < 0 || c >= Array.length w.clients then
+    invalid_arg "Runtime.step: no such client";
+  let cl = w.clients.(c) in
+  if cl.status = Crashed then invalid_arg "Runtime.step: client already crashed";
+  cl.status <- Crashed;
+  cl.waiting <- None;
+  cl.queue <- [];
+  Trace.add w.tr (Crash_client { time = w.now; client = c })
+
+let step w decision =
+  w.now <- w.now + 1;
+  let continue_run =
+    match decision with
+    | Deliver ticket ->
+      deliver w ticket;
+      true
+    | Step c ->
+      let cl = w.clients.(c) in
+      (match cl.status with
+       | Crashed -> invalid_arg "Runtime.step: client has crashed"
+       | Idle when cl.queue <> [] ->
+         invoke_next w cl;
+         true
+       | Idle -> invalid_arg "Runtime.step: client has nothing to do"
+       | Runnable ->
+         resume w cl;
+         true
+       | Parked ->
+         resume w cl;
+         true)
+    | Crash_obj i ->
+      crash_obj w i;
+      true
+    | Crash_client c ->
+      crash_client w c;
+      true
+    | Halt -> false
+  in
+  update_maxima w;
+  continue_run
+
+type outcome = { world : world; steps : int; halted : bool; quiescent : bool }
+
+let quiescent w = deliverable w = [] && steppable w = []
+
+let run ?(max_steps = 1_000_000) w policy =
+  let rec go steps =
+    if steps >= max_steps then { world = w; steps; halted = false; quiescent = false }
+    else if quiescent w then { world = w; steps; halted = false; quiescent = true }
+    else begin
+      let decision = policy w in
+      if step w decision then go (steps + 1)
+      else { world = w; steps = steps + 1; halted = true; quiescent = false }
+    end
+  in
+  update_maxima w;
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Built-in policies                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let random_policy ?(crash_objs = []) ~seed () =
+  let prng = Sb_util.Prng.create seed in
+  let remaining = ref (List.sort compare crash_objs) in
+  fun w ->
+    match !remaining with
+    | (t, obj) :: rest when time w >= t && obj_alive w obj ->
+      remaining := rest;
+      Crash_obj obj
+    | _ ->
+      let delivers = List.map (fun p -> Deliver p.ticket) (deliverable w) in
+      let steps = List.map (fun c -> Step c) (steppable w) in
+      let choices = Array.of_list (delivers @ steps) in
+      if Array.length choices = 0 then Halt else Sb_util.Prng.pick prng choices
+
+let fifo_policy () =
+  fun w ->
+    match deliverable w with
+    | p :: _ -> Deliver p.ticket
+    | [] -> (
+      match steppable w with
+      | c :: _ -> Step c
+      | [] -> Halt)

@@ -1,0 +1,219 @@
+(** Deterministic simulator of the paper's system model (Section 2).
+
+    The system consists of [n] base objects supporting atomic
+    read-modify-write (RMW) and a set of clients running register
+    emulation protocols.  Everything is asynchronous: a protocol
+    {e triggers} RMWs, which {e take effect} atomically at a later point
+    chosen by the scheduling policy, and awaits responses.  Any [f] base
+    objects and any number of clients may crash.
+
+    Protocol code runs in direct style on OCaml effects: {!trigger}
+    registers a pending RMW and returns a ticket immediately; {!await}
+    suspends the client until a quorum of responses has been scheduled.
+    A {e policy} — the environment/adversary of the paper — picks every
+    step: which pending RMW takes effect next, which client gets to run,
+    and which components crash.  The lower-bound adversary Ad
+    (Definition 7) is one such policy, implemented in [Sb_adversary]. *)
+
+(** {1 RMW interface} *)
+
+type resp =
+  | Ack
+  (** The RMW mutated the object and returns nothing. *)
+  | Snap of Sb_storage.Objstate.t
+  (** The RMW returns a snapshot of the object state (its value at the
+      linearisation point of the RMW). *)
+
+type rmw = Sb_storage.Objstate.t -> Sb_storage.Objstate.t * resp
+(** An RMW maps the current object state to the new state plus a
+    response; it is applied atomically when the policy delivers it. *)
+
+(** {1 Operations and workloads} *)
+
+type op = {
+  id : int;
+  client : int;
+  kind : Trace.op_kind;
+  mutable rounds : int;  (** Protocol-reported round count (diagnostics). *)
+}
+
+type ctx = {
+  self : int;          (** Client id running the operation. *)
+  op : op;             (** The operation being executed. *)
+  n_objects : int;     (** Number of base objects [n]. *)
+  prng : Sb_util.Prng.t;  (** Client-local deterministic randomness. *)
+}
+
+type algorithm = {
+  name : string;
+  init_obj : int -> Sb_storage.Objstate.t;
+  (** [init_obj i] is the initial state of base object [bo_i]; algorithms
+      seed it with blocks of the initial value [v0] (source op 0). *)
+  write : ctx -> bytes -> unit;
+  read : ctx -> bytes option;
+  (** Protocol bodies, executed inside a client fiber; they may only
+      interact with the world through {!trigger} and {!await}. *)
+}
+
+(** {1 Effects available to protocol code} *)
+
+type _ Effect.t +=
+  | Trigger : int * Sb_storage.Block.t list * rmw -> int Effect.t
+  | Await : int list * int -> (int * resp) list Effect.t
+      (** The raw protocol effects, exposed so that alternative runtimes
+          (e.g. the message-passing emulation in [Sb_msgnet]) can install
+          their own handlers and run the very same register protocol
+          code. *)
+
+val trigger : obj:int -> payload:Sb_storage.Block.t list -> rmw -> int
+(** Triggers an RMW on base object [obj] and returns its ticket without
+    waiting.  [payload] declares the code blocks carried by the RMW's
+    parameters, which count towards the in-flight storage cost and the
+    per-operation contribution of Definition 6. *)
+
+val await : tickets:int list -> quorum:int -> (int * resp) list
+(** Suspends until at least [quorum] of [tickets] have responses, then
+    returns the [(object, response)] pairs received so far.  Responses to
+    tickets outside the list are ignored (stragglers from earlier rounds
+    are never delivered twice). *)
+
+val broadcast_rmw :
+  n:int -> payload:(int -> Sb_storage.Block.t list) -> (int -> rmw) -> int list
+(** [broadcast_rmw ~n ~payload f] triggers [f i] on every object
+    [i < n]; the standard "invoke RMWs on all base objects in parallel"
+    idiom of the paper's algorithms. *)
+
+(** {1 Worlds} *)
+
+type world
+
+type client_status =
+  | Idle        (** No outstanding operation. *)
+  | Parked      (** Awaiting a quorum that is not yet satisfied. *)
+  | Runnable    (** Awaiting a quorum that is satisfied; a [Step] resumes it. *)
+  | Crashed
+
+type pending_info = {
+  ticket : int;
+  p_obj : int;
+  p_client : int;
+  p_op : op;
+  payload_bits : int;
+  triggered_at : int;
+}
+
+val create :
+  ?seed:int ->
+  algorithm:algorithm ->
+  n:int ->
+  f:int ->
+  workload:Trace.op_kind list array ->
+  unit ->
+  world
+(** A fresh world with [n] base objects and one client per workload
+    entry; client [i] will perform the operations of [workload.(i)] in
+    order, each invoked when the policy steps an idle client. *)
+
+val enqueue_op : world -> client:int -> Trace.op_kind -> unit
+(** Appends an operation to a live client's queue.  Lets layered
+    services (e.g. the key-value store in [Sb_kv]) feed work to a world
+    incrementally instead of declaring it all up front.  Raises
+    [Invalid_argument] if the client is crashed or unknown. *)
+
+(** {2 Introspection (for policies, adversaries and accounting)} *)
+
+val time : world -> int
+val n_objects : world -> int
+val f_tolerance : world -> int
+val obj_state : world -> int -> Sb_storage.Objstate.t
+val obj_alive : world -> int -> bool
+val obj_bits : world -> int -> int
+(** Block bits currently stored at an object (0 if crashed). *)
+
+val client_count : world -> int
+val client_status : world -> int -> client_status
+val client_has_work : world -> int -> bool
+(** Idle with a non-empty operation queue. *)
+
+val pending_rmws : world -> pending_info list
+(** All triggered-but-not-yet-effective RMWs, oldest first, including
+    those stuck on crashed objects. *)
+
+val outstanding_ops : world -> op list
+(** Operations invoked but not returned, by live clients. *)
+
+val all_ops : world -> op list
+(** Every operation invoked so far, in invocation order. *)
+
+val max_read_rounds : world -> int
+(** The largest protocol-reported round count over all read operations
+    invoked so far (0 if none). *)
+
+val storage_bits_objects : world -> int
+(** Definition 2 restricted to live base objects. *)
+
+val storage_bits_total : world -> int
+(** Live base objects plus in-flight RMW payloads of live clients: the
+    measure the lower bound is stated against (channels count,
+    Section 3.2). *)
+
+val op_contribution : world -> op -> int
+(** [||S(t, w)||] (Definition 6): distinct-index block bits sourced from
+    [w] in live object states and in pending payloads of clients other
+    than [w]'s own. *)
+
+val max_bits_objects : world -> int
+val max_bits_total : world -> int
+(** Running maxima of the two storage measures over the run so far — the
+    paper's storage cost is the max over all times. *)
+
+val trace : world -> Trace.t
+
+(** {1 Scheduling} *)
+
+type decision =
+  | Deliver of int      (** Let pending RMW [ticket] take effect and respond. *)
+  | Step of int         (** Let client [c] act: invoke its next queued
+                            operation, or resume from a satisfied await. *)
+  | Crash_obj of int
+  | Crash_client of int
+  | Halt                (** Stop the run. *)
+
+type policy = world -> decision
+(** The environment: called once per step with the current world. *)
+
+val deliverable : world -> pending_info list
+(** Pending RMWs on live objects, oldest first. *)
+
+val steppable : world -> int list
+(** Clients that a [Step] would advance. *)
+
+val step : world -> decision -> bool
+(** Executes one decision; returns [false] if the decision was [Halt].
+    Raises [Invalid_argument] on decisions that are not enabled (e.g.
+    delivering an unknown ticket or stepping a parked client). *)
+
+type outcome = {
+  world : world;
+  steps : int;
+  halted : bool;  (** The policy said [Halt] (otherwise the run ended by
+                      quiescence or by exhausting [max_steps]). *)
+  quiescent : bool;  (** No enabled actions remained. *)
+}
+
+val run : ?max_steps:int -> world -> policy -> outcome
+(** Drives the world with the policy until the policy halts, no action is
+    enabled, or [max_steps] (default [1_000_000]) decisions have been
+    executed. *)
+
+(** {2 Built-in policies} *)
+
+val random_policy : ?crash_objs:(int * int) list -> seed:int -> unit -> policy
+(** Picks uniformly among enabled actions (fair with probability 1).
+    [crash_objs] optionally schedules object crashes as [(time, obj)]
+    pairs. *)
+
+val fifo_policy : unit -> policy
+(** Deterministic: always delivers the oldest deliverable RMW; otherwise
+    steps the lowest-numbered steppable client.  Produces an almost
+    synchronous, failure-free run. *)

@@ -1,0 +1,151 @@
+type op_kind = Write of bytes | Read
+
+type event =
+  | Invoke of { time : int; op : int; client : int; kind : op_kind }
+  | Return of { time : int; op : int; client : int; result : bytes option }
+  | Rmw_trigger of {
+      time : int;
+      ticket : int;
+      op : int;
+      client : int;
+      obj : int;
+      payload_bits : int;
+    }
+  | Rmw_deliver of { time : int; ticket : int; obj : int }
+  | Crash_object of { time : int; obj : int }
+  | Crash_client of { time : int; client : int }
+
+type t = { mutable events : event list; mutable length : int }
+
+let create () = { events = []; length = 0 }
+
+let add t e =
+  t.events <- e :: t.events;
+  t.length <- t.length + 1
+
+let events t = List.rev t.events
+let length t = t.length
+
+let operations t =
+  let returns = Hashtbl.create 16 in
+  List.iter
+    (function
+      | Return { time; op; result; _ } -> Hashtbl.replace returns op (time, result)
+      | _ -> ())
+    t.events;
+  let ops =
+    List.filter_map
+      (function
+        | Invoke { time; op; kind; _ } ->
+          let return_time, result =
+            match Hashtbl.find_opt returns op with
+            | Some (rt, res) -> (Some rt, res)
+            | None -> (None, None)
+          in
+          Some (op, kind, time, return_time, result)
+        | _ -> None)
+      (List.rev t.events)
+  in
+  ops
+
+(* Line format: a one-letter tag followed by space-separated fields.
+   I = invoke, O = return (out), T = rmw trigger, D = rmw deliver,
+   X = object crash, C = client crash. *)
+let event_to_line = function
+  | Invoke { time; op; client; kind } -> (
+    match kind with
+    | Write v -> Printf.sprintf "I %d %d %d W %s" time op client (Sb_util.Bytesx.hex v)
+    | Read -> Printf.sprintf "I %d %d %d R" time op client)
+  | Return { time; op; client; result } ->
+    Printf.sprintf "O %d %d %d %s" time op client
+      (match result with Some v -> Sb_util.Bytesx.hex v | None -> "-")
+  | Rmw_trigger { time; ticket; op; client; obj; payload_bits } ->
+    Printf.sprintf "T %d %d %d %d %d %d" time ticket op client obj payload_bits
+  | Rmw_deliver { time; ticket; obj } -> Printf.sprintf "D %d %d %d" time ticket obj
+  | Crash_object { time; obj } -> Printf.sprintf "X %d %d" time obj
+  | Crash_client { time; client } -> Printf.sprintf "C %d %d" time client
+
+let to_lines t = List.rev_map event_to_line t.events
+
+let event_of_line line =
+  let int_of s = match int_of_string_opt s with
+    | Some i -> Ok i
+    | None -> Error (Printf.sprintf "not an integer: %S" s)
+  in
+  let ( let* ) = Result.bind in
+  match String.split_on_char ' ' line with
+  | [ "I"; time; op; client; "W"; hex ] ->
+    let* time = int_of time in
+    let* op = int_of op in
+    let* client = int_of client in
+    (try Ok (Invoke { time; op; client; kind = Write (Sb_util.Bytesx.of_hex hex) })
+     with Invalid_argument m -> Error m)
+  | [ "I"; time; op; client; "R" ] ->
+    let* time = int_of time in
+    let* op = int_of op in
+    let* client = int_of client in
+    Ok (Invoke { time; op; client; kind = Read })
+  | [ "O"; time; op; client; result ] ->
+    let* time = int_of time in
+    let* op = int_of op in
+    let* client = int_of client in
+    if result = "-" then Ok (Return { time; op; client; result = None })
+    else
+      (try Ok (Return { time; op; client; result = Some (Sb_util.Bytesx.of_hex result) })
+       with Invalid_argument m -> Error m)
+  | [ "T"; time; ticket; op; client; obj; bits ] ->
+    let* time = int_of time in
+    let* ticket = int_of ticket in
+    let* op = int_of op in
+    let* client = int_of client in
+    let* obj = int_of obj in
+    let* payload_bits = int_of bits in
+    Ok (Rmw_trigger { time; ticket; op; client; obj; payload_bits })
+  | [ "D"; time; ticket; obj ] ->
+    let* time = int_of time in
+    let* ticket = int_of ticket in
+    let* obj = int_of obj in
+    Ok (Rmw_deliver { time; ticket; obj })
+  | [ "X"; time; obj ] ->
+    let* time = int_of time in
+    let* obj = int_of obj in
+    Ok (Crash_object { time; obj })
+  | [ "C"; time; client ] ->
+    let* time = int_of time in
+    let* client = int_of client in
+    Ok (Crash_client { time; client })
+  | _ -> Error "unrecognised event line"
+
+let of_lines lines =
+  let t = create () in
+  let rec go = function
+    | [] -> Ok t
+    | "" :: rest -> go rest
+    | line :: rest -> (
+      match event_of_line line with
+      | Ok e ->
+        add t e;
+        go rest
+      | Error msg -> Error (Printf.sprintf "%s (in %S)" msg line))
+  in
+  go lines
+
+let pp_kind ppf = function
+  | Write v -> Format.fprintf ppf "write(%s)" (Sb_util.Bytesx.hex v)
+  | Read -> Format.fprintf ppf "read()"
+
+let pp_event ppf = function
+  | Invoke { time; op; client; kind } ->
+    Format.fprintf ppf "[%6d] c%d invokes op%d = %a" time client op pp_kind kind
+  | Return { time; op; client; result } ->
+    Format.fprintf ppf "[%6d] c%d returns op%d%s" time client op
+      (match result with
+       | Some v -> " -> " ^ Sb_util.Bytesx.hex v
+       | None -> "")
+  | Rmw_trigger { time; ticket; op; client; obj; payload_bits } ->
+    Format.fprintf ppf "[%6d] c%d op%d triggers rmw#%d on bo%d (%d payload bits)" time
+      client op ticket obj payload_bits
+  | Rmw_deliver { time; ticket; obj } ->
+    Format.fprintf ppf "[%6d] rmw#%d takes effect on bo%d" time ticket obj
+  | Crash_object { time; obj } -> Format.fprintf ppf "[%6d] bo%d crashes" time obj
+  | Crash_client { time; client } -> Format.fprintf ppf "[%6d] c%d crashes" time client

@@ -1,0 +1,56 @@
+(** Run traces: the sequence of observable actions of a simulation.
+
+    The trace records high-level operation invocations/returns (the
+    paper's [trace(r)]) together with low-level RMW trigger/take-effect
+    actions and crash events, time-stamped by the global step counter.
+    The consistency checkers in [Sb_spec] consume the operation events;
+    the RMW events support debugging and the adversary walkthrough
+    example. *)
+
+type op_kind = Write of bytes | Read
+
+type event =
+  | Invoke of { time : int; op : int; client : int; kind : op_kind }
+  | Return of { time : int; op : int; client : int; result : bytes option }
+  | Rmw_trigger of {
+      time : int;
+      ticket : int;
+      op : int;
+      client : int;
+      obj : int;
+      payload_bits : int;
+    }
+  | Rmw_deliver of { time : int; ticket : int; obj : int }
+  | Crash_object of { time : int; obj : int }
+  | Crash_client of { time : int; client : int }
+
+type t
+
+val create : unit -> t
+val add : t -> event -> unit
+val events : t -> event list
+(** Events in chronological order. *)
+
+val length : t -> int
+
+val operations : t -> (int * op_kind * int * int option * bytes option) list
+(** [(op, kind, invoke_time, return_time, result)] for every invoked
+    operation, in invocation order.  [return_time = None] for operations
+    outstanding at the end of the run. *)
+
+val pp_event : Format.formatter -> event -> unit
+
+(** {1 Serialisation}
+
+    A stable, line-oriented text format, one event per line, suitable
+    for saving runs to disk and replaying them through the analysis
+    tools.  Written values are hex-encoded; everything else is
+    whitespace-separated decimal. *)
+
+val to_lines : t -> string list
+(** Chronological, one line per event. *)
+
+val of_lines : string list -> (t, string) result
+(** Parses the output of {!to_lines}; [Error msg] names the first
+    offending line.  Blank lines are ignored. *)
+

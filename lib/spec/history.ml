@@ -1,0 +1,46 @@
+type write = { w_op : int; value : bytes; w_inv : int; w_ret : int option }
+type read = { r_op : int; result : bytes option; r_inv : int; r_ret : int option }
+type t = { writes : write list; reads : read list; initial : bytes }
+
+let of_trace ~initial tr =
+  let ops = Sb_sim.Trace.operations tr in
+  let writes, reads =
+    List.fold_left
+      (fun (ws, rs) (op, kind, inv, ret, result) ->
+        match kind with
+        | Sb_sim.Trace.Write v ->
+          ({ w_op = op; value = v; w_inv = inv; w_ret = ret } :: ws, rs)
+        | Sb_sim.Trace.Read ->
+          (ws, { r_op = op; result; r_inv = inv; r_ret = ret } :: rs))
+      ([], []) ops
+  in
+  { writes = List.rev writes; reads = List.rev reads; initial }
+
+let make ~initial ~writes ~reads = { writes; reads; initial }
+let precedes ret inv = match ret with Some r -> r < inv | None -> false
+
+let completed_reads t =
+  List.filter (fun r -> r.r_ret <> None) t.reads
+  |> List.sort (fun a b -> compare a.r_inv b.r_inv)
+
+let writer_of t v =
+  match List.filter (fun w -> Bytes.equal w.value v) t.writes with
+  | [ w ] -> Some w
+  | _ -> None
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun w ->
+      Format.fprintf ppf "w%d: write(%s) [%d, %s]@ " w.w_op
+        (Sb_util.Bytesx.hex w.value) w.w_inv
+        (match w.w_ret with Some r -> string_of_int r | None -> "∞"))
+    t.writes;
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "r%d: read -> %s [%d, %s]@ " r.r_op
+        (match r.result with Some v -> Sb_util.Bytesx.hex v | None -> "⊥")
+        r.r_inv
+        (match r.r_ret with Some rt -> string_of_int rt | None -> "∞"))
+    t.reads;
+  Format.fprintf ppf "@]"

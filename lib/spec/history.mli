@@ -1,0 +1,41 @@
+(** Operation histories extracted from run traces.
+
+    A history is the paper's [trace(r)]: the invocations and returns of
+    high-level operations, with RMW-level events stripped.  The
+    consistency checkers in {!Regularity} work on this representation. *)
+
+type write = {
+  w_op : int;
+  value : bytes;
+  w_inv : int;
+  w_ret : int option;  (** [None] if outstanding at the end of the run. *)
+}
+
+type read = {
+  r_op : int;
+  result : bytes option;  (** [None] if the read failed to decode. *)
+  r_inv : int;
+  r_ret : int option;
+}
+
+type t = { writes : write list; reads : read list; initial : bytes }
+
+val of_trace : initial:bytes -> Sb_sim.Trace.t -> t
+(** Extracts the operation history; [initial] is the register's initial
+    value [v0]. *)
+
+val make : initial:bytes -> writes:write list -> reads:read list -> t
+(** Hand-built histories, used by the checker unit tests. *)
+
+val precedes : int option -> int -> bool
+(** [precedes ret inv]: did the first operation return before the second
+    was invoked?  ([false] if the first never returned.) *)
+
+val completed_reads : t -> read list
+(** Reads that returned, in invocation order. *)
+
+val writer_of : t -> bytes -> write option
+(** The write that wrote this exact value, if unique; [None] when the
+    value is [v0], was never written, or was written more than once. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,47 @@
+(** Consistency checkers for MWMR register histories.
+
+    Three conditions from the paper (Appendix A, following Lamport [12]
+    and Shao et al. [14]):
+
+    - {b weak regularity} (MWRegWeak) — for every returned read there is
+      a linearization of that read together with all writes.  This is the
+      condition the lower bound is proved against.
+    - {b strong regularity} (MWRegWO) — weak regularity, plus all reads
+      agree on the order of the writes relevant to them; equivalently,
+      there is a single linearization [sigma] of the writes such that
+      every read is legal with respect to [sigma].  This is what the
+      paper's adaptive algorithm guarantees.
+    - {b strong safety} — there is a linearization of the writes into
+      which every read {e with no concurrent writes} can be inserted
+      legally; reads overlapping writes may return anything.  This is
+      what the Appendix-E algorithm guarantees.
+
+    A read returning value [v] is legal with respect to a write order
+    [sigma] when [v]'s write [w] satisfies: [w] does not begin after the
+    read returns, and every write that completes before the read is
+    invoked is ordered no later than [w] in [sigma].  Reads returning the
+    initial value [v0] are legal when no write completes before them.
+
+    The checkers are exact: they search for the required write order by
+    topologically sorting the constraint graph induced by real-time
+    precedence and by each read's return value, and report a
+    counterexample description on failure. *)
+
+type verdict = Ok | Violation of string
+
+val check_weak : History.t -> verdict
+(** MWRegWeak: each returned read is checked independently. *)
+
+val check_strong : History.t -> verdict
+(** MWRegWO: additionally requires one write order serving all reads. *)
+
+val check_safe : History.t -> verdict
+(** Strong safety: only reads without concurrent writes are constrained. *)
+
+val check_atomic : History.t -> verdict
+(** Linearizability of the whole history (reads and writes).  None of
+    the paper's algorithms promise this — ABD without read write-back is
+    regular but not atomic — but the checker is useful for documenting
+    {e why} (new/old inversions show up as violations). *)
+
+val pp_verdict : Format.formatter -> verdict -> unit

@@ -1,0 +1,20 @@
+let bits_of_blocks blocks =
+  List.fold_left (fun acc b -> acc + Block.bits b) 0 blocks
+
+let index_table ~source blocks =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (b : Block.t) ->
+      if b.source = source then
+        let prev = Option.value ~default:0 (Hashtbl.find_opt tbl b.index) in
+        Hashtbl.replace tbl b.index (max prev (Block.bits b)))
+    blocks;
+  tbl
+
+let indices_of ~source blocks =
+  let tbl = index_table ~source blocks in
+  List.sort Int.compare (Hashtbl.fold (fun i _ acc -> i :: acc) tbl [])
+
+let contribution ~source blocks =
+  let tbl = index_table ~source blocks in
+  Hashtbl.fold (fun _ bits acc -> acc + bits) tbl 0

@@ -1,0 +1,20 @@
+(** Storage-cost measures (Definitions 2 and 6).
+
+    The simulator assembles the lists of blocks visible at each component;
+    this module turns them into the quantities the paper's proof and the
+    experiments are stated in. *)
+
+val bits_of_blocks : Block.t list -> int
+(** Definition 2 over a block list: the sum of [|e|] over all block
+    instances (duplicates count every time — the storage cost counts
+    instances, not distinct blocks). *)
+
+val indices_of : source:int -> Block.t list -> int list
+(** [S(t, w)] of Definition 6: the sorted, distinct block numbers [i]
+    such that a block with source [(w, i)] appears in the list. *)
+
+val contribution : source:int -> Block.t list -> int
+(** [||S(t, w)||] of Definition 6: the sum of block sizes over the
+    {e distinct} indices of [source]'s blocks in the list.  When the same
+    index appears more than once the largest instance is counted (all our
+    codecs are symmetric so the sizes agree anyway). *)

@@ -1,0 +1,13 @@
+type t = { source : int; index : int; data : bytes }
+
+let v ~source ~index data =
+  if source < 0 then invalid_arg "Block.v: negative source";
+  if index < 0 then invalid_arg "Block.v: negative index";
+  { source; index; data }
+
+let initial ~index data = v ~source:0 ~index data
+let bits b = 8 * Bytes.length b.data
+let same_source a b = a.source = b.source
+
+let pp ppf b =
+  Format.fprintf ppf "⟨w%d,%d⟩:%dB" b.source b.index (Bytes.length b.data)

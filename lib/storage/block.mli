@@ -1,0 +1,27 @@
+(** Code-block instances tagged with their source (Definition 4).
+
+    Every block that enters the storage carries the pair [(source, index)]
+    identifying the write operation whose encoding oracle produced it and
+    the block number it was produced with.  This realises the paper's
+    source function explicitly: the storage-cost accounting and the
+    lower-bound adversary trace blocks back to operations through these
+    tags, never through block contents. *)
+
+type t = private {
+  source : int;  (** Operation id of the write whose oracle produced it;
+                     [0] is reserved for the initial value [v0]. *)
+  index : int;   (** The block number [i] of [E(v, i)]. *)
+  data : bytes;  (** The block contents [e]. *)
+}
+
+val v : source:int -> index:int -> bytes -> t
+(** Tags a freshly encoded block. *)
+
+val initial : index:int -> bytes -> t
+(** A block of the initial value [v0] (source operation 0). *)
+
+val bits : t -> int
+(** [|e|] in bits: the contribution of this block to the storage cost. *)
+
+val same_source : t -> t -> bool
+val pp : Format.formatter -> t -> unit

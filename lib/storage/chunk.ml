@@ -1,0 +1,5 @@
+type t = { ts : Timestamp.t; block : Block.t }
+
+let v ~ts block = { ts; block }
+let bits c = Block.bits c.block
+let pp ppf c = Format.fprintf ppf "%a%a" Timestamp.pp c.ts Block.pp c.block

@@ -1,0 +1,11 @@
+(** Timestamped code blocks — the paper's [Chunks = Pieces x TimeStamps]
+    (Algorithm 1, line 3). *)
+
+type t = { ts : Timestamp.t; block : Block.t }
+
+val v : ts:Timestamp.t -> Block.t -> t
+val bits : t -> int
+(** Storage-cost contribution: the block bits; the timestamp is
+    meta-data and costs nothing (Section 3.1). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,18 @@
+type t = {
+  stored_ts : Timestamp.t;
+  vp : Chunk.t list;
+  vf : Chunk.t list;
+}
+
+let init ?(vp = []) ?(vf = []) () = { stored_ts = Timestamp.zero; vp; vf }
+let blocks t = List.map (fun (c : Chunk.t) -> c.block) (t.vp @ t.vf)
+let bits t = List.fold_left (fun acc c -> acc + Chunk.bits c) 0 (t.vp @ t.vf)
+let chunk_count t = List.length t.vp + List.length t.vf
+let with_stored_ts t ts = { t with stored_ts = Timestamp.max t.stored_ts ts }
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>ts=%a vp=[%a] vf=[%a]@]" Timestamp.pp t.stored_ts
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ") Chunk.pp)
+    t.vp
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ") Chunk.pp)
+    t.vf

@@ -1,0 +1,40 @@
+(** State of a base object, shaped after Algorithm 1 (line 8):
+    [bo_i = <storedTS, Vp, Vf>].
+
+    All four register emulations in this repository (ABD replication, pure
+    erasure coding, the adaptive algorithm, and the Appendix-E safe
+    register) fit this shape, which lets the simulator, the storage-cost
+    accounting and the lower-bound adversary treat every algorithm
+    uniformly:
+
+    - [stored_ts] — the commit-barrier timestamp (meta-data, free);
+    - [vp] — timestamped {e pieces} of possibly many values;
+    - [vf] — a timestamped {e full replica}, stored as code blocks.
+
+    The state is immutable; RMW functions return a fresh state. *)
+
+type t = {
+  stored_ts : Timestamp.t;
+  vp : Chunk.t list;
+  vf : Chunk.t list;
+}
+
+val init : ?vp:Chunk.t list -> ?vf:Chunk.t list -> unit -> t
+(** Initial state: [stored_ts = Timestamp.zero] with the given chunk sets
+    (both default to empty).  Algorithms seed [vp]/[vf] with blocks of the
+    initial value [v0]. *)
+
+val blocks : t -> Block.t list
+(** All code blocks stored at the object ([vp] then [vf]). *)
+
+val bits : t -> int
+(** Storage cost of this object in bits (Definition 2 restricted to one
+    base object): the sum of block sizes; timestamps are meta-data. *)
+
+val chunk_count : t -> int
+
+val with_stored_ts : t -> Timestamp.t -> t
+(** Raises [stored_ts] to the maximum of the old and the given value —
+    [stored_ts] is monotone in every algorithm (Observation 3). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,50 @@
+module Encoder = struct
+  type t = {
+    codec : Sb_codec.Codec.t;
+    op : int;
+    value : bytes;
+    mutable calls : int;
+  }
+
+  let create codec ~op ~value =
+    if Bytes.length value <> codec.Sb_codec.Codec.value_bytes then
+      invalid_arg "Oracle.Encoder.create: value size mismatch";
+    { codec; op; value; calls = 0 }
+
+  let get t i =
+    t.calls <- t.calls + 1;
+    Block.v ~source:t.op ~index:i (t.codec.Sb_codec.Codec.encode t.value i)
+
+  let get_all t =
+    match t.codec.Sb_codec.Codec.n with
+    | None -> invalid_arg "Oracle.Encoder.get_all: rateless codec"
+    | Some n -> List.init n (fun i -> get t i)
+
+  let calls t = t.calls
+end
+
+module Decoder = struct
+  type t = {
+    codec : Sb_codec.Codec.t;
+    groups : (int, (int * bytes) list ref) Hashtbl.t;
+  }
+
+  let create codec = { codec; groups = Hashtbl.create 8 }
+
+  let group t g =
+    match Hashtbl.find_opt t.groups g with
+    | Some r -> r
+    | None ->
+      let r = ref [] in
+      Hashtbl.add t.groups g r;
+      r
+
+  let push t ~group:g ~index data =
+    let r = group t g in
+    r := (index, data) :: !r
+
+  let group_size t ~group:g =
+    List.length (Sb_codec.Codec.dedup_blocks !(group t g))
+
+  let finish t ~group:g = t.codec.Sb_codec.Codec.decode !(group t g)
+end

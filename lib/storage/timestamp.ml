@@ -1,0 +1,18 @@
+type t = { num : int; client : int }
+
+let zero = { num = 0; client = 0 }
+let make ~num ~client = { num; client }
+
+let compare a b =
+  match Int.compare a.num b.num with
+  | 0 -> Int.compare a.client b.client
+  | c -> c
+
+let equal a b = compare a b = 0
+let ( < ) a b = compare a b < 0
+let ( <= ) a b = compare a b <= 0
+let ( >= ) a b = compare a b >= 0
+let max a b = if Stdlib.( >= ) (compare a b) 0 then a else b
+let succ ts ~client = { num = ts.num + 1; client }
+let pp ppf ts = Format.fprintf ppf "(%d,c%d)" ts.num ts.client
+let to_string ts = Format.asprintf "%a" pp ts

@@ -1,0 +1,29 @@
+(** Timestamps [N x Pi] ordered lexicographically (Algorithm 1, line 1).
+
+    A timestamp pairs a round number with the id of the client that chose
+    it; ties on the round number are broken by client id, so timestamps
+    chosen by distinct clients never compare equal unless both fields
+    agree. *)
+
+type t = { num : int; client : int }
+
+val zero : t
+(** The timestamp [(0, 0)] associated with the initial value [v0]. *)
+
+val make : num:int -> client:int -> t
+
+val compare : t -> t -> int
+(** Lexicographic order: first [num], then [client]. *)
+
+val equal : t -> t -> bool
+val ( < ) : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+val max : t -> t -> t
+
+val succ : t -> client:int -> t
+(** [succ ts ~client] is the smallest timestamp of [client] strictly above
+    [ts]: [(ts.num + 1, client)]. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

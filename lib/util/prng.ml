@@ -1,0 +1,86 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+(* splitmix64, used only to expand the seed into the xoshiro state. *)
+let splitmix64 state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let create seed =
+  let state = ref (Int64.of_int seed) in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3 }
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let rotl x k =
+  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let bits64 t =
+  let open Int64 in
+  let result = mul (rotl (mul t.s1 5L) 7) 9L in
+  let tmp = shift_left t.s1 17 in
+  t.s2 <- logxor t.s2 t.s0;
+  t.s3 <- logxor t.s3 t.s1;
+  t.s1 <- logxor t.s1 t.s2;
+  t.s0 <- logxor t.s0 t.s3;
+  t.s2 <- logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t =
+  let state = ref (bits64 t) in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3 }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Rejection sampling to avoid modulo bias. *)
+  let bound64 = Int64.of_int bound in
+  let rec go () =
+    let r = Int64.shift_right_logical (bits64 t) 1 in
+    let v = Int64.rem r bound64 in
+    if Int64.sub (Int64.sub r v) (Int64.sub bound64 1L) < 0L && Int64.compare r 0L < 0
+    then go ()
+    else Int64.to_int v
+  in
+  go ()
+
+let float t bound =
+  let r = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float r *. (1.0 /. 9007199254740992.0) *. bound
+
+let bool t = Int64.compare (Int64.logand (bits64 t) 1L) 0L <> 0
+
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Prng.pick: empty array";
+  arr.(int t (Array.length arr))
+
+let pick_list t l =
+  match l with
+  | [] -> invalid_arg "Prng.pick_list: empty list"
+  | _ -> List.nth l (int t (List.length l))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let bytes t n =
+  let b = Bytes.create n in
+  for i = 0 to n - 1 do
+    Bytes.unsafe_set b i (Char.unsafe_chr (int t 256))
+  done;
+  b

@@ -1,0 +1,81 @@
+type align = Left | Right
+
+type t = {
+  title : string option;
+  columns : (string * align) array;
+  mutable rows : string list list; (* reversed *)
+}
+
+let create ?title columns = { title; columns = Array.of_list columns; rows = [] }
+
+let add_row t row =
+  if List.length row <> Array.length t.columns then
+    invalid_arg "Table.add_row: wrong number of cells";
+  t.rows <- row :: t.rows
+
+let add_int_row t row = add_row t (List.map string_of_int row)
+
+let render t =
+  let rows = List.rev t.rows in
+  let ncols = Array.length t.columns in
+  let widths = Array.init ncols (fun i -> String.length (fst t.columns.(i))) in
+  List.iter
+    (fun row ->
+      List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row)
+    rows;
+  let pad align width s =
+    let n = width - String.length s in
+    match align with
+    | Left -> s ^ String.make n ' '
+    | Right -> String.make n ' ' ^ s
+  in
+  let buf = Buffer.create 256 in
+  (match t.title with
+   | Some title ->
+     Buffer.add_string buf title;
+     Buffer.add_char buf '\n'
+   | None -> ());
+  let render_row cells =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf (pad (snd t.columns.(i)) widths.(i) cell))
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  render_row (Array.to_list (Array.map fst t.columns));
+  Array.iteri
+    (fun i w ->
+      if i > 0 then Buffer.add_string buf "  ";
+      Buffer.add_string buf (String.make w '-'))
+    widths;
+  Buffer.add_char buf '\n';
+  List.iter render_row rows;
+  Buffer.contents buf
+
+let csv_cell s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else s
+
+let to_csv t =
+  let buf = Buffer.create 256 in
+  let row cells =
+    Buffer.add_string buf (String.concat "," (List.map csv_cell cells));
+    Buffer.add_char buf '\n'
+  in
+  row (Array.to_list (Array.map fst t.columns));
+  List.iter row (List.rev t.rows);
+  Buffer.contents buf
+
+let print t =
+  print_string (render t);
+  print_newline ()

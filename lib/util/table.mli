@@ -1,0 +1,31 @@
+(** Plain-text table rendering for experiment reports.
+
+    Every experiment in the benchmark harness prints its rows through this
+    module so that the output of [bench/main.exe] reads like the tables in
+    the paper's analysis. *)
+
+type align = Left | Right
+
+type t
+(** A table under construction. *)
+
+val create : ?title:string -> (string * align) list -> t
+(** [create ~title columns] starts a table with the given column headers
+    and alignments. *)
+
+val add_row : t -> string list -> unit
+(** Appends a row; the row must have exactly as many cells as there are
+    columns. *)
+
+val add_int_row : t -> int list -> unit
+(** Convenience: a row of integers, all right-aligned as rendered text. *)
+
+val render : t -> string
+(** Renders the table with a header rule and padded columns. *)
+
+val to_csv : t -> string
+(** Comma-separated rendering (header row first); cells containing
+    commas or quotes are quoted. *)
+
+val print : t -> unit
+(** [print t] writes [render t] to stdout followed by a blank line. *)

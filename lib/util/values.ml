@@ -1,0 +1,23 @@
+let distinct ~value_bytes i =
+  if i < 0 then invalid_arg "Values.distinct: negative index";
+  if value_bytes < 1 then invalid_arg "Values.distinct: empty value";
+  let v = Bytes.make value_bytes '\000' in
+  (* An injective little-endian id prefix guarantees distinctness. *)
+  let prefix = min 7 value_bytes in
+  let id = i + 1 in
+  if prefix < 7 && id >= 1 lsl (8 * prefix) then
+    invalid_arg "Values.distinct: index too large for value size";
+  let rec fill pos x =
+    if pos < prefix then begin
+      Bytes.set v pos (Char.chr (x land 0xff));
+      fill (pos + 1) (x lsr 8)
+    end
+  in
+  fill 0 id;
+  (* Scatter the id through the rest of the buffer so code pieces taken
+     from any region of the value tend to differ across ids too. *)
+  for p = prefix to value_bytes - 1 do
+    let mixed = (id * (p + 17)) land 0xff in
+    Bytes.set v p (Char.chr (if mixed = 0 then 0xa5 else mixed))
+  done;
+  v

@@ -1,0 +1,11 @@
+(** Generation of pairwise-distinct register values.
+
+    Experiment workloads write values that must be unique (so reads can
+    be attributed to writes) and never equal to the all-zero initial
+    value [v0]. *)
+
+val distinct : value_bytes:int -> int -> bytes
+(** [distinct ~value_bytes i] is deterministic in [i], distinct across
+    [i], differs from all-zeros in every position, and differs from
+    [distinct ~value_bytes j] ([j <> i]) byte-wise throughout — so code
+    pieces of different values differ too. *)

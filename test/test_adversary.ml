@@ -1,0 +1,372 @@
+(* Tests for the lower-bound adversary Ad (Definition 7) and the
+   experiment driver: classification, freeze monotonicity
+   (Observation 2), progress denial (Corollary 1) and the storage bound
+   (Theorem 1). *)
+
+module R = Sb_sim.Runtime
+module Trace = Sb_sim.Trace
+module Ad = Sb_adversary.Ad
+module LB = Sb_adversary.Lower_bound
+module Common = Sb_registers.Common
+module Codec = Sb_codec.Codec
+
+let value_bytes = 64
+let d = 8 * value_bytes
+
+let coded_cfg ~f ~k =
+  let n = (2 * f) + k in
+  { Common.n; f; codec = Codec.rs_vandermonde ~value_bytes ~k ~n }
+
+let abd_cfg ~f =
+  let n = (2 * f) + 1 in
+  { Common.n; f; codec = Codec.replication ~value_bytes ~n }
+
+(* ------------------------------------------------------------------ *)
+(* Classification                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_classify_initial () =
+  (* The adaptive register starts with one piece per object; with a low
+     threshold everything is frozen, with a high one nothing is. *)
+  let cfg = coded_cfg ~f:2 ~k:2 in
+  let algorithm = Sb_registers.Adaptive.make cfg in
+  let w = R.create ~algorithm ~n:cfg.n ~f:cfg.f ~workload:[||] () in
+  let piece_bits = Codec.block_bits cfg.codec 0 in
+  let low = Ad.classify ~ell_bits:piece_bits ~d_bits:d w in
+  Alcotest.(check int) "all frozen at ell = piece size" cfg.n (List.length low.frozen);
+  let high = Ad.classify ~ell_bits:(piece_bits + 1) ~d_bits:d w in
+  Alcotest.(check int) "none frozen just above" 0 (List.length high.frozen);
+  Alcotest.(check int) "no outstanding writes" 0
+    (List.length high.c_plus + List.length high.c_minus)
+
+let test_classify_sticky () =
+  let cfg = coded_cfg ~f:2 ~k:2 in
+  let algorithm = Sb_registers.Adaptive.make cfg in
+  let w = R.create ~algorithm ~n:cfg.n ~f:cfg.f ~workload:[||] () in
+  (* Objects currently below the threshold stay frozen if passed as
+     sticky. *)
+  let s = Ad.classify ~ell_bits:(d * 2) ~d_bits:d ~sticky_frozen:[ 3 ] w in
+  Alcotest.(check (list int)) "sticky object stays frozen" [ 3 ] s.frozen
+
+let test_classify_c_partition () =
+  (* Drive one write so that one piece lands; with ell = D the write is
+     immediately in C+, with small ell it stays in C-. *)
+  let cfg = coded_cfg ~f:2 ~k:2 in
+  let algorithm = Sb_registers.Adaptive.make_unbounded cfg in
+  let workload = [| [ Trace.Write (Sb_util.Values.distinct ~value_bytes 0) ] |] in
+  let w = R.create ~algorithm ~n:cfg.n ~f:cfg.f ~workload () in
+  ignore (R.step w (R.Step 0));
+  (* round 1: read RMWs — no blocks stored yet. *)
+  let s = Ad.classify ~ell_bits:(d / 2) ~d_bits:d w in
+  Alcotest.(check int) "one outstanding write in C-" 1 (List.length s.c_minus);
+  Alcotest.(check int) "C+ empty before any block lands" 0 (List.length s.c_plus);
+  (* deliver round 1, resume: update RMWs trigger; deliver one. *)
+  List.iter (fun (p : R.pending_info) -> ignore (R.step w (R.Deliver p.ticket)))
+    (R.deliverable w);
+  ignore (R.step w (R.Step 0));
+  (match R.deliverable w with
+   | p :: _ -> ignore (R.step w (R.Deliver p.ticket))
+   | [] -> Alcotest.fail "no update pending");
+  let piece_bits = Codec.block_bits cfg.codec 0 in
+  let tight = Ad.classify ~ell_bits:(d - piece_bits + 1) ~d_bits:d w in
+  Alcotest.(check int) "one piece saturates at tight ell" 1 (List.length tight.c_plus);
+  let loose = Ad.classify ~ell_bits:1 ~d_bits:d w in
+  Alcotest.(check int) "loose ell keeps it in C-" 1 (List.length loose.c_minus)
+
+(* ------------------------------------------------------------------ *)
+(* Adversary schedule properties                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_freeze_monotone () =
+  (* Observation 2: under Ad, F(t) only grows. *)
+  let cfg = coded_cfg ~f:3 ~k:3 in
+  let algorithm = Sb_registers.Adaptive.make_unbounded cfg in
+  let c = 5 in
+  let workload =
+    Array.init c (fun i -> [ Trace.Write (Sb_util.Values.distinct ~value_bytes i) ])
+  in
+  let w = R.create ~algorithm ~n:cfg.n ~f:cfg.f ~workload () in
+  let prev = ref [] in
+  let on_step (s : Ad.snapshot) =
+    Alcotest.(check bool) "F monotone" true
+      (List.for_all (fun o -> List.mem o s.frozen) !prev);
+    prev := s.frozen
+  in
+  let halt_when (s : Ad.snapshot) =
+    List.length s.frozen > cfg.f || List.length s.c_plus >= c
+  in
+  let policy = Ad.policy ~ell_bits:(d / 2) ~d_bits:d ~halt_when ~on_step () in
+  ignore (R.run ~max_steps:100_000 w policy)
+
+let test_frozen_objects_never_delivered () =
+  (* Once an object freezes, its stored bits never change again. *)
+  let cfg = coded_cfg ~f:3 ~k:3 in
+  let algorithm = Sb_registers.Adaptive.make_unbounded cfg in
+  let c = 5 in
+  let workload =
+    Array.init c (fun i -> [ Trace.Write (Sb_util.Values.distinct ~value_bytes i) ])
+  in
+  let w = R.create ~algorithm ~n:cfg.n ~f:cfg.f ~workload () in
+  let frozen_bits : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let on_step (s : Ad.snapshot) =
+    List.iter
+      (fun o ->
+        let bits = R.obj_bits w o in
+        match Hashtbl.find_opt frozen_bits o with
+        | None -> Hashtbl.add frozen_bits o bits
+        | Some b -> Alcotest.(check int) "frozen object untouched" b bits)
+      s.frozen
+  in
+  let halt_when (s : Ad.snapshot) = List.length s.frozen > cfg.f in
+  let policy = Ad.policy ~ell_bits:(d / 2) ~d_bits:d ~halt_when ~on_step () in
+  ignore (R.run ~max_steps:100_000 w policy)
+
+(* ------------------------------------------------------------------ *)
+(* Corollary 1 / Theorem 1 via the driver                              *)
+(* ------------------------------------------------------------------ *)
+
+let regular_algorithms =
+  [
+    ("abd", Sb_registers.Abd.make (abd_cfg ~f:3), abd_cfg ~f:3);
+    ("adaptive", Sb_registers.Adaptive.make (coded_cfg ~f:3 ~k:3), coded_cfg ~f:3 ~k:3);
+    ( "pure-ec",
+      Sb_registers.Adaptive.make_unbounded (coded_cfg ~f:3 ~k:3),
+      coded_cfg ~f:3 ~k:3 );
+  ]
+
+let test_no_write_completes () =
+  List.iter
+    (fun (name, algorithm, cfg) ->
+      List.iter
+        (fun c ->
+          let r = LB.run ~algorithm ~cfg ~c () in
+          Alcotest.(check int) (name ^ ": no write returns under Ad") 0
+            r.completed_writes)
+        [ 1; 3; 6 ])
+    regular_algorithms
+
+let test_bound_holds () =
+  List.iter
+    (fun (name, algorithm, cfg) ->
+      List.iter
+        (fun c ->
+          let r = LB.run ~algorithm ~cfg ~c () in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s c=%d: storage >= Theorem 1 bound" name c)
+            true
+            (r.max_total_bits >= r.lower_bound_bits))
+        [ 1; 2; 4 ])
+    regular_algorithms
+
+let test_branch_reached () =
+  List.iter
+    (fun (name, algorithm, cfg) ->
+      let r = LB.run ~algorithm ~cfg ~c:4 () in
+      Alcotest.(check bool) (name ^ ": a Lemma 3 branch is reached") true
+        (r.branch <> LB.Exhausted);
+      Alcotest.(check bool) (name ^ ": time recorded") true (r.time_reached <> None))
+    regular_algorithms
+
+let test_abd_freezes_immediately () =
+  let cfg = abd_cfg ~f:3 in
+  let r = LB.run ~algorithm:(Sb_registers.Abd.make cfg) ~cfg ~c:2 () in
+  Alcotest.(check bool) "freeze branch" true (r.branch = LB.Frozen_objects);
+  (* Replication stores D >= ell bits in every object from time zero
+     (Corollary 2's exemption), so the branch is hit instantly. *)
+  Alcotest.(check (option int)) "at the first classification" (Some 0) r.time_reached;
+  Alcotest.(check int) "all n objects frozen" cfg.n r.final_frozen
+
+let test_safe_escapes () =
+  let cfg = coded_cfg ~f:3 ~k:3 in
+  let r =
+    LB.run ~halt_on_branch:false ~max_steps:100_000
+      ~algorithm:(Sb_registers.Safe_register.make cfg) ~cfg ~c:4 ()
+  in
+  Alcotest.(check bool) "safe register completes writes under Ad" true
+    (r.completed_writes > 0)
+
+let test_ell_full_d () =
+  (* ell = D: Corollary 2's parameterisation; the freeze condition needs
+     a full value per object, the saturation condition fires on any
+     block.  The coded register saturates. *)
+  let cfg = coded_cfg ~f:3 ~k:3 in
+  let r =
+    LB.run ~ell_bits:d ~algorithm:(Sb_registers.Adaptive.make_unbounded cfg) ~cfg ~c:3 ()
+  in
+  Alcotest.(check bool) "saturation branch at ell = D" true
+    (r.branch = LB.Saturated_writes);
+  Alcotest.(check int) "bound is c bits" 3 r.lower_bound_bits
+
+let test_ell_validation () =
+  let cfg = coded_cfg ~f:2 ~k:2 in
+  let algorithm = Sb_registers.Adaptive.make cfg in
+  Alcotest.(check bool) "ell = 0 rejected" true
+    (try ignore (LB.run ~ell_bits:0 ~algorithm ~cfg ~c:1 ()); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "ell > D rejected" true
+    (try ignore (LB.run ~ell_bits:(d + 1) ~algorithm ~cfg ~c:1 ()); false
+     with Invalid_argument _ -> true)
+
+(* Ad's progress denial is purely schedule-induced (cf. the fairness
+   argument in Lemma 3): resuming the same world under a fair policy
+   lets every write complete and the GC shrink storage back down. *)
+let test_fair_continuation_completes () =
+  let cfg = coded_cfg ~f:3 ~k:3 in
+  let algorithm = Sb_registers.Adaptive.make cfg in
+  let c = 4 in
+  let workload =
+    Array.init c (fun i -> [ Trace.Write (Sb_util.Values.distinct ~value_bytes i) ])
+  in
+  let w = R.create ~algorithm ~n:cfg.n ~f:cfg.f ~workload () in
+  let halt_when (s : Ad.snapshot) =
+    List.length s.frozen > cfg.f || List.length s.c_plus >= c
+  in
+  let adversary = Ad.policy ~ell_bits:(d / 2) ~d_bits:d ~halt_when () in
+  let stalled = R.run ~max_steps:100_000 w adversary in
+  Alcotest.(check bool) "adversary reached a branch" true stalled.R.halted;
+  let stalled_writes =
+    List.filter (fun (_, _, _, ret, _) -> ret <> None)
+      (Trace.operations (R.trace w))
+  in
+  Alcotest.(check int) "no write completed under Ad" 0 (List.length stalled_writes);
+  (* Fair continuation on the very same world. *)
+  let fair = R.random_policy ~seed:5 () in
+  let resumed = R.run ~max_steps:100_000 w fair in
+  Alcotest.(check bool) "fair continuation quiesces" true resumed.R.quiescent;
+  let done_writes =
+    List.filter (fun (_, _, _, ret, _) -> ret <> None)
+      (Trace.operations (R.trace w))
+  in
+  Alcotest.(check int) "every write completes under fairness" c
+    (List.length done_writes);
+  Alcotest.(check bool) "GC shrinks storage back down" true
+    (R.storage_bits_objects w <= cfg.n * Codec.block_bits cfg.codec 0)
+
+let test_lower_bound_formula () =
+  let cfg = coded_cfg ~f:3 ~k:3 in
+  let r = LB.run ~ell_bits:(d / 2)
+      ~algorithm:(Sb_registers.Adaptive.make_unbounded cfg) ~cfg ~c:5 () in
+  Alcotest.(check int) "min((f+1)ell, c(D-ell+1))"
+    (min (4 * (d / 2)) (5 * ((d / 2) + 1)))
+    r.lower_bound_bits
+
+(* ------------------------------------------------------------------ *)
+(* Naive starvation policies (the E12 ablation, unit level)            *)
+(* ------------------------------------------------------------------ *)
+
+let ablation_world () =
+  let cfg = coded_cfg ~f:2 ~k:2 in
+  let c = 3 in
+  let workload =
+    Array.init c (fun i -> [ Trace.Write (Sb_util.Values.distinct ~value_bytes i) ])
+  in
+  let w =
+    R.create ~algorithm:(Sb_registers.Adaptive.make_unbounded cfg) ~n:cfg.n
+      ~f:cfg.f ~workload ()
+  in
+  (w, cfg, c)
+
+let completed w =
+  List.length
+    (List.filter (fun (_, _, _, ret, _) -> ret <> None)
+       (Trace.operations (R.trace w)))
+
+let test_starve_all () =
+  let w, _, _ = ablation_world () in
+  let outcome = R.run ~max_steps:10_000 w (Sb_adversary.Policies.starve_all ()) in
+  Alcotest.(check bool) "halts once all clients block" true outcome.R.halted;
+  Alcotest.(check int) "nothing completes" 0 (completed w);
+  (* No delivery ever happened: objects still hold only the initial
+     pieces. *)
+  let w2, cfg, _ = ablation_world () in
+  ignore cfg;
+  Alcotest.(check int) "storage untouched"
+    (R.storage_bits_objects w2)
+    (R.storage_bits_objects w)
+
+let test_deliver_budget () =
+  let w, _, _ = ablation_world () in
+  let policy = Sb_adversary.Policies.deliver_budget ~budget:4 () in
+  ignore (R.run ~max_steps:10_000 w policy);
+  let delivered =
+    List.length
+      (List.filter
+         (function Trace.Rmw_deliver _ -> true | _ -> false)
+         (Trace.events (R.trace w)))
+  in
+  Alcotest.(check int) "budget respected" 4 delivered;
+  Alcotest.(check int) "nothing completes" 0 (completed w)
+
+let test_starve_object_harmless () =
+  let w, _, c = ablation_world () in
+  let outcome = R.run ~max_steps:100_000 w (Sb_adversary.Policies.starve_object ~obj:0 ()) in
+  Alcotest.(check bool) "system quiesces modulo the starved object" true
+    (outcome.R.halted || outcome.R.quiescent);
+  Alcotest.(check int) "every write completes (quorums avoid object 0)" c (completed w)
+
+let () =
+  Alcotest.run "adversary"
+    [
+      ( "classify",
+        [
+          Alcotest.test_case "initial state" `Quick test_classify_initial;
+          Alcotest.test_case "sticky frozen" `Quick test_classify_sticky;
+          Alcotest.test_case "C+/C- partition" `Quick test_classify_c_partition;
+        ] );
+      ( "schedule",
+        [
+          Alcotest.test_case "freeze monotone" `Quick test_freeze_monotone;
+          Alcotest.test_case "frozen never delivered" `Quick
+            test_frozen_objects_never_delivered;
+        ] );
+      ( "lower-bound",
+        [
+          Alcotest.test_case "no write completes" `Slow test_no_write_completes;
+          Alcotest.test_case "bound holds" `Slow test_bound_holds;
+          Alcotest.test_case "branch reached" `Quick test_branch_reached;
+          Alcotest.test_case "abd freezes immediately" `Quick test_abd_freezes_immediately;
+          Alcotest.test_case "safe escapes" `Quick test_safe_escapes;
+          Alcotest.test_case "ell = D" `Quick test_ell_full_d;
+          Alcotest.test_case "ell validation" `Quick test_ell_validation;
+          Alcotest.test_case "fair continuation" `Quick test_fair_continuation_completes;
+          Alcotest.test_case "bound formula" `Quick test_lower_bound_formula;
+        ] );
+      ( "naive-policies",
+        [
+          Alcotest.test_case "starve all" `Quick test_starve_all;
+          Alcotest.test_case "deliver budget" `Quick test_deliver_budget;
+          Alcotest.test_case "starve one object" `Quick test_starve_object_harmless;
+        ] );
+      ( "message-passing",
+        [
+          Alcotest.test_case "no write completes over messages" `Quick
+            (fun () ->
+              let cfg = coded_cfg ~f:3 ~k:3 in
+              List.iter
+                (fun c ->
+                  let r =
+                    LB.run_mp
+                      ~algorithm:(Sb_registers.Adaptive.make_unbounded cfg)
+                      ~cfg ~c ()
+                  in
+                  Alcotest.(check int) "no completion" 0 r.completed_writes;
+                  Alcotest.(check bool) "bound holds with channels counted" true
+                    (r.max_total_bits >= r.lower_bound_bits))
+                [ 1; 2; 4 ]);
+          Alcotest.test_case "mp classify matches world" `Quick
+            (fun () ->
+              let cfg = coded_cfg ~f:2 ~k:2 in
+              let module MP = Sb_msgnet.Mp_runtime in
+              let w =
+                MP.create
+                  ~algorithm:(Sb_registers.Adaptive.make cfg)
+                  ~n:cfg.n ~f:cfg.f ~workload:[||] ()
+              in
+              let piece = Codec.block_bits cfg.codec 0 in
+              let snap = Sb_adversary.Ad_mp.classify ~ell_bits:piece ~d_bits:d w in
+              Alcotest.(check int) "all frozen at piece threshold" cfg.n
+                (List.length snap.frozen);
+              Alcotest.(check int) "no channel bits initially" 0
+                snap.storage_channel_bits);
+        ] );
+    ]

@@ -1,0 +1,188 @@
+(* Black-box coding (Definition 5, the paper's Figure 2).
+
+   If a run r writes value u in operation w, then for any other value v
+   there must be a run r_v with the same trace shape and the same
+   client/object states at all times, except that blocks sourced from
+   <w, i> hold E(v, i) instead of E(u, i).
+
+   Our schedules are value-oblivious (the policy sees only structure),
+   so we realise r_v by re-running the same seed with the substituted
+   value, and check that everything except substituted block contents
+   is identical. *)
+
+module R = Sb_sim.Runtime
+module Trace = Sb_sim.Trace
+module Objstate = Sb_storage.Objstate
+module Block = Sb_storage.Block
+module Common = Sb_registers.Common
+module Codec = Sb_codec.Codec
+
+let value_bytes = 32
+let v i = Sb_util.Values.distinct ~value_bytes i
+
+let coded_cfg ~f ~k =
+  let n = (2 * f) + k in
+  { Common.n; f; codec = Codec.rs_vandermonde ~value_bytes ~k ~n }
+
+(* Structure of an event, with block contents erased. *)
+let event_shape = function
+  | Trace.Invoke { time; op; client; kind } ->
+    Printf.sprintf "inv t%d op%d c%d %s" time op client
+      (match kind with Trace.Write _ -> "W" | Trace.Read -> "R")
+  | Trace.Return { time; op; client; _ } -> Printf.sprintf "ret t%d op%d c%d" time op client
+  | Trace.Rmw_trigger { time; ticket; op; client; obj; payload_bits } ->
+    Printf.sprintf "trig t%d #%d op%d c%d bo%d %db" time ticket op client obj payload_bits
+  | Trace.Rmw_deliver { time; ticket; obj } -> Printf.sprintf "dlv t%d #%d bo%d" time ticket obj
+  | Trace.Crash_object { time; obj } -> Printf.sprintf "cobj t%d bo%d" time obj
+  | Trace.Crash_client { time; client } -> Printf.sprintf "ccl t%d c%d" time client
+
+(* Structure of an object state: chunk skeleta without block data. *)
+let state_shape st =
+  List.map
+    (fun (c : Sb_storage.Chunk.t) ->
+      ( c.ts.Sb_storage.Timestamp.num,
+        c.ts.Sb_storage.Timestamp.client,
+        c.block.Block.source,
+        c.block.Block.index,
+        Bytes.length c.block.Block.data ))
+    (st.Objstate.vp @ st.Objstate.vf)
+
+(* Blocks in the final states, keyed by (object, source, index). *)
+let final_blocks w n =
+  List.concat_map
+    (fun i ->
+      List.map
+        (fun (b : Block.t) -> ((i, b.source, b.index), b.data))
+        (Objstate.blocks (R.obj_state w i)))
+    (List.init n Fun.id)
+
+(* Drive the substituted write to the middle of its update round, the
+   point where its blocks are in the storage but not yet garbage
+   collected: invoke it, deliver its read round, resume (triggering the
+   update RMWs), and deliver the update on half the objects. *)
+let run_to_mid_write ~algorithm ~(cfg : Common.config) ~substituted =
+  let workload = [| [ Trace.Write substituted ]; [ Trace.Write (v 10) ] |] in
+  let w = R.create ~algorithm ~n:cfg.n ~f:cfg.f ~workload () in
+  ignore (R.step w (R.Step 0));
+  List.iter
+    (fun (p : R.pending_info) -> ignore (R.step w (R.Deliver p.ticket)))
+    (R.deliverable w);
+  ignore (R.step w (R.Step 0));
+  let count = ref 0 in
+  List.iter
+    (fun (p : R.pending_info) ->
+      if !count < cfg.n / 2 then begin
+        incr count;
+        ignore (R.step w (R.Deliver p.ticket))
+      end)
+    (R.deliverable w);
+  w
+
+let substitution_check ~label algorithm_of =
+  let cfg = coded_cfg ~f:2 ~k:2 in
+  let algorithm = algorithm_of cfg in
+  let wa = run_to_mid_write ~algorithm ~cfg ~substituted:(v 1) in
+  let wb = run_to_mid_write ~algorithm ~cfg ~substituted:(v 2) in
+  (* 1. Identical traces modulo block contents. *)
+  Alcotest.(check (list string))
+    (label ^ ": trace shapes equal")
+    (List.map event_shape (Trace.events (R.trace wa)))
+    (List.map event_shape (Trace.events (R.trace wb)));
+  (* 2. Identical object-state structure at the end. *)
+  for i = 0 to cfg.n - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: object %d structure equal" label i)
+      true
+      (state_shape (R.obj_state wa i) = state_shape (R.obj_state wb i))
+  done;
+  (* 3. Blocks from the substituted write (op 1) differ; all others are
+     byte-identical. *)
+  let ba = final_blocks wa cfg.n and bb = final_blocks wb cfg.n in
+  Alcotest.(check int) (label ^ ": same block count") (List.length ba) (List.length bb);
+  let substituted_seen = ref 0 in
+  List.iter2
+    (fun ((key_a, data_a) : _ * bytes) ((key_b, data_b) : _ * bytes) ->
+      Alcotest.(check bool) (label ^ ": same block keys") true (key_a = key_b);
+      let _, source, _ = key_a in
+      if source = 1 then begin
+        incr substituted_seen;
+        Alcotest.(check bool) (label ^ ": substituted block differs") true
+          (not (Bytes.equal data_a data_b))
+      end
+      else
+        Alcotest.(check bool) (label ^ ": other blocks identical") true
+          (Bytes.equal data_a data_b))
+    ba bb;
+  (* The substituted write must actually have blocks in storage for the
+     test to be meaningful. *)
+  Alcotest.(check bool) (label ^ ": substituted blocks present") true
+    (!substituted_seen > 0)
+
+let test_adaptive_blackbox () =
+  substitution_check ~label:"adaptive" Sb_registers.Adaptive.make
+
+let test_pure_ec_blackbox () =
+  substitution_check ~label:"pure-ec" Sb_registers.Adaptive.make_unbounded
+
+let test_safe_blackbox () =
+  substitution_check ~label:"safe" Sb_registers.Safe_register.make
+
+let test_abd_blackbox () =
+  let n = 5 and f = 2 in
+  let cfg = { Common.n; f; codec = Codec.replication ~value_bytes ~n } in
+  let algorithm = Sb_registers.Abd.make cfg in
+  let wa = run_to_mid_write ~algorithm ~cfg ~substituted:(v 1) in
+  let wb = run_to_mid_write ~algorithm ~cfg ~substituted:(v 2) in
+  Alcotest.(check (list string)) "abd: trace shapes equal"
+    (List.map event_shape (Trace.events (R.trace wa)))
+    (List.map event_shape (Trace.events (R.trace wb)))
+
+(* Under a fair random policy (whose decisions are value-oblivious),
+   whole-run trace shapes also coincide across substitutions. *)
+let test_random_schedule_shape () =
+  let cfg = coded_cfg ~f:2 ~k:2 in
+  let algorithm = Sb_registers.Adaptive.make cfg in
+  let run substituted =
+    let workload =
+      [| [ Trace.Write substituted ]; [ Trace.Write (v 10) ]; [ Trace.Read ] |]
+    in
+    let w = R.create ~algorithm ~n:cfg.n ~f:cfg.f ~workload () in
+    ignore (R.run w (R.random_policy ~seed:77 ()));
+    List.map event_shape (Trace.events (R.trace w))
+  in
+  Alcotest.(check (list string)) "full-run shapes equal" (run (v 1)) (run (v 2))
+
+(* Under full substitution, read return values track the substitution:
+   the reader decodes whatever value the blocks encode, demonstrating
+   that storage decisions do not depend on contents. *)
+let test_reads_track_substitution () =
+  let cfg = coded_cfg ~f:2 ~k:2 in
+  let algorithm = Sb_registers.Adaptive.make cfg in
+  let run substituted =
+    let workload = [| [ Trace.Write substituted ]; [ Trace.Read ] |] in
+    let w = R.create ~seed:5 ~algorithm ~n:cfg.n ~f:cfg.f ~workload () in
+    ignore (R.run w (R.fifo_policy ()));
+    List.filter_map
+      (fun (_, kind, _, _, res) -> match kind with Trace.Read -> Some res | _ -> None)
+      (Trace.operations (R.trace w))
+  in
+  (match (run (v 1), run (v 2)) with
+   | [ Some r1 ], [ Some r2 ] ->
+     Alcotest.(check bytes) "first run reads v1" (v 1) r1;
+     Alcotest.(check bytes) "second run reads v2" (v 2) r2
+   | _ -> Alcotest.fail "reads did not complete")
+
+let () =
+  Alcotest.run "blackbox"
+    [
+      ( "definition-5",
+        [
+          Alcotest.test_case "adaptive" `Quick test_adaptive_blackbox;
+          Alcotest.test_case "pure-ec" `Quick test_pure_ec_blackbox;
+          Alcotest.test_case "safe" `Quick test_safe_blackbox;
+          Alcotest.test_case "abd" `Quick test_abd_blackbox;
+          Alcotest.test_case "random schedule shape" `Quick test_random_schedule_shape;
+          Alcotest.test_case "reads track substitution" `Quick
+            test_reads_track_substitution;
+        ] );
+    ]

@@ -1,0 +1,433 @@
+(* Tests for the coding schemes: MDS roundtrips, symmetry (Definition 3),
+   degenerate inputs, and the rateless fountain code. *)
+
+module Codec = Sb_codec.Codec
+module Prng = Sb_util.Prng
+
+let qtest ?(count = 150) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let random_value prng value_bytes = Prng.bytes prng value_bytes
+
+(* Pick [k] distinct block indices out of [0, n). *)
+let random_subset prng ~n ~k =
+  let idx = Array.init n Fun.id in
+  Prng.shuffle prng idx;
+  Array.to_list (Array.sub idx 0 k)
+
+(* All k-subsets of [0, n) — used exhaustively for small n. *)
+let rec subsets k lo n =
+  if k = 0 then [ [] ]
+  else if lo >= n then []
+  else
+    List.map (fun s -> lo :: s) (subsets (k - 1) (lo + 1) n) @ subsets k (lo + 1) n
+
+(* ------------------------------------------------------------------ *)
+(* Generic MDS codec checks                                            *)
+(* ------------------------------------------------------------------ *)
+
+let mds_suite ~label mk =
+  let roundtrip_random =
+    qtest (label ^ ": decodes from any random k-subset")
+      QCheck2.Gen.(int_bound 100_000)
+      (fun seed ->
+        let prng = Prng.create seed in
+        let value_bytes = 1 + Prng.int prng 64 in
+        let k = 1 + Prng.int prng 5 in
+        let n = k + Prng.int prng 8 in
+        let codec = mk ~value_bytes ~k ~n in
+        let v = random_value prng value_bytes in
+        let idxs = random_subset prng ~n ~k in
+        let blocks = List.map (fun i -> (i, codec.Codec.encode v i)) idxs in
+        match codec.Codec.decode blocks with
+        | Some v' -> Bytes.equal v v'
+        | None -> false)
+  in
+  let roundtrip_exhaustive () =
+    let value_bytes = 13 in
+    let k = 3 and n = 6 in
+    let codec = mk ~value_bytes ~k ~n in
+    let prng = Prng.create 99 in
+    let v = random_value prng value_bytes in
+    List.iter
+      (fun idxs ->
+        let blocks = List.map (fun i -> (i, codec.Codec.encode v i)) idxs in
+        match codec.Codec.decode blocks with
+        | Some v' -> Alcotest.(check bytes) "decoded" v v'
+        | None -> Alcotest.fail "subset failed to decode")
+      (subsets k 0 n)
+  in
+  let insufficient () =
+    let codec = mk ~value_bytes:16 ~k:3 ~n:6 in
+    let v = Bytes.make 16 'x' in
+    let blocks = [ (0, codec.Codec.encode v 0); (1, codec.Codec.encode v 1) ] in
+    Alcotest.(check bool) "k-1 blocks do not decode" true
+      (codec.Codec.decode blocks = None);
+    Alcotest.(check bool) "empty set does not decode" true (codec.Codec.decode [] = None)
+  in
+  let duplicates () =
+    let codec = mk ~value_bytes:16 ~k:2 ~n:5 in
+    let v = Bytes.make 16 'y' in
+    let b0 = codec.Codec.encode v 0 in
+    let b1 = codec.Codec.encode v 1 in
+    (* Duplicate indices must not be counted twice. *)
+    Alcotest.(check bool) "dup index insufficient" true
+      (codec.Codec.decode [ (0, b0); (0, b0) ] = None);
+    match codec.Codec.decode [ (0, b0); (0, b0); (1, b1) ] with
+    | Some v' -> Alcotest.(check bytes) "dups tolerated" v v'
+    | None -> Alcotest.fail "should decode"
+  in
+  let symmetry () =
+    let codec = mk ~value_bytes:24 ~k:3 ~n:8 in
+    Alcotest.(check bool) "symmetric encoding (Definition 3)" true
+      (Codec.is_symmetric codec)
+  in
+  let sizes () =
+    let codec = mk ~value_bytes:20 ~k:4 ~n:7 in
+    let v = Bytes.make 20 'z' in
+    for i = 0 to 6 do
+      Alcotest.(check int)
+        (Printf.sprintf "block %d size matches declaration" i)
+        (codec.Codec.block_bytes i)
+        (Bytes.length (codec.Codec.encode v i))
+    done
+  in
+  let bad_inputs () =
+    let codec = mk ~value_bytes:8 ~k:2 ~n:4 in
+    let v = Bytes.make 8 'a' in
+    Alcotest.(check bool) "wrong-size value raises" true
+      (try ignore (codec.Codec.encode (Bytes.make 7 'a') 0); false
+       with Invalid_argument _ -> true);
+    Alcotest.(check bool) "out-of-range index raises" true
+      (try ignore (codec.Codec.encode v 4); false with Invalid_argument _ -> true);
+    Alcotest.(check bool) "negative index raises" true
+      (try ignore (codec.Codec.encode v (-1)); false with Invalid_argument _ -> true)
+  in
+  let distinct_values () =
+    (* k matching blocks of two different values decode differently. *)
+    let codec = mk ~value_bytes:16 ~k:2 ~n:4 in
+    let v1 = Sb_util.Values.distinct ~value_bytes:16 0 in
+    let v2 = Sb_util.Values.distinct ~value_bytes:16 1 in
+    let d1 = codec.Codec.decode [ (1, codec.Codec.encode v1 1); (3, codec.Codec.encode v1 3) ] in
+    let d2 = codec.Codec.decode [ (1, codec.Codec.encode v2 1); (3, codec.Codec.encode v2 3) ] in
+    Alcotest.(check bool) "values distinguished" true (d1 <> d2)
+  in
+  [
+    roundtrip_random;
+    Alcotest.test_case (label ^ ": all 3-subsets of 6 decode") `Quick roundtrip_exhaustive;
+    Alcotest.test_case (label ^ ": insufficient blocks") `Quick insufficient;
+    Alcotest.test_case (label ^ ": duplicate indices") `Quick duplicates;
+    Alcotest.test_case (label ^ ": symmetry") `Quick symmetry;
+    Alcotest.test_case (label ^ ": declared sizes") `Quick sizes;
+    Alcotest.test_case (label ^ ": bad inputs") `Quick bad_inputs;
+    Alcotest.test_case (label ^ ": distinct values") `Quick distinct_values;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Replication                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_replication_roundtrip =
+  qtest "replication: any single block decodes" QCheck2.Gen.(int_bound 100_000)
+    (fun seed ->
+      let prng = Prng.create seed in
+      let value_bytes = 1 + Prng.int prng 64 in
+      let n = 1 + Prng.int prng 8 in
+      let codec = Codec.replication ~value_bytes ~n in
+      let v = random_value prng value_bytes in
+      let i = Prng.int prng n in
+      codec.Codec.decode [ (i, codec.Codec.encode v i) ] = Some v)
+
+let test_replication_k () =
+  let codec = Codec.replication ~value_bytes:8 ~n:5 in
+  Alcotest.(check int) "k = 1" 1 codec.Codec.k;
+  Alcotest.(check (option int)) "n" (Some 5) codec.Codec.n;
+  Alcotest.(check int) "block size = value size" 8 (codec.Codec.block_bytes 0)
+
+(* ------------------------------------------------------------------ *)
+(* Striping                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_striping_roundtrip =
+  qtest "striping: all k fragments decode" QCheck2.Gen.(int_bound 100_000) (fun seed ->
+      let prng = Prng.create seed in
+      let value_bytes = 1 + Prng.int prng 64 in
+      let k = 1 + Prng.int prng 6 in
+      let codec = Codec.striping ~value_bytes ~k in
+      let v = random_value prng value_bytes in
+      let blocks = List.init k (fun i -> (i, codec.Codec.encode v i)) in
+      codec.Codec.decode blocks = Some v)
+
+let test_striping_missing () =
+  let codec = Codec.striping ~value_bytes:12 ~k:3 in
+  let v = Bytes.make 12 'q' in
+  let blocks = [ (0, codec.Codec.encode v 0); (2, codec.Codec.encode v 2) ] in
+  Alcotest.(check bool) "missing fragment fails" true (codec.Codec.decode blocks = None)
+
+let test_striping_rate () =
+  (* Striping is rate 1: total block bytes ~ value bytes (up to padding). *)
+  let codec = Codec.striping ~value_bytes:12 ~k:4 in
+  let total = List.fold_left (fun a i -> a + codec.Codec.block_bytes i) 0 [ 0; 1; 2; 3 ] in
+  Alcotest.(check int) "rate 1" 12 total
+
+(* ------------------------------------------------------------------ *)
+(* Parity (RAID-5 style)                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_parity_all_erasures () =
+  (* Exhaustive: losing any single one of the k+1 blocks still decodes. *)
+  List.iter
+    (fun k ->
+      let value_bytes = (3 * k) + 1 in
+      let codec = Codec.parity ~value_bytes ~k in
+      let prng = Prng.create (k * 7) in
+      let v = random_value prng value_bytes in
+      let all = List.init (k + 1) (fun i -> (i, codec.Codec.encode v i)) in
+      for missing = 0 to k do
+        let blocks = List.filter (fun (i, _) -> i <> missing) all in
+        match codec.Codec.decode blocks with
+        | Some v' -> Alcotest.(check bytes) (Printf.sprintf "k=%d missing %d" k missing) v v'
+        | None -> Alcotest.failf "k=%d: failed with block %d missing" k missing
+      done)
+    [ 1; 2; 3; 5; 8 ]
+
+let test_parity_two_missing () =
+  let codec = Codec.parity ~value_bytes:12 ~k:3 in
+  let v = Bytes.make 12 'p' in
+  let blocks = [ (0, codec.Codec.encode v 0); (3, codec.Codec.encode v 3) ] in
+  Alcotest.(check bool) "two data blocks missing fails" true
+    (codec.Codec.decode blocks = None)
+
+let test_parity_block_is_xor () =
+  let codec = Codec.parity ~value_bytes:8 ~k:2 in
+  let v = Bytes.of_string "abcdwxyz" in
+  let p = codec.Codec.encode v 2 in
+  Alcotest.(check bytes) "parity = xor of fragments"
+    (Sb_util.Bytesx.xor (codec.Codec.encode v 0) (codec.Codec.encode v 1))
+    p
+
+let test_parity_symmetry () =
+  Alcotest.(check bool) "symmetric" true
+    (Codec.is_symmetric (Codec.parity ~value_bytes:24 ~k:4))
+
+let test_parity_params () =
+  let codec = Codec.parity ~value_bytes:8 ~k:3 in
+  Alcotest.(check (option int)) "n = k+1" (Some 4) codec.Codec.n;
+  Alcotest.(check bool) "k = 0 rejected" true
+    (try ignore (Codec.parity ~value_bytes:8 ~k:0); false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Fountain                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_fountain_rateless () =
+  let codec = Codec.fountain ~value_bytes:32 ~k:4 () in
+  Alcotest.(check (option int)) "rateless" None codec.Codec.n;
+  let v = Bytes.make 32 'f' in
+  (* Large block numbers are fine. *)
+  ignore (codec.Codec.encode v 1_000_000)
+
+let test_fountain_decodes_with_overhead =
+  qtest ~count:60 "fountain: decodes from enough random blocks"
+    QCheck2.Gen.(int_bound 100_000) (fun seed ->
+      let prng = Prng.create seed in
+      let k = 1 + Prng.int prng 6 in
+      let value_bytes = k + Prng.int prng 40 in
+      let codec = Codec.fountain ~seed:(seed land 0xff) ~value_bytes ~k () in
+      let v = random_value prng value_bytes in
+      (* 4k + 12 blocks have full rank except with negligible
+         probability (rank deficiency decays exponentially in the
+         overhead). *)
+      let count = (4 * k) + 12 in
+      let start = Prng.int prng 100 in
+      let blocks =
+        List.init count (fun i -> (start + i, codec.Codec.encode v (start + i)))
+      in
+      match codec.Codec.decode blocks with
+      | Some v' -> Bytes.equal v v'
+      | None -> false)
+
+let test_fountain_deterministic () =
+  let codec = Codec.fountain ~value_bytes:16 ~k:3 () in
+  let v = Bytes.make 16 'd' in
+  Alcotest.(check bytes) "same block for same index" (codec.Codec.encode v 5)
+    (codec.Codec.encode v 5)
+
+let test_fountain_seed_changes_code () =
+  let c1 = Codec.fountain ~seed:1 ~value_bytes:64 ~k:8 () in
+  let c2 = Codec.fountain ~seed:2 ~value_bytes:64 ~k:8 () in
+  let v = Sb_util.Values.distinct ~value_bytes:64 3 in
+  let differs =
+    List.exists
+      (fun i -> not (Bytes.equal (c1.Codec.encode v i) (c2.Codec.encode v i)))
+      (List.init 16 Fun.id)
+  in
+  Alcotest.(check bool) "different seeds give different codes" true differs
+
+let test_fountain_symmetry () =
+  let codec = Codec.fountain ~value_bytes:24 ~k:4 () in
+  Alcotest.(check bool) "symmetric" true (Codec.is_symmetric codec)
+
+let test_fountain_insufficient () =
+  let codec = Codec.fountain ~value_bytes:16 ~k:4 () in
+  let v = Bytes.make 16 'g' in
+  Alcotest.(check bool) "k-1 blocks never decode" true
+    (codec.Codec.decode (List.init 3 (fun i -> (i, codec.Codec.encode v i))) = None)
+
+(* ------------------------------------------------------------------ *)
+(* Colliding values (Claim 1, constructive)                            *)
+(* ------------------------------------------------------------------ *)
+
+let collision_suite ~label make_codec find_collision =
+  let finds_collisions =
+    qtest ~count:100 (label ^ ": sub-k index sets admit real collisions")
+      QCheck2.Gen.(int_bound 100_000)
+      (fun seed ->
+        let prng = Prng.create seed in
+        let k = 2 + Prng.int prng 4 in
+        let n = k + 1 + Prng.int prng 5 in
+        (* Unpadded values keep every kernel vector expressible. *)
+        let value_bytes = k * (1 + Prng.int prng 8) in
+        let codec = make_codec ~value_bytes ~k ~n in
+        let base = random_value prng value_bytes in
+        let count = 1 + Prng.int prng (k - 1) in
+        let indices = random_subset prng ~n ~k:count in
+        match find_collision ~value_bytes ~k ~n ~indices ~base with
+        | None -> false
+        | Some v' ->
+          (not (Bytes.equal v' base))
+          && List.for_all
+               (fun i ->
+                 Bytes.equal (codec.Codec.encode base i) (codec.Codec.encode v' i))
+               indices)
+  in
+  let no_collision_at_k =
+    qtest ~count:50 (label ^ ": k indices determine the value")
+      QCheck2.Gen.(int_bound 100_000)
+      (fun seed ->
+        let prng = Prng.create seed in
+        let k = 1 + Prng.int prng 4 in
+        let n = k + 1 + Prng.int prng 5 in
+        let value_bytes = k * 4 in
+        let base = random_value prng value_bytes in
+        let indices = random_subset prng ~n ~k in
+        find_collision ~value_bytes ~k ~n ~indices ~base = None)
+  in
+  let differs_outside =
+    qtest ~count:50 (label ^ ": collisions differ at some uncovered index")
+      QCheck2.Gen.(int_bound 100_000)
+      (fun seed ->
+        let prng = Prng.create seed in
+        let k = 2 + Prng.int prng 3 in
+        let n = k + 2 in
+        let value_bytes = k * 4 in
+        let codec = make_codec ~value_bytes ~k ~n in
+        let base = random_value prng value_bytes in
+        let indices = random_subset prng ~n ~k:(k - 1) in
+        match find_collision ~value_bytes ~k ~n ~indices ~base with
+        | None -> false
+        | Some v' ->
+          (* The two values differ, so by MDS their encodings must
+             differ at some index outside the colliding set. *)
+          List.exists
+            (fun i ->
+              (not (List.mem i indices))
+              && not (Bytes.equal (codec.Codec.encode base i) (codec.Codec.encode v' i)))
+            (List.init n Fun.id))
+  in
+  [ finds_collisions; no_collision_at_k; differs_outside ]
+
+let test_collision_empty_indices () =
+  (* With no blocks stored at all, any other value collides trivially. *)
+  let base = Bytes.make 8 'b' in
+  match
+    Codec.rs_vandermonde_colliding ~value_bytes:8 ~k:2 ~n:4 ~indices:[] ~base
+  with
+  | None -> Alcotest.fail "expected a collision for the empty index set"
+  | Some v' -> Alcotest.(check bool) "differs" false (Bytes.equal v' base)
+
+(* ------------------------------------------------------------------ *)
+(* Helpers                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_dedup_blocks () =
+  let blocks = [ (1, Bytes.of_string "a"); (2, Bytes.of_string "b"); (1, Bytes.of_string "c") ] in
+  Alcotest.(check int) "dedup keeps first" 2 (List.length (Codec.dedup_blocks blocks));
+  match Codec.dedup_blocks blocks with
+  | (1, first) :: _ -> Alcotest.(check string) "first kept" "a" (Bytes.to_string first)
+  | _ -> Alcotest.fail "unexpected order"
+
+let test_value_bits () =
+  let codec = Codec.rs_vandermonde ~value_bytes:64 ~k:4 ~n:12 in
+  Alcotest.(check int) "D bits" 512 (Codec.value_bits codec);
+  Alcotest.(check int) "piece bits = D/k" 128 (Codec.block_bits codec 0)
+
+let test_rs_params () =
+  Alcotest.(check bool) "k > n rejected" true
+    (try ignore (Codec.rs_vandermonde ~value_bytes:8 ~k:5 ~n:4); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "n > 256 rejected over GF(256)" true
+    (try ignore (Codec.rs_vandermonde ~value_bytes:8 ~k:2 ~n:300); false
+     with Invalid_argument _ -> true);
+  (* ... but fine over GF(2^16). *)
+  let c = Codec.rs_vandermonde16 ~value_bytes:8 ~k:2 ~n:300 in
+  let v = Bytes.make 8 'v' in
+  Alcotest.(check (option bytes)) "wide code decodes"
+    (Some v)
+    (c.Codec.decode [ (299, c.Codec.encode v 299); (123, c.Codec.encode v 123) ])
+
+let () =
+  Alcotest.run "codec"
+    [
+      ("rs-vandermonde", mds_suite ~label:"rs-vand" (fun ~value_bytes ~k ~n ->
+           Codec.rs_vandermonde ~value_bytes ~k ~n));
+      ("rs-vandermonde16", mds_suite ~label:"rs-vand16" (fun ~value_bytes ~k ~n ->
+           Codec.rs_vandermonde16 ~value_bytes ~k ~n));
+      ("rs-cauchy", mds_suite ~label:"rs-cauchy" (fun ~value_bytes ~k ~n ->
+           Codec.rs_cauchy ~value_bytes ~k ~n));
+      ( "replication",
+        [
+          test_replication_roundtrip;
+          Alcotest.test_case "parameters" `Quick test_replication_k;
+        ] );
+      ( "striping",
+        [
+          test_striping_roundtrip;
+          Alcotest.test_case "missing fragment" `Quick test_striping_missing;
+          Alcotest.test_case "rate 1" `Quick test_striping_rate;
+        ] );
+      ( "parity",
+        [
+          Alcotest.test_case "all single erasures" `Quick test_parity_all_erasures;
+          Alcotest.test_case "two missing" `Quick test_parity_two_missing;
+          Alcotest.test_case "parity is xor" `Quick test_parity_block_is_xor;
+          Alcotest.test_case "symmetry" `Quick test_parity_symmetry;
+          Alcotest.test_case "parameters" `Quick test_parity_params;
+        ] );
+      ( "fountain",
+        [
+          Alcotest.test_case "rateless" `Quick test_fountain_rateless;
+          test_fountain_decodes_with_overhead;
+          Alcotest.test_case "deterministic" `Quick test_fountain_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_fountain_seed_changes_code;
+          Alcotest.test_case "symmetry" `Quick test_fountain_symmetry;
+          Alcotest.test_case "insufficient" `Quick test_fountain_insufficient;
+        ] );
+      ( "collisions-vandermonde",
+        collision_suite ~label:"rs-vand"
+          (fun ~value_bytes ~k ~n -> Codec.rs_vandermonde ~value_bytes ~k ~n)
+          Codec.rs_vandermonde_colliding
+        @ [ Alcotest.test_case "empty index set" `Quick test_collision_empty_indices ]
+      );
+      ( "collisions-cauchy",
+        collision_suite ~label:"rs-cauchy"
+          (fun ~value_bytes ~k ~n -> Codec.rs_cauchy ~value_bytes ~k ~n)
+          Codec.rs_cauchy_colliding );
+      ( "helpers",
+        [
+          Alcotest.test_case "dedup_blocks" `Quick test_dedup_blocks;
+          Alcotest.test_case "value_bits" `Quick test_value_bits;
+          Alcotest.test_case "rs params" `Quick test_rs_params;
+        ] );
+    ]

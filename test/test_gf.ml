@@ -1,0 +1,332 @@
+(* Tests for the Galois fields and the matrix algebra over them. *)
+
+module M8 = Sb_gf.Matrix.Make (Sb_gf.Gf256)
+
+let qtest ?(count = 300) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* Field axiom tests shared by both fields. *)
+module Axioms (F : Sb_gf.Field.S) (N : sig
+  val name : string
+  val mul_slow : F.t -> F.t -> F.t
+end) =
+struct
+  let elem = QCheck2.Gen.int_bound (F.order - 1)
+  let nonzero = QCheck2.Gen.int_range 1 (F.order - 1)
+  let q name gen prop = qtest (N.name ^ ": " ^ name) gen prop
+
+  let tests =
+    [
+      q "add is xor" QCheck2.Gen.(pair elem elem) (fun (a, b) -> F.add a b = a lxor b);
+      q "mul commutative" QCheck2.Gen.(pair elem elem) (fun (a, b) ->
+          F.mul a b = F.mul b a);
+      q "mul associative" QCheck2.Gen.(triple elem elem elem) (fun (a, b, c) ->
+          F.mul a (F.mul b c) = F.mul (F.mul a b) c);
+      q "mul distributes" QCheck2.Gen.(triple elem elem elem) (fun (a, b, c) ->
+          F.mul a (F.add b c) = F.add (F.mul a b) (F.mul a c));
+      q "one is identity" elem (fun a -> F.mul F.one a = a);
+      q "zero annihilates" elem (fun a -> F.mul F.zero a = F.zero);
+      q "inverse" nonzero (fun a -> F.mul a (F.inv a) = F.one);
+      q "div inverts mul" QCheck2.Gen.(pair elem nonzero) (fun (a, b) ->
+          F.div (F.mul a b) b = a);
+      q "table mul = slow mul" QCheck2.Gen.(pair elem elem) (fun (a, b) ->
+          F.mul a b = N.mul_slow a b);
+      q "exp/log roundtrip" nonzero (fun a -> F.exp (F.log a) = a);
+      q "pow matches iterated mul"
+        QCheck2.Gen.(pair elem (int_bound 16))
+        (fun (a, e) ->
+          let rec go acc i = if i = 0 then acc else go (F.mul acc a) (i - 1) in
+          F.pow a e = if e = 0 then F.one else go F.one e);
+      q "generator powers are distinct"
+        QCheck2.Gen.(pair (int_bound 1000) (int_bound 1000))
+        (fun (i, j) ->
+          i mod (F.order - 1) = j mod (F.order - 1) || F.exp i <> F.exp j);
+    ]
+
+  let unit_tests =
+    [
+      Alcotest.test_case (N.name ^ ": inv 0 raises") `Quick (fun () ->
+          Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+              ignore (F.inv F.zero)));
+      Alcotest.test_case (N.name ^ ": div by 0 raises") `Quick (fun () ->
+          Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+              ignore (F.div F.one F.zero)));
+      Alcotest.test_case (N.name ^ ": log 0 raises") `Quick (fun () ->
+          Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+              ignore (F.log F.zero)));
+      Alcotest.test_case (N.name ^ ": constants") `Quick (fun () ->
+          Alcotest.(check int) "zero" 0 F.zero;
+          Alcotest.(check int) "one" 1 F.one;
+          Alcotest.(check int) "bits" (F.order) (1 lsl F.bits));
+    ]
+end
+
+module A8 =
+  Axioms (Sb_gf.Gf256) (struct let name = "gf256" let mul_slow = Sb_gf.Gf256.mul_slow end)
+
+module A16 =
+  Axioms
+    (Sb_gf.Gf2p16)
+    (struct let name = "gf2p16" let mul_slow = Sb_gf.Gf2p16.mul_slow end)
+
+(* Known-answer tests for GF(256) with the 0x11d polynomial. *)
+let test_gf256_known () =
+  Alcotest.(check int) "2*2" 4 (Sb_gf.Gf256.mul 2 2);
+  Alcotest.(check int) "0x80*2 reduces" 0x1d (Sb_gf.Gf256.mul 0x80 2);
+  Alcotest.(check int) "exp 0" 1 (Sb_gf.Gf256.exp 0);
+  Alcotest.(check int) "exp 1 = generator" 2 (Sb_gf.Gf256.exp 1);
+  Alcotest.(check int) "exp 8" 0x1d (Sb_gf.Gf256.exp 8)
+
+let test_mul_bytes_into () =
+  let src = Bytes.of_string "\x01\x02\x80\x00" in
+  let dst = Bytes.make 4 '\000' in
+  Sb_gf.Gf256.mul_bytes_into ~coeff:2 ~src ~dst;
+  Alcotest.(check string) "coeff 2" "\x02\x04\x1d\x00" (Bytes.to_string dst);
+  let dst2 = Bytes.copy src in
+  Sb_gf.Gf256.mul_bytes_into ~coeff:1 ~src ~dst:dst2;
+  Alcotest.(check string) "coeff 1 xors" "\x00\x00\x00\x00" (Bytes.to_string dst2);
+  let dst3 = Bytes.copy src in
+  Sb_gf.Gf256.mul_bytes_into ~coeff:0 ~src ~dst:dst3;
+  Alcotest.(check string) "coeff 0 no-op" (Bytes.to_string src) (Bytes.to_string dst3)
+
+(* ------------------------------------------------------------------ *)
+(* Matrices                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let random_matrix prng n m =
+  M8.init n m (fun _ _ -> Sb_util.Prng.int prng 256)
+
+let test_matrix_identity () =
+  let i3 = M8.identity 3 in
+  let prng = Sb_util.Prng.create 1 in
+  let a = random_matrix prng 3 3 in
+  Alcotest.(check bool) "I*A = A" true (M8.equal (M8.mul i3 a) a);
+  Alcotest.(check bool) "A*I = A" true (M8.equal (M8.mul a i3) a)
+
+let test_matrix_mul_assoc =
+  qtest ~count:50 "matrix mul associative" (QCheck2.Gen.int_bound 10_000) (fun seed ->
+      let prng = Sb_util.Prng.create seed in
+      let a = random_matrix prng 3 4 in
+      let b = random_matrix prng 4 2 in
+      let c = random_matrix prng 2 5 in
+      M8.equal (M8.mul (M8.mul a b) c) (M8.mul a (M8.mul b c)))
+
+let test_matrix_invert =
+  qtest ~count:100 "inverse times original is identity"
+    (QCheck2.Gen.int_bound 100_000) (fun seed ->
+      let prng = Sb_util.Prng.create seed in
+      let a = random_matrix prng 4 4 in
+      match M8.invert a with
+      | exception M8.Singular -> true (* singular matrices are skipped *)
+      | inv -> M8.equal (M8.mul inv a) (M8.identity 4) && M8.equal (M8.mul a inv) (M8.identity 4))
+
+let test_matrix_singular () =
+  let z = M8.create 3 3 in
+  Alcotest.check_raises "zero matrix is singular" M8.Singular (fun () ->
+      ignore (M8.invert z));
+  (* Two equal rows. *)
+  let a = M8.init 2 2 (fun _ j -> j + 1) in
+  Alcotest.check_raises "repeated rows" M8.Singular (fun () -> ignore (M8.invert a))
+
+let test_matrix_solve =
+  qtest ~count:100 "solve finds x with A x = b" (QCheck2.Gen.int_bound 100_000)
+    (fun seed ->
+      let prng = Sb_util.Prng.create seed in
+      let a = random_matrix prng 4 4 in
+      let x = Array.init 4 (fun _ -> Sb_util.Prng.int prng 256) in
+      let b = M8.apply a x in
+      match M8.solve a b with
+      | exception M8.Singular -> true
+      | x' -> x' = x || M8.apply a x' = b)
+
+let test_vandermonde_rows_invertible =
+  (* The MDS property behind Reed-Solomon: any k rows of an n x k
+     Vandermonde matrix with distinct points are invertible. *)
+  qtest ~count:200 "any k rows of Vandermonde are invertible"
+    (QCheck2.Gen.int_bound 100_000) (fun seed ->
+      let prng = Sb_util.Prng.create seed in
+      let k = 1 + Sb_util.Prng.int prng 6 in
+      let n = k + Sb_util.Prng.int prng 10 in
+      let v = M8.vandermonde n k in
+      let rows = Array.init n Fun.id in
+      Sb_util.Prng.shuffle prng rows;
+      let chosen = Array.sub rows 0 k in
+      match M8.invert (M8.sub_rows v chosen) with
+      | exception M8.Singular -> false
+      | _ -> true)
+
+let test_cauchy_rows_invertible =
+  qtest ~count:200 "any k rows of [I;Cauchy] are invertible"
+    (QCheck2.Gen.int_bound 100_000) (fun seed ->
+      let prng = Sb_util.Prng.create seed in
+      let k = 1 + Sb_util.Prng.int prng 6 in
+      let n = k + Sb_util.Prng.int prng 10 in
+      let parity = if n > k then M8.cauchy (n - k) k else M8.create 0 k in
+      let gen =
+        M8.init n k (fun i j ->
+            if i < k then (if i = j then 1 else 0) else M8.get parity (i - k) j)
+      in
+      let rows = Array.init n Fun.id in
+      Sb_util.Prng.shuffle prng rows;
+      let chosen = Array.sub rows 0 k in
+      match M8.invert (M8.sub_rows gen chosen) with
+      | exception M8.Singular -> false
+      | _ -> true)
+
+let test_nullspace_property =
+  qtest ~count:200 "nullspace vectors are killed by the matrix"
+    (QCheck2.Gen.int_bound 100_000) (fun seed ->
+      let prng = Sb_util.Prng.create seed in
+      let rows = 1 + Sb_util.Prng.int prng 5 in
+      let cols = 1 + Sb_util.Prng.int prng 6 in
+      let m = random_matrix prng rows cols in
+      let basis = M8.nullspace m in
+      List.for_all
+        (fun v ->
+          Array.for_all (fun y -> y = 0) (M8.apply m v)
+          && Array.exists (fun x -> x <> 0) v)
+        basis)
+
+let test_nullspace_dimension () =
+  (* Invertible square matrix: trivial kernel. *)
+  Alcotest.(check int) "identity kernel" 0 (List.length (M8.nullspace (M8.identity 4)));
+  (* Zero matrix: full kernel. *)
+  Alcotest.(check int) "zero matrix kernel" 3 (List.length (M8.nullspace (M8.create 2 3)));
+  (* A 2x4 Vandermonde has rank 2: kernel dimension 2. *)
+  let v = M8.vandermonde 2 4 in
+  Alcotest.(check int) "rank-2 of 4 columns" 2 (List.length (M8.nullspace v))
+
+let test_nullspace_spans_collisions =
+  (* For |I| < k rows of an n x k Vandermonde, the kernel is non-trivial
+     — the pigeonhole fact behind Claim 1. *)
+  qtest ~count:100 "sub-k index sets always admit collisions"
+    (QCheck2.Gen.int_bound 100_000) (fun seed ->
+      let prng = Sb_util.Prng.create seed in
+      let k = 2 + Sb_util.Prng.int prng 5 in
+      let n = k + 1 + Sb_util.Prng.int prng 6 in
+      let rows_count = Sb_util.Prng.int prng k in
+      let gen = M8.vandermonde n k in
+      let rows = Array.init n Fun.id in
+      Sb_util.Prng.shuffle prng rows;
+      let sub = M8.sub_rows gen (Array.sub rows 0 rows_count) in
+      List.length (M8.nullspace sub) = k - rows_count)
+
+let test_matrix_bounds () =
+  let a = M8.create 2 3 in
+  Alcotest.check_raises "get out of bounds" (Invalid_argument "Matrix.get: out of bounds")
+    (fun () -> ignore (M8.get a 2 0));
+  Alcotest.check_raises "set non-element"
+    (Invalid_argument "Matrix.set: not a field element") (fun () -> M8.set a 0 0 256);
+  Alcotest.check_raises "mul mismatch" (Invalid_argument "Matrix.mul: dimension mismatch")
+    (fun () -> ignore (M8.mul a a))
+
+let test_vandermonde_shape () =
+  let v = M8.vandermonde 4 3 in
+  Alcotest.(check int) "rows" 4 (M8.rows v);
+  Alcotest.(check int) "cols" 3 (M8.cols v);
+  (* Row 0 is the point 0: [1; 0; 0]. *)
+  Alcotest.(check int) "v(0,0)" 1 (M8.get v 0 0);
+  Alcotest.(check int) "v(0,1)" 0 (M8.get v 0 1);
+  (* Row 1 is the point g^0 = 1: all ones. *)
+  Alcotest.(check int) "v(1,2)" 1 (M8.get v 1 2)
+
+(* ------------------------------------------------------------------ *)
+(* Polynomials                                                         *)
+(* ------------------------------------------------------------------ *)
+
+module P8 = Sb_gf.Poly.Make (Sb_gf.Gf256)
+
+let test_poly_eval () =
+  (* p(x) = 3 + 2x over GF(256): p(0) = 3; p(1) = 1 (3 xor 2). *)
+  let p = [| 3; 2 |] in
+  Alcotest.(check int) "p(0)" 3 (P8.eval p 0);
+  Alcotest.(check int) "p(1)" 1 (P8.eval p 1);
+  Alcotest.(check int) "empty poly" 0 (P8.eval [||] 17)
+
+let test_poly_mul_known () =
+  (* (x + 1)(x + 1) = x^2 + 1 in characteristic 2. *)
+  let p = P8.mul [| 1; 1 |] [| 1; 1 |] in
+  Alcotest.(check (array int)) "square" [| 1; 0; 1 |] p
+
+let test_poly_interpolate_roundtrip =
+  qtest ~count:200 "interpolation recovers the polynomial"
+    (QCheck2.Gen.int_bound 1_000_000) (fun seed ->
+      let prng = Sb_util.Prng.create seed in
+      let deg = Sb_util.Prng.int prng 6 in
+      let p =
+        P8.(normalise (Array.init (deg + 1) (fun _ -> Sb_util.Prng.int prng 256)))
+      in
+      (* deg+1 distinct evaluation points. *)
+      let xs = Array.init 256 Fun.id in
+      Sb_util.Prng.shuffle prng xs;
+      let points =
+        List.init (Array.length p) (fun i -> (xs.(i), P8.eval p xs.(i)))
+      in
+      let q = P8.interpolate points in
+      q = p || (p = [||] && q = [||]))
+
+let test_poly_interpolate_duplicates () =
+  Alcotest.(check bool) "duplicate x rejected" true
+    (try ignore (P8.interpolate [ (1, 2); (1, 3) ]); false
+     with Invalid_argument _ -> true)
+
+(* Cross-check the two Reed-Solomon decode paths: matrix inversion in
+   the codec vs Lagrange interpolation here.  Vandermonde point i is 0
+   for i = 0 and generator^(i-1) otherwise (see Matrix.vandermonde). *)
+let test_poly_cross_checks_rs =
+  qtest ~count:100 "Lagrange interpolation agrees with the RS codec"
+    (QCheck2.Gen.int_bound 1_000_000) (fun seed ->
+      let prng = Sb_util.Prng.create seed in
+      let k = 1 + Sb_util.Prng.int prng 4 in
+      let n = k + 2 + Sb_util.Prng.int prng 4 in
+      let value_bytes = k (* one byte per shard: shard j = coefficient j *) in
+      let codec = Sb_codec.Codec.rs_vandermonde ~value_bytes ~k ~n in
+      let v = Sb_util.Prng.bytes prng value_bytes in
+      let point i = if i = 0 then 0 else Sb_gf.Gf256.exp (i - 1) in
+      let idx = Array.init n Fun.id in
+      Sb_util.Prng.shuffle prng idx;
+      let chosen = Array.to_list (Array.sub idx 0 k) in
+      let points =
+        List.map
+          (fun i -> (point i, Char.code (Bytes.get (codec.Sb_codec.Codec.encode v i) 0)))
+          chosen
+      in
+      let p = P8.interpolate points in
+      let coeffs = Array.init k (fun j -> if j < Array.length p then p.(j) else 0) in
+      let expected = Array.init k (fun j -> Char.code (Bytes.get v j)) in
+      coeffs = expected)
+
+let () =
+  Alcotest.run "gf"
+    [
+      ("gf256-axioms", A8.tests);
+      ("gf256-edges", A8.unit_tests @ [
+        Alcotest.test_case "known values" `Quick test_gf256_known;
+        Alcotest.test_case "mul_bytes_into" `Quick test_mul_bytes_into;
+      ]);
+      ("gf2p16-axioms", A16.tests);
+      ("gf2p16-edges", A16.unit_tests);
+      ( "matrix",
+        [
+          Alcotest.test_case "identity" `Quick test_matrix_identity;
+          test_matrix_mul_assoc;
+          test_matrix_invert;
+          Alcotest.test_case "singular" `Quick test_matrix_singular;
+          test_matrix_solve;
+          test_vandermonde_rows_invertible;
+          test_cauchy_rows_invertible;
+          test_nullspace_property;
+          Alcotest.test_case "nullspace dimension" `Quick test_nullspace_dimension;
+          test_nullspace_spans_collisions;
+          Alcotest.test_case "bounds checks" `Quick test_matrix_bounds;
+          Alcotest.test_case "vandermonde shape" `Quick test_vandermonde_shape;
+        ] );
+      ( "poly",
+        [
+          Alcotest.test_case "eval" `Quick test_poly_eval;
+          Alcotest.test_case "mul" `Quick test_poly_mul_known;
+          test_poly_interpolate_roundtrip;
+          Alcotest.test_case "duplicates" `Quick test_poly_interpolate_duplicates;
+          test_poly_cross_checks_rs;
+        ] );
+    ]

@@ -1,0 +1,233 @@
+(* Tests for the key-value composition layer. *)
+
+module Store = Sb_kv.Store
+module Common = Sb_registers.Common
+module Codec = Sb_codec.Codec
+
+let cfg ?(value_bytes = 32) ?(f = 2) ?(k = 2) () =
+  let n = (2 * f) + k in
+  { Common.n; f; codec = Codec.rs_vandermonde ~value_bytes ~k ~n }
+
+let repl_cfg ?(value_bytes = 32) ?(f = 2) () =
+  let n = (2 * f) + 1 in
+  { Common.n; f; codec = Codec.replication ~value_bytes ~n }
+
+let b = Bytes.of_string
+
+let test_put_get () =
+  let s = Store.create ~cfg:(cfg ()) () in
+  Store.put s ~key:"alpha" (b "hello");
+  Store.put s ~key:"beta" (b "world!");
+  Alcotest.(check (option bytes)) "alpha" (Some (b "hello")) (Store.get s ~key:"alpha");
+  Alcotest.(check (option bytes)) "beta" (Some (b "world!")) (Store.get s ~key:"beta")
+
+let test_overwrite () =
+  let s = Store.create ~cfg:(cfg ()) () in
+  Store.put s ~key:"k" (b "one");
+  Store.put s ~key:"k" (b "two");
+  Alcotest.(check (option bytes)) "latest wins" (Some (b "two")) (Store.get s ~key:"k")
+
+let test_missing_key () =
+  let s = Store.create ~cfg:(cfg ()) () in
+  Alcotest.(check (option bytes)) "missing" None (Store.get s ~key:"nope");
+  Alcotest.(check (list string)) "get does not create" [] (Store.keys s)
+
+let test_empty_value () =
+  let s = Store.create ~cfg:(cfg ()) () in
+  Store.put s ~key:"k" Bytes.empty;
+  Alcotest.(check (option bytes)) "empty round trip" (Some Bytes.empty)
+    (Store.get s ~key:"k")
+
+let test_binary_values () =
+  let s = Store.create ~cfg:(cfg ()) () in
+  let payload = Bytes.of_string "\x00\xff\x00binary\x01" in
+  Store.put s ~key:"bin" payload;
+  Alcotest.(check (option bytes)) "binary round trip" (Some payload)
+    (Store.get s ~key:"bin")
+
+let test_capacity () =
+  let s = Store.create ~cfg:(cfg ~value_bytes:16 ()) () in
+  Alcotest.(check int) "capacity = value - prefix" 12 (Store.max_value_bytes s);
+  Store.put s ~key:"full" (Bytes.make 12 'x');
+  Alcotest.(check (option bytes)) "max-size value" (Some (Bytes.make 12 'x'))
+    (Store.get s ~key:"full");
+  Alcotest.(check bool) "oversize rejected" true
+    (try Store.put s ~key:"big" (Bytes.make 13 'x'); false
+     with Invalid_argument _ -> true)
+
+let test_delete () =
+  let s = Store.create ~cfg:(cfg ()) () in
+  Store.put s ~key:"k" (b "v");
+  let before = Store.storage_bits s in
+  Store.delete s ~key:"k";
+  Alcotest.(check (option bytes)) "gone" None (Store.get s ~key:"k");
+  Alcotest.(check bool) "storage released" true (Store.storage_bits s < before);
+  Alcotest.(check (list string)) "keys updated" [] (Store.keys s)
+
+let test_keys_sorted () =
+  let s = Store.create ~cfg:(cfg ()) () in
+  List.iter (fun k -> Store.put s ~key:k (b k)) [ "zeta"; "alpha"; "mid" ];
+  Alcotest.(check (list string)) "sorted" [ "alpha"; "mid"; "zeta" ] (Store.keys s)
+
+let test_storage_accounting () =
+  let c = cfg ~value_bytes:32 ~f:2 ~k:2 () in
+  let s = Store.create ~cfg:c () in
+  Alcotest.(check int) "empty store stores nothing" 0 (Store.storage_bits s);
+  Store.put s ~key:"a" (b "x");
+  let one = Store.storage_bits s in
+  (* Quiescent register: (2f+k) pieces of D/k bits. *)
+  Alcotest.(check bool) "per-key quiescent bound" true
+    (one <= c.Common.n * Codec.block_bits c.codec 0);
+  Store.put s ~key:"b" (b "y");
+  Alcotest.(check bool) "storage grows with keys" true (Store.storage_bits s > one);
+  Alcotest.(check bool) "max tracked" true (Store.max_storage_bits s >= Store.storage_bits s)
+
+let test_crash_tolerance () =
+  let s = Store.create ~cfg:(cfg ~f:2 ~k:2 ()) () in
+  Store.put s ~key:"k" (b "before");
+  Store.crash_node s ~key:"k" 0;
+  Store.crash_node s ~key:"k" 3;
+  (* f = 2 crashes: reads and writes still work. *)
+  Alcotest.(check (option bytes)) "read after crashes" (Some (b "before"))
+    (Store.get s ~key:"k");
+  Store.put s ~key:"k" (b "after");
+  Alcotest.(check (option bytes)) "write after crashes" (Some (b "after"))
+    (Store.get s ~key:"k");
+  Alcotest.(check bool) "crash beyond f rejected" true
+    (try Store.crash_node s ~key:"k" 1; false with Invalid_argument _ -> true);
+  Store.crash_node s ~key:"absent" 0 (* no-op *)
+
+let test_consistency_check () =
+  let s = Store.create ~cfg:(cfg ()) () in
+  List.iter (fun i -> Store.put s ~key:"k" (b (string_of_int i))) [ 1; 2; 3 ];
+  ignore (Store.get s ~key:"k");
+  List.iter
+    (fun (key, verdict) ->
+      match verdict with
+      | Sb_spec.Regularity.Ok -> ()
+      | Sb_spec.Regularity.Violation msg -> Alcotest.failf "%s: %s" key msg)
+    (Store.check_consistency s)
+
+let test_atomic_store () =
+  let s = Store.create ~consistency:Store.Atomic ~cfg:(repl_cfg ()) () in
+  Store.put s ~key:"k" (b "atomic");
+  Alcotest.(check (option bytes)) "round trip" (Some (b "atomic")) (Store.get s ~key:"k");
+  List.iter
+    (fun (key, verdict) ->
+      match verdict with
+      | Sb_spec.Regularity.Ok -> ()
+      | Sb_spec.Regularity.Violation msg -> Alcotest.failf "%s: %s" key msg)
+    (Store.check_consistency s)
+
+let test_safe_store () =
+  let s = Store.create ~consistency:Store.Safe_only ~cfg:(cfg ()) () in
+  Store.put s ~key:"k" (b "safe");
+  (* Single-client per key: no concurrency, so even the safe register
+     returns real values. *)
+  Alcotest.(check (option bytes)) "round trip" (Some (b "safe")) (Store.get s ~key:"k")
+
+let test_deterministic () =
+  let run () =
+    let s = Store.create ~seed:9 ~cfg:(cfg ()) () in
+    List.iter (fun i -> Store.put s ~key:(string_of_int (i mod 3)) (b (string_of_int i)))
+      [ 1; 2; 3; 4; 5; 6 ];
+    (Store.storage_bits s, Store.max_storage_bits s, Store.get s ~key:"1")
+  in
+  Alcotest.(check bool) "same seed, same behaviour" true (run () = run ())
+
+let test_many_keys () =
+  let c = cfg ~value_bytes:32 ~f:1 ~k:1 () in
+  let s = Store.create ~cfg:c () in
+  for i = 1 to 50 do
+    Store.put s ~key:(Printf.sprintf "key-%02d" i) (b (string_of_int i))
+  done;
+  Alcotest.(check int) "50 keys" 50 (List.length (Store.keys s));
+  for i = 1 to 50 do
+    Alcotest.(check (option bytes))
+      (Printf.sprintf "key-%02d" i)
+      (Some (b (string_of_int i)))
+      (Store.get s ~key:(Printf.sprintf "key-%02d" i))
+  done
+
+let test_value_too_small () =
+  Alcotest.(check bool) "tiny register rejected" true
+    (try
+       ignore
+         (Store.create
+            ~cfg:{ Common.n = 3; f = 1; codec = Codec.replication ~value_bytes:4 ~n:3 }
+            ());
+       false
+     with Invalid_argument _ -> true)
+
+(* Model-based test: a random sequence of put/get/delete against the
+   replicated store must behave exactly like a Hashtbl, for every
+   backend. *)
+let test_model_based =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:60 ~name:"store behaves like a map (model-based)"
+       QCheck2.Gen.(int_bound 10_000_000)
+       (fun seed ->
+         let prng = Sb_util.Prng.create seed in
+         let consistency =
+           Sb_util.Prng.pick prng
+             [| Store.Regular; Store.Atomic; Store.Safe_only |]
+         in
+         let c =
+           match consistency with
+           | Store.Atomic -> repl_cfg ()
+           | _ -> cfg ()
+         in
+         let store = Store.create ~seed ~consistency ~cfg:c () in
+         let model : (string, bytes) Hashtbl.t = Hashtbl.create 8 in
+         let keys = [| "a"; "b"; "c" |] in
+         let ok = ref true in
+         for step = 0 to 19 do
+           let key = Sb_util.Prng.pick prng keys in
+           match Sb_util.Prng.int prng 3 with
+           | 0 ->
+             let value = Bytes.of_string (Printf.sprintf "v%d-%d" seed step) in
+             Store.put store ~key value;
+             Hashtbl.replace model key value
+           | 1 ->
+             Store.delete store ~key;
+             Hashtbl.remove model key
+           | _ ->
+             let expected = Hashtbl.find_opt model key in
+             if Store.get store ~key <> expected then ok := false
+         done;
+         (* Final sweep: every key agrees with the model. *)
+         Array.iter
+           (fun key ->
+             if Store.get store ~key <> Hashtbl.find_opt model key then ok := false)
+           keys;
+         !ok
+         && List.sort compare (Store.keys store)
+            = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) model [])))
+
+let () =
+  Alcotest.run "kv"
+    [
+      ( "basics",
+        [
+          Alcotest.test_case "put/get" `Quick test_put_get;
+          Alcotest.test_case "overwrite" `Quick test_overwrite;
+          Alcotest.test_case "missing key" `Quick test_missing_key;
+          Alcotest.test_case "empty value" `Quick test_empty_value;
+          Alcotest.test_case "binary values" `Quick test_binary_values;
+          Alcotest.test_case "capacity" `Quick test_capacity;
+          Alcotest.test_case "delete" `Quick test_delete;
+          Alcotest.test_case "keys sorted" `Quick test_keys_sorted;
+        ] );
+      ( "behaviour",
+        [
+          Alcotest.test_case "storage accounting" `Quick test_storage_accounting;
+          Alcotest.test_case "crash tolerance" `Quick test_crash_tolerance;
+          Alcotest.test_case "consistency check" `Quick test_consistency_check;
+          Alcotest.test_case "atomic backend" `Quick test_atomic_store;
+          Alcotest.test_case "safe backend" `Quick test_safe_store;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "many keys" `Quick test_many_keys;
+          Alcotest.test_case "value too small" `Quick test_value_too_small;
+          test_model_based;
+        ] );
+    ]

@@ -1,0 +1,197 @@
+(* Randomised model checking: sweep system parameters, workload shapes,
+   crash schedules, and both runtimes, machine-checking every resulting
+   history against the consistency level its algorithm promises.
+
+   This is the broad net behind the targeted unit tests: any scheduling
+   bug in a runtime, any lost update in an RMW, any quorum-size mistake
+   in a register, or any unsound checker tends to surface here. *)
+
+module R = Sb_sim.Runtime
+module MP = Sb_msgnet.Mp_runtime
+module Trace = Sb_sim.Trace
+module Common = Sb_registers.Common
+module Codec = Sb_codec.Codec
+module Prng = Sb_util.Prng
+
+let qtest ?(count = 50) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let is_ok = function Sb_spec.Regularity.Ok -> true | _ -> false
+
+type scenario = {
+  sc_seed : int;
+  value_bytes : int;
+  f : int;
+  k : int;
+  algo : [ `Adaptive | `Pure_ec | `Abd | `Abd_atomic | `Safe | `Versioned of int ];
+  workload : Trace.op_kind list array;
+  crashes : (int * int) list; (* (time, object) *)
+}
+
+let build_algo sc =
+  match sc.algo with
+  | `Abd | `Abd_atomic ->
+    let n = (2 * sc.f) + 1 in
+    let cfg =
+      { Common.n; f = sc.f; codec = Codec.replication ~value_bytes:sc.value_bytes ~n }
+    in
+    let make =
+      if sc.algo = `Abd then Sb_registers.Abd.make else Sb_registers.Abd_atomic.make
+    in
+    (make cfg, cfg)
+  | _ ->
+    let n = (2 * sc.f) + sc.k in
+    let cfg =
+      {
+        Common.n;
+        f = sc.f;
+        codec = Codec.rs_vandermonde ~value_bytes:sc.value_bytes ~k:sc.k ~n;
+      }
+    in
+    let make =
+      match sc.algo with
+      | `Adaptive -> Sb_registers.Adaptive.make
+      | `Pure_ec -> Sb_registers.Adaptive.make_unbounded
+      | `Safe -> Sb_registers.Safe_register.make
+      | `Versioned delta -> Sb_registers.Adaptive.make_versioned ~delta
+      | `Abd | `Abd_atomic -> assert false
+    in
+    (make cfg, cfg)
+
+let gen_scenario =
+  QCheck2.Gen.map
+    (fun seed ->
+      let prng = Prng.create seed in
+      let value_bytes = 8 + Prng.int prng 56 in
+      let f = 1 + Prng.int prng 3 in
+      let k = 1 + Prng.int prng 4 in
+      let algo =
+        Prng.pick prng
+          [|
+            `Adaptive; `Pure_ec; `Abd; `Abd_atomic; `Safe;
+            `Versioned (Prng.int prng 4);
+          |]
+      in
+      let clients = 1 + Prng.int prng 4 in
+      let value_counter = ref 0 in
+      let workload =
+        Array.init clients (fun _ ->
+            List.init
+              (1 + Prng.int prng 3)
+              (fun _ ->
+                if Prng.bool prng then Trace.Read
+                else begin
+                  incr value_counter;
+                  Trace.Write (Sb_util.Values.distinct ~value_bytes !value_counter)
+                end))
+      in
+      let crash_count = Prng.int prng (f + 1) in
+      let n =
+        match algo with
+        | `Abd | `Abd_atomic -> (2 * f) + 1
+        | _ -> (2 * f) + k
+      in
+      let crashes =
+        List.init crash_count (fun i -> (Prng.int prng 200, (i * 2) mod n))
+        |> List.sort_uniq compare
+      in
+      (* Distinct objects only: crashing the same object twice is an
+         error the policy would skip anyway. *)
+      let seen = Hashtbl.create 4 in
+      let crashes =
+        List.filter
+          (fun (_, o) ->
+            if Hashtbl.mem seen o then false
+            else begin
+              Hashtbl.add seen o ();
+              true
+            end)
+          crashes
+      in
+      { sc_seed = seed; value_bytes; f; k; algo; workload; crashes })
+    QCheck2.Gen.(int_bound 10_000_000)
+
+let expected_checker sc history =
+  match sc.algo with
+  | `Safe -> is_ok (Sb_spec.Regularity.check_safe history)
+  | `Abd_atomic ->
+    (* Atomicity where the search is tractable, strong regularity always. *)
+    let ops = List.length history.Sb_spec.History.writes
+              + List.length history.Sb_spec.History.reads in
+    is_ok (Sb_spec.Regularity.check_strong history)
+    && (ops > 20 || is_ok (Sb_spec.Regularity.check_atomic history))
+  | `Adaptive | `Pure_ec | `Abd | `Versioned _ ->
+    is_ok (Sb_spec.Regularity.check_strong history)
+
+let test_shared_memory =
+  qtest ~count:120 "shared memory: random scenarios stay consistent" gen_scenario
+    (fun sc ->
+      let algorithm, cfg = build_algo sc in
+      let w =
+        R.create ~seed:sc.sc_seed ~algorithm ~n:cfg.n ~f:cfg.f ~workload:sc.workload ()
+      in
+      let policy = R.random_policy ~crash_objs:sc.crashes ~seed:(sc.sc_seed + 1) () in
+      let outcome = R.run ~max_steps:200_000 w policy in
+      let ops = Trace.operations (R.trace w) in
+      let all_returned =
+        List.for_all (fun (_, _, _, ret, _) -> ret <> None) ops
+      in
+      let history =
+        Sb_spec.History.of_trace
+          ~initial:(Bytes.make sc.value_bytes '\000')
+          (R.trace w)
+      in
+      outcome.R.quiescent && all_returned && expected_checker sc history)
+
+let test_message_passing =
+  qtest ~count:80 "message passing: random scenarios stay consistent" gen_scenario
+    (fun sc ->
+      let algorithm, cfg = build_algo sc in
+      let w =
+        MP.create ~seed:sc.sc_seed ~algorithm ~n:cfg.n ~f:cfg.f ~workload:sc.workload ()
+      in
+      let policy =
+        MP.random_policy ~crash_servers:sc.crashes ~seed:(sc.sc_seed + 1) ()
+      in
+      let outcome = MP.run ~max_steps:200_000 w policy in
+      let ops = Trace.operations (MP.trace w) in
+      let all_returned = List.for_all (fun (_, _, _, ret, _) -> ret <> None) ops in
+      let history =
+        Sb_spec.History.of_trace
+          ~initial:(Bytes.make sc.value_bytes '\000')
+          (MP.trace w)
+      in
+      outcome.MP.quiescent && all_returned && expected_checker sc history)
+
+(* Storage never exceeds the coarse universal envelope: every object
+   stores at most max(2k, c+1) pieces plus a replica's worth, regardless
+   of schedule.  A much looser invariant than E3's, checked over far
+   wilder scenarios. *)
+let test_storage_envelope =
+  qtest ~count:80 "adaptive storage envelope over random scenarios"
+    QCheck2.Gen.(int_bound 10_000_000)
+    (fun seed ->
+      let prng = Prng.create seed in
+      let value_bytes = 16 + Prng.int prng 48 in
+      let f = 1 + Prng.int prng 3 in
+      let k = 1 + Prng.int prng 4 in
+      let n = (2 * f) + k in
+      let cfg =
+        { Common.n; f; codec = Codec.rs_vandermonde ~value_bytes ~k ~n }
+      in
+      let algorithm = Sb_registers.Adaptive.make cfg in
+      let c = 1 + Prng.int prng 5 in
+      let workload =
+        Sb_experiments.Workloads.writers_only ~value_bytes ~c ~writes_each:2
+      in
+      let w = R.create ~seed ~algorithm ~n ~f ~workload () in
+      ignore (R.run w (R.random_policy ~seed:(seed + 7) ()));
+      let piece = Codec.block_bits cfg.codec 0 in
+      R.max_bits_objects w <= n * 2 * k * piece)
+
+let () =
+  Alcotest.run "modelcheck"
+    [
+      ( "random-scenarios",
+        [ test_shared_memory; test_message_passing; test_storage_envelope ] );
+    ]

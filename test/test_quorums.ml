@@ -1,0 +1,142 @@
+(* Tests for the quorum-system library: the structures behind the
+   paper's "await n - f responses" rule. *)
+
+module Q = Sb_quorums.Quorum
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* ------------------------------------------------------------------ *)
+(* Constructors and membership                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_majority () =
+  let q = Q.majority ~n:5 in
+  Alcotest.(check bool) "3 of 5" true (Q.is_quorum q [ 0; 2; 4 ]);
+  Alcotest.(check bool) "2 of 5" false (Q.is_quorum q [ 1; 3 ]);
+  Alcotest.(check bool) "duplicates collapse" false (Q.is_quorum q [ 1; 1; 1; 3; 3 ])
+
+let test_counting () =
+  let q = Q.counting ~n:6 ~size:4 in
+  Alcotest.(check bool) "4 of 6" true (Q.is_quorum q [ 0; 1; 2; 3 ]);
+  Alcotest.(check bool) "3 of 6" false (Q.is_quorum q [ 0; 1; 2 ]);
+  Alcotest.(check bool) "member out of range" true
+    (try ignore (Q.is_quorum q [ 6 ]); false with Invalid_argument _ -> true)
+
+let test_grid () =
+  let q = Q.grid ~rows:2 ~cols:3 in
+  (* Universe: 0 1 2 / 3 4 5.  A quorum = one full row + one element of
+     every row. *)
+  Alcotest.(check bool) "row 0 + element of row 1" true (Q.is_quorum q [ 0; 1; 2; 4 ]);
+  Alcotest.(check bool) "full row 0 alone misses row 1" false
+    (Q.is_quorum q [ 0; 1; 2 ]);
+  Alcotest.(check bool) "transversal without a full row" false
+    (Q.is_quorum q [ 0; 4 ]);
+  Alcotest.(check bool) "row 1 + element of row 0" true (Q.is_quorum q [ 3; 4; 5; 1 ])
+
+let test_weighted () =
+  let q = Q.weighted ~weights:[| 3; 1; 1; 1 |] ~threshold:4 in
+  Alcotest.(check bool) "heavy node + one" true (Q.is_quorum q [ 0; 1 ]);
+  Alcotest.(check bool) "three light nodes" false (Q.is_quorum q [ 1; 2; 3 ]);
+  Alcotest.(check bool) "all nodes" true (Q.is_quorum q [ 0; 1; 2; 3 ])
+
+(* ------------------------------------------------------------------ *)
+(* Exhaustive analyses                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_minimal_quorums () =
+  let q = Q.majority ~n:4 in
+  let minimal = Q.minimal_quorums q in
+  (* Majorities of 4 have minimal size 3: C(4,3) = 4 of them. *)
+  Alcotest.(check int) "count" 4 (List.length minimal);
+  List.iter (fun m -> Alcotest.(check int) "size 3" 3 (List.length m)) minimal
+
+let test_min_intersection_majority () =
+  (* Two majorities of n intersect in >= 1; of 5 in >= 1. *)
+  Alcotest.(check int) "n=5" 1 (Q.min_intersection (Q.majority ~n:5));
+  Alcotest.(check int) "n=4" 2 (Q.min_intersection (Q.majority ~n:4))
+
+let test_min_intersection_counting () =
+  (* counting(n, n-f): two quorums intersect in n - 2f objects. *)
+  List.iter
+    (fun (n, f) ->
+      Alcotest.(check int)
+        (Printf.sprintf "n=%d f=%d" n f)
+        (n - (2 * f))
+        (Q.min_intersection (Q.counting ~n ~size:(n - f))))
+    [ (5, 2); (6, 2); (9, 3); (7, 1) ]
+
+let test_availability () =
+  let q = Q.counting ~n:5 ~size:3 in
+  Alcotest.(check bool) "live after 2 crashes" true (Q.available_after q ~failures:2);
+  Alcotest.(check bool) "dead after 3 crashes" false (Q.available_after q ~failures:3);
+  (* Grid systems are fragile: killing one full row blocks them. *)
+  let g = Q.grid ~rows:2 ~cols:2 in
+  Alcotest.(check bool) "grid not 2-available" false (Q.available_after g ~failures:2)
+
+let test_register_requirements () =
+  (* The paper's resilience condition n >= 2f + k, verified
+     structurally. *)
+  List.iter
+    (fun (n, f, k, expected) ->
+      let _, verdict = Q.register_requirements ~n ~f ~k in
+      Alcotest.(check bool) (Printf.sprintf "n=%d f=%d k=%d" n f k) expected verdict)
+    [
+      (6, 2, 2, true);   (* n = 2f + k *)
+      (7, 2, 2, true);   (* slack *)
+      (5, 2, 2, false);  (* n < 2f + k: intersection too small *)
+      (9, 4, 1, true);   (* replication: majority intersection *)
+      (3, 1, 1, true);
+      (3, 1, 2, false);
+    ]
+
+let test_register_requirements_match_formula =
+  qtest "structural verdict equals n >= 2f + k"
+    QCheck2.Gen.(triple (int_range 1 10) (int_range 0 4) (int_range 1 4))
+    (fun (n, f, k) ->
+      if 2 * f >= n then true (* configuration rejected elsewhere *)
+      else
+        let _, verdict = Q.register_requirements ~n ~f ~k in
+        verdict = (n >= (2 * f) + k))
+
+let test_counting_monotone =
+  qtest "counting quorums are monotone"
+    QCheck2.Gen.(pair (int_range 1 10) (int_bound 1000))
+    (fun (n, seed) ->
+      let prng = Sb_util.Prng.create seed in
+      let size = 1 + Sb_util.Prng.int prng n in
+      let q = Q.counting ~n ~size in
+      let members =
+        List.filter (fun _ -> Sb_util.Prng.bool prng) (List.init n Fun.id)
+      in
+      (* Adding members never destroys quorumhood. *)
+      (not (Q.is_quorum q members))
+      || Q.is_quorum q (List.sort_uniq compare (0 :: members)))
+
+let test_enumeration_guard () =
+  Alcotest.(check bool) "large universes rejected" true
+    (try ignore (Q.min_intersection (Q.majority ~n:25)); false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "quorums"
+    [
+      ( "constructors",
+        [
+          Alcotest.test_case "majority" `Quick test_majority;
+          Alcotest.test_case "counting" `Quick test_counting;
+          Alcotest.test_case "grid" `Quick test_grid;
+          Alcotest.test_case "weighted" `Quick test_weighted;
+        ] );
+      ( "analysis",
+        [
+          Alcotest.test_case "minimal quorums" `Quick test_minimal_quorums;
+          Alcotest.test_case "majority intersection" `Quick test_min_intersection_majority;
+          Alcotest.test_case "counting intersection" `Quick test_min_intersection_counting;
+          Alcotest.test_case "availability" `Quick test_availability;
+          Alcotest.test_case "register requirements" `Quick test_register_requirements;
+          test_register_requirements_match_formula;
+          test_counting_monotone;
+          Alcotest.test_case "enumeration guard" `Quick test_enumeration_guard;
+        ] );
+    ]

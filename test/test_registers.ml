@@ -1,0 +1,691 @@
+(* Tests for the register emulations: sequential correctness, consistency
+   under adversarial-free concurrency, storage invariants from the
+   paper's lemmas, and crash tolerance. *)
+
+module R = Sb_sim.Runtime
+module Trace = Sb_sim.Trace
+module Ts = Sb_storage.Timestamp
+module Objstate = Sb_storage.Objstate
+module Codec = Sb_codec.Codec
+module Common = Sb_registers.Common
+
+let value_bytes = 32
+let d = 8 * value_bytes
+let v i = Sb_util.Values.distinct ~value_bytes i
+let v0 = Bytes.make value_bytes '\000'
+
+let coded_cfg ~f ~k =
+  let n = (2 * f) + k in
+  { Common.n; f; codec = Codec.rs_vandermonde ~value_bytes ~k ~n }
+
+let abd_cfg ~f =
+  let n = (2 * f) + 1 in
+  { Common.n; f; codec = Codec.replication ~value_bytes ~n }
+
+let qtest ?(count = 40) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let run ?(seed = 1) ?policy ~algorithm ~(cfg : Common.config) workload =
+  let policy = match policy with Some p -> p | None -> R.random_policy ~seed () in
+  let w = R.create ~seed ~algorithm ~n:cfg.n ~f:cfg.f ~workload () in
+  let outcome = R.run w policy in
+  (w, outcome)
+
+let history w = Sb_spec.History.of_trace ~initial:v0 (R.trace w)
+
+let read_results w =
+  List.filter_map
+    (fun (_, kind, _, ret, res) ->
+      match (kind, ret) with Trace.Read, Some _ -> Some res | _ -> None)
+    (Trace.operations (R.trace w))
+
+let is_ok = function Sb_spec.Regularity.Ok -> true | _ -> false
+
+(* The four algorithms with their default configurations and the
+   consistency level each promises. *)
+let algorithms =
+  [
+    ("abd", Sb_registers.Abd.make (abd_cfg ~f:2), abd_cfg ~f:2, `Strong);
+    ("abd-atomic", Sb_registers.Abd_atomic.make (abd_cfg ~f:2), abd_cfg ~f:2, `Strong);
+    ("adaptive", Sb_registers.Adaptive.make (coded_cfg ~f:2 ~k:2), coded_cfg ~f:2 ~k:2, `Strong);
+    ( "pure-ec",
+      Sb_registers.Adaptive.make_unbounded (coded_cfg ~f:2 ~k:2),
+      coded_cfg ~f:2 ~k:2, `Strong );
+    ("safe", Sb_registers.Safe_register.make (coded_cfg ~f:2 ~k:2), coded_cfg ~f:2 ~k:2, `Safe);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Sequential behaviour (all algorithms)                               *)
+(* ------------------------------------------------------------------ *)
+
+let sequential_suite (name, algorithm, cfg, _) =
+  let read_fresh () =
+    let w, outcome = run ~algorithm ~cfg [| [ Trace.Read ] |] in
+    Alcotest.(check bool) "quiescent" true outcome.R.quiescent;
+    Alcotest.(check (list (option bytes))) "reads v0" [ Some v0 ] (read_results w)
+  in
+  let write_then_read () =
+    (* The fifo policy serialises rounds, so the write strictly precedes
+       the read. *)
+    let w, _ =
+      run ~policy:(R.fifo_policy ()) ~algorithm ~cfg
+        [| [ Trace.Write (v 1); Trace.Read ] |]
+    in
+    Alcotest.(check (list (option bytes))) "reads the written value" [ Some (v 1) ]
+      (read_results w)
+  in
+  let last_write_wins () =
+    let w, _ =
+      run ~policy:(R.fifo_policy ()) ~algorithm ~cfg
+        [| [ Trace.Write (v 1); Trace.Write (v 2); Trace.Write (v 3); Trace.Read ] |]
+    in
+    Alcotest.(check (list (option bytes))) "last write wins" [ Some (v 3) ]
+      (read_results w)
+  in
+  let all_ops_complete () =
+    let workload =
+      Sb_experiments.Workloads.writers_and_readers ~value_bytes ~writers:3
+        ~writes_each:2 ~readers:2 ~reads_each:2
+    in
+    let w, outcome = run ~seed:5 ~algorithm ~cfg workload in
+    Alcotest.(check bool) "quiescent" true outcome.R.quiescent;
+    let ops = Trace.operations (R.trace w) in
+    Alcotest.(check int) "all returned" (List.length ops)
+      (List.length (List.filter (fun (_, _, _, ret, _) -> ret <> None) ops))
+  in
+  [
+    Alcotest.test_case (name ^ ": fresh read is v0") `Quick read_fresh;
+    Alcotest.test_case (name ^ ": write then read") `Quick write_then_read;
+    Alcotest.test_case (name ^ ": last write wins") `Quick last_write_wins;
+    Alcotest.test_case (name ^ ": all ops complete") `Quick all_ops_complete;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Consistency under concurrency                                       *)
+(* ------------------------------------------------------------------ *)
+
+let consistency_suite (name, algorithm, cfg, level) =
+  let checker =
+    match level with
+    | `Strong -> Sb_spec.Regularity.check_strong
+    | `Safe -> Sb_spec.Regularity.check_safe
+  in
+  let level_name = match level with `Strong -> "strongly regular" | `Safe -> "safe" in
+  [
+    qtest ~count:30
+      (Printf.sprintf "%s: %s under random schedules" name level_name)
+      QCheck2.Gen.(int_bound 100_000)
+      (fun seed ->
+        let workload =
+          Sb_experiments.Workloads.writers_and_readers ~value_bytes ~writers:3
+            ~writes_each:2 ~readers:3 ~reads_each:2
+        in
+        let w, outcome = run ~seed ~algorithm ~cfg workload in
+        outcome.R.quiescent && is_ok (checker (history w)));
+  ]
+
+(* The safe register really is weaker than regular: under heavy write
+   concurrency some schedule makes a read return v0 after a write
+   completed. *)
+let test_safe_weaker_than_regular () =
+  let cfg = coded_cfg ~f:2 ~k:2 in
+  let algorithm = Sb_registers.Safe_register.make cfg in
+  let found = ref false in
+  let seed = ref 0 in
+  while (not !found) && !seed < 200 do
+    incr seed;
+    let workload =
+      Sb_experiments.Workloads.writers_and_readers ~value_bytes ~writers:4
+        ~writes_each:2 ~readers:2 ~reads_each:2
+    in
+    let w, _ = run ~seed:!seed ~algorithm ~cfg workload in
+    if not (is_ok (Sb_spec.Regularity.check_weak (history w))) then begin
+      found := true;
+      (* Even then, safety must hold. *)
+      Alcotest.(check bool) "still safe" true
+        (is_ok (Sb_spec.Regularity.check_safe (history w)))
+    end
+  done;
+  Alcotest.(check bool) "found a non-regular safe execution" true !found
+
+(* ABD without read write-back is regular but not atomic.  Build the
+   classic new/old inversion deterministically: a slow write lands its
+   replica on one object only; reader 1's quorum includes that object
+   (new value), then reader 2's quorum misses it (old value). *)
+let test_abd_not_atomic_witness () =
+  let cfg = abd_cfg ~f:2 in
+  (* n = 5, quorum = 3 *)
+  let algorithm = Sb_registers.Abd.make cfg in
+  let workload =
+    [| [ Trace.Write (v 1) ]; [ Trace.Read ]; [ Trace.Read ] |]
+  in
+  let w = R.create ~algorithm ~n:cfg.n ~f:cfg.f ~workload () in
+  (* Deliver the pending RMWs of [client] on the given objects, then
+     resume the client. *)
+  let deliver_for ~client ~objs =
+    List.iter
+      (fun (p : R.pending_info) ->
+        if p.p_client = client && List.mem p.p_obj objs then
+          ignore (R.step w (R.Deliver p.ticket)))
+      (R.deliverable w);
+    ignore (R.step w (R.Step client))
+  in
+  ignore (R.step w (R.Step 0)); (* writer: round 1 triggered *)
+  deliver_for ~client:0 ~objs:[ 0; 1; 2 ]; (* round 1 done; update triggered *)
+  (* The update lands on object 0 only; the writer stays parked. *)
+  List.iter
+    (fun (p : R.pending_info) ->
+      if p.p_client = 0 && p.p_obj = 0 then ignore (R.step w (R.Deliver p.ticket)))
+    (R.deliverable w);
+  (* Reader 1: quorum {0,1,2} includes the new replica. *)
+  ignore (R.step w (R.Step 1));
+  deliver_for ~client:1 ~objs:[ 0; 1; 2 ];
+  (* Reader 2 starts after reader 1 returned; quorum {2,3,4} is stale. *)
+  ignore (R.step w (R.Step 2));
+  deliver_for ~client:2 ~objs:[ 2; 3; 4 ];
+  let h = history w in
+  Alcotest.(check (list (option bytes))) "new then old"
+    [ Some (v 1); Some v0 ]
+    (read_results w);
+  Alcotest.(check bool) "not atomic" false (is_ok (Sb_spec.Regularity.check_atomic h));
+  Alcotest.(check bool) "still strongly regular" true
+    (is_ok (Sb_spec.Regularity.check_strong h))
+
+(* The write-back variant defeats the same inversion schedule: reader
+   2's quorum intersects reader 1's write-back quorum in object 2, so it
+   must see the new value. *)
+let test_abd_atomic_defeats_inversion () =
+  let cfg = abd_cfg ~f:2 in
+  let algorithm = Sb_registers.Abd_atomic.make cfg in
+  let workload = [| [ Trace.Write (v 1) ]; [ Trace.Read ]; [ Trace.Read ] |] in
+  let w = R.create ~algorithm ~n:cfg.n ~f:cfg.f ~workload () in
+  let deliver_for ~client ~objs =
+    List.iter
+      (fun (p : R.pending_info) ->
+        if p.p_client = client && List.mem p.p_obj objs then
+          ignore (R.step w (R.Deliver p.ticket)))
+      (R.deliverable w);
+    ignore (R.step w (R.Step client))
+  in
+  ignore (R.step w (R.Step 0));
+  deliver_for ~client:0 ~objs:[ 0; 1; 2 ];
+  List.iter
+    (fun (p : R.pending_info) ->
+      if p.p_client = 0 && p.p_obj = 0 then ignore (R.step w (R.Deliver p.ticket)))
+    (R.deliverable w);
+  (* Reader 1: read round on {0,1,2}, then its write-back round on the
+     same quorum. *)
+  ignore (R.step w (R.Step 1));
+  deliver_for ~client:1 ~objs:[ 0; 1; 2 ];
+  deliver_for ~client:1 ~objs:[ 0; 1; 2 ];
+  (* Reader 2 samples the "stale" quorum {2,3,4} — but object 2 now
+     holds reader 1's write-back. *)
+  ignore (R.step w (R.Step 2));
+  deliver_for ~client:2 ~objs:[ 2; 3; 4 ];
+  deliver_for ~client:2 ~objs:[ 2; 3; 4 ];
+  Alcotest.(check (list (option bytes))) "both reads see the new value"
+    [ Some (v 1); Some (v 1) ]
+    (read_results w);
+  Alcotest.(check bool) "atomic" true
+    (is_ok (Sb_spec.Regularity.check_atomic (history w)))
+
+let test_abd_atomic_random =
+  qtest ~count:30 "abd-atomic: linearizable under random schedules"
+    QCheck2.Gen.(int_bound 100_000)
+    (fun seed ->
+      let cfg = abd_cfg ~f:2 in
+      let algorithm = Sb_registers.Abd_atomic.make cfg in
+      (* Small workloads keep the linearizability search tractable. *)
+      let workload =
+        Sb_experiments.Workloads.writers_and_readers ~value_bytes ~writers:2
+          ~writes_each:2 ~readers:2 ~reads_each:2
+      in
+      let w, outcome = run ~seed ~algorithm ~cfg workload in
+      outcome.R.quiescent && is_ok (Sb_spec.Regularity.check_atomic (history w)))
+
+(* ------------------------------------------------------------------ *)
+(* Storage invariants (paper lemmas)                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Sample object states at every scheduling step. *)
+let run_sampling ~algorithm ~(cfg : Common.config) ~seed workload check_world =
+  let base = R.random_policy ~seed () in
+  let policy w =
+    check_world w;
+    base w
+  in
+  let w, outcome = run ~seed ~policy ~algorithm ~cfg workload in
+  check_world w;
+  (w, outcome)
+
+let test_adaptive_vp_bounded () =
+  (* Lemma 5 + the update rule: Vp holds at most one piece per write and
+     at most k distinct writes; Vf at most k pieces. *)
+  let f = 2 and k = 3 in
+  let cfg = coded_cfg ~f ~k in
+  let algorithm = Sb_registers.Adaptive.make cfg in
+  let piece_bits = Codec.block_bits cfg.codec 0 in
+  let workload = Sb_experiments.Workloads.writers_only ~value_bytes ~c:6 ~writes_each:2 in
+  let check w =
+    for i = 0 to cfg.n - 1 do
+      let st = R.obj_state w i in
+      let vp_ts = List.map (fun (c : Sb_storage.Chunk.t) -> c.ts) st.Objstate.vp in
+      Alcotest.(check bool) "one piece per write in Vp" true
+        (List.length vp_ts = List.length (List.sort_uniq Ts.compare vp_ts));
+      Alcotest.(check bool) "Vp bounded by k writes" true (List.length vp_ts <= k);
+      Alcotest.(check bool) "Vf bounded by k pieces" true
+        (List.length st.Objstate.vf <= k);
+      Alcotest.(check bool) "object holds <= 2k pieces" true
+        (Objstate.bits st <= 2 * k * piece_bits)
+    done
+  in
+  List.iter
+    (fun seed -> ignore (run_sampling ~algorithm ~cfg ~seed workload check))
+    [ 1; 2; 3 ]
+
+let test_adaptive_stored_ts_monotone () =
+  (* Observation 3. *)
+  let cfg = coded_cfg ~f:2 ~k:2 in
+  let algorithm = Sb_registers.Adaptive.make cfg in
+  let workload = Sb_experiments.Workloads.writers_only ~value_bytes ~c:4 ~writes_each:2 in
+  let last = Array.make cfg.n Ts.zero in
+  let check w =
+    for i = 0 to cfg.n - 1 do
+      let ts = (R.obj_state w i).Objstate.stored_ts in
+      Alcotest.(check bool) "storedTS monotone" true Ts.(last.(i) <= ts);
+      last.(i) <- ts
+    done
+  in
+  ignore (run_sampling ~algorithm ~cfg ~seed:7 workload check)
+
+let test_adaptive_gc_bound =
+  qtest ~count:20 "adaptive: quiescent storage <= (2f+k)D/k"
+    QCheck2.Gen.(int_bound 100_000)
+    (fun seed ->
+      let cfg = coded_cfg ~f:2 ~k:2 in
+      let algorithm = Sb_registers.Adaptive.make cfg in
+      let workload =
+        Sb_experiments.Workloads.writers_only ~value_bytes ~c:3 ~writes_each:2
+      in
+      let w, outcome = run ~seed ~algorithm ~cfg workload in
+      outcome.R.quiescent && R.storage_bits_objects w <= cfg.n * d / 2)
+
+let test_abd_storage_constant () =
+  let cfg = abd_cfg ~f:2 in
+  let algorithm = Sb_registers.Abd.make cfg in
+  let workload = Sb_experiments.Workloads.writers_only ~value_bytes ~c:5 ~writes_each:2 in
+  let check w =
+    Alcotest.(check int) "always n replicas" (cfg.n * d) (R.storage_bits_objects w)
+  in
+  ignore (run_sampling ~algorithm ~cfg ~seed:3 workload check)
+
+let test_safe_storage_constant () =
+  let f = 2 and k = 2 in
+  let cfg = coded_cfg ~f ~k in
+  let algorithm = Sb_registers.Safe_register.make cfg in
+  let workload = Sb_experiments.Workloads.writers_only ~value_bytes ~c:5 ~writes_each:2 in
+  let check w =
+    Alcotest.(check int) "always nD/k" (cfg.n * d / k) (R.storage_bits_objects w)
+  in
+  ignore (run_sampling ~algorithm ~cfg ~seed:3 workload check)
+
+let test_versioned_storage_bound =
+  qtest ~count:25 "versioned: storage <= (delta+1) n pieces"
+    QCheck2.Gen.(pair (int_bound 3) (int_bound 100_000))
+    (fun (delta, seed) ->
+      let cfg = coded_cfg ~f:2 ~k:2 in
+      let algorithm = Sb_registers.Adaptive.make_versioned ~delta cfg in
+      let workload = Sb_experiments.Workloads.writers_only ~value_bytes ~c:5 ~writes_each:2 in
+      let w, outcome = run ~seed ~algorithm ~cfg workload in
+      let piece = Codec.block_bits cfg.codec 0 in
+      outcome.R.quiescent
+      && R.max_bits_objects w <= (delta + 1) * cfg.n * piece)
+
+let test_versioned_regular =
+  qtest ~count:25 "versioned: strongly regular even with tight delta"
+    QCheck2.Gen.(int_bound 100_000)
+    (fun seed ->
+      let cfg = coded_cfg ~f:2 ~k:2 in
+      let algorithm = Sb_registers.Adaptive.make_versioned ~delta:0 cfg in
+      let workload =
+        Sb_experiments.Workloads.writers_and_readers ~value_bytes ~writers:4
+          ~writes_each:2 ~readers:2 ~reads_each:2
+      in
+      let w, outcome = run ~seed ~algorithm ~cfg workload in
+      outcome.R.quiescent && is_ok (Sb_spec.Regularity.check_strong (history w)))
+
+let test_versioned_sequential () =
+  let cfg = coded_cfg ~f:2 ~k:2 in
+  let algorithm = Sb_registers.Adaptive.make_versioned ~delta:1 cfg in
+  let w, _ =
+    run ~policy:(R.fifo_policy ()) ~algorithm ~cfg
+      [| [ Trace.Write (v 1); Trace.Write (v 2); Trace.Read ] |]
+  in
+  Alcotest.(check (list (option bytes))) "last write wins" [ Some (v 2) ]
+    (read_results w);
+  Alcotest.(check bool) "negative delta rejected" true
+    (try ignore (Sb_registers.Adaptive.make_versioned ~delta:(-1) cfg); false
+     with Invalid_argument _ -> true)
+
+let test_pure_ec_exceeds_adaptive_cap () =
+  (* The unbounded baseline must be able to exceed the adaptive cap of
+     2k pieces per object — that is the whole point of the ablation. *)
+  let f = 1 and k = 2 in
+  let cfg = coded_cfg ~f ~k in
+  let algorithm = Sb_registers.Adaptive.make_unbounded cfg in
+  let c = 8 in
+  let workload = Sb_experiments.Workloads.writers_only ~value_bytes ~c ~writes_each:2 in
+  let best = ref 0 in
+  List.iter
+    (fun seed ->
+      let w, _ = run ~seed ~algorithm ~cfg workload in
+      best := max !best (R.max_bits_objects w))
+    [ 1; 2; 3; 4; 5; 6 ];
+  Alcotest.(check bool) "storage beyond replication level" true (!best > cfg.n * d)
+
+(* The adaptive rule itself, step by step (Algorithm 3): an object whose
+   Vp already holds pieces of k distinct writes stores the next write as
+   a full replica in Vf, and only newer timestamps may overwrite it. *)
+let test_adaptive_replica_switchover () =
+  let f = 1 and k = 2 in
+  let cfg = coded_cfg ~f ~k in
+  (* n = 4 *)
+  let algorithm = Sb_registers.Adaptive.make cfg in
+  let workload =
+    [| [ Trace.Write (v 1) ]; [ Trace.Write (v 2) ]; [ Trace.Write (v 3) ] |]
+  in
+  let w = R.create ~algorithm ~n:cfg.n ~f:cfg.f ~workload () in
+  (* Let each writer read its timestamp round, then deliver only its
+     update RMW on object 0 — accumulating state there. *)
+  let advance_to_update client =
+    ignore (R.step w (R.Step client));
+    List.iter
+      (fun (p : R.pending_info) ->
+        if p.p_client = client then ignore (R.step w (R.Deliver p.ticket)))
+      (R.deliverable w);
+    ignore (R.step w (R.Step client));
+    List.iter
+      (fun (p : R.pending_info) ->
+        if p.p_client = client && p.p_obj = 0 then ignore (R.step w (R.Deliver p.ticket)))
+      (R.deliverable w)
+  in
+  (* Initially Vp holds v0's piece: 1 write. *)
+  advance_to_update 0;
+  let st = R.obj_state w 0 in
+  Alcotest.(check int) "w1's piece joins v0 in Vp" 2 (List.length st.Objstate.vp);
+  Alcotest.(check int) "Vf still empty" 0 (List.length st.Objstate.vf);
+  (* Vp now holds k = 2 distinct writes: w2 must go to Vf as a replica. *)
+  advance_to_update 1;
+  let st = R.obj_state w 0 in
+  Alcotest.(check int) "Vp saturated at k writes" 2 (List.length st.Objstate.vp);
+  Alcotest.(check int) "w2 stored as a k-piece replica" k (List.length st.Objstate.vf);
+  let vf_ts =
+    match st.Objstate.vf with c :: _ -> c.Sb_storage.Chunk.ts | [] -> Ts.zero
+  in
+  (* w3 (higher timestamp) overwrites the replica. *)
+  advance_to_update 2;
+  let st = R.obj_state w 0 in
+  Alcotest.(check int) "replica overwritten, still k pieces" k
+    (List.length st.Objstate.vf);
+  let vf_ts' =
+    match st.Objstate.vf with c :: _ -> c.Sb_storage.Chunk.ts | [] -> Ts.zero
+  in
+  Alcotest.(check bool) "by a strictly newer timestamp" true Ts.(vf_ts < vf_ts')
+
+(* Algorithm 3, line 33: updates at or below the object's storedTS are
+   ignored — the commit barrier blocks stale writes. *)
+let test_adaptive_stale_update_ignored () =
+  let cfg = coded_cfg ~f:1 ~k:2 in
+  let algorithm = Sb_registers.Adaptive.make cfg in
+  let workload = [| [ Trace.Write (v 1) ]; [ Trace.Write (v 2) ] |] in
+  let w = R.create ~algorithm ~n:cfg.n ~f:cfg.f ~workload () in
+  (* w1 runs completely (all rounds delivered everywhere). *)
+  ignore (R.step w (R.Step 0));
+  List.iter (fun (p : R.pending_info) ->
+      if p.p_client = 0 then ignore (R.step w (R.Deliver p.ticket)))
+    (R.deliverable w);
+  ignore (R.step w (R.Step 0));
+  List.iter (fun (p : R.pending_info) ->
+      if p.p_client = 0 then ignore (R.step w (R.Deliver p.ticket)))
+    (R.deliverable w);
+  ignore (R.step w (R.Step 0));
+  (* w2 reads its timestamp BEFORE w1's GC lands anywhere... too late
+     here; instead simulate the barrier directly: after w1's GC, every
+     object's storedTS equals w1's timestamp, so replaying w1's own
+     update (same ts) must be a no-op.  Trigger w2's rounds but deliver
+     w1's GC first. *)
+  List.iter (fun (p : R.pending_info) ->
+      if p.p_client = 0 then ignore (R.step w (R.Deliver p.ticket)))
+    (R.deliverable w);
+  ignore (R.step w (R.Step 0));
+  let before = Objstate.bits (R.obj_state w 0) in
+  let ts_before = (R.obj_state w 0).Objstate.stored_ts in
+  Alcotest.(check bool) "barrier raised past zero" true Ts.(Ts.zero < ts_before);
+  (* w2 chose its timestamp in a fresh round-1 *after* w1's GC, so its
+     update succeeds; but the state before it arrives is the GC'd
+     single-piece state. *)
+  Alcotest.(check int) "single piece after GC"
+    (Codec.block_bits cfg.codec 0) before
+
+(* ------------------------------------------------------------------ *)
+(* Crash tolerance                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let crash_suite (name, algorithm, cfg, level) =
+  let checker =
+    match level with
+    | `Strong -> Sb_spec.Regularity.check_strong
+    | `Safe -> Sb_spec.Regularity.check_safe
+  in
+  let crash_f_objects () =
+    let workload =
+      Sb_experiments.Workloads.writers_and_readers ~value_bytes ~writers:2
+        ~writes_each:2 ~readers:2 ~reads_each:2
+    in
+    (* Crash f objects early in the run. *)
+    let crashes = List.init cfg.Common.f (fun i -> (10 + (5 * i), i)) in
+    let policy = R.random_policy ~crash_objs:crashes ~seed:13 () in
+    let w, outcome = run ~policy ~algorithm ~cfg workload in
+    Alcotest.(check bool) "quiescent despite f crashes" true outcome.R.quiescent;
+    let ops = Trace.operations (R.trace w) in
+    Alcotest.(check int) "all ops complete" (List.length ops)
+      (List.length (List.filter (fun (_, _, _, ret, _) -> ret <> None) ops));
+    Alcotest.(check bool) "consistency preserved" true (is_ok (checker (history w)))
+  in
+  [ Alcotest.test_case (name ^ ": tolerates f crashes") `Quick crash_f_objects ]
+
+(* ------------------------------------------------------------------ *)
+(* Configuration validation                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_config_validation () =
+  let mk n f k = { Common.n; f; codec = Codec.rs_vandermonde ~value_bytes ~k ~n:(max n k) } in
+  Alcotest.(check bool) "n < 2f+k rejected" true
+    (try ignore (Sb_registers.Adaptive.make (mk 5 2 2)); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "rateless codec rejected" true
+    (try
+       ignore
+         (Sb_registers.Adaptive.make
+            { Common.n = 6; f = 2; codec = Codec.fountain ~value_bytes ~k:2 () });
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "ABD requires k=1" true
+    (try ignore (Sb_registers.Abd.make (coded_cfg ~f:2 ~k:2)); false
+     with Invalid_argument _ -> true)
+
+let test_adaptive_k1_degenerates () =
+  (* k = 1 makes every piece a full replica; the algorithm still works. *)
+  let cfg = coded_cfg ~f:2 ~k:1 in
+  let algorithm = Sb_registers.Adaptive.make cfg in
+  let w, outcome =
+    run ~policy:(R.fifo_policy ()) ~algorithm ~cfg
+      [| [ Trace.Write (v 1); Trace.Read ] |]
+  in
+  Alcotest.(check bool) "quiescent" true outcome.R.quiescent;
+  Alcotest.(check (list (option bytes))) "round trip" [ Some (v 1) ] (read_results w)
+
+(* ------------------------------------------------------------------ *)
+(* The rateless (fountain) register                                    *)
+(* ------------------------------------------------------------------ *)
+
+let rateless_cfg = coded_cfg ~f:2 ~k:3
+
+let test_rateless_round_trip () =
+  let algorithm = Sb_registers.Rateless.make ~codec_seed:7 rateless_cfg in
+  let w, outcome =
+    run ~policy:(R.fifo_policy ()) ~algorithm ~cfg:rateless_cfg
+      [| [ Trace.Write (v 1); Trace.Read ] |]
+  in
+  Alcotest.(check bool) "quiescent" true outcome.R.quiescent;
+  Alcotest.(check (list (option bytes))) "round trip" [ Some (v 1) ] (read_results w)
+
+let test_rateless_fresh_reads_v0 () =
+  let algorithm = Sb_registers.Rateless.make ~codec_seed:7 rateless_cfg in
+  let w, _ = run ~algorithm ~cfg:rateless_cfg [| [ Trace.Read ] |] in
+  Alcotest.(check (list (option bytes))) "v0" [ Some v0 ] (read_results w)
+
+let test_rateless_regular =
+  qtest ~count:20 "rateless: strongly regular under random schedules"
+    QCheck2.Gen.(int_bound 100_000)
+    (fun seed ->
+      let algorithm = Sb_registers.Rateless.make ~codec_seed:7 rateless_cfg in
+      let workload =
+        Sb_experiments.Workloads.writers_and_readers ~value_bytes ~writers:3
+          ~writes_each:2 ~readers:2 ~reads_each:2
+      in
+      let w, outcome = run ~seed ~algorithm ~cfg:rateless_cfg workload in
+      outcome.R.quiescent && is_ok (Sb_spec.Regularity.check_strong (history w)))
+
+let test_rateless_distinct_indices () =
+  (* Every stored block carries a globally distinct block number, per
+     the paper's rateless model (block domain = N). *)
+  let algorithm = Sb_registers.Rateless.make ~codec_seed:7 rateless_cfg in
+  let w, _ =
+    run ~policy:(R.fifo_policy ()) ~algorithm ~cfg:rateless_cfg
+      [| [ Trace.Write (v 1) ] |]
+  in
+  let all_blocks =
+    List.concat_map
+      (fun i -> Sb_storage.Objstate.blocks (R.obj_state w i))
+      (List.init rateless_cfg.Common.n Fun.id)
+  in
+  let keyed =
+    List.map (fun (b : Sb_storage.Block.t) -> (b.source, b.index)) all_blocks
+  in
+  Alcotest.(check int) "no duplicate (source, index) pairs"
+    (List.length keyed)
+    (List.length (List.sort_uniq compare keyed))
+
+let test_rateless_crash_tolerant () =
+  let algorithm = Sb_registers.Rateless.make ~codec_seed:7 rateless_cfg in
+  let workload =
+    Sb_experiments.Workloads.writers_and_readers ~value_bytes ~writers:2
+      ~writes_each:2 ~readers:2 ~reads_each:2
+  in
+  let policy = R.random_policy ~crash_objs:[ (15, 0); (30, 4) ] ~seed:3 () in
+  let w, outcome = run ~policy ~algorithm ~cfg:rateless_cfg workload in
+  Alcotest.(check bool) "quiescent with f crashes" true outcome.R.quiescent;
+  let ops = Trace.operations (R.trace w) in
+  Alcotest.(check int) "all complete" (List.length ops)
+    (List.length (List.filter (fun (_, _, _, ret, _) -> ret <> None) ops))
+
+let test_adaptive_cauchy_codec () =
+  (* The algorithms are codec-agnostic across MDS codes. *)
+  let n = 6 and f = 2 and k = 2 in
+  let cfg = { Common.n; f; codec = Codec.rs_cauchy ~value_bytes ~k ~n } in
+  let algorithm = Sb_registers.Adaptive.make cfg in
+  let w, _ =
+    run ~policy:(R.fifo_policy ()) ~algorithm ~cfg
+      [| [ Trace.Write (v 4); Trace.Read ] |]
+  in
+  Alcotest.(check (list (option bytes))) "cauchy round trip" [ Some (v 4) ] (read_results w)
+
+(* ------------------------------------------------------------------ *)
+(* Scale: wide configurations and large values                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_wide_config_gf16 () =
+  (* 300 simulated storage nodes force the GF(2^16) Reed-Solomon code
+     (n > 256). *)
+  let f = 142 and k = 16 in
+  let n = (2 * f) + k in
+  let vb = 64 in
+  let cfg = { Common.n; f; codec = Codec.rs_vandermonde16 ~value_bytes:vb ~k ~n } in
+  let algorithm = Sb_registers.Adaptive.make cfg in
+  let value = Sb_util.Values.distinct ~value_bytes:vb 3 in
+  let w, outcome =
+    run ~policy:(R.fifo_policy ()) ~algorithm ~cfg
+      [| [ Trace.Write value; Trace.Read ] |]
+  in
+  Alcotest.(check bool) "quiescent at n=300" true outcome.R.quiescent;
+  Alcotest.(check (list (option bytes))) "round trip" [ Some value ] (read_results w);
+  (* Quiescent storage: one piece per object. *)
+  Alcotest.(check bool) "storage = n pieces" true
+    (R.storage_bits_objects w <= n * Codec.block_bits cfg.codec 0)
+
+let test_large_values () =
+  let vb = 4096 in
+  let f = 2 and k = 4 in
+  let n = (2 * f) + k in
+  let cfg = { Common.n; f; codec = Codec.rs_cauchy ~value_bytes:vb ~k ~n } in
+  let algorithm = Sb_registers.Adaptive.make cfg in
+  let value = Sb_util.Values.distinct ~value_bytes:vb 1 in
+  let w, _ =
+    run ~policy:(R.fifo_policy ()) ~algorithm ~cfg [| [ Trace.Write value; Trace.Read ] |]
+  in
+  Alcotest.(check (list (option bytes))) "4 KiB round trip" [ Some value ]
+    (read_results w)
+
+let () =
+  Alcotest.run "registers"
+    [
+      ("sequential", List.concat_map sequential_suite algorithms);
+      ( "consistency",
+        List.concat_map consistency_suite algorithms
+        @ [
+            Alcotest.test_case "safe register weaker than regular" `Slow
+              test_safe_weaker_than_regular;
+            Alcotest.test_case "abd not atomic (witness)" `Slow test_abd_not_atomic_witness;
+            Alcotest.test_case "abd-atomic defeats inversion" `Quick
+              test_abd_atomic_defeats_inversion;
+            test_abd_atomic_random;
+          ] );
+      ( "storage",
+        [
+          Alcotest.test_case "adaptive Vp/Vf bounded" `Quick test_adaptive_vp_bounded;
+          Alcotest.test_case "adaptive storedTS monotone" `Quick
+            test_adaptive_stored_ts_monotone;
+          Alcotest.test_case "replica switchover" `Quick test_adaptive_replica_switchover;
+          Alcotest.test_case "stale update ignored" `Quick
+            test_adaptive_stale_update_ignored;
+          test_adaptive_gc_bound;
+          test_versioned_storage_bound;
+          test_versioned_regular;
+          Alcotest.test_case "versioned sequential" `Quick test_versioned_sequential;
+          Alcotest.test_case "abd constant" `Quick test_abd_storage_constant;
+          Alcotest.test_case "safe constant" `Quick test_safe_storage_constant;
+          Alcotest.test_case "pure-ec exceeds cap" `Quick test_pure_ec_exceeds_adaptive_cap;
+        ] );
+      ("crashes", List.concat_map crash_suite algorithms);
+      ( "config",
+        [
+          Alcotest.test_case "validation" `Quick test_config_validation;
+          Alcotest.test_case "k=1 degenerates to replication" `Quick
+            test_adaptive_k1_degenerates;
+          Alcotest.test_case "cauchy codec" `Quick test_adaptive_cauchy_codec;
+        ] );
+      ( "scale",
+        [
+          Alcotest.test_case "300 nodes over GF(2^16)" `Slow test_wide_config_gf16;
+          Alcotest.test_case "4 KiB values" `Quick test_large_values;
+        ] );
+      ( "rateless",
+        [
+          Alcotest.test_case "round trip" `Quick test_rateless_round_trip;
+          Alcotest.test_case "fresh read v0" `Quick test_rateless_fresh_reads_v0;
+          test_rateless_regular;
+          Alcotest.test_case "distinct block numbers" `Quick test_rateless_distinct_indices;
+          Alcotest.test_case "crash tolerant" `Quick test_rateless_crash_tolerant;
+        ] );
+    ]

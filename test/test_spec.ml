@@ -1,0 +1,546 @@
+(* Tests for the consistency checkers, on hand-built histories.
+
+   The scenarios walk the semantic hierarchy the paper relies on:
+   atomicity > strong regularity (MWRegWO) > weak regularity (MWRegWeak)
+   > strong safety, with counterexamples separating each level. *)
+
+module H = Sb_spec.History
+module Reg = Sb_spec.Regularity
+
+let value_bytes = 8
+let v0 = Bytes.make value_bytes '\000'
+let va i = Sb_util.Values.distinct ~value_bytes i
+
+let w op ~inv ~ret value = { H.w_op = op; value; w_inv = inv; w_ret = ret }
+let r op ~inv ~ret result = { H.r_op = op; result; r_inv = inv; r_ret = ret }
+let history ~writes ~reads = H.make ~initial:v0 ~writes ~reads
+
+let check name verdict expected_ok =
+  match (verdict, expected_ok) with
+  | Reg.Ok, true | Reg.Violation _, false -> ()
+  | Reg.Ok, false -> Alcotest.failf "%s: expected a violation, got ok" name
+  | Reg.Violation msg, true -> Alcotest.failf "%s: unexpected violation: %s" name msg
+
+(* ------------------------------------------------------------------ *)
+(* Weak regularity                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_weak_sequential () =
+  let h =
+    history
+      ~writes:[ w 1 ~inv:0 ~ret:(Some 10) (va 1) ]
+      ~reads:[ r 2 ~inv:20 ~ret:(Some 30) (Some (va 1)) ]
+  in
+  check "sequential read" (Reg.check_weak h) true
+
+let test_weak_initial_ok () =
+  let h =
+    history ~writes:[] ~reads:[ r 1 ~inv:0 ~ret:(Some 5) (Some v0) ]
+  in
+  check "v0 with no writes" (Reg.check_weak h) true
+
+let test_weak_initial_stale () =
+  let h =
+    history
+      ~writes:[ w 1 ~inv:0 ~ret:(Some 10) (va 1) ]
+      ~reads:[ r 2 ~inv:20 ~ret:(Some 30) (Some v0) ]
+  in
+  check "v0 after a completed write" (Reg.check_weak h) false
+
+let test_weak_initial_concurrent () =
+  let h =
+    history
+      ~writes:[ w 1 ~inv:0 ~ret:(Some 30) (va 1) ]
+      ~reads:[ r 2 ~inv:10 ~ret:(Some 20) (Some v0) ]
+  in
+  check "v0 during a concurrent write" (Reg.check_weak h) true
+
+let test_weak_overwritten () =
+  let h =
+    history
+      ~writes:[ w 1 ~inv:0 ~ret:(Some 10) (va 1); w 2 ~inv:20 ~ret:(Some 30) (va 2) ]
+      ~reads:[ r 3 ~inv:40 ~ret:(Some 50) (Some (va 1)) ]
+  in
+  check "overwritten value returned" (Reg.check_weak h) false
+
+let test_weak_concurrent_write_returned () =
+  let h =
+    history
+      ~writes:[ w 1 ~inv:0 ~ret:(Some 10) (va 1); w 2 ~inv:15 ~ret:(Some 50) (va 2) ]
+      ~reads:[ r 3 ~inv:20 ~ret:(Some 30) (Some (va 2)) ]
+  in
+  check "concurrent write's value" (Reg.check_weak h) true
+
+let test_weak_future_write () =
+  let h =
+    history
+      ~writes:[ w 1 ~inv:40 ~ret:(Some 50) (va 1) ]
+      ~reads:[ r 2 ~inv:0 ~ret:(Some 10) (Some (va 1)) ]
+  in
+  check "value from the future" (Reg.check_weak h) false
+
+let test_weak_unwritten_value () =
+  let h =
+    history ~writes:[] ~reads:[ r 1 ~inv:0 ~ret:(Some 10) (Some (va 9)) ]
+  in
+  check "never-written value" (Reg.check_weak h) false
+
+let test_weak_bottom () =
+  let h = history ~writes:[] ~reads:[ r 1 ~inv:0 ~ret:(Some 10) None ] in
+  check "bottom result" (Reg.check_weak h) false
+
+let test_weak_outstanding_write_returned () =
+  let h =
+    history
+      ~writes:[ w 1 ~inv:0 ~ret:None (va 1) ]
+      ~reads:[ r 2 ~inv:10 ~ret:(Some 20) (Some (va 1)) ]
+  in
+  check "outstanding write's value" (Reg.check_weak h) true
+
+let test_weak_outstanding_read_ignored () =
+  (* Reads that never returned are not constrained. *)
+  let h =
+    history
+      ~writes:[ w 1 ~inv:0 ~ret:(Some 10) (va 1) ]
+      ~reads:[ r 2 ~inv:20 ~ret:None None ]
+  in
+  check "outstanding read" (Reg.check_weak h) true
+
+(* Weak regularity is per-read: conflicting reads are fine. *)
+let inversion_history () =
+  history
+    ~writes:[ w 1 ~inv:0 ~ret:(Some 10) (va 1); w 2 ~inv:5 ~ret:(Some 15) (va 2) ]
+    ~reads:
+      [
+        r 3 ~inv:20 ~ret:(Some 30) (Some (va 1));
+        r 4 ~inv:35 ~ret:(Some 45) (Some (va 2));
+      ]
+
+let test_weak_allows_inversion () =
+  check "write-order disagreement is weakly fine" (Reg.check_weak (inversion_history ())) true
+
+(* ------------------------------------------------------------------ *)
+(* Strong regularity                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_strong_rejects_inversion () =
+  (* R3 forces W2 <= W1 in the common order, R4 forces W1 <= W2; with
+     both writes completed before both reads this is cyclic. *)
+  let h =
+    history
+      ~writes:[ w 1 ~inv:0 ~ret:(Some 10) (va 1); w 2 ~inv:5 ~ret:(Some 15) (va 2) ]
+      ~reads:
+        [
+          r 3 ~inv:20 ~ret:(Some 30) (Some (va 1));
+          r 4 ~inv:35 ~ret:(Some 45) (Some (va 2));
+        ]
+  in
+  check "strong rejects order disagreement" (Reg.check_strong h) false;
+  check "weak accepts it" (Reg.check_weak h) true
+
+let test_strong_sequential () =
+  let h =
+    history
+      ~writes:[ w 1 ~inv:0 ~ret:(Some 10) (va 1); w 2 ~inv:20 ~ret:(Some 30) (va 2) ]
+      ~reads:
+        [
+          r 3 ~inv:12 ~ret:(Some 15) (Some (va 1));
+          r 4 ~inv:40 ~ret:(Some 50) (Some (va 2));
+        ]
+  in
+  check "sequential strongly regular" (Reg.check_strong h) true
+
+let test_strong_concurrent_agreeing () =
+  (* Two concurrent writes; both reads agree the order is W1 then W2. *)
+  let h =
+    history
+      ~writes:[ w 1 ~inv:0 ~ret:(Some 20) (va 1); w 2 ~inv:5 ~ret:(Some 25) (va 2) ]
+      ~reads:
+        [
+          r 3 ~inv:30 ~ret:(Some 35) (Some (va 2));
+          r 4 ~inv:40 ~ret:(Some 45) (Some (va 2));
+        ]
+  in
+  check "agreeing reads" (Reg.check_strong h) true
+
+let test_strong_real_time_write_order () =
+  (* The common write order must extend real-time precedence: a read
+     returning a write overwritten by a later (non-concurrent) write is
+     rejected even if it is the only read. *)
+  let h =
+    history
+      ~writes:[ w 1 ~inv:0 ~ret:(Some 10) (va 1); w 2 ~inv:20 ~ret:(Some 30) (va 2) ]
+      ~reads:[ r 3 ~inv:40 ~ret:(Some 50) (Some (va 1)) ]
+  in
+  check "real-time write order enforced" (Reg.check_strong h) false
+
+let test_strong_new_old_inversion_allowed () =
+  (* Regularity (unlike atomicity) permits new/old inversion against an
+     outstanding write. *)
+  let h =
+    history
+      ~writes:[ w 1 ~inv:0 ~ret:None (va 1) ]
+      ~reads:
+        [
+          r 2 ~inv:10 ~ret:(Some 20) (Some (va 1));
+          r 3 ~inv:30 ~ret:(Some 40) (Some v0);
+        ]
+  in
+  check "new/old inversion strongly regular" (Reg.check_strong h) true;
+  check "but not atomic" (Reg.check_atomic h) false
+
+(* ------------------------------------------------------------------ *)
+(* Strong safety                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_safe_concurrent_anything () =
+  (* A read concurrent with a write may return any (attributable or not)
+     non-bottom value under strong safety — here an unwritten one. *)
+  let h =
+    history
+      ~writes:[ w 1 ~inv:0 ~ret:(Some 30) (va 1) ]
+      ~reads:[ r 2 ~inv:10 ~ret:(Some 20) (Some (va 7)) ]
+  in
+  check "concurrent read unconstrained" (Reg.check_safe h) true;
+  check "weak still rejects it" (Reg.check_weak h) false
+
+let test_safe_quiescent_constrained () =
+  let h =
+    history
+      ~writes:[ w 1 ~inv:0 ~ret:(Some 10) (va 1); w 2 ~inv:20 ~ret:(Some 30) (va 2) ]
+      ~reads:[ r 3 ~inv:40 ~ret:(Some 50) (Some (va 1)) ]
+  in
+  check "quiescent read must see last write" (Reg.check_safe h) false
+
+let test_safe_quiescent_ok () =
+  let h =
+    history
+      ~writes:[ w 1 ~inv:0 ~ret:(Some 10) (va 1) ]
+      ~reads:[ r 2 ~inv:20 ~ret:(Some 30) (Some (va 1)) ]
+  in
+  check "quiescent read of last write" (Reg.check_safe h) true
+
+let test_safe_v0_of_safe_register () =
+  (* The Appendix-E register returns v0 under concurrency: safe, not
+     regular, when a write completed before the read. *)
+  let h =
+    history
+      ~writes:
+        [ w 1 ~inv:0 ~ret:(Some 10) (va 1); w 2 ~inv:15 ~ret:(Some 40) (va 2) ]
+      ~reads:[ r 3 ~inv:20 ~ret:(Some 30) (Some v0) ]
+  in
+  check "safe allows v0 under concurrency" (Reg.check_safe h) true;
+  check "weak regularity does not" (Reg.check_weak h) false
+
+let test_safe_bottom_rejected () =
+  let h =
+    history
+      ~writes:[ w 1 ~inv:0 ~ret:(Some 30) (va 1) ]
+      ~reads:[ r 2 ~inv:10 ~ret:(Some 20) None ]
+  in
+  check "bottom rejected even under concurrency" (Reg.check_safe h) false
+
+(* ------------------------------------------------------------------ *)
+(* Atomicity                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_atomic_sequential () =
+  let h =
+    history
+      ~writes:[ w 1 ~inv:0 ~ret:(Some 10) (va 1); w 2 ~inv:20 ~ret:(Some 30) (va 2) ]
+      ~reads:
+        [
+          r 3 ~inv:12 ~ret:(Some 15) (Some (va 1));
+          r 4 ~inv:40 ~ret:(Some 50) (Some (va 2));
+        ]
+  in
+  check "sequential atomic" (Reg.check_atomic h) true
+
+let test_atomic_initial () =
+  let h = history ~writes:[] ~reads:[ r 1 ~inv:0 ~ret:(Some 5) (Some v0) ] in
+  check "v0 atomic" (Reg.check_atomic h) true
+
+let test_atomic_concurrent_flexible () =
+  (* A read overlapping a write may see old or new value. *)
+  let old_h =
+    history
+      ~writes:[ w 1 ~inv:0 ~ret:(Some 30) (va 1) ]
+      ~reads:[ r 2 ~inv:10 ~ret:(Some 20) (Some v0) ]
+  in
+  let new_h =
+    history
+      ~writes:[ w 1 ~inv:0 ~ret:(Some 30) (va 1) ]
+      ~reads:[ r 2 ~inv:10 ~ret:(Some 20) (Some (va 1)) ]
+  in
+  check "sees old value" (Reg.check_atomic old_h) true;
+  check "sees new value" (Reg.check_atomic new_h) true
+
+let test_atomic_inversion_rejected () =
+  (* R3 then R4 read v2 then v1 with both writes completed: the classic
+     non-linearizable inversion. *)
+  let h =
+    history
+      ~writes:[ w 1 ~inv:0 ~ret:(Some 10) (va 1); w 2 ~inv:5 ~ret:(Some 15) (va 2) ]
+      ~reads:
+        [
+          r 3 ~inv:20 ~ret:(Some 25) (Some (va 2));
+          r 4 ~inv:30 ~ret:(Some 35) (Some (va 1));
+        ]
+  in
+  check "inversion not atomic" (Reg.check_atomic h) false;
+  (* ...but it is weakly regular: each read alone is fine. *)
+  check "inversion weakly regular" (Reg.check_weak h) true
+
+let test_atomic_outstanding_drop () =
+  (* An outstanding write may be linearised or dropped; reading v0 after
+     it is fine only if it is dropped, and then no read may see it. *)
+  let h =
+    history
+      ~writes:[ w 1 ~inv:0 ~ret:None (va 1) ]
+      ~reads:[ r 2 ~inv:10 ~ret:(Some 20) (Some v0) ]
+  in
+  check "outstanding write dropped" (Reg.check_atomic h) true
+
+let test_atomic_too_large () =
+  let writes = List.init 63 (fun i -> w (i + 1) ~inv:(i * 10) ~ret:(Some ((i * 10) + 5)) (va i)) in
+  let h = history ~writes ~reads:[] in
+  Alcotest.(check bool) "history too large rejected" true
+    (try ignore (Reg.check_atomic h); false with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* History utilities                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_history_of_trace () =
+  let tr = Sb_sim.Trace.create () in
+  Sb_sim.Trace.add tr (Sb_sim.Trace.Invoke { time = 1; op = 1; client = 0; kind = Sb_sim.Trace.Write (va 1) });
+  Sb_sim.Trace.add tr (Sb_sim.Trace.Invoke { time = 2; op = 2; client = 1; kind = Sb_sim.Trace.Read });
+  Sb_sim.Trace.add tr (Sb_sim.Trace.Return { time = 3; op = 1; client = 0; result = None });
+  Sb_sim.Trace.add tr (Sb_sim.Trace.Return { time = 4; op = 2; client = 1; result = Some (va 1) });
+  let h = H.of_trace ~initial:v0 tr in
+  Alcotest.(check int) "one write" 1 (List.length h.H.writes);
+  Alcotest.(check int) "one read" 1 (List.length h.H.reads);
+  let wr = List.hd h.H.writes in
+  Alcotest.(check int) "write interval" 1 wr.H.w_inv;
+  Alcotest.(check (option int)) "write return" (Some 3) wr.H.w_ret;
+  check "trace-derived history checks" (Reg.check_strong h) true
+
+let test_writer_of () =
+  let h =
+    history
+      ~writes:[ w 1 ~inv:0 ~ret:(Some 1) (va 1); w 2 ~inv:2 ~ret:(Some 3) (va 1) ]
+      ~reads:[]
+  in
+  Alcotest.(check bool) "duplicate values ambiguous" true (H.writer_of h (va 1) = None);
+  Alcotest.(check bool) "missing value" true (H.writer_of h (va 5) = None)
+
+let test_precedes () =
+  Alcotest.(check bool) "ret before inv" true (H.precedes (Some 5) 6);
+  Alcotest.(check bool) "equal times not preceding" false (H.precedes (Some 6) 6);
+  Alcotest.(check bool) "outstanding never precedes" false (H.precedes None 100)
+
+(* ------------------------------------------------------------------ *)
+(* Metamorphic: the consistency hierarchy on random histories          *)
+(* ------------------------------------------------------------------ *)
+
+(* Random histories — some legal, many garbage — over a handful of
+   values and small time ranges.  Whatever the checkers decide, the
+   hierarchy must hold: atomic ⇒ strong ⇒ weak, and strong ⇒ safe. *)
+let random_history seed =
+  let prng = Sb_util.Prng.create seed in
+  let n_writes = 1 + Sb_util.Prng.int prng 4 in
+  let n_reads = 1 + Sb_util.Prng.int prng 4 in
+  let interval () =
+    let inv = Sb_util.Prng.int prng 40 in
+    let ret =
+      if Sb_util.Prng.int prng 10 = 0 then None
+      else Some (inv + 1 + Sb_util.Prng.int prng 20)
+    in
+    (inv, ret)
+  in
+  let writes =
+    List.init n_writes (fun i ->
+        let inv, ret = interval () in
+        w (i + 1) ~inv ~ret (va i))
+  in
+  let reads =
+    List.init n_reads (fun i ->
+        let inv, ret = interval () in
+        let result =
+          match Sb_util.Prng.int prng 6 with
+          | 0 -> Some v0
+          | 1 -> Some (va 9) (* never written *)
+          | _ -> Some (va (Sb_util.Prng.int prng n_writes))
+        in
+        r (100 + i) ~inv ~ret result)
+  in
+  history ~writes ~reads
+
+let implies a b = (not a) || b
+let ok_of v = match v with Reg.Ok -> true | Reg.Violation _ -> false
+
+(* Brute-force MWRegWO decision for small histories: enumerate every
+   permutation of the writes that extends real-time precedence and test
+   each returned read's legality against it.  Used to validate the
+   graph-based checker. *)
+let brute_force_strong (h : H.t) =
+  let writes = Array.of_list h.H.writes in
+  let nw = Array.length writes in
+  let rec permutations chosen remaining =
+    match remaining with
+    | [] -> [ List.rev chosen ]
+    | _ ->
+      List.concat_map
+        (fun w ->
+          let rest = List.filter (fun w' -> w' != w) remaining in
+          (* extends real-time order: no remaining write must precede w *)
+          if List.exists (fun w' -> H.precedes w'.H.w_ret w.H.w_inv) rest then []
+          else permutations (w :: chosen) rest)
+        remaining
+  in
+  let sigma_ok sigma =
+    let position w =
+      let rec go i = function
+        | [] -> -1
+        | w' :: rest -> if w' == w then i else go (i + 1) rest
+      in
+      go 0 sigma
+    in
+    List.for_all
+      (fun (rd : H.read) ->
+        match rd.H.result with
+        | None -> false
+        | Some v ->
+          let candidates =
+            List.filter (fun w -> Bytes.equal w.H.value v) h.H.writes
+          in
+          let legal_for w =
+            (not (H.precedes rd.H.r_ret w.H.w_inv))
+            && List.for_all
+                 (fun w' ->
+                   (not (H.precedes w'.H.w_ret rd.H.r_inv))
+                   || position w' <= position w)
+                 h.H.writes
+          in
+          (match candidates with
+           | [ w ] -> legal_for w
+           | [] ->
+             Bytes.equal v h.H.initial
+             && List.for_all
+                  (fun w' -> not (H.precedes w'.H.w_ret rd.H.r_inv))
+                  h.H.writes
+           | _ -> false))
+      (H.completed_reads h)
+  in
+  if nw > 5 then invalid_arg "brute_force_strong: too many writes";
+  List.exists sigma_ok (permutations [] (Array.to_list writes))
+
+let test_strong_checker_vs_brute_force =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:400
+       ~name:"graph-based strong checker agrees with brute force"
+       QCheck2.Gen.(int_bound 10_000_000)
+       (fun seed ->
+         let h = random_history seed in
+         (* Skip histories the brute force can't attribute uniquely
+            (duplicate values never occur in random_history; bottoms and
+            unwritten values are handled identically by both). *)
+         ok_of (Reg.check_strong h) = brute_force_strong h))
+
+let test_hierarchy =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:400 ~name:"atomic ⇒ strong ⇒ weak; strong ⇒ safe"
+       QCheck2.Gen.(int_bound 10_000_000)
+       (fun seed ->
+         let h = random_history seed in
+         let atomic = ok_of (Reg.check_atomic h) in
+         let strong = ok_of (Reg.check_strong h) in
+         let weak = ok_of (Reg.check_weak h) in
+         let safe = ok_of (Reg.check_safe h) in
+         implies atomic strong && implies strong weak && implies strong safe))
+
+let test_hierarchy_strict () =
+  (* The inclusions are strict: witnesses for each gap exist (from the
+     scenarios above). *)
+  let weak_not_strong = inversion_history () in
+  Alcotest.(check bool) "weak ⊋ strong witness" true
+    (ok_of (Reg.check_weak weak_not_strong)
+     && not (ok_of (Reg.check_strong weak_not_strong)));
+  let safe_not_weak =
+    history
+      ~writes:
+        [ w 1 ~inv:0 ~ret:(Some 10) (va 1); w 2 ~inv:15 ~ret:(Some 40) (va 2) ]
+      ~reads:[ r 3 ~inv:20 ~ret:(Some 30) (Some v0) ]
+  in
+  Alcotest.(check bool) "safe ⊋ weak witness" true
+    (ok_of (Reg.check_safe safe_not_weak)
+     && not (ok_of (Reg.check_weak safe_not_weak)));
+  let strong_not_atomic =
+    history
+      ~writes:[ w 1 ~inv:0 ~ret:None (va 1) ]
+      ~reads:
+        [
+          r 2 ~inv:10 ~ret:(Some 20) (Some (va 1));
+          r 3 ~inv:30 ~ret:(Some 40) (Some v0);
+        ]
+  in
+  Alcotest.(check bool) "strong ⊋ atomic witness" true
+    (ok_of (Reg.check_strong strong_not_atomic)
+     && not (ok_of (Reg.check_atomic strong_not_atomic)))
+
+let () =
+  Alcotest.run "spec"
+    [
+      ( "weak",
+        [
+          Alcotest.test_case "sequential" `Quick test_weak_sequential;
+          Alcotest.test_case "v0 fresh" `Quick test_weak_initial_ok;
+          Alcotest.test_case "v0 stale" `Quick test_weak_initial_stale;
+          Alcotest.test_case "v0 concurrent" `Quick test_weak_initial_concurrent;
+          Alcotest.test_case "overwritten" `Quick test_weak_overwritten;
+          Alcotest.test_case "concurrent write" `Quick test_weak_concurrent_write_returned;
+          Alcotest.test_case "future write" `Quick test_weak_future_write;
+          Alcotest.test_case "unwritten value" `Quick test_weak_unwritten_value;
+          Alcotest.test_case "bottom" `Quick test_weak_bottom;
+          Alcotest.test_case "outstanding write" `Quick test_weak_outstanding_write_returned;
+          Alcotest.test_case "outstanding read" `Quick test_weak_outstanding_read_ignored;
+          Alcotest.test_case "allows inversion" `Quick test_weak_allows_inversion;
+        ] );
+      ( "strong",
+        [
+          Alcotest.test_case "rejects inversion" `Quick test_strong_rejects_inversion;
+          Alcotest.test_case "sequential" `Quick test_strong_sequential;
+          Alcotest.test_case "agreeing reads" `Quick test_strong_concurrent_agreeing;
+          Alcotest.test_case "real-time order" `Quick test_strong_real_time_write_order;
+          Alcotest.test_case "new/old inversion" `Quick test_strong_new_old_inversion_allowed;
+        ] );
+      ( "safe",
+        [
+          Alcotest.test_case "concurrent anything" `Quick test_safe_concurrent_anything;
+          Alcotest.test_case "quiescent constrained" `Quick test_safe_quiescent_constrained;
+          Alcotest.test_case "quiescent ok" `Quick test_safe_quiescent_ok;
+          Alcotest.test_case "v0 under concurrency" `Quick test_safe_v0_of_safe_register;
+          Alcotest.test_case "bottom rejected" `Quick test_safe_bottom_rejected;
+        ] );
+      ( "atomic",
+        [
+          Alcotest.test_case "sequential" `Quick test_atomic_sequential;
+          Alcotest.test_case "initial" `Quick test_atomic_initial;
+          Alcotest.test_case "concurrent flexible" `Quick test_atomic_concurrent_flexible;
+          Alcotest.test_case "inversion rejected" `Quick test_atomic_inversion_rejected;
+          Alcotest.test_case "outstanding dropped" `Quick test_atomic_outstanding_drop;
+          Alcotest.test_case "size limit" `Quick test_atomic_too_large;
+        ] );
+      ( "history",
+        [
+          Alcotest.test_case "of_trace" `Quick test_history_of_trace;
+          Alcotest.test_case "writer_of" `Quick test_writer_of;
+          Alcotest.test_case "precedes" `Quick test_precedes;
+        ] );
+      ( "hierarchy",
+        [
+          test_hierarchy;
+          Alcotest.test_case "strict inclusions" `Quick test_hierarchy_strict;
+          test_strong_checker_vs_brute_force;
+        ] );
+    ]

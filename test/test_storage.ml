@@ -1,0 +1,231 @@
+(* Tests for Sb_storage: blocks, timestamps, chunks, object states,
+   oracles (Definition 1) and the storage-cost accounting
+   (Definitions 2 and 6). *)
+
+module B = Sb_storage.Block
+module Ts = Sb_storage.Timestamp
+module Chunk = Sb_storage.Chunk
+module Objstate = Sb_storage.Objstate
+module Oracle = Sb_storage.Oracle
+module Acc = Sb_storage.Accounting
+module Codec = Sb_codec.Codec
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* ------------------------------------------------------------------ *)
+(* Block                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_block_basics () =
+  let b = B.v ~source:3 ~index:7 (Bytes.make 5 'x') in
+  Alcotest.(check int) "bits" 40 (B.bits b);
+  Alcotest.(check int) "source" 3 b.B.source;
+  Alcotest.(check int) "index" 7 b.B.index;
+  let b0 = B.initial ~index:2 (Bytes.make 1 'i') in
+  Alcotest.(check int) "initial source is 0" 0 b0.B.source;
+  Alcotest.(check bool) "same_source" true (B.same_source b0 (B.initial ~index:9 Bytes.empty));
+  Alcotest.(check bool) "different source" false (B.same_source b b0)
+
+let test_block_invalid () =
+  Alcotest.check_raises "negative source" (Invalid_argument "Block.v: negative source")
+    (fun () -> ignore (B.v ~source:(-1) ~index:0 Bytes.empty));
+  Alcotest.check_raises "negative index" (Invalid_argument "Block.v: negative index")
+    (fun () -> ignore (B.v ~source:1 ~index:(-2) Bytes.empty))
+
+(* ------------------------------------------------------------------ *)
+(* Timestamp                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let ts_gen =
+  QCheck2.Gen.(map (fun (n, c) -> Ts.make ~num:n ~client:c) (pair (int_bound 50) (int_bound 5)))
+
+let test_ts_order_total =
+  qtest "timestamp order is total and antisymmetric" QCheck2.Gen.(pair ts_gen ts_gen)
+    (fun (a, b) ->
+      let c1 = Ts.compare a b and c2 = Ts.compare b a in
+      (c1 = 0 && c2 = 0 && Ts.equal a b) || c1 * c2 < 0)
+
+let test_ts_order_transitive =
+  qtest "timestamp order is transitive" QCheck2.Gen.(triple ts_gen ts_gen ts_gen)
+    (fun (a, b, c) ->
+      let open Ts in
+      (not (a <= b && b <= c)) || a <= c)
+
+let test_ts_lexicographic () =
+  let a = Ts.make ~num:1 ~client:9 and b = Ts.make ~num:2 ~client:0 in
+  Alcotest.(check bool) "num dominates" true Ts.(a < b);
+  let c = Ts.make ~num:1 ~client:2 in
+  Alcotest.(check bool) "client breaks ties" true Ts.(a >= c && not (Ts.equal a c))
+
+let test_ts_succ =
+  qtest "succ is strictly greater" ts_gen (fun ts ->
+      let s = Ts.succ ts ~client:3 in
+      Ts.(ts < s) && s.Ts.num = ts.Ts.num + 1)
+
+let test_ts_max =
+  qtest "max is an upper bound" QCheck2.Gen.(pair ts_gen ts_gen) (fun (a, b) ->
+      let m = Ts.max a b in
+      Ts.(a <= m) && Ts.(b <= m) && (Ts.equal m a || Ts.equal m b))
+
+let test_ts_zero () =
+  Alcotest.(check bool) "zero is minimal" true Ts.(zero <= Ts.make ~num:0 ~client:0);
+  Alcotest.(check string) "printing" "(3,c1)" (Ts.to_string (Ts.make ~num:3 ~client:1))
+
+(* ------------------------------------------------------------------ *)
+(* Objstate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let chunk ~source ~index ~num bytes =
+  Chunk.v ~ts:(Ts.make ~num ~client:0) (B.v ~source ~index (Bytes.make bytes 'c'))
+
+let test_objstate_bits () =
+  let st = Objstate.init ~vp:[ chunk ~source:1 ~index:0 ~num:1 4 ]
+      ~vf:[ chunk ~source:2 ~index:1 ~num:2 6 ] () in
+  Alcotest.(check int) "bits = vp + vf" 80 (Objstate.bits st);
+  Alcotest.(check int) "chunk count" 2 (Objstate.chunk_count st);
+  Alcotest.(check int) "blocks" 2 (List.length (Objstate.blocks st))
+
+let test_objstate_empty () =
+  let st = Objstate.init () in
+  Alcotest.(check int) "no bits" 0 (Objstate.bits st);
+  Alcotest.(check bool) "stored_ts is zero" true (Ts.equal st.Objstate.stored_ts Ts.zero)
+
+let test_objstate_stored_ts_monotone () =
+  let st = Objstate.init () in
+  let st = Objstate.with_stored_ts st (Ts.make ~num:5 ~client:1) in
+  let st = Objstate.with_stored_ts st (Ts.make ~num:3 ~client:9) in
+  (* Lower timestamps never decrease stored_ts (Observation 3). *)
+  Alcotest.(check int) "monotone" 5 st.Objstate.stored_ts.Ts.num
+
+(* ------------------------------------------------------------------ *)
+(* Oracles (Definition 1)                                              *)
+(* ------------------------------------------------------------------ *)
+
+let codec = Codec.rs_vandermonde ~value_bytes:16 ~k:2 ~n:4
+
+let test_encoder_tags () =
+  let v = Sb_util.Values.distinct ~value_bytes:16 1 in
+  let enc = Oracle.Encoder.create codec ~op:42 ~value:v in
+  let b = Oracle.Encoder.get enc 3 in
+  Alcotest.(check int) "source tag" 42 b.B.source;
+  Alcotest.(check int) "index tag" 3 b.B.index;
+  Alcotest.(check bytes) "contents are E(v,i)" (codec.Codec.encode v 3) b.B.data;
+  Alcotest.(check int) "calls counted" 1 (Oracle.Encoder.calls enc);
+  ignore (Oracle.Encoder.get_all enc);
+  Alcotest.(check int) "get_all counts" 5 (Oracle.Encoder.calls enc)
+
+let test_encoder_value_mismatch () =
+  Alcotest.check_raises "size mismatch"
+    (Invalid_argument "Oracle.Encoder.create: value size mismatch") (fun () ->
+      ignore (Oracle.Encoder.create codec ~op:1 ~value:(Bytes.make 3 'x')))
+
+let test_encoder_rateless_get_all () =
+  let f = Codec.fountain ~value_bytes:16 ~k:2 () in
+  let enc = Oracle.Encoder.create f ~op:1 ~value:(Bytes.make 16 'v') in
+  Alcotest.check_raises "rateless get_all"
+    (Invalid_argument "Oracle.Encoder.get_all: rateless codec") (fun () ->
+      ignore (Oracle.Encoder.get_all enc))
+
+let test_decoder_groups () =
+  let v1 = Sb_util.Values.distinct ~value_bytes:16 1 in
+  let v2 = Sb_util.Values.distinct ~value_bytes:16 2 in
+  let dec = Oracle.Decoder.create codec in
+  Oracle.Decoder.push dec ~group:1 ~index:0 (codec.Codec.encode v1 0);
+  Oracle.Decoder.push dec ~group:2 ~index:0 (codec.Codec.encode v2 0);
+  Oracle.Decoder.push dec ~group:1 ~index:2 (codec.Codec.encode v1 2);
+  Oracle.Decoder.push dec ~group:2 ~index:3 (codec.Codec.encode v2 3);
+  Alcotest.(check int) "group 1 size" 2 (Oracle.Decoder.group_size dec ~group:1);
+  Alcotest.(check (option bytes)) "group 1 decodes v1" (Some v1)
+    (Oracle.Decoder.finish dec ~group:1);
+  Alcotest.(check (option bytes)) "group 2 decodes v2" (Some v2)
+    (Oracle.Decoder.finish dec ~group:2);
+  Alcotest.(check (option bytes)) "empty group fails" None
+    (Oracle.Decoder.finish dec ~group:3)
+
+let test_decoder_dup_pushes () =
+  let v = Sb_util.Values.distinct ~value_bytes:16 4 in
+  let dec = Oracle.Decoder.create codec in
+  Oracle.Decoder.push dec ~group:0 ~index:1 (codec.Codec.encode v 1);
+  Oracle.Decoder.push dec ~group:0 ~index:1 (codec.Codec.encode v 1);
+  Alcotest.(check int) "dups counted once" 1 (Oracle.Decoder.group_size dec ~group:0);
+  Alcotest.(check (option bytes)) "one distinct index insufficient" None
+    (Oracle.Decoder.finish dec ~group:0)
+
+(* ------------------------------------------------------------------ *)
+(* Accounting (Definitions 2 and 6)                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_bits_of_blocks () =
+  let blocks = [ B.v ~source:1 ~index:0 (Bytes.make 2 'a');
+                 B.v ~source:1 ~index:0 (Bytes.make 2 'a') ] in
+  (* Instances count every time (Definition 2). *)
+  Alcotest.(check int) "instances both counted" 32 (Acc.bits_of_blocks blocks);
+  Alcotest.(check int) "empty" 0 (Acc.bits_of_blocks [])
+
+let test_contribution_distinct_indices () =
+  let blocks =
+    [
+      B.v ~source:5 ~index:0 (Bytes.make 4 'a');
+      B.v ~source:5 ~index:0 (Bytes.make 4 'b'); (* same index: counted once *)
+      B.v ~source:5 ~index:1 (Bytes.make 4 'c');
+      B.v ~source:6 ~index:2 (Bytes.make 4 'd'); (* other op: not counted *)
+    ]
+  in
+  (* ||S(t,w)|| counts distinct indices only (Definition 6). *)
+  Alcotest.(check int) "distinct indices" 64 (Acc.contribution ~source:5 blocks);
+  Alcotest.(check (list int)) "index set" [ 0; 1 ] (Acc.indices_of ~source:5 blocks);
+  Alcotest.(check int) "absent op" 0 (Acc.contribution ~source:99 blocks)
+
+let test_contribution_vs_total =
+  qtest "contribution never exceeds total bits" QCheck2.Gen.(int_bound 100_000)
+    (fun seed ->
+      let prng = Sb_util.Prng.create seed in
+      let blocks =
+        List.init (Sb_util.Prng.int prng 20) (fun _ ->
+            B.v ~source:(Sb_util.Prng.int prng 3)
+              ~index:(Sb_util.Prng.int prng 5)
+              (Sb_util.Prng.bytes prng (Sb_util.Prng.int prng 8)))
+      in
+      List.for_all
+        (fun src -> Acc.contribution ~source:src blocks <= Acc.bits_of_blocks blocks)
+        [ 0; 1; 2 ])
+
+let () =
+  Alcotest.run "storage"
+    [
+      ( "block",
+        [
+          Alcotest.test_case "basics" `Quick test_block_basics;
+          Alcotest.test_case "invalid" `Quick test_block_invalid;
+        ] );
+      ( "timestamp",
+        [
+          test_ts_order_total;
+          test_ts_order_transitive;
+          Alcotest.test_case "lexicographic" `Quick test_ts_lexicographic;
+          test_ts_succ;
+          test_ts_max;
+          Alcotest.test_case "zero and printing" `Quick test_ts_zero;
+        ] );
+      ( "objstate",
+        [
+          Alcotest.test_case "bits" `Quick test_objstate_bits;
+          Alcotest.test_case "empty" `Quick test_objstate_empty;
+          Alcotest.test_case "stored_ts monotone" `Quick test_objstate_stored_ts_monotone;
+        ] );
+      ( "oracle",
+        [
+          Alcotest.test_case "encoder tags" `Quick test_encoder_tags;
+          Alcotest.test_case "encoder value mismatch" `Quick test_encoder_value_mismatch;
+          Alcotest.test_case "rateless get_all" `Quick test_encoder_rateless_get_all;
+          Alcotest.test_case "decoder groups" `Quick test_decoder_groups;
+          Alcotest.test_case "decoder duplicate pushes" `Quick test_decoder_dup_pushes;
+        ] );
+      ( "accounting",
+        [
+          Alcotest.test_case "bits_of_blocks" `Quick test_bits_of_blocks;
+          Alcotest.test_case "contribution distinct" `Quick test_contribution_distinct_indices;
+          test_contribution_vs_total;
+        ] );
+    ]
