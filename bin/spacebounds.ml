@@ -7,6 +7,9 @@
    - lower-bound     drive one algorithm with the adversary Ad
    - simulate        run a workload under a fair random schedule and
                      check the history's consistency
+   - explore         systematically enumerate ALL schedules of a bounded
+                     configuration (DPOR + bounding), check every history,
+                     shrink any counterexample
    - adversary-demo  step-by-step Ad walkthrough (the paper's Figure 3) *)
 
 open Cmdliner
@@ -20,6 +23,7 @@ type algo_kind =
   | Pure_ec
   | Abd
   | Abd_atomic
+  | Abd_broken
   | Safe
   | Versioned of int
   | Rateless
@@ -31,6 +35,7 @@ let algo_conv =
     | "pure-ec" -> Ok Pure_ec
     | "abd" | "replication" -> Ok Abd
     | "abd-atomic" -> Ok Abd_atomic
+    | "abd-broken" -> Ok Abd_broken
     | "safe" -> Ok Safe
     | "rateless" -> Ok Rateless
     | _ -> (
@@ -46,6 +51,7 @@ let algo_conv =
     | Pure_ec -> Format.fprintf ppf "pure-ec"
     | Abd -> Format.fprintf ppf "abd"
     | Abd_atomic -> Format.fprintf ppf "abd-atomic"
+    | Abd_broken -> Format.fprintf ppf "abd-broken"
     | Safe -> Format.fprintf ppf "safe"
     | Versioned d -> Format.fprintf ppf "versioned:%d" d
     | Rateless -> Format.fprintf ppf "rateless"
@@ -77,14 +83,17 @@ let seed_arg =
 
 let build ~algo ~value_bytes ~f ~k =
   match algo with
-  | Abd | Abd_atomic ->
+  | Abd | Abd_atomic | Abd_broken ->
     let n = (2 * f) + 1 in
     let cfg =
       { Sb_registers.Common.n; f;
         codec = Sb_codec.Codec.replication ~value_bytes ~n }
     in
     let make =
-      if algo = Abd then Sb_registers.Abd.make else Sb_registers.Abd_atomic.make
+      match algo with
+      | Abd -> Sb_registers.Abd.make
+      | Abd_atomic -> Sb_registers.Abd_atomic.make
+      | _ -> Sb_registers.Abd.make_broken ~quorum_slack:1
     in
     (make cfg, cfg)
   | _ ->
@@ -101,7 +110,7 @@ let build ~algo ~value_bytes ~f ~k =
       | Safe -> Sb_registers.Safe_register.make
       | Versioned delta -> Sb_registers.Adaptive.make_versioned ~delta
       | Rateless -> fun cfg -> Sb_registers.Rateless.make ~codec_seed:7 cfg
-      | Abd | Abd_atomic -> assert false
+      | Abd | Abd_atomic | Abd_broken -> assert false
     in
     (make cfg, cfg)
 
@@ -332,6 +341,309 @@ let replay_cmd =
     Term.(const run $ value_bytes_arg $ file)
 
 (* ------------------------------------------------------------------ *)
+(* explore                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let explore_cmd =
+  let module E = Sb_modelcheck.Explore in
+  let writers =
+    Arg.(value & opt int 2 & info [ "writers" ] ~docv:"N" ~doc:"Writer clients.")
+  in
+  let writes_each =
+    Arg.(value & opt int 1 & info [ "writes-each" ] ~docv:"N" ~doc:"Writes per writer.")
+  in
+  let readers =
+    Arg.(value & opt int 1 & info [ "readers" ] ~docv:"N" ~doc:"Reader clients.")
+  in
+  let reads_each =
+    Arg.(value & opt int 1 & info [ "reads-each" ] ~docv:"N" ~doc:"Reads per reader.")
+  in
+  let crashes =
+    Arg.(
+      value & opt int 0
+      & info [ "crashes" ] ~docv:"N" ~doc:"Object crashes the explorer may inject.")
+  in
+  let client_crashes =
+    Arg.(
+      value & opt int 0
+      & info [ "client-crashes" ] ~docv:"N"
+          ~doc:"Client crashes the explorer may inject.")
+  in
+  let bound_conv =
+    let parse s =
+      match s with
+      | "exhaustive" -> Ok E.Exhaustive
+      | _ -> (
+        match String.split_on_char ':' s with
+        | [ "delay"; d ] -> (
+          match int_of_string_opt d with
+          | Some d when d >= 0 -> Ok (E.Delay d)
+          | _ -> Error (`Msg "delay:<d> needs a non-negative integer"))
+        | [ "preempt"; p ] -> (
+          match int_of_string_opt p with
+          | Some p when p >= 0 -> Ok (E.Preempt p)
+          | _ -> Error (`Msg "preempt:<p> needs a non-negative integer"))
+        | _ ->
+          Error (`Msg (Printf.sprintf "unknown bound %S (exhaustive, delay:<d>, preempt:<p>)" s)))
+    in
+    let print ppf = function
+      | E.Exhaustive -> Format.fprintf ppf "exhaustive"
+      | E.Delay d -> Format.fprintf ppf "delay:%d" d
+      | E.Preempt p -> Format.fprintf ppf "preempt:%d" p
+    in
+    Arg.conv (parse, print)
+  in
+  let bound_arg =
+    Arg.(
+      value & opt bound_conv E.Exhaustive
+      & info [ "bound" ] ~docv:"BOUND"
+          ~doc:"Schedule bound: exhaustive, delay:<d>, preempt:<p>.")
+  in
+  let no_dpor =
+    Arg.(
+      value & flag
+      & info [ "no-dpor" ] ~doc:"Disable sleep-set pruning (naive enumeration).")
+  in
+  let cache_flag =
+    Arg.(
+      value & flag
+      & info [ "cache" ]
+          ~doc:
+            "Prune revisits of behaviourally equal worlds (state caching). \
+             Only effective with the exhaustive bound.")
+  in
+  let compare_flag =
+    Arg.(
+      value & flag
+      & info [ "compare" ]
+          ~doc:"Also run without DPOR and print the pruning ratio.")
+  in
+  let lint =
+    Arg.(
+      value & flag
+      & info [ "lint" ]
+          ~doc:"Re-execute every schedule from its decision trace and flag \
+                any divergence (nondeterminism in protocol code).")
+  in
+  let max_schedules =
+    Arg.(
+      value & opt int 0
+      & info [ "max-schedules" ] ~docv:"N" ~doc:"Stop after N schedules (0 = no cap).")
+  in
+  let check_conv =
+    Arg.enum
+      [ ("weak", `Weak); ("strong", `Strong); ("safe", `Safe); ("atomic", `Atomic) ]
+  in
+  let check_arg =
+    Arg.(
+      value & opt check_conv `Weak
+      & info [ "check" ] ~docv:"LEVEL"
+          ~doc:"Consistency level every history must satisfy: weak, strong, \
+                safe, atomic.")
+  in
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ]
+          ~doc:"CI preset: tiny exhaustive config (1 writer, 1 reader, f=1) \
+                with lint on, plus a seeded abd-broken violation/shrink check.")
+  in
+  let replay_file =
+    Arg.(
+      value & opt (some file) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:"Replay a decision-trace file (one decision per line, as \
+                printed for a counterexample) instead of exploring; print \
+                the resulting history and verdict.")
+  in
+  let save_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "save" ] ~docv:"FILE"
+          ~doc:"On violation, save the shrunk decision trace to FILE \
+                (replayable with --replay).")
+  in
+  let checker = function
+    | `Weak -> ("weak regularity", Sb_spec.Regularity.check_weak)
+    | `Strong -> ("strong regularity", Sb_spec.Regularity.check_strong)
+    | `Safe -> ("safeness", Sb_spec.Regularity.check_safe)
+    | `Atomic -> ("atomicity", Sb_spec.Regularity.check_atomic)
+  in
+  let mk_config ~algo ~value_bytes ~f ~k ~seed ~writers ~writes_each ~readers
+      ~reads_each ~crashes ~client_crashes ~bound ~dpor ~cache ~lint
+      ~max_schedules ~check =
+    let algorithm, cfg = build ~algo ~value_bytes ~f ~k in
+    let workload =
+      Sb_experiments.Workloads.writers_and_readers ~value_bytes ~writers
+        ~writes_each ~readers ~reads_each
+    in
+    let _, check_fn = checker check in
+    ( algorithm,
+      cfg,
+      E.config ~seed ~dpor ~cache ~bound ~crash_objs:crashes
+        ~crash_clients:client_crashes
+        ~max_schedules ~lint ~algorithm ~n:cfg.n ~f:cfg.f ~workload
+        ~initial:(Bytes.make value_bytes '\000') ~check:check_fn () )
+  in
+  let report_violation econfig (v : E.violation) save =
+    Format.printf "VIOLATION (%a)@."
+      Sb_spec.Regularity.pp_counterexample v.E.v_counterexample;
+    Format.printf "history:@.%a@." Sb_spec.History.pp v.E.v_history;
+    let orig = List.length v.E.v_decisions in
+    let shrunk = Sb_modelcheck.Shrink.shrink econfig v.E.v_decisions in
+    Format.printf "shrunk schedule: %d decisions (from %d):@.%a@."
+      (List.length shrunk) orig E.pp_decisions shrunk;
+    (match Sb_modelcheck.Shrink.check_decisions econfig shrunk with
+     | Some (cx, _) ->
+       Format.printf "shrunk counterexample: %a@."
+         Sb_spec.Regularity.pp_counterexample cx
+     | None -> ());
+    match save with
+    | None -> ()
+    | Some file ->
+      let oc = open_out file in
+      List.iter
+        (fun d ->
+          output_string oc (Sb_sim.Runtime.decision_to_string d);
+          output_char oc '\n')
+        shrunk;
+      close_out oc;
+      Printf.printf "shrunk decision trace saved to %s\n" file
+  in
+  let run_replay ~algo ~value_bytes ~f ~k ~seed ~writers ~writes_each ~readers
+      ~reads_each ~check file =
+    let algorithm, cfg = build ~algo ~value_bytes ~f ~k in
+    let workload =
+      Sb_experiments.Workloads.writers_and_readers ~value_bytes ~writers
+        ~writes_each ~readers ~reads_each
+    in
+    let ic = open_in file in
+    let lines =
+      List.filter (fun l -> String.trim l <> "") (In_channel.input_lines ic)
+    in
+    close_in ic;
+    let decisions =
+      List.map
+        (fun l ->
+          match Sb_sim.Runtime.decision_of_string (String.trim l) with
+          | Ok d -> d
+          | Error msg ->
+            Printf.eprintf "bad decision %S: %s\n" l msg;
+            exit 2)
+        lines
+    in
+    let w =
+      Sb_sim.Runtime.create ~seed ~algorithm ~n:cfg.n ~f:cfg.f ~workload ()
+    in
+    let applied = Sb_sim.Runtime.replay w decisions in
+    Printf.printf "replayed %d/%d decisions\n" applied (List.length decisions);
+    let h =
+      Sb_spec.History.of_trace ~initial:(Bytes.make value_bytes '\000')
+        (Sb_sim.Runtime.trace w)
+    in
+    Format.printf "history:@.%a@." Sb_spec.History.pp h;
+    let name, check_fn = checker check in
+    match check_fn h with
+    | Sb_spec.Regularity.Ok ->
+      Printf.printf "%s: ok\n" name
+    | Sb_spec.Regularity.Violation cx ->
+      Format.printf "%s: VIOLATION (%a)@." name
+        Sb_spec.Regularity.pp_counterexample cx;
+      exit 1
+  in
+  let run algo value_bytes f k seed writers writes_each readers reads_each
+      crashes client_crashes bound no_dpor cache compare_flag lint max_schedules
+      check quick replay_file save =
+    (* --quick: the CI smoke preset — tiny exhaustive sweep with lint on,
+       then confirm the seeded abd-broken bug is found and shrinks. *)
+    let algo, f, k, writers, writes_each, readers, reads_each, lint =
+      if quick then (Abd, 1, 1, 1, 1, 1, 1, true)
+      else (algo, f, k, writers, writes_each, readers, reads_each, lint)
+    in
+    match replay_file with
+    | Some file ->
+      run_replay ~algo ~value_bytes ~f ~k ~seed ~writers ~writes_each ~readers
+        ~reads_each ~check file
+    | None ->
+      let algorithm, cfg, econfig =
+        mk_config ~algo ~value_bytes ~f ~k ~seed ~writers ~writes_each ~readers
+          ~reads_each ~crashes ~client_crashes ~bound ~dpor:(not no_dpor) ~cache
+          ~lint ~max_schedules ~check
+      in
+      let check_name, _ = checker check in
+      Printf.printf "algorithm     : %s (n=%d f=%d k=%d D=%d bits, seed %d)\n"
+        algorithm.Sb_sim.Runtime.name cfg.n cfg.f k (8 * value_bytes) seed;
+      Printf.printf
+        "workload      : %d writer(s) x %d, %d reader(s) x %d; crashes: %d obj, %d client\n"
+        writers writes_each readers reads_each crashes client_crashes;
+      Format.printf "check         : %s; bound: %a; dpor: %s; cache: %s@."
+        check_name
+        (Arg.conv_printer bound_conv) bound
+        (if no_dpor then "off" else "on")
+        (if cache then "on" else "off");
+      let t0 = Unix.gettimeofday () in
+      let outcome = E.explore econfig in
+      let dt = Unix.gettimeofday () -. t0 in
+      Format.printf "%a@." E.pp_stats outcome.E.stats;
+      Printf.printf "wall time     : %.2fs\n" dt;
+      Printf.printf "complete      : %b\n" outcome.E.complete;
+      if compare_flag && not no_dpor then begin
+        let _, _, naive =
+          mk_config ~algo ~value_bytes ~f ~k ~seed ~writers ~writes_each
+            ~readers ~reads_each ~crashes ~client_crashes ~bound ~dpor:false
+            ~cache:false ~lint:false ~max_schedules ~check
+        in
+        let n_out = E.explore naive in
+        Printf.printf "naive         : %d schedules, %d transitions\n"
+          n_out.E.stats.E.schedules n_out.E.stats.E.transitions;
+        if outcome.E.stats.E.schedules > 0 then
+          Printf.printf "dpor reduction: %.2fx fewer schedules\n"
+            (float_of_int n_out.E.stats.E.schedules
+            /. float_of_int outcome.E.stats.E.schedules)
+      end;
+      if outcome.E.stats.E.lint_failures > 0 then begin
+        Printf.printf "DETERMINISM LINT FAILED (%d schedules diverged on replay)\n"
+          outcome.E.stats.E.lint_failures;
+        exit 1
+      end;
+      (match outcome.E.first_violation with
+       | Some v ->
+         report_violation econfig v save;
+         exit 1
+       | None -> Printf.printf "result        : no violation\n");
+      if quick then begin
+        (* Second half of the CI preset: the seeded bug must be caught
+           and must shrink to a short schedule. *)
+        let _, _, broken =
+          mk_config ~algo:Abd_broken ~value_bytes ~f ~k ~seed ~writers:2
+            ~writes_each:1 ~readers:1 ~reads_each:1 ~crashes ~client_crashes
+            ~bound ~dpor:true ~cache:false ~lint:false ~max_schedules:0
+            ~check:`Weak
+        in
+        let b_out = E.explore broken in
+        match b_out.E.first_violation with
+        | None ->
+          print_endline "quick check   : FAILED (abd-broken violation not found)";
+          exit 1
+        | Some v ->
+          let shrunk = Sb_modelcheck.Shrink.shrink broken v.E.v_decisions in
+          Printf.printf
+            "quick check   : abd-broken violation found and shrunk to %d decisions\n"
+            (List.length shrunk)
+      end
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:"Systematically explore all schedules of a bounded configuration \
+             (sleep-set DPOR, optional delay/preemption bounding), checking \
+             every history; shrink and print any counterexample.")
+    Term.(
+      const run $ algo_arg $ value_bytes_arg $ f_arg $ k_arg $ seed_arg
+      $ writers $ writes_each $ readers $ reads_each $ crashes $ client_crashes
+      $ bound_arg $ no_dpor $ cache_flag $ compare_flag $ lint $ max_schedules
+      $ check_arg $ quick $ replay_file $ save_arg)
+
+(* ------------------------------------------------------------------ *)
 (* adversary-demo (Figure 3 walkthrough)                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -425,6 +737,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            experiments_cmd; lower_bound_cmd; simulate_cmd; replay_cmd; demo_cmd;
-            quorums_cmd;
+            experiments_cmd; lower_bound_cmd; simulate_cmd; explore_cmd;
+            replay_cmd; demo_cmd; quorums_cmd;
           ]))

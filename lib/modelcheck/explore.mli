@@ -1,0 +1,153 @@
+(** Systematic schedule exploration for [Sb_sim.Runtime] worlds.
+
+    The paper's correctness claims are statements over {e every}
+    asynchronous schedule.  This module enumerates all of them, for a
+    bounded configuration, instead of sampling: a depth-first search over
+    {e decision traces} (which pending RMW takes effect, which client
+    steps, which component crashes), re-executing each prefix against a
+    fresh deterministic world, and machine-checking every complete
+    history with a [Sb_spec.Regularity] checker.
+
+    {b Partial-order reduction.}  Most interleavings differ only in the
+    order of commuting actions — above all, RMW deliveries on distinct
+    base objects.  The search carries {e sleep sets} (Godefroid): after a
+    subtree for action [a] is done, sibling subtrees do not re-explore
+    schedules that merely reorder [a] past independent actions.  With the
+    independence relation of {!section-independence} below, every
+    Mazurkiewicz equivalence class of schedules is still explored at
+    least once, and the class representative has the same history
+    precedence relation — so no consistency verdict is lost.
+
+    {b State caching.}  Orthogonally, interleavings of commuting actions
+    converge to the same logical world; since a node's future behaviour
+    and every verdict depend only on [Runtime.exploration_key] (the
+    behavioural state up to ticket renaming, plus the un-timed operation
+    events so far), revisits of a key are pruned, turning the schedule
+    tree into a DAG.  Sound together with sleep sets via Godefroid's
+    refinement: a revisit is only skipped when some earlier visit of the
+    key used a subset of the current sleep set.  Active only under
+    [Exhaustive] (a bounded search would need the remaining budget in
+    the key).
+
+    {b Bounding.}  For configurations too large to exhaust, {!bound}
+    offers delay bounding (explore schedules reachable from the
+    deterministic fifo baseline with at most [d] deviations) and
+    preemption bounding (at most [p] switches away from a still-runnable
+    client), in the spirit of CHESS.  Bounded modes are heuristic
+    coverage — only [Exhaustive] is a proof up to the configuration
+    bound. *)
+
+(** {2:independence Independence}
+
+    Actions are independent iff they commute and their swap leaves the
+    operation history's precedence relation intact:
+
+    - deliveries on distinct objects always; on the same object when
+      both RMWs are read-only, or both are declared merge-class
+      ([Runtime.rmw_nature]);
+    - a delivery and a client step, unless the step consumes or enters
+      an await covering that very ticket ([Runtime.last_step_awaits]);
+    - two steps of distinct clients, unless one emits a return and the
+      other an invocation: the checkers consume histories only through
+      the precedence relation "return before invocation", so only that
+      pair of events must keep its relative order (invisible round
+      transitions, invocation/invocation and return/return swaps all
+      preserve every verdict);
+    - an object crash against every step and other-object deliveries.
+
+    A step that emits a return is dependent on a distinct client's step
+    emitting an invocation (their order is a precedence edge), crashes
+    are mutually dependent (shared crash budgets), and anything
+    client-local is dependent on that client's crash. *)
+
+type bound =
+  | Exhaustive
+  | Delay of int  (** ≤ d deviations from the fifo baseline schedule. *)
+  | Preempt of int  (** ≤ p preemptions of a still-steppable client. *)
+
+type config = {
+  algorithm : Sb_sim.Runtime.algorithm;
+  n : int;
+  f : int;
+  workload : Sb_sim.Trace.op_kind list array;
+  seed : int;  (** World seed; replays always reuse it. *)
+  initial : bytes;  (** The register's initial value [v0]. *)
+  check : Sb_spec.History.t -> Sb_spec.Regularity.verdict;
+      (** The property every explored history must satisfy. *)
+  dpor : bool;  (** Sleep-set pruning on/off (off = naive enumeration). *)
+  cache : bool;
+      (** State caching: prune revisits of behaviourally equal worlds
+          ([Runtime.exploration_key]).  Only effective under
+          [Exhaustive]. *)
+  bound : bound;
+  crash_objs : int;  (** Max object crashes the explorer may inject. *)
+  crash_clients : int;  (** Max client crashes the explorer may inject. *)
+  max_schedules : int;  (** Stop after this many schedules; 0 = no cap. *)
+  stop_on_violation : bool;
+  lint : bool;
+      (** Re-execute every complete schedule from its decision trace and
+          count divergences (trace bytes or state fingerprint) — catches
+          hidden nondeterminism in protocol code. *)
+  on_history : (Sb_sim.Runtime.decision list -> Sb_spec.History.t -> unit) option;
+      (** Called on every complete schedule, e.g. to collect the set of
+          values reads can return. *)
+}
+
+val config :
+  ?seed:int ->
+  ?dpor:bool ->
+  ?cache:bool ->
+  ?bound:bound ->
+  ?crash_objs:int ->
+  ?crash_clients:int ->
+  ?max_schedules:int ->
+  ?stop_on_violation:bool ->
+  ?lint:bool ->
+  ?on_history:(Sb_sim.Runtime.decision list -> Sb_spec.History.t -> unit) ->
+  algorithm:Sb_sim.Runtime.algorithm ->
+  n:int ->
+  f:int ->
+  workload:Sb_sim.Trace.op_kind list array ->
+  initial:bytes ->
+  check:(Sb_spec.History.t -> Sb_spec.Regularity.verdict) ->
+  unit ->
+  config
+(** Defaults: [seed 1], [dpor true], [cache false], [Exhaustive], no
+    crashes, no schedule cap, stop on the first violation, no lint. *)
+
+type stats = {
+  schedules : int;  (** Complete schedules whose history was checked. *)
+  transitions : int;  (** Decisions executed by the search itself. *)
+  replayed_transitions : int;  (** Decisions re-executed for backtracking/lint. *)
+  sleep_skips : int;  (** Branches pruned by sleep sets (DPOR). *)
+  cache_skips : int;  (** Subtrees pruned by the state cache. *)
+  bound_skips : int;  (** Branches pruned by the delay/preemption bound. *)
+  max_depth : int;
+  violations : int;
+  lint_failures : int;
+}
+
+type violation = {
+  v_decisions : Sb_sim.Runtime.decision list;
+      (** The failing schedule, replayable via [Runtime.replay] (and
+          shrinkable via {!Shrink.shrink}). *)
+  v_history : Sb_spec.History.t;
+  v_counterexample : Sb_spec.Regularity.counterexample;
+}
+
+type outcome = {
+  stats : stats;
+  first_violation : violation option;
+  complete : bool;
+      (** The whole (bounded) schedule space was explored — [false] when
+          stopped by a violation or by [max_schedules]. *)
+}
+
+val explore : config -> outcome
+(** Runs the search.  Deterministic: same config, same outcome. *)
+
+val pp_stats : Format.formatter -> stats -> unit
+
+val pp_decisions : Format.formatter -> Sb_sim.Runtime.decision list -> unit
+(** One numbered decision per line, in [Runtime.decision_to_string]
+    syntax — paste-able into [spacebounds explore --replay]. *)

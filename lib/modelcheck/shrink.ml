@@ -1,0 +1,60 @@
+module R = Sb_sim.Runtime
+
+let replay_world (cfg : Explore.config) decisions =
+  let w =
+    R.create ~seed:cfg.seed ~algorithm:cfg.algorithm ~n:cfg.n ~f:cfg.f
+      ~workload:cfg.workload ()
+  in
+  ignore (R.replay w decisions);
+  w
+
+let check_decisions (cfg : Explore.config) decisions =
+  let w = replay_world cfg decisions in
+  let h = Sb_spec.History.of_trace ~initial:cfg.initial (R.trace w) in
+  match cfg.check h with
+  | Sb_spec.Regularity.Ok -> None
+  | Sb_spec.Regularity.Violation cx -> Some (cx, h)
+
+let still_violating cfg decisions = check_decisions cfg decisions <> None
+
+let shortest_violating_prefix cfg arr =
+  let n = Array.length arr in
+  let result = ref n in
+  (try
+     for l = 0 to n do
+       if still_violating cfg (Array.to_list (Array.sub arr 0 l)) then begin
+         result := l;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  Array.to_list (Array.sub arr 0 !result)
+
+let shrink cfg decisions =
+  if not (still_violating cfg decisions) then
+    invalid_arg "Shrink.shrink: the given decision trace does not violate";
+  (* Phase 1: cut the tail — the shortest violating prefix (the
+     violation typically manifests the moment the offending read
+     returns; everything after is noise). *)
+  let cur = ref (shortest_violating_prefix cfg (Array.of_list decisions)) in
+  (* Phase 2: greedy deletion to a local minimum.  Deleting a decision
+     may orphan later ones (a Deliver whose trigger never happened);
+     Runtime.replay skips those, so every candidate is a valid schedule.
+     Crash decisions are candidates like any other, so the crash set is
+     minimised too. *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let len = List.length !cur in
+    (try
+       for i = 0 to len - 1 do
+         let candidate = List.filteri (fun j _ -> j <> i) !cur in
+         if still_violating cfg candidate then begin
+           cur := candidate;
+           changed := true;
+           raise Exit
+         end
+       done
+     with Exit -> ())
+  done;
+  !cur

@@ -1,0 +1,29 @@
+(** Counterexample shrinking for failing decision traces.
+
+    A violation found by {!Explore.explore} often carries dozens of
+    irrelevant decisions.  {!shrink} greedily minimises the trace while
+    the configured checker keeps failing, producing a locally-minimal
+    failing schedule: first the shortest violating prefix, then repeated
+    single-decision deletion until no deletion preserves the failure.
+    Crash decisions are deleted like any other, so the crash set is
+    minimised along the way.
+
+    Shrinking relies on [Runtime.replay]'s skip-disabled semantics:
+    deleting a decision may orphan later ones, which then simply fall
+    away, so every candidate trace is a well-formed schedule of the same
+    world. *)
+
+val check_decisions :
+  Explore.config ->
+  Sb_sim.Runtime.decision list ->
+  (Sb_spec.Regularity.counterexample * Sb_spec.History.t) option
+(** Replays the trace (skipping disabled decisions) against a fresh world
+    of the config and runs the config's checker on the resulting history.
+    [None] when the history satisfies the property. *)
+
+val shrink :
+  Explore.config -> Sb_sim.Runtime.decision list -> Sb_sim.Runtime.decision list
+(** [shrink cfg trace] is a locally-minimal sub-trace of [trace] that
+    still violates [cfg.check]: removing any single decision from the
+    result makes the violation disappear.  Raises [Invalid_argument] if
+    [trace] itself does not violate. *)

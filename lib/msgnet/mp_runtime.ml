@@ -218,7 +218,7 @@ let handle_fiber w (cl : client) (op : R.op) (body : unit -> bytes option) :
       effc =
         (fun (type b) (eff : b Effect.t) ->
           match eff with
-          | R.Trigger (obj, payload, rmw) ->
+          | R.Trigger (obj, payload, rmw, _nature) ->
             Some
               (fun (k : (b, fiber_outcome) continuation) ->
                 if obj < 0 || obj >= w.n then

@@ -14,7 +14,7 @@ let store_rmw chunk : R.rmw =
     in
     (st, R.Ack)
 
-let make (cfg : Common.config) =
+let make_gen ~name ~write_quorum (cfg : Common.config) =
   Common.validate cfg;
   if cfg.codec.Sb_codec.Codec.k <> 1 then
     invalid_arg "Abd.make: ABD requires a replication codec (k = 1)";
@@ -31,11 +31,13 @@ let make (cfg : Common.config) =
     (* Round 2: store the replica everywhere, await a quorum. *)
     ctx.op.rounds <- ctx.op.rounds + 1;
     let tickets =
-      R.broadcast_rmw ~n:cfg.n
+      (* [store_rmw] is a "keep the higher timestamp" join: merge-class,
+         so deliveries of two stores to the same object commute. *)
+      R.broadcast_rmw ~nature:`Merge ~n:cfg.n
         ~payload:(fun i -> [ Oracle.Encoder.get encoder i ])
         (fun i -> store_rmw (Chunk.v ~ts (Oracle.Encoder.get encoder i)))
     in
-    ignore (R.await ~tickets ~quorum:(Common.quorum cfg))
+    ignore (R.await ~tickets ~quorum:write_quorum)
   in
   let read (ctx : R.ctx) =
     let rs = Common.read_value cfg ctx in
@@ -45,4 +47,10 @@ let make (cfg : Common.config) =
     | None -> None
     | Some ts -> Common.decode_at cfg.codec rs.chunks ~ts
   in
-  { R.name = "abd"; init_obj; write; read }
+  { R.name = name; init_obj; write; read }
+
+let make cfg = make_gen ~name:"abd" ~write_quorum:(Common.quorum cfg) cfg
+
+let make_broken ?(quorum_slack = 1) cfg =
+  if quorum_slack < 1 then invalid_arg "Abd.make_broken: quorum_slack must be >= 1";
+  make_gen ~name:"abd-broken" ~write_quorum:(Common.quorum cfg - quorum_slack) cfg

@@ -15,6 +15,14 @@ val make : Common.config -> Sb_sim.Runtime.algorithm
 (** The codec in the configuration must be {!Sb_codec.Codec.replication}
     (i.e. [k = 1]); raises [Invalid_argument] otherwise. *)
 
+val make_broken : ?quorum_slack:int -> Common.config -> Sb_sim.Runtime.algorithm
+(** Test-only: ABD with the {e write} quorum undersized by [quorum_slack]
+    (default 1).  A write can then complete after reaching fewer than
+    [n - f] objects, so a later read may miss it entirely and return a
+    stale value — a seeded regularity violation for exercising the model
+    checker's violation detection and counterexample shrinking.  Raises
+    [Invalid_argument] if [quorum_slack < 1]. *)
+
 val store_rmw : Sb_storage.Chunk.t -> Sb_sim.Runtime.rmw
 (** The conditional-overwrite RMW used by the update round: replaces the
     single [Vf] replica if the incoming timestamp is strictly higher.

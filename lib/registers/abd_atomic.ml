@@ -10,7 +10,7 @@ let make (cfg : Common.config) =
     let encoder = Oracle.Encoder.create cfg.codec ~op:ctx.op.id ~value in
     ctx.op.rounds <- ctx.op.rounds + 1;
     let tickets =
-      R.broadcast_rmw ~n:cfg.n
+      R.broadcast_rmw ~nature:`Merge ~n:cfg.n
         ~payload:(fun i -> [ Oracle.Encoder.get encoder i ])
         (fun i -> Abd.store_rmw (Chunk.v ~ts (Oracle.Encoder.get encoder i)))
     in

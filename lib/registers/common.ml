@@ -24,7 +24,7 @@ type read_set = {
 let read_value cfg (ctx : Sb_sim.Runtime.ctx) =
   ctx.op.rounds <- ctx.op.rounds + 1;
   let tickets =
-    Sb_sim.Runtime.broadcast_rmw ~n:cfg.n
+    Sb_sim.Runtime.broadcast_rmw ~nature:`Readonly ~n:cfg.n
       ~payload:(fun _ -> [])
       (fun _ -> read_snapshot_rmw)
   in

@@ -29,15 +29,27 @@ type algorithm = {
 (* Effects performed by protocol code                                  *)
 (* ------------------------------------------------------------------ *)
 
+(* How an RMW interacts with concurrent deliveries on the same object:
+   [`Mutating] promises nothing; [`Readonly] never changes the object
+   state (so it commutes with other read-onlys and becomes a droppable
+   no-op once its response is unobservable); [`Merge] declares a
+   commutative update — applying it and any other [`Merge] RMW on the
+   same object in either order yields the same state and the same two
+   responses (e.g. a join-semilattice "keep the higher timestamp"
+   overwrite). *)
+type rmw_nature = [ `Mutating | `Readonly | `Merge ]
+
 type _ Effect.t +=
-  | Trigger : int * Sb_storage.Block.t list * rmw -> int Effect.t
+  | Trigger : int * Sb_storage.Block.t list * rmw * rmw_nature -> int Effect.t
   | Await : int list * int -> (int * resp) list Effect.t
 
-let trigger ~obj ~payload rmw = perform (Trigger (obj, payload, rmw))
+let trigger ?(nature = `Mutating) ~obj ~payload rmw =
+  perform (Trigger (obj, payload, rmw, nature))
+
 let await ~tickets ~quorum = perform (Await (tickets, quorum))
 
-let broadcast_rmw ~n ~payload f =
-  List.init n (fun i -> trigger ~obj:i ~payload:(payload i) (f i))
+let broadcast_rmw ?(nature = `Mutating) ~n ~payload f =
+  List.init n (fun i -> trigger ~nature ~obj:i ~payload:(payload i) (f i))
 
 (* ------------------------------------------------------------------ *)
 (* World state                                                         *)
@@ -55,6 +67,7 @@ type pending = {
   p_op : op;
   payload : Sb_storage.Block.t list;
   p_rmw : rmw;
+  p_nature : rmw_nature;
   triggered_at : int;
 }
 
@@ -64,6 +77,7 @@ type pending_info = {
   p_client : int;
   p_op : op;
   payload_bits : int;
+  p_nature : rmw_nature;
   triggered_at : int;
 }
 
@@ -73,6 +87,10 @@ type parked = {
   w_k : ((int * resp) list, fiber_outcome) continuation;
 }
 
+(* A delivered-but-not-yet-consumed response, tagged with the origin of
+   its ticket so exploration can name it canonically. *)
+type delivered = { d_obj : int; d_client : int; d_op : int; d_resp : resp }
+
 type client = {
   cid : int;
   mutable queue : Trace.op_kind list;
@@ -80,6 +98,11 @@ type client = {
   mutable waiting : parked option;
   mutable current_op : op option;
   c_prng : Sb_util.Prng.t;
+  mutable consumed_log : (int * resp) list list;
+  (* Response lists returned by this client's awaits, newest first.  A
+     fiber is deterministic in (algorithm, op kinds, prng, this log), so
+     the log stands in for the un-inspectable fiber-local state when
+     exploration fingerprints a world. *)
 }
 
 type world = {
@@ -91,20 +114,26 @@ type world = {
   clients : client array;
   pendings : (int, pending) Hashtbl.t;
   mutable pending_order : int list; (* tickets, newest first *)
-  responses : (int, int * resp) Hashtbl.t;
+  responses : (int, delivered) Hashtbl.t;
+  consumed : (int, unit) Hashtbl.t;
+  (* Tickets covered by an await that has already returned.  A straggler
+     delivery of a consumed ticket still applies its RMW to the object
+     but its response is discarded: no await may observe it again. *)
   mutable next_ticket : int;
   mutable next_op : int;
   mutable now : int;
   tr : Trace.t;
+  mutable inv_events : int; (* Invoke events emitted so far *)
+  mutable ret_events : int; (* Return events emitted so far *)
+  mutable step_awaits : int list;
+  (* Tickets whose responses the most recent [Step] read or awaited *)
   mutable all_ops : op list;
+  metrics : bool; (* track storage maxima (skipped during exploration) *)
   mutable max_obj_bits : int;
   mutable max_total_bits : int;
-  (* Set while a client fiber is executing, so the effect handler can
-     attribute triggers to the right client and operation. *)
-  mutable running : (client * op) option;
 }
 
-let create ?(seed = 1) ~algorithm ~n ~f ~workload () =
+let create ?(seed = 1) ?(metrics = true) ~algorithm ~n ~f ~workload () =
   if f < 0 || 2 * f >= n then
     invalid_arg "Runtime.create: need 0 <= f < n/2";
   let root_prng = Sb_util.Prng.create seed in
@@ -118,6 +147,7 @@ let create ?(seed = 1) ~algorithm ~n ~f ~workload () =
           waiting = None;
           current_op = None;
           c_prng = Sb_util.Prng.split root_prng;
+          consumed_log = [];
         })
       workload
   in
@@ -131,14 +161,18 @@ let create ?(seed = 1) ~algorithm ~n ~f ~workload () =
     pendings = Hashtbl.create 64;
     pending_order = [];
     responses = Hashtbl.create 64;
+    consumed = Hashtbl.create 64;
     next_ticket = 1;
     next_op = 1;
     now = 0;
     tr = Trace.create ();
+    inv_events = 0;
+    ret_events = 0;
+    step_awaits = [];
     all_ops = [];
+    metrics;
     max_obj_bits = 0;
     max_total_bits = 0;
-    running = None;
   }
 
 let enqueue_op w ~client kind =
@@ -172,6 +206,7 @@ let info_of_pending (p : pending) =
     p_client = p.p_client;
     p_op = p.p_op;
     payload_bits = Sb_storage.Accounting.bits_of_blocks p.payload;
+    p_nature = p.p_nature;
     triggered_at = p.triggered_at;
   }
 
@@ -226,19 +261,29 @@ let op_contribution w (op : op) =
 let max_bits_objects w = w.max_obj_bits
 let max_bits_total w = w.max_total_bits
 let trace w = w.tr
+let invoke_events w = w.inv_events
+let return_events w = w.ret_events
+let last_step_awaits w = w.step_awaits
 
 let update_maxima w =
-  let ob = storage_bits_objects w in
-  let tb = ob + inflight_bits w in
-  if ob > w.max_obj_bits then w.max_obj_bits <- ob;
-  if tb > w.max_total_bits then w.max_total_bits <- tb
+  if w.metrics then begin
+    let ob = storage_bits_objects w in
+    let tb = ob + inflight_bits w in
+    if ob > w.max_obj_bits then w.max_obj_bits <- ob;
+    if tb > w.max_total_bits then w.max_total_bits <- tb
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Fiber machinery                                                     *)
 (* ------------------------------------------------------------------ *)
 
 let responses_for w tickets =
-  List.filter_map (fun t -> Hashtbl.find_opt w.responses t) tickets
+  List.filter_map
+    (fun t ->
+      match Hashtbl.find_opt w.responses t with
+      | Some r -> Some (r.d_obj, r.d_resp)
+      | None -> None)
+    tickets
 
 let await_satisfied w tickets quorum =
   let count =
@@ -248,19 +293,54 @@ let await_satisfied w tickets quorum =
   in
   count >= quorum
 
+(* Once an await returns, the responses of its still-in-flight read-only
+   RMWs can never be observed again (awaits must not re-use consumed
+   tickets, see the .mli contract), and a read-only RMW does not change
+   its object — so those pendings are no-ops and are dropped on the spot.
+   This is what keeps systematic exploration tractable: a dropped
+   straggler is one less decision point at every later state. *)
+let drop_readonly_orphans w tickets =
+  let dropped =
+    List.filter
+      (fun t ->
+        match Hashtbl.find_opt w.pendings t with
+        | Some p when p.p_nature = `Readonly ->
+          Hashtbl.remove w.pendings t;
+          true
+        | _ -> false)
+      tickets
+  in
+  if dropped <> [] then
+    w.pending_order <- List.filter (fun t -> not (List.mem t dropped)) w.pending_order
+
+(* An await is returning to client [cl]: hand it the responses gathered
+   so far and retire its tickets.  Their response slots are deleted (no
+   later await may observe them, per the contract above), stragglers
+   still in flight are marked consumed so their eventual delivery only
+   mutates the object, and orphaned read-only RMWs are dropped
+   outright. *)
+let consume w cl tickets =
+  let rs = responses_for w tickets in
+  cl.consumed_log <- rs :: cl.consumed_log;
+  List.iter
+    (fun t ->
+      Hashtbl.remove w.responses t;
+      Hashtbl.replace w.consumed t ())
+    tickets;
+  drop_readonly_orphans w tickets;
+  rs
+
 (* The deep handler interpreting protocol effects against world [w] for
    client [cl] running operation [op]. *)
 let handle_fiber w cl op (body : unit -> bytes option) : fiber_outcome =
-  w.running <- Some (cl, op);
-  let result =
-    match_with body ()
+  match_with body ()
       {
         retc = (fun r -> Done r);
         exnc = raise;
         effc =
           (fun (type b) (eff : b Effect.t) ->
             match eff with
-            | Trigger (obj, payload, rmw) ->
+            | Trigger (obj, payload, rmw, nature) ->
               Some
                 (fun (k : (b, fiber_outcome) continuation) ->
                   if obj < 0 || obj >= w.n then
@@ -275,6 +355,7 @@ let handle_fiber w cl op (body : unit -> bytes option) : fiber_outcome =
                       p_op = op;
                       payload;
                       p_rmw = rmw;
+                      p_nature = nature;
                       triggered_at = w.now;
                     }
                   in
@@ -294,8 +375,20 @@ let handle_fiber w cl op (body : unit -> bytes option) : fiber_outcome =
             | Await (tickets, quorum) ->
               Some
                 (fun (k : (b, fiber_outcome) continuation) ->
+                  List.iter
+                    (fun t ->
+                      if
+                        Hashtbl.mem w.consumed t
+                        || not
+                             (Hashtbl.mem w.pendings t
+                             || Hashtbl.mem w.responses t)
+                      then
+                        invalid_arg
+                          "Runtime.await: ticket was consumed by an earlier await")
+                    tickets;
+                  w.step_awaits <- tickets @ w.step_awaits;
                   if await_satisfied w tickets quorum then
-                    continue k (responses_for w tickets)
+                    continue k (consume w cl tickets)
                   else begin
                     cl.waiting <- Some { w_tickets = tickets; w_quorum = quorum; w_k = k };
                     cl.status <- Parked;
@@ -303,13 +396,20 @@ let handle_fiber w cl op (body : unit -> bytes option) : fiber_outcome =
                   end)
             | _ -> None);
       }
-  in
-  w.running <- None;
-  result
 
 let finish_op w cl (op : op) result =
   cl.current_op <- None;
   cl.status <- Idle;
+  (* Read-only RMWs the op never awaited (or awaited without consuming)
+     are dead once it returns. *)
+  drop_readonly_orphans w
+    (List.filter
+       (fun t ->
+         match Hashtbl.find_opt w.pendings t with
+         | Some p -> p.p_op == op
+         | None -> false)
+       w.pending_order);
+  w.ret_events <- w.ret_events + 1;
   Trace.add w.tr (Return { time = w.now; op = op.id; client = cl.cid; result })
 
 let invoke_next w cl =
@@ -321,6 +421,7 @@ let invoke_next w cl =
     w.next_op <- w.next_op + 1;
     w.all_ops <- op :: w.all_ops;
     cl.current_op <- Some op;
+    w.inv_events <- w.inv_events + 1;
     Trace.add w.tr (Invoke { time = w.now; op = op.id; client = cl.cid; kind });
     let ctx = { self = cl.cid; op; n_objects = w.n; prng = cl.c_prng } in
     let body () =
@@ -342,11 +443,10 @@ let resume w cl =
       invalid_arg "Runtime.step: client's quorum is not satisfied";
     cl.waiting <- None;
     cl.status <- Idle;
+    w.step_awaits <- w_tickets @ w.step_awaits;
+    let rs = consume w cl w_tickets in
     let op = match cl.current_op with Some op -> op | None -> assert false in
-    w.running <- Some (cl, op);
-    let outcome = continue w_k (responses_for w w_tickets) in
-    w.running <- None;
-    (match outcome with
+    (match continue w_k rs with
      | Done result -> finish_op w cl op result
      | Blocked -> ())
 
@@ -371,19 +471,19 @@ let deliverable w =
          if w.alive.(p.p_obj) then Some (info_of_pending p) else None)
        w.pending_order)
 
+let client_steppable w cl =
+  match cl.status with
+  | Idle -> cl.queue <> []
+  | Runnable -> true
+  | Parked -> (
+    match cl.waiting with
+    | Some { w_tickets; w_quorum; _ } -> await_satisfied w w_tickets w_quorum
+    | None -> false)
+  | Crashed -> false
+
 let steppable w =
   Array.to_list w.clients
-  |> List.filter_map (fun cl ->
-         match cl.status with
-         | Idle when cl.queue <> [] -> Some cl.cid
-         | Runnable -> Some cl.cid
-         | Parked -> (
-           match cl.waiting with
-           | Some { w_tickets; w_quorum; _ }
-             when await_satisfied w w_tickets w_quorum ->
-             Some cl.cid
-           | _ -> None)
-         | _ -> None)
+  |> List.filter_map (fun cl -> if client_steppable w cl then Some cl.cid else None)
 
 let deliver w ticket =
   match Hashtbl.find_opt w.pendings ticket with
@@ -397,8 +497,9 @@ let deliver w ticket =
     w.objects.(p.p_obj) <- state;
     Trace.add w.tr (Rmw_deliver { time = w.now; ticket; obj = p.p_obj });
     let cl = w.clients.(p.p_client) in
-    if cl.status <> Crashed then begin
-      Hashtbl.replace w.responses ticket (p.p_obj, resp);
+    if cl.status <> Crashed && not (Hashtbl.mem w.consumed ticket) then begin
+      Hashtbl.replace w.responses ticket
+        { d_obj = p.p_obj; d_client = p.p_client; d_op = p.p_op.id; d_resp = resp };
       match cl.status, cl.waiting with
       | Parked, Some { w_tickets; w_quorum; _ }
         when await_satisfied w w_tickets w_quorum ->
@@ -423,6 +524,15 @@ let crash_client w c =
   cl.status <- Crashed;
   cl.waiting <- None;
   cl.queue <- [];
+  (* A crashed client never consumes responses, so its in-flight
+     read-only RMWs are no-ops from here on. *)
+  drop_readonly_orphans w
+    (List.filter
+       (fun t ->
+         match Hashtbl.find_opt w.pendings t with
+         | Some p -> p.p_client = c
+         | None -> false)
+       w.pending_order);
   Trace.add w.tr (Crash_client { time = w.now; client = c })
 
 let step w decision =
@@ -433,6 +543,7 @@ let step w decision =
       deliver w ticket;
       true
     | Step c ->
+      w.step_awaits <- [];
       let cl = w.clients.(c) in
       (match cl.status with
        | Crashed -> invalid_arg "Runtime.step: client has crashed"
@@ -500,3 +611,223 @@ let fifo_policy () =
       match steppable w with
       | c :: _ -> Step c
       | [] -> Halt)
+
+(* ------------------------------------------------------------------ *)
+(* Systematic exploration support (decision points, replay)            *)
+(* ------------------------------------------------------------------ *)
+
+let crashed_objects w =
+  Array.fold_left (fun acc a -> if a then acc else acc + 1) 0 w.alive
+
+let decision_enabled w = function
+  | Deliver t -> (
+    match Hashtbl.find_opt w.pendings t with
+    | Some p -> w.alive.(p.p_obj)
+    | None -> false)
+  | Step c ->
+    c >= 0 && c < Array.length w.clients && client_steppable w w.clients.(c)
+  | Crash_obj i -> i >= 0 && i < w.n && w.alive.(i) && crashed_objects w < w.f
+  | Crash_client c ->
+    c >= 0 && c < Array.length w.clients && w.clients.(c).status <> Crashed
+  | Halt -> true
+
+let replay w decisions =
+  List.fold_left
+    (fun applied d ->
+      if d <> Halt && decision_enabled w d then begin
+        ignore (step w d);
+        applied + 1
+      end
+      else applied)
+    0 decisions
+
+let fingerprint w =
+  (* A digest of the logical state: everything a protocol or policy can
+     observe, minus closures (RMW bodies, parked continuations) and the
+     clock.  Two replays of the same decision trace must agree on it. *)
+  let status_code = function Idle -> 0 | Parked -> 1 | Runnable -> 2 | Crashed -> 3 in
+  let clients =
+    Array.to_list w.clients
+    |> List.map (fun cl ->
+           ( cl.cid,
+             status_code cl.status,
+             cl.queue,
+             (match cl.current_op with Some op -> op.id | None -> -1),
+             match cl.waiting with
+             | Some { w_tickets; w_quorum; _ } -> Some (w_tickets, w_quorum)
+             | None -> None ))
+  in
+  let pendings =
+    List.rev_map
+      (fun t ->
+        let p = Hashtbl.find w.pendings t in
+        (t, p.p_obj, p.p_client, p.p_op.id, p.payload, p.triggered_at))
+      w.pending_order
+  in
+  let responses =
+    Hashtbl.fold (fun t r acc -> (t, r.d_obj, r.d_resp) :: acc) w.responses []
+    |> List.sort (fun (a, _, _) (b, _, _) -> compare (a : int) b)
+  in
+  let repr =
+    ( Array.to_list w.objects,
+      Array.to_list w.alive,
+      clients,
+      pendings,
+      responses,
+      w.next_ticket,
+      w.next_op )
+  in
+  Digest.to_hex (Digest.string (Marshal.to_string repr []))
+
+(* ------------------------------------------------------------------ *)
+(* Canonical state keys (for stateful exploration)                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Ticket numbers depend on allocation order, so two interleavings that
+   commute to the same logical state can name the same RMW differently.
+   A live ticket (pending, or delivered-but-unconsumed) is canonically
+   (client, op, object, rank), where rank orders same-key tickets by
+   allocation — stable, because a fiber triggers its RMWs in program
+   order. *)
+let canonical_ids w =
+  let entries =
+    List.rev_map
+      (fun t ->
+        let p = Hashtbl.find w.pendings t in
+        ((p.p_client, p.p_op.id, p.p_obj), t))
+      w.pending_order
+  in
+  let entries =
+    Hashtbl.fold
+      (fun t (r : delivered) acc -> ((r.d_client, r.d_op, r.d_obj), t) :: acc)
+      w.responses entries
+  in
+  let tbl = Hashtbl.create 32 in
+  let rec assign prev rank = function
+    | [] -> ()
+    | (key, t) :: rest ->
+      let rank = if prev = Some key then rank + 1 else 0 in
+      let c, o, ob = key in
+      Hashtbl.replace tbl t (c, o, ob, rank);
+      assign (Some key) rank rest
+  in
+  assign None 0 (List.sort compare entries);
+  tbl
+
+let canonical_of tbl t =
+  match Hashtbl.find_opt tbl t with
+  | Some (c, o, ob, r) -> Printf.sprintf "%d.%d.%d.%d" c o ob r
+  | None -> "dead." ^ string_of_int t (* not live: conservative raw name *)
+
+let canonical_decisions w ds =
+  let tbl = canonical_ids w in
+  List.map
+    (function
+      | Deliver t -> "d:" ^ canonical_of tbl t
+      | Step c -> "s:" ^ string_of_int c
+      | Crash_obj i -> "co:" ^ string_of_int i
+      | Crash_client c -> "cc:" ^ string_of_int c
+      | Halt -> "halt")
+    ds
+
+(* A digest of everything that determines the world's future behaviour
+   (up to ticket renaming) AND the verdict of any history check on runs
+   continuing from here:
+
+   - object states, liveness bits, and per-client status / remaining
+     queue / current op;
+   - live RMWs and responses under canonical ticket names, with payloads
+     and natures, plus whether a pending straggler is already consumed;
+   - each client's consumed-response log: a fiber is a deterministic
+     function of (algorithm, op kinds, prng state, responses consumed),
+     so the log captures the fiber-local state — including its parked
+     continuation and the closures of RMWs it has yet to trigger — that
+     cannot be inspected directly;
+   - the operation events emitted so far, without times.  Histories with
+     the same event order get the same verdict from the order-based
+     checkers, and all future events time-sort after all past ones.
+
+   Deliberately excluded: the clock, ticket/op counters (renaming),
+   round counters and byte maxima (metrics — a cached revisit may
+   under-report them), and RMW delivery events (not part of the
+   operation history). *)
+let exploration_key w =
+  let tbl = canonical_ids w in
+  let status_code = function Idle -> 0 | Parked -> 1 | Runnable -> 2 | Crashed -> 3 in
+  let nature_code = function `Mutating -> 0 | `Readonly -> 1 | `Merge -> 2 in
+  let clients =
+    Array.to_list w.clients
+    |> List.map (fun cl ->
+           ( status_code cl.status,
+             cl.queue,
+             (match cl.current_op with
+              | Some op -> Some (op.id, op.kind)
+              | None -> None),
+             (match cl.waiting with
+              | Some { w_tickets; w_quorum; _ } ->
+                Some (List.map (canonical_of tbl) w_tickets, w_quorum)
+              | None -> None),
+             cl.consumed_log,
+             (cl.c_prng : Sb_util.Prng.t) ))
+  in
+  let pendings =
+    List.map
+      (fun t ->
+        let p = Hashtbl.find w.pendings t in
+        ( canonical_of tbl t,
+          p.payload,
+          nature_code p.p_nature,
+          Hashtbl.mem w.consumed t ))
+      w.pending_order
+    |> List.sort compare
+  in
+  let responses =
+    Hashtbl.fold
+      (fun t (r : delivered) acc -> (canonical_of tbl t, r.d_resp) :: acc)
+      w.responses []
+    |> List.sort compare
+  in
+  let history =
+    List.filter_map
+      (function
+        | Trace.Invoke { op; client; kind; _ } -> Some (`I (op, client, kind))
+        | Trace.Return { op; client; result; _ } -> Some (`R (op, client, result))
+        | Trace.Crash_object { obj; _ } -> Some (`CO obj)
+        | Trace.Crash_client { client; _ } -> Some (`CC client)
+        | Trace.Rmw_trigger _ | Trace.Rmw_deliver _ -> None)
+      (Trace.events w.tr)
+  in
+  let repr =
+    ( Array.to_list w.objects,
+      Array.to_list w.alive,
+      clients,
+      pendings,
+      responses,
+      history )
+  in
+  Digest.to_hex (Digest.string (Marshal.to_string repr []))
+
+let decision_to_string = function
+  | Deliver t -> "deliver " ^ string_of_int t
+  | Step c -> "step " ^ string_of_int c
+  | Crash_obj i -> "crash-obj " ^ string_of_int i
+  | Crash_client c -> "crash-client " ^ string_of_int c
+  | Halt -> "halt"
+
+let decision_of_string s =
+  let fail () = Error (Printf.sprintf "unparseable decision %S" s) in
+  match String.split_on_char ' ' (String.trim s) |> List.filter (( <> ) "") with
+  | [ "halt" ] -> Stdlib.Ok Halt
+  | [ verb; arg ] -> (
+    match int_of_string_opt arg with
+    | None -> fail ()
+    | Some v -> (
+      match verb with
+      | "deliver" -> Stdlib.Ok (Deliver v)
+      | "step" -> Stdlib.Ok (Step v)
+      | "crash-obj" -> Stdlib.Ok (Crash_obj v)
+      | "crash-client" -> Stdlib.Ok (Crash_client v)
+      | _ -> fail ()))
+  | _ -> fail ()
+
+let pp_decision ppf d = Format.pp_print_string ppf (decision_to_string d)

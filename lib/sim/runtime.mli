@@ -57,31 +57,54 @@ type algorithm = {
 
 (** {1 Effects available to protocol code} *)
 
+type rmw_nature = [ `Mutating | `Readonly | `Merge ]
+(** How an RMW interacts with concurrent deliveries on the same object.
+    [`Mutating] (the default) promises nothing.  [`Readonly] declares
+    that the RMW never changes the object state (e.g. a snapshot read);
+    the runtime exploits this twice: once the response can no longer be
+    observed — the await that covered the ticket has returned, the
+    issuing operation has completed, or the issuing client has crashed —
+    the in-flight RMW is a no-op and is dropped instead of remaining
+    deliverable, and the model checker treats read-only RMWs on the same
+    object as commuting.  [`Merge] declares a commutative update:
+    applying it and any other [`Merge] RMW on the same object in either
+    order yields the same final state and the same two responses (e.g.
+    ABD's join-semilattice "keep the higher timestamp" overwrite); the
+    model checker then treats merge/merge delivery pairs as commuting.
+    A wrong declaration is unsound — when in doubt use [`Mutating]. *)
+
 type _ Effect.t +=
-  | Trigger : int * Sb_storage.Block.t list * rmw -> int Effect.t
+  | Trigger : int * Sb_storage.Block.t list * rmw * rmw_nature -> int Effect.t
   | Await : int list * int -> (int * resp) list Effect.t
       (** The raw protocol effects, exposed so that alternative runtimes
           (e.g. the message-passing emulation in [Sb_msgnet]) can install
           their own handlers and run the very same register protocol
           code. *)
 
-val trigger : obj:int -> payload:Sb_storage.Block.t list -> rmw -> int
+val trigger :
+  ?nature:rmw_nature -> obj:int -> payload:Sb_storage.Block.t list -> rmw -> int
 (** Triggers an RMW on base object [obj] and returns its ticket without
     waiting.  [payload] declares the code blocks carried by the RMW's
     parameters, which count towards the in-flight storage cost and the
-    per-operation contribution of Definition 6. *)
+    per-operation contribution of Definition 6.  [nature] defaults to
+    [`Mutating]; see {!rmw_nature}. *)
 
 val await : tickets:int list -> quorum:int -> (int * resp) list
 (** Suspends until at least [quorum] of [tickets] have responses, then
     returns the [(object, response)] pairs received so far.  Responses to
     tickets outside the list are ignored (stragglers from earlier rounds
-    are never delivered twice). *)
+    are never delivered twice).
+
+    Contract: a ticket must not be awaited again after an await covering
+    it has returned — its undelivered read-only RMWs are dropped at that
+    point.  Raises [Invalid_argument] on such re-use. *)
 
 val broadcast_rmw :
+  ?nature:rmw_nature ->
   n:int -> payload:(int -> Sb_storage.Block.t list) -> (int -> rmw) -> int list
 (** [broadcast_rmw ~n ~payload f] triggers [f i] on every object
     [i < n]; the standard "invoke RMWs on all base objects in parallel"
-    idiom of the paper's algorithms. *)
+    idiom of the paper's algorithms.  [nature] as in {!trigger}. *)
 
 (** {1 Worlds} *)
 
@@ -99,11 +122,13 @@ type pending_info = {
   p_client : int;
   p_op : op;
   payload_bits : int;
+  p_nature : rmw_nature;
   triggered_at : int;
 }
 
 val create :
   ?seed:int ->
+  ?metrics:bool ->
   algorithm:algorithm ->
   n:int ->
   f:int ->
@@ -112,7 +137,11 @@ val create :
   world
 (** A fresh world with [n] base objects and one client per workload
     entry; client [i] will perform the operations of [workload.(i)] in
-    order, each invoked when the policy steps an idle client. *)
+    order, each invoked when the policy steps an idle client.
+    [metrics] (default [true]) controls the per-step storage-maxima
+    accounting behind {!max_bits_objects}/{!max_bits_total}; the model
+    checker re-executes hundreds of millions of steps and turns it off,
+    leaving those maxima at [0]. *)
 
 val enqueue_op : world -> client:int -> Trace.op_kind -> unit
 (** Appends an operation to a live client's queue.  Lets layered
@@ -169,6 +198,24 @@ val max_bits_total : world -> int
 
 val trace : world -> Trace.t
 
+val invoke_events : world -> int
+val return_events : world -> int
+(** Number of [Invoke] (resp. [Return]) events emitted so far.  The
+    model checker compares these across a [Step] to classify the step's
+    history visibility — none (a pure round transition), invocation,
+    return, or both — which widens its independence relation: the
+    consistency checkers consume histories only through the precedence
+    relation ("return before invocation"), so swapping two adjacent
+    invocations, or two adjacent returns, of distinct clients preserves
+    every verdict. *)
+
+val last_step_awaits : world -> int list
+(** The tickets whose responses the most recent [Step] decision read or
+    started awaiting (consumed awaits plus awaits entered).  A [Deliver]
+    of any other ticket cannot change that step's behaviour, which is
+    what lets the model checker treat a delivery and a same-client step
+    as independent when the ticket is not among them. *)
+
 (** {1 Scheduling} *)
 
 type decision =
@@ -217,3 +264,68 @@ val fifo_policy : unit -> policy
 (** Deterministic: always delivers the oldest deliverable RMW; otherwise
     steps the lowest-numbered steppable client.  Produces an almost
     synchronous, failure-free run. *)
+
+(** {2 Systematic exploration support}
+
+    The model checker in [Sb_modelcheck] drives a world through {e all}
+    schedules instead of one policy-chosen schedule.  It needs to ask
+    which decisions are enabled without trying them, to re-execute a
+    recorded decision trace, and to compare the states two executions
+    reach. *)
+
+val decision_enabled : world -> decision -> bool
+(** Would {!step} accept this decision right now?  Exactly the
+    [Invalid_argument] conditions of {!step}, as a predicate: a [Deliver]
+    needs a pending RMW on a live object, a [Step] a steppable client, a
+    [Crash_obj] a live object with crash budget ([< f]) remaining, a
+    [Crash_client] a live client.  [Halt] is always enabled. *)
+
+val replay : world -> decision list -> int
+(** Re-executes a decision trace against a (fresh) world: applies each
+    decision in order, {e skipping} any that is not enabled, and returns
+    the number applied.  Skipping rather than failing is what makes
+    counterexample shrinking work: deleting one decision from a trace may
+    orphan later ones (a [Deliver] whose trigger never happened), and
+    those simply fall away.  [Halt] decisions are skipped too.  Replaying
+    the unmodified trace of a run against a world created with the same
+    arguments reproduces it exactly — all decisions apply. *)
+
+val fingerprint : world -> string
+(** A digest (hex) of the logical world state: object states, liveness,
+    client statuses/queues/waits, pending RMWs, responses, and allocation
+    counters — everything observable, excluding closures and the clock.
+    Two runs of the same decision trace from equal initial worlds must
+    produce equal fingerprints; the determinism lint in [Sb_modelcheck]
+    enforces this for every shipped algorithm. *)
+
+val exploration_key : world -> string
+(** A digest (hex) of the world's behavioural state: everything that
+    determines future behaviour — up to renaming of tickets, which
+    histories never mention — together with the operation events emitted
+    so far (without timestamps; the order-based consistency checkers are
+    invariant under order-preserving retiming).  Live tickets are named
+    canonically by (client, op, object, allocation rank), and each
+    client's fiber-local state is captured by its consumed-response log
+    (a fiber is deterministic in the responses it has consumed).  Two
+    worlds with equal keys admit the same continuations and assign every
+    completed run the same verdict, so a stateful explorer may prune a
+    revisited key.  Unlike {!fingerprint} this deliberately ignores
+    clocks, allocation counters, and metrics such as round counters and
+    storage maxima. *)
+
+val canonical_decisions : world -> decision list -> string list
+(** The decisions' stable names under the same canonical ticket naming
+    as {!exploration_key}, so decision sets can be compared across
+    differently-numbered worlds that share a key (sleep sets in a
+    stateful search). *)
+
+(** {2 Decision serialisation}
+
+    A stable one-line text form (["deliver 3"], ["step 1"],
+    ["crash-obj 2"], ["crash-client 0"], ["halt"]) so shrunk
+    counterexample traces can be printed, stored, and replayed through
+    [spacebounds explore --replay]. *)
+
+val decision_to_string : decision -> string
+val decision_of_string : string -> (decision, string) result
+val pp_decision : Format.formatter -> decision -> unit

@@ -1,12 +1,82 @@
 open History
 
-type verdict = Ok | Violation of string
+(* ------------------------------------------------------------------ *)
+(* Structured counterexamples                                          *)
+(* ------------------------------------------------------------------ *)
+
+type reason =
+  | Bottom_read
+  | Unwritten_value
+  | Ambiguous_value
+  | Stale_initial of { completed_write : int }
+  | Future_write of { write : int }
+  | Intervening_write of { returned : int; between : int }
+  | Order_cycle of int list
+  | Not_linearizable
+
+type counterexample = {
+  cx_read : int option;
+  cx_reason : reason;
+  cx_order : int list;
+  cx_edge : (int * int) option;
+}
+
+type verdict = Ok | Violation of counterexample
+
+let node_name n = if n = 0 then "w0(v0)" else Printf.sprintf "op%d" n
+
+let reason_to_string ~read reason =
+  let rd = match read with Some r -> Printf.sprintf "read op%d" r | None -> "history" in
+  match reason with
+  | Bottom_read -> Printf.sprintf "%s returned bottom" rd
+  | Unwritten_value -> Printf.sprintf "%s returned a value never written" rd
+  | Ambiguous_value ->
+    Printf.sprintf "%s returned a value written more than once; use distinct values" rd
+  | Stale_initial { completed_write } ->
+    Printf.sprintf "%s returned v0 but write op%d completed before it" rd completed_write
+  | Future_write { write } ->
+    Printf.sprintf "%s returned the value of write op%d invoked after it" rd write
+  | Intervening_write { returned; between } ->
+    Printf.sprintf "%s returned write op%d, but write op%d fits between them" rd
+      returned between
+  | Order_cycle cycle ->
+    Printf.sprintf "no single write order satisfies all reads (cycle %s)"
+      (String.concat " -> " (List.map node_name cycle))
+  | Not_linearizable -> "history is not linearizable"
+
+let to_string cx =
+  let base = reason_to_string ~read:cx.cx_read cx.cx_reason in
+  let order =
+    match cx.cx_order with
+    | [] -> ""
+    | o ->
+      Printf.sprintf "; candidate write order: %s"
+        (String.concat " < " (List.map node_name o))
+  in
+  let edge =
+    match cx.cx_edge with
+    | None -> ""
+    | Some (u, v) ->
+      Printf.sprintf "; violated constraint: %s must precede %s" (node_name u)
+        (node_name v)
+  in
+  base ^ order ^ edge
+
+let pp_counterexample ppf cx = Format.pp_print_string ppf (to_string cx)
 
 let pp_verdict ppf = function
   | Ok -> Format.fprintf ppf "ok"
-  | Violation msg -> Format.fprintf ppf "violation: %s" msg
+  | Violation cx -> Format.fprintf ppf "violation: %s" (to_string cx)
 
-let violationf fmt = Format.kasprintf (fun msg -> Violation msg) fmt
+let mk ?read ?(order = []) ?edge reason =
+  Violation { cx_read = read; cx_reason = reason; cx_order = order; cx_edge = edge }
+
+(* A candidate write order for counterexample reports: invocation order,
+   which extends real-time precedence among the completed writes. *)
+let invocation_order h =
+  0
+  :: (List.sort (fun a b -> compare a.w_inv b.w_inv) h.writes
+     |> List.map (fun w -> w.w_op))
 
 (* The write (if any) a returned read should be attributed to.  [`Initial]
    is the virtual write of v0.  Ambiguous attribution (the same value
@@ -14,18 +84,12 @@ let violationf fmt = Format.kasprintf (fun msg -> Violation msg) fmt
    real write when one exists uniquely. *)
 let attribute h (r : read) =
   match r.result with
-  | None -> Error (Printf.sprintf "read op%d returned bottom" r.r_op)
+  | None -> Error Bottom_read
   | Some v -> (
     match List.filter (fun w -> Bytes.equal w.value v) h.writes with
     | [ w ] -> Stdlib.Ok (`Write w)
-    | [] ->
-      if Bytes.equal v h.initial then Stdlib.Ok `Initial
-      else Error (Printf.sprintf "read op%d returned a value never written" r.r_op)
-    | _ :: _ :: _ ->
-      Error
-        (Printf.sprintf
-           "read op%d returned a value written more than once; use distinct values"
-           r.r_op))
+    | [] -> if Bytes.equal v h.initial then Stdlib.Ok `Initial else Error Unwritten_value
+    | _ :: _ :: _ -> Error Ambiguous_value)
 
 (* Writes that completed before [r] was invoked. *)
 let writes_before h (r : read) =
@@ -36,18 +100,18 @@ let writes_before h (r : read) =
 (* ------------------------------------------------------------------ *)
 
 let check_read_weak h (r : read) =
+  let order = invocation_order h in
   match attribute h r with
-  | Error msg -> Violation msg
+  | Error reason -> mk ~read:r.r_op reason
   | Stdlib.Ok `Initial ->
     (match writes_before h r with
      | [] -> Ok
      | w :: _ ->
-       violationf "read op%d returned v0 but write op%d completed before it" r.r_op
-         w.w_op)
+       mk ~read:r.r_op ~order ~edge:(w.w_op, 0)
+         (Stale_initial { completed_write = w.w_op }))
   | Stdlib.Ok (`Write w) ->
     if precedes r.r_ret w.w_inv then
-      violationf "read op%d returned the value of write op%d invoked after it"
-        r.r_op w.w_op
+      mk ~read:r.r_op ~order (Future_write { write = w.w_op })
     else (
       (* No write may fit entirely between w and the read. *)
       match
@@ -56,9 +120,8 @@ let check_read_weak h (r : read) =
           h.writes
       with
       | Some w' ->
-        violationf
-          "read op%d returned write op%d, but write op%d fits between them"
-          r.r_op w.w_op w'.w_op
+        mk ~read:r.r_op ~order ~edge:(w'.w_op, w.w_op)
+          (Intervening_write { returned = w.w_op; between = w'.w_op })
       | None -> Ok)
 
 let check_weak h =
@@ -81,23 +144,30 @@ module Graph = struct
     let cur = Option.value ~default:[] (Hashtbl.find_opt g.edges u) in
     if not (List.mem v cur) then Hashtbl.replace g.edges u (v :: cur)
 
-  (* Returns a node on a cycle, if one exists. *)
+  (* Returns the node path of a cycle ([u; ...; u]), if one exists. *)
   let find_cycle g =
     let state = Hashtbl.create 16 in
     (* 0 = in progress, 1 = done *)
     let cycle = ref None in
-    let rec visit u =
+    let rec visit stack u =
       match Hashtbl.find_opt state u with
-      | Some 0 -> cycle := Some u
+      | Some 0 ->
+        (* [u] is on the DFS stack: the cycle is the stack segment from
+           the previous occurrence of [u] down to here. *)
+        let rec take acc = function
+          | [] -> acc
+          | v :: rest -> if v = u then v :: acc else take (v :: acc) rest
+        in
+        cycle := Some (take [ u ] stack)
       | Some _ -> ()
       | None ->
         Hashtbl.replace state u 0;
         List.iter
-          (fun v -> if !cycle = None then visit v)
+          (fun v -> if !cycle = None then visit (u :: stack) v)
           (Option.value ~default:[] (Hashtbl.find_opt g.edges u));
         Hashtbl.replace state u 1
     in
-    List.iter (fun u -> if !cycle = None then visit u) g.nodes;
+    List.iter (fun u -> if !cycle = None then visit [] u) g.nodes;
     !cycle
 end
 
@@ -120,14 +190,14 @@ let strong_constraints h ~only_quiescent_reads =
   in
   let constrain_read (r : read) =
     match attribute h r with
-    | Error msg -> Some (Violation msg)
+    | Error reason -> Some (mk ~read:r.r_op reason)
     | Stdlib.Ok target ->
       let target_node = match target with `Initial -> 0 | `Write w -> w.w_op in
       (match target with
        | `Write w when precedes r.r_ret w.w_inv ->
          Some
-           (violationf "read op%d returned the value of write op%d invoked after it"
-              r.r_op w.w_op)
+           (mk ~read:r.r_op ~order:(invocation_order h)
+              (Future_write { write = w.w_op }))
        | _ ->
          (* Every write completed before the read must not come after the
             returned write in the common order. *)
@@ -152,9 +222,9 @@ let check_with_graph h ~only_quiescent_reads =
   | v :: _ -> v
   | [] -> (
     match Graph.find_cycle g with
-    | Some node ->
-      violationf
-        "no single write order satisfies all reads (cycle through write op%d)" node
+    | Some cycle ->
+      let edge = match cycle with u :: v :: _ -> Some (u, v) | _ -> None in
+      mk ?edge (Order_cycle cycle)
     | None -> Ok)
 
 let check_strong h = check_with_graph h ~only_quiescent_reads:false
@@ -166,7 +236,7 @@ let check_safe h =
     List.find_opt (fun r -> r.result = None) (completed_reads h)
   in
   match bottom with
-  | Some r -> violationf "read op%d returned bottom" r.r_op
+  | Some r -> mk ~read:r.r_op Bottom_read
   | None -> check_with_graph h ~only_quiescent_reads:true
 
 (* ------------------------------------------------------------------ *)
@@ -236,7 +306,7 @@ let check_atomic h =
   match
     List.find_opt (fun r -> r.r_ret <> None && r.result = None) h.reads
   with
-  | Some r -> violationf "read op%d returned bottom" r.r_op
+  | Some r -> mk ~read:r.r_op Bottom_read
   | None ->
     if search ((1 lsl count) - 1) 0 then Ok
-    else Violation "history is not linearizable"
+    else mk ~order:(invocation_order h) Not_linearizable

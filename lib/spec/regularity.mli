@@ -24,10 +24,49 @@
 
     The checkers are exact: they search for the required write order by
     topologically sorting the constraint graph induced by real-time
-    precedence and by each read's return value, and report a
-    counterexample description on failure. *)
+    precedence and by each read's return value, and report a structured
+    {!counterexample} on failure — machine-readable so that the model
+    checker in [Sb_modelcheck] can shrink failing schedules and tests can
+    assert the exact failure mode, not just its message. *)
 
-type verdict = Ok | Violation of string
+(** Why a history fails a consistency condition.  Write operations are
+    named by op id; [0] is the virtual initial write of [v0]. *)
+type reason =
+  | Bottom_read  (** A completed read returned ⊥. *)
+  | Unwritten_value  (** The returned value matches no write and is not [v0]. *)
+  | Ambiguous_value
+      (** The returned value was written more than once, so attribution —
+          and hence checking — is impossible; use distinct values. *)
+  | Stale_initial of { completed_write : int }
+      (** The read returned [v0] although [completed_write] finished
+          before the read was invoked. *)
+  | Future_write of { write : int }
+      (** The read returned the value of a write invoked only after the
+          read had already returned. *)
+  | Intervening_write of { returned : int; between : int }
+      (** The read returned [returned], but [between] begins after
+          [returned] completes and completes before the read begins — no
+          linearization can order the read after [returned]. *)
+  | Order_cycle of int list
+      (** No single write order serves all reads: the constraint graph
+          (real-time precedence + per-read ordering demands) has this
+          cycle, given as a node path [u; ...; u]. *)
+  | Not_linearizable  (** Wing–Gong search exhausted (atomicity only). *)
+
+type counterexample = {
+  cx_read : int option;
+      (** The offending read's op id, when the failure is tied to one read. *)
+  cx_reason : reason;
+  cx_order : int list;
+      (** A candidate write order (op ids, [0] first) that the checker
+          tried — invocation order, which extends real-time precedence —
+          empty when no single order is even a candidate. *)
+  cx_edge : (int * int) option;
+      (** The violated constraint edge [(u, v)]: the history requires [u]
+          to precede [v] in the common write order, but it cannot. *)
+}
+
+type verdict = Ok | Violation of counterexample
 
 val check_weak : History.t -> verdict
 (** MWRegWeak: each returned read is checked independently. *)
@@ -44,4 +83,8 @@ val check_atomic : History.t -> verdict
     regular but not atomic — but the checker is useful for documenting
     {e why} (new/old inversions show up as violations). *)
 
+val to_string : counterexample -> string
+(** One-line rendering: reason, candidate order, violated edge. *)
+
+val pp_counterexample : Format.formatter -> counterexample -> unit
 val pp_verdict : Format.formatter -> verdict -> unit

@@ -105,7 +105,8 @@ let test_consistency_check () =
     (fun (key, verdict) ->
       match verdict with
       | Sb_spec.Regularity.Ok -> ()
-      | Sb_spec.Regularity.Violation msg -> Alcotest.failf "%s: %s" key msg)
+      | Sb_spec.Regularity.Violation cx ->
+        Alcotest.failf "%s: %s" key (Sb_spec.Regularity.to_string cx))
     (Store.check_consistency s)
 
 let test_atomic_store () =
@@ -116,7 +117,8 @@ let test_atomic_store () =
     (fun (key, verdict) ->
       match verdict with
       | Sb_spec.Regularity.Ok -> ()
-      | Sb_spec.Regularity.Violation msg -> Alcotest.failf "%s: %s" key msg)
+      | Sb_spec.Regularity.Violation cx ->
+        Alcotest.failf "%s: %s" key (Sb_spec.Regularity.to_string cx))
     (Store.check_consistency s)
 
 let test_safe_store () =

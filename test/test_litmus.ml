@@ -1,0 +1,343 @@
+(* Exhaustive litmus tests, dejafu-style: tiny fixed workloads explored
+   over EVERY schedule, asserting the exact set of values a racing read
+   can return at each consistency level.
+
+   Each scenario is writers racing a single reader on a fresh register
+   (initial value v0).  The explorer enumerates all schedules (sleep-set
+   DPOR, exhaustive bound), every history is machine-checked against the
+   consistency level its algorithm promises, and the on_history hook
+   collects two sets of read outcomes:
+
+   - [all]: values the read returned in any schedule;
+   - [after_write]: values returned in schedules where some write had
+     already completed before the read was invoked.
+
+   The second set is where the hierarchy becomes visible: a regular
+   register must not return v0 once any write has completed, while the
+   safe register (k >= 2) may — a concurrent write can scatter the
+   timestamps a read samples so that no value has k matching pieces
+   (Algorithm 5, line 18 falls back to v0).
+
+   Every test also re-runs the scenario without DPOR, capped at twice
+   the DPOR schedule count, and asserts the cap is hit: sleep sets prune
+   at least half the naive schedule space (in practice, orders of
+   magnitude more). *)
+
+module R = Sb_sim.Runtime
+module E = Sb_modelcheck.Explore
+module H = Sb_spec.History
+module Reg = Sb_spec.Regularity
+module Common = Sb_registers.Common
+module Codec = Sb_codec.Codec
+module Trace = Sb_sim.Trace
+
+let value_bytes = 2
+let v0 = Bytes.make value_bytes '\000'
+let v1 = Sb_util.Values.distinct ~value_bytes 1
+let v2 = Sb_util.Values.distinct ~value_bytes 2
+
+let tag = function
+  | None -> "none"
+  | Some b ->
+    if Bytes.equal b v0 then "v0"
+    else if Bytes.equal b v1 then "v1"
+    else if Bytes.equal b v2 then "v2"
+    else "other"
+
+module SS = Set.Make (String)
+
+let set_to_string s = "{" ^ String.concat "," (SS.elements s) ^ "}"
+
+let check_set name expected actual =
+  if not (SS.equal expected actual) then
+    Alcotest.failf "%s: expected %s, got %s" name (set_to_string expected)
+      (set_to_string actual)
+
+(* ------------------------------------------------------------------ *)
+(* Algorithms under test                                               *)
+(* ------------------------------------------------------------------ *)
+
+type algo = {
+  a_name : string;
+  a_alg : R.algorithm;
+  a_n : int;
+  a_f : int;
+  a_level : string;
+  a_check : H.t -> Reg.verdict;
+}
+
+let abd () =
+  let n = 3 and f = 1 in
+  let cfg = { Common.n; f; codec = Codec.replication ~value_bytes ~n } in
+  {
+    a_name = "abd";
+    a_alg = Sb_registers.Abd.make cfg;
+    a_n = n;
+    a_f = f;
+    a_level = "strong regularity";
+    a_check = Reg.check_strong;
+  }
+
+let abd_atomic () =
+  let n = 3 and f = 1 in
+  let cfg = { Common.n; f; codec = Codec.replication ~value_bytes ~n } in
+  {
+    a_name = "abd-atomic";
+    a_alg = Sb_registers.Abd_atomic.make cfg;
+    a_n = n;
+    a_f = f;
+    a_level = "atomicity";
+    a_check = Reg.check_atomic;
+  }
+
+let adaptive () =
+  let n = 3 and f = 1 in
+  let cfg = { Common.n; f; codec = Codec.rs_vandermonde ~value_bytes ~k:1 ~n } in
+  {
+    a_name = "adaptive";
+    a_alg = Sb_registers.Adaptive.make cfg;
+    a_n = n;
+    a_f = f;
+    a_level = "strong regularity";
+    a_check = Reg.check_strong;
+  }
+
+let safe_register () =
+  (* k = 2 so that pieces must be assembled: that is what lets a read
+     concurrent with one write miss a quorum of matching pieces and fall
+     back to v0 even though an earlier write completed. *)
+  let n = 4 and f = 1 in
+  let cfg = { Common.n; f; codec = Codec.rs_vandermonde ~value_bytes ~k:2 ~n } in
+  {
+    a_name = "safe";
+    a_alg = Sb_registers.Safe_register.make cfg;
+    a_n = n;
+    a_f = f;
+    a_level = "strong safety";
+    a_check = Reg.check_safe;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* The litmus harness                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type outcome = {
+  o_all : SS.t;  (** Read results over every explored schedule. *)
+  o_after_write : SS.t;
+      (** Read results in schedules where some write completed before
+          the read was invoked. *)
+}
+
+let explore_litmus ?(crash_objs = 0) ?(crash_clients = 0) ?(lint = false)
+    ?(assert_dpor = true) (a : algo) workload =
+  let all = ref SS.empty and after_write = ref SS.empty in
+  let on_history _decisions (h : H.t) =
+    List.iter
+      (fun (rd : H.read) ->
+        let t = tag rd.H.result in
+        all := SS.add t !all;
+        let some_write_completed =
+          List.exists (fun (wr : H.write) -> H.precedes wr.H.w_ret rd.H.r_inv)
+            h.H.writes
+        in
+        if some_write_completed then after_write := SS.add t !after_write)
+      (H.completed_reads h)
+  in
+  let cfg =
+    E.config ~crash_objs ~crash_clients ~lint ~on_history ~algorithm:a.a_alg
+      ~n:a.a_n ~f:a.a_f ~workload ~initial:v0 ~check:a.a_check ()
+  in
+  let out = E.explore cfg in
+  Alcotest.(check bool)
+    (a.a_name ^ ": exploration ran to completion")
+    true out.E.complete;
+  Alcotest.(check int)
+    (Printf.sprintf "%s: no %s violations" a.a_name a.a_level)
+    0 out.E.stats.E.violations;
+  Alcotest.(check int)
+    (a.a_name ^ ": no lint failures")
+    0 out.E.stats.E.lint_failures;
+  (* DPOR must prune at least half the schedule space: the naive search,
+     capped at twice the DPOR schedule count, has to hit the cap.
+     (Asserted on the small configurations only — re-running the naive
+     search on the large ones would dominate the suite's runtime; their
+     reduction ratios are measured in EXPERIMENTS.md instead.) *)
+  let dpor_n = out.E.stats.E.schedules in
+  if assert_dpor then begin
+    let naive_cfg =
+      {
+        cfg with
+        E.dpor = false;
+        lint = false;
+        on_history = None;
+        max_schedules = (2 * dpor_n) + 1;
+      }
+    in
+    let naive = E.explore naive_cfg in
+    if naive.E.complete || naive.E.stats.E.schedules < (2 * dpor_n) + 1 then
+      Alcotest.failf "%s: naive exploration finished %d schedules; expected > %d"
+        a.a_name naive.E.stats.E.schedules (2 * dpor_n)
+  end;
+  ignore dpor_n;
+  { o_all = !all; o_after_write = !after_write }
+
+let one_writer = [| [ Trace.Write v1 ]; [ Trace.Read ] |]
+let two_writers = [| [ Trace.Write v1 ]; [ Trace.Write v2 ]; [ Trace.Read ] |]
+
+let ss = SS.of_list
+
+(* ------------------------------------------------------------------ *)
+(* One writer racing one reader                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* The read either catches the write or it does not: {v0, v1} overall,
+   exactly {v1} once the write has completed (any weaker behaviour at
+   one of the regular levels is a bug the explorer would also flag). *)
+let test_one_writer (mk : unit -> algo) () =
+  let a = mk () in
+  let o = explore_litmus ~lint:true a one_writer in
+  check_set (a.a_name ^ ": all results") (ss [ "v0"; "v1" ]) o.o_all;
+  check_set
+    (a.a_name ^ ": after the write completed")
+    (ss [ "v1" ]) o.o_after_write
+
+(* ------------------------------------------------------------------ *)
+(* Two writers racing one reader                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Regular and atomic registers: any of the three values while nothing
+   completed, never v0 afterwards.  Exhaustive two-writer exploration is
+   only tractable for abd (431k trace classes, ~20 s; the other
+   algorithms run to millions — see EXPERIMENTS.md), so abd carries the
+   two-writer litmus and the others are pinned at one writer above. *)
+let test_two_writers_regular (mk : unit -> algo) () =
+  let a = mk () in
+  let o = explore_litmus ~assert_dpor:false a two_writers in
+  check_set (a.a_name ^ ": all results") (ss [ "v0"; "v1"; "v2" ]) o.o_all;
+  check_set
+    (a.a_name ^ ": after a write completed")
+    (ss [ "v1"; "v2" ]) o.o_after_write
+
+(* The safe register is genuinely weaker than regular, and one schedule
+   proves it.  Drive the simulator through an explicit witness run:
+   writer 1 completes (pieces of v1 on objects 0-2), writer 2's update
+   round partially lands (timestamp-2 pieces on objects 0-1), and the
+   reader then samples objects 1, 2 and 3 — three pieces with three
+   different timestamps, no k = 2 of any value.  Algorithm 5 line 18
+   falls back to v0 even though writer 1's write is long complete:
+   strong safety accepts the history (the read is concurrent with
+   writer 2), strong regularity rejects it with a structured
+   Stale_initial counterexample. *)
+let test_safe_weaker_than_regular () =
+  let a = safe_register () in
+  let w = R.create ~algorithm:a.a_alg ~n:a.a_n ~f:a.a_f ~workload:two_writers () in
+  let stp c = ignore (R.step w (R.Step c)) in
+  let dlv ~client ~obj =
+    match
+      List.find_opt
+        (fun (p : R.pending_info) -> p.R.p_client = client && p.R.p_obj = obj)
+        (R.deliverable w)
+    with
+    | Some p -> ignore (R.step w (R.Deliver p.R.ticket))
+    | None -> Alcotest.failf "no deliverable RMW of client %d on object %d" client obj
+  in
+  (* Writer 1 (client 0): both rounds reach objects 0-2; write returns. *)
+  stp 0;
+  List.iter (fun o -> dlv ~client:0 ~obj:o) [ 0; 1; 2 ];
+  stp 0;
+  List.iter (fun o -> dlv ~client:0 ~obj:o) [ 0; 1; 2 ];
+  stp 0;
+  (* Writer 2 (client 1): timestamp round completes; the update round
+     reaches only objects 0 and 1 (the write stays outstanding). *)
+  stp 1;
+  List.iter (fun o -> dlv ~client:1 ~obj:o) [ 0; 1; 2 ];
+  stp 1;
+  List.iter (fun o -> dlv ~client:1 ~obj:o) [ 0; 1 ];
+  (* Reader (client 2), invoked after writer 1 completed, samples
+     objects 1 (ts 2), 2 (ts 1) and 3 (ts 0): nothing is decodable. *)
+  stp 2;
+  List.iter (fun o -> dlv ~client:2 ~obj:o) [ 1; 2; 3 ];
+  stp 2;
+  let h = Sb_spec.History.of_trace ~initial:v0 (R.trace w) in
+  (match H.completed_reads h with
+   | [ rd ] ->
+     Alcotest.(check string) "the read returned v0" "v0" (tag rd.H.result)
+   | rds -> Alcotest.failf "expected one completed read, got %d" (List.length rds));
+  (match a.a_check h with
+   | Reg.Ok -> ()
+   | Reg.Violation cx ->
+     Alcotest.failf "strong safety rejected the witness: %s" (Reg.to_string cx));
+  (match Reg.check_weak h with
+   | Reg.Ok -> Alcotest.fail "weak regularity accepted a stale-v0 read"
+   | Reg.Violation cx ->
+     (match cx.Reg.cx_reason with
+      | Reg.Stale_initial _ -> ()
+      | _ ->
+        Alcotest.failf "expected a Stale_initial counterexample, got %s"
+          (Reg.to_string cx)));
+  match Reg.check_strong h with
+  | Reg.Ok -> Alcotest.fail "strong regularity accepted a stale-v0 read"
+  | Reg.Violation _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Crashes                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* One base object may crash (f = 1): operations still terminate via
+   the surviving quorum and the permitted sets are unchanged. *)
+let test_crash_object (mk : unit -> algo) () =
+  let a = mk () in
+  let o = explore_litmus ~crash_objs:1 a one_writer in
+  check_set (a.a_name ^ ": all results") (ss [ "v0"; "v1" ]) o.o_all;
+  check_set
+    (a.a_name ^ ": after the write completed")
+    (ss [ "v1" ]) o.o_after_write
+
+(* The writer itself may crash mid-write: the write then stays
+   incomplete (concurrent with everything after it), so v0 remains
+   permitted at every level and the after-write set is unchanged for
+   schedules where the write did complete. *)
+let test_crash_client (mk : unit -> algo) () =
+  let a = mk () in
+  let o = explore_litmus ~crash_clients:1 a one_writer in
+  check_set (a.a_name ^ ": all results") (ss [ "v0"; "v1" ]) o.o_all;
+  check_set
+    (a.a_name ^ ": after the write completed")
+    (ss [ "v1" ]) o.o_after_write
+
+(* Two writers, one reader, one object crash — the flagship bounded
+   configuration: every schedule of the full litmus with a failure is
+   enumerated and checked. *)
+let test_two_writers_crash_abd () =
+  let a = abd () in
+  let o = explore_litmus ~assert_dpor:false ~crash_objs:1 a two_writers in
+  check_set (a.a_name ^ ": all results") (ss [ "v0"; "v1"; "v2" ]) o.o_all;
+  check_set
+    (a.a_name ^ ": after a write completed")
+    (ss [ "v1"; "v2" ]) o.o_after_write
+
+let () =
+  Alcotest.run "litmus"
+    [
+      ( "one-writer",
+        [
+          Alcotest.test_case "abd" `Quick (test_one_writer abd);
+          Alcotest.test_case "abd-atomic" `Quick (test_one_writer abd_atomic);
+          Alcotest.test_case "adaptive" `Quick (test_one_writer adaptive);
+          Alcotest.test_case "safe k=2" `Quick (test_one_writer safe_register);
+        ] );
+      ( "two-writers",
+        [
+          Alcotest.test_case "abd" `Slow (test_two_writers_regular abd);
+          Alcotest.test_case "safe weaker than regular" `Quick
+            test_safe_weaker_than_regular;
+        ] );
+      ( "crashes",
+        [
+          Alcotest.test_case "abd, object crash" `Quick (test_crash_object abd);
+          Alcotest.test_case "abd, writer crash" `Quick (test_crash_client abd);
+          Alcotest.test_case "adaptive, object crash" `Quick
+            (test_crash_object adaptive);
+          Alcotest.test_case "abd 2w+crash" `Slow test_two_writers_crash_abd;
+        ] );
+    ]

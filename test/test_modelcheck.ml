@@ -189,9 +189,153 @@ let test_storage_envelope =
       let piece = Codec.block_bits cfg.codec 0 in
       R.max_bits_objects w <= n * 2 * k * piece)
 
+(* --- Systematic exploration (Sb_modelcheck) ------------------------ *)
+
+module E = Sb_modelcheck.Explore
+module Shrink = Sb_modelcheck.Shrink
+module Reg = Sb_spec.Regularity
+
+let explore_config ?(mk = Sb_registers.Abd.make) ?(check = Reg.check_strong)
+    ?dpor ?cache ?lint ?on_history ?stop_on_violation ?max_schedules workload =
+  let value_bytes = 8 in
+  let n = 3 and f = 1 in
+  let cfg = { Common.n; f; codec = Codec.replication ~value_bytes ~n } in
+  E.config ?dpor ?cache ?lint ?on_history ?stop_on_violation ?max_schedules
+    ~algorithm:(mk cfg) ~n ~f ~workload
+    ~initial:(Bytes.make value_bytes '\000') ~check ()
+
+let small_workload =
+  let v i = Sb_util.Values.distinct ~value_bytes:8 i in
+  [| [ Trace.Write (v 1) ]; [ Trace.Write (v 2) ]; [ Trace.Read ] |]
+
+(* The seeded bug: a write quorum one short of intersecting the read
+   quorum.  Exploration must find a strong-regularity violation, the
+   shrinker must cut it down to a short trace, and the shrunk trace must
+   still violate when replayed from scratch. *)
+let test_broken_abd_shrinks () =
+  let cfg =
+    explore_config ~mk:(Sb_registers.Abd.make_broken ~quorum_slack:1)
+      small_workload
+  in
+  let out = E.explore cfg in
+  match out.E.first_violation with
+  | None -> Alcotest.fail "broken ABD survived exhaustive exploration"
+  | Some v ->
+    Alcotest.(check bool) "outcome counted the violation" true
+      (out.E.stats.E.violations >= 1);
+    let shrunk = Shrink.shrink cfg v.E.v_decisions in
+    Alcotest.(check bool) "shrunk trace is no longer than the original" true
+      (List.length shrunk <= List.length v.E.v_decisions);
+    Alcotest.(check bool)
+      (Printf.sprintf "shrunk to at most 15 decisions (got %d)"
+         (List.length shrunk))
+      true
+      (List.length shrunk <= 15);
+    (match Shrink.check_decisions cfg shrunk with
+     | None -> Alcotest.fail "shrunk trace no longer violates on replay"
+     | Some (cx, h) ->
+       Alcotest.(check bool) "counterexample carries a reason" true
+         (String.length (Reg.to_string cx) > 0);
+       Alcotest.(check bool) "replayed history has a completed read" true
+         (Sb_spec.History.completed_reads h <> []));
+    (* Local minimality: deleting any single decision loses the bug. *)
+    List.iteri
+      (fun i _ ->
+        let without =
+          List.filteri (fun j _ -> j <> i) shrunk
+        in
+        match Shrink.check_decisions cfg without with
+        | None -> ()
+        | Some _ ->
+          Alcotest.failf "deleting decision %d still violates: not minimal" i)
+      shrunk
+
+(* DPOR is a pruning, not an approximation.  The reduced search is run
+   to completion (cheap); the naive search is capped at ten times the
+   reduced count and must hit the cap — a witnessed >=10x reduction —
+   while every read value it observed is one the reduced search also
+   reaches.  (Running naive enumeration to completion here would mean
+   ~10M schedules; the exhaustive value-set agreement is covered per
+   algorithm in test_litmus.ml.) *)
+let test_dpor_beats_naive () =
+  let workload =
+    let v i = Sb_util.Values.distinct ~value_bytes:8 i in
+    [| [ Trace.Write (v 1) ]; [ Trace.Read ] |]
+  in
+  let run ~dpor ~max_schedules =
+    let values = ref [] in
+    let on_history _ h =
+      List.iter
+        (fun rd ->
+          match rd.Sb_spec.History.result with
+          | Some v when not (List.mem v !values) -> values := v :: !values
+          | _ -> ())
+        (Sb_spec.History.completed_reads h)
+    in
+    let out = E.explore (explore_config ~dpor ~on_history ~max_schedules workload) in
+    Alcotest.(check int) "no violations" 0 out.E.stats.E.violations;
+    (out, List.sort compare !values)
+  in
+  let reduced, vals_dpor = run ~dpor:true ~max_schedules:0 in
+  Alcotest.(check bool) "reduced search completed" true reduced.E.complete;
+  let cap = 10 * reduced.E.stats.E.schedules in
+  let naive, vals_naive = run ~dpor:false ~max_schedules:cap in
+  Alcotest.(check bool)
+    (Printf.sprintf "naive enumeration exceeds 10x the reduced count (%d)"
+       reduced.E.stats.E.schedules)
+    true
+    ((not naive.E.complete) && naive.E.stats.E.schedules >= cap);
+  List.iter
+    (fun v ->
+      Alcotest.(check bool) "naive-observed value also seen by DPOR" true
+        (List.mem v vals_dpor))
+    vals_naive
+
+(* State caching must not change any verdict, only the amount of work. *)
+let test_cache_agrees () =
+  let workload =
+    let v i = Sb_util.Values.distinct ~value_bytes:8 i in
+    [| [ Trace.Write (v 1) ]; [ Trace.Read ] |]
+  in
+  let run ~cache =
+    let out = E.explore (explore_config ~cache workload) in
+    Alcotest.(check bool) "exploration completed" true out.E.complete;
+    (out.E.stats.E.schedules, out.E.stats.E.violations)
+  in
+  let with_cache, viol_cache = run ~cache:true in
+  let without, viol_plain = run ~cache:false in
+  Alcotest.(check int) "no violations either way" viol_plain viol_cache;
+  Alcotest.(check bool)
+    (Printf.sprintf "cache never increases schedules (%d vs %d)" with_cache
+       without)
+    true
+    (with_cache <= without)
+
+(* The determinism lint re-executes every schedule from its decision
+   trace; a deterministic protocol must never diverge. *)
+let test_lint_clean () =
+  let out =
+    E.explore (explore_config ~lint:true ~stop_on_violation:false
+                 [| [ Trace.Write (Sb_util.Values.distinct ~value_bytes:8 1) ];
+                    [ Trace.Read ] |])
+  in
+  Alcotest.(check bool) "exploration completed" true out.E.complete;
+  Alcotest.(check int) "no lint failures" 0 out.E.stats.E.lint_failures;
+  Alcotest.(check int) "no violations" 0 out.E.stats.E.violations
+
 let () =
   Alcotest.run "modelcheck"
     [
       ( "random-scenarios",
         [ test_shared_memory; test_message_passing; test_storage_envelope ] );
+      ( "systematic",
+        [
+          Alcotest.test_case "broken ABD: violation found and shrunk" `Quick
+            test_broken_abd_shrinks;
+          Alcotest.test_case "DPOR beats naive enumeration tenfold" `Quick
+            test_dpor_beats_naive;
+          Alcotest.test_case "state cache agrees with plain search" `Quick
+            test_cache_agrees;
+          Alcotest.test_case "determinism lint is clean" `Quick test_lint_clean;
+        ] );
     ]

@@ -19,7 +19,8 @@ let check name verdict expected_ok =
   match (verdict, expected_ok) with
   | Reg.Ok, true | Reg.Violation _, false -> ()
   | Reg.Ok, false -> Alcotest.failf "%s: expected a violation, got ok" name
-  | Reg.Violation msg, true -> Alcotest.failf "%s: unexpected violation: %s" name msg
+  | Reg.Violation cx, true ->
+    Alcotest.failf "%s: unexpected violation: %s" name (Reg.to_string cx)
 
 (* ------------------------------------------------------------------ *)
 (* Weak regularity                                                     *)
@@ -340,6 +341,182 @@ let test_precedes () =
   Alcotest.(check bool) "outstanding never precedes" false (H.precedes None 100)
 
 (* ------------------------------------------------------------------ *)
+(* Counterexample structure                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* The checkers return machine-readable counterexamples (the shrinker
+   and the litmus tests dispatch on them); pin down the exact payloads,
+   not just ok/violation, for one known-violating history per checker
+   and per reason constructor. *)
+
+let violation name verdict =
+  match verdict with
+  | Reg.Violation cx -> cx
+  | Reg.Ok -> Alcotest.failf "%s: expected a violation, got ok" name
+
+let test_cx_weak_stale_initial () =
+  let cx =
+    violation "stale v0"
+      (Reg.check_weak
+         (history
+            ~writes:[ w 1 ~inv:0 ~ret:(Some 10) (va 1) ]
+            ~reads:[ r 2 ~inv:20 ~ret:(Some 30) (Some v0) ]))
+  in
+  Alcotest.(check (option int)) "offending read" (Some 2) cx.Reg.cx_read;
+  (match cx.Reg.cx_reason with
+   | Reg.Stale_initial { completed_write } ->
+     Alcotest.(check int) "completed write blamed" 1 completed_write
+   | _ -> Alcotest.failf "wrong reason: %s" (Reg.to_string cx));
+  (* The violated edge orders the real write after the virtual initial
+     write 0 — impossible, since 0 is first in every candidate order. *)
+  Alcotest.(check (option (pair int int))) "violated edge" (Some (1, 0))
+    cx.Reg.cx_edge
+
+let test_cx_weak_future_write () =
+  let cx =
+    violation "future write"
+      (Reg.check_weak
+         (history
+            ~writes:[ w 1 ~inv:40 ~ret:(Some 50) (va 1) ]
+            ~reads:[ r 2 ~inv:0 ~ret:(Some 10) (Some (va 1)) ]))
+  in
+  Alcotest.(check (option int)) "offending read" (Some 2) cx.Reg.cx_read;
+  match cx.Reg.cx_reason with
+  | Reg.Future_write { write } -> Alcotest.(check int) "future write" 1 write
+  | _ -> Alcotest.failf "wrong reason: %s" (Reg.to_string cx)
+
+let test_cx_weak_intervening () =
+  let cx =
+    violation "overwritten value"
+      (Reg.check_weak
+         (history
+            ~writes:
+              [ w 1 ~inv:0 ~ret:(Some 10) (va 1); w 2 ~inv:20 ~ret:(Some 30) (va 2) ]
+            ~reads:[ r 3 ~inv:40 ~ret:(Some 50) (Some (va 1)) ]))
+  in
+  Alcotest.(check (option int)) "offending read" (Some 3) cx.Reg.cx_read;
+  match cx.Reg.cx_reason with
+  | Reg.Intervening_write { returned; between } ->
+    Alcotest.(check int) "returned write" 1 returned;
+    Alcotest.(check int) "intervening write" 2 between
+  | _ -> Alcotest.failf "wrong reason: %s" (Reg.to_string cx)
+
+let test_cx_weak_value_attribution () =
+  let bottom =
+    violation "bottom"
+      (Reg.check_weak (history ~writes:[] ~reads:[ r 1 ~inv:0 ~ret:(Some 10) None ]))
+  in
+  Alcotest.(check bool) "bottom reason" true (bottom.Reg.cx_reason = Reg.Bottom_read);
+  Alcotest.(check (option int)) "bottom read" (Some 1) bottom.Reg.cx_read;
+  let unwritten =
+    violation "unwritten"
+      (Reg.check_weak
+         (history ~writes:[] ~reads:[ r 1 ~inv:0 ~ret:(Some 10) (Some (va 9)) ]))
+  in
+  Alcotest.(check bool) "unwritten reason" true
+    (unwritten.Reg.cx_reason = Reg.Unwritten_value);
+  let ambiguous =
+    violation "ambiguous"
+      (Reg.check_weak
+         (history
+            ~writes:[ w 1 ~inv:0 ~ret:(Some 1) (va 1); w 2 ~inv:2 ~ret:(Some 3) (va 1) ]
+            ~reads:[ r 3 ~inv:10 ~ret:(Some 20) (Some (va 1)) ]))
+  in
+  Alcotest.(check bool) "ambiguous reason" true
+    (ambiguous.Reg.cx_reason = Reg.Ambiguous_value);
+  Alcotest.(check (option int)) "ambiguous read" (Some 3) ambiguous.Reg.cx_read
+
+let test_cx_strong_order_cycle () =
+  let cx =
+    violation "inversion"
+      (Reg.check_strong (inversion_history ()))
+  in
+  (match cx.Reg.cx_reason with
+   | Reg.Order_cycle cycle ->
+     (match (cycle, List.rev cycle) with
+      | u :: _, last :: _ -> Alcotest.(check int) "cycle closes" u last
+      | _ -> Alcotest.fail "empty cycle");
+     Alcotest.(check bool) "cycle names both real writes" true
+       (List.mem 1 cycle && List.mem 2 cycle)
+   | _ -> Alcotest.failf "wrong reason: %s" (Reg.to_string cx));
+  (* Not attributable to a single read: two reads disagree. *)
+  Alcotest.(check (option int)) "no single offending read" None cx.Reg.cx_read;
+  Alcotest.(check bool) "a violated constraint edge is reported" true
+    (cx.Reg.cx_edge <> None)
+
+let test_cx_safe_quiescent () =
+  (* check_safe reuses the write-order machinery for quiescent reads:
+     a stale read with no concurrent write yields the same order cycle. *)
+  let cx =
+    violation "safe quiescent"
+      (Reg.check_safe
+         (history
+            ~writes:
+              [ w 1 ~inv:0 ~ret:(Some 10) (va 1); w 2 ~inv:20 ~ret:(Some 30) (va 2) ]
+            ~reads:[ r 3 ~inv:40 ~ret:(Some 50) (Some (va 1)) ]))
+  in
+  (match cx.Reg.cx_reason with
+   | Reg.Order_cycle _ -> ()
+   | _ -> Alcotest.failf "wrong reason: %s" (Reg.to_string cx));
+  let bottom =
+    violation "safe bottom"
+      (Reg.check_safe
+         (history
+            ~writes:[ w 1 ~inv:0 ~ret:(Some 30) (va 1) ]
+            ~reads:[ r 2 ~inv:10 ~ret:(Some 20) None ]))
+  in
+  Alcotest.(check bool) "bottom rejected with Bottom_read" true
+    (bottom.Reg.cx_reason = Reg.Bottom_read)
+
+let test_cx_atomic_not_linearizable () =
+  let cx =
+    violation "atomic inversion"
+      (Reg.check_atomic
+         (history
+            ~writes:
+              [ w 1 ~inv:0 ~ret:(Some 10) (va 1); w 2 ~inv:5 ~ret:(Some 15) (va 2) ]
+            ~reads:
+              [
+                r 3 ~inv:20 ~ret:(Some 25) (Some (va 2));
+                r 4 ~inv:30 ~ret:(Some 35) (Some (va 1));
+              ]))
+  in
+  Alcotest.(check bool) "search exhausted" true
+    (cx.Reg.cx_reason = Reg.Not_linearizable);
+  (* cx_order carries the candidate write order that was tried. *)
+  Alcotest.(check (list int)) "candidate order attempted" [ 0; 1; 2 ]
+    cx.Reg.cx_order
+
+let test_cx_messages_render () =
+  (* Every reported counterexample renders to a non-empty, single-line
+     message (the CLI prints them verbatim). *)
+  List.iter
+    (fun (name, v) ->
+      let cx = violation name v in
+      let s = Reg.to_string cx in
+      Alcotest.(check bool) (name ^ " renders") true (String.length s > 0);
+      Alcotest.(check bool) (name ^ " single line") true
+        (not (String.contains s '\n')))
+    [
+      ( "stale",
+        Reg.check_weak
+          (history
+             ~writes:[ w 1 ~inv:0 ~ret:(Some 10) (va 1) ]
+             ~reads:[ r 2 ~inv:20 ~ret:(Some 30) (Some v0) ]) );
+      ("cycle", Reg.check_strong (inversion_history ()));
+      ( "atomic",
+        Reg.check_atomic
+          (history
+             ~writes:
+               [ w 1 ~inv:0 ~ret:(Some 10) (va 1); w 2 ~inv:5 ~ret:(Some 15) (va 2) ]
+             ~reads:
+               [
+                 r 3 ~inv:20 ~ret:(Some 25) (Some (va 2));
+                 r 4 ~inv:30 ~ret:(Some 35) (Some (va 1));
+               ]) );
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Metamorphic: the consistency hierarchy on random histories          *)
 (* ------------------------------------------------------------------ *)
 
@@ -536,6 +713,19 @@ let () =
           Alcotest.test_case "of_trace" `Quick test_history_of_trace;
           Alcotest.test_case "writer_of" `Quick test_writer_of;
           Alcotest.test_case "precedes" `Quick test_precedes;
+        ] );
+      ( "counterexamples",
+        [
+          Alcotest.test_case "weak: stale initial" `Quick test_cx_weak_stale_initial;
+          Alcotest.test_case "weak: future write" `Quick test_cx_weak_future_write;
+          Alcotest.test_case "weak: intervening write" `Quick test_cx_weak_intervening;
+          Alcotest.test_case "weak: value attribution" `Quick
+            test_cx_weak_value_attribution;
+          Alcotest.test_case "strong: order cycle" `Quick test_cx_strong_order_cycle;
+          Alcotest.test_case "safe: quiescent + bottom" `Quick test_cx_safe_quiescent;
+          Alcotest.test_case "atomic: not linearizable" `Quick
+            test_cx_atomic_not_linearizable;
+          Alcotest.test_case "messages render" `Quick test_cx_messages_render;
         ] );
       ( "hierarchy",
         [
