@@ -6,7 +6,10 @@
    - Bechamel microbenchmarks of the substrates (Galois-field arithmetic,
      codec encode/decode, simulator and adversary step rates).
 
-   Usage: main.exe [tables|micro|all] (default: all). *)
+   plus `sanitize-overhead`: the cost of running with the [Sb_sanitize]
+   monitors attached (EXPERIMENTS.md row M2; exits non-zero past 2.5x).
+
+   Usage: main.exe [tables|micro|sanitize-overhead|all] (default: all). *)
 
 open Bechamel
 open Toolkit
@@ -19,13 +22,16 @@ let ns_per_run results name =
     | Some (e :: _) -> e
     | _ -> nan)
 
-let run_group ~name tests =
+let measure ~name tests =
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
   let raw = Benchmark.all cfg [ Instance.monotonic_clock ] (Test.make_grouped ~name tests) in
   let ols =
     Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
   in
-  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Analyze.all ols Instance.monotonic_clock raw
+
+let run_group ~name tests =
+  let results = measure ~name tests in
   let table =
     Sb_util.Table.create ~title:(Printf.sprintf "B  %s (ns/op)" name)
       [ ("benchmark", Sb_util.Table.Left); ("ns/op", Sb_util.Table.Right) ]
@@ -178,6 +184,98 @@ let collision_tests =
                 ~indices:[ 0; 3; 7; 11 ] ~base)));
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Sanitizer overhead (EXPERIMENTS.md row M2)                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Full simulator runs, bare vs. with every monitor attached (Collect
+   mode, availability monitor on) — the cost of leaving the sanitizers
+   enabled by default in tests.  Reported as ns per simulator step and
+   as the monitored/bare ratio; the budget is < 2.5x. *)
+let sanitize_overhead () =
+  let vb = 64 in
+  let f = 2 and k = 2 in
+  let n = (2 * f) + k in
+  let codec = Sb_codec.Codec.rs_vandermonde ~value_bytes:vb ~k ~n in
+  let cfg = { Sb_registers.Common.n; f; codec } in
+  let workload =
+    Sb_experiments.Workloads.writers_and_readers ~value_bytes:vb ~writers:2
+      ~writes_each:2 ~readers:2 ~reads_each:2
+  in
+  let algos =
+    [
+      ("adaptive", Sb_registers.Adaptive.make cfg, k);
+      ( "abd",
+        Sb_registers.Abd.make
+          { cfg with codec = Sb_codec.Codec.replication ~value_bytes:vb ~n },
+        1 );
+    ]
+  in
+  let steps_of ~monitored algo mk =
+    let w = Sb_sim.Runtime.create ~algorithm:algo ~n ~f ~workload () in
+    if monitored then ignore (Sb_sanitize.Monitor.attach (mk ()) w);
+    (Sb_sim.Runtime.run w (Sb_sim.Runtime.random_policy ~seed:1 ())).Sb_sim.Runtime.steps
+  in
+  let tests =
+    List.concat_map
+      (fun (name, algo, k) ->
+        let mk () = Sb_sanitize.Monitor.config ~reg_avail:true ~k () in
+        [
+          Test.make ~name:(name ^ "-bare")
+            (Staged.stage (fun () -> ignore (steps_of ~monitored:false algo mk)));
+          Test.make
+            ~name:(name ^ "-monitored")
+            (Staged.stage (fun () -> ignore (steps_of ~monitored:true algo mk)));
+        ])
+      algos
+  in
+  let results = measure ~name:"sanitize-overhead" tests in
+  let ns suffix =
+    (* grouped tests are keyed "group/test" *)
+    Hashtbl.fold
+      (fun key ols acc ->
+        if
+          String.length key >= String.length suffix
+          && String.sub key (String.length key - String.length suffix)
+               (String.length suffix)
+             = suffix
+        then
+          match Analyze.OLS.estimates ols with Some (e :: _) -> e | _ -> acc
+        else acc)
+      results nan
+  in
+  let table =
+    Sb_util.Table.create ~title:"M2  sanitizer overhead (full run, random policy)"
+      [
+        ("algorithm", Sb_util.Table.Left);
+        ("steps", Sb_util.Table.Right);
+        ("bare ns/step", Sb_util.Table.Right);
+        ("monitored ns/step", Sb_util.Table.Right);
+        ("ratio", Sb_util.Table.Right);
+      ]
+  in
+  let budget_ok = ref true in
+  List.iter
+    (fun (name, algo, k) ->
+      let mk () = Sb_sanitize.Monitor.config ~reg_avail:true ~k () in
+      let steps = steps_of ~monitored:false algo mk in
+      let bare = ns (name ^ "-bare") /. float_of_int steps in
+      let mon = ns (name ^ "-monitored") /. float_of_int steps in
+      let ratio = mon /. bare in
+      if ratio >= 2.5 then budget_ok := false;
+      Sb_util.Table.add_row table
+        [
+          name;
+          string_of_int steps;
+          Printf.sprintf "%.0f" bare;
+          Printf.sprintf "%.0f" mon;
+          Printf.sprintf "%.2fx" ratio;
+        ])
+    algos;
+  Sb_util.Table.print table;
+  Printf.printf "budget (< 2.50x): %s\n" (if !budget_ok then "ok" else "EXCEEDED");
+  !budget_ok
+
 let micro () =
   run_group ~name:"galois-field" gf_tests;
   run_group ~name:"codecs-1KiB" codec_tests;
@@ -193,9 +291,11 @@ let () =
   match mode with
   | "tables" -> tables ()
   | "micro" -> micro ()
+  | "sanitize-overhead" -> if not (sanitize_overhead ()) then exit 1
   | "all" ->
     tables ();
-    micro ()
+    micro ();
+    ignore (sanitize_overhead ())
   | _ ->
-    prerr_endline "usage: main.exe [tables|micro|all]";
+    prerr_endline "usage: main.exe [tables|micro|sanitize-overhead|all]";
     exit 2

@@ -24,6 +24,8 @@ type algo_kind =
   | Abd
   | Abd_atomic
   | Abd_broken
+  | Abd_misdeclared
+  | Premature_gc
   | Safe
   | Versioned of int
   | Rateless
@@ -36,6 +38,8 @@ let algo_conv =
     | "abd" | "replication" -> Ok Abd
     | "abd-atomic" -> Ok Abd_atomic
     | "abd-broken" -> Ok Abd_broken
+    | "abd-misdeclared" -> Ok Abd_misdeclared
+    | "premature-gc" -> Ok Premature_gc
     | "safe" -> Ok Safe
     | "rateless" -> Ok Rateless
     | _ -> (
@@ -52,6 +56,8 @@ let algo_conv =
     | Abd -> Format.fprintf ppf "abd"
     | Abd_atomic -> Format.fprintf ppf "abd-atomic"
     | Abd_broken -> Format.fprintf ppf "abd-broken"
+    | Abd_misdeclared -> Format.fprintf ppf "abd-misdeclared"
+    | Premature_gc -> Format.fprintf ppf "premature-gc"
     | Safe -> Format.fprintf ppf "safe"
     | Versioned d -> Format.fprintf ppf "versioned:%d" d
     | Rateless -> Format.fprintf ppf "rateless"
@@ -64,7 +70,8 @@ let algo_arg =
     & opt algo_conv Adaptive
     & info [ "a"; "algorithm" ] ~docv:"ALGO"
         ~doc:"Register emulation: adaptive, pure-ec, abd (replication), \
-              abd-atomic, safe, versioned:<delta>, rateless.")
+              abd-atomic, safe, versioned:<delta>, rateless; seeded bugs: \
+              abd-broken, abd-misdeclared, premature-gc.")
 
 let value_bytes_arg =
   Arg.(
@@ -83,7 +90,7 @@ let seed_arg =
 
 let build ~algo ~value_bytes ~f ~k =
   match algo with
-  | Abd | Abd_atomic | Abd_broken ->
+  | Abd | Abd_atomic | Abd_broken | Abd_misdeclared ->
     let n = (2 * f) + 1 in
     let cfg =
       { Sb_registers.Common.n; f;
@@ -93,6 +100,7 @@ let build ~algo ~value_bytes ~f ~k =
       match algo with
       | Abd -> Sb_registers.Abd.make
       | Abd_atomic -> Sb_registers.Abd_atomic.make
+      | Abd_misdeclared -> Sb_registers.Abd.make_misdeclared_merge
       | _ -> Sb_registers.Abd.make_broken ~quorum_slack:1
     in
     (make cfg, cfg)
@@ -108,11 +116,52 @@ let build ~algo ~value_bytes ~f ~k =
       | Adaptive -> Sb_registers.Adaptive.make
       | Pure_ec -> Sb_registers.Adaptive.make_unbounded
       | Safe -> Sb_registers.Safe_register.make
+      | Premature_gc -> Sb_registers.Adaptive.make_premature_gc
       | Versioned delta -> Sb_registers.Adaptive.make_versioned ~delta
       | Rateless -> fun cfg -> Sb_registers.Rateless.make ~codec_seed:7 cfg
-      | Abd | Abd_atomic | Abd_broken -> assert false
+      | Abd | Abd_atomic | Abd_broken | Abd_misdeclared -> assert false
     in
     (make cfg, cfg)
+
+(* ------------------------------------------------------------------ *)
+(* Sanitizers (Sb_sanitize)                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* The code dimension the monitors should reason with: the replication
+   family always runs with k = 1 regardless of the --k flag. *)
+let code_k ~algo ~k =
+  match algo with Abd | Abd_atomic | Abd_broken | Abd_misdeclared -> 1 | _ -> k
+
+(* The availability (premature-GC) monitor is sound only for algorithms
+   that promise a decodable readable frontier at all times; the safe and
+   bounded-version registers transiently violate it by design. *)
+let sanitize_cfg ~algo ~k =
+  let reg_avail =
+    match algo with
+    (* premature-gc is the seeded availability bug: the monitor that
+       catches it must of course be armed. *)
+    | Adaptive | Pure_ec | Abd | Abd_atomic | Premature_gc -> true
+    | Abd_broken | Abd_misdeclared | Safe | Versioned _ | Rateless -> false
+  in
+  Sb_sanitize.Monitor.config ~reg_avail ~k:(code_k ~algo ~k) ()
+
+let sanitize_arg =
+  Arg.(
+    value & flag
+    & info [ "sanitize" ]
+        ~doc:"Attach the Sb_sanitize invariant monitors (commutativity, \
+              storage accounting, quorum discipline, oracle symmetry, \
+              premature-GC, crash discipline) to every execution; any \
+              violation aborts with a shrunk replayable schedule.")
+
+let report_sanitizer_violation (r : Sb_sanitize.Monitor.report) =
+  let module E = Sb_modelcheck.Explore in
+  Format.printf "SANITIZER VIOLATION %a@." Sb_sanitize.Monitor.pp_violation
+    r.Sb_sanitize.Monitor.r_violation;
+  Format.printf "shrunk schedule: %d decisions (from %d):@.%a@."
+    (List.length r.Sb_sanitize.Monitor.r_shrunk)
+    (List.length r.Sb_sanitize.Monitor.r_decisions)
+    E.pp_decisions r.Sb_sanitize.Monitor.r_shrunk
 
 (* ------------------------------------------------------------------ *)
 (* experiments                                                         *)
@@ -250,12 +299,27 @@ let simulate_cmd =
                 replay command).")
   in
   let run algo value_bytes f k seed writers writes_each readers reads_each show_trace
-      save =
+      save sanitize =
     let algorithm, cfg = build ~algo ~value_bytes ~f ~k in
     let workload =
       Sb_experiments.Workloads.writers_and_readers ~value_bytes ~writers
         ~writes_each ~readers ~reads_each
     in
+    if sanitize then begin
+      let mk_world () =
+        Sb_sim.Runtime.create ~seed ~algorithm ~n:cfg.n ~f:cfg.f ~workload ()
+      in
+      match
+        Sb_sanitize.Monitor.run (sanitize_cfg ~algo ~k) ~mk_world
+          (Sb_sim.Runtime.random_policy ~seed ())
+      with
+      | Ok (_, m) ->
+        Printf.printf "sanitizers      : ok (%d events monitored)\n"
+          (Sb_sanitize.Monitor.events_seen m)
+      | Error r ->
+        report_sanitizer_violation r;
+        exit 1
+    end;
     let m =
       Sb_experiments.Runs.measure ~seed ~algorithm ~cfg ~workload ()
     in
@@ -293,7 +357,7 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Run a workload under a fair random schedule.")
     Term.(
       const run $ algo_arg $ value_bytes_arg $ f_arg $ k_arg $ seed_arg $ writers
-      $ writes_each $ readers $ reads_each $ show_trace $ save)
+      $ writes_each $ readers $ reads_each $ show_trace $ save $ sanitize_arg)
 
 (* ------------------------------------------------------------------ *)
 (* replay                                                              *)
@@ -467,7 +531,7 @@ let explore_cmd =
     | `Weak -> ("weak regularity", Sb_spec.Regularity.check_weak)
     | `Strong -> ("strong regularity", Sb_spec.Regularity.check_strong)
     | `Safe -> ("safeness", Sb_spec.Regularity.check_safe)
-    | `Atomic -> ("atomicity", Sb_spec.Regularity.check_atomic)
+    | `Atomic -> ("atomicity", fun h -> Sb_spec.Regularity.check_atomic h)
   in
   let mk_config ~algo ~value_bytes ~f ~k ~seed ~writers ~writes_each ~readers
       ~reads_each ~crashes ~client_crashes ~bound ~dpor ~cache ~lint
@@ -486,6 +550,12 @@ let explore_cmd =
         ~initial:(Bytes.make value_bytes '\000') ~check:check_fn () )
   in
   let report_violation econfig (v : E.violation) save =
+    (match v.E.v_counterexample.Sb_spec.Regularity.cx_reason with
+     | Sb_spec.Regularity.Search_budget _ ->
+       Format.printf
+         "note: the atomicity search ran out of budget — the verdict below \
+          is INCONCLUSIVE, not a refutation@."
+     | _ -> ());
     Format.printf "VIOLATION (%a)@."
       Sb_spec.Regularity.pp_counterexample v.E.v_counterexample;
     Format.printf "history:@.%a@." Sb_spec.History.pp v.E.v_history;
@@ -553,12 +623,13 @@ let explore_cmd =
   in
   let run algo value_bytes f k seed writers writes_each readers reads_each
       crashes client_crashes bound no_dpor cache compare_flag lint max_schedules
-      check quick replay_file save =
-    (* --quick: the CI smoke preset — tiny exhaustive sweep with lint on,
-       then confirm the seeded abd-broken bug is found and shrinks. *)
-    let algo, f, k, writers, writes_each, readers, reads_each, lint =
-      if quick then (Abd, 1, 1, 1, 1, 1, 1, true)
-      else (algo, f, k, writers, writes_each, readers, reads_each, lint)
+      check quick replay_file save sanitize =
+    (* --quick: the CI smoke preset — tiny exhaustive sweep with lint and
+       the sanitizers on, then confirm the seeded abd-broken bug is found
+       and shrinks. *)
+    let algo, f, k, writers, writes_each, readers, reads_each, lint, sanitize =
+      if quick then (Abd, 1, 1, 1, 1, 1, 1, true, true)
+      else (algo, f, k, writers, writes_each, readers, reads_each, lint, sanitize)
     in
     match replay_file with
     | Some file ->
@@ -576,13 +647,23 @@ let explore_cmd =
       Printf.printf
         "workload      : %d writer(s) x %d, %d reader(s) x %d; crashes: %d obj, %d client\n"
         writers writes_each readers reads_each crashes client_crashes;
-      Format.printf "check         : %s; bound: %a; dpor: %s; cache: %s@."
+      Format.printf "check         : %s; bound: %a; dpor: %s; cache: %s; sanitize: %s@."
         check_name
         (Arg.conv_printer bound_conv) bound
         (if no_dpor then "off" else "on")
-        (if cache then "on" else "off");
+        (if cache then "on" else "off")
+        (if sanitize then "on" else "off");
       let t0 = Unix.gettimeofday () in
-      let outcome = E.explore econfig in
+      let outcome =
+        if sanitize then begin
+          match Sb_sanitize.Monitor.explore_sanitized (sanitize_cfg ~algo ~k) econfig with
+          | Ok outcome -> outcome
+          | Error r ->
+            report_sanitizer_violation r;
+            exit 1
+        end
+        else E.explore econfig
+      in
       let dt = Unix.gettimeofday () -. t0 in
       Format.printf "%a@." E.pp_stats outcome.E.stats;
       Printf.printf "wall time     : %.2fs\n" dt;
@@ -629,7 +710,20 @@ let explore_cmd =
           let shrunk = Sb_modelcheck.Shrink.shrink broken v.E.v_decisions in
           Printf.printf
             "quick check   : abd-broken violation found and shrunk to %d decisions\n"
-            (List.length shrunk)
+            (List.length shrunk);
+          (* Third leg: the independence relation behind the DPOR pruning
+             above must survive its own audit on this configuration. *)
+          let audit = Sb_sanitize.Audit.audit ~max_states:200 econfig in
+          if Sb_sanitize.Audit.ok audit then
+            Printf.printf
+              "quick audit   : independence relation green (%d states, %d pairs)\n"
+              audit.Sb_sanitize.Audit.a_states audit.Sb_sanitize.Audit.a_pairs
+          else begin
+            Format.printf "quick audit   : INDEPENDENCE DIVERGENCE@.%a@."
+              Sb_sanitize.Audit.pp_divergence
+              (List.hd audit.Sb_sanitize.Audit.a_divergences);
+            exit 1
+          end
       end
   in
   Cmd.v
@@ -641,7 +735,93 @@ let explore_cmd =
       const run $ algo_arg $ value_bytes_arg $ f_arg $ k_arg $ seed_arg
       $ writers $ writes_each $ readers $ reads_each $ crashes $ client_crashes
       $ bound_arg $ no_dpor $ cache_flag $ compare_flag $ lint $ max_schedules
-      $ check_arg $ quick $ replay_file $ save_arg)
+      $ check_arg $ quick $ replay_file $ save_arg $ sanitize_arg)
+
+(* ------------------------------------------------------------------ *)
+(* audit — machine-check the DPOR independence relation                *)
+(* ------------------------------------------------------------------ *)
+
+let audit_cmd =
+  let module E = Sb_modelcheck.Explore in
+  let writers =
+    Arg.(value & opt int 2 & info [ "writers" ] ~docv:"N" ~doc:"Writer clients.")
+  in
+  let writes_each =
+    Arg.(value & opt int 1 & info [ "writes-each" ] ~docv:"N" ~doc:"Writes per writer.")
+  in
+  let readers =
+    Arg.(value & opt int 1 & info [ "readers" ] ~docv:"N" ~doc:"Reader clients.")
+  in
+  let reads_each =
+    Arg.(value & opt int 1 & info [ "reads-each" ] ~docv:"N" ~doc:"Reads per reader.")
+  in
+  let crashes =
+    Arg.(
+      value & opt int 0
+      & info [ "crashes" ] ~docv:"N" ~doc:"Object crashes to audit over.")
+  in
+  let max_states =
+    Arg.(
+      value & opt int 500
+      & info [ "max-states" ] ~docv:"N" ~doc:"States to expand before stopping.")
+  in
+  let mutate =
+    Arg.(
+      value & flag
+      & info [ "mutate" ]
+          ~doc:"Mutation test: audit a deliberately weakened relation that \
+                also declares same-object mutating deliveries independent. \
+                The audit must report a divergence; exits 0 when it does.")
+  in
+  let run algo value_bytes f k seed writers writes_each readers reads_each
+      crashes max_states mutate =
+    let algorithm, cfg = build ~algo ~value_bytes ~f ~k in
+    let workload =
+      Sb_experiments.Workloads.writers_and_readers ~value_bytes ~writers
+        ~writes_each ~readers ~reads_each
+    in
+    let econfig =
+      E.config ~seed ~crash_objs:crashes ~algorithm ~n:cfg.n ~f:cfg.f ~workload
+        ~initial:(Bytes.make value_bytes '\000')
+        ~check:Sb_spec.Regularity.check_weak ()
+    in
+    let relation =
+      if mutate then
+        Some
+          (fun (a : E.action) (b : E.action) ->
+            match a.E.kind, b.E.kind with
+            | E.KDeliver, E.KDeliver -> true (* ignores same-object conflicts *)
+            | _ -> E.independent a b)
+      else None
+    in
+    Printf.printf "algorithm  : %s (n=%d f=%d k=%d, seed %d)%s\n"
+      algorithm.Sb_sim.Runtime.name cfg.n cfg.f (code_k ~algo ~k) seed
+      (if mutate then " [mutated relation]" else "");
+    let r = Sb_sanitize.Audit.audit ?relation ~max_states econfig in
+    Printf.printf
+      "audited    : %d states, %d declared-independent pairs%s\n"
+      r.Sb_sanitize.Audit.a_states r.Sb_sanitize.Audit.a_pairs
+      (if r.Sb_sanitize.Audit.a_truncated then " (truncated)" else "");
+    match r.Sb_sanitize.Audit.a_divergences, mutate with
+    | [], false -> print_endline "result     : independence relation green"
+    | [], true ->
+      print_endline "result     : MUTATION NOT DETECTED (audit has no teeth here)";
+      exit 1
+    | d :: _ as ds, m ->
+      Format.printf "result     : %d divergence(s)@.%a@." (List.length ds)
+        Sb_sanitize.Audit.pp_divergence d;
+      if m then print_endline "mutation detected, as it should be"
+      else exit 1
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:"Machine-check the model checker's independence relation: replay \
+             both orders of every declared-independent pair over the \
+             reachable states of a configuration and flag divergence.")
+    Term.(
+      const run $ algo_arg $ value_bytes_arg $ f_arg $ k_arg $ seed_arg
+      $ writers $ writes_each $ readers $ reads_each $ crashes $ max_states
+      $ mutate)
 
 (* ------------------------------------------------------------------ *)
 (* adversary-demo (Figure 3 walkthrough)                               *)
@@ -738,5 +918,5 @@ let () =
        (Cmd.group info
           [
             experiments_cmd; lower_bound_cmd; simulate_cmd; explore_cmd;
-            replay_cmd; demo_cmd; quorums_cmd;
+            replay_cmd; demo_cmd; quorums_cmd; audit_cmd;
           ]))

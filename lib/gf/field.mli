@@ -1,0 +1,47 @@
+(** Signature of a finite field whose elements are represented as small
+    non-negative integers [0 .. order-1].
+
+    Both {!Gf256} and {!Gf2p16} implement this signature, and the linear
+    algebra in {!Matrix} is a functor over it, so the Reed–Solomon codec
+    can be instantiated at either field. *)
+
+module type S = sig
+  type t = int
+  (** Field elements are integers in [\[0, order)].  The representation is
+      exposed so that codecs can pack elements into byte buffers. *)
+
+  val order : int
+  (** Number of elements of the field; a power of two. *)
+
+  val bits : int
+  (** log2 [order]: the number of bits per element. *)
+
+  val zero : t
+  val one : t
+
+  val add : t -> t -> t
+  (** Characteristic-2 addition, i.e. xor. *)
+
+  val sub : t -> t -> t
+  (** Same as {!add} in characteristic 2. *)
+
+  val mul : t -> t -> t
+
+  val div : t -> t -> t
+  (** [div a b] raises [Division_by_zero] when [b = zero]. *)
+
+  val inv : t -> t
+  (** Multiplicative inverse; raises [Division_by_zero] on [zero]. *)
+
+  val pow : t -> int -> t
+  (** [pow a e] for [e >= 0]; [pow zero 0 = one] by convention. *)
+
+  val generator : t
+  (** A primitive element: its powers enumerate all non-zero elements. *)
+
+  val exp : int -> t
+  (** [exp i] is [generator^i] (index taken mod [order - 1]). *)
+
+  val log : t -> int
+  (** Discrete log base {!generator}; raises [Division_by_zero] on zero. *)
+end

@@ -23,12 +23,15 @@ type config = {
   stop_on_violation : bool;
   lint : bool;
   on_history : (R.decision list -> Sb_spec.History.t -> unit) option;
+  instrument : (R.world -> unit) option;
 }
+
+exception Instrumented_failure of exn * R.decision list
 
 let config ?(seed = 1) ?(dpor = true) ?(cache = false) ?(bound = Exhaustive)
     ?(crash_objs = 0) ?(crash_clients = 0) ?(max_schedules = 0)
-    ?(stop_on_violation = true) ?(lint = false) ?on_history ~algorithm ~n ~f
-    ~workload ~initial ~check () =
+    ?(stop_on_violation = true) ?(lint = false) ?on_history ?instrument
+    ~algorithm ~n ~f ~workload ~initial ~check () =
   {
     algorithm;
     n;
@@ -46,6 +49,7 @@ let config ?(seed = 1) ?(dpor = true) ?(cache = false) ?(bound = Exhaustive)
     stop_on_violation;
     lint;
     on_history;
+    instrument;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -265,6 +269,23 @@ let actions cfg w ~obj_left ~cli_left =
   in
   delivers @ steps @ crash_objs @ crash_clients
 
+let enabled_actions = actions
+
+(* Execute the action's decision on [w], observing the attributes the
+   independence relation consults for steps (operation-event visibility
+   and the awaited-ticket set): exactly what the DPOR search records when
+   it first explores an action at a node. *)
+let execute_observing w (a : action) =
+  let inv_before = R.invoke_events w in
+  let ret_before = R.return_events w in
+  ignore (R.step w a.dec);
+  match a.kind with
+  | KStep ->
+    a.a_inv <- R.invoke_events w > inv_before;
+    a.a_ret <- R.return_events w > ret_before;
+    a.a_awaited <- R.last_step_awaits w
+  | KDeliver | KCrashObj | KCrashClient -> ()
+
 (* ------------------------------------------------------------------ *)
 (* The depth-first search with sleep sets                              *)
 (* ------------------------------------------------------------------ *)
@@ -314,19 +335,35 @@ let explore cfg =
   in
   let first = ref None in
   let fresh () =
-    R.create ~seed:cfg.seed ~metrics:false ~algorithm:cfg.algorithm ~n:cfg.n
-      ~f:cfg.f ~workload:cfg.workload ()
+    let w =
+      R.create ~seed:cfg.seed ~metrics:false ~algorithm:cfg.algorithm ~n:cfg.n
+        ~f:cfg.f ~workload:cfg.workload ()
+    in
+    (match cfg.instrument with Some f -> f w | None -> ());
+    w
+  in
+  (* Replay a decision list against [w].  When the search is
+     instrumented, an exception raised by a monitor mid-replay is
+     re-raised as [Instrumented_failure] carrying the decision prefix up
+     to and including the offending decision, so the caller can shrink
+     it. *)
+  let replay_checked w ds =
+    let applied = ref [] in
+    List.iter
+      (fun d ->
+        st.m_replayed <- st.m_replayed + 1;
+        (try ignore (R.step w d)
+         with e when cfg.instrument <> None ->
+           raise (Instrumented_failure (e, List.rev (d :: !applied))));
+        applied := d :: !applied)
+      ds
   in
   (* The search is stateless: backtracking re-executes the decision
      prefix against a fresh world (worlds hold continuations and cannot
      be copied).  [path_rev] is the prefix, newest decision first. *)
   let replay_path path_rev =
     let w = fresh () in
-    List.iter
-      (fun d ->
-        st.m_replayed <- st.m_replayed + 1;
-        ignore (R.step w d))
-      (List.rev path_rev);
+    replay_checked w (List.rev path_rev);
     w
   in
   let finish w path_rev =
@@ -546,14 +583,11 @@ let explore cfg =
     let w = fresh () in
     (match !stack with
      | _ :: below ->
-       List.iter
-         (fun fr ->
-           match fr.f_cur with
-           | Some a ->
-             st.m_replayed <- st.m_replayed + 1;
-             ignore (R.step w a.dec)
-           | None -> assert false)
-         (List.rev below)
+       replay_checked w
+         (List.rev_map
+            (fun fr ->
+              match fr.f_cur with Some a -> a.dec | None -> assert false)
+            below)
      | [] -> assert false);
     descend w
   and descend w =
@@ -566,15 +600,9 @@ let explore cfg =
         fr.f_idx <- fr.f_idx + 1;
         fr.f_cur <- Some a;
         st.m_transitions <- st.m_transitions + 1;
-        let inv_before = R.invoke_events w in
-        let ret_before = R.return_events w in
-        ignore (R.step w a.dec);
-        (match a.kind with
-         | KStep ->
-           a.a_inv <- R.invoke_events w > inv_before;
-           a.a_ret <- R.return_events w > ret_before;
-           a.a_awaited <- R.last_step_awaits w
-         | _ -> ());
+        (try execute_observing w a
+         with e when cfg.instrument <> None ->
+           raise (Instrumented_failure (e, List.rev (path_of_stack ()))));
         let sleep' =
           if cfg.dpor then
             List.filter (fun b -> independent a b) (fr.f_sleep @ fr.f_done)

@@ -91,7 +91,20 @@ type config = {
   on_history : (Sb_sim.Runtime.decision list -> Sb_spec.History.t -> unit) option;
       (** Called on every complete schedule, e.g. to collect the set of
           values reads can return. *)
+  instrument : (Sb_sim.Runtime.world -> unit) option;
+      (** Called on every fresh world the search creates (the root, each
+          backtracking replay, lint re-executions) — the hook point for
+          attaching [Sb_sanitize] monitors via [Runtime.add_observer].
+          When set, any exception a monitor raises while a decision
+          executes is re-raised as {!Instrumented_failure} carrying the
+          decision prefix that produced it. *)
 }
+
+exception Instrumented_failure of exn * Sb_sim.Runtime.decision list
+(** A monitor attached through [instrument] raised during the search.
+    Carries the monitor's exception and the decision trace up to and
+    including the offending decision — replayable against a fresh
+    instrumented world, and shrinkable like any failing trace. *)
 
 val config :
   ?seed:int ->
@@ -104,6 +117,7 @@ val config :
   ?stop_on_violation:bool ->
   ?lint:bool ->
   ?on_history:(Sb_sim.Runtime.decision list -> Sb_spec.History.t -> unit) ->
+  ?instrument:(Sb_sim.Runtime.world -> unit) ->
   algorithm:Sb_sim.Runtime.algorithm ->
   n:int ->
   f:int ->
@@ -113,7 +127,48 @@ val config :
   unit ->
   config
 (** Defaults: [seed 1], [dpor true], [cache false], [Exhaustive], no
-    crashes, no schedule cap, stop on the first violation, no lint. *)
+    crashes, no schedule cap, stop on the first violation, no lint, no
+    instrumentation. *)
+
+(** {2 The independence relation, exposed}
+
+    The soundness of the sleep-set reduction rests entirely on
+    {!independent}.  It is exported — together with the action vocabulary
+    it is stated over — so that [Sb_sanitize.Audit] can machine-check it:
+    replay both orders of every pair the relation declares independent
+    and flag state or enabledness divergence.  Treat these as read-only
+    inspection hooks; the search itself constructs its own actions. *)
+
+type kind = KDeliver | KStep | KCrashObj | KCrashClient
+
+type action = {
+  dec : Sb_sim.Runtime.decision;
+  kind : kind;
+  a_obj : int;  (** Object/server involved; [-1] for client-only actions. *)
+  a_client : int;  (** Client involved; [-1] for object crashes. *)
+  a_nature : Sb_sim.Runtime.rmw_nature;
+      (** For a [KDeliver]: the pending RMW's declared nature. *)
+  mutable a_inv : bool;  (** The step emitted an [Invoke] (observed). *)
+  mutable a_ret : bool;  (** The step emitted a [Return] (observed). *)
+  mutable a_awaited : int list;
+      (** For a [KStep]: tickets the step read or started awaiting. *)
+}
+
+val independent : action -> action -> bool
+(** The relation documented at {!section-independence}.  Step attributes
+    ([a_inv]/[a_ret]/[a_awaited]) must have been observed by executing
+    the action ({!execute_observing}) for the verdict to be meaningful. *)
+
+val enabled_actions :
+  config -> Sb_sim.Runtime.world -> obj_left:int -> cli_left:int -> action list
+(** The enabled actions of [w] in deterministic baseline order, as the
+    search would construct them ([obj_left]/[cli_left] are the remaining
+    crash budgets; pass [0] to exclude crash actions). *)
+
+val execute_observing : Sb_sim.Runtime.world -> action -> unit
+(** Executes the action's decision on [w] and records the step-visibility
+    attributes the independence relation consults, exactly as the search
+    does when it first explores the action. *)
 
 type stats = {
   schedules : int;  (** Complete schedules whose history was checked. *)

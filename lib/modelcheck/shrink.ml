@@ -17,12 +17,12 @@ let check_decisions (cfg : Explore.config) decisions =
 
 let still_violating cfg decisions = check_decisions cfg decisions <> None
 
-let shortest_violating_prefix cfg arr =
+let shortest_violating_prefix violates arr =
   let n = Array.length arr in
   let result = ref n in
   (try
      for l = 0 to n do
-       if still_violating cfg (Array.to_list (Array.sub arr 0 l)) then begin
+       if violates (Array.to_list (Array.sub arr 0 l)) then begin
          result := l;
          raise Exit
        end
@@ -30,13 +30,16 @@ let shortest_violating_prefix cfg arr =
    with Exit -> ());
   Array.to_list (Array.sub arr 0 !result)
 
-let shrink cfg decisions =
-  if not (still_violating cfg decisions) then
+(* The shrinking algorithm over an abstract failure predicate: the
+   regularity-violation shrinker below and the sanitizer-violation
+   shrinker in [Sb_sanitize] are both instances. *)
+let shrink_pred ~violates decisions =
+  if not (violates decisions) then
     invalid_arg "Shrink.shrink: the given decision trace does not violate";
   (* Phase 1: cut the tail — the shortest violating prefix (the
      violation typically manifests the moment the offending read
      returns; everything after is noise). *)
-  let cur = ref (shortest_violating_prefix cfg (Array.of_list decisions)) in
+  let cur = ref (shortest_violating_prefix violates (Array.of_list decisions)) in
   (* Phase 2: greedy deletion to a local minimum.  Deleting a decision
      may orphan later ones (a Deliver whose trigger never happened);
      Runtime.replay skips those, so every candidate is a valid schedule.
@@ -49,7 +52,7 @@ let shrink cfg decisions =
     (try
        for i = 0 to len - 1 do
          let candidate = List.filteri (fun j _ -> j <> i) !cur in
-         if still_violating cfg candidate then begin
+         if violates candidate then begin
            cur := candidate;
            changed := true;
            raise Exit
@@ -58,3 +61,5 @@ let shrink cfg decisions =
      with Exit -> ())
   done;
   !cur
+
+let shrink cfg decisions = shrink_pred ~violates:(still_violating cfg) decisions

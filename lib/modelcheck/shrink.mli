@@ -21,6 +21,16 @@ val check_decisions :
     of the config and runs the config's checker on the resulting history.
     [None] when the history satisfies the property. *)
 
+val shrink_pred :
+  violates:(Sb_sim.Runtime.decision list -> bool) ->
+  Sb_sim.Runtime.decision list ->
+  Sb_sim.Runtime.decision list
+(** The same two-phase algorithm over an abstract failure predicate —
+    the caller decides what "still fails" means (e.g. [Sb_sanitize]
+    replays the candidate against a fresh monitored world).  The
+    predicate must be deterministic.  Raises [Invalid_argument] if the
+    input trace does not satisfy it. *)
+
 val shrink :
   Explore.config -> Sb_sim.Runtime.decision list -> Sb_sim.Runtime.decision list
 (** [shrink cfg trace] is a locally-minimal sub-trace of [trace] that

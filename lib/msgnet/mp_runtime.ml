@@ -16,6 +16,7 @@ type message = {
      the RMW's result. *)
   req : (R.rmw * Sb_storage.Block.t list) option;
   resp : R.resp option;
+  m_nature : R.rmw_nature;
   sent_at : int;
 }
 
@@ -67,6 +68,9 @@ type world = {
   mutable max_channel_bits : int;
   mutable requests_sent : int;
   mutable responses_sent : int;
+  mutable observers : (R.event -> unit) list;
+  (* Same contract as [Runtime.add_observer]: monitors consume the
+     shared-memory event vocabulary, with servers in the object role. *)
 }
 
 let resp_bits = function
@@ -125,7 +129,12 @@ let create ?(seed = 1) ?(fifo = false) ~algorithm ~n ~f ~workload () =
     max_channel_bits = 0;
     requests_sent = 0;
     responses_sent = 0;
+    observers = [];
   }
+
+let add_observer w f = w.observers <- w.observers @ [ f ]
+let observed w = w.observers <> []
+let emit w ev = List.iter (fun f -> f ev) w.observers
 
 (* ------------------------------------------------------------------ *)
 (* Introspection                                                       *)
@@ -136,6 +145,7 @@ let n_servers w = w.n
 let f_tolerance w = w.f
 let server_state w i = w.servers.(i)
 let server_alive w i = w.server_live.(i)
+let client_count w = Array.length w.clients
 
 let in_flight w =
   List.rev_map (fun id -> info_of (Hashtbl.find w.channel id)) w.channel_order
@@ -218,7 +228,7 @@ let handle_fiber w (cl : client) (op : R.op) (body : unit -> bytes option) :
       effc =
         (fun (type b) (eff : b Effect.t) ->
           match eff with
-          | R.Trigger (obj, payload, rmw, _nature) ->
+          | R.Trigger (obj, payload, rmw, nature) ->
             Some
               (fun (k : (b, fiber_outcome) continuation) ->
                 if obj < 0 || obj >= w.n then
@@ -237,6 +247,7 @@ let handle_fiber w (cl : client) (op : R.op) (body : unit -> bytes option) :
                     m_op = op.R.id;
                     req = Some (rmw, payload);
                     resp = None;
+                    m_nature = nature;
                     sent_at = w.now;
                   };
                 Trace.add w.tr
@@ -249,12 +260,18 @@ let handle_fiber w (cl : client) (op : R.op) (body : unit -> bytes option) :
                        obj;
                        payload_bits = Sb_storage.Accounting.bits_of_blocks payload;
                      });
+                if observed w then
+                  emit w (R.E_trigger { ticket; obj; op; nature; payload });
                 continue k ticket)
           | R.Await (tickets, quorum) ->
             Some
               (fun (k : (b, fiber_outcome) continuation) ->
-                if await_satisfied w tickets quorum then
-                  continue k (responses_for w tickets)
+                if await_satisfied w tickets quorum then begin
+                  let rs = responses_for w tickets in
+                  if observed w then
+                    emit w (R.E_await { op; tickets; quorum; responders = rs });
+                  continue k rs
+                end
                 else begin
                   cl.waiting <- Some { w_tickets = tickets; w_quorum = quorum; w_k = k };
                   Blocked
@@ -264,7 +281,8 @@ let handle_fiber w (cl : client) (op : R.op) (body : unit -> bytes option) :
 
 let finish_op w cl (op : R.op) result =
   cl.current_op <- None;
-  Trace.add w.tr (Return { time = w.now; op = op.R.id; client = cl.cid; result })
+  Trace.add w.tr (Return { time = w.now; op = op.R.id; client = cl.cid; result });
+  if observed w then emit w (R.E_return { op; result })
 
 let invoke_next w cl =
   match cl.queue with
@@ -275,6 +293,7 @@ let invoke_next w cl =
     w.next_op <- w.next_op + 1;
     cl.current_op <- Some op;
     Trace.add w.tr (Invoke { time = w.now; op = op.R.id; client = cl.cid; kind });
+    if observed w then emit w (R.E_invoke { op });
     let ctx = { R.self = cl.cid; op; n_objects = w.n; prng = cl.c_prng } in
     let body () =
       match kind with
@@ -295,7 +314,10 @@ let resume w cl =
       invalid_arg "Mp_runtime.step: client's quorum is not satisfied";
     cl.waiting <- None;
     let op = match cl.current_op with Some op -> op | None -> assert false in
-    (match continue w_k (responses_for w w_tickets) with
+    let rs = responses_for w w_tickets in
+    if observed w then
+      emit w (R.E_await { op; tickets = w_tickets; quorum = w_quorum; responders = rs });
+    (match continue w_k rs with
      | Done result -> finish_op w cl op result
      | Blocked -> ())
 
@@ -372,9 +394,25 @@ let deliver_msg w id =
         match m.req with Some r -> r | None -> assert false
       in
       (* The RMW takes effect atomically at the server now. *)
-      let state, resp = rmw w.servers.(m.m_server) in
+      let before = w.servers.(m.m_server) in
+      let state, resp = rmw before in
       w.servers.(m.m_server) <- state;
       Trace.add w.tr (Rmw_deliver { time = w.now; ticket = m.m_ticket; obj = m.m_server });
+      if observed w then
+        emit w
+          (R.E_deliver
+             {
+               ticket = m.m_ticket;
+               obj = m.m_server;
+               client = m.m_client;
+               op = m.m_op;
+               nature = m.m_nature;
+               rmw;
+               before;
+               after = state;
+               resp;
+               observable = not w.clients.(m.m_client).crashed;
+             });
       let reply = w.next_msg in
       w.next_msg <- reply + 1;
       if not w.clients.(m.m_client).crashed then
@@ -388,6 +426,7 @@ let deliver_msg w id =
             m_op = m.m_op;
             req = None;
             resp = Some resp;
+            m_nature = m.m_nature;
             sent_at = w.now;
           }
     | Response ->
@@ -422,6 +461,7 @@ let step w decision =
         invalid_arg "Mp_runtime.step: cannot crash more than f servers";
       w.server_live.(i) <- false;
       Trace.add w.tr (Crash_object { time = w.now; obj = i });
+      if observed w then emit w (R.E_crash_obj i);
       true
     | Crash_client c ->
       let cl = w.clients.(c) in
@@ -430,6 +470,7 @@ let step w decision =
       cl.waiting <- None;
       cl.queue <- [];
       Trace.add w.tr (Crash_client { time = w.now; client = c });
+      if observed w then emit w (R.E_crash_client c);
       true
     | Halt -> false
   in

@@ -56,6 +56,7 @@ val n_servers : world -> int
 val f_tolerance : world -> int
 val server_state : world -> int -> Sb_storage.Objstate.t
 val server_alive : world -> int -> bool
+val client_count : world -> int
 val in_flight : world -> message_info list
 (** Undelivered messages, oldest first. *)
 
@@ -84,6 +85,13 @@ val op_contribution : world -> Sb_sim.Runtime.op -> int
     channels. *)
 
 val trace : world -> Sb_sim.Trace.t
+
+val add_observer : world -> (Sb_sim.Runtime.event -> unit) -> unit
+(** Registers an execution-event sink, exactly as
+    {!Sb_sim.Runtime.add_observer}: the message-passing runtime emits the
+    same event vocabulary (servers play the object role; a request
+    delivery is the RMW's take-effect point), so the [Sb_sanitize]
+    monitors run unchanged on both runtimes. *)
 
 (** {1 Scheduling} *)
 

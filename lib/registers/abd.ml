@@ -1,11 +1,20 @@
 open Sb_storage
 module R = Sb_sim.Runtime
 
+(* Keep the lexicographically larger of (timestamp, chunk).  The chunk
+   tie-break matters: writers mint unique timestamps, but [Abd_atomic]'s
+   read write-back re-encodes an {e existing} timestamp under the
+   reader's own op id, so two concurrent write-backs of one value carry
+   distinct block metadata.  "Keep existing on equal ts" would let the
+   delivery order pick the survivor — a non-commuting [`Merge], which
+   the [Sb_sanitize] commutativity monitor flags. *)
 let store_rmw chunk : R.rmw =
   fun st ->
     let keep =
       match st.Objstate.vf with
-      | [ existing ] -> Timestamp.(existing.Chunk.ts >= chunk.Chunk.ts)
+      | [ existing ] ->
+        let c = Timestamp.compare existing.Chunk.ts chunk.Chunk.ts in
+        c > 0 || (c = 0 && compare existing chunk >= 0)
       | _ -> false
     in
     let st =
@@ -14,7 +23,18 @@ let store_rmw chunk : R.rmw =
     in
     (st, R.Ack)
 
-let make_gen ~name ~write_quorum (cfg : Common.config) =
+(* Last-writer-wins overwrite: ignores the stored timestamp, so two
+   concurrent stores do NOT commute — the delivery order decides which
+   replica survives.  Used only by [make_misdeclared_merge] below. *)
+let lww_store_rmw chunk : R.rmw =
+  fun st ->
+    ( { st with
+        Objstate.vf = [ chunk ];
+        stored_ts = Timestamp.max st.Objstate.stored_ts chunk.Chunk.ts;
+      },
+      R.Ack )
+
+let make_gen ?(store = store_rmw) ~name ~write_quorum (cfg : Common.config) =
   Common.validate cfg;
   if cfg.codec.Sb_codec.Codec.k <> 1 then
     invalid_arg "Abd.make: ABD requires a replication codec (k = 1)";
@@ -35,7 +55,7 @@ let make_gen ~name ~write_quorum (cfg : Common.config) =
          so deliveries of two stores to the same object commute. *)
       R.broadcast_rmw ~nature:`Merge ~n:cfg.n
         ~payload:(fun i -> [ Oracle.Encoder.get encoder i ])
-        (fun i -> store_rmw (Chunk.v ~ts (Oracle.Encoder.get encoder i)))
+        (fun i -> store (Chunk.v ~ts (Oracle.Encoder.get encoder i)))
     in
     ignore (R.await ~tickets ~quorum:write_quorum)
   in
@@ -54,3 +74,7 @@ let make cfg = make_gen ~name:"abd" ~write_quorum:(Common.quorum cfg) cfg
 let make_broken ?(quorum_slack = 1) cfg =
   if quorum_slack < 1 then invalid_arg "Abd.make_broken: quorum_slack must be >= 1";
   make_gen ~name:"abd-broken" ~write_quorum:(Common.quorum cfg - quorum_slack) cfg
+
+let make_misdeclared_merge cfg =
+  make_gen ~store:lww_store_rmw ~name:"abd-misdeclared-merge"
+    ~write_quorum:(Common.quorum cfg) cfg

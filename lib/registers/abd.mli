@@ -23,6 +23,14 @@ val make_broken : ?quorum_slack:int -> Common.config -> Sb_sim.Runtime.algorithm
     checker's violation detection and counterexample shrinking.  Raises
     [Invalid_argument] if [quorum_slack < 1]. *)
 
+val make_misdeclared_merge : Common.config -> Sb_sim.Runtime.algorithm
+(** Test-only: ABD whose store round still {e declares} [`Merge] but
+    applies a last-writer-wins overwrite that ignores timestamps, so two
+    concurrent stores on one object do not commute.  The declared
+    commutativity is exactly what the model checker's independence
+    relation trusts, making this the seeded control for the
+    [Sb_sanitize] commutativity monitor and independence audit. *)
+
 val store_rmw : Sb_storage.Chunk.t -> Sb_sim.Runtime.rmw
 (** The conditional-overwrite RMW used by the update round: replaces the
     single [Vf] replica if the incoming timestamp is strictly higher.

@@ -6,8 +6,15 @@ let make (cfg : Common.config) =
   if cfg.codec.Sb_codec.Codec.k <> 1 then
     invalid_arg "Abd_atomic.make: requires a replication codec (k = 1)";
   let base = Abd.make cfg in
-  let write_back (ctx : R.ctx) ts value =
-    let encoder = Oracle.Encoder.create cfg.codec ~op:ctx.op.id ~value in
+  (* The write-back propagates an {e existing} write, so it re-encodes
+     under that write's op id ([source]), not the reader's: the blocks
+     it stores are byte-identical to the originals.  Tagging them with
+     the reader's op would create replicas no tracked write owns —
+     concurrent write-backs of one value would then fail to commute,
+     and the [Sb_sanitize] availability monitor would see quorum
+     subsets holding only orphaned blocks. *)
+  let write_back (ctx : R.ctx) ~source ts value =
+    let encoder = Oracle.Encoder.create cfg.codec ~op:source ~value in
     ctx.op.rounds <- ctx.op.rounds + 1;
     let tickets =
       R.broadcast_rmw ~nature:`Merge ~n:cfg.n
@@ -24,9 +31,18 @@ let make (cfg : Common.config) =
       match Common.decode_at cfg.codec rs.chunks ~ts with
       | None -> None
       | Some value ->
+        let source =
+          match
+            List.find_opt
+              (fun (c : Chunk.t) -> Timestamp.compare c.ts ts = 0)
+              rs.chunks
+          with
+          | Some c -> c.block.Block.source
+          | None -> ctx.op.id
+        in
         (* Second phase: ensure a quorum holds this value before
            returning, so no later read can see an older one. *)
-        write_back ctx ts value;
+        write_back ctx ~source ts value;
         Some value)
   in
   { base with R.name = "abd-atomic"; read }

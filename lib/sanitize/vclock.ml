@@ -1,0 +1,24 @@
+type t = int array
+
+let create size = Array.make size 0
+let copy = Array.copy
+let size = Array.length
+
+let tick c i = c.(i) <- c.(i) + 1
+
+let join_into dst src =
+  if Array.length dst <> Array.length src then
+    invalid_arg "Vclock.join_into: size mismatch";
+  Array.iteri (fun i x -> if x > dst.(i) then dst.(i) <- x) src
+
+let leq a b =
+  if Array.length a <> Array.length b then invalid_arg "Vclock.leq: size mismatch";
+  let ok = ref true in
+  Array.iteri (fun i x -> if x > b.(i) then ok := false) a;
+  !ok
+
+let concurrent a b = (not (leq a b)) && not (leq b a)
+
+let pp ppf c =
+  Format.fprintf ppf "[%s]"
+    (String.concat ";" (Array.to_list (Array.map string_of_int c)))

@@ -1,0 +1,35 @@
+(** Plain integer vector clocks (Mattern/Fidge), used by the sanitizer's
+    happens-before engine.
+
+    The monitor assigns one component per client and one per base object.
+    A trigger inherits (and advances) its client's clock; a take-effect
+    joins the trigger's clock into the object's; an await joins the
+    delivered responses' clocks back into the client's.  Two RMWs are
+    {e concurrent} when their trigger clocks are incomparable — neither
+    could have causally observed the other, so a scheduler is free to
+    deliver them in either order. *)
+
+type t = private int array
+(** Mutable; components are event counts.  Private so monitors cannot
+    accidentally alias one clock into two roles — use {!copy}. *)
+
+val create : int -> t
+(** All-zero clock with the given number of components. *)
+
+val copy : t -> t
+val size : t -> int
+
+val tick : t -> int -> unit
+(** Advance one component in place. *)
+
+val join_into : t -> t -> unit
+(** [join_into dst src] raises [dst] to the componentwise maximum.
+    Raises [Invalid_argument] on size mismatch. *)
+
+val leq : t -> t -> bool
+(** Componentwise [<=]: the happens-before order on clocks. *)
+
+val concurrent : t -> t -> bool
+(** Neither [leq a b] nor [leq b a]. *)
+
+val pp : Format.formatter -> t -> unit

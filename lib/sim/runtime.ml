@@ -105,6 +105,42 @@ type client = {
      exploration fingerprints a world. *)
 }
 
+(* Fine-grained execution events, emitted to registered observers (the
+   sanitizer monitors in [Sb_sanitize]).  Deliberately richer than
+   [Trace.event]: a delivery exposes the RMW closure and the object
+   states around it, an await its responder set — everything an online
+   invariant monitor needs and a post-hoc trace cannot reconstruct. *)
+type event =
+  | E_invoke of { op : op }
+  | E_return of { op : op; result : bytes option }
+  | E_trigger of {
+      ticket : int;
+      obj : int;
+      op : op;
+      nature : rmw_nature;
+      payload : Sb_storage.Block.t list;
+    }
+  | E_deliver of {
+      ticket : int;
+      obj : int;
+      client : int;
+      op : int;
+      nature : rmw_nature;
+      rmw : rmw;
+      before : Sb_storage.Objstate.t;
+      after : Sb_storage.Objstate.t;
+      resp : resp;
+      observable : bool;
+    }
+  | E_await of {
+      op : op;
+      tickets : int list;
+      quorum : int;
+      responders : (int * resp) list;
+    }
+  | E_crash_obj of int
+  | E_crash_client of int
+
 type world = {
   n : int;
   f : int;
@@ -131,6 +167,11 @@ type world = {
   metrics : bool; (* track storage maxima (skipped during exploration) *)
   mutable max_obj_bits : int;
   mutable max_total_bits : int;
+  mutable observers : (event -> unit) list;
+  (* Event sinks, called in registration order.  Observers must not
+     mutate the world; the list is empty in unsanitized runs, and every
+     emission site is guarded so that dormant observers cost one list
+     check and no allocation. *)
 }
 
 let create ?(seed = 1) ?(metrics = true) ~algorithm ~n ~f ~workload () =
@@ -173,7 +214,12 @@ let create ?(seed = 1) ?(metrics = true) ~algorithm ~n ~f ~workload () =
     metrics;
     max_obj_bits = 0;
     max_total_bits = 0;
+    observers = [];
   }
+
+let add_observer w f = w.observers <- w.observers @ [ f ]
+let observed w = w.observers <> []
+let emit w ev = List.iter (fun f -> f ev) w.observers
 
 let enqueue_op w ~client kind =
   if client < 0 || client >= Array.length w.clients then
@@ -371,6 +417,8 @@ let handle_fiber w cl op (body : unit -> bytes option) : fiber_outcome =
                          obj;
                          payload_bits = Sb_storage.Accounting.bits_of_blocks payload;
                        });
+                  if observed w then
+                    emit w (E_trigger { ticket; obj; op; nature; payload });
                   continue k ticket)
             | Await (tickets, quorum) ->
               Some
@@ -387,8 +435,12 @@ let handle_fiber w cl op (body : unit -> bytes option) : fiber_outcome =
                           "Runtime.await: ticket was consumed by an earlier await")
                     tickets;
                   w.step_awaits <- tickets @ w.step_awaits;
-                  if await_satisfied w tickets quorum then
-                    continue k (consume w cl tickets)
+                  if await_satisfied w tickets quorum then begin
+                    let rs = consume w cl tickets in
+                    if observed w then
+                      emit w (E_await { op; tickets; quorum; responders = rs });
+                    continue k rs
+                  end
                   else begin
                     cl.waiting <- Some { w_tickets = tickets; w_quorum = quorum; w_k = k };
                     cl.status <- Parked;
@@ -410,7 +462,8 @@ let finish_op w cl (op : op) result =
          | None -> false)
        w.pending_order);
   w.ret_events <- w.ret_events + 1;
-  Trace.add w.tr (Return { time = w.now; op = op.id; client = cl.cid; result })
+  Trace.add w.tr (Return { time = w.now; op = op.id; client = cl.cid; result });
+  if observed w then emit w (E_return { op; result })
 
 let invoke_next w cl =
   match cl.queue with
@@ -423,6 +476,7 @@ let invoke_next w cl =
     cl.current_op <- Some op;
     w.inv_events <- w.inv_events + 1;
     Trace.add w.tr (Invoke { time = w.now; op = op.id; client = cl.cid; kind });
+    if observed w then emit w (E_invoke { op });
     let ctx = { self = cl.cid; op; n_objects = w.n; prng = cl.c_prng } in
     let body () =
       match kind with
@@ -446,6 +500,8 @@ let resume w cl =
     w.step_awaits <- w_tickets @ w.step_awaits;
     let rs = consume w cl w_tickets in
     let op = match cl.current_op with Some op -> op | None -> assert false in
+    if observed w then
+      emit w (E_await { op; tickets = w_tickets; quorum = w_quorum; responders = rs });
     (match continue w_k rs with
      | Done result -> finish_op w cl op result
      | Blocked -> ())
@@ -493,11 +549,28 @@ let deliver w ticket =
       invalid_arg "Runtime.step: object has crashed; RMW cannot take effect";
     Hashtbl.remove w.pendings ticket;
     w.pending_order <- List.filter (fun t -> t <> ticket) w.pending_order;
-    let state, resp = p.p_rmw w.objects.(p.p_obj) in
+    let before = w.objects.(p.p_obj) in
+    let state, resp = p.p_rmw before in
     w.objects.(p.p_obj) <- state;
     Trace.add w.tr (Rmw_deliver { time = w.now; ticket; obj = p.p_obj });
     let cl = w.clients.(p.p_client) in
-    if cl.status <> Crashed && not (Hashtbl.mem w.consumed ticket) then begin
+    let observable = cl.status <> Crashed && not (Hashtbl.mem w.consumed ticket) in
+    if observed w then
+      emit w
+        (E_deliver
+           {
+             ticket;
+             obj = p.p_obj;
+             client = p.p_client;
+             op = p.p_op.id;
+             nature = p.p_nature;
+             rmw = p.p_rmw;
+             before;
+             after = state;
+             resp;
+             observable;
+           });
+    if observable then begin
       Hashtbl.replace w.responses ticket
         { d_obj = p.p_obj; d_client = p.p_client; d_op = p.p_op.id; d_resp = resp };
       match cl.status, cl.waiting with
@@ -514,7 +587,8 @@ let crash_obj w i =
   if crashed >= w.f then
     invalid_arg "Runtime.step: cannot crash more than f base objects";
   w.alive.(i) <- false;
-  Trace.add w.tr (Crash_object { time = w.now; obj = i })
+  Trace.add w.tr (Crash_object { time = w.now; obj = i });
+  if observed w then emit w (E_crash_obj i)
 
 let crash_client w c =
   if c < 0 || c >= Array.length w.clients then
@@ -533,7 +607,8 @@ let crash_client w c =
          | Some p -> p.p_client = c
          | None -> false)
        w.pending_order);
-  Trace.add w.tr (Crash_client { time = w.now; client = c })
+  Trace.add w.tr (Crash_client { time = w.now; client = c });
+  if observed w then emit w (E_crash_client c)
 
 let step w decision =
   w.now <- w.now + 1;
@@ -689,17 +764,17 @@ let fingerprint w =
    (client, op, object, rank), where rank orders same-key tickets by
    allocation — stable, because a fiber triggers its RMWs in program
    order. *)
-let canonical_ids w =
+let canonical_ids ?(rename = string_of_int) w =
   let entries =
     List.rev_map
       (fun t ->
         let p = Hashtbl.find w.pendings t in
-        ((p.p_client, p.p_op.id, p.p_obj), t))
+        ((p.p_client, rename p.p_op.id, p.p_obj), t))
       w.pending_order
   in
   let entries =
     Hashtbl.fold
-      (fun t (r : delivered) acc -> ((r.d_client, r.d_op, r.d_obj), t) :: acc)
+      (fun t (r : delivered) acc -> ((r.d_client, rename r.d_op, r.d_obj), t) :: acc)
       w.responses entries
   in
   let tbl = Hashtbl.create 32 in
@@ -716,7 +791,7 @@ let canonical_ids w =
 
 let canonical_of tbl t =
   match Hashtbl.find_opt tbl t with
-  | Some (c, o, ob, r) -> Printf.sprintf "%d.%d.%d.%d" c o ob r
+  | Some (c, o, ob, r) -> Printf.sprintf "%d.%s.%d.%d" c o ob r
   | None -> "dead." ^ string_of_int t (* not live: conservative raw name *)
 
 let canonical_decisions w ds =
@@ -751,8 +826,71 @@ let canonical_decisions w ds =
    round counters and byte maxima (metrics — a cached revisit may
    under-report them), and RMW delivery events (not part of the
    operation history). *)
-let exploration_key w =
-  let tbl = canonical_ids w in
+(* Lexicographic normal form of the operation-event word under the
+   commutation relation the checkers justify: two events commute unless
+   one is an Invoke and the other a Return (swapping that adjacency
+   flips a "return before invoke" precedence edge; invoke/invoke and
+   return/return swaps preserve the relation, and crash markers are not
+   consumed by the checkers at all).  Greedy selection of the least
+   event whose earlier dependent events have all been emitted computes
+   the unique lexicographically least word of the trace-equivalence
+   class, so two histories canonicalize equally iff every order-based
+   verdict agrees on them.  (A guarded bubble sort would not do: with
+   crash markers commuting across both event kinds the swap relation
+   has distinct local minima.) *)
+let canonical_op_events evs =
+  let dependent a b =
+    match (a, b) with `I _, `R _ | `R _, `I _ -> true | _ -> false
+  in
+  let rec remove_first x = function
+    | [] -> []
+    | y :: rest -> if y = x then rest else y :: remove_first x rest
+  in
+  let rec emit acc word =
+    match word with
+    | [] -> List.rev acc
+    | _ ->
+      let best = ref None in
+      let rec scan prefix = function
+        | [] -> ()
+        | x :: rest ->
+          (if not (List.exists (dependent x) prefix) then
+             match !best with
+             | Some b when compare b x <= 0 -> ()
+             | _ -> best := Some x);
+          scan (x :: prefix) rest
+      in
+      scan [] word;
+      (match !best with
+       | None -> List.rev_append acc word (* unreachable: the head is available *)
+       | Some x -> emit (x :: acc) (remove_first x word))
+  in
+  emit [] evs
+
+(* Canonical, allocation-order-independent operation names.  Op ids are
+   assigned globally at invocation, so two interleavings that merely
+   reorder a pair of invocations number the same logical op differently
+   — a renaming histories and verdicts never depend on.  The k-th op
+   invoked by client [c] is canonically ["c_k"]: stable, because each
+   client invokes its queue in program order. *)
+let canonical_op_names w =
+  let tbl = Hashtbl.create 16 and counts = Hashtbl.create 8 in
+  List.iter
+    (function
+      | Trace.Invoke { op; client; _ } ->
+        let k = Option.value ~default:0 (Hashtbl.find_opt counts client) in
+        Hashtbl.replace counts client (k + 1);
+        Hashtbl.replace tbl op (Printf.sprintf "%d_%d" client k)
+      | _ -> ())
+    (Trace.events w.tr);
+  fun o ->
+    match Hashtbl.find_opt tbl o with
+    | Some name -> name
+    | None -> "x" ^ string_of_int o (* never invoked: raw name is stable *)
+
+let key_digest ~canonical_history w =
+  let rename = if canonical_history then canonical_op_names w else string_of_int in
+  let tbl = canonical_ids ~rename w in
   let status_code = function Idle -> 0 | Parked -> 1 | Runnable -> 2 | Crashed -> 3 in
   let nature_code = function `Mutating -> 0 | `Readonly -> 1 | `Merge -> 2 in
   let clients =
@@ -761,7 +899,7 @@ let exploration_key w =
            ( status_code cl.status,
              cl.queue,
              (match cl.current_op with
-              | Some op -> Some (op.id, op.kind)
+              | Some op -> Some (rename op.id, op.kind)
               | None -> None),
              (match cl.waiting with
               | Some { w_tickets; w_quorum; _ } ->
@@ -790,13 +928,14 @@ let exploration_key w =
   let history =
     List.filter_map
       (function
-        | Trace.Invoke { op; client; kind; _ } -> Some (`I (op, client, kind))
-        | Trace.Return { op; client; result; _ } -> Some (`R (op, client, result))
+        | Trace.Invoke { op; client; kind; _ } -> Some (`I (rename op, client, kind))
+        | Trace.Return { op; client; result; _ } -> Some (`R (rename op, client, result))
         | Trace.Crash_object { obj; _ } -> Some (`CO obj)
         | Trace.Crash_client { client; _ } -> Some (`CC client)
         | Trace.Rmw_trigger _ | Trace.Rmw_deliver _ -> None)
       (Trace.events w.tr)
   in
+  let history = if canonical_history then canonical_op_events history else history in
   let repr =
     ( Array.to_list w.objects,
       Array.to_list w.alive,
@@ -806,6 +945,9 @@ let exploration_key w =
       history )
   in
   Digest.to_hex (Digest.string (Marshal.to_string repr []))
+
+let exploration_key w = key_digest ~canonical_history:false w
+let audit_key w = key_digest ~canonical_history:true w
 
 let decision_to_string = function
   | Deliver t -> "deliver " ^ string_of_int t

@@ -216,6 +216,57 @@ val last_step_awaits : world -> int list
     what lets the model checker treat a delivery and a same-client step
     as independent when the ticket is not among them. *)
 
+(** {1 Execution observers (sanitizer hooks)}
+
+    Monitors (e.g. [Sb_sanitize]) subscribe to fine-grained execution
+    events.  Events are deliberately richer than {!Trace.event}: a
+    delivery exposes the RMW closure and the object states around it, an
+    await its responder set — everything an online invariant checker
+    needs and a post-hoc trace cannot reconstruct.  With no observers
+    registered the emission sites cost one list check and allocate
+    nothing. *)
+
+type event =
+  | E_invoke of { op : op }
+  | E_return of { op : op; result : bytes option }
+  | E_trigger of {
+      ticket : int;
+      obj : int;
+      op : op;
+      nature : rmw_nature;
+      payload : Sb_storage.Block.t list;
+    }
+  | E_deliver of {
+      ticket : int;
+      obj : int;
+      client : int;
+      op : int;
+      nature : rmw_nature;
+      rmw : rmw;  (** The applied closure, re-appliable by monitors: an
+                      RMW must be a pure function of the object state. *)
+      before : Sb_storage.Objstate.t;
+      after : Sb_storage.Objstate.t;
+      resp : resp;
+      observable : bool;
+          (** The response was recorded for a future await — [false] for
+              stragglers of consumed awaits and crashed clients. *)
+    }
+  | E_await of {
+      op : op;
+      tickets : int list;
+      quorum : int;
+      responders : (int * resp) list;
+          (** The [(object, response)] pairs the await returned. *)
+    }
+  | E_crash_obj of int
+  | E_crash_client of int
+
+val add_observer : world -> (event -> unit) -> unit
+(** Registers an event sink, called on every event in registration
+    order.  Observers must not mutate the world.  Observers are not part
+    of the {!fingerprint}/{!exploration_key} state, so instrumented and
+    bare replays of the same decision trace reach identical digests. *)
+
 (** {1 Scheduling} *)
 
 type decision =
@@ -312,6 +363,20 @@ val exploration_key : world -> string
     revisited key.  Unlike {!fingerprint} this deliberately ignores
     clocks, allocation counters, and metrics such as round counters and
     storage maxima. *)
+
+val audit_key : world -> string
+(** Like {!exploration_key}, but the operation-event word is first
+    rewritten to the lexicographic normal form of its trace-equivalence
+    class under the commutation the checkers justify: invoke/invoke and
+    return/return adjacencies commute, crash markers commute with
+    everything (no checker consumes them), and only an invoke/return
+    adjacency is order-significant (swapping it flips a precedence
+    edge).  Two worlds get equal audit keys exactly when they agree on
+    behavioural state {e and} on every order-based consistency verdict —
+    the ground truth the independence audit in [Sb_sanitize] compares
+    against, where strict {!exploration_key} equality would wrongly
+    flag the verdict-preserving invocation/invocation swaps the
+    explorer deliberately permits. *)
 
 val canonical_decisions : world -> decision list -> string list
 (** The decisions' stable names under the same canonical ticket naming

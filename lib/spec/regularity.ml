@@ -13,6 +13,7 @@ type reason =
   | Intervening_write of { returned : int; between : int }
   | Order_cycle of int list
   | Not_linearizable
+  | Search_budget of { explored : int }
 
 type counterexample = {
   cx_read : int option;
@@ -43,6 +44,10 @@ let reason_to_string ~read reason =
     Printf.sprintf "no single write order satisfies all reads (cycle %s)"
       (String.concat " -> " (List.map node_name cycle))
   | Not_linearizable -> "history is not linearizable"
+  | Search_budget { explored } ->
+    Printf.sprintf
+      "linearizability search exhausted its budget after %d states (inconclusive)"
+      explored
 
 let to_string cx =
   let base = reason_to_string ~read:cx.cx_read cx.cx_reason in
@@ -243,7 +248,9 @@ let check_safe h =
 (* Atomicity (linearizability) via Wing & Gong search                  *)
 (* ------------------------------------------------------------------ *)
 
-let check_atomic h =
+exception Budget_spent
+
+let check_atomic ?(budget = 5_000_000) h =
   let ops =
     List.map (fun w -> `W w) h.writes @ List.map (fun r -> `R r) h.reads
   in
@@ -273,10 +280,13 @@ let check_atomic h =
     if node = 0 then h.initial
     else (List.find (fun w -> w.w_op = node) h.writes).value
   in
+  let visited = ref 0 in
   let rec search remaining current =
     if remaining = 0 then true
     else if Hashtbl.mem failed (remaining, current) then false
     else begin
+      incr visited;
+      if !visited > budget then raise Budget_spent;
       let progressed = ref false in
       for i = 0 to count - 1 do
         if (not !progressed) && remaining land (1 lsl i) <> 0 && minimal remaining i
@@ -307,6 +317,13 @@ let check_atomic h =
     List.find_opt (fun r -> r.r_ret <> None && r.result = None) h.reads
   with
   | Some r -> mk ~read:r.r_op Bottom_read
-  | None ->
-    if search ((1 lsl count) - 1) 0 then Ok
-    else mk ~order:(invocation_order h) Not_linearizable
+  | None -> (
+    (* The search is exact: [Not_linearizable] means the complete Wing &
+       Gong search failed — a definitive violation.  Running out of
+       [budget] is a different, inconclusive answer and gets its own
+       reason so callers never mistake "gave up" for "refuted". *)
+    match search ((1 lsl count) - 1) 0 with
+    | true -> Ok
+    | false -> mk ~order:(invocation_order h) Not_linearizable
+    | exception Budget_spent ->
+      mk ~order:(invocation_order h) (Search_budget { explored = !visited }))

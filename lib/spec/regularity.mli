@@ -51,7 +51,13 @@ type reason =
       (** No single write order serves all reads: the constraint graph
           (real-time precedence + per-read ordering demands) has this
           cycle, given as a node path [u; ...; u]. *)
-  | Not_linearizable  (** Wing–Gong search exhausted (atomicity only). *)
+  | Not_linearizable
+      (** The complete Wing–Gong search found no linearization — a
+          definitive refutation of atomicity (atomicity only). *)
+  | Search_budget of { explored : int }
+      (** The Wing–Gong search hit its state budget before completing —
+          {e inconclusive}, not a refutation; [explored] is the number of
+          search states visited (atomicity only). *)
 
 type counterexample = {
   cx_read : int option;
@@ -77,11 +83,17 @@ val check_strong : History.t -> verdict
 val check_safe : History.t -> verdict
 (** Strong safety: only reads without concurrent writes are constrained. *)
 
-val check_atomic : History.t -> verdict
+val check_atomic : ?budget:int -> History.t -> verdict
 (** Linearizability of the whole history (reads and writes).  None of
     the paper's algorithms promise this — ABD without read write-back is
     regular but not atomic — but the checker is useful for documenting
-    {e why} (new/old inversions show up as violations). *)
+    {e why} (new/old inversions show up as violations).
+
+    [budget] (default [5_000_000]) caps the number of search states the
+    (worst-case exponential) Wing–Gong search may visit.  When the cap
+    is hit the verdict is a violation with reason {!Search_budget} —
+    "gave up", never to be conflated with the definitive
+    {!Not_linearizable} that only a completed search reports. *)
 
 val to_string : counterexample -> string
 (** One-line rendering: reason, candidate order, violated edge. *)

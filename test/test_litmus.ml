@@ -87,7 +87,7 @@ let abd_atomic () =
     a_n = n;
     a_f = f;
     a_level = "atomicity";
-    a_check = Reg.check_atomic;
+    a_check = (fun h -> Reg.check_atomic h);
   }
 
 let adaptive () =
