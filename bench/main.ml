@@ -7,9 +7,12 @@
      codec encode/decode, simulator and adversary step rates).
 
    plus `sanitize-overhead`: the cost of running with the [Sb_sanitize]
-   monitors attached (EXPERIMENTS.md row M2; exits non-zero past 2.5x).
+   monitors attached (EXPERIMENTS.md row M2; exits non-zero past 2.5x),
+   and `chaos-overhead`: the per-step cost of the [Sb_faults] fault
+   plane on message-passing runs (row M3; same 2.5x budget).
 
-   Usage: main.exe [tables|micro|sanitize-overhead|all] (default: all). *)
+   Usage: main.exe [tables|micro|sanitize-overhead|chaos-overhead|all]
+   (default: all). *)
 
 open Bechamel
 open Toolkit
@@ -276,6 +279,81 @@ let sanitize_overhead () =
   Printf.printf "budget (< 2.50x): %s\n" (if !budget_ok then "ok" else "EXCEEDED");
   !budget_ok
 
+(* ------------------------------------------------------------------ *)
+(* Chaos overhead (EXPERIMENTS.md row M3)                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Message-passing runs, fault-free random schedule vs. the full fault
+   plane (loss + duplication + delay + one crash/recovery, retransmission
+   armed, Sb_faults injection policy).  Faulty runs take more steps by
+   design; the per-step cost of the fault plane itself is what is
+   budgeted (< 2.5x). *)
+let chaos_overhead () =
+  let module MP = Sb_msgnet.Mp_runtime in
+  let vb = 64 in
+  let f = 1 and k = 2 in
+  let n = (2 * f) + k in
+  let codec = Sb_codec.Codec.rs_vandermonde ~value_bytes:vb ~k ~n in
+  let cfg = { Sb_registers.Common.n; f; codec } in
+  let workload =
+    Sb_experiments.Workloads.writers_and_readers ~value_bytes:vb ~writers:2
+      ~writes_each:2 ~readers:1 ~reads_each:2
+  in
+  let plan =
+    Sb_faults.Plan.crash_recovery ~server:0 ~crash_at:50 ~recover_at:150
+      (Sb_faults.Plan.lossy ~duplicate:0.1 ~delay:0.05 0.2)
+  in
+  let bare_run () =
+    let w =
+      MP.create ~algorithm:(Sb_registers.Adaptive.make cfg) ~n ~f ~workload ()
+    in
+    (MP.run w (MP.random_policy ~seed:1 ())).MP.steps
+  in
+  let chaos_run () =
+    let w =
+      MP.create ~retransmit:{ MP.rto = 50; max_attempts = 0 }
+        ~algorithm:(Sb_registers.Adaptive.make cfg) ~n ~f ~workload ()
+    in
+    (MP.run w (Sb_faults.Inject.policy ~seed:1 plan)).MP.steps
+  in
+  let tests =
+    [
+      Test.make ~name:"msgnet-bare" (Staged.stage (fun () -> ignore (bare_run ())));
+      Test.make ~name:"msgnet-chaos"
+        (Staged.stage (fun () -> ignore (chaos_run ())));
+    ]
+  in
+  let results = measure ~name:"chaos-overhead" tests in
+  let bare_steps = bare_run () and chaos_steps = chaos_run () in
+  let bare = ns_per_run results "chaos-overhead/msgnet-bare" /. float_of_int bare_steps in
+  let chaos =
+    ns_per_run results "chaos-overhead/msgnet-chaos" /. float_of_int chaos_steps
+  in
+  let ratio = chaos /. bare in
+  let table =
+    Sb_util.Table.create
+      ~title:"M3  fault-plane overhead (message-passing run, adaptive)"
+      [
+        ("schedule", Sb_util.Table.Left);
+        ("steps", Sb_util.Table.Right);
+        ("ns/step", Sb_util.Table.Right);
+        ("ratio", Sb_util.Table.Right);
+      ]
+  in
+  Sb_util.Table.add_row table
+    [ "fault-free"; string_of_int bare_steps; Printf.sprintf "%.0f" bare; "1.00x" ];
+  Sb_util.Table.add_row table
+    [
+      "chaos (drop 0.2 + dup + delay + crash/recovery)";
+      string_of_int chaos_steps;
+      Printf.sprintf "%.0f" chaos;
+      Printf.sprintf "%.2fx" ratio;
+    ];
+  Sb_util.Table.print table;
+  let ok = ratio < 2.5 in
+  Printf.printf "budget (< 2.50x per step): %s\n" (if ok then "ok" else "EXCEEDED");
+  ok
+
 let micro () =
   run_group ~name:"galois-field" gf_tests;
   run_group ~name:"codecs-1KiB" codec_tests;
@@ -292,10 +370,12 @@ let () =
   | "tables" -> tables ()
   | "micro" -> micro ()
   | "sanitize-overhead" -> if not (sanitize_overhead ()) then exit 1
+  | "chaos-overhead" -> if not (chaos_overhead ()) then exit 1
   | "all" ->
     tables ();
     micro ();
-    ignore (sanitize_overhead ())
+    ignore (sanitize_overhead ());
+    ignore (chaos_overhead ())
   | _ ->
     prerr_endline "usage: main.exe [tables|micro|sanitize-overhead|all]";
     exit 2

@@ -10,6 +10,9 @@
    - explore         systematically enumerate ALL schedules of a bounded
                      configuration (DPOR + bounding), check every history,
                      shrink any counterexample
+   - chaos           fault-injection campaigns over the message-passing
+                     emulation: loss x duplication x delay x crash/recovery,
+                     sanitized, consistency-checked, accounting-checked
    - adversary-demo  step-by-step Ad walkthrough (the paper's Figure 3) *)
 
 open Cmdliner
@@ -883,6 +886,156 @@ let demo_cmd =
     Term.(const run $ algo_arg $ value_bytes_arg $ f_arg $ k_arg $ c_arg $ steps_arg)
 
 (* ------------------------------------------------------------------ *)
+(* chaos                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let chaos_cmd =
+  let algo_label = function
+    | Adaptive -> "adaptive"
+    | Pure_ec -> "pure-ec"
+    | Abd -> "abd"
+    | Abd_atomic -> "abd-atomic"
+    | Abd_broken -> "abd-broken"
+    | Abd_misdeclared -> "abd-misdeclared"
+    | Premature_gc -> "premature-gc"
+    | Safe -> "safe"
+    | Versioned d -> Printf.sprintf "versioned:%d" d
+    | Rateless -> "rateless"
+  in
+  let spec_of ~algo ~value_bytes ~f ~k =
+    let _, cfg = build ~algo ~value_bytes ~f ~k in
+    let check =
+      match algo with
+      | Abd_atomic -> Sb_spec.Regularity.check_atomic ?budget:None
+      | Safe -> Sb_spec.Regularity.check_safe
+      | _ -> Sb_spec.Regularity.check_strong
+    in
+    let reg_avail =
+      match algo with
+      | Adaptive | Pure_ec | Abd | Abd_atomic -> true
+      | _ -> false
+    in
+    { Sb_faults.Chaos.sp_name = algo_label algo;
+      sp_make = (fun () -> fst (build ~algo ~value_bytes ~f ~k));
+      sp_n = cfg.Sb_registers.Common.n;
+      sp_f = cfg.Sb_registers.Common.f;
+      sp_k = code_k ~algo ~k;
+      sp_value_bytes = value_bytes;
+      sp_reg_avail = reg_avail;
+      sp_check = check;
+    }
+  in
+  let all_arg =
+    Arg.(
+      value & flag
+      & info [ "all" ]
+          ~doc:"Sweep the whole correct-register matrix (adaptive, pure-ec, \
+                abd, abd-atomic, safe, versioned:1, rateless) instead of one \
+                algorithm.")
+  in
+  let f_arg =
+    Arg.(value & opt int 1 & info [ "f" ] ~docv:"F" ~doc:"Failures tolerated.")
+  in
+  let k_arg =
+    Arg.(value & opt int 2 & info [ "k" ] ~docv:"K" ~doc:"Code dimension.")
+  in
+  let seeds_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "seeds" ] ~docv:"N" ~doc:"Scheduler seeds per campaign cell.")
+  in
+  let drops_arg =
+    Arg.(
+      value
+      & opt (list float) [ 0.0; 0.1; 0.3 ]
+      & info [ "drops" ] ~docv:"RATES" ~doc:"Comma-separated drop-rate sweep.")
+  in
+  let duplicate_arg =
+    Arg.(
+      value & opt float 0.1
+      & info [ "duplicate" ] ~docv:"RATE" ~doc:"Network duplication rate.")
+  in
+  let delay_arg =
+    Arg.(
+      value & opt float 0.05
+      & info [ "delay" ] ~docv:"RATE" ~doc:"Extra-delay rate.")
+  in
+  let no_crash_arg =
+    Arg.(
+      value & flag
+      & info [ "no-crash" ]
+          ~doc:"Skip the mid-run server crash + recovery schedule.")
+  in
+  let no_sanitize_arg =
+    Arg.(
+      value & flag
+      & info [ "no-sanitize" ]
+          ~doc:"Run without the Sb_sanitize monitors (they are on by default \
+                in chaos campaigns).")
+  in
+  let budget_arg =
+    Arg.(
+      value & opt int 100_000
+      & info [ "budget" ] ~docv:"STEPS" ~doc:"Step budget per run.")
+  in
+  let quick_arg =
+    Arg.(
+      value & flag
+      & info [ "quick" ]
+          ~doc:"CI-sized preset: 3 seeds, drops 0 and 0.2 (other fault flags \
+                still apply).")
+  in
+  let csv_arg =
+    Arg.(value & flag & info [ "csv" ] ~doc:"Emit the report as CSV.")
+  in
+  let run algo all value_bytes f k seeds seed drops duplicate delay no_crash
+      no_sanitize budget quick csv =
+    let module C = Sb_faults.Chaos in
+    let base = if quick then C.quick_config else C.default_config in
+    let cfg =
+      { base with
+        C.seeds = (if quick then base.C.seeds else seeds);
+        base_seed = seed;
+        drops = (if quick then base.C.drops else drops);
+        duplicate;
+        delay;
+        crash_recovery = not no_crash;
+        sanitize = not no_sanitize;
+        max_steps = budget;
+        watchdog_budget = budget / 4;
+      }
+    in
+    let algos =
+      if all then
+        [ Adaptive; Pure_ec; Abd; Abd_atomic; Safe; Versioned 1; Rateless ]
+      else [ algo ]
+    in
+    let specs = List.map (fun algo -> spec_of ~algo ~value_bytes ~f ~k) algos in
+    let cells = C.campaign cfg specs in
+    let table = C.report cells in
+    if csv then print_string (Sb_util.Table.to_csv table)
+    else Sb_util.Table.print table;
+    if C.all_ok cells then
+      Printf.printf "chaos: all %d cells passed (%d runs)\n" (List.length cells)
+        (List.length cells * cfg.C.seeds)
+    else begin
+      C.explain_failures Format.std_formatter cells;
+      print_endline "chaos: FAILURES (see above)";
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Fault-injection campaigns: sweep drop rates x duplication x \
+             crash/recovery over seeded schedules with retransmission armed, \
+             sanitizers attached, consistency checked, and channel-inclusive \
+             storage accounting verified.")
+    Term.(
+      const run $ algo_arg $ all_arg $ value_bytes_arg $ f_arg $ k_arg
+      $ seeds_arg $ seed_arg $ drops_arg $ duplicate_arg $ delay_arg
+      $ no_crash_arg $ no_sanitize_arg $ budget_arg $ quick_arg $ csv_arg)
+
+(* ------------------------------------------------------------------ *)
 (* quorums                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -918,5 +1071,5 @@ let () =
        (Cmd.group info
           [
             experiments_cmd; lower_bound_cmd; simulate_cmd; explore_cmd;
-            replay_cmd; demo_cmd; quorums_cmd; audit_cmd;
+            replay_cmd; demo_cmd; quorums_cmd; audit_cmd; chaos_cmd;
           ]))

@@ -1,0 +1,149 @@
+module MP = Sb_msgnet.Mp_runtime
+module Trace = Sb_sim.Trace
+module Prng = Sb_util.Prng
+
+(* A message's fate is rolled once, the first time the policy sees it,
+   and remembered by msg_id: re-rolling at every poll would compound the
+   probabilities with the (schedule-dependent) number of polls. *)
+type fate =
+  | Deliver
+  | Lose
+  | Clone          (* duplicate once, then deliver normally *)
+  | Held of int    (* extra network delay until this time *)
+
+let dead_servers w =
+  let dead = ref 0 in
+  for i = 0 to MP.n_servers w - 1 do
+    if not (MP.server_alive w i) then incr dead
+  done;
+  !dead
+
+let policy ?(seed = 0) (plan : Plan.t) : MP.policy =
+  let rng = Prng.create (0x5b_fa17 lxor (seed * 0x9e3779b9)) in
+  let crashes = ref (List.sort compare plan.Plan.crashes) in
+  let recoveries = ref (List.sort compare plan.Plan.recoveries) in
+  let fates : (int, fate) Hashtbl.t = Hashtbl.create 64 in
+  let fate_of now (m : MP.message_info) =
+    match Hashtbl.find_opt fates m.MP.msg_id with
+    | Some f -> f
+    | None ->
+      let r = Prng.float rng 1.0 in
+      let f =
+        if r < plan.Plan.drop then Lose
+        else if r < plan.drop +. plan.duplicate then Clone
+        else if r < plan.drop +. plan.duplicate +. plan.delay then
+          Held (now + 1 + Prng.int rng (max 1 plan.delay_steps))
+        else Deliver
+      in
+      Hashtbl.replace fates m.MP.msg_id f;
+      f
+  in
+  fun w ->
+    let now = MP.time w in
+    (* Scheduled recoveries first (they free the crash budget), then
+       scheduled crashes, gated on the budget the runtime enforces. *)
+    let due_recover =
+      List.find_opt
+        (fun (tm, s) -> tm <= now && not (MP.server_alive w s))
+        !recoveries
+    in
+    match due_recover with
+    | Some ((_, s) as e) ->
+      recoveries := List.filter (fun e' -> e' <> e) !recoveries;
+      MP.Recover_server s
+    | None -> (
+      let due_crash =
+        List.find_opt
+          (fun (tm, s) -> tm <= now && MP.server_alive w s)
+          !crashes
+      in
+      match due_crash with
+      | Some ((_, s) as e) when dead_servers w < MP.f_tolerance w ->
+        crashes := List.filter (fun e' -> e' <> e) !crashes;
+        MP.Crash_server s
+      | _ -> (
+        (* Requests addressed to a dead server: the transport refuses the
+           connection, so the message is lost (retransmission timers, not
+           the channel, carry the op across the outage). *)
+        let refused =
+          List.find_opt
+            (fun (m : MP.message_info) ->
+              m.MP.kind = MP.Request && not (MP.server_alive w m.MP.m_server))
+            (MP.in_flight w)
+        in
+        match refused with
+        | Some m -> MP.Drop_msg m.MP.msg_id
+        | None -> (
+          (* Classify deliverable messages: partition isolation first,
+             then the per-message fate roll. *)
+          let eligible = ref [] and losses = ref [] and clones = ref [] in
+          let waiting_on_net = ref false in
+          List.iter
+            (fun (m : MP.message_info) ->
+              match Plan.isolation plan ~now m.MP.m_server with
+              | Some Plan.Isolate_drop -> losses := m :: !losses
+              | Some Plan.Isolate_hold -> waiting_on_net := true
+              | None -> (
+                match fate_of now m with
+                | Lose -> losses := m :: !losses
+                | Clone -> clones := m :: !clones
+                | Held release when now < release -> waiting_on_net := true
+                | Held _ | Deliver -> eligible := m :: !eligible))
+            (MP.deliverable w);
+          match !losses with
+          | m :: _ -> MP.Drop_msg m.MP.msg_id
+          | [] -> (
+            match !clones with
+            | m :: _ ->
+              (* The clone gets its own msg_id and its own fate roll;
+                 the original now delivers normally. *)
+              Hashtbl.replace fates m.MP.msg_id Deliver;
+              MP.Duplicate_msg m.MP.msg_id
+            | [] ->
+              let choices =
+                List.map (fun (m : MP.message_info) -> MP.Deliver_msg m.MP.msg_id)
+                  !eligible
+                @ List.map (fun c -> MP.Step c) (MP.steppable w)
+                @ List.map (fun t -> MP.Retransmit t) (MP.due_retransmits w)
+              in
+              if choices <> [] then Prng.pick_list rng choices
+              else begin
+                (* Nothing enabled right now; advance time if anything is
+                   waiting on it — a held message, a pending
+                   retransmission deadline, or a scheduled recovery of a
+                   currently-dead server. *)
+                let waiting =
+                  !waiting_on_net
+                  || MP.pending_retransmits w <> []
+                  || List.exists
+                       (fun (_, s) -> not (MP.server_alive w s))
+                       !recoveries
+                in
+                if waiting then MP.Tick else MP.Halt
+              end))))
+
+type stuck = {
+  wd_op : int;
+  wd_kind : Trace.op_kind;
+  wd_invoked : int;
+  wd_age : int;
+}
+
+let watchdog ~budget w =
+  if budget <= 0 then invalid_arg "Sb_faults.Inject.watchdog: budget must be > 0";
+  let now = MP.time w in
+  List.filter_map
+    (fun (op, kind, invoked, returned, _) ->
+      match returned with
+      | Some _ -> None
+      | None when now - invoked > budget ->
+        Some { wd_op = op; wd_kind = kind; wd_invoked = invoked;
+               wd_age = now - invoked }
+      | None -> None)
+    (Trace.operations (MP.trace w))
+
+let pp_stuck ppf s =
+  Format.fprintf ppf "op %d (%s) invoked at t=%d still pending after %d steps"
+    s.wd_op
+    (match s.wd_kind with Trace.Read -> "read" | Trace.Write _ -> "write")
+    s.wd_invoked s.wd_age

@@ -1,0 +1,36 @@
+(** Seeded interpreter turning a {!Plan} into scheduling decisions.
+
+    The policy drives {!Sb_msgnet.Mp_runtime} and layers faults over a
+    fair random schedule: each message's fate (deliver / lose /
+    duplicate / delay) is rolled once from the seed the first time the
+    policy sees it; partitions isolate their servers until the heal
+    time; crashes and recoveries fire at their scheduled times, with
+    recoveries taking priority (they free the [f] crash budget the
+    runtime enforces).  Requests addressed to a dead server are dropped
+    — connection refused — so liveness across an outage comes from the
+    client's retransmission timers, not from the channel.  When nothing
+    is enabled but something is waiting on time (a held message, a
+    retransmission deadline, a scheduled recovery), the policy ticks;
+    otherwise it halts.
+
+    Identical [(plan, seed)] pairs make identical decision sequences. *)
+
+val policy : ?seed:int -> Plan.t -> Sb_msgnet.Mp_runtime.policy
+(** Fresh mutable policy state per call: do not share one policy between
+    worlds. *)
+
+(** {1 Liveness watchdog} *)
+
+type stuck = {
+  wd_op : int;  (** Operation id, as in {!Sb_sim.Trace.operations}. *)
+  wd_kind : Sb_sim.Trace.op_kind;
+  wd_invoked : int;
+  wd_age : int;  (** Steps since invocation, at observation time. *)
+}
+
+val watchdog : budget:int -> Sb_msgnet.Mp_runtime.world -> stuck list
+(** Operations invoked more than [budget] steps ago and still not
+    returned — the fairness-bounded deadline of the chaos campaigns.
+    Raises [Invalid_argument] if [budget <= 0]. *)
+
+val pp_stuck : Format.formatter -> stuck -> unit

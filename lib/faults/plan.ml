@@ -1,0 +1,106 @@
+type partition_mode = Isolate_drop | Isolate_hold
+
+type partition = {
+  p_name : string;
+  p_servers : int list;
+  p_start : int;
+  p_heal : int;
+  p_mode : partition_mode;
+}
+
+type t = {
+  drop : float;
+  duplicate : float;
+  delay : float;
+  delay_steps : int;
+  partitions : partition list;
+  crashes : (int * int) list;
+  recoveries : (int * int) list;
+}
+
+let none =
+  { drop = 0.0;
+    duplicate = 0.0;
+    delay = 0.0;
+    delay_steps = 16;
+    partitions = [];
+    crashes = [];
+    recoveries = [];
+  }
+
+let lossy ?(duplicate = 0.0) ?(delay = 0.0) ?(delay_steps = 16) drop =
+  { none with drop; duplicate; delay; delay_steps }
+
+let crash_recovery ~server ~crash_at ~recover_at t =
+  if recover_at <= crash_at then
+    invalid_arg "Sb_faults.Plan.crash_recovery: recovery must follow the crash";
+  { t with
+    crashes = t.crashes @ [ (crash_at, server) ];
+    recoveries = t.recoveries @ [ (recover_at, server) ];
+  }
+
+let partition ~name ~servers ~start ~heal ?(mode = Isolate_hold) t =
+  if heal <= start then
+    invalid_arg "Sb_faults.Plan.partition: heal must follow start";
+  { t with
+    partitions =
+      t.partitions
+      @ [ { p_name = name; p_servers = servers; p_start = start; p_heal = heal;
+            p_mode = mode } ];
+  }
+
+let isolation t ~now server =
+  List.fold_left
+    (fun acc p ->
+      if p.p_start <= now && now < p.p_heal && List.mem server p.p_servers then
+        match (acc, p.p_mode) with
+        | Some Isolate_drop, _ | _, Isolate_drop -> Some Isolate_drop
+        | _, Isolate_hold -> Some Isolate_hold
+      else acc)
+    None t.partitions
+
+let last_heal t =
+  List.fold_left (fun acc p -> max acc p.p_heal) min_int t.partitions
+
+let rate_ok r = r >= 0.0 && r <= 1.0
+
+let validate ~n ~f t =
+  if not (rate_ok t.drop && rate_ok t.duplicate && rate_ok t.delay) then
+    invalid_arg "Sb_faults.Plan.validate: rates must lie in [0, 1]";
+  if t.drop +. t.duplicate +. t.delay > 1.0 then
+    invalid_arg "Sb_faults.Plan.validate: drop + duplicate + delay must be <= 1";
+  if t.delay > 0.0 && t.delay_steps < 1 then
+    invalid_arg "Sb_faults.Plan.validate: delay_steps must be >= 1";
+  let server_ok s = s >= 0 && s < n in
+  List.iter
+    (fun p ->
+      if p.p_servers = [] || not (List.for_all server_ok p.p_servers) then
+        invalid_arg
+          (Printf.sprintf
+             "Sb_faults.Plan.validate: partition %S names an unknown server"
+             p.p_name))
+    t.partitions;
+  List.iter
+    (fun (_, s) ->
+      if not (server_ok s) then
+        invalid_arg "Sb_faults.Plan.validate: crash/recovery of an unknown server")
+    (t.crashes @ t.recoveries);
+  (* Sweep the crash/recovery schedule and check that it never asks for
+     more than [f] servers down at once (recoveries at a time tie are
+     applied first, matching the injection policy's priority). *)
+  let events =
+    List.sort compare
+      (List.map (fun (tm, s) -> (tm, 1, s)) t.crashes
+      @ List.map (fun (tm, s) -> (tm, 0, s)) t.recoveries)
+  in
+  let down = ref 0 and worst = ref 0 in
+  List.iter
+    (fun (_, kind, _) ->
+      if kind = 1 then begin
+        incr down;
+        if !down > !worst then worst := !down
+      end
+      else if !down > 0 then decr down)
+    events;
+  if !worst > f then
+    invalid_arg "Sb_faults.Plan.validate: crash schedule exceeds the f budget"

@@ -1,0 +1,66 @@
+(** Declarative fault plans for the message-passing runtime.
+
+    A plan is pure data: per-message fault probabilities, named network
+    partitions with heal times, and a crash/recovery schedule.  The
+    seeded interpreter lives in {!Inject}; two runs of the same plan
+    with the same seed make identical decisions. *)
+
+type partition_mode =
+  | Isolate_drop  (** Messages crossing the partition are lost. *)
+  | Isolate_hold
+      (** Messages crossing the partition are held in their channels and
+          delivered after the heal — the channel bits stay visible to
+          the storage accounting for the whole outage. *)
+
+type partition = {
+  p_name : string;
+  p_servers : int list;  (** Servers cut off from every client. *)
+  p_start : int;         (** Simulation time the partition appears. *)
+  p_heal : int;          (** Simulation time it heals ([> p_start]). *)
+  p_mode : partition_mode;
+}
+
+type t = {
+  drop : float;       (** Per-message loss probability. *)
+  duplicate : float;  (** Per-message network-duplication probability. *)
+  delay : float;      (** Per-message probability of an extra hold. *)
+  delay_steps : int;  (** Maximum extra hold, in simulation steps. *)
+  partitions : partition list;
+  crashes : (int * int) list;     (** [(time, server)] crash points. *)
+  recoveries : (int * int) list;  (** [(time, server)] recovery points. *)
+}
+
+val none : t
+(** The fault-free plan: under it {!Inject.policy} behaves like a fair
+    random scheduler. *)
+
+val lossy : ?duplicate:float -> ?delay:float -> ?delay_steps:int -> float -> t
+(** [lossy drop] is a message-fault-only plan.  Defaults: no
+    duplication, no delay. *)
+
+val crash_recovery : server:int -> crash_at:int -> recover_at:int -> t -> t
+(** Adds one crash/recovery pair for [server].  Raises
+    [Invalid_argument] unless [recover_at > crash_at]. *)
+
+val partition :
+  name:string ->
+  servers:int list ->
+  start:int ->
+  heal:int ->
+  ?mode:partition_mode ->
+  t ->
+  t
+(** Adds a named partition (default mode {!Isolate_hold}). *)
+
+val isolation : t -> now:int -> int -> partition_mode option
+(** [isolation t ~now server] is the strongest partition mode isolating
+    [server] at time [now] ([Isolate_drop] dominates), or [None]. *)
+
+val last_heal : t -> int
+(** Latest heal time over all partitions ([min_int] if none). *)
+
+val validate : n:int -> f:int -> t -> unit
+(** Checks rates lie in [0, 1] and sum to at most 1, partition and
+    crash/recovery schedules name servers in [0, n) with sane times, and
+    the crash schedule never exceeds the [f] concurrent-crash budget.
+    Raises [Invalid_argument] otherwise. *)

@@ -17,6 +17,12 @@ type message = {
   req : (R.rmw * Sb_storage.Block.t list) option;
   resp : R.resp option;
   m_nature : R.rmw_nature;
+  (* The destination server's incarnation when a request was (re)sent;
+     the sending server's incarnation for a response.  Deliveries whose
+     stamp no longer matches the server's current incarnation are
+     fenced: the connection they travelled on died with the old
+     incarnation. *)
+  m_incarnation : int;
   sent_at : int;
 }
 
@@ -28,6 +34,7 @@ type message_info = {
   m_ticket : int;
   m_op : int;
   m_bits : int;
+  m_incarnation : int;
   sent_at : int;
 }
 
@@ -48,17 +55,53 @@ type client = {
   c_prng : Sb_util.Prng.t;
 }
 
+type retransmit_config = {
+  rto : int;  (* initial timeout, in simulation steps *)
+  max_attempts : int;  (* 0 = unbounded *)
+}
+
+(* A client-side retransmission timer.  The retained request lives in
+   client memory (uncharged by Definition 2, which counts block bits at
+   base objects and in channels); each resend puts a fresh copy of the
+   payload on the wire, where it does count. *)
+type timer = {
+  t_client : int;
+  t_req : message;
+  mutable t_deadline : int;
+  mutable t_attempt : int;
+}
+
+type net_stats = {
+  dropped : int;
+  duplicated : int;
+  retransmissions : int;
+  fenced : int;
+  dedup_hits : int;
+  dropped_at_crash : int;
+  recoveries : int;
+}
+
 type world = {
   n : int;
   f : int;
   fifo : bool;
+  dedup : bool;
+  retransmit : retransmit_config option;
   algorithm : R.algorithm;
   servers : Objstate.t array;
   server_live : bool array;
+  server_incarnation : int array;
+  (* Per-server at-most-once table for the current incarnation:
+     (client, ticket) -> recorded response.  Volatile — a crash loses
+     it (the dedup key is morally (client, ticket, incarnation)) — so
+     RMWs re-applied across a recovery must be idempotent, which the
+     register protocols guarantee and [Sb_sanitize] spot-checks. *)
+  applied : (int * int, R.resp) Hashtbl.t array;
   clients : client array;
   channel : (int, message) Hashtbl.t;
   mutable channel_order : int list; (* newest first *)
   responses : (int, int * R.resp) Hashtbl.t;
+  timers : (int, timer) Hashtbl.t; (* keyed by ticket *)
   mutable next_msg : int;
   mutable next_ticket : int;
   mutable next_op : int;
@@ -66,8 +109,16 @@ type world = {
   tr : Trace.t;
   mutable max_server_bits : int;
   mutable max_channel_bits : int;
+  mutable max_combined_bits : int;
   mutable requests_sent : int;
   mutable responses_sent : int;
+  mutable dropped : int;
+  mutable duplicated : int;
+  mutable retransmissions : int;
+  mutable fenced : int;
+  mutable dedup_hits : int;
+  mutable dropped_at_crash : int;
+  mutable recoveries : int;
   mutable observers : (R.event -> unit) list;
   (* Same contract as [Runtime.add_observer]: monitors consume the
      shared-memory event vocabulary, with servers in the object role. *)
@@ -92,19 +143,29 @@ let info_of (m : message) : message_info =
     m_ticket = m.m_ticket;
     m_op = m.m_op;
     m_bits = message_bits m;
+    m_incarnation = m.m_incarnation;
     sent_at = m.sent_at;
   }
 
-let create ?(seed = 1) ?(fifo = false) ~algorithm ~n ~f ~workload () =
+let create ?(seed = 1) ?(fifo = false) ?(dedup = true) ?retransmit ~algorithm ~n
+    ~f ~workload () =
   if f < 0 || 2 * f >= n then invalid_arg "Mp_runtime.create: need 0 <= f < n/2";
+  (match retransmit with
+   | Some { rto; _ } when rto <= 0 ->
+     invalid_arg "Mp_runtime.create: retransmission timeout must be positive"
+   | _ -> ());
   let root = Sb_util.Prng.create seed in
   {
     n;
     f;
     fifo;
+    dedup;
+    retransmit;
     algorithm;
     servers = Array.init n algorithm.R.init_obj;
     server_live = Array.make n true;
+    server_incarnation = Array.make n 1;
+    applied = Array.init n (fun _ -> Hashtbl.create 16);
     clients =
       Array.mapi
         (fun i ops ->
@@ -120,6 +181,7 @@ let create ?(seed = 1) ?(fifo = false) ~algorithm ~n ~f ~workload () =
     channel = Hashtbl.create 64;
     channel_order = [];
     responses = Hashtbl.create 64;
+    timers = Hashtbl.create 16;
     next_msg = 1;
     next_ticket = 1;
     next_op = 1;
@@ -127,8 +189,16 @@ let create ?(seed = 1) ?(fifo = false) ~algorithm ~n ~f ~workload () =
     tr = Trace.create ();
     max_server_bits = 0;
     max_channel_bits = 0;
+    max_combined_bits = 0;
     requests_sent = 0;
     responses_sent = 0;
+    dropped = 0;
+    duplicated = 0;
+    retransmissions = 0;
+    fenced = 0;
+    dedup_hits = 0;
+    dropped_at_crash = 0;
+    recoveries = 0;
     observers = [];
   }
 
@@ -145,6 +215,7 @@ let n_servers w = w.n
 let f_tolerance w = w.f
 let server_state w i = w.servers.(i)
 let server_alive w i = w.server_live.(i)
+let server_incarnation w i = w.server_incarnation.(i)
 let client_count w = Array.length w.clients
 
 let in_flight w =
@@ -162,6 +233,18 @@ let storage_bits_channels w =
 
 let max_bits_servers w = w.max_server_bits
 let max_bits_channels w = w.max_channel_bits
+let max_bits_combined w = w.max_combined_bits
+
+let net_stats w =
+  {
+    dropped = w.dropped;
+    duplicated = w.duplicated;
+    retransmissions = w.retransmissions;
+    fenced = w.fenced;
+    dedup_hits = w.dedup_hits;
+    dropped_at_crash = w.dropped_at_crash;
+    recoveries = w.recoveries;
+  }
 
 let outstanding_ops w =
   Array.to_list w.clients
@@ -197,7 +280,37 @@ let update_maxima w =
   let s = storage_bits_servers w in
   let c = storage_bits_channels w in
   if s > w.max_server_bits then w.max_server_bits <- s;
-  if c > w.max_channel_bits then w.max_channel_bits <- c
+  if c > w.max_channel_bits then w.max_channel_bits <- c;
+  if s + c > w.max_combined_bits then w.max_combined_bits <- s + c
+
+(* ------------------------------------------------------------------ *)
+(* Retransmission timers                                               *)
+(* ------------------------------------------------------------------ *)
+
+let timer_live w ticket (t : timer) =
+  (not (Hashtbl.mem w.responses ticket))
+  && (match w.retransmit with
+     | None -> false
+     | Some rc -> rc.max_attempts <= 0 || t.t_attempt < rc.max_attempts)
+  &&
+  let cl = w.clients.(t.t_client) in
+  (not cl.crashed) && cl.current_op <> None
+
+let pending_retransmits w =
+  Hashtbl.fold
+    (fun ticket t acc -> if timer_live w ticket t then ticket :: acc else acc)
+    w.timers []
+  |> List.sort compare
+
+let due_retransmits w =
+  Hashtbl.fold
+    (fun ticket t acc ->
+      if timer_live w ticket t && w.now >= t.t_deadline then ticket :: acc
+      else acc)
+    w.timers []
+  |> List.sort compare
+
+let clear_timers w tickets = List.iter (Hashtbl.remove w.timers) tickets
 
 (* ------------------------------------------------------------------ *)
 (* Fibers: interpret the shared-memory effects over messages           *)
@@ -237,7 +350,7 @@ let handle_fiber w (cl : client) (op : R.op) (body : unit -> bytes option) :
                 w.next_ticket <- ticket + 1;
                 let msg_id = w.next_msg in
                 w.next_msg <- msg_id + 1;
-                send w
+                let msg =
                   {
                     msg_id;
                     kind = Request;
@@ -248,8 +361,21 @@ let handle_fiber w (cl : client) (op : R.op) (body : unit -> bytes option) :
                     req = Some (rmw, payload);
                     resp = None;
                     m_nature = nature;
+                    m_incarnation = w.server_incarnation.(obj);
                     sent_at = w.now;
-                  };
+                  }
+                in
+                send w msg;
+                (match w.retransmit with
+                 | Some rc ->
+                   Hashtbl.replace w.timers ticket
+                     {
+                       t_client = cl.cid;
+                       t_req = msg;
+                       t_deadline = w.now + rc.rto;
+                       t_attempt = 0;
+                     }
+                 | None -> ());
                 Trace.add w.tr
                   (Rmw_trigger
                      {
@@ -268,6 +394,7 @@ let handle_fiber w (cl : client) (op : R.op) (body : unit -> bytes option) :
               (fun (k : (b, fiber_outcome) continuation) ->
                 if await_satisfied w tickets quorum then begin
                   let rs = responses_for w tickets in
+                  clear_timers w tickets;
                   if observed w then
                     emit w (R.E_await { op; tickets; quorum; responders = rs });
                   continue k rs
@@ -315,6 +442,7 @@ let resume w cl =
     cl.waiting <- None;
     let op = match cl.current_op with Some op -> op | None -> assert false in
     let rs = responses_for w w_tickets in
+    clear_timers w w_tickets;
     if observed w then
       emit w (R.E_await { op; tickets = w_tickets; quorum = w_quorum; responders = rs });
     (match continue w_k rs with
@@ -328,8 +456,13 @@ let resume w cl =
 type decision =
   | Deliver_msg of int
   | Step of int
+  | Drop_msg of int
+  | Duplicate_msg of int
+  | Retransmit of int
   | Crash_server of int
+  | Recover_server of int
   | Crash_client of int
+  | Tick
   | Halt
 
 type policy = world -> decision
@@ -379,6 +512,28 @@ let remove_msg w id =
   Hashtbl.remove w.channel id;
   w.channel_order <- List.filter (fun i -> i <> id) w.channel_order
 
+let fresh_msg_id w =
+  let id = w.next_msg in
+  w.next_msg <- id + 1;
+  id
+
+let send_response w ~(to_request : message) resp =
+  if not w.clients.(to_request.m_client).crashed then
+    send w
+      {
+        msg_id = fresh_msg_id w;
+        kind = Response;
+        m_client = to_request.m_client;
+        m_server = to_request.m_server;
+        m_ticket = to_request.m_ticket;
+        m_op = to_request.m_op;
+        req = None;
+        resp = Some resp;
+        m_nature = to_request.m_nature;
+        m_incarnation = w.server_incarnation.(to_request.m_server);
+        sent_at = w.now;
+      }
+
 let deliver_msg w id =
   match Hashtbl.find_opt w.channel id with
   | None -> invalid_arg "Mp_runtime.step: unknown message"
@@ -388,50 +543,59 @@ let deliver_msg w id =
     if w.fifo && not (head_of_channel w m) then
       invalid_arg "Mp_runtime.step: FIFO channel, an older message is pending";
     remove_msg w id;
-    match m.kind with
-    | Request ->
-      let rmw, _payload =
-        match m.req with Some r -> r | None -> assert false
-      in
-      (* The RMW takes effect atomically at the server now. *)
-      let before = w.servers.(m.m_server) in
-      let state, resp = rmw before in
-      w.servers.(m.m_server) <- state;
-      Trace.add w.tr (Rmw_deliver { time = w.now; ticket = m.m_ticket; obj = m.m_server });
-      if observed w then
-        emit w
-          (R.E_deliver
-             {
-               ticket = m.m_ticket;
-               obj = m.m_server;
-               client = m.m_client;
-               op = m.m_op;
-               nature = m.m_nature;
-               rmw;
-               before;
-               after = state;
-               resp;
-               observable = not w.clients.(m.m_client).crashed;
-             });
-      let reply = w.next_msg in
-      w.next_msg <- reply + 1;
-      if not w.clients.(m.m_client).crashed then
-        send w
-          {
-            msg_id = reply;
-            kind = Response;
-            m_client = m.m_client;
-            m_server = m.m_server;
-            m_ticket = m.m_ticket;
-            m_op = m.m_op;
-            req = None;
-            resp = Some resp;
-            m_nature = m.m_nature;
-            sent_at = w.now;
-          }
-    | Response ->
-      let resp = match m.resp with Some r -> r | None -> assert false in
-      Hashtbl.replace w.responses m.m_ticket (m.m_server, resp))
+    (* Incarnation fencing: the message travelled on a connection to (or
+       from) a server incarnation that has since crashed; the transport
+       of the new incarnation discards it.  Retransmission re-sends the
+       request stamped with the live incarnation. *)
+    if m.m_incarnation <> w.server_incarnation.(m.m_server) then
+      w.fenced <- w.fenced + 1
+    else
+      match m.kind with
+      | Request ->
+        let rmw, _payload =
+          match m.req with Some r -> r | None -> assert false
+        in
+        if
+          w.dedup && m.m_nature <> `Readonly
+          && Hashtbl.mem w.applied.(m.m_server) (m.m_client, m.m_ticket)
+        then begin
+          (* At-most-once within this incarnation: a duplicate (network
+             duplication or retransmission) does not re-apply the RMW;
+             the recorded response is re-sent. *)
+          w.dedup_hits <- w.dedup_hits + 1;
+          let resp = Hashtbl.find w.applied.(m.m_server) (m.m_client, m.m_ticket) in
+          send_response w ~to_request:m resp
+        end
+        else begin
+          (* The RMW takes effect atomically at the server now. *)
+          let before = w.servers.(m.m_server) in
+          let state, resp = rmw before in
+          w.servers.(m.m_server) <- state;
+          if w.dedup && m.m_nature <> `Readonly then
+            Hashtbl.replace w.applied.(m.m_server) (m.m_client, m.m_ticket) resp;
+          Trace.add w.tr
+            (Rmw_deliver { time = w.now; ticket = m.m_ticket; obj = m.m_server });
+          if observed w then
+            emit w
+              (R.E_deliver
+                 {
+                   ticket = m.m_ticket;
+                   obj = m.m_server;
+                   client = m.m_client;
+                   op = m.m_op;
+                   nature = m.m_nature;
+                   rmw;
+                   before;
+                   after = state;
+                   resp;
+                   observable = not w.clients.(m.m_client).crashed;
+                 });
+          send_response w ~to_request:m resp
+        end
+      | Response ->
+        let resp = match m.resp with Some r -> r | None -> assert false in
+        Hashtbl.replace w.responses m.m_ticket (m.m_server, resp);
+        Hashtbl.remove w.timers m.m_ticket)
 
 let step w decision =
   w.now <- w.now + 1;
@@ -451,6 +615,51 @@ let step w decision =
          resume w cl;
          true
        | _ -> invalid_arg "Mp_runtime.step: client has nothing to do")
+    | Drop_msg id ->
+      if not (Hashtbl.mem w.channel id) then
+        invalid_arg "Mp_runtime.step: unknown message";
+      remove_msg w id;
+      w.dropped <- w.dropped + 1;
+      true
+    | Duplicate_msg id ->
+      (match Hashtbl.find_opt w.channel id with
+       | None -> invalid_arg "Mp_runtime.step: unknown message"
+       | Some m ->
+         (* A network-level duplicate: same ticket, payload and
+            incarnation stamp under a fresh message identity.  Its
+            payload bits count in the channel like any other copy, but
+            it is not protocol traffic, so [requests_sent] and
+            [responses_sent] are unchanged. *)
+         let copy = { m with msg_id = fresh_msg_id w; sent_at = w.now } in
+         Hashtbl.add w.channel copy.msg_id copy;
+         w.channel_order <- copy.msg_id :: w.channel_order;
+         w.duplicated <- w.duplicated + 1);
+      true
+    | Retransmit ticket ->
+      (match (w.retransmit, Hashtbl.find_opt w.timers ticket) with
+       | None, _ -> invalid_arg "Mp_runtime.step: retransmission is not armed"
+       | _, None -> invalid_arg "Mp_runtime.step: no timer for this ticket"
+       | Some rc, Some t ->
+         if not (timer_live w ticket t) then
+           invalid_arg "Mp_runtime.step: retransmission is not enabled";
+         if w.now < t.t_deadline then
+           invalid_arg "Mp_runtime.step: retransmission timer has not expired";
+         t.t_attempt <- t.t_attempt + 1;
+         (* Exponential backoff, capped to keep deadlines reachable. *)
+         t.t_deadline <- w.now + (rc.rto * (1 lsl min t.t_attempt 16));
+         w.retransmissions <- w.retransmissions + 1;
+         let srv = t.t_req.m_server in
+         (* A resend to a dead server fails fast (connection refused);
+            the timer backs off and retries after a recovery. *)
+         if w.server_live.(srv) then
+           send w
+             {
+               t.t_req with
+               msg_id = fresh_msg_id w;
+               m_incarnation = w.server_incarnation.(srv);
+               sent_at = w.now;
+             });
+      true
     | Crash_server i ->
       if i < 0 || i >= w.n then invalid_arg "Mp_runtime.step: no such server";
       if not w.server_live.(i) then invalid_arg "Mp_runtime.step: server already crashed";
@@ -460,8 +669,35 @@ let step w decision =
       if dead >= w.f then
         invalid_arg "Mp_runtime.step: cannot crash more than f servers";
       w.server_live.(i) <- false;
+      (* Connections to the crashed server reset: requests still in its
+         channels are lost (and stop counting as channel storage —
+         undeliverable messages must not linger in the accounting). *)
+      let doomed =
+        List.filter
+          (fun id ->
+            let m = Hashtbl.find w.channel id in
+            m.kind = Request && m.m_server = i)
+          w.channel_order
+      in
+      List.iter (fun id -> Hashtbl.remove w.channel id) doomed;
+      w.channel_order <-
+        List.filter (fun id -> Hashtbl.mem w.channel id) w.channel_order;
+      w.dropped_at_crash <- w.dropped_at_crash + List.length doomed;
+      (* The at-most-once table is volatile; objstate is durable. *)
+      Hashtbl.reset w.applied.(i);
       Trace.add w.tr (Crash_object { time = w.now; obj = i });
       if observed w then emit w (R.E_crash_obj i);
+      true
+    | Recover_server i ->
+      if i < 0 || i >= w.n then invalid_arg "Mp_runtime.step: no such server";
+      if w.server_live.(i) then
+        invalid_arg "Mp_runtime.step: server is not crashed";
+      w.server_live.(i) <- true;
+      w.server_incarnation.(i) <- w.server_incarnation.(i) + 1;
+      w.recoveries <- w.recoveries + 1;
+      Trace.add w.tr (Recover_object { time = w.now; obj = i });
+      if observed w then
+        emit w (R.E_recover_obj (i, w.server_incarnation.(i)));
       true
     | Crash_client c ->
       let cl = w.clients.(c) in
@@ -469,9 +705,16 @@ let step w decision =
       cl.crashed <- true;
       cl.waiting <- None;
       cl.queue <- [];
+      let mine =
+        Hashtbl.fold
+          (fun ticket t acc -> if t.t_client = c then ticket :: acc else acc)
+          w.timers []
+      in
+      clear_timers w mine;
       Trace.add w.tr (Crash_client { time = w.now; client = c });
       if observed w then emit w (R.E_crash_client c);
       true
+    | Tick -> true
     | Halt -> false
   in
   update_maxima w;
@@ -479,7 +722,8 @@ let step w decision =
 
 type outcome = { world : world; steps : int; halted : bool; quiescent : bool }
 
-let quiescent w = deliverable w = [] && steppable w = []
+let quiescent w =
+  deliverable w = [] && steppable w = [] && pending_retransmits w = []
 
 let run ?(max_steps = 1_000_000) w policy =
   let rec go steps =
@@ -491,23 +735,37 @@ let run ?(max_steps = 1_000_000) w policy =
   update_maxima w;
   go 0
 
-let random_policy ?(crash_servers = []) ~seed () =
+let random_policy ?(crash_servers = []) ?(recover_servers = []) ~seed () =
   let prng = Sb_util.Prng.create seed in
-  let remaining = ref (List.sort compare crash_servers) in
+  let crashes = ref (List.sort compare crash_servers) in
+  let recoveries = ref (List.sort compare recover_servers) in
   fun w ->
-    match !remaining with
+    match !crashes with
     | (t, srv) :: rest when time w >= t && server_alive w srv ->
-      remaining := rest;
+      crashes := rest;
       Crash_server srv
-    | _ ->
-      let delivers = List.map (fun m -> Deliver_msg m.msg_id) (deliverable w) in
-      let steps = List.map (fun c -> Step c) (steppable w) in
-      let choices = Array.of_list (delivers @ steps) in
-      if Array.length choices = 0 then Halt else Sb_util.Prng.pick prng choices
+    | _ -> (
+      match !recoveries with
+      | (t, srv) :: rest when time w >= t && not (server_alive w srv) ->
+        recoveries := rest;
+        Recover_server srv
+      | _ ->
+        let delivers = List.map (fun m -> Deliver_msg m.msg_id) (deliverable w) in
+        let steps = List.map (fun c -> Step c) (steppable w) in
+        let retr = List.map (fun t -> Retransmit t) (due_retransmits w) in
+        let choices = Array.of_list (delivers @ steps @ retr) in
+        if Array.length choices > 0 then Sb_util.Prng.pick prng choices
+        else if pending_retransmits w <> [] then Tick
+        else Halt)
 
 let fifo_policy () =
   fun w ->
     match deliverable w with
     | m :: _ -> Deliver_msg m.msg_id
     | [] -> (
-      match steppable w with c :: _ -> Step c | [] -> Halt)
+      match steppable w with
+      | c :: _ -> Step c
+      | [] -> (
+        match due_retransmits w with
+        | t :: _ -> Retransmit t
+        | [] -> if pending_retransmits w <> [] then Tick else Halt))

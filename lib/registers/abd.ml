@@ -8,6 +8,10 @@ module R = Sb_sim.Runtime
    distinct block metadata.  "Keep existing on equal ts" would let the
    delivery order pick the survivor — a non-commuting [`Merge], which
    the [Sb_sanitize] commutativity monitor flags. *)
+(* Idempotent by construction: re-applying the same chunk "keeps" it
+   (ties break towards the existing chunk), so an at-least-once delivery
+   — a retransmission re-applied after a server recovery — changes
+   nothing.  The fault-injection suite relies on this. *)
 let store_rmw chunk : R.rmw =
   fun st ->
     let keep =

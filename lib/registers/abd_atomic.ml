@@ -12,7 +12,10 @@ let make (cfg : Common.config) =
      the reader's op would create replicas no tracked write owns —
      concurrent write-backs of one value would then fail to commute,
      and the [Sb_sanitize] availability monitor would see quorum
-     subsets holding only orphaned blocks. *)
+     subsets holding only orphaned blocks.  Because the write-back
+     stores through [Abd.store_rmw] (an idempotent join), a duplicated
+     or retransmitted write-back re-applied after a server recovery is
+     also harmless. *)
   let write_back (ctx : R.ctx) ~source ts value =
     let encoder = Oracle.Encoder.create cfg.codec ~op:source ~value in
     ctx.op.rounds <- ctx.op.rounds + 1;

@@ -26,7 +26,7 @@ let update_rmw ~replicate ~eviction ~trim ~k ~piece ~replica_pieces ~ts ~stored_
           let fresh =
             List.filter (fun (c : Chunk.t) -> Timestamp.(c.ts >= barrier)) st.vp
           in
-          { st with Objstate.vp = trim (Chunk.v ~ts piece :: fresh) }
+          { st with Objstate.vp = trim (Common.add_chunk (Chunk.v ~ts piece) fresh) }
         else if
           st.vf = []
           || List.exists (fun (c : Chunk.t) -> Timestamp.(c.ts < ts)) st.vf

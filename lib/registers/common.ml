@@ -46,6 +46,26 @@ let max_num rs =
     (fun acc (c : Chunk.t) -> max acc c.ts.Timestamp.num)
     rs.max_stored_ts.Timestamp.num rs.chunks
 
+(* Idempotent chunk insertion.  The message-passing runtime can
+   re-apply an RMW whose first application predates a server crash: the
+   at-most-once table is volatile, so a retransmitted request arriving
+   in a later incarnation is applied again.  A store therefore must not
+   grow when handed a chunk it already holds — duplicate (ts, source,
+   index) insertions would inflate the measured storage without adding
+   information. *)
+let add_chunk (c : Chunk.t) chunks =
+  if
+    List.exists
+      (fun (c' : Chunk.t) ->
+        Timestamp.equal c'.ts c.ts
+        && c'.block.Block.source = c.block.Block.source
+        && c'.block.Block.index = c.block.Block.index)
+      chunks
+  then chunks
+  else c :: chunks
+
+let add_chunks cs chunks = List.fold_left (fun acc c -> add_chunk c acc) chunks cs
+
 let distinct_pieces chunks ~ts =
   let seen = Hashtbl.create 8 in
   List.filter_map

@@ -43,6 +43,18 @@ val max_num : read_set -> int
     both chunk timestamps and [max_stored_ts]); the writer picks its new
     timestamp one above this (Algorithm 2, line 6). *)
 
+val add_chunk : Sb_storage.Chunk.t -> Sb_storage.Chunk.t list -> Sb_storage.Chunk.t list
+(** Inserts a chunk unless an equal one — same timestamp, block source
+    and block index — is already present.  Store RMWs must insert
+    through this to stay idempotent: the message-passing runtime's
+    at-most-once table is volatile, so a retransmitted request can be
+    re-applied after a server recovery, and a duplicate insertion would
+    inflate measured storage. *)
+
+val add_chunks :
+  Sb_storage.Chunk.t list -> Sb_storage.Chunk.t list -> Sb_storage.Chunk.t list
+(** [add_chunks cs chunks] folds {!add_chunk} over [cs]. *)
+
 val distinct_pieces : Sb_storage.Chunk.t list -> ts:Sb_storage.Timestamp.t -> (int * bytes) list
 (** The distinct-index pieces of value [ts] in a chunk list, as
     [(index, data)] pairs ready for decoding. *)

@@ -12,7 +12,8 @@ let update_rmw ~pieces ~ts ~stored_ts : R.rmw =
         List.filter (fun (c : Chunk.t) -> Timestamp.(c.ts >= stored_ts)) st.vp
       in
       let added = List.map (fun p -> Chunk.v ~ts p) pieces in
-      (Objstate.with_stored_ts { st with Objstate.vp = added @ fresh } stored_ts, R.Ack)
+      let vp = Common.add_chunks added fresh in
+      (Objstate.with_stored_ts { st with Objstate.vp } stored_ts, R.Ack)
     end
 
 let gc_rmw ~pieces ~ts : R.rmw =

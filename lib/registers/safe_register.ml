@@ -3,6 +3,9 @@ module R = Sb_sim.Runtime
 
 (* Algorithm 5, lines 10-12: overwrite the single stored piece only if
    the incoming timestamp is strictly higher. *)
+(* Conditional overwrite: idempotent (a re-applied chunk compares equal
+   to [current_ts] and is kept as-is), so at-least-once delivery across
+   a server recovery is harmless. *)
 let update_rmw chunk : R.rmw =
   fun st ->
     let current_ts =

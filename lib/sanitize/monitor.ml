@@ -17,6 +17,7 @@ type rule =
   | Premature_gc of { sources : int list; k : int }
   | Crash_discipline of { detail : string }
   | Adversary_partition of { detail : string }
+  | Dedup of { obj : int; ticket : int }
 
 type violation = { rule : rule; v_time : int; v_detail : string }
 
@@ -45,6 +46,7 @@ let rule_name = function
   | Premature_gc _ -> "premature-gc"
   | Crash_discipline _ -> "crash-discipline"
   | Adversary_partition _ -> "adversary-partition"
+  | Dedup _ -> "dedup"
 
 let pp_violation ppf v =
   Format.fprintf ppf "[%s] t=%d %s" (rule_name v.rule) v.v_time v.v_detail
@@ -100,6 +102,15 @@ type t = {
   writes : (int, wstate) Hashtbl.t;
   quorums_seen : (int, unit) Hashtbl.t;
   obj_dead : bool array;
+  obj_epoch : int array;
+      (* Server incarnation numbers, mirroring the message-passing
+         runtime's; always 1 on the crash-stop shared-memory runtime. *)
+  applied_once : (int, int) Hashtbl.t;
+      (* ticket -> object epoch at its first non-readonly application.
+         A second application in the same epoch is a dedup failure;
+         re-application in a later epoch is the legal
+         retransmission-across-recovery path (volatile at-most-once
+         table), which idempotent RMWs make harmless. *)
   cli_dead : bool array;
   acct : int array;
       (* Block-level bits per object, maintained incrementally: only the
@@ -346,6 +357,20 @@ let on_deliver m ~ticket ~obj ~nature ~(rmw : R.rmw) ~before ~after ~resp =
     record m
       (Crash_discipline { detail = "delivery on a crashed object" })
       (Printf.sprintf "ticket %d took effect on crashed object %d" ticket obj);
+  (* At-most-once discipline per incarnation: a non-readonly RMW that
+     takes effect twice within one object epoch slipped past the
+     server's dedup table (a duplicated or retransmitted request was
+     re-applied). *)
+  (match nature with
+  | `Readonly -> ()
+  | `Mutating | `Merge -> (
+    match Hashtbl.find_opt m.applied_once ticket with
+    | Some epoch when epoch = m.obj_epoch.(obj) ->
+      record m (Dedup { obj; ticket })
+        (Printf.sprintf
+           "non-readonly RMW %d took effect twice on object %d within \
+            incarnation %d (at-most-once table failed)" ticket obj epoch)
+    | _ -> Hashtbl.replace m.applied_once ticket m.obj_epoch.(obj)));
   let ti = Hashtbl.find_opt m.tickets ticket in
   (* Commutativity spot-check: when this delivery is adjacent to the
      previous one on the object, both natures claim a commuting class,
@@ -444,6 +469,28 @@ let on_crash_obj m o =
   check_avail m;
   check_adversary m
 
+let on_recover_obj m o incarnation =
+  if not m.obj_dead.(o) then
+    record m
+      (Crash_discipline { detail = "recovery of a live object" })
+      (Printf.sprintf "object %d recovered without having crashed" o)
+  else begin
+    m.obj_dead.(o) <- false;
+    m.crashed_objs <- m.crashed_objs - 1
+  end;
+  m.obj_epoch.(o) <- m.obj_epoch.(o) + 1;
+  if incarnation <> m.obj_epoch.(o) then
+    record m
+      (Crash_discipline
+         { detail = Printf.sprintf "incarnation %d, expected %d" incarnation m.obj_epoch.(o) })
+      (Printf.sprintf
+         "object %d rejoined with incarnation %d but the monitor counted %d \
+          recoveries" o incarnation (m.obj_epoch.(o) - 1));
+  (* The rejoined object's durable blocks re-enter the live frontier;
+     [acct.(o)] was maintained through the crash, so the accounting
+     cross-check needs no reseeding.  Availability only improves. *)
+  check_adversary m
+
 let on_crash_client m c =
   if m.cli_dead.(c) then
     record m
@@ -463,6 +510,7 @@ let handle m (ev : R.event) =
   | R.E_await { op; tickets; quorum; responders } ->
     on_await m op ~tickets ~quorum ~responders
   | R.E_crash_obj o -> on_crash_obj m o
+  | R.E_recover_obj (o, incarnation) -> on_recover_obj m o incarnation
   | R.E_crash_client c -> on_crash_client m c
 
 (* ------------------------------------------------------------------ *)
@@ -483,6 +531,8 @@ let make cfg view =
       writes = Hashtbl.create 8;
       quorums_seen = Hashtbl.create 4;
       obj_dead = Array.make view.v_n false;
+      obj_epoch = Array.make view.v_n 1;
+      applied_once = Hashtbl.create 64;
       cli_dead = Array.make view.v_clients false;
       acct =
         Array.init view.v_n (fun o ->

@@ -36,8 +36,14 @@
       before a read happens to draw the bad subset and fail regularity.
       Opt-in per algorithm ({!config}[~reg_avail]): safe registers and
       bounded-version registers violate it by design.
-    - {b Crash discipline} — at most [f] object crashes, no double
-      crashes, no delivery on a crashed object.
+    - {b Crash discipline} — at most [f] objects concurrently crashed
+      (a recovery frees the budget), no double crashes, no delivery on a
+      crashed object, no recovery of a live object, incarnation numbers
+      consistent with the recoveries seen.
+    - {b Dedup / at-most-once} — a non-readonly RMW must not take
+      effect twice on an object within one server incarnation (a
+      duplicated or retransmitted request must be absorbed by the
+      server's at-most-once table, not re-applied).
     - {b Adversary partition} (Definition 7) — optionally cross-checks
       [Sb_adversary.Ad.classify]'s [F(t)]/[C+]/[C-] sets against the
       monitor's own accounting.
@@ -69,6 +75,12 @@ type rule =
           indices needed). *)
   | Crash_discipline of { detail : string }
   | Adversary_partition of { detail : string }
+  | Dedup of { obj : int; ticket : int }
+      (** A non-readonly RMW took effect twice on [obj] within one
+          server incarnation: the at-most-once table failed to absorb a
+          duplicated or retransmitted request.  (Re-application in a
+          {e later} incarnation is legal — the table is volatile — and
+          is not flagged; idempotent RMWs make it harmless.) *)
 
 type violation = { rule : rule; v_time : int; v_detail : string }
 

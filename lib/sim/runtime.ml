@@ -139,6 +139,7 @@ type event =
       responders : (int * resp) list;
     }
   | E_crash_obj of int
+  | E_recover_obj of int * int
   | E_crash_client of int
 
 type world = {
@@ -931,6 +932,7 @@ let key_digest ~canonical_history w =
         | Trace.Invoke { op; client; kind; _ } -> Some (`I (rename op, client, kind))
         | Trace.Return { op; client; result; _ } -> Some (`R (rename op, client, result))
         | Trace.Crash_object { obj; _ } -> Some (`CO obj)
+        | Trace.Recover_object { obj; _ } -> Some (`RO obj)
         | Trace.Crash_client { client; _ } -> Some (`CC client)
         | Trace.Rmw_trigger _ | Trace.Rmw_deliver _ -> None)
       (Trace.events w.tr)

@@ -259,6 +259,11 @@ type event =
           (** The [(object, response)] pairs the await returned. *)
     }
   | E_crash_obj of int
+  | E_recover_obj of int * int
+      (** [(obj, incarnation)]: a crashed base object rejoined with its
+          durable state, now at the given incarnation number.  Only the
+          message-passing runtime ([Sb_msgnet.Mp_runtime]) emits this;
+          the shared-memory model is crash-stop. *)
   | E_crash_client of int
 
 val add_observer : world -> (event -> unit) -> unit

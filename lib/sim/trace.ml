@@ -13,6 +13,7 @@ type event =
     }
   | Rmw_deliver of { time : int; ticket : int; obj : int }
   | Crash_object of { time : int; obj : int }
+  | Recover_object of { time : int; obj : int }
   | Crash_client of { time : int; client : int }
 
 type t = { mutable events : event list; mutable length : int }
@@ -50,7 +51,7 @@ let operations t =
 
 (* Line format: a one-letter tag followed by space-separated fields.
    I = invoke, O = return (out), T = rmw trigger, D = rmw deliver,
-   X = object crash, C = client crash. *)
+   X = object crash, U = object recovery (back up), C = client crash. *)
 let event_to_line = function
   | Invoke { time; op; client; kind } -> (
     match kind with
@@ -63,6 +64,7 @@ let event_to_line = function
     Printf.sprintf "T %d %d %d %d %d %d" time ticket op client obj payload_bits
   | Rmw_deliver { time; ticket; obj } -> Printf.sprintf "D %d %d %d" time ticket obj
   | Crash_object { time; obj } -> Printf.sprintf "X %d %d" time obj
+  | Recover_object { time; obj } -> Printf.sprintf "U %d %d" time obj
   | Crash_client { time; client } -> Printf.sprintf "C %d %d" time client
 
 let to_lines t = List.rev_map event_to_line t.events
@@ -110,6 +112,10 @@ let event_of_line line =
     let* time = int_of time in
     let* obj = int_of obj in
     Ok (Crash_object { time; obj })
+  | [ "U"; time; obj ] ->
+    let* time = int_of time in
+    let* obj = int_of obj in
+    Ok (Recover_object { time; obj })
   | [ "C"; time; client ] ->
     let* time = int_of time in
     let* client = int_of client in
@@ -148,4 +154,6 @@ let pp_event ppf = function
   | Rmw_deliver { time; ticket; obj } ->
     Format.fprintf ppf "[%6d] rmw#%d takes effect on bo%d" time ticket obj
   | Crash_object { time; obj } -> Format.fprintf ppf "[%6d] bo%d crashes" time obj
+  | Recover_object { time; obj } ->
+    Format.fprintf ppf "[%6d] bo%d recovers" time obj
   | Crash_client { time; client } -> Format.fprintf ppf "[%6d] c%d crashes" time client

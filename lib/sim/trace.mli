@@ -22,6 +22,10 @@ type event =
     }
   | Rmw_deliver of { time : int; ticket : int; obj : int }
   | Crash_object of { time : int; obj : int }
+  | Recover_object of { time : int; obj : int }
+      (** A crashed base object rejoins with its durable state intact;
+          emitted only by the message-passing runtime ([Sb_msgnet]),
+          whose servers support crash-{e recovery}. *)
   | Crash_client of { time : int; client : int }
 
 type t

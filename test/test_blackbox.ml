@@ -34,6 +34,7 @@ let event_shape = function
     Printf.sprintf "trig t%d #%d op%d c%d bo%d %db" time ticket op client obj payload_bits
   | Trace.Rmw_deliver { time; ticket; obj } -> Printf.sprintf "dlv t%d #%d bo%d" time ticket obj
   | Trace.Crash_object { time; obj } -> Printf.sprintf "cobj t%d bo%d" time obj
+  | Trace.Recover_object { time; obj } -> Printf.sprintf "robj t%d bo%d" time obj
   | Trace.Crash_client { time; client } -> Printf.sprintf "ccl t%d c%d" time client
 
 (* Structure of an object state: chunk skeleta without block data. *)

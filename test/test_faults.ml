@@ -1,0 +1,495 @@
+(* Tests for the fault plane: lossy/duplicating/partitioned networks,
+   server crash-recovery with incarnation fencing, retransmission,
+   at-most-once deduplication, the liveness watchdog, and the chaos
+   campaign runner. *)
+
+module MP = Sb_msgnet.Mp_runtime
+module Trace = Sb_sim.Trace
+module Common = Sb_registers.Common
+module Codec = Sb_codec.Codec
+module Plan = Sb_faults.Plan
+module Inject = Sb_faults.Inject
+module Chaos = Sb_faults.Chaos
+module Monitor = Sb_sanitize.Monitor
+
+let value_bytes = 32
+let v i = Sb_util.Values.distinct ~value_bytes i
+let v0 = Bytes.make value_bytes '\000'
+
+let coded_cfg ~f ~k =
+  let n = (2 * f) + k in
+  { Common.n; f; codec = Codec.rs_vandermonde ~value_bytes ~k ~n }
+
+let history w = Sb_spec.History.of_trace ~initial:v0 (MP.trace w)
+let is_ok = function Sb_spec.Regularity.Ok -> true | _ -> false
+
+let all_returned w =
+  let ops = Trace.operations (MP.trace w) in
+  ops <> []
+  && List.for_all (fun (_, _, _, ret, _) -> ret <> None) ops
+
+let retransmit = { MP.rto = 10; max_attempts = 0 }
+
+(* ------------------------------------------------------------------ *)
+(* Plan validation                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let invalid f =
+  try ignore (f ()); false with Invalid_argument _ -> true
+
+let test_plan_validate () =
+  Plan.validate ~n:4 ~f:1 (Plan.lossy ~duplicate:0.1 0.3);
+  Alcotest.(check bool) "rate out of range" true
+    (invalid (fun () -> Plan.validate ~n:4 ~f:1 (Plan.lossy 1.5)));
+  Alcotest.(check bool) "rates must sum below 1" true
+    (invalid (fun () ->
+         Plan.validate ~n:4 ~f:1 (Plan.lossy ~duplicate:0.6 0.6)));
+  Alcotest.(check bool) "unknown server in crash schedule" true
+    (invalid (fun () ->
+         Plan.validate ~n:4 ~f:1
+           (Plan.crash_recovery ~server:9 ~crash_at:1 ~recover_at:2 Plan.none)));
+  (* Two overlapping crashes under f = 1 exceed the concurrent budget;
+     sequential crash/recovery pairs do not. *)
+  let overlapping =
+    Plan.none
+    |> Plan.crash_recovery ~server:0 ~crash_at:10 ~recover_at:50
+    |> Plan.crash_recovery ~server:1 ~crash_at:20 ~recover_at:60
+  in
+  Alcotest.(check bool) "overlapping crashes exceed f" true
+    (invalid (fun () -> Plan.validate ~n:4 ~f:1 overlapping));
+  Plan.validate ~n:4 ~f:2 overlapping;
+  let sequential =
+    Plan.none
+    |> Plan.crash_recovery ~server:0 ~crash_at:10 ~recover_at:20
+    |> Plan.crash_recovery ~server:1 ~crash_at:30 ~recover_at:40
+  in
+  Plan.validate ~n:4 ~f:1 sequential
+
+let test_plan_isolation () =
+  let p =
+    Plan.partition ~name:"minority" ~servers:[ 0; 1 ] ~start:10 ~heal:20
+      ~mode:Plan.Isolate_hold Plan.none
+  in
+  Alcotest.(check bool) "inactive before start" true
+    (Plan.isolation p ~now:9 0 = None);
+  Alcotest.(check bool) "active in window" true
+    (Plan.isolation p ~now:10 1 = Some Plan.Isolate_hold);
+  Alcotest.(check bool) "other servers unaffected" true
+    (Plan.isolation p ~now:15 2 = None);
+  Alcotest.(check bool) "healed" true (Plan.isolation p ~now:20 0 = None);
+  Alcotest.(check int) "last heal" 20 (Plan.last_heal p)
+
+(* ------------------------------------------------------------------ *)
+(* Retransmission                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_retransmission_liveness () =
+  let cfg = coded_cfg ~f:1 ~k:2 in
+  let algorithm = Sb_registers.Adaptive.make cfg in
+  let w = MP.create ~retransmit ~algorithm ~n:cfg.n ~f:cfg.f
+      ~workload:[| [ Trace.Write (v 1); Trace.Read ] |] () in
+  ignore (MP.step w (MP.Step 0));
+  (* The network loses the entire first broadcast. *)
+  List.iter (fun (m : MP.message_info) -> ignore (MP.step w (MP.Drop_msg m.msg_id)))
+    (MP.in_flight w);
+  Alcotest.(check int) "channel empty" 0 (List.length (MP.in_flight w));
+  Alcotest.(check int) "one pending timer per server" cfg.n
+    (List.length (MP.pending_retransmits w));
+  Alcotest.(check bool) "not quiescent while timers pend" false (MP.quiescent w);
+  (* The random policy ticks to the deadlines, retransmits, and the run
+     completes. *)
+  let outcome = MP.run w (MP.random_policy ~seed:3 ()) in
+  Alcotest.(check bool) "quiescent" true outcome.MP.quiescent;
+  Alcotest.(check bool) "all ops returned" true (all_returned w);
+  Alcotest.(check bool) "retransmissions happened" true
+    ((MP.net_stats w).MP.retransmissions >= cfg.n);
+  Alcotest.(check (list (option bytes))) "read sees the write" [ Some (v 1) ]
+    (List.filter_map
+       (fun (_, kind, _, ret, res) ->
+         match (kind, ret) with Trace.Read, Some _ -> Some res | _ -> None)
+       (Trace.operations (MP.trace w)))
+
+let test_retransmit_needs_expiry () =
+  let cfg = coded_cfg ~f:1 ~k:2 in
+  let algorithm = Sb_registers.Adaptive.make cfg in
+  let w = MP.create ~retransmit ~algorithm ~n:cfg.n ~f:cfg.f
+      ~workload:[| [ Trace.Write (v 1) ] |] () in
+  ignore (MP.step w (MP.Step 0));
+  let ticket = List.hd (MP.pending_retransmits w) in
+  Alcotest.(check bool) "deadline not reached yet" true
+    (MP.due_retransmits w = []);
+  Alcotest.(check bool) "early retransmit refused" true
+    (invalid (fun () -> MP.step w (MP.Retransmit ticket)))
+
+(* ------------------------------------------------------------------ *)
+(* Incarnation fencing                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_stale_response_fenced () =
+  let cfg = coded_cfg ~f:1 ~k:2 in
+  let algorithm = Sb_registers.Adaptive.make cfg in
+  let w = MP.create ~retransmit ~algorithm ~n:cfg.n ~f:cfg.f
+      ~workload:[| [ Trace.Write (v 1); Trace.Read ] |] () in
+  ignore (MP.step w (MP.Step 0));
+  (* Server 0 answers, then crashes and recovers while its response is
+     still in flight: the response belongs to the old incarnation. *)
+  let req0 =
+    List.find (fun (m : MP.message_info) -> m.m_server = 0) (MP.deliverable w)
+  in
+  ignore (MP.step w (MP.Deliver_msg req0.MP.msg_id));
+  let resp0 =
+    List.find
+      (fun (m : MP.message_info) -> m.kind = MP.Response && m.m_server = 0)
+      (MP.in_flight w)
+  in
+  ignore (MP.step w (MP.Crash_server 0));
+  ignore (MP.step w (MP.Recover_server 0));
+  Alcotest.(check int) "incarnation bumped" 2 (MP.server_incarnation w 0);
+  let before = (MP.net_stats w).MP.fenced in
+  ignore (MP.step w (MP.Deliver_msg resp0.MP.msg_id));
+  Alcotest.(check int) "stale response fenced" (before + 1)
+    (MP.net_stats w).MP.fenced;
+  (* Fencing costs liveness, not safety: retransmission reaches the new
+     incarnation and the run still completes correctly. *)
+  let outcome = MP.run w (MP.random_policy ~seed:7 ()) in
+  Alcotest.(check bool) "quiescent" true outcome.MP.quiescent;
+  Alcotest.(check bool) "all ops returned" true (all_returned w);
+  Alcotest.(check bool) "strongly regular" true
+    (is_ok (Sb_spec.Regularity.check_strong (history w)))
+
+(* ------------------------------------------------------------------ *)
+(* At-most-once deduplication                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Drive one writer to its round-2 update broadcast (the first
+   non-readonly requests), returning the world. *)
+let world_at_update_round ~dedup () =
+  let cfg = coded_cfg ~f:1 ~k:2 in
+  let algorithm = Sb_registers.Adaptive.make cfg in
+  let w = MP.create ~dedup ~algorithm ~n:cfg.n ~f:cfg.f
+      ~workload:[| [ Trace.Write (v 1) ] |] () in
+  ignore (MP.step w (MP.Step 0));
+  List.iter (fun (m : MP.message_info) -> ignore (MP.step w (MP.Deliver_msg m.msg_id)))
+    (MP.deliverable w);
+  List.iter (fun (m : MP.message_info) -> ignore (MP.step w (MP.Deliver_msg m.msg_id)))
+    (MP.deliverable w);
+  ignore (MP.step w (MP.Step 0));
+  (cfg, w)
+
+let test_duplicate_request_deduplicated () =
+  let _, w = world_at_update_round ~dedup:true () in
+  let m =
+    List.find (fun (m : MP.message_info) -> m.kind = MP.Request) (MP.deliverable w)
+  in
+  let channel_bits = MP.storage_bits_channels w in
+  ignore (MP.step w (MP.Duplicate_msg m.MP.msg_id));
+  (* The clone carries the same payload: channel accounting inflates. *)
+  Alcotest.(check int) "duplicate inflates channel bits"
+    (channel_bits + m.MP.m_bits) (MP.storage_bits_channels w);
+  Alcotest.(check int) "duplicated counted" 1 (MP.net_stats w).MP.duplicated;
+  let copies =
+    List.filter
+      (fun (m' : MP.message_info) ->
+        m'.kind = MP.Request && m'.m_ticket = m.MP.m_ticket)
+      (MP.in_flight w)
+  in
+  Alcotest.(check int) "two copies in flight" 2 (List.length copies);
+  (match copies with
+  | [ first; second ] ->
+    ignore (MP.step w (MP.Deliver_msg first.MP.msg_id));
+    let after_first = MP.server_state w m.MP.m_server in
+    ignore (MP.step w (MP.Deliver_msg second.MP.msg_id));
+    Alcotest.(check bool) "object state applied exactly once" true
+      (after_first = MP.server_state w m.MP.m_server)
+  | _ -> Alcotest.fail "expected exactly two copies");
+  Alcotest.(check int) "second application suppressed" 1
+    (MP.net_stats w).MP.dedup_hits;
+  (* Both deliveries answered: two responses for the ticket. *)
+  Alcotest.(check int) "both copies answered" 2
+    (List.length
+       (List.filter
+          (fun (m' : MP.message_info) ->
+            m'.kind = MP.Response && m'.m_ticket = m.MP.m_ticket)
+          (MP.in_flight w)))
+
+(* Negative control: with the at-most-once table disabled, a duplicated
+   update re-applies — the sanitizer's dedup monitor must object. *)
+let test_dedup_monitor_fires_without_table () =
+  let cfg = coded_cfg ~f:1 ~k:2 in
+  let algorithm = Sb_registers.Adaptive.make cfg in
+  let w = MP.create ~dedup:false ~algorithm ~n:cfg.n ~f:cfg.f
+      ~workload:[| [ Trace.Write (v 1) ] |] () in
+  let monitor =
+    Monitor.attach_mp (Monitor.config ~mode:Monitor.Collect ~k:2 ()) w
+  in
+  ignore (MP.step w (MP.Step 0));
+  List.iter (fun (m : MP.message_info) -> ignore (MP.step w (MP.Deliver_msg m.msg_id)))
+    (MP.deliverable w);
+  List.iter (fun (m : MP.message_info) -> ignore (MP.step w (MP.Deliver_msg m.msg_id)))
+    (MP.deliverable w);
+  ignore (MP.step w (MP.Step 0));
+  let m =
+    List.find (fun (m : MP.message_info) -> m.kind = MP.Request) (MP.deliverable w)
+  in
+  ignore (MP.step w (MP.Duplicate_msg m.MP.msg_id));
+  List.iter
+    (fun (c : MP.message_info) -> ignore (MP.step w (MP.Deliver_msg c.msg_id)))
+    (List.filter
+       (fun (m' : MP.message_info) ->
+         m'.kind = MP.Request && m'.m_ticket = m.MP.m_ticket)
+       (MP.in_flight w));
+  Alcotest.(check int) "no dedup hit recorded" 0 (MP.net_stats w).MP.dedup_hits;
+  Alcotest.(check bool) "dedup monitor fired" true
+    (List.exists
+       (fun (viol : Monitor.violation) ->
+         match viol.Monitor.rule with Monitor.Dedup _ -> true | _ -> false)
+       (Monitor.violations monitor))
+
+(* Re-application across incarnations is legal (the table is volatile):
+   the registers' idempotent RMWs absorb it, so a monitored lossy run
+   with crash-recovery stays clean. *)
+let test_cross_incarnation_reapply_is_harmless () =
+  let cfg = coded_cfg ~f:1 ~k:2 in
+  let algorithm = Sb_registers.Adaptive.make cfg in
+  let w = MP.create ~retransmit ~algorithm ~n:cfg.n ~f:cfg.f
+      ~workload:[| [ Trace.Write (v 1) ]; [ Trace.Read ] |] () in
+  let monitor =
+    Monitor.attach_mp
+      (Monitor.config ~mode:Monitor.Collect ~reg_avail:true ~k:2 ()) w
+  in
+  let plan =
+    Plan.crash_recovery ~server:0 ~crash_at:10 ~recover_at:40
+      (Plan.lossy ~duplicate:0.2 0.2)
+  in
+  let outcome = MP.run w (Inject.policy ~seed:5 plan) in
+  Alcotest.(check bool) "quiescent" true outcome.MP.quiescent;
+  Alcotest.(check bool) "all ops returned" true (all_returned w);
+  Alcotest.(check int) "recovered once" 1 (MP.net_stats w).MP.recoveries;
+  Alcotest.(check (list string)) "sanitizers clean" []
+    (List.map Monitor.violation_to_string (Monitor.violations monitor));
+  Alcotest.(check bool) "strongly regular" true
+    (is_ok (Sb_spec.Regularity.check_strong (history w)))
+
+(* ------------------------------------------------------------------ *)
+(* Injection policy                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_inject_deterministic () =
+  let cfg = coded_cfg ~f:1 ~k:2 in
+  let plan =
+    Plan.crash_recovery ~server:1 ~crash_at:20 ~recover_at:60
+      (Plan.lossy ~duplicate:0.1 ~delay:0.1 0.2)
+  in
+  let run_once () =
+    let algorithm = Sb_registers.Adaptive.make cfg in
+    let w = MP.create ~retransmit ~algorithm ~n:cfg.n ~f:cfg.f
+        ~workload:[| [ Trace.Write (v 1); Trace.Read ]; [ Trace.Read ] |] () in
+    let outcome = MP.run w (Inject.policy ~seed:11 plan) in
+    let stats = MP.net_stats w in
+    (outcome.MP.steps, stats, MP.max_bits_combined w,
+     Trace.operations (MP.trace w))
+  in
+  Alcotest.(check bool) "identical replays" true (run_once () = run_once ())
+
+let test_partition_holds_then_heals () =
+  let cfg = coded_cfg ~f:1 ~k:2 in
+  let algorithm = Sb_registers.Adaptive.make cfg in
+  let w = MP.create ~retransmit ~algorithm ~n:cfg.n ~f:cfg.f
+      ~workload:[| [ Trace.Write (v 1); Trace.Read ] |] () in
+  let plan =
+    Plan.partition ~name:"s0-cut" ~servers:[ 0 ] ~start:0 ~heal:50
+      ~mode:Plan.Isolate_hold Plan.none
+  in
+  let outcome = MP.run w (Inject.policy ~seed:2 plan) in
+  Alcotest.(check bool) "quiescent" true outcome.MP.quiescent;
+  Alcotest.(check bool) "all ops returned" true (all_returned w);
+  Alcotest.(check int) "held messages were never lost" 0
+    (MP.net_stats w).MP.dropped
+
+let test_drop_partition_loses_messages () =
+  let cfg = coded_cfg ~f:1 ~k:2 in
+  let algorithm = Sb_registers.Adaptive.make cfg in
+  let w = MP.create ~retransmit ~algorithm ~n:cfg.n ~f:cfg.f
+      ~workload:[| [ Trace.Write (v 1) ] |] () in
+  let plan =
+    Plan.partition ~name:"s0-drop" ~servers:[ 0 ] ~start:0 ~heal:80
+      ~mode:Plan.Isolate_drop Plan.none
+  in
+  let outcome = MP.run w (Inject.policy ~seed:2 plan) in
+  Alcotest.(check bool) "quiescent" true outcome.MP.quiescent;
+  Alcotest.(check bool) "all ops returned" true (all_returned w);
+  Alcotest.(check bool) "crossing messages dropped" true
+    ((MP.net_stats w).MP.dropped > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Liveness watchdog                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_watchdog_flags_stuck_op () =
+  let cfg = coded_cfg ~f:1 ~k:2 in
+  let algorithm = Sb_registers.Adaptive.make cfg in
+  (* No retransmission: losing the whole broadcast wedges the op. *)
+  let w = MP.create ~algorithm ~n:cfg.n ~f:cfg.f
+      ~workload:[| [ Trace.Write (v 1) ] |] () in
+  ignore (MP.step w (MP.Step 0));
+  List.iter (fun (m : MP.message_info) -> ignore (MP.step w (MP.Drop_msg m.msg_id)))
+    (MP.in_flight w);
+  Alcotest.(check int) "nothing flagged before the deadline" 0
+    (List.length (Inject.watchdog ~budget:1000 w));
+  for _ = 1 to 30 do ignore (MP.step w MP.Tick) done;
+  let stuck = Inject.watchdog ~budget:20 w in
+  Alcotest.(check int) "one stuck op" 1 (List.length stuck);
+  let s = List.hd stuck in
+  Alcotest.(check int) "the writer's op" 1 s.Inject.wd_op;
+  Alcotest.(check bool) "aged past the budget" true (s.Inject.wd_age > 20);
+  Alcotest.(check bool) "budget must be positive" true
+    (invalid (fun () -> Inject.watchdog ~budget:0 w))
+
+(* ------------------------------------------------------------------ *)
+(* FIFO vs unordered equivalence (satellite)                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Every register keeps its promised consistency level under loss and
+   duplication, with the same verdict whether channels are FIFO or
+   unordered.  This is the test_msgnet algorithm matrix pushed through
+   the fault plane. *)
+let test_fifo_unordered_equivalence () =
+  let cfg = coded_cfg ~f:1 ~k:2 in
+  let cfg_abd =
+    { Common.n = 3; f = 1; codec = Codec.replication ~value_bytes ~n:3 }
+  in
+  let algorithms =
+    [
+      ("abd", (fun () -> Sb_registers.Abd.make cfg_abd), cfg_abd,
+       Sb_spec.Regularity.check_strong);
+      ("abd-atomic", (fun () -> Sb_registers.Abd_atomic.make cfg_abd), cfg_abd,
+       fun h -> Sb_spec.Regularity.check_atomic h);
+      ("adaptive", (fun () -> Sb_registers.Adaptive.make cfg), cfg,
+       Sb_spec.Regularity.check_strong);
+      ("pure-ec", (fun () -> Sb_registers.Adaptive.make_unbounded cfg), cfg,
+       Sb_spec.Regularity.check_strong);
+      ("versioned", (fun () -> Sb_registers.Adaptive.make_versioned ~delta:1 cfg),
+       cfg, Sb_spec.Regularity.check_strong);
+      ("safe", (fun () -> Sb_registers.Safe_register.make cfg), cfg,
+       Sb_spec.Regularity.check_safe);
+      ("rateless", (fun () -> Sb_registers.Rateless.make ~codec_seed:7 cfg), cfg,
+       Sb_spec.Regularity.check_strong);
+    ]
+  in
+  let workload = [| [ Trace.Write (v 5); Trace.Read ]; [ Trace.Read ] |] in
+  List.iter
+    (fun (name, make, cfg, check) ->
+      List.iter
+        (fun drop ->
+          List.iter
+            (fun seed ->
+              let verdict_of ~fifo =
+                let w = MP.create ~fifo ~retransmit ~algorithm:(make ())
+                    ~n:cfg.Common.n ~f:cfg.Common.f ~workload () in
+                let plan = Plan.lossy ~duplicate:0.1 drop in
+                let outcome = MP.run w (Inject.policy ~seed plan) in
+                Alcotest.(check bool)
+                  (Printf.sprintf "%s drop=%.1f seed=%d fifo=%b quiescent" name
+                     drop seed fifo)
+                  true
+                  (outcome.MP.quiescent && all_returned w);
+                is_ok (check (history w))
+              in
+              let unordered = verdict_of ~fifo:false in
+              let fifo = verdict_of ~fifo:true in
+              Alcotest.(check bool)
+                (Printf.sprintf "%s drop=%.1f seed=%d verdicts agree" name drop
+                   seed)
+                true
+                (unordered = fifo && unordered))
+            [ 1; 2; 3; 4; 5 ])
+        [ 0.0; 0.1; 0.3 ])
+    algorithms
+
+(* ------------------------------------------------------------------ *)
+(* Chaos campaign                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_chaos_smoke () =
+  let cfg = coded_cfg ~f:1 ~k:2 in
+  let spec =
+    { Chaos.sp_name = "adaptive";
+      sp_make = (fun () -> Sb_registers.Adaptive.make cfg);
+      sp_n = cfg.Common.n;
+      sp_f = cfg.Common.f;
+      sp_k = 2;
+      sp_value_bytes = value_bytes;
+      sp_reg_avail = true;
+      sp_check = Sb_spec.Regularity.check_strong;
+    }
+  in
+  let config =
+    { Chaos.quick_config with Chaos.seeds = 2; drops = [ 0.0; 0.25 ] }
+  in
+  let cells = Chaos.campaign config [ spec ] in
+  Alcotest.(check int) "one cell per drop rate" 2 (List.length cells);
+  Alcotest.(check bool) "all cells pass" true (Chaos.all_ok cells);
+  List.iter
+    (fun (c : Chaos.cell) ->
+      List.iter
+        (fun (r : Chaos.run_result) ->
+          Alcotest.(check bool) "accounting holds" true r.Chaos.r_accounting_ok;
+          Alcotest.(check int) "all ops ran" r.Chaos.r_ops r.Chaos.r_completed)
+        c.Chaos.cl_runs)
+    cells;
+  (* The report renders and carries one row per cell. *)
+  let csv = Sb_util.Table.to_csv (Chaos.report cells) in
+  Alcotest.(check int) "report has a header plus one row per cell" 3
+    (List.length
+       (List.filter (fun l -> String.trim l <> "")
+          (String.split_on_char '\n' csv)))
+
+let () =
+  Alcotest.run "faults"
+    [
+      ( "plan",
+        [
+          Alcotest.test_case "validation" `Quick test_plan_validate;
+          Alcotest.test_case "partition isolation" `Quick test_plan_isolation;
+        ] );
+      ( "retransmission",
+        [
+          Alcotest.test_case "liveness under total loss" `Quick
+            test_retransmission_liveness;
+          Alcotest.test_case "needs an expired deadline" `Quick
+            test_retransmit_needs_expiry;
+        ] );
+      ( "crash-recovery",
+        [
+          Alcotest.test_case "stale responses fenced" `Quick
+            test_stale_response_fenced;
+          Alcotest.test_case "cross-incarnation reapply harmless" `Quick
+            test_cross_incarnation_reapply_is_harmless;
+        ] );
+      ( "dedup",
+        [
+          Alcotest.test_case "duplicates answered once" `Quick
+            test_duplicate_request_deduplicated;
+          Alcotest.test_case "monitor fires without the table" `Quick
+            test_dedup_monitor_fires_without_table;
+        ] );
+      ( "injection",
+        [
+          Alcotest.test_case "deterministic" `Quick test_inject_deterministic;
+          Alcotest.test_case "hold partition heals" `Quick
+            test_partition_holds_then_heals;
+          Alcotest.test_case "drop partition loses" `Quick
+            test_drop_partition_loses_messages;
+        ] );
+      ( "watchdog",
+        [
+          Alcotest.test_case "flags stuck ops" `Quick test_watchdog_flags_stuck_op;
+        ] );
+      ( "equivalence",
+        [
+          Alcotest.test_case "fifo vs unordered verdicts" `Quick
+            test_fifo_unordered_equivalence;
+        ] );
+      ( "chaos",
+        [ Alcotest.test_case "campaign smoke" `Quick test_chaos_smoke ] );
+    ]

@@ -114,6 +114,66 @@ let test_crash_budget () =
     (try ignore (MP.step w (MP.Crash_server 1)); false
      with Invalid_argument _ -> true)
 
+let test_crash_budget_with_recovery () =
+  let cfg = coded_cfg ~f:1 ~k:2 in
+  let algorithm = Sb_registers.Adaptive.make cfg in
+  let w = MP.create ~algorithm ~n:cfg.n ~f:cfg.f ~workload:[||] () in
+  ignore (MP.step w (MP.Crash_server 0));
+  (* The f budget is over concurrent crashes: a recovery frees it. *)
+  ignore (MP.step w (MP.Recover_server 0));
+  Alcotest.(check bool) "server 0 back" true (MP.server_alive w 0);
+  Alcotest.(check int) "fresh incarnation" 2 (MP.server_incarnation w 0);
+  ignore (MP.step w (MP.Crash_server 1));
+  Alcotest.(check bool) "budget full again" true
+    (try ignore (MP.step w (MP.Crash_server 2)); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "recovering a live server is invalid" true
+    (try ignore (MP.step w (MP.Recover_server 0)); false
+     with Invalid_argument _ -> true)
+
+(* Regression: a crash must shed the crashed server's in-channel
+   requests from the channel accounting — exactly those bits, nothing
+   else. *)
+let test_crash_drops_channel_bits () =
+  let cfg = coded_cfg ~f:2 ~k:2 in
+  let algorithm = Sb_registers.Adaptive.make cfg in
+  let w = MP.create ~algorithm ~n:cfg.n ~f:cfg.f
+      ~workload:[| [ Trace.Write (v 1) ] |] () in
+  (* Round 1 (readValue), then resume into round 2: update requests
+     carrying write payloads are now in flight. *)
+  ignore (MP.step w (MP.Step 0));
+  List.iter (fun (m : MP.message_info) -> ignore (MP.step w (MP.Deliver_msg m.msg_id)))
+    (MP.deliverable w);
+  List.iter (fun (m : MP.message_info) -> ignore (MP.step w (MP.Deliver_msg m.msg_id)))
+    (MP.deliverable w);
+  ignore (MP.step w (MP.Step 0));
+  let before = MP.storage_bits_channels w in
+  let to_crashed =
+    List.filter
+      (fun (m : MP.message_info) -> m.kind = MP.Request && m.m_server = 0)
+      (MP.in_flight w)
+  in
+  let crashed_bits =
+    List.fold_left (fun acc (m : MP.message_info) -> acc + m.m_bits) 0 to_crashed
+  in
+  Alcotest.(check bool) "a payload-carrying request addressed to server 0" true
+    (crashed_bits > 0);
+  ignore (MP.step w (MP.Crash_server 0));
+  Alcotest.(check int) "channel bits shed exactly the crashed server's requests"
+    (before - crashed_bits) (MP.storage_bits_channels w);
+  Alcotest.(check int) "dropped_at_crash counts them"
+    (List.length to_crashed) (MP.net_stats w).MP.dropped_at_crash;
+  Alcotest.(check bool) "no request to server 0 remains" true
+    (List.for_all
+       (fun (m : MP.message_info) -> m.kind <> MP.Request || m.m_server <> 0)
+       (MP.in_flight w));
+  (* The write still completes against the surviving quorum. *)
+  let outcome = MP.run w (MP.random_policy ~seed:2 ()) in
+  Alcotest.(check bool) "quiescent" true outcome.MP.quiescent;
+  let ops = Trace.operations (MP.trace w) in
+  Alcotest.(check int) "write returned" (List.length ops)
+    (List.length (List.filter (fun (_, _, _, ret, _) -> ret <> None) ops))
+
 (* ------------------------------------------------------------------ *)
 (* Channel accounting                                                  *)
 (* ------------------------------------------------------------------ *)
@@ -325,6 +385,10 @@ let () =
           Alcotest.test_case "f server crashes tolerated" `Quick
             test_server_crashes_tolerated;
           Alcotest.test_case "crash budget" `Quick test_crash_budget;
+          Alcotest.test_case "crash budget with recovery" `Quick
+            test_crash_budget_with_recovery;
+          Alcotest.test_case "crash drops channel bits" `Quick
+            test_crash_drops_channel_bits;
         ] );
       ( "channels",
         [
