@@ -354,6 +354,348 @@ let chaos_overhead () =
   Printf.printf "budget (< 2.50x per step): %s\n" (if ok then "ok" else "EXCEEDED");
   ok
 
+(* ------------------------------------------------------------------ *)
+(* perf — machine-readable performance gates                           *)
+(* ------------------------------------------------------------------ *)
+
+(* `main.exe perf [--quick] [--check]` drives the two hot paths the
+   acceptance criteria gate on — parallel exploration and the codec row
+   multiplies — and writes BENCH_explore.json / BENCH_codec.json with
+   flat key/value results, pass/fail gates, and a CPU calibration
+   number so a committed baseline from one machine can be compared on
+   another (--check: fail on >25% calibration-normalised regression).
+
+   Quick mode (CI smoke) uses a delay-bounded exploration and enforces
+   only the determinism gate plus the codec and baseline gates; the
+   wall-clock speedup and cache-ratio gates need the full flagship
+   space and a multi-core machine, so they are enforced in full mode
+   only (and the speedup bar scales with the available cores). *)
+
+module E = Sb_modelcheck.Explore
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* Fixed integer workload timing, best of three: normalises metric
+   values across machines of different speed. *)
+let calibration_ns () =
+  let once () =
+    let _, dt =
+      wall (fun () ->
+          let acc = ref 0 in
+          for i = 1 to 50_000_000 do
+            acc := !acc lxor (i * 0x9e3779b1)
+          done;
+          ignore (Sys.opaque_identity !acc))
+    in
+    dt *. 1e9
+  in
+  let a = once () and b = once () and c = once () in
+  Float.min a (Float.min b c)
+
+let json_out file fields =
+  let oc = open_out file in
+  output_string oc "{\n";
+  List.iteri
+    (fun i (k, v) ->
+      Printf.fprintf oc "  %S: %s%s\n" k v
+        (if i = List.length fields - 1 then "" else ","))
+    fields;
+  output_string oc "}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" file
+
+let jbool b = if b then "true" else "false"
+let jfloat x = Printf.sprintf "%.6g" x
+
+(* Minimal reader for the flat JSON the suite writes: find ["key": v]
+   and parse v as a float.  Good enough for --check; not a JSON
+   parser. *)
+let json_field file key =
+  let ic = open_in file in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  let pat = Printf.sprintf "%S:" key in
+  match
+    let rec find i =
+      if i + String.length pat > String.length s then None
+      else if String.sub s i (String.length pat) = pat then Some (i + String.length pat)
+      else find (i + 1)
+    in
+    find 0
+  with
+  | None -> None
+  | Some i ->
+    let j = ref i in
+    while !j < String.length s && (s.[!j] = ' ' || s.[!j] = '\t') do incr j done;
+    let k = ref !j in
+    while
+      !k < String.length s && (match s.[!k] with '0' .. '9' | '.' | '-' | '+' | 'e' | 'E' -> true | _ -> false)
+    do
+      incr k
+    done;
+    float_of_string_opt (String.sub s !j (!k - !j))
+
+let stats_str (s : E.stats) =
+  Printf.sprintf
+    "schedules=%d transitions=%d sleep=%d cache=%d bound=%d depth=%d violations=%d"
+    s.E.schedules s.E.transitions s.E.sleep_skips s.E.cache_skips s.E.bound_skips
+    s.E.max_depth s.E.violations
+
+let perf_explore_config ~bound ~cache () =
+  let value_bytes = 64 in
+  let n = 3 and f = 1 in
+  let cfg =
+    { Sb_registers.Common.n; f; codec = Sb_codec.Codec.replication ~value_bytes ~n }
+  in
+  let workload =
+    Sb_experiments.Workloads.writers_and_readers ~value_bytes ~writers:2
+      ~writes_each:1 ~readers:1 ~reads_each:1
+  in
+  E.config ~bound ~cache ~algorithm:(Sb_registers.Abd.make cfg) ~n ~f ~workload
+    ~initial:(Bytes.make value_bytes '\000')
+    ~check:Sb_spec.Regularity.check_weak ()
+
+(* On a single core, extra domains only add GC-rendezvous stalls
+   (measured ~4x slower wall for jobs=4), so the speedup gate needs at
+   least two real cores; below that the number is recorded, not
+   enforced. *)
+let required_speedup cores =
+  if cores >= 4 then Some 2.0 else if cores >= 2 then Some 1.4 else None
+
+let perf_explore ~quick ~calib =
+  let bound = if quick then E.Delay 3 else E.Exhaustive in
+  let best f =
+    (* best of three in quick mode (sub-second runs), single shot on
+       the flagship space; compact first so one stage's heap (notably
+       the multi-domain jobs=4 run) doesn't tax the next stage's GC *)
+    Gc.compact ();
+    let (r, t) = wall f in
+    if not quick then (r, t)
+    else
+      let (_, t2) = wall f and (_, t3) = wall f in
+      (r, Float.min t (Float.min t2 t3))
+  in
+  (* The cache is live only under the exhaustive bound; quick mode
+     measures it on the small 1w/1r space (informational). *)
+  let cache_cfg ~cache =
+    if not quick then perf_explore_config ~bound:E.Exhaustive ~cache ()
+    else begin
+      let value_bytes = 64 in
+      let n = 3 and f = 1 in
+      let cfg =
+        { Sb_registers.Common.n; f; codec = Sb_codec.Codec.replication ~value_bytes ~n }
+      in
+      let workload =
+        Sb_experiments.Workloads.writers_and_readers ~value_bytes ~writers:1
+          ~writes_each:1 ~readers:1 ~reads_each:1
+      in
+      E.config ~cache ~algorithm:(Sb_registers.Abd.make cfg) ~n ~f ~workload
+        ~initial:(Bytes.make value_bytes '\000')
+        ~check:Sb_spec.Regularity.check_weak ()
+    end
+  in
+  (* Through Pexplore, like the CLI: the partitioned driver's per-task
+     cache tables are measurably kinder to the GC than one giant
+     single-tree table (~52s vs ~68s on the flagship).  Measured
+     BEFORE any domain is spawned: once the process has ever run
+     multiple domains, the runtime's single-domain fast paths stay
+     off and the cached pass reads ~15% slower than the CLI's. *)
+  let ou, tu =
+    best (fun () -> Sb_parallel.Pexplore.explore ~jobs:1 (cache_cfg ~cache:false))
+  in
+  let oc_, tc =
+    best (fun () -> Sb_parallel.Pexplore.explore ~jobs:1 (cache_cfg ~cache:true))
+  in
+  let o1, t1 =
+    best (fun () ->
+        Sb_parallel.Pexplore.explore ~jobs:1 (perf_explore_config ~bound ~cache:false ()))
+  in
+  let o4, t4 =
+    best (fun () ->
+        Sb_parallel.Pexplore.explore ~jobs:4 (perf_explore_config ~bound ~cache:false ()))
+  in
+  let cores = Domain.recommended_domain_count () in
+  let identical = stats_str o1.E.stats = stats_str o4.E.stats in
+  let speedup = t1 /. t4 in
+  let cache_ratio = tc /. tu in
+  let speedup_req = required_speedup cores in
+  (* Quick mode runs spaces too small for stable wall-clock ratios:
+     its speedup/cache numbers are recorded but not enforced.  The
+     cache gate is a regression guard, not a win claim: the hash key
+     cut the cache's overhead from the Marshal key's ~4.1x to ~3.2x on
+     the flagship (see EXPERIMENTS.md M1 for why it still ships off by
+     default); 3.5x here catches a return to Marshal-class cost. *)
+  let gated = not quick in
+  let speedup_pass =
+    (not gated)
+    || (match speedup_req with None -> true | Some req -> speedup >= req)
+  in
+  let cache_gate = 3.5 in
+  let cache_pass =
+    (not gated) || (cache_ratio <= cache_gate && oc_.E.stats.E.cache_skips > 0)
+  in
+  let pass = identical && speedup_pass && cache_pass in
+  let table =
+    Sb_util.Table.create
+      ~title:
+        (Printf.sprintf "P1  parallel exploration (%s, %d core(s) available)"
+           (if quick then "quick: 2w1r delay:3" else "flagship: 2w1r exhaustive")
+           cores)
+      [ ("measurement", Sb_util.Table.Left); ("value", Sb_util.Table.Right) ]
+  in
+  List.iter
+    (fun (k, v) -> Sb_util.Table.add_row table [ k; v ])
+    [
+      ("schedules", string_of_int o1.E.stats.E.schedules);
+      ("jobs=1 wall", Printf.sprintf "%.2fs" t1);
+      ("jobs=4 wall", Printf.sprintf "%.2fs" t4);
+      ("speedup",
+       Printf.sprintf "%.2fx (gate: %s)" speedup
+         (match speedup_req with
+          | Some req when gated -> Printf.sprintf ">= %.1fx, enforced" req
+          | Some req -> Printf.sprintf ">= %.1fx, advisory in quick mode" req
+          | None -> "none below 2 cores"));
+      ("identical totals", if identical then "yes" else "NO");
+      ("uncached wall", Printf.sprintf "%.2fs" tu);
+      ("hash-keyed --cache wall", Printf.sprintf "%.2fs" tc);
+      ("cache ratio", Printf.sprintf "%.2fx (gate: <= %.1fx, %s)" cache_ratio
+         cache_gate
+         (if gated then "enforced" else "advisory in quick mode"));
+      ("cache prunes", string_of_int oc_.E.stats.E.cache_skips);
+    ];
+  Sb_util.Table.print table;
+  json_out "BENCH_explore.json"
+    [
+      ("suite", "\"explore\"");
+      ("mode", if quick then "\"quick\"" else "\"full\"");
+      ("cores", string_of_int cores);
+      ("calibration_ns", jfloat calib);
+      ("schedules", string_of_int o1.E.stats.E.schedules);
+      ("transitions", string_of_int o1.E.stats.E.transitions);
+      ("jobs1_s", jfloat t1);
+      ("jobs4_s", jfloat t4);
+      ("speedup", jfloat speedup);
+      ("speedup_required",
+       match speedup_req with None -> "null" | Some req -> jfloat req);
+      ("identical_totals", jbool identical);
+      ("uncached_s", jfloat tu);
+      ("cached_s", jfloat tc);
+      ("cache_ratio", jfloat cache_ratio);
+      ("cache_prunes", string_of_int oc_.E.stats.E.cache_skips);
+      ("uncached_schedules", string_of_int ou.E.stats.E.schedules);
+      ("norm_jobs1", jfloat (t1 *. 1e9 /. calib));
+      ("pass", jbool pass);
+    ];
+  pass
+
+(* Gates 25% below the pre-optimisation B1 numbers (~130 us encode-all,
+   ~47 us decode for 1 KiB over rs-vandermonde k=4 n=12): the row
+   multiplies must stay measurably faster than the element loops they
+   replaced. *)
+let perf_codec ~calib =
+  let open Sb_codec.Codec in
+  let codec = rs_vandermonde ~value_bytes ~k:4 ~n:12 in
+  let codec16 = rs_vandermonde16 ~value_bytes ~k:4 ~n:12 in
+  let mk name codec =
+    let k = codec.k in
+    let avail = match codec.n with Some n -> min n (k + 2) | None -> k + 2 in
+    let blocks = List.init avail (fun i -> (i, codec.encode value i)) in
+    let last_k = List.filteri (fun idx _ -> idx >= avail - k) blocks in
+    [
+      Test.make
+        ~name:(name ^ "-encode-all")
+        (Staged.stage (fun () ->
+             let n = match codec.n with Some n -> n | None -> k + 4 in
+             for i = 0 to n - 1 do
+               ignore (codec.encode value i)
+             done));
+      Test.make ~name:(name ^ "-decode")
+        (Staged.stage (fun () -> ignore (codec.decode last_k)));
+    ]
+  in
+  let results = measure ~name:"perf-codec" (mk "rs8" codec @ mk "rs16" codec16) in
+  let us key = ns_per_run results ("perf-codec/" ^ key) /. 1e3 in
+  let enc = us "rs8-encode-all" and dec = us "rs8-decode" in
+  let enc16 = us "rs16-encode-all" and dec16 = us "rs16-decode" in
+  let enc_gate = 97.5 and dec_gate = 35.0 in
+  let pass = enc < enc_gate && dec < dec_gate in
+  let table =
+    Sb_util.Table.create ~title:"P2  codec hot path (1 KiB, rs-vandermonde k=4 n=12)"
+      [ ("measurement", Sb_util.Table.Left); ("value", Sb_util.Table.Right) ]
+  in
+  List.iter
+    (fun (k, v) -> Sb_util.Table.add_row table [ k; v ])
+    [
+      ("encode-all (12 blocks)", Printf.sprintf "%.1f us (gate: < %.1f us)" enc enc_gate);
+      ("decode (from 4 blocks)", Printf.sprintf "%.1f us (gate: < %.1f us)" dec dec_gate);
+      ("gf2p16 encode-all", Printf.sprintf "%.1f us" enc16);
+      ("gf2p16 decode", Printf.sprintf "%.1f us" dec16);
+    ];
+  Sb_util.Table.print table;
+  json_out "BENCH_codec.json"
+    [
+      ("suite", "\"codec\"");
+      ("calibration_ns", jfloat calib);
+      ("value_bytes", string_of_int value_bytes);
+      ("encode_all_us", jfloat enc);
+      ("decode_us", jfloat dec);
+      ("encode_all_gate_us", jfloat enc_gate);
+      ("decode_gate_us", jfloat dec_gate);
+      ("rs16_encode_all_us", jfloat enc16);
+      ("rs16_decode_us", jfloat dec16);
+      ("norm_encode_all", jfloat (enc *. 1e3 /. calib));
+      ("norm_decode", jfloat (dec *. 1e3 /. calib));
+      ("pass", jbool pass);
+    ];
+  pass
+
+(* Compare this run's calibration-normalised metrics against the
+   committed baselines; >25% slower on any is a regression. *)
+let perf_check () =
+  let tol = 1.25 in
+  let checks =
+    [
+      ("BENCH_explore.json", "bench/baselines/BENCH_explore.json", [ "norm_jobs1" ]);
+      ( "BENCH_codec.json",
+        "bench/baselines/BENCH_codec.json",
+        [ "norm_encode_all"; "norm_decode" ] );
+    ]
+  in
+  let ok = ref true in
+  List.iter
+    (fun (cur_file, base_file, keys) ->
+      if not (Sys.file_exists base_file) then
+        Printf.printf "check: no baseline %s (skipped)\n" base_file
+      else
+        List.iter
+          (fun key ->
+            match (json_field cur_file key, json_field base_file key) with
+            | Some cur, Some base when base > 0.0 ->
+              let ratio = cur /. base in
+              let fine = ratio <= tol in
+              if not fine then ok := false;
+              Printf.printf "check: %-16s %.4g vs baseline %.4g  (%.2fx, budget <= %.2fx) %s\n"
+                key cur base ratio tol
+                (if fine then "ok" else "REGRESSION")
+            | _ -> Printf.printf "check: %-16s missing in %s or %s (skipped)\n" key cur_file base_file)
+          keys)
+    checks;
+  !ok
+
+let perf ~quick ~check =
+  let calib = calibration_ns () in
+  Printf.printf "calibration   : %.0f ns (fixed integer workload)\n" calib;
+  let explore_ok = perf_explore ~quick ~calib in
+  let codec_ok = perf_codec ~calib in
+  let check_ok = if check then perf_check () else true in
+  let ok = explore_ok && codec_ok && check_ok in
+  Printf.printf "perf gates    : %s\n" (if ok then "ok" else "FAILED");
+  ok
+
 let micro () =
   run_group ~name:"galois-field" gf_tests;
   run_group ~name:"codecs-1KiB" codec_tests;
@@ -366,9 +708,11 @@ let tables () =
 
 let () =
   let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let has flag = Array.exists (String.equal flag) Sys.argv in
   match mode with
   | "tables" -> tables ()
   | "micro" -> micro ()
+  | "perf" -> if not (perf ~quick:(has "--quick") ~check:(has "--check")) then exit 1
   | "sanitize-overhead" -> if not (sanitize_overhead ()) then exit 1
   | "chaos-overhead" -> if not (chaos_overhead ()) then exit 1
   | "all" ->
@@ -377,5 +721,6 @@ let () =
     ignore (sanitize_overhead ());
     ignore (chaos_overhead ())
   | _ ->
-    prerr_endline "usage: main.exe [tables|micro|sanitize-overhead|all]";
+    prerr_endline
+      "usage: main.exe [tables|micro|perf [--quick] [--check]|sanitize-overhead|chaos-overhead|all]";
     exit 2

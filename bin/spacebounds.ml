@@ -485,6 +485,34 @@ let explore_cmd =
       & info [ "compare" ]
           ~doc:"Also run without DPOR and print the pruning ratio.")
   in
+  let compare_budget =
+    Arg.(
+      value & opt int 1_000_000
+      & info [ "compare-budget" ] ~docv:"N"
+          ~doc:"Schedule cap applied to both passes of $(b,--compare) (0 = \
+                unbounded).  Naive enumeration is typically 10x or more \
+                larger than the reduced search — and with the default f=4 \
+                even the reduced space is astronomical — so without a cap \
+                $(b,--compare) can appear to hang; when a cap is hit the \
+                printed reduction ratio is a lower bound.")
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:"Explore on N worker domains (0 = one per core).  Subtree \
+                partitioning is deterministic: every jobs level reports \
+                identical totals, verdicts, and counterexamples.")
+  in
+  let paranoid_arg =
+    Arg.(
+      value & flag
+      & info [ "paranoid-key" ]
+          ~doc:"Cross-check the incremental state fingerprint that keys \
+                $(b,--cache) against the full Marshal key at every lookup, \
+                failing on any mismatch.  Test-only: retains a Marshal key \
+                per distinct state, so use small configurations.")
+  in
   let lint =
     Arg.(
       value & flag
@@ -536,9 +564,9 @@ let explore_cmd =
     | `Safe -> ("safeness", Sb_spec.Regularity.check_safe)
     | `Atomic -> ("atomicity", fun h -> Sb_spec.Regularity.check_atomic h)
   in
-  let mk_config ~algo ~value_bytes ~f ~k ~seed ~writers ~writes_each ~readers
-      ~reads_each ~crashes ~client_crashes ~bound ~dpor ~cache ~lint
-      ~max_schedules ~check =
+  let mk_config ?(paranoid_key = false) ~algo ~value_bytes ~f ~k ~seed ~writers
+      ~writes_each ~readers ~reads_each ~crashes ~client_crashes ~bound ~dpor
+      ~cache ~lint ~max_schedules ~check () =
     let algorithm, cfg = build ~algo ~value_bytes ~f ~k in
     let workload =
       Sb_experiments.Workloads.writers_and_readers ~value_bytes ~writers
@@ -547,7 +575,7 @@ let explore_cmd =
     let _, check_fn = checker check in
     ( algorithm,
       cfg,
-      E.config ~seed ~dpor ~cache ~bound ~crash_objs:crashes
+      E.config ~seed ~dpor ~cache ~paranoid_key ~bound ~crash_objs:crashes
         ~crash_clients:client_crashes
         ~max_schedules ~lint ~algorithm ~n:cfg.n ~f:cfg.f ~workload
         ~initial:(Bytes.make value_bytes '\000') ~check:check_fn () )
@@ -625,8 +653,9 @@ let explore_cmd =
       exit 1
   in
   let run algo value_bytes f k seed writers writes_each readers reads_each
-      crashes client_crashes bound no_dpor cache compare_flag lint max_schedules
-      check quick replay_file save sanitize =
+      crashes client_crashes bound no_dpor cache paranoid_key compare_flag
+      compare_budget jobs lint max_schedules check quick replay_file save
+      sanitize =
     (* --quick: the CI smoke preset — tiny exhaustive sweep with lint and
        the sanitizers on, then confirm the seeded abd-broken bug is found
        and shrinks. *)
@@ -639,10 +668,20 @@ let explore_cmd =
       run_replay ~algo ~value_bytes ~f ~k ~seed ~writers ~writes_each ~readers
         ~reads_each ~check file
     | None ->
+      let jobs = if jobs <= 0 then Sb_parallel.Pool.default_jobs () else jobs in
+      (* --compare caps the reduced pass too: either side of the
+         comparison can be astronomically large (the default f=4 space,
+         say), and an uncapped pass looks like a hang. *)
+      let max_schedules =
+        if compare_flag && not no_dpor && compare_budget > 0
+           && (max_schedules = 0 || compare_budget < max_schedules)
+        then compare_budget
+        else max_schedules
+      in
       let algorithm, cfg, econfig =
-        mk_config ~algo ~value_bytes ~f ~k ~seed ~writers ~writes_each ~readers
-          ~reads_each ~crashes ~client_crashes ~bound ~dpor:(not no_dpor) ~cache
-          ~lint ~max_schedules ~check
+        mk_config ~paranoid_key ~algo ~value_bytes ~f ~k ~seed ~writers
+          ~writes_each ~readers ~reads_each ~crashes ~client_crashes ~bound
+          ~dpor:(not no_dpor) ~cache ~lint ~max_schedules ~check ()
       in
       let check_name, _ = checker check in
       Printf.printf "algorithm     : %s (n=%d f=%d k=%d D=%d bits, seed %d)\n"
@@ -650,12 +689,14 @@ let explore_cmd =
       Printf.printf
         "workload      : %d writer(s) x %d, %d reader(s) x %d; crashes: %d obj, %d client\n"
         writers writes_each readers reads_each crashes client_crashes;
-      Format.printf "check         : %s; bound: %a; dpor: %s; cache: %s; sanitize: %s@."
+      Format.printf
+        "check         : %s; bound: %a; dpor: %s; cache: %s; sanitize: %s; jobs: %d@."
         check_name
         (Arg.conv_printer bound_conv) bound
         (if no_dpor then "off" else "on")
         (if cache then "on" else "off")
-        (if sanitize then "on" else "off");
+        (if sanitize then "on" else "off")
+        jobs;
       let t0 = Unix.gettimeofday () in
       let outcome =
         if sanitize then begin
@@ -665,25 +706,48 @@ let explore_cmd =
             report_sanitizer_violation r;
             exit 1
         end
-        else E.explore econfig
+        else Sb_parallel.Pexplore.explore ~jobs econfig
       in
       let dt = Unix.gettimeofday () -. t0 in
       Format.printf "%a@." E.pp_stats outcome.E.stats;
       Printf.printf "wall time     : %.2fs\n" dt;
       Printf.printf "complete      : %b\n" outcome.E.complete;
       if compare_flag && not no_dpor then begin
+        (* The naive pass gets its own budget: unreduced enumeration is
+           routinely 10x+ the reduced search, so an uncapped comparison
+           looks like a hang on anything non-trivial. *)
+        let naive_cap =
+          if compare_budget > 0 && (max_schedules = 0 || compare_budget < max_schedules)
+          then compare_budget
+          else max_schedules
+        in
         let _, _, naive =
           mk_config ~algo ~value_bytes ~f ~k ~seed ~writers ~writes_each
             ~readers ~reads_each ~crashes ~client_crashes ~bound ~dpor:false
-            ~cache:false ~lint:false ~max_schedules ~check
+            ~cache:false ~lint:false ~max_schedules:naive_cap ~check ()
         in
         let n_out = E.explore naive in
-        Printf.printf "naive         : %d schedules, %d transitions\n"
-          n_out.E.stats.E.schedules n_out.E.stats.E.transitions;
+        (if n_out.E.complete then
+           Printf.printf "naive         : %d schedules, %d transitions\n"
+             n_out.E.stats.E.schedules n_out.E.stats.E.transitions
+         else if n_out.E.first_violation <> None then
+           Printf.printf
+             "naive         : stopped on a violation after %d schedules\n"
+             n_out.E.stats.E.schedules
+         else
+           Printf.printf
+             "naive         : stopped at the %d-schedule --compare-budget \
+              (%d transitions); raise it for an exact ratio\n"
+             n_out.E.stats.E.schedules n_out.E.stats.E.transitions);
         if outcome.E.stats.E.schedules > 0 then
-          Printf.printf "dpor reduction: %.2fx fewer schedules\n"
+          Printf.printf "dpor reduction: %s%.2fx fewer schedules%s\n"
+            (if n_out.E.complete then "" else ">= ")
             (float_of_int n_out.E.stats.E.schedules
             /. float_of_int outcome.E.stats.E.schedules)
+            (if outcome.E.complete then ""
+             else
+               " (reduced search hit the budget too; ratio is indicative \
+                only)")
       end;
       if outcome.E.stats.E.lint_failures > 0 then begin
         Printf.printf "DETERMINISM LINT FAILED (%d schedules diverged on replay)\n"
@@ -702,7 +766,7 @@ let explore_cmd =
           mk_config ~algo:Abd_broken ~value_bytes ~f ~k ~seed ~writers:2
             ~writes_each:1 ~readers:1 ~reads_each:1 ~crashes ~client_crashes
             ~bound ~dpor:true ~cache:false ~lint:false ~max_schedules:0
-            ~check:`Weak
+            ~check:`Weak ()
         in
         let b_out = E.explore broken in
         match b_out.E.first_violation with
@@ -737,8 +801,9 @@ let explore_cmd =
     Term.(
       const run $ algo_arg $ value_bytes_arg $ f_arg $ k_arg $ seed_arg
       $ writers $ writes_each $ readers $ reads_each $ crashes $ client_crashes
-      $ bound_arg $ no_dpor $ cache_flag $ compare_flag $ lint $ max_schedules
-      $ check_arg $ quick $ replay_file $ save_arg $ sanitize_arg)
+      $ bound_arg $ no_dpor $ cache_flag $ paranoid_arg $ compare_flag
+      $ compare_budget $ jobs_arg $ lint $ max_schedules $ check_arg $ quick
+      $ replay_file $ save_arg $ sanitize_arg)
 
 (* ------------------------------------------------------------------ *)
 (* audit — machine-check the DPOR independence relation                *)

@@ -160,6 +160,10 @@ module type PACKED_FIELD = sig
   val elem_bytes : int
   val get_elem : bytes -> int -> t
   val set_elem : bytes -> int -> t -> unit
+
+  val mul_into : coeff:t -> src:bytes -> dst:bytes -> unit
+  (** Add [coeff * src] into [dst] element-wise over packed elements —
+      the codec hot path, table-sliced per field. *)
 end
 
 module Packed_gf256 = struct
@@ -168,6 +172,7 @@ module Packed_gf256 = struct
   let elem_bytes = 1
   let get_elem b i = Char.code (Bytes.get b i)
   let set_elem b i v = Bytes.set b i (Char.chr v)
+  let mul_into = mul_bytes_into
 end
 
 module Packed_gf2p16 = struct
@@ -179,6 +184,8 @@ module Packed_gf2p16 = struct
   let set_elem b i v =
     Bytes.set b (2 * i) (Char.chr (v land 0xff));
     Bytes.set b ((2 * i) + 1) (Char.chr ((v lsr 8) land 0xff))
+
+  let mul_into = mul_bytes_into
 end
 
 module Linear (F : PACKED_FIELD) = struct
@@ -207,14 +214,38 @@ module Linear (F : PACKED_FIELD) = struct
       let shards = shards_of_value v in
       let out = Bytes.make shard_bytes '\000' in
       for j = 0 to k - 1 do
-        let coeff = M.get gen i j in
-        if coeff <> F.zero then
-          for p = 0 to shard_elems - 1 do
-            let cur = F.get_elem out p in
-            F.set_elem out p (F.add cur (F.mul coeff (F.get_elem shards.(j) p)))
-          done
+        F.mul_into ~coeff:(M.get gen i j) ~src:shards.(j) ~dst:out
       done;
       out
+    in
+    (* The generator submatrix — and hence its inverse — depends only on
+       which k indices survived, a tiny set in practice (readers see the
+       same quorums over and over), so memoise it.  Codec values are
+       shared across domains by the parallel explorer: the table is
+       mutex-guarded, with inversion done outside the lock (a racing
+       duplicate computes the same matrix). *)
+    let inv_cache : (string, M.t option) Hashtbl.t = Hashtbl.create 16 in
+    let inv_lock = Mutex.create () in
+    let inverse_for rows =
+      let key =
+        String.init
+          (2 * Array.length rows)
+          (fun i ->
+            let r = rows.(i lsr 1) in
+            Char.chr (if i land 1 = 0 then r land 0xff else (r lsr 8) land 0xff))
+      in
+      match Mutex.protect inv_lock (fun () -> Hashtbl.find_opt inv_cache key) with
+      | Some cached -> cached
+      | None ->
+        let inv =
+          match M.invert (M.sub_rows gen rows) with
+          | exception M.Singular -> None
+          | inverse -> Some inverse
+        in
+        Mutex.protect inv_lock (fun () ->
+            if Hashtbl.length inv_cache < 4096 then
+              Hashtbl.replace inv_cache key inv);
+        inv
     in
     let decode blocks =
       let blocks = dedup_blocks blocks in
@@ -225,24 +256,20 @@ module Linear (F : PACKED_FIELD) = struct
       else begin
         let chosen = Array.of_list (List.filteri (fun idx _ -> idx < k) blocks) in
         let rows = Array.map fst chosen in
-        let sub = M.sub_rows gen rows in
-        match M.invert sub with
-        | exception M.Singular -> None
-        | inverse ->
+        match inverse_for rows with
+        | None -> None
+        | Some inverse ->
           let out = Bytes.make (k * shard_bytes) '\000' in
-          (* shard_j[p] = sum_r inverse[j][r] * block_r[p] *)
+          let shard = Bytes.make shard_bytes '\000' in
+          (* shard_j = sum_r inverse[j][r] * block_r, one row-multiply
+             per term. *)
           for j = 0 to k - 1 do
+            Bytes.fill shard 0 shard_bytes '\000';
             for r = 0 to k - 1 do
-              let coeff = M.get inverse j r in
-              if coeff <> F.zero then begin
-                let block = snd chosen.(r) in
-                for p = 0 to shard_elems - 1 do
-                  let pos = (j * shard_elems) + p in
-                  let cur = F.get_elem out pos in
-                  F.set_elem out pos (F.add cur (F.mul coeff (F.get_elem block p)))
-                done
-              end
-            done
+              F.mul_into ~coeff:(M.get inverse j r) ~src:(snd chosen.(r))
+                ~dst:shard
+            done;
+            Bytes.blit shard 0 out (j * shard_bytes) shard_bytes
           done;
           Some (Bytes.sub out 0 value_bytes)
       end

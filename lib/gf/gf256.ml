@@ -63,19 +63,32 @@ let exp i =
 
 let log a = if a = 0 then raise Division_by_zero else log_table.(a)
 
+(* Flat 256x256 product table, row [c] holding [c*s] for every [s].
+   64 KiB built once from the log/exp tables; the row-multiply inner
+   loop becomes a single byte load with no branches, instead of two
+   array loads behind a zero test. *)
+let mul_table = Bytes.create 65536
+
+let () =
+  for c = 0 to 255 do
+    let row = c lsl 8 in
+    for s = 0 to 255 do
+      Bytes.unsafe_set mul_table (row lor s) (Char.unsafe_chr (mul c s))
+    done
+  done
+
 let mul_bytes_into ~coeff ~src ~dst =
   let n = Bytes.length dst in
   if Bytes.length src <> n then invalid_arg "Gf256.mul_bytes_into: length mismatch";
   if coeff = 0 then ()
   else if coeff = 1 then Sb_util.Bytesx.xor_into ~src ~dst
   else begin
-    let lc = log_table.(coeff) in
+    let row = coeff lsl 8 in
     for i = 0 to n - 1 do
       let s = Char.code (Bytes.unsafe_get src i) in
-      if s <> 0 then
-        Bytes.unsafe_set dst i
-          (Char.unsafe_chr
-             (Char.code (Bytes.unsafe_get dst i)
-              lxor exp_table.(lc + log_table.(s))))
+      Bytes.unsafe_set dst i
+        (Char.unsafe_chr
+           (Char.code (Bytes.unsafe_get dst i)
+            lxor Char.code (Bytes.unsafe_get mul_table (row lor s))))
     done
   end

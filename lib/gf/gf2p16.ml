@@ -61,3 +61,56 @@ let exp i =
   exp_table.(i)
 
 let log a = if a = 0 then raise Division_by_zero else log_table.(a)
+
+(* Row-multiply over packed little-endian 16-bit elements.  A full
+   product table would be 8 GiB, so slice per call instead: two
+   256-entry tables give [c*s] as [c*(s_hi<<8) xor c*s_lo] by
+   linearity.  Building them costs ~512 table multiplies, so short
+   rows take the direct log/exp path. *)
+let mul_bytes_into ~coeff ~src ~dst =
+  let n = Bytes.length dst in
+  if Bytes.length src <> n then invalid_arg "Gf2p16.mul_bytes_into: length mismatch";
+  if n land 1 <> 0 then invalid_arg "Gf2p16.mul_bytes_into: odd length";
+  if coeff = 0 then ()
+  else if coeff = 1 then Sb_util.Bytesx.xor_into ~src ~dst
+  else begin
+    let lc = log_table.(coeff) in
+    let elems = n lsr 1 in
+    if elems < 64 then
+      for p = 0 to elems - 1 do
+        let i = p lsl 1 in
+        let s =
+          Char.code (Bytes.unsafe_get src i)
+          lor (Char.code (Bytes.unsafe_get src (i + 1)) lsl 8)
+        in
+        if s <> 0 then begin
+          let prod = exp_table.(lc + log_table.(s)) in
+          Bytes.unsafe_set dst i
+            (Char.unsafe_chr
+               (Char.code (Bytes.unsafe_get dst i) lxor (prod land 0xff)));
+          Bytes.unsafe_set dst (i + 1)
+            (Char.unsafe_chr
+               (Char.code (Bytes.unsafe_get dst (i + 1)) lxor (prod lsr 8)))
+        end
+      done
+    else begin
+      let lo = Array.make 256 0 and hi = Array.make 256 0 in
+      for b = 1 to 255 do
+        lo.(b) <- exp_table.(lc + log_table.(b));
+        hi.(b) <- exp_table.(lc + log_table.(b lsl 8))
+      done;
+      for p = 0 to elems - 1 do
+        let i = p lsl 1 in
+        let prod =
+          Array.unsafe_get lo (Char.code (Bytes.unsafe_get src i))
+          lxor Array.unsafe_get hi (Char.code (Bytes.unsafe_get src (i + 1)))
+        in
+        Bytes.unsafe_set dst i
+          (Char.unsafe_chr
+             (Char.code (Bytes.unsafe_get dst i) lxor (prod land 0xff)));
+        Bytes.unsafe_set dst (i + 1)
+          (Char.unsafe_chr
+             (Char.code (Bytes.unsafe_get dst (i + 1)) lxor (prod lsr 8)))
+      done
+    end
+  end

@@ -8,3 +8,9 @@ include Field.S
 
 val mul_slow : t -> t -> t
 (** Table-free multiplication, used as a test oracle. *)
+
+val mul_bytes_into : coeff:t -> src:bytes -> dst:bytes -> unit
+(** [mul_bytes_into ~coeff ~src ~dst] adds [coeff * src] into [dst]
+    element-wise over packed little-endian 16-bit field elements — the
+    inner loop of the GF(2^16) Reed–Solomon codecs.  Both buffers must
+    have the same even length. *)

@@ -16,6 +16,7 @@ type config = {
   check : Sb_spec.History.t -> Sb_spec.Regularity.verdict;
   dpor : bool;
   cache : bool;
+  paranoid_key : bool;
   bound : bound;
   crash_objs : int;
   crash_clients : int;
@@ -28,10 +29,10 @@ type config = {
 
 exception Instrumented_failure of exn * R.decision list
 
-let config ?(seed = 1) ?(dpor = true) ?(cache = false) ?(bound = Exhaustive)
-    ?(crash_objs = 0) ?(crash_clients = 0) ?(max_schedules = 0)
-    ?(stop_on_violation = true) ?(lint = false) ?on_history ?instrument
-    ~algorithm ~n ~f ~workload ~initial ~check () =
+let config ?(seed = 1) ?(dpor = true) ?(cache = false) ?(paranoid_key = false)
+    ?(bound = Exhaustive) ?(crash_objs = 0) ?(crash_clients = 0)
+    ?(max_schedules = 0) ?(stop_on_violation = true) ?(lint = false) ?on_history
+    ?instrument ~algorithm ~n ~f ~workload ~initial ~check () =
   {
     algorithm;
     n;
@@ -42,6 +43,7 @@ let config ?(seed = 1) ?(dpor = true) ?(cache = false) ?(bound = Exhaustive)
     check;
     dpor;
     cache;
+    paranoid_key;
     bound;
     crash_objs;
     crash_clients;
@@ -302,6 +304,19 @@ type mstats = {
   mutable m_lint_failures : int;
 }
 
+let mk_mstats () =
+  {
+    m_schedules = 0;
+    m_transitions = 0;
+    m_replayed = 0;
+    m_sleep_skips = 0;
+    m_cache_skips = 0;
+    m_bound_skips = 0;
+    m_max_depth = 0;
+    m_violations = 0;
+    m_lint_failures = 0;
+  }
+
 exception Stop
 
 (* One node on the current root-to-leaf path: its enabled actions in
@@ -319,29 +334,153 @@ type frame = {
   f_cli_left : int;
 }
 
-let explore cfg =
-  let st =
-    {
-      m_schedules = 0;
-      m_transitions = 0;
-      m_replayed = 0;
-      m_sleep_skips = 0;
-      m_cache_skips = 0;
-      m_bound_skips = 0;
-      m_max_depth = 0;
-      m_violations = 0;
-      m_lint_failures = 0;
-    }
+let budget0 cfg =
+  match cfg.bound with Exhaustive -> max_int | Delay d -> d | Preempt p -> p
+
+let fresh_world cfg =
+  let w =
+    (* The hash chains only feed the state cache; without it their
+       per-step upkeep is a pure tax (~20% on the flagship space). *)
+    R.create ~seed:cfg.seed ~metrics:false ~fingerprints:cfg.cache
+      ~algorithm:cfg.algorithm ~n:cfg.n ~f:cfg.f ~workload:cfg.workload ()
   in
+  (match cfg.instrument with Some f -> f w | None -> ());
+  w
+
+let mk_frame cfg w ~sleep ~budget ~last ~obj_left ~cli_left =
+  {
+    f_acts = Array.of_list (actions cfg w ~obj_left ~cli_left);
+    f_idx = 0;
+    f_cur = None;
+    f_done = [];
+    f_sleep = sleep;
+    f_budget = budget;
+    f_last = last;
+    f_obj_left = obj_left;
+    f_cli_left = cli_left;
+  }
+
+(* A crash only ever disables behaviour — deliveries on the crashed
+   object, the crashed client's steps and read-only stragglers, crash
+   choices beyond the decremented budget — and never enables anything,
+   so the child's action set is computable from the parent's without
+   executing the crash.  When every surviving action would land in the
+   child's sleep set, the whole subtree is sterile: it can reach no
+   leaf, because crashes sort last in the baseline order and thus
+   every surviving sibling has already been explored here (the crash
+   commutes backward past all of them).  Detecting this *before*
+   descending skips the child outright — otherwise each such child
+   costs a full prefix replay just to discover there is nothing
+   underneath (measured: ~10x the useful transition count on
+   crash-budget configurations).  An empty surviving set is a leaf,
+   not sterile, and is never skipped. *)
+let crash_child_sterile fr a =
+  let sleep' = List.filter (independent a) (fr.f_sleep @ fr.f_done) in
+  let survives b =
+    b.dec <> a.dec
+    &&
+    match (b.kind, a.kind) with
+    | KDeliver, KCrashObj -> b.a_obj <> a.a_obj
+    | KDeliver, KCrashClient ->
+      not (b.a_client = a.a_client && b.a_nature = `Readonly)
+    | KStep, KCrashObj -> true
+    | KStep, KCrashClient -> b.a_client <> a.a_client
+    | KCrashObj, KCrashObj -> fr.f_obj_left > 1
+    | KCrashObj, KCrashClient -> fr.f_obj_left > 0
+    | KCrashClient, KCrashObj -> fr.f_cli_left > 0
+    | KCrashClient, KCrashClient -> fr.f_cli_left > 1
+    | _, (KDeliver | KStep) -> assert false
+  in
+  let enabled' = List.filter survives (Array.to_list fr.f_acts) in
+  enabled' <> []
+  && List.for_all
+       (fun b -> List.exists (fun s -> s.dec = b.dec) sleep')
+       enabled'
+
+(* Advance the frame's cursor to its next explorable action, counting
+   the sleep-set and bound prunes passed over (each action is
+   considered exactly once per node). *)
+let rec next_action cfg st fr =
+  if fr.f_idx >= Array.length fr.f_acts then None
+  else begin
+    let a = fr.f_acts.(fr.f_idx) in
+    if
+      cfg.dpor
+      && (List.exists (fun b -> b.dec = a.dec) fr.f_sleep
+         ||
+         match a.kind with
+         | KCrashObj | KCrashClient -> crash_child_sterile fr a
+         | KDeliver | KStep -> false)
+    then begin
+      st.m_sleep_skips <- st.m_sleep_skips + 1;
+      fr.f_idx <- fr.f_idx + 1;
+      next_action cfg st fr
+    end
+    else begin
+      let cost =
+        match cfg.bound with
+        | Exhaustive -> 0
+        | Delay _ -> fr.f_idx
+        | Preempt _ -> (
+          (* A preemption: stepping a different client while the
+             previously scheduled one could still run. *)
+          match a.kind with
+          | KStep
+            when fr.f_last >= 0
+                 && a.a_client <> fr.f_last
+                 && Array.exists
+                      (fun b -> b.kind = KStep && b.a_client = fr.f_last)
+                      fr.f_acts -> 1
+          | _ -> 0)
+      in
+      if cost > fr.f_budget then begin
+        st.m_bound_skips <- st.m_bound_skips + 1;
+        fr.f_idx <- fr.f_idx + 1;
+        next_action cfg st fr
+      end
+      else Some (a, cost)
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Search tasks (subtree partitioning)                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* A task is a node of the schedule tree packaged for independent
+   exploration: the decision prefix reaching it, the sleep set it
+   inherits (observed actions the parent already explored and found
+   independent), and its scheduling context.  [explore] runs the root
+   task; the parallel driver in [Sb_parallel] expands the root into a
+   frontier of disjoint tasks and farms them out — sleep sets make the
+   subtrees non-overlapping exactly as in the sequential search, since
+   each task's sleep set is computed by the same propagation rule. *)
+type task = {
+  t_prefix : R.decision list; (* oldest first *)
+  t_sleep : action list;
+  t_budget : int;
+  t_last : int;
+  t_obj_left : int;
+  t_cli_left : int;
+}
+
+let root_task cfg =
+  {
+    t_prefix = [];
+    t_sleep = [];
+    t_budget = budget0 cfg;
+    t_last = -1;
+    t_obj_left = cfg.crash_objs;
+    t_cli_left = cfg.crash_clients;
+  }
+
+let task_depth t = List.length t.t_prefix
+
+let explore_task ?(abort = fun () -> false) cfg (task : task) =
+  let st = mk_mstats () in
   let first = ref None in
-  let fresh () =
-    let w =
-      R.create ~seed:cfg.seed ~metrics:false ~algorithm:cfg.algorithm ~n:cfg.n
-        ~f:cfg.f ~workload:cfg.workload ()
-    in
-    (match cfg.instrument with Some f -> f w | None -> ());
-    w
-  in
+  let fresh () = fresh_world cfg in
+  let prefix = task.t_prefix in
+  let prefix_rev = List.rev prefix in
   (* Replay a decision list against [w].  When the search is
      instrumented, an exception raised by a monitor mid-replay is
      re-raised as [Instrumented_failure] carrying the decision prefix up
@@ -396,13 +535,19 @@ let explore cfg =
   in
   (* State cache: interleavings of commuting actions converge to the
      same logical world, and a node's entire future — both the runs it
-     admits and their verdicts — is determined by [Runtime.exploration_key]
-     (behavioural state up to ticket renaming, plus the un-timed
-     operation events so far).  The search is acyclic (every decision
-     strictly advances a monotone counter: invocations, deliveries,
-     consumed awaits, or crashes), so any revisited key outside the
-     current DFS stack has been fully explored and the revisit can be
-     pruned, turning the schedule tree into a DAG.
+     admits and their verdicts — is determined by the behavioural state
+     up to ticket renaming, plus the un-timed operation events so far.
+     Keys are [Runtime.state_hash] — the incremental 128-bit fingerprint
+     of exactly that information; [cfg.paranoid_key] additionally
+     computes the Marshal-based [Runtime.exploration_key] per state and
+     fails loudly if the two ever disagree (equal Marshal keys mapping
+     to distinct hashes would make the fast key unsound; equal hashes
+     over distinct Marshal keys would be a 128-bit collision).  The
+     search is acyclic (every decision strictly advances a monotone
+     counter: invocations, deliveries, consumed awaits, or crashes), so
+     any revisited key outside the current DFS stack has been fully
+     explored and the revisit can be pruned, turning the schedule tree
+     into a DAG.
 
      Combining this with sleep sets needs one refinement (Godefroid):
      exploring a node with sleep set [S] only covers continuations that
@@ -414,7 +559,32 @@ let explore cfg =
      cached: under delay/preemption bounding the remaining budget would
      have to join the key. *)
   let use_cache = cfg.cache && cfg.bound = Exhaustive in
-  let visited : (string, string list list) Hashtbl.t = Hashtbl.create 4096 in
+  let visited : (string, string list list) Hashtbl.t =
+    Hashtbl.create (if use_cache then 4096 else 16)
+  in
+  let hash_of_mkey : (string, string) Hashtbl.t = Hashtbl.create 16 in
+  let mkey_of_hash : (string, string) Hashtbl.t = Hashtbl.create 16 in
+  let state_key w =
+    let h = R.state_hash w in
+    if cfg.paranoid_key then begin
+      let mk = R.exploration_key w in
+      (match Hashtbl.find_opt hash_of_mkey mk with
+       | Some h' when not (String.equal h' h) ->
+         failwith
+           "Explore: paranoid key check failed — equal Marshal keys with \
+            distinct state hashes (incremental fingerprint is missing state)"
+       | Some _ -> ()
+       | None -> Hashtbl.replace hash_of_mkey mk h);
+      match Hashtbl.find_opt mkey_of_hash h with
+      | Some mk' when not (String.equal mk' mk) ->
+        failwith
+          "Explore: paranoid key check failed — state-hash collision between \
+           distinct Marshal keys"
+      | Some _ -> ()
+      | None -> Hashtbl.replace mkey_of_hash h mk
+    end;
+    h
+  in
   let rec sorted_subset xs ys =
     match (xs, ys) with
     | [], _ -> true
@@ -425,7 +595,7 @@ let explore cfg =
       else false
   in
   let cache_covers w sleep =
-    let key = R.exploration_key w in
+    let key = state_key w in
     let sleep_c =
       List.sort String.compare
         (R.canonical_decisions w (List.map (fun b -> b.dec) sleep))
@@ -450,110 +620,13 @@ let explore cfg =
      persist the deterministic per-node data (action lists, observed
      step visibility, sleep sets) across iterations, so nothing is
      recomputed during descent. *)
-  let budget0 =
-    match cfg.bound with Exhaustive -> max_int | Delay d -> d | Preempt p -> p
-  in
-  let mk_frame w ~sleep ~budget ~last ~obj_left ~cli_left =
-    {
-      f_acts = Array.of_list (actions cfg w ~obj_left ~cli_left);
-      f_idx = 0;
-      f_cur = None;
-      f_done = [];
-      f_sleep = sleep;
-      f_budget = budget;
-      f_last = last;
-      f_obj_left = obj_left;
-      f_cli_left = cli_left;
-    }
-  in
   let stack = ref [] in
   let nframes = ref 0 in
   let path_of_stack () =
     List.filter_map
       (fun fr -> match fr.f_cur with Some a -> Some a.dec | None -> None)
       !stack
-  in
-  (* A crash only ever disables behaviour — deliveries on the crashed
-     object, the crashed client's steps and read-only stragglers, crash
-     choices beyond the decremented budget — and never enables anything,
-     so the child's action set is computable from the parent's without
-     executing the crash.  When every surviving action would land in the
-     child's sleep set, the whole subtree is sterile: it can reach no
-     leaf, because crashes sort last in the baseline order and thus
-     every surviving sibling has already been explored here (the crash
-     commutes backward past all of them).  Detecting this *before*
-     descending skips the child outright — otherwise each such child
-     costs a full prefix replay just to discover there is nothing
-     underneath (measured: ~10x the useful transition count on
-     crash-budget configurations).  An empty surviving set is a leaf,
-     not sterile, and is never skipped. *)
-  let crash_child_sterile fr a =
-    let sleep' = List.filter (independent a) (fr.f_sleep @ fr.f_done) in
-    let survives b =
-      b.dec <> a.dec
-      &&
-      match (b.kind, a.kind) with
-      | KDeliver, KCrashObj -> b.a_obj <> a.a_obj
-      | KDeliver, KCrashClient ->
-        not (b.a_client = a.a_client && b.a_nature = `Readonly)
-      | KStep, KCrashObj -> true
-      | KStep, KCrashClient -> b.a_client <> a.a_client
-      | KCrashObj, KCrashObj -> fr.f_obj_left > 1
-      | KCrashObj, KCrashClient -> fr.f_obj_left > 0
-      | KCrashClient, KCrashObj -> fr.f_cli_left > 0
-      | KCrashClient, KCrashClient -> fr.f_cli_left > 1
-      | _, (KDeliver | KStep) -> assert false
-    in
-    let enabled' = List.filter survives (Array.to_list fr.f_acts) in
-    enabled' <> []
-    && List.for_all
-         (fun b -> List.exists (fun s -> s.dec = b.dec) sleep')
-         enabled'
-  in
-  (* Advance the frame's cursor to its next explorable action, counting
-     the sleep-set and bound prunes passed over (each action is
-     considered exactly once per node). *)
-  let rec next_action fr =
-    if fr.f_idx >= Array.length fr.f_acts then None
-    else begin
-      let a = fr.f_acts.(fr.f_idx) in
-      if
-        cfg.dpor
-        && (List.exists (fun b -> b.dec = a.dec) fr.f_sleep
-           ||
-           match a.kind with
-           | KCrashObj | KCrashClient -> crash_child_sterile fr a
-           | KDeliver | KStep -> false)
-      then begin
-        st.m_sleep_skips <- st.m_sleep_skips + 1;
-        fr.f_idx <- fr.f_idx + 1;
-        next_action fr
-      end
-      else begin
-        let cost =
-          match cfg.bound with
-          | Exhaustive -> 0
-          | Delay _ -> fr.f_idx
-          | Preempt _ -> (
-            (* A preemption: stepping a different client while the
-               previously scheduled one could still run. *)
-            match a.kind with
-            | KStep
-              when fr.f_last >= 0
-                   && a.a_client <> fr.f_last
-                   && Array.exists
-                        (fun b -> b.kind = KStep && b.a_client = fr.f_last)
-                        fr.f_acts -> 1
-            | _ -> 0)
-        in
-        if cost > fr.f_budget then begin
-          st.m_bound_skips <- st.m_bound_skips + 1;
-          fr.f_idx <- fr.f_idx + 1;
-          next_action fr
-        end
-        else Some (a, cost)
-      end
-    end
+    @ prefix_rev
   in
   let complete_child parent =
     match parent.f_cur with
@@ -570,7 +643,7 @@ let explore cfg =
     match !stack with
     | [] -> ()
     | fr :: rest -> (
-      match next_action fr with
+      match next_action cfg st fr with
       | Some _ -> run ()
       | None ->
         stack := rest;
@@ -580,21 +653,23 @@ let explore cfg =
          | [] -> ());
         backtrack ())
   and run () =
+    if abort () then raise Stop;
     let w = fresh () in
     (match !stack with
      | _ :: below ->
        replay_checked w
-         (List.rev_map
-            (fun fr ->
-              match fr.f_cur with Some a -> a.dec | None -> assert false)
-            below)
+         (prefix
+         @ List.rev_map
+             (fun fr ->
+               match fr.f_cur with Some a -> a.dec | None -> assert false)
+             below)
      | [] -> assert false);
     descend w
   and descend w =
     match !stack with
     | [] -> assert false
     | fr :: _ -> (
-      match next_action fr with
+      match next_action cfg st fr with
       | None -> backtrack ()
       | Some (a, cost) ->
         fr.f_idx <- fr.f_idx + 1;
@@ -616,7 +691,7 @@ let explore cfg =
         end
         else begin
           let child =
-            mk_frame w ~sleep:sleep'
+            mk_frame cfg w ~sleep:sleep'
               ~budget:(fr.f_budget - cost)
               ~last:(match a.kind with KStep -> a.a_client | _ -> fr.f_last)
               ~obj_left:
@@ -644,13 +719,15 @@ let explore cfg =
   let complete =
     try
       let w0 = fresh () in
+      replay_checked w0 prefix;
       let root =
-        mk_frame w0 ~sleep:[] ~budget:budget0 ~last:(-1)
-          ~obj_left:cfg.crash_objs ~cli_left:cfg.crash_clients
+        mk_frame cfg w0 ~sleep:task.t_sleep ~budget:task.t_budget
+          ~last:task.t_last ~obj_left:task.t_obj_left ~cli_left:task.t_cli_left
       in
       stack := [ root ];
       nframes := 1;
-      if Array.length root.f_acts = 0 then finish w0 [] else descend w0;
+      if Array.length root.f_acts = 0 then finish w0 prefix_rev
+      else descend w0;
       true
     with Stop -> false
   in
@@ -669,6 +746,97 @@ let explore cfg =
       };
     first_violation = !first;
     complete;
+  }
+
+let explore cfg = explore_task cfg (root_task cfg)
+
+(* ------------------------------------------------------------------ *)
+(* Task expansion (for the parallel driver)                            *)
+(* ------------------------------------------------------------------ *)
+
+type expansion = {
+  x_tasks : task list; (* children in exploration order *)
+  x_leaf : bool; (* the task's node has no enabled actions *)
+  x_transitions : int;
+  x_replayed : int;
+  x_sleep_skips : int;
+  x_bound_skips : int;
+  x_depth_seen : int;
+      (* Deepest node materialised while expanding (children sit one
+         level below the task's own node); the merged [max_depth] must
+         cover nodes whose subtrees turn out empty. *)
+}
+
+(* Expands a task one level: enumerates its node's explorable actions
+   exactly as [explore_task] would — same baseline order, same sleep /
+   sterile-crash / bound skips — executing each on its own fresh replay
+   to observe the step attributes the child sleep sets depend on.  The
+   children partition the task's schedules: child [i]'s sleep set
+   contains every earlier-explored independent sibling, so no schedule
+   is explored twice and none is lost (the same propagation the
+   sequential search performs at this node).  Skip and transition
+   counts are reported so a driver can merge them with the children's
+   outcomes into totals that match a jobs-independent accounting. *)
+let expand cfg (t : task) =
+  let st = mk_mstats () in
+  let replay_raw w =
+    List.iter
+      (fun d ->
+        st.m_replayed <- st.m_replayed + 1;
+        ignore (R.step w d))
+      t.t_prefix
+  in
+  let w0 = fresh_world cfg in
+  replay_raw w0;
+  let fr =
+    mk_frame cfg w0 ~sleep:t.t_sleep ~budget:t.t_budget ~last:t.t_last
+      ~obj_left:t.t_obj_left ~cli_left:t.t_cli_left
+  in
+  let leaf = Array.length fr.f_acts = 0 in
+  let children = ref [] in
+  let depth_seen = ref 0 in
+  let rec loop () =
+    match next_action cfg st fr with
+    | None -> ()
+    | Some (a, cost) ->
+      fr.f_idx <- fr.f_idx + 1;
+      st.m_transitions <- st.m_transitions + 1;
+      let w = fresh_world cfg in
+      replay_raw w;
+      execute_observing w a;
+      depth_seen := List.length t.t_prefix + 1;
+      let sleep' =
+        if cfg.dpor then List.filter (independent a) (fr.f_sleep @ fr.f_done)
+        else []
+      in
+      children :=
+        {
+          t_prefix = t.t_prefix @ [ a.dec ];
+          t_sleep = sleep';
+          t_budget = fr.f_budget - cost;
+          t_last = (match a.kind with KStep -> a.a_client | _ -> fr.f_last);
+          t_obj_left =
+            (match a.kind with
+            | KCrashObj -> fr.f_obj_left - 1
+            | _ -> fr.f_obj_left);
+          t_cli_left =
+            (match a.kind with
+            | KCrashClient -> fr.f_cli_left - 1
+            | _ -> fr.f_cli_left);
+        }
+        :: !children;
+      fr.f_done <- a :: fr.f_done;
+      loop ()
+  in
+  loop ();
+  {
+    x_tasks = List.rev !children;
+    x_leaf = leaf;
+    x_transitions = st.m_transitions;
+    x_replayed = st.m_replayed;
+    x_sleep_skips = st.m_sleep_skips;
+    x_bound_skips = st.m_bound_skips;
+    x_depth_seen = !depth_seen;
   }
 
 let pp_decisions ppf ds =

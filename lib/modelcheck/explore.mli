@@ -76,9 +76,16 @@ type config = {
       (** The property every explored history must satisfy. *)
   dpor : bool;  (** Sleep-set pruning on/off (off = naive enumeration). *)
   cache : bool;
-      (** State caching: prune revisits of behaviourally equal worlds
-          ([Runtime.exploration_key]).  Only effective under
-          [Exhaustive]. *)
+      (** State caching: prune revisits of behaviourally equal worlds,
+          keyed by the incremental [Runtime.state_hash].  Only effective
+          under [Exhaustive]. *)
+  paranoid_key : bool;
+      (** Cross-check every cache key against the Marshal-based
+          [Runtime.exploration_key]: fail loudly if equal Marshal keys
+          ever map to distinct state hashes (the fast fingerprint missed
+          state) or equal hashes to distinct Marshal keys (a 128-bit
+          collision).  Costs the old Marshal key per cached state — for
+          tests, not production sweeps. *)
   bound : bound;
   crash_objs : int;  (** Max object crashes the explorer may inject. *)
   crash_clients : int;  (** Max client crashes the explorer may inject. *)
@@ -110,6 +117,7 @@ val config :
   ?seed:int ->
   ?dpor:bool ->
   ?cache:bool ->
+  ?paranoid_key:bool ->
   ?bound:bound ->
   ?crash_objs:int ->
   ?crash_clients:int ->
@@ -126,9 +134,9 @@ val config :
   check:(Sb_spec.History.t -> Sb_spec.Regularity.verdict) ->
   unit ->
   config
-(** Defaults: [seed 1], [dpor true], [cache false], [Exhaustive], no
-    crashes, no schedule cap, stop on the first violation, no lint, no
-    instrumentation. *)
+(** Defaults: [seed 1], [dpor true], [cache false], [paranoid_key
+    false], [Exhaustive], no crashes, no schedule cap, stop on the first
+    violation, no lint, no instrumentation. *)
 
 (** {2 The independence relation, exposed}
 
@@ -200,6 +208,62 @@ type outcome = {
 
 val explore : config -> outcome
 (** Runs the search.  Deterministic: same config, same outcome. *)
+
+(** {2 Subtree tasks}
+
+    The hooks the parallel driver ([Sb_parallel.Pexplore]) is built on.
+    A {!task} is a node of the schedule tree packaged for independent
+    exploration: the decision prefix reaching it, the sleep set it
+    inherits from the actions its ancestors explored before it, and its
+    scheduling context (remaining bound budget, crash budgets, last
+    stepped client).  {!expand} splits a task into child tasks — one per
+    explorable action of its node, each child's sleep set extended by
+    the same propagation rule the sequential search uses — so the
+    children's schedule sets partition the parent's.  Tasks can then be
+    explored in any order, on any domain, and their outcomes merged in
+    expansion order reproduce the sequential totals. *)
+
+type task
+
+val root_task : config -> task
+(** The whole search as a single task: [explore cfg] is
+    [explore_task cfg (root_task cfg)]. *)
+
+val task_depth : task -> int
+(** Length of the task's decision prefix (its node's depth). *)
+
+type expansion = {
+  x_tasks : task list;
+      (** Children in the sequential exploration order.  Empty when the
+          node is a leaf ([x_leaf]) or every action was pruned. *)
+  x_leaf : bool;
+      (** The node has no enabled actions at all: the task is a complete
+          schedule and must still be explored (checked), not dropped. *)
+  x_transitions : int;  (** Actions executed while expanding. *)
+  x_replayed : int;  (** Prefix decisions re-executed while expanding. *)
+  x_sleep_skips : int;
+  x_bound_skips : int;
+  x_depth_seen : int;
+      (** Deepest node materialised; covers children whose own subtrees
+          are empty when merging [max_depth]. *)
+}
+
+val expand : config -> task -> expansion
+(** Expands the task's node one level, executing each explorable action
+    on a fresh prefix replay to observe the attributes child sleep sets
+    depend on.  Deterministic, and independent of how the resulting
+    tasks are later scheduled. *)
+
+val explore_task : ?abort:(unit -> bool) -> config -> task -> outcome
+(** Runs the search over one task's subtree.  [stats] are the subtree's
+    own (depths relative to the task's node, prefix replays included in
+    [replayed_transitions]); violation decision lists are full paths
+    including the task prefix.  [abort] is polled between schedules —
+    when it returns [true] the search stops as if by [Stop] (used to
+    cancel subtrees whose results a violation already supersedes; an
+    aborted outcome must be discarded, not merged).  With a fresh
+    per-task state cache, [cache_skips] can differ from the single-tree
+    sequential run, but verdicts never do. *)
 
 val pp_stats : Format.formatter -> stats -> unit
 

@@ -1,0 +1,38 @@
+(** Parallel schedule exploration over OCaml 5 domains.
+
+    The DPOR search tree decomposes at any node into disjoint subtrees:
+    child [i]'s sleep set contains every earlier-explored independent
+    sibling, so the subtrees cover disjoint sets of schedules whose
+    union is exactly what the sequential search explores (the same
+    propagation rule, applied at the same node — see docs/MODEL.md,
+    "Parallel exploration").  This module expands the root into a
+    deterministic frontier of such subtree tasks
+    ([Explore.root_task] / [Explore.expand]), runs them on a domain
+    pool, and merges the outcomes in expansion order.
+
+    {b Determinism.}  The frontier is a function of the configuration
+    only — never of [jobs] — and per-task outcomes do not depend on
+    which domain ran them, so every jobs level reports byte-identical
+    totals, verdicts, and counterexamples.  When a violation stops the
+    search, outcomes are merged only up to the first violating subtree
+    in exploration order; later subtrees are cancelled (or, under
+    [jobs = 1], never started) and their partial results discarded.
+
+    {b Caveats.}  State caches are per-subtree, so with [cache] on a
+    partitioned run can miss prunes the single-tree search found in an
+    earlier subtree: [cache_skips] — and hence schedule counts — can
+    differ from the single-tree sequential numbers (verdicts never
+    do), though they are still identical at every jobs level.  With
+    [cache] off, only [replayed_transitions] differs from the
+    single-tree search (it includes the per-subtree prefix replays).  Configurations the partition
+    cannot honour — a [max_schedules] cap, or [on_history] /
+    [instrument] callbacks, which would run concurrently from several
+    domains — fall back to the sequential search at every jobs
+    level. *)
+
+val explore : ?jobs:int -> Sb_modelcheck.Explore.config -> Sb_modelcheck.Explore.outcome
+(** [explore ~jobs cfg] explores like [Explore.explore cfg], splitting
+    the work over [jobs] domains.  [jobs <= 0] means
+    [Pool.default_jobs ()] (the machine's recommended domain count);
+    [jobs = 1] runs the identical partitioned search inline.
+    Deterministic: same [cfg], same outcome, at every [jobs]. *)

@@ -1,0 +1,45 @@
+(* A minimal fixed-size domain pool: run [n] indexed tasks on up to
+   [jobs] domains.  Work stealing is a single atomic counter — tasks
+   are claimed in index order, so earlier (typically larger, because
+   the expansion enumerates the baseline order) subtrees start first.
+   No dependency on domainslib: the repo's toolchain ships only the
+   stdlib, and this is all the structure the explorer needs. *)
+
+let run ~jobs n f =
+  if n <= 0 then ()
+  else if jobs <= 1 || n = 1 then
+    for i = 0 to n - 1 do
+      f i
+    done
+  else begin
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          f i;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let spawned = min jobs n - 1 in
+    let domains = Array.init spawned (fun _ -> Domain.spawn worker) in
+    (* The calling domain is the pool's first worker; join re-raises a
+       worker's exception, so wrap [f] if per-task isolation matters. *)
+    let caller_exn =
+      match worker () with () -> None | exception e -> Some e
+    in
+    let worker_exn = ref None in
+    Array.iter
+      (fun d ->
+        match Domain.join d with
+        | () -> ()
+        | exception e -> if !worker_exn = None then worker_exn := Some e)
+      domains;
+    match (caller_exn, !worker_exn) with
+    | Some e, _ | None, Some e -> raise e
+    | None, None -> ()
+  end
+
+let default_jobs () = Domain.recommended_domain_count ()

@@ -1,0 +1,15 @@
+(** A minimal fixed-size domain pool for indexed task sets. *)
+
+val run : jobs:int -> int -> (int -> unit) -> unit
+(** [run ~jobs n f] evaluates [f i] for every [i] in [0..n-1], on up to
+    [jobs] domains (the calling domain included).  Tasks are claimed in
+    index order via one atomic counter.  With [jobs <= 1] everything
+    runs inline on the caller, in order — the degenerate pool the
+    deterministic-merge tests compare against.  [f] must confine its
+    effects to task-private state (e.g. its own slot of a results
+    array); if any task raises, one of the exceptions is re-raised
+    after all domains have joined, so callers that need deterministic
+    error reporting should capture per-task results themselves. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the [--jobs 0] meaning. *)

@@ -103,6 +103,10 @@ type client = {
      fiber is deterministic in (algorithm, op kinds, prng, this log), so
      the log stands in for the un-inspectable fiber-local state when
      exploration fingerprints a world. *)
+  log_h : Sb_util.Hash128.t;
+  (* Chain hash over [consumed_log], maintained as entries are appended
+     — the log grows without bound, so [state_hash] folds it in O(1)
+     instead of rehashing it per key. *)
 }
 
 (* Fine-grained execution events, emitted to registered observers (the
@@ -168,6 +172,16 @@ type world = {
   metrics : bool; (* track storage maxima (skipped during exploration) *)
   mutable max_obj_bits : int;
   mutable max_total_bits : int;
+  hist_h : Sb_util.Hash128.t;
+  (* Chain hash over the operation history (the same events, minus
+     times, that [key_digest ~canonical_history:false] folds in),
+     updated at each emission site so [state_hash] never rescans the
+     trace. *)
+  fingerprints : bool;
+  (* Maintain the [hist_h]/[log_h] chains.  Hashing consumed responses
+     (full object-state snapshots) is the dominant always-on cost, so
+     runs that never call [state_hash] — uncached exploration, plain
+     simulation — opt out at creation, like [metrics]. *)
   mutable observers : (event -> unit) list;
   (* Event sinks, called in registration order.  Observers must not
      mutate the world; the list is empty in unsanitized runs, and every
@@ -175,7 +189,8 @@ type world = {
      check and no allocation. *)
 }
 
-let create ?(seed = 1) ?(metrics = true) ~algorithm ~n ~f ~workload () =
+let create ?(seed = 1) ?(metrics = true) ?(fingerprints = true) ~algorithm ~n
+    ~f ~workload () =
   if f < 0 || 2 * f >= n then
     invalid_arg "Runtime.create: need 0 <= f < n/2";
   let root_prng = Sb_util.Prng.create seed in
@@ -190,6 +205,7 @@ let create ?(seed = 1) ?(metrics = true) ~algorithm ~n ~f ~workload () =
           current_op = None;
           c_prng = Sb_util.Prng.split root_prng;
           consumed_log = [];
+          log_h = Sb_util.Hash128.create ();
         })
       workload
   in
@@ -215,8 +231,99 @@ let create ?(seed = 1) ?(metrics = true) ~algorithm ~n ~f ~workload () =
     metrics;
     max_obj_bits = 0;
     max_total_bits = 0;
+    hist_h = Sb_util.Hash128.create ();
+    fingerprints;
     observers = [];
   }
+
+(* ------------------------------------------------------------------ *)
+(* Incremental hashing of world components                             *)
+(* ------------------------------------------------------------------ *)
+
+(* These feed both the maintained chains ([hist_h], [log_h]) and the
+   per-key extraction in [state_hash].  Every constructor gets a tag so
+   adjacent fields cannot alias across variants. *)
+
+module H = Sb_util.Hash128
+
+let status_code = function Idle -> 0 | Parked -> 1 | Runnable -> 2 | Crashed -> 3
+let nature_code = function `Mutating -> 0 | `Readonly -> 1 | `Merge -> 2
+
+let hash_op_kind h = function
+  | Trace.Write v ->
+    H.add_int h 1;
+    H.add_bytes h v
+  | Trace.Read -> H.add_int h 2
+
+let hash_block h (b : Sb_storage.Block.t) =
+  H.add_int h b.source;
+  H.add_int h b.index;
+  H.add_bytes h b.data
+
+let hash_chunk h (c : Sb_storage.Chunk.t) =
+  H.add_int h c.ts.num;
+  H.add_int h c.ts.client;
+  hash_block h c.block
+
+let hash_objstate h (st : Sb_storage.Objstate.t) =
+  H.add_int h st.stored_ts.num;
+  H.add_int h st.stored_ts.client;
+  H.add_int h (List.length st.vp);
+  List.iter (hash_chunk h) st.vp;
+  H.add_int h (List.length st.vf);
+  List.iter (hash_chunk h) st.vf
+
+let hash_resp h = function
+  | Ack -> H.add_int h 3
+  | Snap st ->
+    H.add_int h 4;
+    hash_objstate h st
+
+(* History-chain updates, one per emission site below.  Tags mirror the
+   constructors [key_digest] keeps (trigger/deliver events are not part
+   of the operation history and never touch the chain). *)
+let chain_invoke w (op : op) kind =
+  if w.fingerprints then begin
+    H.add_int w.hist_h 5;
+    H.add_int w.hist_h op.id;
+    H.add_int w.hist_h op.client;
+    hash_op_kind w.hist_h kind
+  end
+
+let chain_return w (op : op) result =
+  if w.fingerprints then begin
+    H.add_int w.hist_h 6;
+    H.add_int w.hist_h op.id;
+    H.add_int w.hist_h op.client;
+    match result with
+    | None -> H.add_int w.hist_h 0
+    | Some v ->
+      H.add_int w.hist_h 1;
+      H.add_bytes w.hist_h v
+  end
+
+let chain_crash_obj w i =
+  if w.fingerprints then begin
+    H.add_int w.hist_h 7;
+    H.add_int w.hist_h i
+  end
+
+let chain_crash_client w c =
+  if w.fingerprints then begin
+    H.add_int w.hist_h 8;
+    H.add_int w.hist_h c
+  end
+
+let chain_consume w (cl : client) (rs : (int * resp) list) =
+  if w.fingerprints then begin
+  H.add_int cl.log_h 9;
+  H.add_int cl.log_h (List.length rs);
+  List.iter
+    (fun (obj, r) ->
+      H.add_int cl.log_h obj;
+      hash_resp cl.log_h r)
+    rs
+  end
 
 let add_observer w f = w.observers <- w.observers @ [ f ]
 let observed w = w.observers <> []
@@ -369,6 +476,7 @@ let drop_readonly_orphans w tickets =
 let consume w cl tickets =
   let rs = responses_for w tickets in
   cl.consumed_log <- rs :: cl.consumed_log;
+  chain_consume w cl rs;
   List.iter
     (fun t ->
       Hashtbl.remove w.responses t;
@@ -464,6 +572,7 @@ let finish_op w cl (op : op) result =
        w.pending_order);
   w.ret_events <- w.ret_events + 1;
   Trace.add w.tr (Return { time = w.now; op = op.id; client = cl.cid; result });
+  chain_return w op result;
   if observed w then emit w (E_return { op; result })
 
 let invoke_next w cl =
@@ -477,6 +586,7 @@ let invoke_next w cl =
     cl.current_op <- Some op;
     w.inv_events <- w.inv_events + 1;
     Trace.add w.tr (Invoke { time = w.now; op = op.id; client = cl.cid; kind });
+    chain_invoke w op kind;
     if observed w then emit w (E_invoke { op });
     let ctx = { self = cl.cid; op; n_objects = w.n; prng = cl.c_prng } in
     let body () =
@@ -589,6 +699,7 @@ let crash_obj w i =
     invalid_arg "Runtime.step: cannot crash more than f base objects";
   w.alive.(i) <- false;
   Trace.add w.tr (Crash_object { time = w.now; obj = i });
+  chain_crash_obj w i;
   if observed w then emit w (E_crash_obj i)
 
 let crash_client w c =
@@ -609,6 +720,7 @@ let crash_client w c =
          | None -> false)
        w.pending_order);
   Trace.add w.tr (Crash_client { time = w.now; client = c });
+  chain_crash_client w c;
   if observed w then emit w (E_crash_client c)
 
 let step w decision =
@@ -950,6 +1062,81 @@ let key_digest ~canonical_history w =
 
 let exploration_key w = key_digest ~canonical_history:false w
 let audit_key w = key_digest ~canonical_history:true w
+
+(* The fast fingerprint: hashes exactly the information [key_digest
+   ~canonical_history:false] marshals — canonical ticket names, raw op
+   ids, object states, client state including the consumed-response log
+   and prng, and the un-timed operation history — but streams it
+   through [Hash128] instead of Marshal+MD5, with the two unbounded
+   components (history, consumed logs) folded in O(1) from the
+   maintained chains.  Marshal-key equality therefore implies
+   state-hash equality; [test_modelcheck] checks that property over
+   exhaustively enumerated prefixes, and the explorer's paranoid mode
+   cross-checks it on every cached state. *)
+let state_hash w =
+  if not w.fingerprints then
+    invalid_arg "Runtime.state_hash: world created with ~fingerprints:false";
+  let h = H.create () in
+  let tbl = canonical_ids w in
+  Array.iter (hash_objstate h) w.objects;
+  Array.iter (fun a -> H.add_int h (Bool.to_int a)) w.alive;
+  Array.iter
+    (fun cl ->
+      H.add_int h (status_code cl.status);
+      H.add_int h (List.length cl.queue);
+      List.iter (hash_op_kind h) cl.queue;
+      (match cl.current_op with
+       | Some op ->
+         H.add_int h 1;
+         H.add_int h op.id;
+         hash_op_kind h op.kind
+       | None -> H.add_int h 0);
+      (match cl.waiting with
+       | Some { w_tickets; w_quorum; _ } ->
+         H.add_int h 1;
+         H.add_int h (List.length w_tickets);
+         List.iter (fun t -> H.add_string h (canonical_of tbl t)) w_tickets;
+         H.add_int h w_quorum
+       | None -> H.add_int h 0);
+      H.absorb h cl.log_h;
+      let s0, s1, s2, s3 = Sb_util.Prng.state cl.c_prng in
+      H.add_int64 h s0;
+      H.add_int64 h s1;
+      H.add_int64 h s2;
+      H.add_int64 h s3)
+    w.clients;
+  (* Live tickets under canonical names, in name order — canonical
+     names are unique per world, so this matches the sorted tuple
+     order [key_digest] uses. *)
+  let pendings =
+    List.rev_map
+      (fun t -> (canonical_of tbl t, Hashtbl.find w.pendings t))
+      w.pending_order
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  H.add_int h (List.length pendings);
+  List.iter
+    (fun (name, (p : pending)) ->
+      H.add_string h name;
+      H.add_int h (List.length p.payload);
+      List.iter (hash_block h) p.payload;
+      H.add_int h (nature_code p.p_nature);
+      H.add_int h (Bool.to_int (Hashtbl.mem w.consumed p.ticket)))
+    pendings;
+  let responses =
+    Hashtbl.fold
+      (fun t (r : delivered) acc -> (canonical_of tbl t, r.d_resp) :: acc)
+      w.responses []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  H.add_int h (List.length responses);
+  List.iter
+    (fun (name, r) ->
+      H.add_string h name;
+      hash_resp h r)
+    responses;
+  H.absorb h w.hist_h;
+  H.digest h
 
 let decision_to_string = function
   | Deliver t -> "deliver " ^ string_of_int t

@@ -129,6 +129,7 @@ type pending_info = {
 val create :
   ?seed:int ->
   ?metrics:bool ->
+  ?fingerprints:bool ->
   algorithm:algorithm ->
   n:int ->
   f:int ->
@@ -141,7 +142,11 @@ val create :
     [metrics] (default [true]) controls the per-step storage-maxima
     accounting behind {!max_bits_objects}/{!max_bits_total}; the model
     checker re-executes hundreds of millions of steps and turns it off,
-    leaving those maxima at [0]. *)
+    leaving those maxima at [0].  [fingerprints] (default [true])
+    controls the incremental hash chains behind {!state_hash} — hashing
+    consumed responses is a measurable per-step tax, so worlds that
+    never extract a state hash (uncached exploration, plain simulation
+    at scale) opt out; {!state_hash} then raises [Invalid_argument]. *)
 
 val enqueue_op : world -> client:int -> Trace.op_kind -> unit
 (** Appends an operation to a live client's queue.  Lets layered
@@ -382,6 +387,25 @@ val audit_key : world -> string
     against, where strict {!exploration_key} equality would wrongly
     flag the verdict-preserving invocation/invocation swaps the
     explorer deliberately permits. *)
+
+val state_hash : world -> string
+(** A 16-byte binary fingerprint of exactly the information behind
+    {!exploration_key}, computed with an incremental 128-bit hash
+    instead of Marshal+MD5.  The two unbounded components — the
+    operation history and each client's consumed-response log — are
+    folded from chain hashes maintained as the world steps, so a key
+    extraction touches only the live state and costs roughly a
+    microsecond on explorer-sized worlds (vs ~15 µs for the Marshal
+    key).  The cheaper key cuts the cache's overhead to roughly
+    three-quarters of the Marshal version's — see EXPERIMENTS.md M1 for
+    why it still ships off by default.  Requires a world created with
+    [~fingerprints:true] (the default); raises [Invalid_argument]
+    otherwise.
+
+    Equal {!exploration_key}s imply equal [state_hash]es.  The converse
+    holds only up to 128-bit collision probability; the explorer's
+    paranoid mode ([Explore.config.paranoid_key]) cross-checks every
+    cached state against the Marshal key. *)
 
 val canonical_decisions : world -> decision list -> string list
 (** The decisions' stable names under the same canonical ticket naming
