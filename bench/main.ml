@@ -395,49 +395,11 @@ let calibration_ns () =
   let a = once () and b = once () and c = once () in
   Float.min a (Float.min b c)
 
-let json_out file fields =
-  let oc = open_out file in
-  output_string oc "{\n";
-  List.iteri
-    (fun i (k, v) ->
-      Printf.fprintf oc "  %S: %s%s\n" k v
-        (if i = List.length fields - 1 then "" else ","))
-    fields;
-  output_string oc "}\n";
-  close_out oc;
-  Printf.printf "wrote %s\n" file
-
-let jbool b = if b then "true" else "false"
-let jfloat x = Printf.sprintf "%.6g" x
-
-(* Minimal reader for the flat JSON the suite writes: find ["key": v]
-   and parse v as a float.  Good enough for --check; not a JSON
-   parser. *)
-let json_field file key =
-  let ic = open_in file in
-  let len = in_channel_length ic in
-  let s = really_input_string ic len in
-  close_in ic;
-  let pat = Printf.sprintf "%S:" key in
-  match
-    let rec find i =
-      if i + String.length pat > String.length s then None
-      else if String.sub s i (String.length pat) = pat then Some (i + String.length pat)
-      else find (i + 1)
-    in
-    find 0
-  with
-  | None -> None
-  | Some i ->
-    let j = ref i in
-    while !j < String.length s && (s.[!j] = ' ' || s.[!j] = '\t') do incr j done;
-    let k = ref !j in
-    while
-      !k < String.length s && (match s.[!k] with '0' .. '9' | '.' | '-' | '+' | 'e' | 'E' -> true | _ -> false)
-    do
-      incr k
-    done;
-    float_of_string_opt (String.sub s !j (!k - !j))
+(* The flat-JSON writer/reader/baseline-checker is shared with the
+   chaos and loadgen reports: Sb_util.Jsonx. *)
+let json_out = Sb_util.Jsonx.write
+let jbool = Sb_util.Jsonx.bool
+let jfloat = Sb_util.Jsonx.float
 
 let stats_str (s : E.stats) =
   Printf.sprintf
@@ -656,7 +618,6 @@ let perf_codec ~calib =
 (* Compare this run's calibration-normalised metrics against the
    committed baselines; >25% slower on any is a regression. *)
 let perf_check () =
-  let tol = 1.25 in
   let checks =
     [
       ("BENCH_explore.json", "bench/baselines/BENCH_explore.json", [ "norm_jobs1" ]);
@@ -665,26 +626,10 @@ let perf_check () =
         [ "norm_encode_all"; "norm_decode" ] );
     ]
   in
-  let ok = ref true in
-  List.iter
-    (fun (cur_file, base_file, keys) ->
-      if not (Sys.file_exists base_file) then
-        Printf.printf "check: no baseline %s (skipped)\n" base_file
-      else
-        List.iter
-          (fun key ->
-            match (json_field cur_file key, json_field base_file key) with
-            | Some cur, Some base when base > 0.0 ->
-              let ratio = cur /. base in
-              let fine = ratio <= tol in
-              if not fine then ok := false;
-              Printf.printf "check: %-16s %.4g vs baseline %.4g  (%.2fx, budget <= %.2fx) %s\n"
-                key cur base ratio tol
-                (if fine then "ok" else "REGRESSION")
-            | _ -> Printf.printf "check: %-16s missing in %s or %s (skipped)\n" key cur_file base_file)
-          keys)
-    checks;
-  !ok
+  List.fold_left
+    (fun acc (current, baseline, keys) ->
+      Sb_util.Jsonx.check ~current ~baseline ~keys () && acc)
+    true checks
 
 let perf ~quick ~check =
   let calib = calibration_ns () in

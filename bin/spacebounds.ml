@@ -13,7 +13,12 @@
    - chaos           fault-injection campaigns over the message-passing
                      emulation: loss x duplication x delay x crash/recovery,
                      sanitized, consistency-checked, accounting-checked
-   - adversary-demo  step-by-step Ad walkthrough (the paper's Figure 3) *)
+   - adversary-demo  step-by-step Ad walkthrough (the paper's Figure 3)
+   - serve           host a register-service cluster behind Unix-domain
+                     sockets (the Sb_service daemon)
+   - loadgen         drive a seeded closed-loop workload against a live
+                     cluster; latency/throughput, storage vs the paper's
+                     bounds, consistency of the observed history *)
 
 open Cmdliner
 
@@ -1053,8 +1058,15 @@ let chaos_cmd =
   let csv_arg =
     Arg.(value & flag & info [ "csv" ] ~doc:"Emit the report as CSV.")
   in
+  let json_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Also write a flat-JSON campaign summary to FILE (same format \
+                as the BENCH_*.json metric files).")
+  in
   let run algo all value_bytes f k seeds seed drops duplicate delay no_crash
-      no_sanitize budget quick csv =
+      no_sanitize budget quick csv json =
     let module C = Sb_faults.Chaos in
     let base = if quick then C.quick_config else C.default_config in
     let cfg =
@@ -1080,6 +1092,17 @@ let chaos_cmd =
     let table = C.report cells in
     if csv then print_string (Sb_util.Table.to_csv table)
     else Sb_util.Table.print table;
+    (match json with
+     | None -> ()
+     | Some file ->
+       Sb_util.Jsonx.write file
+         [
+           ("suite", Sb_util.Jsonx.str "chaos");
+           ("algos", Sb_util.Jsonx.int (List.length specs));
+           ("cells", Sb_util.Jsonx.int (List.length cells));
+           ("runs", Sb_util.Jsonx.int (List.length cells * cfg.C.seeds));
+           ("ok", Sb_util.Jsonx.bool (C.all_ok cells));
+         ]);
     if C.all_ok cells then
       Printf.printf "chaos: all %d cells passed (%d runs)\n" (List.length cells)
         (List.length cells * cfg.C.seeds)
@@ -1098,7 +1121,335 @@ let chaos_cmd =
     Term.(
       const run $ algo_arg $ all_arg $ value_bytes_arg $ f_arg $ k_arg
       $ seeds_arg $ seed_arg $ drops_arg $ duplicate_arg $ delay_arg
-      $ no_crash_arg $ no_sanitize_arg $ budget_arg $ quick_arg $ csv_arg)
+      $ no_crash_arg $ no_sanitize_arg $ budget_arg $ quick_arg $ csv_arg
+      $ json_arg)
+
+(* ------------------------------------------------------------------ *)
+(* serve                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let sockdir_arg =
+  Arg.(
+    value & opt string "/tmp/spacebounds"
+    & info [ "sockdir" ] ~docv:"DIR"
+        ~doc:"Directory for the per-server Unix-domain sockets.")
+
+let serve_f_arg =
+  Arg.(value & opt int 2 & info [ "f" ] ~docv:"F" ~doc:"Failures tolerated.")
+
+let serve_k_arg =
+  Arg.(value & opt int 1 & info [ "k" ] ~docv:"K" ~doc:"Code dimension.")
+
+let serve_cmd =
+  let statedir =
+    Arg.(
+      value & opt (some string) None
+      & info [ "statedir" ] ~docv:"DIR"
+          ~doc:"Persist object state + incarnation here (atomically, after \
+                every mutating RMW); a restart over persisted state recovers \
+                into a fresh incarnation.")
+  in
+  let cluster =
+    Arg.(
+      value & flag
+      & info [ "cluster" ]
+          ~doc:"Host the whole n-server cluster in this process (the default \
+                when no --server is given).")
+  in
+  let server =
+    Arg.(
+      value & opt (some int) None
+      & info [ "server" ] ~docv:"I"
+          ~doc:"Host only server I — one daemon of a multi-process cluster.")
+  in
+  let no_dedup =
+    Arg.(
+      value & flag
+      & info [ "no-dedup" ]
+          ~doc:"Disable the per-incarnation at-most-once tables.")
+  in
+  let run algo value_bytes f k sockdir statedir cluster server no_dedup =
+    let algorithm, cfg = build ~algo ~value_bytes ~f ~k in
+    let servers =
+      match (cluster, server) with
+      | _, None -> List.init cfg.Sb_registers.Common.n Fun.id
+      | false, Some i -> [ i ]
+      | true, Some _ ->
+        prerr_endline "serve: --cluster and --server are exclusive";
+        exit 2
+    in
+    Printf.printf "serving %s: n=%d f=%d k=%d, servers [%s] under %s%s\n%!"
+      algorithm.Sb_sim.Runtime.name cfg.Sb_registers.Common.n
+      cfg.Sb_registers.Common.f k
+      (String.concat ";" (List.map string_of_int servers))
+      sockdir
+      (match statedir with
+       | Some d -> Printf.sprintf " (durable: %s)" d
+       | None -> "");
+    Sb_service.Daemon.run ~dedup:(not no_dedup) ?statedir ~sockdir ~servers
+      ~init_obj:algorithm.Sb_sim.Runtime.init_obj ();
+    print_endline "serve: bye"
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the register service: one select-loop process hosting a \
+             whole cluster (or one server of it) behind Unix-domain sockets, \
+             speaking the versioned binary wire protocol, with live \
+             storage/dedup/incarnation counters on a stats endpoint.")
+    Term.(
+      const run $ algo_arg $ value_bytes_arg $ serve_f_arg $ serve_k_arg
+      $ sockdir_arg $ statedir $ cluster $ server $ no_dedup)
+
+(* ------------------------------------------------------------------ *)
+(* loadgen                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let loadgen_cmd =
+  let writers_arg =
+    Arg.(value & opt int 2 & info [ "writers" ] ~docv:"N" ~doc:"Writer clients.")
+  in
+  let writes_each_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "writes-each" ] ~docv:"N" ~doc:"Writes per writer.")
+  in
+  let readers_arg =
+    Arg.(value & opt int 2 & info [ "readers" ] ~docv:"N" ~doc:"Reader clients.")
+  in
+  let reads_each_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "reads-each" ] ~docv:"N" ~doc:"Reads per reader.")
+  in
+  let rto_arg =
+    Arg.(
+      value & opt int 100
+      & info [ "rto" ] ~docv:"MS" ~doc:"Initial retransmission timeout (ms).")
+  in
+  let max_attempts_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "max-attempts" ] ~docv:"N"
+          ~doc:"Retransmission budget per request; 0 retries forever (rides \
+                out server kills).")
+  in
+  let sample_arg =
+    Arg.(
+      value & opt int 20
+      & info [ "sample-ms" ] ~docv:"MS"
+          ~doc:"Storage-stats sampling period; 0 disables sampling.")
+  in
+  let deadline_arg =
+    Arg.(
+      value & opt int 120_000
+      & info [ "deadline-ms" ] ~docv:"MS" ~doc:"Abort the run after this long.")
+  in
+  let settle_arg =
+    Arg.(
+      value & opt int 300
+      & info [ "settle-ms" ] ~docv:"MS"
+          ~doc:"Quiescence settle time before the final (GC floor) stats \
+                round.")
+  in
+  let json_arg =
+    Arg.(
+      value & opt string "BENCH_service.json"
+      & info [ "json" ] ~docv:"FILE" ~doc:"Metrics output file.")
+  in
+  let think_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "think-ms" ] ~docv:"MS"
+          ~doc:"Closed-loop pacing: delay before each client's next \
+                operation (lets a run span fault-injection windows).")
+  in
+  let no_bounds_arg =
+    Arg.(
+      value & flag
+      & info [ "no-bound-check" ]
+          ~doc:"Skip the Theorem 2 ceiling / GC floor assertions (they only \
+                apply to the adaptive algorithm and are skipped automatically \
+                for the others).")
+  in
+  let percentile sorted p =
+    let n = Array.length sorted in
+    if n = 0 then 0.0
+    else
+      sorted.(max 0 (min (n - 1) (int_of_float (Float.ceil (p *. float_of_int n /. 100.0)) - 1)))
+  in
+  let run algo value_bytes f k seed writers writes_each readers reads_each
+      sockdir rto max_attempts sample_ms deadline_ms settle_ms think_ms json
+      no_bounds =
+    let algorithm, cfg = build ~algo ~value_bytes ~f ~k in
+    let n = cfg.Sb_registers.Common.n in
+    let workload =
+      Sb_experiments.Workloads.writers_and_readers ~value_bytes ~writers
+        ~writes_each ~readers ~reads_each
+    in
+    let sdk_cfg =
+      {
+        (Sb_service.Sdk.default_config ~n ~f ~sockdir) with
+        Sb_service.Sdk.rto_ms = rto;
+        max_attempts;
+        sample_every_ms = sample_ms;
+        deadline_ms;
+        think_ms;
+      }
+    in
+    let r = Sb_service.Sdk.run_workload ~algorithm ~seed ~workload sdk_cfg in
+    let failures = ref [] in
+    let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+    Printf.printf "loadgen         : %s (n=%d f=%d k=%d, seed %d) against %s\n"
+      algorithm.Sb_sim.Runtime.name n f k seed sockdir;
+    Printf.printf "ops             : %d/%d completed in %.0f ms (%.1f ops/s)\n"
+      r.Sb_service.Sdk.ops_completed r.Sb_service.Sdk.ops_invoked
+      r.Sb_service.Sdk.wall_ms
+      (float_of_int r.Sb_service.Sdk.ops_completed
+      /. Float.max 1e-9 (r.Sb_service.Sdk.wall_ms /. 1000.0));
+    if r.Sb_service.Sdk.timed_out then fail "run timed out before completion";
+    if r.Sb_service.Sdk.ops_completed < r.Sb_service.Sdk.ops_invoked then
+      fail "%d operations did not complete"
+        (r.Sb_service.Sdk.ops_invoked - r.Sb_service.Sdk.ops_completed);
+    let lat = Array.of_list r.Sb_service.Sdk.latencies_ms in
+    Array.sort compare lat;
+    let p50 = percentile lat 50.0
+    and p95 = percentile lat 95.0
+    and p99 = percentile lat 99.0 in
+    let pmax = if Array.length lat = 0 then 0.0 else lat.(Array.length lat - 1) in
+    Printf.printf "latency (ms)    : p50 %.2f  p95 %.2f  p99 %.2f  max %.2f\n"
+      p50 p95 p99 pmax;
+    Printf.printf "network         : %d retransmissions, %d reconnects, %d \
+                   recoveries observed\n"
+      r.Sb_service.Sdk.retransmissions r.Sb_service.Sdk.reconnects
+      r.Sb_service.Sdk.recoveries_observed;
+    (* Consistency: the run's trace through the same checkers the
+       simulators use. *)
+    let history =
+      Sb_spec.History.of_trace
+        ~initial:(Sb_registers.Common.initial_value cfg)
+        r.Sb_service.Sdk.trace
+    in
+    let weak = Sb_spec.Regularity.check_weak history in
+    let algo_check, algo_check_name =
+      match algo with
+      | Abd_atomic -> (Sb_spec.Regularity.check_atomic ?budget:None, "atomic")
+      | Safe -> (Sb_spec.Regularity.check_safe, "safe")
+      | _ -> (Sb_spec.Regularity.check_strong, "strong")
+    in
+    let algo_verdict = algo_check history in
+    Format.printf "weak regularity : %a@." Sb_spec.Regularity.pp_verdict weak;
+    Format.printf "%-16s: %a@."
+      (Printf.sprintf "%s reg." algo_check_name)
+      Sb_spec.Regularity.pp_verdict algo_verdict;
+    (match weak with
+     | Sb_spec.Regularity.Ok -> ()
+     | _ -> fail "weak regularity violated");
+    (match algo_verdict with
+     | Sb_spec.Regularity.Ok -> ()
+     | _ -> fail "%s regularity violated" algo_check_name);
+    (* Storage vs the paper's bounds.  Peak: the larger of the sampled
+       total and the sum of per-server high-water marks (each is a
+       conservative under-approximation of the true continuous peak
+       taken independently; their max is still a measured lower bound,
+       compared against the Theorem 2 ceiling). *)
+    let kk = code_k ~algo ~k in
+    let m = (2 * f) + kk in
+    let d_bits = 8 * value_bytes in
+    let c = writers in
+    let ceiling_bits = min ((c + 1) * m) (m * m) * d_bits / kk in
+    let floor_bits = m * d_bits / kk in
+    let sum_max_bits =
+      List.fold_left
+        (fun acc (st : Sb_service.Wire.stats) -> acc + st.Sb_service.Wire.st_max_bits)
+        0 r.Sb_service.Sdk.final_stats
+    in
+    let peak_bits = max r.Sb_service.Sdk.peak_sampled_bits sum_max_bits in
+    if settle_ms > 0 then Unix.sleepf (float_of_int settle_ms /. 1000.0);
+    let quiescent_stats =
+      Sb_service.Sdk.fetch_stats ~sockdir ~servers:(List.init n Fun.id) ()
+    in
+    let final_bits =
+      List.fold_left
+        (fun acc (st : Sb_service.Wire.stats) ->
+          acc + st.Sb_service.Wire.st_storage_bits)
+        0 quiescent_stats
+    in
+    Printf.printf "storage (bits)  : peak %d (sampled %d, sum of maxima %d), \
+                   quiescent %d\n"
+      peak_bits r.Sb_service.Sdk.peak_sampled_bits sum_max_bits final_bits;
+    let check_bounds = (not no_bounds) && algo = Adaptive in
+    if check_bounds then begin
+      Printf.printf
+        "theorem 2       : peak %d <= ceiling min((c+1)(2f+k),(2f+k)^2)D/k = \
+         %d  %s\n"
+        peak_bits ceiling_bits
+        (if peak_bits <= ceiling_bits then "ok" else "EXCEEDED");
+      Printf.printf "gc floor        : quiescent %d <= (2f+k)D/k = %d  %s\n"
+        final_bits floor_bits
+        (if final_bits <= floor_bits then "ok" else "EXCEEDED");
+      if peak_bits > ceiling_bits then
+        fail "peak storage %d exceeds Theorem 2 ceiling %d" peak_bits
+          ceiling_bits;
+      if final_bits > floor_bits then
+        fail "quiescent storage %d exceeds GC floor %d" final_bits floor_bits
+    end
+    else
+      Printf.printf
+        "bounds          : skipped (%s)\n"
+        (if no_bounds then "--no-bound-check" else "not the adaptive algorithm");
+    (if List.length quiescent_stats < n then
+       fail "only %d/%d servers answered the quiescent stats round"
+         (List.length quiescent_stats)
+         n);
+    let ok = !failures = [] in
+    Sb_util.Jsonx.write json
+      [
+        ("algo", Sb_util.Jsonx.str algorithm.Sb_sim.Runtime.name);
+        ("n", Sb_util.Jsonx.int n);
+        ("f", Sb_util.Jsonx.int f);
+        ("k", Sb_util.Jsonx.int kk);
+        ("seed", Sb_util.Jsonx.int seed);
+        ("ops", Sb_util.Jsonx.int r.Sb_service.Sdk.ops_completed);
+        ( "throughput_ops_s",
+          Sb_util.Jsonx.float
+            (float_of_int r.Sb_service.Sdk.ops_completed
+            /. Float.max 1e-9 (r.Sb_service.Sdk.wall_ms /. 1000.0)) );
+        ("p50_ms", Sb_util.Jsonx.float p50);
+        ("p95_ms", Sb_util.Jsonx.float p95);
+        ("p99_ms", Sb_util.Jsonx.float p99);
+        ("max_ms", Sb_util.Jsonx.float pmax);
+        ("peak_bits", Sb_util.Jsonx.int peak_bits);
+        ("ceiling_bits", Sb_util.Jsonx.int ceiling_bits);
+        ("quiescent_bits", Sb_util.Jsonx.int final_bits);
+        ("floor_bits", Sb_util.Jsonx.int floor_bits);
+        ("retransmissions", Sb_util.Jsonx.int r.Sb_service.Sdk.retransmissions);
+        ("reconnects", Sb_util.Jsonx.int r.Sb_service.Sdk.reconnects);
+        ("recoveries", Sb_util.Jsonx.int r.Sb_service.Sdk.recoveries_observed);
+        ( "weak_ok",
+          Sb_util.Jsonx.bool (match weak with Sb_spec.Regularity.Ok -> true | _ -> false) );
+        ( "algo_check_ok",
+          Sb_util.Jsonx.bool
+            (match algo_verdict with Sb_spec.Regularity.Ok -> true | _ -> false) );
+        ("ok", Sb_util.Jsonx.bool ok);
+      ];
+    if not ok then begin
+      List.iter (Printf.printf "loadgen FAIL    : %s\n") (List.rev !failures);
+      exit 1
+    end;
+    print_endline "loadgen         : ok"
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:"Drive a seeded closed-loop workload against a live cluster: \
+             throughput and latency percentiles, storage sampled from the \
+             stats endpoint and checked against the Theorem 2 ceiling during \
+             the run and the (2f+k)D/k GC floor after quiescence, and the \
+             run's history checked for regularity.")
+    Term.(
+      const run $ algo_arg $ value_bytes_arg $ serve_f_arg $ serve_k_arg
+      $ seed_arg $ writers_arg $ writes_each_arg $ readers_arg
+      $ reads_each_arg $ sockdir_arg $ rto_arg $ max_attempts_arg $ sample_arg
+      $ deadline_arg $ settle_arg $ think_arg $ json_arg $ no_bounds_arg)
 
 (* ------------------------------------------------------------------ *)
 (* quorums                                                             *)
@@ -1137,4 +1488,5 @@ let () =
           [
             experiments_cmd; lower_bound_cmd; simulate_cmd; explore_cmd;
             replay_cmd; demo_cmd; quorums_cmd; audit_cmd; chaos_cmd;
+            serve_cmd; loadgen_cmd;
           ]))

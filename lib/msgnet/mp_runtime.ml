@@ -2,6 +2,9 @@ open Effect.Deep
 module R = Sb_sim.Runtime
 module Trace = Sb_sim.Trace
 module Objstate = Sb_storage.Objstate
+module Score = Sb_service.Server_core
+module Mailbox = Sb_service.Client_core.Mailbox
+module Rt = Sb_service.Client_core.Retransmit
 
 type message_kind = Request | Response
 
@@ -15,6 +18,11 @@ type message = {
   (* Requests carry the RMW and its declared payload; responses carry
      the RMW's result. *)
   req : (R.rmw * Sb_storage.Block.t list) option;
+  (* The RMW's serializable description, when the protocol supplied one.
+     This is exactly what [Sb_service.Wire] puts on a real wire; the
+     simulator carries it alongside the closure so the two transports
+     ship identical requests. *)
+  m_desc : Sb_sim.Rmwdesc.t option;
   resp : R.resp option;
   m_nature : R.rmw_nature;
   (* The destination server's incarnation when a request was (re)sent;
@@ -34,6 +42,7 @@ type message_info = {
   m_ticket : int;
   m_op : int;
   m_bits : int;
+  m_desc : Sb_sim.Rmwdesc.t option;
   m_incarnation : int;
   sent_at : int;
 }
@@ -55,20 +64,14 @@ type client = {
   c_prng : Sb_util.Prng.t;
 }
 
-type retransmit_config = {
+(* The timer wheel itself lives in [Sb_service.Client_core], shared
+   with the socket client; the retained request lives in client memory
+   (uncharged by Definition 2, which counts block bits at base objects
+   and in channels) — each resend puts a fresh copy of the payload on
+   the wire, where it does count. *)
+type retransmit_config = Rt.config = {
   rto : int;  (* initial timeout, in simulation steps *)
   max_attempts : int;  (* 0 = unbounded *)
-}
-
-(* A client-side retransmission timer.  The retained request lives in
-   client memory (uncharged by Definition 2, which counts block bits at
-   base objects and in channels); each resend puts a fresh copy of the
-   payload on the wire, where it does count. *)
-type timer = {
-  t_client : int;
-  t_req : message;
-  mutable t_deadline : int;
-  mutable t_attempt : int;
 }
 
 type net_stats = {
@@ -85,23 +88,22 @@ type world = {
   n : int;
   f : int;
   fifo : bool;
-  dedup : bool;
   retransmit : retransmit_config option;
   algorithm : R.algorithm;
-  servers : Objstate.t array;
+  (* Each server is a [Sb_service.Server_core]: durable objstate,
+     incarnation counter, and the volatile per-incarnation at-most-once
+     table ((client, ticket) -> recorded response; the dedup key is
+     morally (client, ticket, incarnation)).  RMWs re-applied across a
+     recovery must be idempotent, which the register protocols
+     guarantee and [Sb_sanitize] spot-checks.  The very same module
+     serves requests in the socket daemons. *)
+  servers : Score.t array;
   server_live : bool array;
-  server_incarnation : int array;
-  (* Per-server at-most-once table for the current incarnation:
-     (client, ticket) -> recorded response.  Volatile — a crash loses
-     it (the dedup key is morally (client, ticket, incarnation)) — so
-     RMWs re-applied across a recovery must be idempotent, which the
-     register protocols guarantee and [Sb_sanitize] spot-checks. *)
-  applied : (int * int, R.resp) Hashtbl.t array;
   clients : client array;
   channel : (int, message) Hashtbl.t;
   mutable channel_order : int list; (* newest first *)
-  responses : (int, int * R.resp) Hashtbl.t;
-  timers : (int, timer) Hashtbl.t; (* keyed by ticket *)
+  responses : Mailbox.t;
+  timers : message Rt.t; (* keyed by ticket *)
   mutable next_msg : int;
   mutable next_ticket : int;
   mutable next_op : int;
@@ -143,6 +145,7 @@ let info_of (m : message) : message_info =
     m_ticket = m.m_ticket;
     m_op = m.m_op;
     m_bits = message_bits m;
+    m_desc = m.m_desc;
     m_incarnation = m.m_incarnation;
     sent_at = m.sent_at;
   }
@@ -159,13 +162,10 @@ let create ?(seed = 1) ?(fifo = false) ?(dedup = true) ?retransmit ~algorithm ~n
     n;
     f;
     fifo;
-    dedup;
     retransmit;
     algorithm;
-    servers = Array.init n algorithm.R.init_obj;
+    servers = Array.init n (fun i -> Score.create ~dedup (algorithm.R.init_obj i));
     server_live = Array.make n true;
-    server_incarnation = Array.make n 1;
-    applied = Array.init n (fun _ -> Hashtbl.create 16);
     clients =
       Array.mapi
         (fun i ops ->
@@ -180,8 +180,8 @@ let create ?(seed = 1) ?(fifo = false) ?(dedup = true) ?retransmit ~algorithm ~n
         workload;
     channel = Hashtbl.create 64;
     channel_order = [];
-    responses = Hashtbl.create 64;
-    timers = Hashtbl.create 16;
+    responses = Mailbox.create ();
+    timers = Rt.create ();
     next_msg = 1;
     next_ticket = 1;
     next_op = 1;
@@ -213,9 +213,9 @@ let emit w ev = List.iter (fun f -> f ev) w.observers
 let time w = w.now
 let n_servers w = w.n
 let f_tolerance w = w.f
-let server_state w i = w.servers.(i)
+let server_state w i = Score.state w.servers.(i)
 let server_alive w i = w.server_live.(i)
-let server_incarnation w i = w.server_incarnation.(i)
+let server_incarnation w i = Score.incarnation w.servers.(i)
 let client_count w = Array.length w.clients
 
 let in_flight w =
@@ -224,7 +224,7 @@ let in_flight w =
 let storage_bits_servers w =
   let acc = ref 0 in
   for i = 0 to w.n - 1 do
-    if w.server_live.(i) then acc := !acc + Objstate.bits w.servers.(i)
+    if w.server_live.(i) then acc := !acc + Score.storage_bits w.servers.(i)
   done;
   !acc
 
@@ -257,7 +257,8 @@ let visible_blocks_excluding w ~client =
   let server_blocks =
     List.concat
       (List.init w.n (fun i ->
-           if w.server_live.(i) then Objstate.blocks w.servers.(i) else []))
+           if w.server_live.(i) then Objstate.blocks (Score.state w.servers.(i))
+           else []))
   in
   Hashtbl.fold
     (fun _ (m : message) acc ->
@@ -287,43 +288,26 @@ let update_maxima w =
 (* Retransmission timers                                               *)
 (* ------------------------------------------------------------------ *)
 
-let timer_live w ticket (t : timer) =
-  (not (Hashtbl.mem w.responses ticket))
+let timer_live w ticket (t : message Rt.timer) =
+  (not (Mailbox.has w.responses ticket))
   && (match w.retransmit with
      | None -> false
-     | Some rc -> rc.max_attempts <= 0 || t.t_attempt < rc.max_attempts)
+     | Some rc -> Rt.within_budget rc t)
   &&
-  let cl = w.clients.(t.t_client) in
+  let cl = w.clients.(t.Rt.owner) in
   (not cl.crashed) && cl.current_op <> None
 
-let pending_retransmits w =
-  Hashtbl.fold
-    (fun ticket t acc -> if timer_live w ticket t then ticket :: acc else acc)
-    w.timers []
-  |> List.sort compare
-
-let due_retransmits w =
-  Hashtbl.fold
-    (fun ticket t acc ->
-      if timer_live w ticket t && w.now >= t.t_deadline then ticket :: acc
-      else acc)
-    w.timers []
-  |> List.sort compare
-
-let clear_timers w tickets = List.iter (Hashtbl.remove w.timers) tickets
+let pending_retransmits w = Rt.pending w.timers ~live:(timer_live w)
+let due_retransmits w = Rt.due w.timers ~now:w.now ~live:(timer_live w)
+let clear_timers w tickets = Rt.cancel_list w.timers tickets
 
 (* ------------------------------------------------------------------ *)
 (* Fibers: interpret the shared-memory effects over messages           *)
 (* ------------------------------------------------------------------ *)
 
-let responses_for w tickets =
-  List.filter_map (fun t -> Hashtbl.find_opt w.responses t) tickets
-
+let responses_for w tickets = Mailbox.responses_for w.responses ~tickets
 let await_satisfied w tickets quorum =
-  List.fold_left
-    (fun acc t -> if Hashtbl.mem w.responses t then acc + 1 else acc)
-    0 tickets
-  >= quorum
+  Mailbox.satisfied w.responses ~tickets ~quorum
 
 let send w (msg : message) =
   (match msg.kind with
@@ -341,7 +325,7 @@ let handle_fiber w (cl : client) (op : R.op) (body : unit -> bytes option) :
       effc =
         (fun (type b) (eff : b Effect.t) ->
           match eff with
-          | R.Trigger (obj, payload, rmw, nature) ->
+          | R.Trigger (obj, payload, rmw, nature, desc) ->
             Some
               (fun (k : (b, fiber_outcome) continuation) ->
                 if obj < 0 || obj >= w.n then
@@ -359,22 +343,18 @@ let handle_fiber w (cl : client) (op : R.op) (body : unit -> bytes option) :
                     m_ticket = ticket;
                     m_op = op.R.id;
                     req = Some (rmw, payload);
+                    m_desc = desc;
                     resp = None;
                     m_nature = nature;
-                    m_incarnation = w.server_incarnation.(obj);
+                    m_incarnation = Score.incarnation w.servers.(obj);
                     sent_at = w.now;
                   }
                 in
                 send w msg;
                 (match w.retransmit with
                  | Some rc ->
-                   Hashtbl.replace w.timers ticket
-                     {
-                       t_client = cl.cid;
-                       t_req = msg;
-                       t_deadline = w.now + rc.rto;
-                       t_attempt = 0;
-                     }
+                   Rt.arm w.timers ~ticket ~owner:cl.cid
+                     ~deadline:(w.now + rc.rto) msg
                  | None -> ());
                 Trace.add w.tr
                   (Rmw_trigger
@@ -387,7 +367,7 @@ let handle_fiber w (cl : client) (op : R.op) (body : unit -> bytes option) :
                        payload_bits = Sb_storage.Accounting.bits_of_blocks payload;
                      });
                 if observed w then
-                  emit w (R.E_trigger { ticket; obj; op; nature; payload });
+                  emit w (R.E_trigger { ticket; obj; op; nature; payload; desc });
                 continue k ticket)
           | R.Await (tickets, quorum) ->
             Some
@@ -528,9 +508,10 @@ let send_response w ~(to_request : message) resp =
         m_ticket = to_request.m_ticket;
         m_op = to_request.m_op;
         req = None;
+        m_desc = None;
         resp = Some resp;
         m_nature = to_request.m_nature;
-        m_incarnation = w.server_incarnation.(to_request.m_server);
+        m_incarnation = Score.incarnation w.servers.(to_request.m_server);
         sent_at = w.now;
       }
 
@@ -547,7 +528,7 @@ let deliver_msg w id =
        from) a server incarnation that has since crashed; the transport
        of the new incarnation discards it.  Retransmission re-sends the
        request stamped with the live incarnation. *)
-    if m.m_incarnation <> w.server_incarnation.(m.m_server) then
+    if m.m_incarnation <> Score.incarnation w.servers.(m.m_server) then
       w.fenced <- w.fenced + 1
     else
       match m.kind with
@@ -555,24 +536,19 @@ let deliver_msg w id =
         let rmw, _payload =
           match m.req with Some r -> r | None -> assert false
         in
-        if
-          w.dedup && m.m_nature <> `Readonly
-          && Hashtbl.mem w.applied.(m.m_server) (m.m_client, m.m_ticket)
-        then begin
-          (* At-most-once within this incarnation: a duplicate (network
-             duplication or retransmission) does not re-apply the RMW;
-             the recorded response is re-sent. *)
+        (* The shared server core either answers from the at-most-once
+           table (a duplicate within this incarnation: network
+           duplication or retransmission; the RMW is not re-applied) or
+           applies the RMW atomically now and records its response. *)
+        let oc =
+          Score.handle w.servers.(m.m_server) ~client:m.m_client
+            ~ticket:m.m_ticket ~nature:m.m_nature rmw
+        in
+        if oc.Score.dedup_hit then begin
           w.dedup_hits <- w.dedup_hits + 1;
-          let resp = Hashtbl.find w.applied.(m.m_server) (m.m_client, m.m_ticket) in
-          send_response w ~to_request:m resp
+          send_response w ~to_request:m oc.Score.resp
         end
         else begin
-          (* The RMW takes effect atomically at the server now. *)
-          let before = w.servers.(m.m_server) in
-          let state, resp = rmw before in
-          w.servers.(m.m_server) <- state;
-          if w.dedup && m.m_nature <> `Readonly then
-            Hashtbl.replace w.applied.(m.m_server) (m.m_client, m.m_ticket) resp;
           Trace.add w.tr
             (Rmw_deliver { time = w.now; ticket = m.m_ticket; obj = m.m_server });
           if observed w then
@@ -585,17 +561,17 @@ let deliver_msg w id =
                    op = m.m_op;
                    nature = m.m_nature;
                    rmw;
-                   before;
-                   after = state;
-                   resp;
+                   before = oc.Score.before;
+                   after = oc.Score.after;
+                   resp = oc.Score.resp;
                    observable = not w.clients.(m.m_client).crashed;
                  });
-          send_response w ~to_request:m resp
+          send_response w ~to_request:m oc.Score.resp
         end
       | Response ->
         let resp = match m.resp with Some r -> r | None -> assert false in
-        Hashtbl.replace w.responses m.m_ticket (m.m_server, resp);
-        Hashtbl.remove w.timers m.m_ticket)
+        Mailbox.record w.responses ~ticket:m.m_ticket ~obj:m.m_server resp;
+        Rt.cancel w.timers m.m_ticket)
 
 let step w decision =
   w.now <- w.now + 1;
@@ -636,27 +612,25 @@ let step w decision =
          w.duplicated <- w.duplicated + 1);
       true
     | Retransmit ticket ->
-      (match (w.retransmit, Hashtbl.find_opt w.timers ticket) with
+      (match (w.retransmit, Rt.find w.timers ticket) with
        | None, _ -> invalid_arg "Mp_runtime.step: retransmission is not armed"
        | _, None -> invalid_arg "Mp_runtime.step: no timer for this ticket"
        | Some rc, Some t ->
          if not (timer_live w ticket t) then
            invalid_arg "Mp_runtime.step: retransmission is not enabled";
-         if w.now < t.t_deadline then
+         if w.now < t.Rt.deadline then
            invalid_arg "Mp_runtime.step: retransmission timer has not expired";
-         t.t_attempt <- t.t_attempt + 1;
-         (* Exponential backoff, capped to keep deadlines reachable. *)
-         t.t_deadline <- w.now + (rc.rto * (1 lsl min t.t_attempt 16));
+         Rt.backoff rc t ~now:w.now;
          w.retransmissions <- w.retransmissions + 1;
-         let srv = t.t_req.m_server in
+         let srv = t.Rt.req.m_server in
          (* A resend to a dead server fails fast (connection refused);
             the timer backs off and retries after a recovery. *)
          if w.server_live.(srv) then
            send w
              {
-               t.t_req with
+               t.Rt.req with
                msg_id = fresh_msg_id w;
-               m_incarnation = w.server_incarnation.(srv);
+               m_incarnation = Score.incarnation w.servers.(srv);
                sent_at = w.now;
              });
       true
@@ -684,7 +658,7 @@ let step w decision =
         List.filter (fun id -> Hashtbl.mem w.channel id) w.channel_order;
       w.dropped_at_crash <- w.dropped_at_crash + List.length doomed;
       (* The at-most-once table is volatile; objstate is durable. *)
-      Hashtbl.reset w.applied.(i);
+      Score.crash w.servers.(i);
       Trace.add w.tr (Crash_object { time = w.now; obj = i });
       if observed w then emit w (R.E_crash_obj i);
       true
@@ -693,11 +667,11 @@ let step w decision =
       if w.server_live.(i) then
         invalid_arg "Mp_runtime.step: server is not crashed";
       w.server_live.(i) <- true;
-      w.server_incarnation.(i) <- w.server_incarnation.(i) + 1;
+      Score.recover w.servers.(i);
       w.recoveries <- w.recoveries + 1;
       Trace.add w.tr (Recover_object { time = w.now; obj = i });
       if observed w then
-        emit w (R.E_recover_obj (i, w.server_incarnation.(i)));
+        emit w (R.E_recover_obj (i, Score.incarnation w.servers.(i)));
       true
     | Crash_client c ->
       let cl = w.clients.(c) in
@@ -705,12 +679,7 @@ let step w decision =
       cl.crashed <- true;
       cl.waiting <- None;
       cl.queue <- [];
-      let mine =
-        Hashtbl.fold
-          (fun ticket t acc -> if t.t_client = c then ticket :: acc else acc)
-          w.timers []
-      in
-      clear_timers w mine;
+      clear_timers w (Rt.owned w.timers ~owner:c);
       Trace.add w.tr (Crash_client { time = w.now; client = c });
       if observed w then emit w (R.E_crash_client c);
       true

@@ -50,12 +50,15 @@ type message_info = {
   m_ticket : int;
   m_op : int;         (** The operation the RMW belongs to. *)
   m_bits : int;       (** Code-block bits carried by the message. *)
+  m_desc : Sb_sim.Rmwdesc.t option;
+      (** Serializable description of a request's RMW — what the socket
+          transport ships over its wire. *)
   m_incarnation : int;
       (** The server incarnation this message's connection belongs to. *)
   sent_at : int;
 }
 
-type retransmit_config = {
+type retransmit_config = Sb_service.Client_core.Retransmit.config = {
   rto : int;
       (** Initial retransmission timeout, in simulation steps ([> 0]). *)
   max_attempts : int;

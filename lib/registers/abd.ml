@@ -1,44 +1,16 @@
 open Sb_storage
 module R = Sb_sim.Runtime
+module D = Sb_sim.Rmwdesc
 
-(* Keep the lexicographically larger of (timestamp, chunk).  The chunk
-   tie-break matters: writers mint unique timestamps, but [Abd_atomic]'s
-   read write-back re-encodes an {e existing} timestamp under the
-   reader's own op id, so two concurrent write-backs of one value carry
-   distinct block metadata.  "Keep existing on equal ts" would let the
-   delivery order pick the survivor — a non-commuting [`Merge], which
-   the [Sb_sanitize] commutativity monitor flags. *)
-(* Idempotent by construction: re-applying the same chunk "keeps" it
-   (ties break towards the existing chunk), so an at-least-once delivery
-   — a retransmission re-applied after a server recovery — changes
-   nothing.  The fault-injection suite relies on this. *)
-let store_rmw chunk : R.rmw =
-  fun st ->
-    let keep =
-      match st.Objstate.vf with
-      | [ existing ] ->
-        let c = Timestamp.compare existing.Chunk.ts chunk.Chunk.ts in
-        c > 0 || (c = 0 && compare existing chunk >= 0)
-      | _ -> false
-    in
-    let st =
-      if keep then st
-      else { st with vf = [ chunk ]; stored_ts = Timestamp.max st.stored_ts chunk.Chunk.ts }
-    in
-    (st, R.Ack)
+(* The store semantics live in [Sb_sim.Rmwdesc]: [Abd_store] keeps the
+   lexicographically larger (timestamp, chunk) — a commuting, idempotent
+   join — and [Lww_store] is the last-writer-wins overwrite used only by
+   [make_misdeclared_merge] below, whose concurrent stores do NOT
+   commute even though the broadcast still declares [`Merge]. *)
+let store_rmw chunk : R.rmw = D.apply (D.Abd_store chunk)
 
-(* Last-writer-wins overwrite: ignores the stored timestamp, so two
-   concurrent stores do NOT commute — the delivery order decides which
-   replica survives.  Used only by [make_misdeclared_merge] below. *)
-let lww_store_rmw chunk : R.rmw =
-  fun st ->
-    ( { st with
-        Objstate.vf = [ chunk ];
-        stored_ts = Timestamp.max st.Objstate.stored_ts chunk.Chunk.ts;
-      },
-      R.Ack )
-
-let make_gen ?(store = store_rmw) ~name ~write_quorum (cfg : Common.config) =
+let make_gen ?(store = fun c -> D.Abd_store c) ~name ~write_quorum
+    (cfg : Common.config) =
   Common.validate cfg;
   if cfg.codec.Sb_codec.Codec.k <> 1 then
     invalid_arg "Abd.make: ABD requires a replication codec (k = 1)";
@@ -55,9 +27,12 @@ let make_gen ?(store = store_rmw) ~name ~write_quorum (cfg : Common.config) =
     (* Round 2: store the replica everywhere, await a quorum. *)
     ctx.op.rounds <- ctx.op.rounds + 1;
     let tickets =
-      (* [store_rmw] is a "keep the higher timestamp" join: merge-class,
-         so deliveries of two stores to the same object commute. *)
-      R.broadcast_rmw ~nature:`Merge ~n:cfg.n
+      (* [Abd_store] is a "keep the higher timestamp" join: merge-class,
+         so deliveries of two stores to the same object commute.  The
+         [`Merge] declaration is explicit (not derived from the
+         description) because [make_misdeclared_merge] keeps it while
+         swapping in the non-commuting store. *)
+      R.broadcast_desc ~nature:`Merge ~n:cfg.n
         ~payload:(fun i -> [ Oracle.Encoder.get encoder i ])
         (fun i -> store (Chunk.v ~ts (Oracle.Encoder.get encoder i)))
     in
@@ -80,5 +55,6 @@ let make_broken ?(quorum_slack = 1) cfg =
   make_gen ~name:"abd-broken" ~write_quorum:(Common.quorum cfg - quorum_slack) cfg
 
 let make_misdeclared_merge cfg =
-  make_gen ~store:lww_store_rmw ~name:"abd-misdeclared-merge"
-    ~write_quorum:(Common.quorum cfg) cfg
+  make_gen
+    ~store:(fun c -> D.Lww_store c)
+    ~name:"abd-misdeclared-merge" ~write_quorum:(Common.quorum cfg) cfg

@@ -20,9 +20,10 @@ let make (cfg : Common.config) =
     let encoder = Oracle.Encoder.create cfg.codec ~op:source ~value in
     ctx.op.rounds <- ctx.op.rounds + 1;
     let tickets =
-      R.broadcast_rmw ~nature:`Merge ~n:cfg.n
+      R.broadcast_desc ~n:cfg.n
         ~payload:(fun i -> [ Oracle.Encoder.get encoder i ])
-        (fun i -> Abd.store_rmw (Chunk.v ~ts (Oracle.Encoder.get encoder i)))
+        (fun i ->
+          Sb_sim.Rmwdesc.Abd_store (Chunk.v ~ts (Oracle.Encoder.get encoder i)))
     in
     ignore (R.await ~tickets ~quorum:(Common.quorum cfg))
   in

@@ -1,60 +1,22 @@
 open Sb_storage
 module R = Sb_sim.Runtime
+module D = Sb_sim.Rmwdesc
 
-(* Algorithm 3, lines 32-39.  [replicate] selects between the paper's
-   adaptive rule (switch to a full replica once Vp is saturated) and the
-   unbounded purely-coded baseline (always append to Vp).  [eviction]
-   selects the GC barrier used when storing a piece: the correct rule
-   keeps everything at or above the round-1 [storedTS] (the last known
-   complete write); the deliberately broken [`Own_ts] rule evicts
+(* The RMW semantics (Algorithm 3, lines 32-45) live in
+   [Sb_sim.Rmwdesc]: this module only constructs descriptions, so the
+   same updates run over the in-process runtimes and the socket
+   transport.  [replicate] selects between the paper's adaptive rule
+   (switch to a full replica once Vp is saturated) and the unbounded
+   purely-coded baseline (always append to Vp).  [eviction] selects the
+   GC barrier used when storing a piece: the correct rule keeps
+   everything at or above the round-1 [storedTS] (the last known
+   complete write); the deliberately broken [Own_ts] rule evicts
    everything below the {e incomplete} write's own timestamp — the
    premature-GC bug whose regularity violations the negative-control
    experiment demonstrates. *)
-let update_rmw ~replicate ~eviction ~trim ~k ~piece ~replica_pieces ~ts ~stored_ts :
-    R.rmw =
-  fun st ->
-    if Timestamp.(ts <= st.Objstate.stored_ts) then (st, R.Ack)
-    else begin
-      let distinct_writes =
-        List.length
-          (List.sort_uniq Timestamp.compare
-             (List.map (fun (c : Chunk.t) -> c.ts) st.vp))
-      in
-      let barrier = match eviction with `Barrier -> stored_ts | `Own_ts -> ts in
-      let st =
-        if (not replicate) || distinct_writes < k then
-          let fresh =
-            List.filter (fun (c : Chunk.t) -> Timestamp.(c.ts >= barrier)) st.vp
-          in
-          { st with Objstate.vp = trim (Common.add_chunk (Chunk.v ~ts piece) fresh) }
-        else if
-          st.vf = []
-          || List.exists (fun (c : Chunk.t) -> Timestamp.(c.ts < ts)) st.vf
-        then
-          (* Vp is saturated: store a full replica as k pieces. *)
-          { st with Objstate.vf = List.map (fun p -> Chunk.v ~ts p) replica_pieces }
-        else st
-      in
-      (Objstate.with_stored_ts st stored_ts, R.Ack)
-    end
 
-(* Algorithm 3, lines 40-45. *)
-let gc_rmw ~piece ~ts : R.rmw =
-  fun st ->
-    let keep = List.filter (fun (c : Chunk.t) -> Timestamp.(c.ts >= ts)) in
-    let vp = keep st.Objstate.vp in
-    let vf = keep st.vf in
-    let vf =
-      (* If Vf holds a full replica of this very write, shrink it to the
-         single piece destined for this object. *)
-      if List.exists (fun (c : Chunk.t) -> Timestamp.equal c.ts ts) vf then
-        [ Chunk.v ~ts piece ]
-      else vf
-    in
-    (Objstate.with_stored_ts { st with Objstate.vp; vf } ts, R.Ack)
-
-let make_gen ~name ~replicate ?(eviction = `Barrier) ?(read_barrier = true)
-    ?(trim = Fun.id) (cfg : Common.config) =
+let make_gen ~name ~replicate ?(eviction = D.Barrier) ?(read_barrier = true)
+    ?(trim = D.Keep_all) (cfg : Common.config) =
   Common.validate cfg;
   let k = cfg.codec.Sb_codec.Codec.k in
   let v0 = Common.initial_value cfg in
@@ -80,17 +42,26 @@ let make_gen ~name ~replicate ?(eviction = `Barrier) ?(read_barrier = true)
       else [ p ]
     in
     let tickets =
-      R.broadcast_rmw ~n:cfg.n ~payload:update_payload (fun i ->
-          update_rmw ~replicate ~eviction ~trim ~k ~piece:(piece i) ~replica_pieces
-            ~ts ~stored_ts)
+      R.broadcast_desc ~n:cfg.n ~payload:update_payload (fun i ->
+          D.Adaptive_update
+            {
+              replicate;
+              eviction;
+              trim;
+              k;
+              piece = piece i;
+              replica_pieces;
+              ts;
+              stored_ts;
+            })
     in
     ignore (R.await ~tickets ~quorum:(Common.quorum cfg));
     (* Round 3: garbage collection (lines 11-13). *)
     ctx.op.rounds <- ctx.op.rounds + 1;
     let tickets =
-      R.broadcast_rmw ~n:cfg.n
+      R.broadcast_desc ~n:cfg.n
         ~payload:(fun i -> [ piece i ])
-        (fun i -> gc_rmw ~piece:(piece i) ~ts)
+        (fun i -> D.Adaptive_gc { piece = piece i; ts })
     in
     ignore (R.await ~tickets ~quorum:(Common.quorum cfg))
   in
@@ -112,7 +83,7 @@ let make cfg = make_gen ~name:"adaptive" ~replicate:true cfg
 let make_unbounded cfg = make_gen ~name:"pure-ec" ~replicate:false cfg
 
 let make_premature_gc cfg =
-  make_gen ~name:"premature-gc" ~replicate:false ~eviction:`Own_ts
+  make_gen ~name:"premature-gc" ~replicate:false ~eviction:D.Own_ts
     ~read_barrier:false cfg
 
 let make_versioned ~delta cfg =
@@ -120,11 +91,6 @@ let make_versioned ~delta cfg =
   (* Keep only the delta+1 newest versions' pieces in Vp, like the
      bounded-version algorithms of [6]: correct for concurrency <= delta,
      degraded read latency beyond. *)
-  let trim chunks =
-    let sorted =
-      List.sort (fun (a : Chunk.t) (b : Chunk.t) -> Timestamp.compare b.ts a.ts) chunks
-    in
-    List.filteri (fun i _ -> i <= delta) sorted
-  in
-  make_gen ~name:(Printf.sprintf "versioned(delta=%d)" delta) ~replicate:false ~trim
-    cfg
+  make_gen
+    ~name:(Printf.sprintf "versioned(delta=%d)" delta)
+    ~replicate:false ~trim:(D.Keep_newest delta) cfg

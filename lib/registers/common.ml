@@ -14,7 +14,8 @@ let validate cfg =
 let quorum cfg = cfg.n - cfg.f
 let initial_value cfg = Bytes.make cfg.codec.Sb_codec.Codec.value_bytes '\000'
 
-let read_snapshot_rmw : Sb_sim.Runtime.rmw = fun st -> (st, Sb_sim.Runtime.Snap st)
+let read_snapshot_rmw : Sb_sim.Runtime.rmw =
+  Sb_sim.Rmwdesc.(apply Snapshot)
 
 type read_set = {
   max_stored_ts : Timestamp.t;
@@ -24,9 +25,9 @@ type read_set = {
 let read_value cfg (ctx : Sb_sim.Runtime.ctx) =
   ctx.op.rounds <- ctx.op.rounds + 1;
   let tickets =
-    Sb_sim.Runtime.broadcast_rmw ~nature:`Readonly ~n:cfg.n
+    Sb_sim.Runtime.broadcast_desc ~n:cfg.n
       ~payload:(fun _ -> [])
-      (fun _ -> read_snapshot_rmw)
+      (fun _ -> Sb_sim.Rmwdesc.Snapshot)
   in
   let resps = Sb_sim.Runtime.await ~tickets ~quorum:(quorum cfg) in
   List.fold_left
@@ -46,25 +47,12 @@ let max_num rs =
     (fun acc (c : Chunk.t) -> max acc c.ts.Timestamp.num)
     rs.max_stored_ts.Timestamp.num rs.chunks
 
-(* Idempotent chunk insertion.  The message-passing runtime can
-   re-apply an RMW whose first application predates a server crash: the
-   at-most-once table is volatile, so a retransmitted request arriving
-   in a later incarnation is applied again.  A store therefore must not
-   grow when handed a chunk it already holds — duplicate (ts, source,
-   index) insertions would inflate the measured storage without adding
-   information. *)
-let add_chunk (c : Chunk.t) chunks =
-  if
-    List.exists
-      (fun (c' : Chunk.t) ->
-        Timestamp.equal c'.ts c.ts
-        && c'.block.Block.source = c.block.Block.source
-        && c'.block.Block.index = c.block.Block.index)
-      chunks
-  then chunks
-  else c :: chunks
-
-let add_chunks cs chunks = List.fold_left (fun acc c -> add_chunk c acc) chunks cs
+(* Idempotent chunk insertion, now provided by [Sb_storage.Chunk] so the
+   RMW interpreter in [Sb_sim.Rmwdesc] can use it too; re-exported here
+   because the register protocols and their tests reach it through
+   [Common]. *)
+let add_chunk = Chunk.add
+let add_chunks = Chunk.add_list
 
 let distinct_pieces chunks ~ts =
   let seen = Hashtbl.create 8 in

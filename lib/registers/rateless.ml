@@ -1,35 +1,12 @@
 open Sb_storage
 module R = Sb_sim.Runtime
+module D = Sb_sim.Rmwdesc
 
-(* Store [pieces] (all of one write, distinct block numbers) at an
+(* The store/GC semantics live in [Sb_sim.Rmwdesc]: [Rateless_update]
+   stores all of one write's pieces (distinct block numbers) at an
    object, evicting chunks staler than the round-1 barrier — the same
-   discipline as the purely coded register. *)
-let update_rmw ~pieces ~ts ~stored_ts : R.rmw =
-  fun st ->
-    if Timestamp.(ts <= st.Objstate.stored_ts) then (st, R.Ack)
-    else begin
-      let fresh =
-        List.filter (fun (c : Chunk.t) -> Timestamp.(c.ts >= stored_ts)) st.vp
-      in
-      let added = List.map (fun p -> Chunk.v ~ts p) pieces in
-      let vp = Common.add_chunks added fresh in
-      (Objstate.with_stored_ts { st with Objstate.vp } stored_ts, R.Ack)
-    end
-
-let gc_rmw ~pieces ~ts : R.rmw =
-  fun st ->
-    let keep = List.filter (fun (c : Chunk.t) -> Timestamp.(c.ts >= ts)) in
-    let vp = keep st.Objstate.vp in
-    let vp =
-      (* After a completed write, this object only needs its own share
-         of the new value. *)
-      if List.exists (fun (c : Chunk.t) -> Timestamp.equal c.ts ts) vp then
-        List.filter (fun (c : Chunk.t) -> not (Timestamp.equal c.ts ts)) vp
-        @ List.map (fun p -> Chunk.v ~ts p) pieces
-      else vp
-    in
-    (Objstate.with_stored_ts { st with Objstate.vp } ts, R.Ack)
-
+   discipline as the purely coded register — and [Rateless_gc] keeps
+   only this object's own share of the completed write. *)
 let make ?(blocks_per_object = 2) ~codec_seed (cfg : Common.config) =
   if blocks_per_object < 1 then
     invalid_arg "Rateless.make: need at least one block per object";
@@ -59,14 +36,14 @@ let make ?(blocks_per_object = 2) ~codec_seed (cfg : Common.config) =
     let ts = Timestamp.make ~num:(Common.max_num rs + 1) ~client:ctx.self in
     ctx.op.rounds <- ctx.op.rounds + 1;
     let tickets =
-      R.broadcast_rmw ~n:cfg.n ~payload:pieces_for (fun i ->
-          update_rmw ~pieces:(pieces_for i) ~ts ~stored_ts)
+      R.broadcast_desc ~n:cfg.n ~payload:pieces_for (fun i ->
+          D.Rateless_update { pieces = pieces_for i; ts; stored_ts })
     in
     ignore (R.await ~tickets ~quorum);
     ctx.op.rounds <- ctx.op.rounds + 1;
     let tickets =
-      R.broadcast_rmw ~n:cfg.n ~payload:pieces_for (fun i ->
-          gc_rmw ~pieces:(pieces_for i) ~ts)
+      R.broadcast_desc ~n:cfg.n ~payload:pieces_for (fun i ->
+          D.Rateless_gc { pieces = pieces_for i; ts })
     in
     ignore (R.await ~tickets ~quorum)
   in

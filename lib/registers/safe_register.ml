@@ -1,22 +1,9 @@
 open Sb_storage
 module R = Sb_sim.Runtime
 
-(* Algorithm 5, lines 10-12: overwrite the single stored piece only if
-   the incoming timestamp is strictly higher. *)
-(* Conditional overwrite: idempotent (a re-applied chunk compares equal
-   to [current_ts] and is kept as-is), so at-least-once delivery across
-   a server recovery is harmless. *)
-let update_rmw chunk : R.rmw =
-  fun st ->
-    let current_ts =
-      match st.Objstate.vp with [ c ] -> c.Chunk.ts | _ -> Timestamp.zero
-    in
-    let st =
-      if Timestamp.(chunk.Chunk.ts <= current_ts) then st
-      else { st with vp = [ chunk ] }
-    in
-    (st, R.Ack)
-
+(* The update semantics (Algorithm 5, lines 10-12 — overwrite the single
+   stored piece only if the incoming timestamp is strictly higher) live
+   in [Sb_sim.Rmwdesc.Safe_update]. *)
 let make (cfg : Common.config) =
   Common.validate cfg;
   let v0 = Common.initial_value cfg in
@@ -30,9 +17,10 @@ let make (cfg : Common.config) =
     let ts = Timestamp.make ~num:(Common.max_num rs + 1) ~client:ctx.self in
     ctx.op.rounds <- ctx.op.rounds + 1;
     let tickets =
-      R.broadcast_rmw ~n:cfg.n
+      R.broadcast_desc ~n:cfg.n
         ~payload:(fun i -> [ Oracle.Encoder.get encoder i ])
-        (fun i -> update_rmw (Chunk.v ~ts (Oracle.Encoder.get encoder i)))
+        (fun i ->
+          Sb_sim.Rmwdesc.Safe_update (Chunk.v ~ts (Oracle.Encoder.get encoder i)))
     in
     ignore (R.await ~tickets ~quorum:(Common.quorum cfg))
   in

@@ -1,0 +1,243 @@
+module D = Sb_sim.Rmwdesc
+
+let sockpath ~sockdir i = Filename.concat sockdir (Printf.sprintf "server-%d.sock" i)
+
+let statefile ~statedir i =
+  Filename.concat statedir (Printf.sprintf "server-%d.state" i)
+
+(* ------------------------------------------------------------------ *)
+(* Durable state: framed [Wire.persisted] in a file, written            *)
+(* atomically (temp + rename) after every mutating RMW.                 *)
+(* ------------------------------------------------------------------ *)
+
+let save_state file (p : Wire.persisted) =
+  let tmp = file ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  let buf = Wire.encode_persisted p in
+  output_bytes oc buf;
+  close_out oc;
+  Sys.rename tmp file
+
+let load_state file : Wire.persisted option =
+  if not (Sys.file_exists file) then None
+  else begin
+    let ic = open_in_bin file in
+    let len = in_channel_length ic in
+    let buf = Bytes.create len in
+    really_input ic buf 0 len;
+    close_in ic;
+    if len < 4 then None
+    else
+      let body = Bytes.sub buf 4 (len - 4) in
+      match Wire.decode_persisted body with Ok p -> Some p | Error _ -> None
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Connections                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type conn = {
+  fd : Unix.file_descr;
+  reader : Wire.Reader.t;
+  out : Buffer.t;
+  mutable closed : bool;
+}
+
+type server = {
+  sid : int;
+  core : Server_core.t;
+  listen_fd : Unix.file_descr;
+  state_path : string option;
+  mutable conns : conn list;
+}
+
+let enqueue conn msg = Buffer.add_bytes conn.out (Wire.encode_msg msg)
+
+let close_conn conn =
+  if not conn.closed then begin
+    conn.closed <- true;
+    try Unix.close conn.fd with Unix.Unix_error _ -> ()
+  end
+
+let persist srv =
+  match srv.state_path with
+  | None -> ()
+  | Some file ->
+    save_state file
+      {
+        Wire.p_incarnation = Server_core.incarnation srv.core;
+        p_state = Server_core.state srv.core;
+      }
+
+let handle_msg srv conn (msg : Wire.msg) =
+  match msg with
+  | Wire.Hello _ ->
+    enqueue conn
+      (Wire.Welcome
+         { server = srv.sid; incarnation = Server_core.incarnation srv.core })
+  | Wire.Request rq ->
+    let rmw = D.apply rq.Wire.rq_desc in
+    let oc =
+      Server_core.handle srv.core ~client:rq.Wire.rq_client
+        ~ticket:rq.Wire.rq_ticket ~nature:rq.Wire.rq_nature rmw
+    in
+    if (not oc.Server_core.dedup_hit) && oc.Server_core.after != oc.Server_core.before
+    then persist srv;
+    enqueue conn
+      (Wire.Response
+         {
+           rs_ticket = rq.Wire.rq_ticket;
+           rs_op = rq.Wire.rq_op;
+           rs_server = srv.sid;
+           rs_incarnation = Server_core.incarnation srv.core;
+           rs_dedup = oc.Server_core.dedup_hit;
+           rs_resp = oc.Server_core.resp;
+         })
+  | Wire.Stats_query ->
+    enqueue conn
+      (Wire.Stats
+         {
+           st_server = srv.sid;
+           st_incarnation = Server_core.incarnation srv.core;
+           st_storage_bits = Server_core.storage_bits srv.core;
+           st_max_bits = Server_core.max_bits srv.core;
+           st_dedup_hits = Server_core.dedup_hits srv.core;
+           st_applied = Server_core.applied_count srv.core;
+         })
+  | Wire.Welcome _ | Wire.Response _ | Wire.Stats _ ->
+    (* Server-to-client messages arriving at a server: drop the peer. *)
+    close_conn conn
+
+let read_conn srv conn =
+  let buf = Bytes.create 65536 in
+  match Unix.read conn.fd buf 0 (Bytes.length buf) with
+  | 0 -> close_conn conn
+  | n ->
+    Wire.Reader.feed conn.reader buf 0 n;
+    let rec drain () =
+      if not conn.closed then
+        match Wire.Reader.next conn.reader with
+        | Ok None -> ()
+        | Ok (Some msg) ->
+          handle_msg srv conn msg;
+          drain ()
+        | Error _ -> close_conn conn
+    in
+    drain ()
+  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+  | exception Unix.Unix_error _ -> close_conn conn
+
+let write_conn conn =
+  let pending = Buffer.to_bytes conn.out in
+  match Unix.write conn.fd pending 0 (Bytes.length pending) with
+  | n ->
+    Buffer.clear conn.out;
+    if n < Bytes.length pending then
+      Buffer.add_subbytes conn.out pending n (Bytes.length pending - n)
+  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+  | exception Unix.Unix_error _ -> close_conn conn
+
+let accept_conn srv =
+  match Unix.accept srv.listen_fd with
+  | fd, _ ->
+    Unix.set_nonblock fd;
+    srv.conns <-
+      { fd; reader = Wire.Reader.create (); out = Buffer.create 256; closed = false }
+      :: srv.conns
+  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+
+(* ------------------------------------------------------------------ *)
+(* The event loop                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let interrupted = ref false
+
+let install_signals () =
+  let handler = Sys.Signal_handle (fun _ -> interrupted := true) in
+  (try Sys.set_signal Sys.sigterm handler with Invalid_argument _ -> ());
+  (try Sys.set_signal Sys.sigint handler with Invalid_argument _ -> ());
+  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ()
+
+let make_server ?statedir ~dedup ~sockdir ~init_obj sid =
+  let core =
+    let fresh () = Server_core.create ~dedup (init_obj sid) in
+    match statedir with
+    | None -> fresh ()
+    | Some dir -> (
+      match load_state (statefile ~statedir:dir sid) with
+      | Some p ->
+        (* Restarting over a persisted state is a recovery: the
+           at-most-once table died with the process, so the server
+           comes back in a fresh incarnation. *)
+        Server_core.create ~dedup ~incarnation:(p.Wire.p_incarnation + 1)
+          p.Wire.p_state
+      | None -> fresh ())
+  in
+  let path = sockpath ~sockdir sid in
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let listen_fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+  Unix.set_nonblock listen_fd;
+  Unix.bind listen_fd (ADDR_UNIX path);
+  Unix.listen listen_fd 64;
+  let srv =
+    { sid; core; listen_fd; state_path = Option.map (fun d -> statefile ~statedir:d sid) statedir; conns = [] }
+  in
+  persist srv;
+  srv
+
+let run ?(dedup = true) ?statedir ?stop ~sockdir ~servers ~init_obj () =
+  interrupted := false;
+  install_signals ();
+  (match statedir with
+   | Some dir when not (Sys.file_exists dir) -> Unix.mkdir dir 0o755
+   | _ -> ());
+  if not (Sys.file_exists sockdir) then Unix.mkdir sockdir 0o755;
+  let srvs = List.map (make_server ?statedir ~dedup ~sockdir ~init_obj) servers in
+  let should_stop () =
+    !interrupted || (match stop with Some f -> f () | None -> false)
+  in
+  let finished = ref false in
+  while not !finished do
+    if should_stop () then finished := true
+    else begin
+      List.iter (fun s -> s.conns <- List.filter (fun c -> not c.closed) s.conns)
+        srvs;
+      let rds =
+        List.concat_map
+          (fun s -> s.listen_fd :: List.map (fun c -> c.fd) s.conns)
+          srvs
+      in
+      let wrs =
+        List.concat_map
+          (fun s ->
+            List.filter_map
+              (fun c -> if Buffer.length c.out > 0 then Some c.fd else None)
+              s.conns)
+          srvs
+      in
+      match Unix.select rds wrs [] 0.2 with
+      | readable, writable, _ ->
+        List.iter
+          (fun s ->
+            if List.memq s.listen_fd readable then accept_conn s;
+            List.iter
+              (fun c ->
+                if (not c.closed) && List.memq c.fd readable then read_conn s c)
+              s.conns;
+            List.iter
+              (fun c ->
+                if
+                  (not c.closed) && List.memq c.fd writable
+                  && Buffer.length c.out > 0
+                then write_conn c)
+              s.conns)
+          srvs
+      | exception Unix.Unix_error (EINTR, _, _) -> ()
+    end
+  done;
+  List.iter
+    (fun s ->
+      List.iter close_conn s.conns;
+      (try Unix.close s.listen_fd with Unix.Unix_error _ -> ());
+      try Unix.unlink (sockpath ~sockdir s.sid) with Unix.Unix_error _ -> ())
+    srvs

@@ -1,0 +1,39 @@
+(** The networked register server: a single-threaded [select] event
+    loop hosting one or more {!Server_core} instances behind Unix-domain
+    stream sockets.
+
+    Each hosted server [i] listens on [sockdir/server-i.sock] and speaks
+    the {!Wire} protocol: [Hello]/[Welcome] on connect, [Request] →
+    [Response] (the request's {!Sb_sim.Rmwdesc.t} is applied through the
+    same interpreter the simulator uses), and [Stats_query] → [Stats]
+    as a live counters endpoint.
+
+    With [statedir], object state and incarnation are persisted
+    (atomically, temp + rename) after every mutating RMW; a daemon
+    restarted over a persisted state recovers into a fresh incarnation,
+    exactly like [Recover_server] in the simulated transport.  Killing
+    the process loses the at-most-once table — the fault model of the
+    paper's crash-recoverable base objects. *)
+
+val sockpath : sockdir:string -> int -> string
+(** [sockdir/server-<i>.sock] — where server [i] listens. *)
+
+val statefile : statedir:string -> int -> string
+(** [statedir/server-<i>.state] — where server [i] persists. *)
+
+val run :
+  ?dedup:bool ->
+  ?statedir:string ->
+  ?stop:(unit -> bool) ->
+  sockdir:string ->
+  servers:int list ->
+  init_obj:(int -> Sb_storage.Objstate.t) ->
+  unit ->
+  unit
+(** Serve the given server ids until SIGTERM/SIGINT (or [stop] returns
+    true, polled between select rounds).  [servers = [0; ...; n-1]]
+    hosts a whole cluster in one process; [servers = [i]] is one daemon
+    of a multi-process deployment.  [init_obj] supplies the initial
+    object state when no persisted state exists.  [dedup] (default
+    true) arms the per-incarnation at-most-once table.  Sockets are
+    unlinked on the way out. *)

@@ -1,0 +1,577 @@
+open Effect.Deep
+module R = Sb_sim.Runtime
+module Trace = Sb_sim.Trace
+module D = Sb_sim.Rmwdesc
+module Mailbox = Client_core.Mailbox
+module Rt = Client_core.Retransmit
+
+type config = {
+  n : int;
+  f : int;
+  sockdir : string;
+  rto_ms : int;
+  max_attempts : int;
+  reconnect_ms : int;
+  sample_every_ms : int;
+  deadline_ms : int;
+  think_ms : int;
+}
+
+let default_config ~n ~f ~sockdir =
+  {
+    n;
+    f;
+    sockdir;
+    rto_ms = 100;
+    max_attempts = 0;
+    reconnect_ms = 50;
+    sample_every_ms = 20;
+    deadline_ms = 120_000;
+    think_ms = 0;
+  }
+
+type sample = { at_ms : float; total_bits : int }
+
+type report = {
+  trace : Trace.t;
+  ops_invoked : int;
+  ops_completed : int;
+  wall_ms : float;
+  latencies_ms : float list;  (* completion order *)
+  samples : sample list;  (* chronological *)
+  final_stats : Wire.stats list;
+  desc_log : D.t list;  (* trigger order *)
+  retransmissions : int;
+  reconnects : int;
+  recoveries_observed : int;
+  peak_sampled_bits : int;
+  timed_out : bool;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Engine state                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type fiber_outcome = Done of bytes option | Blocked
+
+type parked = {
+  w_tickets : int list;
+  w_quorum : int;
+  w_k : ((int * R.resp) list, fiber_outcome) continuation;
+}
+
+type client = {
+  cid : int;
+  mutable queue : Trace.op_kind list;
+  mutable waiting : parked option;
+  mutable current_op : R.op option;
+  mutable op_start : float;
+  mutable ready_at : float;  (* closed-loop pacing: next invocation time *)
+  c_prng : Sb_util.Prng.t;
+}
+
+type conn = { fd : Unix.file_descr; reader : Wire.Reader.t; out : Buffer.t }
+type connstate = Up of conn | Down of { mutable retry_at : float }
+
+type engine = {
+  cfg : config;
+  algorithm : R.algorithm;
+  clients : client array;
+  conns : connstate array;
+  responses : Mailbox.t;
+  timers : (int * bytes) Rt.t;  (* server id, encoded request frame *)
+  rt_cfg : Rt.config;
+  mutable next_ticket : int;
+  mutable next_op : int;
+  mutable lstep : int;  (* logical trace clock: bumps per event *)
+  tr : Trace.t;
+  start : float;
+  mutable desc_log : D.t list;  (* reversed *)
+  mutable latencies : float list;  (* reversed *)
+  mutable samples : sample list;  (* reversed *)
+  mutable next_sample_at : float;
+  last_stats : Wire.stats option array;
+  incarnation_seen : int option array;
+  mutable ops_invoked : int;
+  mutable ops_completed : int;
+  mutable retransmissions : int;
+  mutable reconnects : int;
+  connects : int array;
+  mutable recoveries_observed : int;
+}
+
+let now_ms eng = (Unix.gettimeofday () -. eng.start) *. 1000.0
+let now_ms_int eng = int_of_float (now_ms eng)
+
+let tick eng =
+  eng.lstep <- eng.lstep + 1;
+  eng.lstep
+
+(* ------------------------------------------------------------------ *)
+(* Connections                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let try_connect eng s =
+  let path = Daemon.sockpath ~sockdir:eng.cfg.sockdir s in
+  let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+  match Unix.connect fd (ADDR_UNIX path) with
+  | () ->
+    Unix.set_nonblock fd;
+    let c = { fd; reader = Wire.Reader.create (); out = Buffer.create 256 } in
+    Buffer.add_bytes c.out (Wire.encode_msg (Wire.Hello { client = 0 }));
+    eng.conns.(s) <- Up c;
+    eng.connects.(s) <- eng.connects.(s) + 1;
+    if eng.connects.(s) > 1 then eng.reconnects <- eng.reconnects + 1
+  | exception Unix.Unix_error _ ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    eng.conns.(s) <-
+      Down { retry_at = now_ms eng +. float_of_int eng.cfg.reconnect_ms }
+
+let mark_down eng s =
+  (match eng.conns.(s) with
+   | Up c -> ( try Unix.close c.fd with Unix.Unix_error _ -> ())
+   | Down _ -> ());
+  eng.conns.(s) <-
+    Down { retry_at = now_ms eng +. float_of_int eng.cfg.reconnect_ms }
+
+let ensure_conns eng =
+  Array.iteri
+    (fun s st ->
+      match st with
+      | Up _ -> ()
+      | Down d -> if now_ms eng >= d.retry_at then try_connect eng s)
+    eng.conns
+
+(* A request towards a dead server waits in its retransmit timer;
+   resends go out once the connection is back. *)
+let send_to eng s frame =
+  match eng.conns.(s) with
+  | Up c -> Buffer.add_bytes c.out frame
+  | Down _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Fibers: the same Trigger/Await effects, interpreted over sockets     *)
+(* ------------------------------------------------------------------ *)
+
+let timer_live eng ticket (t : (int * bytes) Rt.timer) =
+  (not (Mailbox.has eng.responses ticket))
+  && Rt.within_budget eng.rt_cfg t
+  && eng.clients.(t.Rt.owner).current_op <> None
+
+let handle_fiber eng (cl : client) (op : R.op) (body : unit -> bytes option) :
+    fiber_outcome =
+  match_with body ()
+    {
+      retc = (fun r -> Done r);
+      exnc = raise;
+      effc =
+        (fun (type b) (eff : b Effect.t) ->
+          match eff with
+          | R.Trigger (obj, payload, _rmw, nature, desc) ->
+            Some
+              (fun (k : (b, fiber_outcome) continuation) ->
+                if obj < 0 || obj >= eng.cfg.n then
+                  invalid_arg "Sdk: no such server";
+                let d =
+                  match desc with
+                  | Some d -> d
+                  | None ->
+                    invalid_arg
+                      "Sdk: protocol triggered an RMW without a serializable \
+                       description"
+                in
+                let ticket = eng.next_ticket in
+                eng.next_ticket <- ticket + 1;
+                eng.desc_log <- d :: eng.desc_log;
+                let frame =
+                  Wire.encode_msg
+                    (Wire.Request
+                       {
+                         rq_client = cl.cid;
+                         rq_ticket = ticket;
+                         rq_op = op.R.id;
+                         rq_nature = nature;
+                         rq_payload = payload;
+                         rq_desc = d;
+                       })
+                in
+                Trace.add eng.tr
+                  (Rmw_trigger
+                     {
+                       time = tick eng;
+                       ticket;
+                       op = op.R.id;
+                       client = cl.cid;
+                       obj;
+                       payload_bits =
+                         Sb_storage.Accounting.bits_of_blocks payload;
+                     });
+                send_to eng obj frame;
+                Rt.arm eng.timers ~ticket ~owner:cl.cid
+                  ~deadline:(now_ms_int eng + eng.cfg.rto_ms)
+                  (obj, frame);
+                continue k ticket)
+          | R.Await (tickets, quorum) ->
+            Some
+              (fun (k : (b, fiber_outcome) continuation) ->
+                if Mailbox.satisfied eng.responses ~tickets ~quorum then begin
+                  let rs = Mailbox.responses_for eng.responses ~tickets in
+                  Rt.cancel_list eng.timers tickets;
+                  continue k rs
+                end
+                else begin
+                  cl.waiting <-
+                    Some { w_tickets = tickets; w_quorum = quorum; w_k = k };
+                  Blocked
+                end)
+          | _ -> None);
+    }
+
+let finish_op eng cl (op : R.op) result =
+  cl.current_op <- None;
+  eng.ops_completed <- eng.ops_completed + 1;
+  eng.latencies <- (now_ms eng -. cl.op_start) :: eng.latencies;
+  Trace.add eng.tr
+    (Return { time = tick eng; op = op.R.id; client = cl.cid; result })
+
+let rec invoke_next eng cl =
+  match cl.queue with
+  | [] -> ()
+  | kind :: rest ->
+    cl.queue <- rest;
+    let op = { R.id = eng.next_op; client = cl.cid; kind; rounds = 0 } in
+    eng.next_op <- eng.next_op + 1;
+    cl.current_op <- Some op;
+    cl.op_start <- now_ms eng;
+    eng.ops_invoked <- eng.ops_invoked + 1;
+    Trace.add eng.tr
+      (Invoke { time = tick eng; op = op.R.id; client = cl.cid; kind });
+    let ctx = { R.self = cl.cid; op; n_objects = eng.cfg.n; prng = cl.c_prng } in
+    let body () =
+      match kind with
+      | Trace.Write v ->
+        eng.algorithm.R.write ctx v;
+        None
+      | Trace.Read -> eng.algorithm.R.read ctx
+    in
+    (match handle_fiber eng cl op body with
+     | Done result ->
+       finish_op eng cl op result;
+       after_op eng cl
+     | Blocked -> ())
+
+(* Closed loop: the next operation follows the completed one, either
+   immediately or after the configured think time. *)
+and after_op eng cl =
+  if eng.cfg.think_ms = 0 then invoke_next eng cl
+  else cl.ready_at <- now_ms eng +. float_of_int eng.cfg.think_ms
+
+let resume eng cl =
+  match cl.waiting with
+  | None -> ()
+  | Some { w_tickets; w_quorum; w_k } ->
+    if Mailbox.satisfied eng.responses ~tickets:w_tickets ~quorum:w_quorum
+    then begin
+      cl.waiting <- None;
+      let rs = Mailbox.responses_for eng.responses ~tickets:w_tickets in
+      Rt.cancel_list eng.timers w_tickets;
+      match continue w_k rs with
+      | Done result ->
+        let op = match cl.current_op with Some op -> op | None -> assert false in
+        finish_op eng cl op result;
+        after_op eng cl
+      | Blocked -> ()
+    end
+
+let resume_runnable eng =
+  (* A single response can unblock several logical clients, and a
+     resumed fiber can itself satisfy others; iterate to fixpoint. *)
+  let progressed = ref true in
+  while !progressed do
+    progressed := false;
+    Array.iter
+      (fun cl ->
+        match cl.waiting with
+        | Some { w_tickets; w_quorum; _ }
+          when Mailbox.satisfied eng.responses ~tickets:w_tickets
+                 ~quorum:w_quorum ->
+          progressed := true;
+          resume eng cl
+        | _ -> ())
+      eng.clients
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Inbound frames                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let note_incarnation eng s inc =
+  (match eng.incarnation_seen.(s) with
+   | Some prev when inc > prev -> eng.recoveries_observed <- eng.recoveries_observed + 1
+   | _ -> ());
+  match eng.incarnation_seen.(s) with
+  | Some prev when prev >= inc -> ()
+  | _ -> eng.incarnation_seen.(s) <- Some inc
+
+let record_sample eng =
+  let all = Array.for_all Option.is_some eng.last_stats in
+  if all then begin
+    let total =
+      Array.fold_left
+        (fun acc st ->
+          match st with Some s -> acc + s.Wire.st_storage_bits | None -> acc)
+        0 eng.last_stats
+    in
+    eng.samples <- { at_ms = now_ms eng; total_bits = total } :: eng.samples
+  end
+
+let handle_inbound eng s (msg : Wire.msg) =
+  match msg with
+  | Wire.Welcome { server; incarnation } ->
+    if server = s then note_incarnation eng s incarnation
+  | Wire.Response rs ->
+    note_incarnation eng s rs.Wire.rs_incarnation;
+    Mailbox.record eng.responses ~ticket:rs.Wire.rs_ticket
+      ~obj:rs.Wire.rs_server rs.Wire.rs_resp;
+    Rt.cancel eng.timers rs.Wire.rs_ticket
+  | Wire.Stats st ->
+    eng.last_stats.(s) <- Some st;
+    note_incarnation eng s st.Wire.st_incarnation;
+    record_sample eng
+  | Wire.Hello _ | Wire.Request _ | Wire.Stats_query ->
+    (* Client-to-server traffic arriving at the client: drop the peer. *)
+    mark_down eng s
+
+let read_conn eng s c =
+  let buf = Bytes.create 65536 in
+  match Unix.read c.fd buf 0 (Bytes.length buf) with
+  | 0 -> mark_down eng s
+  | n ->
+    Wire.Reader.feed c.reader buf 0 n;
+    let rec drain () =
+      match eng.conns.(s) with
+      | Down _ -> ()
+      | Up _ -> (
+        match Wire.Reader.next c.reader with
+        | Ok None -> ()
+        | Ok (Some msg) ->
+          handle_inbound eng s msg;
+          drain ()
+        | Error _ -> mark_down eng s)
+    in
+    drain ()
+  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+  | exception Unix.Unix_error _ -> mark_down eng s
+
+let write_conn eng s c =
+  let pending = Buffer.to_bytes c.out in
+  match Unix.write c.fd pending 0 (Bytes.length pending) with
+  | n ->
+    Buffer.clear c.out;
+    if n < Bytes.length pending then
+      Buffer.add_subbytes c.out pending n (Bytes.length pending - n)
+  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+  | exception Unix.Unix_error _ -> mark_down eng s
+
+(* ------------------------------------------------------------------ *)
+(* The driver loop                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let all_done eng =
+  Array.for_all
+    (fun cl -> cl.queue = [] && cl.current_op = None)
+    eng.clients
+
+let fire_retransmits eng =
+  List.iter
+    (fun ticket ->
+      match Rt.find eng.timers ticket with
+      | None -> ()
+      | Some t ->
+        Rt.backoff eng.rt_cfg t ~now:(now_ms_int eng);
+        eng.retransmissions <- eng.retransmissions + 1;
+        let s, frame = t.Rt.req in
+        send_to eng s frame)
+    (Rt.due eng.timers ~now:(now_ms_int eng) ~live:(timer_live eng))
+
+let fire_sampling eng =
+  if eng.cfg.sample_every_ms > 0 && now_ms eng >= eng.next_sample_at then begin
+    eng.next_sample_at <-
+      now_ms eng +. float_of_int eng.cfg.sample_every_ms;
+    Array.fill eng.last_stats 0 (Array.length eng.last_stats) None;
+    let q = Wire.encode_msg Wire.Stats_query in
+    Array.iteri (fun s _ -> send_to eng s q) eng.conns
+  end
+
+let select_round eng timeout =
+  let rds = ref [] and wrs = ref [] in
+  Array.iter
+    (fun st ->
+      match st with
+      | Up c ->
+        rds := c.fd :: !rds;
+        if Buffer.length c.out > 0 then wrs := c.fd :: !wrs
+      | Down _ -> ())
+    eng.conns;
+  match Unix.select !rds !wrs [] timeout with
+  | readable, writable, _ ->
+    Array.iteri
+      (fun s st ->
+        match st with
+        | Up c ->
+          if List.memq c.fd writable && Buffer.length c.out > 0 then
+            write_conn eng s c;
+          (match eng.conns.(s) with
+           | Up c when List.memq c.fd readable -> read_conn eng s c
+           | _ -> ())
+        | Down _ -> ())
+      eng.conns
+  | exception Unix.Unix_error (EINTR, _, _) -> ()
+
+let create ~algorithm ~seed ~workload cfg =
+  let root = Sb_util.Prng.create seed in
+  {
+    cfg;
+    algorithm;
+    clients =
+      Array.mapi
+        (fun i ops ->
+          {
+            cid = i;
+            queue = ops;
+            waiting = None;
+            current_op = None;
+            op_start = 0.0;
+            ready_at = 0.0;
+            c_prng = Sb_util.Prng.split root;
+          })
+        workload;
+    conns = Array.init cfg.n (fun _ -> Down { retry_at = 0.0 });
+    responses = Mailbox.create ();
+    timers = Rt.create ();
+    rt_cfg = { Rt.rto = cfg.rto_ms; max_attempts = cfg.max_attempts };
+    next_ticket = 1;
+    next_op = 1;
+    lstep = 0;
+    tr = Trace.create ();
+    start = Unix.gettimeofday ();
+    desc_log = [];
+    latencies = [];
+    samples = [];
+    next_sample_at = 0.0;
+    last_stats = Array.make cfg.n None;
+    incarnation_seen = Array.make cfg.n None;
+    ops_invoked = 0;
+    ops_completed = 0;
+    retransmissions = 0;
+    reconnects = 0;
+    connects = Array.make cfg.n 0;
+    recoveries_observed = 0;
+  }
+
+(* A quiescent stats round over fresh connections; used for the final
+   report and exposed for post-run floor checks. *)
+let fetch_stats ?(timeout_ms = 5000) ~sockdir ~servers () =
+  let deadline = Unix.gettimeofday () +. (float_of_int timeout_ms /. 1000.0) in
+  List.filter_map
+    (fun s ->
+      let path = Daemon.sockpath ~sockdir s in
+      let rec attempt () =
+        if Unix.gettimeofday () > deadline then None
+        else
+          let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+          match
+            Unix.connect fd (ADDR_UNIX path);
+            let frame = Wire.encode_msg Wire.Stats_query in
+            let _ = Unix.write fd frame 0 (Bytes.length frame) in
+            let reader = Wire.Reader.create () in
+            let buf = Bytes.create 65536 in
+            let rec read_loop () =
+              match Wire.Reader.next reader with
+              | Ok (Some (Wire.Stats st)) -> Some st
+              | Ok (Some _) -> read_loop ()
+              | Ok None ->
+                if Unix.gettimeofday () > deadline then None
+                else begin
+                  let n = Unix.read fd buf 0 (Bytes.length buf) in
+                  if n = 0 then None
+                  else begin
+                    Wire.Reader.feed reader buf 0 n;
+                    read_loop ()
+                  end
+                end
+              | Error _ -> None
+            in
+            read_loop ()
+          with
+          | r ->
+            (try Unix.close fd with Unix.Unix_error _ -> ());
+            (match r with
+             | Some _ -> r
+             | None -> if Unix.gettimeofday () > deadline then None else attempt ())
+          | exception Unix.Unix_error _ ->
+            (try Unix.close fd with Unix.Unix_error _ -> ());
+            if Unix.gettimeofday () > deadline then None
+            else begin
+              Unix.sleepf 0.02;
+              attempt ()
+            end
+      in
+      attempt ())
+    servers
+
+let invoke_due eng =
+  if eng.cfg.think_ms > 0 then
+    Array.iter
+      (fun cl ->
+        if cl.current_op = None && cl.queue <> [] && now_ms eng >= cl.ready_at
+        then invoke_next eng cl)
+      eng.clients
+
+let run_workload ~algorithm ~seed ~workload cfg =
+  let eng = create ~algorithm ~seed ~workload cfg in
+  ensure_conns eng;
+  (* Invoke every client's first operation, in cid order — the same
+     deterministic start the simulated transports use. *)
+  Array.iter (fun cl -> invoke_next eng cl) eng.clients;
+  let timed_out = ref false in
+  while (not (all_done eng)) && not !timed_out do
+    if now_ms eng > float_of_int eng.cfg.deadline_ms then timed_out := true
+    else begin
+      ensure_conns eng;
+      invoke_due eng;
+      fire_retransmits eng;
+      fire_sampling eng;
+      select_round eng 0.02;
+      resume_runnable eng
+    end
+  done;
+  let wall_ms = now_ms eng in
+  Array.iter
+    (fun st ->
+      match st with
+      | Up c -> ( try Unix.close c.fd with Unix.Unix_error _ -> ())
+      | Down _ -> ())
+    eng.conns;
+  let final_stats =
+    fetch_stats ~timeout_ms:5000 ~sockdir:eng.cfg.sockdir
+      ~servers:(List.init eng.cfg.n Fun.id) ()
+  in
+  let peak_sampled_bits =
+    List.fold_left (fun acc s -> max acc s.total_bits) 0 eng.samples
+  in
+  {
+    trace = eng.tr;
+    ops_invoked = eng.ops_invoked;
+    ops_completed = eng.ops_completed;
+    wall_ms;
+    latencies_ms = List.rev eng.latencies;
+    samples = List.rev eng.samples;
+    final_stats;
+    desc_log = List.rev eng.desc_log;
+    retransmissions = eng.retransmissions;
+    reconnects = eng.reconnects;
+    recoveries_observed = eng.recoveries_observed;
+    peak_sampled_bits;
+    timed_out = !timed_out;
+  }

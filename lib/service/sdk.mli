@@ -1,0 +1,78 @@
+(** The socket client: runs the unmodified register protocols of
+    [Sb_registers] against a live {!Daemon} cluster.
+
+    Protocol code performs the same [Trigger]/[Await] effects it
+    performs under the simulators; this engine interprets them over
+    Unix-domain sockets — [Trigger] encodes the RMW's
+    {!Sb_sim.Rmwdesc.t} into a {!Wire} request and arms a
+    retransmission timer ({!Client_core.Retransmit}, shared with the
+    simulated transport), [Await] parks the client fiber until a quorum
+    of responses is in its {!Client_core.Mailbox}.  Dead servers are
+    ridden out by retransmission and reconnection; recoveries are
+    observed through incarnation bumps in responses.
+
+    Determinism mirrors [Sb_msgnet.Mp_runtime]: one root PRNG split per
+    client in cid order, operation ids from 1 at invocation, tickets
+    from 1 at trigger — so a single-client seeded run triggers the
+    identical description sequence on both transports (checked by the
+    parity test in [test_service.ml]). *)
+
+type config = {
+  n : int;
+  f : int;
+  sockdir : string;
+  rto_ms : int;            (** Initial retransmission timeout. *)
+  max_attempts : int;      (** 0 = retry forever (rides out crashes). *)
+  reconnect_ms : int;      (** Delay before re-dialling a dead server. *)
+  sample_every_ms : int;   (** Storage-stats sampling period; 0 = off. *)
+  deadline_ms : int;       (** Abort the run after this long. *)
+  think_ms : int;          (** Closed-loop pacing: delay before each
+                               client's next operation; 0 = back-to-back. *)
+}
+
+val default_config : n:int -> f:int -> sockdir:string -> config
+
+type sample = { at_ms : float; total_bits : int }
+(** Total storage bits across all servers at one sampling instant
+    (servers that missed the sampling round contribute their last
+    reply; rounds with any server missing are skipped). *)
+
+type report = {
+  trace : Sb_sim.Trace.t;
+      (** Invoke/Return/Rmw_trigger events on a logical clock, ready
+          for [Sb_spec.History.of_trace] and the regularity checkers. *)
+  ops_invoked : int;
+  ops_completed : int;
+  wall_ms : float;
+  latencies_ms : float list;  (** Per completed operation, in completion order. *)
+  samples : sample list;  (** Chronological. *)
+  final_stats : Wire.stats list;
+      (** A quiescent stats round after the run (fresh connections). *)
+  desc_log : Sb_sim.Rmwdesc.t list;
+      (** Every triggered description, in trigger order — the protocol
+          decisions, comparable across transports. *)
+  retransmissions : int;
+  reconnects : int;
+  recoveries_observed : int;  (** Server incarnation bumps seen. *)
+  peak_sampled_bits : int;
+  timed_out : bool;  (** The deadline cut the run short. *)
+}
+
+val run_workload :
+  algorithm:Sb_sim.Runtime.algorithm ->
+  seed:int ->
+  workload:Sb_sim.Trace.op_kind list array ->
+  config ->
+  report
+(** Drive the closed-loop workload (one fiber per array slot, next
+    operation invoked as soon as the previous returns) to completion
+    against the cluster reachable under [config.sockdir]. *)
+
+val fetch_stats :
+  ?timeout_ms:int -> sockdir:string -> servers:int list -> unit ->
+  Wire.stats list
+(** One blocking stats round over fresh connections, retrying each
+    server until [timeout_ms] (default 5000); servers that never answer
+    are omitted.  This is how the load generator checks the
+    post-quiescence GC floor and how the CI smoke test asserts that
+    killed servers were re-admitted. *)

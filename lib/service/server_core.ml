@@ -1,0 +1,61 @@
+module Objstate = Sb_storage.Objstate
+module D = Sb_sim.Rmwdesc
+
+type t = {
+  mutable state : Objstate.t;
+  mutable incarnation : int;
+  dedup : bool;
+  applied : (int * int, D.resp) Hashtbl.t;
+  mutable dedup_hits : int;
+  mutable applied_count : int;
+  mutable max_bits : int;
+}
+
+type outcome = {
+  resp : D.resp;
+  before : Objstate.t;
+  after : Objstate.t;
+  dedup_hit : bool;
+}
+
+let create ?(dedup = true) ?(incarnation = 1) initial =
+  {
+    state = initial;
+    incarnation;
+    dedup;
+    applied = Hashtbl.create 16;
+    dedup_hits = 0;
+    applied_count = 0;
+    max_bits = Objstate.bits initial;
+  }
+
+let state t = t.state
+let incarnation t = t.incarnation
+let storage_bits t = Objstate.bits t.state
+let max_bits t = t.max_bits
+let dedup_hits t = t.dedup_hits
+let applied_count t = t.applied_count
+
+let handle t ~client ~ticket ~nature rmw =
+  let dedupable = t.dedup && nature <> `Readonly in
+  match
+    if dedupable then Hashtbl.find_opt t.applied (client, ticket) else None
+  with
+  | Some resp ->
+    t.dedup_hits <- t.dedup_hits + 1;
+    { resp; before = t.state; after = t.state; dedup_hit = true }
+  | None ->
+    let before = t.state in
+    let after, resp = rmw before in
+    t.state <- after;
+    t.applied_count <- t.applied_count + 1;
+    if dedupable then Hashtbl.replace t.applied (client, ticket) resp;
+    let bits = Objstate.bits after in
+    if bits > t.max_bits then t.max_bits <- bits;
+    { resp; before; after; dedup_hit = false }
+
+let crash t = Hashtbl.reset t.applied
+
+let recover t =
+  t.incarnation <- t.incarnation + 1;
+  t.max_bits <- Objstate.bits t.state

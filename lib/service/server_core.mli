@@ -1,0 +1,56 @@
+(** Transport-agnostic server side of the register service.
+
+    A server is a base object with an incarnation counter and a
+    per-incarnation at-most-once table, exactly the fault model of
+    [Sb_msgnet.Mp_runtime] (which is implemented on top of this module)
+    and of the socket daemons in {!Daemon}.  The object state is
+    durable across a crash; the at-most-once table is volatile — the
+    dedup key is morally [(client, ticket, incarnation)] — so RMWs
+    re-applied across a recovery must be idempotent, which the register
+    protocols guarantee. *)
+
+type t
+
+type outcome = {
+  resp : Sb_sim.Rmwdesc.resp;
+  before : Sb_storage.Objstate.t;
+  after : Sb_storage.Objstate.t;   (** Equal to [before] on a dedup hit. *)
+  dedup_hit : bool;
+      (** The at-most-once table answered; the RMW was not re-applied. *)
+}
+
+val create :
+  ?dedup:bool -> ?incarnation:int -> Sb_storage.Objstate.t -> t
+(** A server holding the given initial object state.  [dedup] (default
+    true) arms the at-most-once table; [incarnation] defaults to 1 (a
+    daemon restarting from a persisted state passes the stored
+    incarnation + 1). *)
+
+val handle :
+  t ->
+  client:int ->
+  ticket:int ->
+  nature:[ `Mutating | `Readonly | `Merge ] ->
+  Sb_sim.Rmwdesc.rmw ->
+  outcome
+(** Serve one request: either replay the recorded response for this
+    [(client, ticket)] (a retransmitted or duplicated request) or apply
+    the RMW atomically and record its response.  Read-only RMWs are
+    never recorded — they are harmless to re-apply and would bloat the
+    table. *)
+
+val crash : t -> unit
+(** Lose the volatile state (the at-most-once table); the object state
+    survives. *)
+
+val recover : t -> unit
+(** Begin a fresh incarnation: bump the counter and restart the
+    high-water storage mark.  {!crash} must have been observed first by
+    the caller's bookkeeping; this module does not track liveness. *)
+
+val state : t -> Sb_storage.Objstate.t
+val incarnation : t -> int
+val storage_bits : t -> int
+val max_bits : t -> int
+val dedup_hits : t -> int
+val applied_count : t -> int

@@ -1,0 +1,422 @@
+open Sb_storage
+module D = Sb_sim.Rmwdesc
+
+let version = 1
+let max_frame_bytes = 64 * 1024 * 1024
+
+type nature = [ `Mutating | `Readonly | `Merge ]
+
+type request = {
+  rq_client : int;
+  rq_ticket : int;
+  rq_op : int;
+  rq_nature : nature;
+  rq_payload : Block.t list;
+  rq_desc : D.t;
+}
+
+type response = {
+  rs_ticket : int;
+  rs_op : int;
+  rs_server : int;
+  rs_incarnation : int;
+  rs_dedup : bool;
+  rs_resp : D.resp;
+}
+
+type stats = {
+  st_server : int;
+  st_incarnation : int;
+  st_storage_bits : int;
+  st_max_bits : int;
+  st_dedup_hits : int;
+  st_applied : int;
+}
+
+type msg =
+  | Hello of { client : int }
+  | Welcome of { server : int; incarnation : int }
+  | Request of request
+  | Response of response
+  | Stats_query
+  | Stats of stats
+
+exception Decode of string
+
+(* ------------------------------------------------------------------ *)
+(* Primitive writers (big-endian) over a Buffer                        *)
+(* ------------------------------------------------------------------ *)
+
+let w_u8 b v = Buffer.add_uint8 b (v land 0xff)
+let w_u32 b v = Buffer.add_int32_be b (Int32.of_int v)
+let w_int b v = Buffer.add_int64_be b (Int64.of_int v)
+let w_bool b v = w_u8 b (if v then 1 else 0)
+
+let w_bytes b s =
+  w_u32 b (Bytes.length s);
+  Buffer.add_bytes b s
+
+let w_list w b xs =
+  w_u32 b (List.length xs);
+  List.iter (w b) xs
+
+let w_ts b (ts : Timestamp.t) =
+  w_int b ts.num;
+  w_int b ts.client
+
+let w_block b (blk : Block.t) =
+  w_int b blk.source;
+  w_int b blk.index;
+  w_bytes b blk.data
+
+let w_chunk b (c : Chunk.t) =
+  w_ts b c.ts;
+  w_block b c.block
+
+let w_objstate b (st : Objstate.t) =
+  w_ts b st.stored_ts;
+  w_list w_chunk b st.vp;
+  w_list w_chunk b st.vf
+
+let w_nature b = function
+  | `Mutating -> w_u8 b 0
+  | `Readonly -> w_u8 b 1
+  | `Merge -> w_u8 b 2
+
+let w_resp b = function
+  | D.Ack -> w_u8 b 0
+  | D.Snap st ->
+    w_u8 b 1;
+    w_objstate b st
+
+let w_desc b (d : D.t) =
+  match d with
+  | D.Snapshot -> w_u8 b 0
+  | D.Abd_store c ->
+    w_u8 b 1;
+    w_chunk b c
+  | D.Lww_store c ->
+    w_u8 b 2;
+    w_chunk b c
+  | D.Safe_update c ->
+    w_u8 b 3;
+    w_chunk b c
+  | D.Adaptive_update { replicate; eviction; trim; k; piece; replica_pieces; ts; stored_ts }
+    ->
+    w_u8 b 4;
+    w_bool b replicate;
+    w_u8 b (match eviction with D.Barrier -> 0 | D.Own_ts -> 1);
+    (match trim with
+    | D.Keep_all -> w_u8 b 0
+    | D.Keep_newest delta ->
+      w_u8 b 1;
+      w_int b delta);
+    w_int b k;
+    w_block b piece;
+    w_list w_block b replica_pieces;
+    w_ts b ts;
+    w_ts b stored_ts
+  | D.Adaptive_gc { piece; ts } ->
+    w_u8 b 5;
+    w_block b piece;
+    w_ts b ts
+  | D.Rateless_update { pieces; ts; stored_ts } ->
+    w_u8 b 6;
+    w_list w_block b pieces;
+    w_ts b ts;
+    w_ts b stored_ts
+  | D.Rateless_gc { pieces; ts } ->
+    w_u8 b 7;
+    w_list w_block b pieces;
+    w_ts b ts
+
+(* ------------------------------------------------------------------ *)
+(* Primitive readers                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type cursor = { buf : bytes; mutable pos : int; stop : int }
+
+let need c n =
+  if c.pos + n > c.stop then raise (Decode "truncated frame")
+
+let r_u8 c =
+  need c 1;
+  let v = Bytes.get_uint8 c.buf c.pos in
+  c.pos <- c.pos + 1;
+  v
+
+let r_u32 c =
+  need c 4;
+  let v = Int32.to_int (Bytes.get_int32_be c.buf c.pos) in
+  c.pos <- c.pos + 4;
+  if v < 0 then raise (Decode "negative length");
+  v
+
+let r_int c =
+  need c 8;
+  let v = Int64.to_int (Bytes.get_int64_be c.buf c.pos) in
+  c.pos <- c.pos + 8;
+  v
+
+let r_bool c = match r_u8 c with 0 -> false | 1 -> true | _ -> raise (Decode "bad bool")
+
+let r_bytes c =
+  let n = r_u32 c in
+  need c n;
+  let s = Bytes.sub c.buf c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let r_list r c =
+  let n = r_u32 c in
+  if n > c.stop - c.pos then raise (Decode "list longer than frame");
+  List.init n (fun _ -> r c)
+
+let r_ts c =
+  let num = r_int c in
+  let client = r_int c in
+  Timestamp.make ~num ~client
+
+let r_block c =
+  let source = r_int c in
+  let index = r_int c in
+  let data = r_bytes c in
+  Block.v ~source ~index data
+
+let r_chunk c =
+  let ts = r_ts c in
+  let block = r_block c in
+  Chunk.v ~ts block
+
+let r_objstate c =
+  let stored_ts = r_ts c in
+  let vp = r_list r_chunk c in
+  let vf = r_list r_chunk c in
+  Objstate.with_stored_ts (Objstate.init ~vp ~vf ()) stored_ts
+
+let r_nature c : nature =
+  match r_u8 c with
+  | 0 -> `Mutating
+  | 1 -> `Readonly
+  | 2 -> `Merge
+  | n -> raise (Decode (Printf.sprintf "bad nature tag %d" n))
+
+let r_resp c =
+  match r_u8 c with
+  | 0 -> D.Ack
+  | 1 -> D.Snap (r_objstate c)
+  | n -> raise (Decode (Printf.sprintf "bad resp tag %d" n))
+
+let r_desc c =
+  match r_u8 c with
+  | 0 -> D.Snapshot
+  | 1 -> D.Abd_store (r_chunk c)
+  | 2 -> D.Lww_store (r_chunk c)
+  | 3 -> D.Safe_update (r_chunk c)
+  | 4 ->
+    let replicate = r_bool c in
+    let eviction =
+      match r_u8 c with
+      | 0 -> D.Barrier
+      | 1 -> D.Own_ts
+      | n -> raise (Decode (Printf.sprintf "bad eviction tag %d" n))
+    in
+    let trim =
+      match r_u8 c with
+      | 0 -> D.Keep_all
+      | 1 -> D.Keep_newest (r_int c)
+      | n -> raise (Decode (Printf.sprintf "bad trim tag %d" n))
+    in
+    let k = r_int c in
+    let piece = r_block c in
+    let replica_pieces = r_list r_block c in
+    let ts = r_ts c in
+    let stored_ts = r_ts c in
+    D.Adaptive_update
+      { replicate; eviction; trim; k; piece; replica_pieces; ts; stored_ts }
+  | 5 ->
+    let piece = r_block c in
+    let ts = r_ts c in
+    D.Adaptive_gc { piece; ts }
+  | 6 ->
+    let pieces = r_list r_block c in
+    let ts = r_ts c in
+    let stored_ts = r_ts c in
+    D.Rateless_update { pieces; ts; stored_ts }
+  | 7 ->
+    let pieces = r_list r_block c in
+    let ts = r_ts c in
+    D.Rateless_gc { pieces; ts }
+  | n -> raise (Decode (Printf.sprintf "bad desc tag %d" n))
+
+(* ------------------------------------------------------------------ *)
+(* Messages                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let w_msg b = function
+  | Hello { client } ->
+    w_u8 b 1;
+    w_int b client
+  | Welcome { server; incarnation } ->
+    w_u8 b 2;
+    w_int b server;
+    w_int b incarnation
+  | Request { rq_client; rq_ticket; rq_op; rq_nature; rq_payload; rq_desc } ->
+    w_u8 b 3;
+    w_int b rq_client;
+    w_int b rq_ticket;
+    w_int b rq_op;
+    w_nature b rq_nature;
+    w_list w_block b rq_payload;
+    w_desc b rq_desc
+  | Response { rs_ticket; rs_op; rs_server; rs_incarnation; rs_dedup; rs_resp } ->
+    w_u8 b 4;
+    w_int b rs_ticket;
+    w_int b rs_op;
+    w_int b rs_server;
+    w_int b rs_incarnation;
+    w_bool b rs_dedup;
+    w_resp b rs_resp
+  | Stats_query -> w_u8 b 5
+  | Stats { st_server; st_incarnation; st_storage_bits; st_max_bits; st_dedup_hits; st_applied }
+    ->
+    w_u8 b 6;
+    w_int b st_server;
+    w_int b st_incarnation;
+    w_int b st_storage_bits;
+    w_int b st_max_bits;
+    w_int b st_dedup_hits;
+    w_int b st_applied
+
+let r_msg c =
+  match r_u8 c with
+  | 1 -> Hello { client = r_int c }
+  | 2 ->
+    let server = r_int c in
+    let incarnation = r_int c in
+    Welcome { server; incarnation }
+  | 3 ->
+    let rq_client = r_int c in
+    let rq_ticket = r_int c in
+    let rq_op = r_int c in
+    let rq_nature = r_nature c in
+    let rq_payload = r_list r_block c in
+    let rq_desc = r_desc c in
+    Request { rq_client; rq_ticket; rq_op; rq_nature; rq_payload; rq_desc }
+  | 4 ->
+    let rs_ticket = r_int c in
+    let rs_op = r_int c in
+    let rs_server = r_int c in
+    let rs_incarnation = r_int c in
+    let rs_dedup = r_bool c in
+    let rs_resp = r_resp c in
+    Response { rs_ticket; rs_op; rs_server; rs_incarnation; rs_dedup; rs_resp }
+  | 5 -> Stats_query
+  | 6 ->
+    let st_server = r_int c in
+    let st_incarnation = r_int c in
+    let st_storage_bits = r_int c in
+    let st_max_bits = r_int c in
+    let st_dedup_hits = r_int c in
+    let st_applied = r_int c in
+    Stats { st_server; st_incarnation; st_storage_bits; st_max_bits; st_dedup_hits; st_applied }
+  | n -> raise (Decode (Printf.sprintf "bad message tag %d" n))
+
+let frame_body w_payload v =
+  let body = Buffer.create 256 in
+  w_u8 body version;
+  w_payload body v;
+  let framed = Buffer.create (Buffer.length body + 4) in
+  w_u32 framed (Buffer.length body);
+  Buffer.add_buffer framed body;
+  Buffer.to_bytes framed
+
+let decode_body r_payload buf =
+  let c = { buf; pos = 0; stop = Bytes.length buf } in
+  match
+    let v = r_u8 c in
+    if v <> version then
+      raise (Decode (Printf.sprintf "wire version %d, expected %d" v version));
+    let m = r_payload c in
+    if c.pos <> c.stop then raise (Decode "trailing bytes in frame");
+    m
+  with
+  | m -> Ok m
+  | exception Decode e -> Error e
+
+let encode_msg m = frame_body w_msg m
+let decode_msg buf = decode_body r_msg buf
+
+type persisted = { p_incarnation : int; p_state : Objstate.t }
+
+let w_persisted b { p_incarnation; p_state } =
+  w_u8 b 7;
+  w_int b p_incarnation;
+  w_objstate b p_state
+
+let r_persisted c =
+  match r_u8 c with
+  | 7 ->
+    let p_incarnation = r_int c in
+    let p_state = r_objstate c in
+    { p_incarnation; p_state }
+  | n -> raise (Decode (Printf.sprintf "bad state tag %d" n))
+
+let encode_persisted p = frame_body w_persisted p
+let decode_persisted buf = decode_body r_persisted buf
+
+(* ------------------------------------------------------------------ *)
+(* Incremental frame reader                                            *)
+(* ------------------------------------------------------------------ *)
+
+module Reader = struct
+  type t = { mutable acc : Bytes.t; mutable len : int }
+
+  let create () = { acc = Bytes.create 4096; len = 0 }
+
+  let feed t src off n =
+    if n > 0 then begin
+      let cap = Bytes.length t.acc in
+      if t.len + n > cap then begin
+        let cap' = max (t.len + n) (2 * cap) in
+        let acc' = Bytes.create cap' in
+        Bytes.blit t.acc 0 acc' 0 t.len;
+        t.acc <- acc'
+      end;
+      Bytes.blit src off t.acc t.len n;
+      t.len <- t.len + n
+    end
+
+  let next t =
+    if t.len < 4 then Ok None
+    else begin
+      let frame = Int32.to_int (Bytes.get_int32_be t.acc 0) in
+      if frame < 1 || frame > max_frame_bytes then
+        Error (Printf.sprintf "bad frame length %d" frame)
+      else if t.len < 4 + frame then Ok None
+      else begin
+        let body = Bytes.sub t.acc 4 frame in
+        let rest = t.len - 4 - frame in
+        Bytes.blit t.acc (4 + frame) t.acc 0 rest;
+        t.len <- rest;
+        match decode_msg body with Ok m -> Ok (Some m) | Error e -> Error e
+      end
+    end
+end
+
+let equal_msg (a : msg) (b : msg) = a = b
+
+let pp_msg ppf = function
+  | Hello { client } -> Format.fprintf ppf "hello(client=%d)" client
+  | Welcome { server; incarnation } ->
+    Format.fprintf ppf "welcome(server=%d inc=%d)" server incarnation
+  | Request r ->
+    Format.fprintf ppf "request(client=%d ticket=%d op=%d %a)" r.rq_client
+      r.rq_ticket r.rq_op D.pp r.rq_desc
+  | Response r ->
+    Format.fprintf ppf "response(ticket=%d op=%d server=%d inc=%d dedup=%b)"
+      r.rs_ticket r.rs_op r.rs_server r.rs_incarnation r.rs_dedup
+  | Stats_query -> Format.fprintf ppf "stats-query"
+  | Stats s ->
+    Format.fprintf ppf "stats(server=%d inc=%d bits=%d max=%d)" s.st_server
+      s.st_incarnation s.st_storage_bits s.st_max_bits

@@ -1,0 +1,87 @@
+(** Versioned, length-prefixed binary wire codec for the register
+    service.
+
+    Every frame on a connection is [u32 length] (big endian) followed by
+    [length] body bytes; the body starts with a one-byte protocol
+    {!version} and a one-byte message tag.  Integers are 8-byte
+    big-endian two's complement; byte strings and lists are
+    [u32]-counted.  The payload vocabulary is exactly the simulator's:
+    requests carry an {!Sb_sim.Rmwdesc.t} (the serializable form of the
+    RMW closure a register triggers, mirroring
+    [Sb_msgnet.Mp_runtime.message]), responses carry an
+    {!Sb_sim.Rmwdesc.resp}.  The property tests in [test_service.ml]
+    round-trip all of these against randomly generated values. *)
+
+val version : int
+val max_frame_bytes : int
+
+type nature = [ `Mutating | `Readonly | `Merge ]
+
+type request = {
+  rq_client : int;
+  rq_ticket : int;
+  rq_op : int;
+  rq_nature : nature;
+  rq_payload : Sb_storage.Block.t list;
+      (** The declared code-block payload (Definition 2's channel
+          contribution), also recoverable from [rq_desc]. *)
+  rq_desc : Sb_sim.Rmwdesc.t;
+}
+
+type response = {
+  rs_ticket : int;
+  rs_op : int;
+  rs_server : int;
+  rs_incarnation : int;
+      (** The serving incarnation — lets clients observe recoveries. *)
+  rs_dedup : bool;
+      (** The at-most-once table answered; the RMW was not re-applied. *)
+  rs_resp : Sb_sim.Rmwdesc.resp;
+}
+
+type stats = {
+  st_server : int;
+  st_incarnation : int;
+  st_storage_bits : int;  (** Definition 2 block bits stored right now. *)
+  st_max_bits : int;      (** High-water mark since this incarnation began. *)
+  st_dedup_hits : int;
+  st_applied : int;       (** RMWs applied (dedup hits excluded). *)
+}
+
+type msg =
+  | Hello of { client : int }
+  | Welcome of { server : int; incarnation : int }
+  | Request of request
+  | Response of response
+  | Stats_query
+  | Stats of stats
+
+val encode_msg : msg -> bytes
+(** The full frame, length prefix included — write it verbatim. *)
+
+val decode_msg : bytes -> (msg, string) result
+(** Decodes a frame {e body} (the bytes after the length prefix). *)
+
+(** Durable server state, persisted by [Daemon] across restarts. *)
+type persisted = { p_incarnation : int; p_state : Sb_storage.Objstate.t }
+
+val encode_persisted : persisted -> bytes
+val decode_persisted : bytes -> (persisted, string) result
+
+(** Incremental frame extraction over a byte stream. *)
+module Reader : sig
+  type t
+
+  val create : unit -> t
+
+  val feed : t -> bytes -> int -> int -> unit
+  (** [feed t buf off len] appends [len] bytes of [buf] at [off]. *)
+
+  val next : t -> (msg option, string) result
+  (** The next complete frame, [Ok None] if more bytes are needed,
+      [Error _] on a malformed frame (the connection should be
+      dropped). *)
+end
+
+val equal_msg : msg -> msg -> bool
+val pp_msg : Format.formatter -> msg -> unit

@@ -1,0 +1,77 @@
+(** First-class descriptions of the register RMWs.
+
+    Protocol code in [lib/registers] triggers read-modify-writes as
+    OCaml closures — perfect for the in-process runtimes, but a closure
+    cannot cross a wire.  This module gives every RMW used by the
+    emulations a serializable description and one interpreter,
+    {!apply}.  The registers construct descriptions and trigger
+    [apply desc]; the message-passing simulator carries the description
+    inside its messages; the socket transport ([Sb_service.Wire])
+    serializes it.  All three therefore execute the same interpreter on
+    the same data: the simulator and the real service make identical
+    protocol decisions by construction.
+
+    The vocabulary is closed on purpose.  A server needs no register
+    code at all — it holds an {!Sb_storage.Objstate.t} and applies
+    descriptions — and adding a register algorithm means extending this
+    type, which forces the wire codec and the natures audit to keep
+    up. *)
+
+(** Response carried back to the triggering client. *)
+type resp = Ack | Snap of Sb_storage.Objstate.t
+
+type rmw = Sb_storage.Objstate.t -> Sb_storage.Objstate.t * resp
+
+(** Eviction barrier for coded stores: [Barrier] keeps everything at or
+    above the round-1 [storedTS] (the correct rule); [Own_ts] evicts
+    below the incomplete write's own timestamp — the premature-GC
+    seeded bug. *)
+type eviction = Barrier | Own_ts
+
+(** Vp trimming: [Keep_newest delta] keeps the [delta+1] newest
+    versions' pieces, the bounded-version baseline. *)
+type trim = Keep_all | Keep_newest of int
+
+type t =
+  | Snapshot  (** Read round: return the full object state, change nothing. *)
+  | Abd_store of Sb_storage.Chunk.t
+      (** Keep the lexicographically larger (timestamp, chunk) — a
+          commuting, idempotent join. *)
+  | Lww_store of Sb_storage.Chunk.t
+      (** Last-writer-wins overwrite (non-commuting; the
+          mis-declared-merge seeded bug). *)
+  | Safe_update of Sb_storage.Chunk.t
+      (** Algorithm 5: overwrite iff strictly higher timestamp. *)
+  | Adaptive_update of {
+      replicate : bool;
+      eviction : eviction;
+      trim : trim;
+      k : int;
+      piece : Sb_storage.Block.t;
+      replica_pieces : Sb_storage.Block.t list;
+      ts : Sb_storage.Timestamp.t;
+      stored_ts : Sb_storage.Timestamp.t;
+    }  (** Algorithm 3, lines 32-39. *)
+  | Adaptive_gc of { piece : Sb_storage.Block.t; ts : Sb_storage.Timestamp.t }
+      (** Algorithm 3, lines 40-45. *)
+  | Rateless_update of {
+      pieces : Sb_storage.Block.t list;
+      ts : Sb_storage.Timestamp.t;
+      stored_ts : Sb_storage.Timestamp.t;
+    }
+  | Rateless_gc of {
+      pieces : Sb_storage.Block.t list;
+      ts : Sb_storage.Timestamp.t;
+    }
+
+val apply : t -> rmw
+(** The one interpreter.  Every transport applies descriptions through
+    this function, so protocol decisions cannot diverge between them. *)
+
+val default_nature : t -> [ `Mutating | `Readonly | `Merge ]
+(** The honest concurrency declaration for each description.  Callers
+    may override it (the mis-declared-merge experiment declares
+    [Lww_store] as [`Merge] on purpose). *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

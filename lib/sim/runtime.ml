@@ -1,7 +1,7 @@
 open Effect
 open Effect.Deep
 
-type resp = Ack | Snap of Sb_storage.Objstate.t
+type resp = Rmwdesc.resp = Ack | Snap of Sb_storage.Objstate.t
 type rmw = Sb_storage.Objstate.t -> Sb_storage.Objstate.t * resp
 
 type op = {
@@ -40,16 +40,33 @@ type algorithm = {
 type rmw_nature = [ `Mutating | `Readonly | `Merge ]
 
 type _ Effect.t +=
-  | Trigger : int * Sb_storage.Block.t list * rmw * rmw_nature -> int Effect.t
+  | Trigger :
+      int * Sb_storage.Block.t list * rmw * rmw_nature * Rmwdesc.t option
+      -> int Effect.t
   | Await : int list * int -> (int * resp) list Effect.t
 
-let trigger ?(nature = `Mutating) ~obj ~payload rmw =
-  perform (Trigger (obj, payload, rmw, nature))
+let trigger ?(nature = `Mutating) ?desc ~obj ~payload rmw =
+  perform (Trigger (obj, payload, rmw, nature, desc))
 
 let await ~tickets ~quorum = perform (Await (tickets, quorum))
 
-let broadcast_rmw ?(nature = `Mutating) ~n ~payload f =
-  List.init n (fun i -> trigger ~nature ~obj:i ~payload:(payload i) (f i))
+let broadcast_rmw ?(nature = `Mutating) ?desc ~n ~payload f =
+  List.init n (fun i ->
+      trigger ~nature
+        ?desc:(Option.map (fun d -> d i) desc)
+        ~obj:i ~payload:(payload i) (f i))
+
+(* Trigger an RMW from its description alone: the closure is
+   [Rmwdesc.apply] and the nature defaults to the description's honest
+   declaration.  This is how the registers trigger everything, which is
+   what lets the same protocol code run over the wire. *)
+let broadcast_desc ?nature ~n ~payload d =
+  List.init n (fun i ->
+      let di = d i in
+      let nature =
+        match nature with Some x -> x | None -> Rmwdesc.default_nature di
+      in
+      trigger ~nature ~desc:di ~obj:i ~payload:(payload i) (Rmwdesc.apply di))
 
 (* ------------------------------------------------------------------ *)
 (* World state                                                         *)
@@ -67,6 +84,7 @@ type pending = {
   p_op : op;
   payload : Sb_storage.Block.t list;
   p_rmw : rmw;
+  p_desc : Rmwdesc.t option;
   p_nature : rmw_nature;
   triggered_at : int;
 }
@@ -77,6 +95,7 @@ type pending_info = {
   p_client : int;
   p_op : op;
   payload_bits : int;
+  p_desc : Rmwdesc.t option;
   p_nature : rmw_nature;
   triggered_at : int;
 }
@@ -123,6 +142,7 @@ type event =
       op : op;
       nature : rmw_nature;
       payload : Sb_storage.Block.t list;
+      desc : Rmwdesc.t option;
     }
   | E_deliver of {
       ticket : int;
@@ -360,6 +380,7 @@ let info_of_pending (p : pending) =
     p_client = p.p_client;
     p_op = p.p_op;
     payload_bits = Sb_storage.Accounting.bits_of_blocks p.payload;
+    p_desc = p.p_desc;
     p_nature = p.p_nature;
     triggered_at = p.triggered_at;
   }
@@ -495,7 +516,7 @@ let handle_fiber w cl op (body : unit -> bytes option) : fiber_outcome =
         effc =
           (fun (type b) (eff : b Effect.t) ->
             match eff with
-            | Trigger (obj, payload, rmw, nature) ->
+            | Trigger (obj, payload, rmw, nature, desc) ->
               Some
                 (fun (k : (b, fiber_outcome) continuation) ->
                   if obj < 0 || obj >= w.n then
@@ -510,6 +531,7 @@ let handle_fiber w cl op (body : unit -> bytes option) : fiber_outcome =
                       p_op = op;
                       payload;
                       p_rmw = rmw;
+                      p_desc = desc;
                       p_nature = nature;
                       triggered_at = w.now;
                     }
@@ -527,7 +549,7 @@ let handle_fiber w cl op (body : unit -> bytes option) : fiber_outcome =
                          payload_bits = Sb_storage.Accounting.bits_of_blocks payload;
                        });
                   if observed w then
-                    emit w (E_trigger { ticket; obj; op; nature; payload });
+                    emit w (E_trigger { ticket; obj; op; nature; payload; desc });
                   continue k ticket)
             | Await (tickets, quorum) ->
               Some

@@ -17,7 +17,7 @@
 
 (** {1 RMW interface} *)
 
-type resp =
+type resp = Rmwdesc.resp =
   | Ack
   (** The RMW mutated the object and returns nothing. *)
   | Snap of Sb_storage.Objstate.t
@@ -74,20 +74,30 @@ type rmw_nature = [ `Mutating | `Readonly | `Merge ]
     A wrong declaration is unsound — when in doubt use [`Mutating]. *)
 
 type _ Effect.t +=
-  | Trigger : int * Sb_storage.Block.t list * rmw * rmw_nature -> int Effect.t
+  | Trigger :
+      int * Sb_storage.Block.t list * rmw * rmw_nature * Rmwdesc.t option
+      -> int Effect.t
   | Await : int list * int -> (int * resp) list Effect.t
       (** The raw protocol effects, exposed so that alternative runtimes
-          (e.g. the message-passing emulation in [Sb_msgnet]) can install
-          their own handlers and run the very same register protocol
-          code. *)
+          (e.g. the message-passing emulation in [Sb_msgnet], or the
+          socket client in [Sb_service.Sdk]) can install their own
+          handlers and run the very same register protocol code.  The
+          optional {!Rmwdesc.t} is the RMW's serializable description:
+          handlers that ship the RMW over a wire require it and apply
+          [Rmwdesc.apply desc] remotely; the in-process handlers apply
+          the closure and ignore it. *)
 
 val trigger :
-  ?nature:rmw_nature -> obj:int -> payload:Sb_storage.Block.t list -> rmw -> int
+  ?nature:rmw_nature ->
+  ?desc:Rmwdesc.t ->
+  obj:int -> payload:Sb_storage.Block.t list -> rmw -> int
 (** Triggers an RMW on base object [obj] and returns its ticket without
     waiting.  [payload] declares the code blocks carried by the RMW's
     parameters, which count towards the in-flight storage cost and the
     per-operation contribution of Definition 6.  [nature] defaults to
-    [`Mutating]; see {!rmw_nature}. *)
+    [`Mutating]; see {!rmw_nature}.  [desc], when given, must satisfy
+    [Rmwdesc.apply desc ≡ rmw] — the registers guarantee this by
+    constructing the closure from the description. *)
 
 val await : tickets:int list -> quorum:int -> (int * resp) list
 (** Suspends until at least [quorum] of [tickets] have responses, then
@@ -101,10 +111,21 @@ val await : tickets:int list -> quorum:int -> (int * resp) list
 
 val broadcast_rmw :
   ?nature:rmw_nature ->
+  ?desc:(int -> Rmwdesc.t) ->
   n:int -> payload:(int -> Sb_storage.Block.t list) -> (int -> rmw) -> int list
 (** [broadcast_rmw ~n ~payload f] triggers [f i] on every object
     [i < n]; the standard "invoke RMWs on all base objects in parallel"
-    idiom of the paper's algorithms.  [nature] as in {!trigger}. *)
+    idiom of the paper's algorithms.  [nature] and [desc] as in
+    {!trigger}. *)
+
+val broadcast_desc :
+  ?nature:rmw_nature ->
+  n:int ->
+  payload:(int -> Sb_storage.Block.t list) -> (int -> Rmwdesc.t) -> int list
+(** [broadcast_desc ~n ~payload d] triggers [Rmwdesc.apply (d i)] on
+    every object [i < n] with [d i] attached as the description —
+    the transport-agnostic broadcast the registers use.  [nature]
+    defaults per-object to [Rmwdesc.default_nature (d i)]. *)
 
 (** {1 Worlds} *)
 
@@ -122,6 +143,7 @@ type pending_info = {
   p_client : int;
   p_op : op;
   payload_bits : int;
+  p_desc : Rmwdesc.t option;
   p_nature : rmw_nature;
   triggered_at : int;
 }
@@ -240,6 +262,10 @@ type event =
       op : op;
       nature : rmw_nature;
       payload : Sb_storage.Block.t list;
+      desc : Rmwdesc.t option;
+          (** Serializable description of the triggered RMW, when the
+              protocol supplied one (all registers do); lets observers
+              compare protocol decisions across transports. *)
     }
   | E_deliver of {
       ticket : int;

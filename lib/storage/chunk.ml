@@ -2,4 +2,17 @@ type t = { ts : Timestamp.t; block : Block.t }
 
 let v ~ts block = { ts; block }
 let bits c = Block.bits c.block
+
+let add c chunks =
+  if
+    List.exists
+      (fun c' ->
+        Timestamp.equal c'.ts c.ts
+        && c'.block.Block.source = c.block.Block.source
+        && c'.block.Block.index = c.block.Block.index)
+      chunks
+  then chunks
+  else c :: chunks
+
+let add_list cs chunks = List.fold_left (fun acc c -> add c acc) chunks cs
 let pp ppf c = Format.fprintf ppf "%a%a" Timestamp.pp c.ts Block.pp c.block

@@ -8,4 +8,14 @@ val bits : t -> int
 (** Storage-cost contribution: the block bits; the timestamp is
     meta-data and costs nothing (Section 3.1). *)
 
+val add : t -> t list -> t list
+(** Idempotent insertion: a chunk already present — same timestamp and
+    same block [(source, index)] identity — is not added again.  Stores
+    must tolerate at-least-once delivery (a retransmission re-applied
+    after a server recovery), and duplicate insertions would inflate the
+    measured storage without adding information. *)
+
+val add_list : t list -> t list -> t list
+(** [add_list cs chunks] {!add}s each of [cs] in order. *)
+
 val pp : Format.formatter -> t -> unit

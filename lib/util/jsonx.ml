@@ -1,0 +1,73 @@
+let bool b = if b then "true" else "false"
+let float x = Printf.sprintf "%.6g" x
+let int = string_of_int
+let str s = Printf.sprintf "%S" s
+
+let write file fields =
+  let oc = open_out file in
+  output_string oc "{\n";
+  List.iteri
+    (fun i (k, v) ->
+      Printf.fprintf oc "  %S: %s%s\n" k v
+        (if i = List.length fields - 1 then "" else ","))
+    fields;
+  output_string oc "}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" file
+
+let field file key =
+  let ic = open_in file in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  let pat = Printf.sprintf "%S:" key in
+  match
+    let rec find i =
+      if i + String.length pat > String.length s then None
+      else if String.sub s i (String.length pat) = pat then
+        Some (i + String.length pat)
+      else find (i + 1)
+    in
+    find 0
+  with
+  | None -> None
+  | Some i ->
+    let j = ref i in
+    while !j < String.length s && (s.[!j] = ' ' || s.[!j] = '\t') do
+      incr j
+    done;
+    let k = ref !j in
+    while
+      !k < String.length s
+      && (match s.[!k] with
+         | '0' .. '9' | '.' | '-' | '+' | 'e' | 'E' -> true
+         | _ -> false)
+    do
+      incr k
+    done;
+    float_of_string_opt (String.sub s !j (!k - !j))
+
+let check ?(budget = 1.25) ~current ~baseline ~keys () =
+  if not (Sys.file_exists baseline) then begin
+    Printf.printf "check: no baseline %s (skipped)\n" baseline;
+    true
+  end
+  else begin
+    let ok = ref true in
+    List.iter
+      (fun key ->
+        match (field current key, field baseline key) with
+        | Some cur, Some base when base > 0.0 ->
+          let ratio = cur /. base in
+          let fine = ratio <= budget in
+          if not fine then ok := false;
+          Printf.printf
+            "check: %-16s %.4g vs baseline %.4g  (%.2fx, budget <= %.2fx) %s\n"
+            key cur base ratio budget
+            (if fine then "ok" else "REGRESSION")
+        | _ ->
+          Printf.printf "check: %-16s missing in %s or %s (skipped)\n" key
+            current baseline)
+      keys;
+    !ok
+  end

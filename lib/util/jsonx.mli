@@ -1,0 +1,32 @@
+(** Flat JSON metric files: one object of scalar fields, written by the
+    benchmark suite ([BENCH_*.json]), the chaos campaigns and the
+    service load generator, and compared against committed baselines in
+    [bench/baselines/].
+
+    This is deliberately not a JSON parser: {!field} scans for a quoted
+    key and reads the number after it, which is exactly enough for the
+    files {!write} produces. *)
+
+val bool : bool -> string
+val float : float -> string
+val int : int -> string
+
+val str : string -> string
+(** Quoted and escaped — for string-valued fields. *)
+
+val write : string -> (string * string) list -> unit
+(** [write file fields] writes [{ "k": v, ... }] and prints
+    ["wrote file"].  Values are emitted verbatim: pass them through
+    {!bool}/{!float}/{!int}/{!str}. *)
+
+val field : string -> string -> float option
+(** [field file key] is the numeric value of [key] in [file], if both
+    exist. *)
+
+val check :
+  ?budget:float -> current:string -> baseline:string -> keys:string list ->
+  unit -> bool
+(** Compare [keys] of [current] against [baseline]; any ratio above
+    [budget] (default 1.25) fails.  A missing baseline file skips the
+    whole comparison (returns [true]); a missing key is reported and
+    skipped.  Prints one line per key. *)

@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# CI smoke test for the register service: a 5-server f=2 cluster of
+# separate daemons with persistent state, a seeded paced load under it,
+# two servers SIGKILLed mid-run and restarted over their state files.
+# The loadgen run must complete every operation, observe the
+# recoveries, keep a regular history, and respect the Theorem 2
+# storage ceiling during the run and the (2f+k)D/k GC floor after
+# quiescence — loadgen exits non-zero if any of that fails.
+#
+# Usage: test/cluster_smoke.sh [path-to-spacebounds-exe]
+# (Defaults to the built binary: concurrent `dune exec` daemons would
+# serialize on dune's build lock.  Run `dune build` first.)
+set -ue
+
+SPACEBOUNDS=${1:-_build/default/bin/spacebounds.exe}
+SOCKDIR=$(mktemp -d)
+STATEDIR=$(mktemp -d)
+JSON=${JSON:-BENCH_service.json}
+
+F=2
+K=1
+N=$((2 * F + K))
+ALGO_ARGS=(-a adaptive -f "$F" -k "$K" --value-bytes 64)
+
+declare -a PIDS
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+  wait 2>/dev/null || true
+  rm -rf "$SOCKDIR" "$STATEDIR"
+}
+trap cleanup EXIT
+
+start_server() {
+  $SPACEBOUNDS serve "${ALGO_ARGS[@]}" --server "$1" \
+    --sockdir "$SOCKDIR" --statedir "$STATEDIR" &
+  PIDS[$1]=$!
+}
+
+echo "== starting $N daemons (f=$F, k=$K) under $SOCKDIR"
+for i in $(seq 0 $((N - 1))); do start_server "$i"; done
+
+for _ in $(seq 1 100); do
+  up=$(ls "$SOCKDIR" 2>/dev/null | grep -c '\.sock$' || true)
+  [ "$up" -eq "$N" ] && break
+  sleep 0.1
+done
+[ "$(ls "$SOCKDIR" | grep -c '\.sock$')" -eq "$N" ] || {
+  echo "cluster did not come up"; exit 1;
+}
+
+echo "== loadgen: seeded paced run (kills arrive mid-run)"
+$SPACEBOUNDS loadgen "${ALGO_ARGS[@]}" \
+  --writers 2 --writes-each 60 --readers 2 --reads-each 60 \
+  --seed 11 --think-ms 25 --sockdir "$SOCKDIR" --json "$JSON" &
+LOADGEN=$!
+
+# SIGKILL f = 2 servers mid-run, then restart them over their state
+# files: each recovers into a fresh incarnation and is re-admitted.
+sleep 0.9
+echo "== SIGKILL servers 3 and 4"
+kill -9 "${PIDS[3]}" "${PIDS[4]}"
+sleep 0.7
+echo "== restarting servers 3 and 4 over $STATEDIR"
+start_server 3
+start_server 4
+
+wait "$LOADGEN"
+echo "== loadgen verdict: green"
+
+# The kills really happened during the run: the report must show the
+# restarted servers' incarnation bumps.
+grep -q '"recoveries": 2' "$JSON" || {
+  echo "expected 2 observed recoveries in $JSON:"; cat "$JSON"; exit 1;
+}
+grep -q '"ok": true' "$JSON" || { echo "report not ok"; cat "$JSON"; exit 1; }
+echo "== smoke test passed"

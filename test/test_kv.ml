@@ -97,6 +97,100 @@ let test_crash_tolerance () =
     (try Store.crash_node s ~key:"k" 1; false with Invalid_argument _ -> true);
   Store.crash_node s ~key:"absent" 0 (* no-op *)
 
+let test_delete_under_crashes () =
+  (* Deletion is a write of the tombstone encoding: it must survive up
+     to f crashed base objects, release the storage, and leave a
+     regular history. *)
+  let s = Store.create ~cfg:(cfg ~f:2 ~k:2 ()) () in
+  Store.put s ~key:"k" (b "doomed");
+  let before = Store.storage_bits s in
+  Store.crash_node s ~key:"k" 1;
+  Store.crash_node s ~key:"k" 4;
+  Store.delete s ~key:"k";
+  Alcotest.(check (option bytes)) "deleted despite f crashes" None
+    (Store.get s ~key:"k");
+  Alcotest.(check bool) "storage released" true (Store.storage_bits s < before);
+  Alcotest.(check (list string)) "keys updated" [] (Store.keys s);
+  List.iter
+    (fun (key, verdict) ->
+      match verdict with
+      | Sb_spec.Regularity.Ok -> ()
+      | Sb_spec.Regularity.Violation cx ->
+        Alcotest.failf "%s: %s" key (Sb_spec.Regularity.to_string cx))
+    (Store.check_consistency s)
+
+(* Smoke test for the service transport: the same register protocol the
+   store runs in-process, driven over Unix-domain sockets against a
+   forked daemon cluster. *)
+let test_socket_put_get () =
+  let module R = Sb_sim.Runtime in
+  let module Trace = Sb_sim.Trace in
+  let module Daemon = Sb_service.Daemon in
+  let module Sdk = Sb_service.Sdk in
+  let value_bytes = 32 in
+  let f, k = (1, 1) in
+  let n = (2 * f) + k in
+  let c = { Common.n; f; codec = Codec.rs_vandermonde ~value_bytes ~k ~n } in
+  let algorithm = Sb_registers.Adaptive.make c in
+  let sockdir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "sb-kv-sock-%d" (Unix.getpid ()))
+  in
+  (try Unix.mkdir sockdir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let pid = Unix.fork () in
+  if pid = 0 then begin
+    (try
+       Daemon.run ~sockdir ~servers:(List.init n Fun.id)
+         ~init_obj:algorithm.R.init_obj ()
+     with _ -> ());
+    Unix._exit 0
+  end
+  else
+    Fun.protect
+      ~finally:(fun () ->
+        (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+        try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+      (fun () ->
+        let deadline = Unix.gettimeofday () +. 10.0 in
+        let rec wait_up () =
+          if
+            List.for_all
+              (fun i -> Sys.file_exists (Daemon.sockpath ~sockdir i))
+              (List.init n Fun.id)
+          then ()
+          else if Unix.gettimeofday () > deadline then
+            failwith "cluster did not come up"
+          else begin
+            Unix.sleepf 0.02;
+            wait_up ()
+          end
+        in
+        wait_up ();
+        let value = Sb_experiments.Workloads.distinct_value ~value_bytes 1 in
+        let r =
+          Sdk.run_workload ~algorithm ~seed:7
+            ~workload:[| [ Trace.Write value; Trace.Read ] |]
+            (Sdk.default_config ~n ~f ~sockdir)
+        in
+        Alcotest.(check int) "both ops completed" 2 r.Sdk.ops_completed;
+        let reads =
+          List.filter_map
+            (fun (_, kind, _, ret, res) ->
+              match (kind, ret) with Trace.Read, Some _ -> Some res | _ -> None)
+            (Trace.operations r.Sdk.trace)
+        in
+        Alcotest.(check (list (option bytes))) "read returns the written value"
+          [ Some value ] reads;
+        let history =
+          Sb_spec.History.of_trace ~initial:(Common.initial_value c) r.Sdk.trace
+        in
+        match Sb_spec.Regularity.check_strong history with
+        | Sb_spec.Regularity.Ok -> ()
+        | Sb_spec.Regularity.Violation cx ->
+          Alcotest.failf "socket history not regular: %s"
+            (Sb_spec.Regularity.to_string cx))
+
 let test_consistency_check () =
   let s = Store.create ~cfg:(cfg ()) () in
   List.iter (fun i -> Store.put s ~key:"k" (b (string_of_int i))) [ 1; 2; 3 ];
@@ -224,6 +318,8 @@ let () =
         [
           Alcotest.test_case "storage accounting" `Quick test_storage_accounting;
           Alcotest.test_case "crash tolerance" `Quick test_crash_tolerance;
+          Alcotest.test_case "delete under crashes" `Quick test_delete_under_crashes;
+          Alcotest.test_case "socket put/get" `Quick test_socket_put_get;
           Alcotest.test_case "consistency check" `Quick test_consistency_check;
           Alcotest.test_case "atomic backend" `Quick test_atomic_store;
           Alcotest.test_case "safe backend" `Quick test_safe_store;
