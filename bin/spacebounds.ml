@@ -1479,6 +1479,107 @@ let quorums_cmd =
        ~doc:"Check the quorum-system requirements behind 'await n - f responses'.")
     Term.(const run $ n_arg $ f_arg $ k_arg)
 
+(* ------------------------------------------------------------------ *)
+(* lint                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let lint_cmd =
+  let src_arg =
+    Arg.(
+      value & opt string "lib"
+      & info [ "src" ] ~docv:"DIR" ~doc:"Source tree to lint (default lib).")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Also write the report as JSON to $(docv).")
+  in
+  let algebra_only_arg =
+    Arg.(
+      value & flag
+      & info [ "algebra-only" ]
+          ~doc:"Only certify the RMW algebra; skip the source lint.")
+  in
+  let src_only_arg =
+    Arg.(
+      value & flag
+      & info [ "src-only" ]
+          ~doc:"Only run the source lint; skip the algebra certifier.")
+  in
+  let verbose_arg =
+    Arg.(
+      value & flag
+      & info [ "verbose"; "v" ]
+          ~doc:"Print the full independence matrix and pragma-allowed findings.")
+  in
+  let run src json algebra_only src_only verbose =
+    let module A = Sb_analyze.Certify in
+    let module L = Sb_analyze.Lint in
+    let module Rep = Sb_analyze.Report in
+    let failed = ref false in
+    let algebra =
+      if src_only then None
+      else begin
+        let t0 = Unix.gettimeofday () in
+        let c = A.run () in
+        Printf.printf
+          "algebra: certified %d constructors over %d states x %d descriptions \
+           (%d applies, %.2fs)\n"
+          (List.length c.A.entries) c.A.n_states c.A.n_descs c.A.applies
+          (Unix.gettimeofday () -. t0);
+        if verbose then Format.printf "%a@." A.pp c;
+        List.iter
+          (fun (g : Rep.gate) ->
+            Printf.printf "  %s %s: %s\n"
+              (if g.Rep.g_ok then "[ok]" else "[FAIL]")
+              g.g_name g.g_detail;
+            if not g.g_ok then failed := true)
+          (Rep.gates c);
+        Some c
+      end
+    in
+    let lint =
+      if algebra_only then None
+      else begin
+        let rp = L.lint_tree ~root:src in
+        let active = L.failures rp in
+        let allowed =
+          List.length rp.L.rp_findings - List.length active
+        in
+        Printf.printf "lint: %d files under %s: %d finding(s), %d allowed by pragma\n"
+          rp.L.rp_files src (List.length active) allowed;
+        List.iter (fun f -> Format.printf "  %a@." L.pp_finding f) active;
+        if verbose then
+          List.iter
+            (fun f -> if not (L.active f) then Format.printf "  %a@." L.pp_finding f)
+            rp.rp_findings;
+        List.iter
+          (fun (file, e) -> Printf.printf "  %s: parse error: %s\n" file e)
+          rp.rp_errors;
+        if active <> [] || rp.rp_errors <> [] then failed := true;
+        Some rp
+      end
+    in
+    (match json with
+    | Some path ->
+      Rep.write ~path (Rep.json ?algebra ?lint ());
+      Printf.printf "wrote %s\n" path
+    | None -> ());
+    if !failed then begin
+      print_endline "LINT: FAIL";
+      exit 1
+    end
+    else print_endline "LINT: ok"
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Certify the RMW algebra (natures, idempotence, pairwise commutation) \
+          and lint the sources for determinism hazards.")
+    Term.(
+      const run $ src_arg $ json_arg $ algebra_only_arg $ src_only_arg $ verbose_arg)
+
 let () =
   let doc = "Space bounds for reliable storage (PODC 2016) — reproduction." in
   let info = Cmd.info "spacebounds" ~version:"1.0.0" ~doc in
@@ -1488,5 +1589,5 @@ let () =
           [
             experiments_cmd; lower_bound_cmd; simulate_cmd; explore_cmd;
             replay_cmd; demo_cmd; quorums_cmd; audit_cmd; chaos_cmd;
-            serve_cmd; loadgen_cmd;
+            serve_cmd; loadgen_cmd; lint_cmd;
           ]))

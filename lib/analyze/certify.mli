@@ -1,0 +1,100 @@
+(** The RMW-algebra certifier: whole-vocabulary, once-for-all-executions
+    checking of the algebraic facts the rest of the system takes on
+    trust.
+
+    Everything the model checker and the fault plane conclude rests on
+    per-constructor declarations: DPOR treats same-object deliveries of
+    two [`Merge]-declared RMWs as commuting, the runtime drops
+    unobservable [`Readonly] RMWs, and the at-most-once/re-apply
+    argument of the fault plane needs idempotence.  Until now these were
+    spot-checked {e per execution} (the vector-clock monitors of
+    [Sb_sanitize], the both-orders replay of [spacebounds audit]).  This
+    module decides them {e per constructor}, by exhaustive evaluation
+    over the [Universe] small scope:
+
+    - {e read-only-ness}: [apply d s = (s, _)] for every state [s];
+    - {e idempotence}: [apply d] twice reaches the state [apply d]
+      reaches once (re-applying a retransmitted RMW after a server
+      recovery is a no-op);
+    - {e commutativity} of a pair: both orders reach the same state and
+      give each RMW the same response.
+
+    Verdicts are [Proved] (over the whole universe) or [Refuted] with a
+    concrete counterexample state.  [Proved] is relative to the small
+    scope — see the universe caveat in [Universe] — while [Refuted] is
+    unconditional: the counterexample replays anywhere. *)
+
+type nature = [ `Mutating | `Readonly | `Merge ]
+
+type counterexample = {
+  cx_state : Sb_storage.Objstate.t;  (** The state the property fails on. *)
+  cx_d1 : Sb_sim.Rmwdesc.t;
+  cx_d2 : Sb_sim.Rmwdesc.t option;  (** [None] for unary properties. *)
+  cx_detail : string;  (** Which component diverged, human-readable. *)
+}
+
+type verdict = Proved | Refuted of counterexample
+
+type entry = {
+  en_ctor : Universe.ctor;
+  en_readonly : verdict;
+  en_idempotent : verdict;
+  en_self_commute : verdict;
+  en_declared : nature;  (** [Rmwdesc.default_nature] of the family. *)
+  en_certified : nature;  (** See {!val-certified_nature}. *)
+}
+
+type t = {
+  entries : entry list;  (** One per constructor, in [all_ctors] order. *)
+  pairs : ((Universe.ctor * Universe.ctor) * verdict) list;
+      (** The independence matrix: pairwise commutativity over the
+          universe, upper triangle including the diagonal (commutation
+          is symmetric). *)
+  n_states : int;
+  n_descs : int;
+  applies : int;  (** Total [Rmwdesc.apply] evaluations performed. *)
+}
+
+val run : ?universe:Universe.t -> unit -> t
+(** Certifies the whole vocabulary.  Deterministic; the default
+    universe takes well under a second. *)
+
+val commutes : t -> Universe.ctor -> Universe.ctor -> verdict
+(** Matrix lookup (order-insensitive). *)
+
+val certified_nature : t -> Universe.ctor -> nature
+(** The strongest nature the certifier proves: [`Readonly] if read-only
+    over the universe; else [`Merge] if the constructor is idempotent,
+    self-commuting, and in the greatest mutually-commuting set of such
+    constructors (so that {e any} two certified-[`Merge] RMWs commute,
+    which is what DPOR's merge/merge rule assumes); else [`Mutating]. *)
+
+val check_declaration :
+  t -> Universe.ctor -> claimed:nature -> (unit, counterexample) result
+(** Would declaring [claimed] for this constructor be sound?
+    [`Mutating] claims nothing.  [`Readonly] requires the read-only
+    proof.  [`Merge] requires idempotence, self-commutation, and
+    commutation with every constructor whose default declaration is
+    [`Merge].  The seeded [Lww_store]-as-[`Merge] mis-declaration is
+    refuted here with a concrete two-store counterexample. *)
+
+val check_defaults : t -> (Universe.ctor * nature * nature) list
+(** Constructors whose [Rmwdesc.default_nature] differs from the
+    certified nature, as [(ctor, declared, certified)].  Non-empty means
+    either an unsound declaration (declared stronger than provable) or a
+    provably stronger nature left on the table; the runtest assertion
+    requires it empty. *)
+
+val audit_explore_independence : t -> string list
+(** Checks DPOR's nature-level independence against the certified
+    matrix: for every pair of natures [Sb_modelcheck.Explore.natures_commute]
+    treats as commuting, every pair of constructors carrying those
+    certified natures must have a [Proved] matrix cell.  Returns
+    human-readable violations; empty means the independence relation is
+    derived-or-checked rather than trusted. *)
+
+val pp : Format.formatter -> t -> unit
+(** The nature table, the independence matrix, and any refuted
+    declared-vs-certified rows with their counterexamples. *)
+
+val pp_counterexample : Format.formatter -> counterexample -> unit

@@ -1,0 +1,219 @@
+module J = Sb_util.Jsonx
+module W = Sb_service.Wire
+module D = Sb_sim.Rmwdesc
+
+type gate = { g_name : string; g_ok : bool; g_detail : string }
+
+let nature_name = function
+  | `Mutating -> "mutating"
+  | `Readonly -> "readonly"
+  | `Merge -> "merge"
+
+let cx_string cx = Format.asprintf "%a" Certify.pp_counterexample cx
+
+(* ------------------------------------------------------------------ *)
+(* Gates                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let gate_defaults c =
+  match Certify.check_defaults c with
+  | [] ->
+    {
+      g_name = "defaults-match-certified";
+      g_ok = true;
+      g_detail =
+        Printf.sprintf "all %d constructors agree" (List.length c.Certify.entries);
+    }
+  | mismatches ->
+    {
+      g_name = "defaults-match-certified";
+      g_ok = false;
+      g_detail =
+        String.concat "; "
+          (List.map
+             (fun (ctor, declared, certified) ->
+               Printf.sprintf "%s declared %s but certified %s"
+                 (Universe.ctor_name ctor) (nature_name declared)
+                 (nature_name certified))
+             mismatches);
+    }
+
+let gate_negative_control c =
+  match Certify.check_declaration c Universe.Lww_store ~claimed:`Merge with
+  | Error cx ->
+    {
+      g_name = "lww-store-merge-refuted";
+      g_ok = true;
+      g_detail = "mis-declaration caught: " ^ cx_string cx;
+    }
+  | Ok () ->
+    {
+      g_name = "lww-store-merge-refuted";
+      g_ok = false;
+      g_detail =
+        "declaring lww-store merge-class was accepted: the certifier lost its \
+         teeth";
+    }
+
+let gate_independence c =
+  match Certify.audit_explore_independence c with
+  | [] ->
+    {
+      g_name = "explore-independence-derived";
+      g_ok = true;
+      g_detail = "every commuting nature pair is backed by a proved matrix cell";
+    }
+  | violations ->
+    {
+      g_name = "explore-independence-derived";
+      g_ok = false;
+      g_detail = String.concat "; " violations;
+    }
+
+(* One request per universe description: the vocabulary is closed, so
+   round-tripping all of them exercises every constructor's codec arm. *)
+let gate_wire c =
+  ignore c;
+  let u = Universe.default () in
+  let descs = Universe.descs u in
+  let seen = Hashtbl.create 8 in
+  let failed = ref [] in
+  List.iteri
+    (fun i d ->
+      Hashtbl.replace seen (Universe.ctor_of_desc d) ();
+      let msg =
+        W.Request
+          {
+            W.rq_client = 1;
+            rq_ticket = i;
+            rq_op = i;
+            rq_nature = D.default_nature d;
+            rq_payload = [];
+            rq_desc = d;
+          }
+      in
+      let frame = W.encode_msg msg in
+      let reader = W.Reader.create () in
+      W.Reader.feed reader frame 0 (Bytes.length frame);
+      match W.Reader.next reader with
+      | Ok (Some (W.Request rq)) when D.equal rq.W.rq_desc d -> ()
+      | Ok _ -> failed := Format.asprintf "%a" D.pp d :: !failed
+      | Error e -> failed := Format.asprintf "%a: %s" D.pp d e :: !failed)
+    descs;
+  let missing =
+    List.filter (fun ct -> not (Hashtbl.mem seen ct)) Universe.all_ctors
+  in
+  match (!failed, missing) with
+  | [], [] ->
+    {
+      g_name = "wire-roundtrip-all-ctors";
+      g_ok = true;
+      g_detail =
+        Printf.sprintf "%d descriptions over all %d constructors round-tripped"
+          (List.length descs)
+          (List.length Universe.all_ctors);
+    }
+  | failed, missing ->
+    {
+      g_name = "wire-roundtrip-all-ctors";
+      g_ok = false;
+      g_detail =
+        String.concat "; "
+          ((List.map (fun c -> "constructor not covered: " ^ Universe.ctor_name c))
+             missing
+          @ List.map (fun f -> "round-trip failed: " ^ f) (List.rev failed));
+    }
+
+let gates c = [ gate_defaults c; gate_negative_control c; gate_independence c; gate_wire c ]
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let obj fields =
+  "{" ^ String.concat ", " (List.map (fun (k, v) -> J.str k ^ ": " ^ v) fields) ^ "}"
+
+let arr items = "[" ^ String.concat ", " items ^ "]"
+
+let verdict_bool = function Certify.Proved -> true | Certify.Refuted _ -> false
+
+let verdict_json = function
+  | Certify.Proved -> obj [ ("proved", J.bool true) ]
+  | Certify.Refuted cx ->
+    obj [ ("proved", J.bool false); ("counterexample", J.str (cx_string cx)) ]
+
+let entry_json (e : Certify.entry) =
+  obj
+    [
+      ("ctor", J.str (Universe.ctor_name e.Certify.en_ctor));
+      ("declared", J.str (nature_name e.en_declared));
+      ("certified", J.str (nature_name e.en_certified));
+      ("readonly", J.bool (verdict_bool e.en_readonly));
+      ("idempotent", verdict_json e.en_idempotent);
+      ("self_commute", verdict_json e.en_self_commute);
+    ]
+
+let pair_json ((a, b), v) =
+  obj
+    [
+      ("a", J.str (Universe.ctor_name a));
+      ("b", J.str (Universe.ctor_name b));
+      ("commutes", verdict_json v);
+    ]
+
+let gate_json g =
+  obj
+    [
+      ("name", J.str g.g_name); ("ok", J.bool g.g_ok); ("detail", J.str g.g_detail);
+    ]
+
+let algebra_json c =
+  obj
+    [
+      ("states", J.int c.Certify.n_states);
+      ("descriptions", J.int c.n_descs);
+      ("applies", J.int c.applies);
+      ("table", arr (List.map entry_json c.entries));
+      ("pairs", arr (List.map pair_json c.pairs));
+      ("gates", arr (List.map gate_json (gates c)));
+    ]
+
+let finding_json (f : Lint.finding) =
+  obj
+    [
+      ("file", J.str f.Lint.f_file);
+      ("line", J.int f.f_line);
+      ("col", J.int f.f_col);
+      ("rule", J.str (Lint.rule_name f.f_rule));
+      ("message", J.str f.f_message);
+      ("allowed", match f.f_allowed with Some r -> J.str r | None -> "null");
+    ]
+
+let lint_json (rp : Lint.report) =
+  let act = Lint.failures rp in
+  obj
+    [
+      ("files", J.int rp.Lint.rp_files);
+      ("active", J.int (List.length act));
+      ( "allowed",
+        J.int (List.length rp.rp_findings - List.length act) );
+      ("findings", arr (List.map finding_json rp.rp_findings));
+      ( "errors",
+        arr
+          (List.map
+             (fun (file, e) -> obj [ ("file", J.str file); ("error", J.str e) ])
+             rp.rp_errors) );
+    ]
+
+let json ?algebra ?lint () =
+  let sections =
+    (match algebra with Some c -> [ ("algebra", algebra_json c) ] | None -> [])
+    @ match lint with Some rp -> [ ("lint", lint_json rp) ] | None -> []
+  in
+  obj sections ^ "\n"
+
+let write ~path s =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc s)

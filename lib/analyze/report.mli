@@ -1,0 +1,38 @@
+(** Gate checks and JSON serialization for [spacebounds lint].
+
+    The CLI and the test suite share the same gate list, so CI enforces
+    exactly what [dune runtest] asserts:
+
+    - {e defaults-match-certified}: [Rmwdesc.default_nature] agrees with
+      the certified nature table on every constructor.
+    - {e lww-store-merge-refuted}: the negative control — declaring
+      [Lww_store] merge-class must be refuted with a counterexample
+      (two stores of distinct chunks do not commute).
+    - {e explore-independence-derived}: DPOR's nature-level independence
+      is backed by a [Proved] cell for every constructor pair it treats
+      as commuting.
+    - {e wire-roundtrip-all-ctors}: every universe description — the
+      whole constructor vocabulary — survives
+      [Sb_service.Wire.encode_msg] and a [Wire.Reader] decode
+      unchanged.
+
+    The JSON output is a single object with an [algebra] section (the
+    nature table, the pairwise matrix, the gates) and a [lint] section
+    (per-finding records, pragma reasons included), written by the CI
+    step to [LINT_report.json]. *)
+
+type gate = {
+  g_name : string;
+  g_ok : bool;
+  g_detail : string;  (** Counts when ok; the counterexample when not. *)
+}
+
+val gates : Certify.t -> gate list
+(** Runs all four gates against a certification result. *)
+
+val json : ?algebra:Certify.t -> ?lint:Lint.report -> unit -> string
+(** The combined report.  Either section may be omitted (the CLI's
+    [--algebra-only]/[--src-only] modes); gates are re-run on [algebra]. *)
+
+val write : path:string -> string -> unit
+(** Writes the JSON string to [path]. *)

@@ -1,0 +1,192 @@
+open Sb_storage
+module D = Sb_sim.Rmwdesc
+
+type ctor =
+  | Snapshot
+  | Abd_store
+  | Lww_store
+  | Safe_update
+  | Adaptive_update
+  | Adaptive_gc
+  | Rateless_update
+  | Rateless_gc
+
+let all_ctors =
+  [
+    Snapshot; Abd_store; Lww_store; Safe_update; Adaptive_update; Adaptive_gc;
+    Rateless_update; Rateless_gc;
+  ]
+
+(* Exhaustive on purpose: a new [Rmwdesc.t] constructor fails to compile
+   here until the analyzer learns to enumerate it. *)
+let ctor_of_desc (d : D.t) =
+  match d with
+  | D.Snapshot -> Snapshot
+  | D.Abd_store _ -> Abd_store
+  | D.Lww_store _ -> Lww_store
+  | D.Safe_update _ -> Safe_update
+  | D.Adaptive_update _ -> Adaptive_update
+  | D.Adaptive_gc _ -> Adaptive_gc
+  | D.Rateless_update _ -> Rateless_update
+  | D.Rateless_gc _ -> Rateless_gc
+
+let ctor_name = function
+  | Snapshot -> "snapshot"
+  | Abd_store -> "abd-store"
+  | Lww_store -> "lww-store"
+  | Safe_update -> "safe-update"
+  | Adaptive_update -> "adaptive-update"
+  | Adaptive_gc -> "adaptive-gc"
+  | Rateless_update -> "rateless-update"
+  | Rateless_gc -> "rateless-gc"
+
+let ctor_of_name s = List.find_opt (fun c -> ctor_name c = s) all_ctors
+let equal_ctor (a : ctor) (b : ctor) = a = b
+
+type t = {
+  states : Objstate.t array;
+  families : (ctor * D.t array) list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* The small scope                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Timestamps: zero (the initial value), two concurrent round-1 writes
+   by distinct clients, and a round-2 write.  Chunks [c_11a]/[c_11b]
+   share a timestamp but carry distinct blocks — the collision shape the
+   abd-atomic write-back produces, which any sound tie-break must
+   handle; [c_21a]/[c_21b] repeat it one round up. *)
+let ts_zero = Timestamp.zero
+let ts_11 = Timestamp.make ~num:1 ~client:1
+let ts_12 = Timestamp.make ~num:1 ~client:2
+let ts_21 = Timestamp.make ~num:2 ~client:1
+let timestamps = [ ts_zero; ts_11; ts_12; ts_21 ]
+
+let blk_a = Block.v ~source:1 ~index:0 (Bytes.of_string "a")
+let blk_b = Block.v ~source:2 ~index:0 (Bytes.of_string "b")
+let blk_c = Block.v ~source:1 ~index:1 (Bytes.of_string "c")
+
+let chunks =
+  [
+    Chunk.v ~ts:ts_zero blk_a;
+    Chunk.v ~ts:ts_11 blk_a;
+    Chunk.v ~ts:ts_11 blk_b;
+    Chunk.v ~ts:ts_12 blk_a;
+    Chunk.v ~ts:ts_21 blk_b;
+    Chunk.v ~ts:ts_21 blk_c;
+  ]
+
+(* All subsets of [xs] with at most [k] elements, in a fixed order. *)
+let subsets ~max_size xs =
+  let rec go = function
+    | [] -> [ [] ]
+    | x :: rest ->
+      let without = go rest in
+      without @ List.map (fun s -> x :: s) without
+  in
+  List.filter (fun s -> List.length s <= max_size) (go xs)
+
+let states () =
+  let vps = subsets ~max_size:2 chunks in
+  let vfs =
+    subsets ~max_size:1 chunks
+    @ [
+        (* Two-replica [vf] shapes: a same-timestamp collision and a
+           cross-round pair — enough to exercise every [vf] branch. *)
+        [ List.nth chunks 1; List.nth chunks 2 ];
+        [ List.nth chunks 1; List.nth chunks 4 ];
+      ]
+  in
+  List.concat_map
+    (fun stored_ts ->
+      List.concat_map
+        (fun vp ->
+          List.map
+            (fun vf -> { Objstate.stored_ts; vp; vf })
+            vfs)
+        vps)
+    timestamps
+  |> Array.of_list
+
+(* ------------------------------------------------------------------ *)
+(* Descriptor families                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let per_chunk mk = Array.of_list (List.map mk chunks)
+
+let adaptive_updates () =
+  let out = ref [] in
+  List.iter
+    (fun replicate ->
+      List.iter
+        (fun eviction ->
+          List.iter
+            (fun trim ->
+              List.iter
+                (fun piece ->
+                  List.iter
+                    (fun ts ->
+                      List.iter
+                        (fun stored_ts ->
+                          out :=
+                            D.Adaptive_update
+                              {
+                                replicate;
+                                eviction;
+                                trim;
+                                k = 2;
+                                piece;
+                                replica_pieces = [ blk_a; blk_c ];
+                                ts;
+                                stored_ts;
+                              }
+                            :: !out)
+                        [ ts_zero; ts_11 ])
+                    [ ts_11; ts_21 ])
+                [ blk_a; blk_b ])
+            [ D.Keep_all; D.Keep_newest 1 ])
+        [ D.Barrier; D.Own_ts ])
+    [ false; true ];
+  Array.of_list (List.rev !out)
+
+let families () =
+  [
+    (Snapshot, [| D.Snapshot |]);
+    (Abd_store, per_chunk (fun c -> D.Abd_store c));
+    (Lww_store, per_chunk (fun c -> D.Lww_store c));
+    (Safe_update, per_chunk (fun c -> D.Safe_update c));
+    (Adaptive_update, adaptive_updates ());
+    ( Adaptive_gc,
+      Array.of_list
+        (List.concat_map
+           (fun piece ->
+             List.map (fun ts -> D.Adaptive_gc { piece; ts }) [ ts_11; ts_12; ts_21 ])
+           [ blk_a; blk_b ]) );
+    ( Rateless_update,
+      Array.of_list
+        (List.concat_map
+           (fun pieces ->
+             List.concat_map
+               (fun ts ->
+                 List.map
+                   (fun stored_ts -> D.Rateless_update { pieces; ts; stored_ts })
+                   [ ts_zero; ts_11 ])
+               [ ts_11; ts_21 ])
+           [ [ blk_a ]; [ blk_a; blk_c ] ]) );
+    ( Rateless_gc,
+      Array.of_list
+        (List.concat_map
+           (fun pieces ->
+             List.map (fun ts -> D.Rateless_gc { pieces; ts }) [ ts_11; ts_21 ])
+           [ [ blk_b ]; [ blk_a; blk_c ] ]) );
+  ]
+
+let default () = { states = states (); families = families () }
+
+let descs t = List.concat_map (fun (_, fam) -> Array.to_list fam) t.families
+
+let family t c =
+  match List.find_opt (fun (c', _) -> c' = c) t.families with
+  | Some (_, fam) -> fam
+  | None -> invalid_arg ("Universe.family: no family for " ^ ctor_name c)

@@ -1,0 +1,62 @@
+(** The closed constructor vocabulary of [Sb_sim.Rmwdesc.t] and a
+    small-scope universe to certify it over.
+
+    The certifier ([Certify]) decides algebraic properties — read-only-
+    ness, idempotence, pairwise commutativity — by {e exhaustive}
+    evaluation over a systematically generated finite universe: every
+    constructor of the closed RMW vocabulary is instantiated over a
+    small set of timestamps, blocks and parameter variants, and every
+    property is checked over every generated object state.  This is
+    small-scope checking, not a proof over the infinite state space; the
+    universe is built to contain the known discriminating shapes
+    (equal-timestamp/distinct-chunk collisions, empty and saturated
+    piece sets, stored-ts barriers above and below the incoming write)
+    so that a property that holds on the whole universe holds in
+    practice — and a property that fails anywhere fails with a concrete,
+    printable counterexample. *)
+
+(** One variant per [Sb_sim.Rmwdesc.t] constructor.  [ctor_of_desc] is
+    an exhaustive match, so extending the RMW vocabulary without
+    extending the analyzer is a compile error, not a silent gap. *)
+type ctor =
+  | Snapshot
+  | Abd_store
+  | Lww_store
+  | Safe_update
+  | Adaptive_update
+  | Adaptive_gc
+  | Rateless_update
+  | Rateless_gc
+
+val all_ctors : ctor list
+(** Every constructor, in declaration order. *)
+
+val ctor_of_desc : Sb_sim.Rmwdesc.t -> ctor
+val ctor_name : ctor -> string
+val ctor_of_name : string -> ctor option
+val equal_ctor : ctor -> ctor -> bool
+
+type t = {
+  states : Sb_storage.Objstate.t array;
+      (** The systematic object-state universe: stored-ts values crossed
+          with piece-set ([vp]) and replica-set ([vf]) variants. *)
+  families : (ctor * Sb_sim.Rmwdesc.t array) list;
+      (** Per constructor, the enumerated descriptor instances.  Every
+          constructor has at least one instance. *)
+}
+
+val default : unit -> t
+(** The standard universe used by [spacebounds lint] and the runtest
+    assertions: 4 timestamps x 3 tagged blocks -> 6 chunks (including an
+    equal-timestamp/distinct-block collision pair), object states with
+    |vp| <= 2 and |vf| <= 2, and per-constructor parameter sweeps
+    (eviction rule, trim, replicate, barrier above/at/below the write's
+    timestamp). *)
+
+val descs : t -> Sb_sim.Rmwdesc.t list
+(** All descriptor instances of all families, flattened — the input to
+    the wire-codec exhaustiveness check. *)
+
+val family : t -> ctor -> Sb_sim.Rmwdesc.t array
+(** The instances of one constructor ([Invalid_argument] if the
+    universe lacks the family — [default] never does). *)

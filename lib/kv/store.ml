@@ -78,6 +78,7 @@ let entry t key =
     e
 
 let storage_bits t =
+  (* sb-lint: allow hashtbl-order — commutative sum of per-world bits *)
   Hashtbl.fold (fun _ e acc -> acc + R.storage_bits_objects e.world) t.entries 0
 
 let note_storage t =
@@ -131,7 +132,8 @@ let delete t ~key =
   note_storage t
 
 let keys t =
-  List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.entries [])
+  (* sb-lint: allow hashtbl-order — collected then sorted *)
+  List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.entries [])
 
 let crash_node t ~key node =
   match Hashtbl.find_opt t.entries key with

@@ -152,12 +152,16 @@ type action = {
      other objects (it only flips one liveness bit); crashes are
      mutually dependent because they share the [f] / budget limits.
    - A client crash is dependent on everything touching that client. *)
+(* The nature-level core of the delivery/delivery case, exported so
+   [Sb_analyze.Certify] can check every commutation this predicate
+   claims against the enumerated RMW algebra instead of trusting the
+   declarations. *)
+let natures_commute (a : R.rmw_nature) (b : R.rmw_nature) =
+  (a = `Readonly && b = `Readonly) || (a = `Merge && b = `Merge)
+
 let independent a b =
   match (a.kind, b.kind) with
-  | KDeliver, KDeliver ->
-    a.a_obj <> b.a_obj
-    || (a.a_nature = `Readonly && b.a_nature = `Readonly)
-    || (a.a_nature = `Merge && b.a_nature = `Merge)
+  | KDeliver, KDeliver -> a.a_obj <> b.a_obj || natures_commute a.a_nature b.a_nature
   | KDeliver, KStep | KStep, KDeliver ->
     let d, s = if a.kind = KDeliver then (a, b) else (b, a) in
     d.a_client <> s.a_client

@@ -167,6 +167,15 @@ val independent : action -> action -> bool
     ([a_inv]/[a_ret]/[a_awaited]) must have been observed by executing
     the action ({!execute_observing}) for the verdict to be meaningful. *)
 
+val natures_commute :
+  Sb_sim.Runtime.rmw_nature -> Sb_sim.Runtime.rmw_nature -> bool
+(** The nature-level core of {!independent}'s same-object
+    delivery/delivery case: two deliveries on the same object are
+    treated as commuting exactly when this holds of their declared
+    natures.  Exported so the static analyzer ([Sb_analyze.Certify])
+    can discharge every commutation it claims against the enumerated
+    RMW algebra — the declarations stop being trusted axioms. *)
+
 val enabled_actions :
   config -> Sb_sim.Runtime.world -> obj_left:int -> cli_left:int -> action list
 (** The enabled actions of [w] in deterministic baseline order, as the

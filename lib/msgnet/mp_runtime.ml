@@ -229,6 +229,7 @@ let storage_bits_servers w =
   !acc
 
 let storage_bits_channels w =
+  (* sb-lint: allow hashtbl-order — commutative sum of message bits *)
   Hashtbl.fold (fun _ m acc -> acc + message_bits m) w.channel 0
 
 let max_bits_servers w = w.max_server_bits
@@ -260,6 +261,7 @@ let visible_blocks_excluding w ~client =
            if w.server_live.(i) then Objstate.blocks (Score.state w.servers.(i))
            else []))
   in
+  (* sb-lint: allow hashtbl-order — feeds Accounting.contribution, an order-insensitive index-set sum *)
   Hashtbl.fold
     (fun _ (m : message) acc ->
       match (m.req, m.resp) with
@@ -706,8 +708,11 @@ let run ?(max_steps = 1_000_000) w policy =
 
 let random_policy ?(crash_servers = []) ?(recover_servers = []) ~seed () =
   let prng = Sb_util.Prng.create seed in
-  let crashes = ref (List.sort compare crash_servers) in
-  let recoveries = ref (List.sort compare recover_servers) in
+  let by_time_then_server (t1, s1) (t2, s2) =
+    if t1 = t2 then Int.compare s1 s2 else Int.compare t1 t2
+  in
+  let crashes = ref (List.sort by_time_then_server crash_servers) in
+  let recoveries = ref (List.sort by_time_then_server recover_servers) in
   fun w ->
     match !crashes with
     | (t, srv) :: rest when time w >= t && server_alive w srv ->

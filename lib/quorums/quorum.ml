@@ -89,7 +89,7 @@ let minimal_quorums t =
       if !minimal then quorums := mask :: !quorums
     end
   done;
-  List.sort compare (List.map (members_of_mask n) !quorums)
+  List.sort (List.compare Int.compare) (List.map (members_of_mask n) !quorums)
 
 let popcount mask =
   let rec go m acc = if m = 0 then acc else go (m lsr 1) (acc + (m land 1)) in

@@ -81,7 +81,7 @@ let decodable_ts codec chunks ~min_ts =
 
 let decode_at codec chunks ~ts =
   let decoder = Oracle.Decoder.create codec in
-  let group = Hashtbl.hash ts in
+  let group = (ts.Timestamp.num * 65599) + ts.Timestamp.client in
   List.iter
     (fun (index, data) -> Oracle.Decoder.push decoder ~group ~index data)
     (distinct_pieces chunks ~ts);

@@ -203,6 +203,7 @@ let check_avail m =
     let q = n - m.view.v_f in
     if List.length live >= q then begin
       let allowed =
+        (* sb-lint: allow hashtbl-order — membership set; only List.mem consumes it *)
         Hashtbl.fold (fun id ws acc -> if ws.w_dead then acc else id :: acc) m.writes []
       in
       (* Per live object, a (source -> index bitmask) assoc computed
@@ -220,6 +221,7 @@ let check_avail m =
                   (Option.value ~default:0 (Hashtbl.find_opt tbl b.source)
                   lor (1 lsl b.index)))
             (m.view.v_blocks o);
+          (* sb-lint: allow hashtbl-order — assoc consumed by commutative lor/popcount *)
           masks.(o) <- Hashtbl.fold (fun s msk acc -> (s, msk) :: acc) tbl [])
         live;
       let popcount x =
@@ -298,6 +300,7 @@ let check_quorum m ~tickets ~quorum ~got =
              (quorum + other - m.view.v_n))
     in
     check_pair quorum;
+    (* sb-lint: allow hashtbl-order — every pair is checked regardless of order *)
     Hashtbl.iter (fun q () -> if q <> quorum then check_pair q) m.quorums_seen;
     Hashtbl.replace m.quorums_seen quorum ()
   end
@@ -331,6 +334,7 @@ let on_return m (op : R.op) =
        it.  Concurrent completed writes stay readable.  Only a newly
        dead source can shrink the frontier, so only that re-checks. *)
     let killed = ref false in
+    (* sb-lint: allow hashtbl-order — idempotent flag setting; order-insensitive *)
     Hashtbl.iter
       (fun id other ->
         if id <> op.id && not other.w_dead then

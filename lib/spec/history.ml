@@ -21,7 +21,7 @@ let precedes ret inv = match ret with Some r -> r < inv | None -> false
 
 let completed_reads t =
   List.filter (fun r -> r.r_ret <> None) t.reads
-  |> List.sort (fun a b -> compare a.r_inv b.r_inv)
+  |> List.sort (fun a b -> Int.compare a.r_inv b.r_inv)
 
 let writer_of t v =
   match List.filter (fun w -> Bytes.equal w.value v) t.writes with

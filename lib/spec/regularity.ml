@@ -80,7 +80,7 @@ let mk ?read ?(order = []) ?edge reason =
    which extends real-time precedence among the completed writes. *)
 let invocation_order h =
   0
-  :: (List.sort (fun a b -> compare a.w_inv b.w_inv) h.writes
+  :: (List.sort (fun a b -> Int.compare a.w_inv b.w_inv) h.writes
      |> List.map (fun w -> w.w_op))
 
 (* The write (if any) a returned read should be attributed to.  [`Initial]

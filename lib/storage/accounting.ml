@@ -13,8 +13,10 @@ let index_table ~source blocks =
 
 let indices_of ~source blocks =
   let tbl = index_table ~source blocks in
+  (* sb-lint: allow hashtbl-order — collected then sorted *)
   List.sort Int.compare (Hashtbl.fold (fun i _ acc -> i :: acc) tbl [])
 
 let contribution ~source blocks =
   let tbl = index_table ~source blocks in
+  (* sb-lint: allow hashtbl-order — commutative sum of bits *)
   Hashtbl.fold (fun _ bits acc -> acc + bits) tbl 0

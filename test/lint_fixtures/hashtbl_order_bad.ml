@@ -1,0 +1,5 @@
+(* Negative control for the hashtbl-order rule: iteration-order-sensitive
+   accumulation.  Never compiled — only parsed by the lint. *)
+
+let keys t = Hashtbl.fold (fun k _ acc -> k :: acc) t []
+let dump t = Hashtbl.iter (fun k v -> Printf.printf "%s=%d\n" k v) t

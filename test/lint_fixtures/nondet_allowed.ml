@@ -1,0 +1,16 @@
+(* The same sites as nondet_bad.ml, each silenced by a pragma: the lint
+   must report them as allowed, not active. *)
+
+(* sb-lint: allow nondet — fixture: pretend this is an I/O engine *)
+let seed () = Random.self_init ()
+
+(* sb-lint: allow nondet — fixture: pretend this is an I/O engine *)
+let pick n = Random.int n
+
+let now () =
+  (* sb-lint: allow nondet — fixture: wall clock feeds a log line only *)
+  Unix.gettimeofday ()
+
+let cpu () =
+  (* sb-lint: allow nondet — fixture: wall clock feeds a log line only *)
+  Sys.time ()

@@ -1,0 +1,8 @@
+(* Negative control for the nondet rule: process-global randomness and
+   wall-clock reads in what pretends to be protocol code.  Never
+   compiled — only parsed by the lint. *)
+
+let seed () = Random.self_init ()
+let pick n = Random.int n
+let now () = Unix.gettimeofday ()
+let cpu () = Sys.time ()

@@ -1,0 +1,13 @@
+(* The same sites as poly_compare_bad.ml, each silenced by a pragma. *)
+
+(* sb-lint: allow poly-compare — fixture: ints only at every call site *)
+let sorted xs = List.sort compare xs
+
+(* sb-lint: allow poly-compare — fixture: scratch table, never persisted *)
+let bucket x = Hashtbl.hash x
+
+(* sb-lint: allow poly-compare — fixture: structural equality is the definition *)
+let same (a : Timestamp.t) (b : Timestamp.t) = a = b
+
+(* sb-lint: allow poly-compare — fixture: structural equality is the definition *)
+let changed (d : Rmwdesc.t) (d' : Rmwdesc.t) = d <> d'

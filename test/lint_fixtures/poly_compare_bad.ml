@@ -1,0 +1,8 @@
+(* Negative control for the poly-compare rule: bare polymorphic compare,
+   polymorphic hashing, and (=) on a value annotated with a watched
+   protocol type.  Never compiled — only parsed by the lint. *)
+
+let sorted xs = List.sort compare xs
+let bucket x = Hashtbl.hash x
+let same (a : Timestamp.t) (b : Timestamp.t) = a = b
+let changed (d : Rmwdesc.t) (d' : Rmwdesc.t) = d <> d'
