@@ -554,6 +554,114 @@ let perf_explore ~quick ~calib =
     ];
   pass
 
+(* Self-describing framing overhead: the same loadgen-shaped message
+   mix encoded and decoded at wire v1 (positional framing) and at the
+   current version (schema-tagged handshakes).  The gate is a ratio, so
+   it is machine-independent: the schema machinery may cost at most 15%
+   over the positional baseline on the codec hot path. *)
+let wire_mix =
+  let module W = Sb_service.Wire in
+  let module B = Sb_storage.Block in
+  let module T = Sb_storage.Timestamp in
+  let module C = Sb_storage.Chunk in
+  let module O = Sb_storage.Objstate in
+  let module D = Sb_sim.Rmwdesc in
+  let blk i = B.v ~source:i ~index:(i * 3 mod 7) (Bytes.make 64 'p') in
+  let ts i = T.make ~num:(100 + i) ~client:(i mod 5) in
+  let chunk i = C.v ~ts:(ts i) (blk i) in
+  let state = O.init ~vp:[ chunk 1; chunk 2 ] ~vf:[ chunk 3 ] () in
+  let own = { W.ps_version = W.version; ps_hash = W.schema_hash } in
+  let request i nature desc =
+    W.Request
+      {
+        W.rq_client = i mod 8;
+        rq_ticket = i;
+        rq_op = i;
+        rq_nature = nature;
+        rq_payload = [ blk i ];
+        rq_desc = desc;
+      }
+  in
+  let response i resp =
+    W.Response
+      {
+        W.rs_ticket = i;
+        rs_op = i;
+        rs_server = 1;
+        rs_incarnation = 4;
+        rs_dedup = false;
+        rs_resp = resp;
+      }
+  in
+  (* Loadgen-shaped: one handshake pair per connection, then a long run
+     of request/response traffic with a periodic stats sample — the
+     schema-tagged handshake has to amortise the way it does live. *)
+  let traffic =
+    List.concat_map
+      (fun i ->
+        let desc =
+          match i mod 3 with
+          | 0 -> D.Abd_store (chunk i)
+          | 1 -> D.Snapshot
+          | _ -> D.Adaptive_gc { piece = blk i; ts = ts i }
+        in
+        let nature = if i mod 3 = 1 then `Readonly else `Mutating in
+        let resp = if i mod 3 = 1 then D.Snap state else D.Ack in
+        [ request (10 + i) nature desc; response (10 + i) resp ])
+      (List.init 16 Fun.id)
+  in
+  [
+    W.Hello { client = 3; schema = Some own };
+    W.Welcome { server = 1; incarnation = 4; schema = Some own };
+  ]
+  @ traffic
+  @ [
+      W.Stats_query;
+      W.Stats
+        {
+          W.st_server = 1;
+          st_incarnation = 4;
+          st_storage_bits = 1 lsl 20;
+          st_max_bits = 1 lsl 21;
+          st_dedup_hits = 17;
+          st_applied = 123;
+        };
+    ]
+
+let wire_overhead () =
+  let module W = Sb_service.Wire in
+  let enc v () = List.iter (fun m -> ignore (W.encode_msg ~version:v m)) wire_mix in
+  let bodies v =
+    List.map
+      (fun m ->
+        let f = W.encode_msg ~version:v m in
+        Bytes.sub f 4 (Bytes.length f - 4))
+      wire_mix
+  in
+  let b1 = bodies 1 and b2 = bodies W.version in
+  let dec bs () =
+    List.iter
+      (fun b ->
+        match W.decode_msg b with
+        | Ok _ -> ()
+        | Error e -> failwith ("wire bench frame rejected: " ^ e))
+      bs
+  in
+  let results =
+    measure ~name:"perf-wire"
+      [
+        Test.make ~name:"v1-encode" (Staged.stage (enc 1));
+        Test.make ~name:"v2-encode" (Staged.stage (enc W.version));
+        Test.make ~name:"v1-decode" (Staged.stage (dec b1));
+        Test.make ~name:"v2-decode" (Staged.stage (dec b2));
+      ]
+  in
+  let us key = ns_per_run results ("perf-wire/" ^ key) /. 1e3 in
+  let e1 = us "v1-encode" and e2 = us "v2-encode" in
+  let d1 = us "v1-decode" and d2 = us "v2-decode" in
+  let ratio = (e2 +. d2) /. (e1 +. d1) in
+  (e1, e2, d1, d2, ratio)
+
 (* Gates 25% below the pre-optimisation B1 numbers (~130 us encode-all,
    ~47 us decode for 1 KiB over rs-vandermonde k=4 n=12): the row
    multiplies must stay measurably faster than the element loops they
@@ -584,7 +692,9 @@ let perf_codec ~calib =
   let enc = us "rs8-encode-all" and dec = us "rs8-decode" in
   let enc16 = us "rs16-encode-all" and dec16 = us "rs16-decode" in
   let enc_gate = 97.5 and dec_gate = 35.0 in
-  let pass = enc < enc_gate && dec < dec_gate in
+  let we1, we2, wd1, wd2, wire_ratio = wire_overhead () in
+  let wire_gate = 1.15 in
+  let pass = enc < enc_gate && dec < dec_gate && wire_ratio < wire_gate in
   let table =
     Sb_util.Table.create ~title:"P2  codec hot path (1 KiB, rs-vandermonde k=4 n=12)"
       [ ("measurement", Sb_util.Table.Left); ("value", Sb_util.Table.Right) ]
@@ -596,6 +706,10 @@ let perf_codec ~calib =
       ("decode (from 4 blocks)", Printf.sprintf "%.1f us (gate: < %.1f us)" dec dec_gate);
       ("gf2p16 encode-all", Printf.sprintf "%.1f us" enc16);
       ("gf2p16 decode", Printf.sprintf "%.1f us" dec16);
+      ("wire mix v1 enc+dec", Printf.sprintf "%.1f us" (we1 +. wd1));
+      ("wire mix v2 enc+dec", Printf.sprintf "%.1f us" (we2 +. wd2));
+      ( "wire schema overhead",
+        Printf.sprintf "%.3fx (gate: < %.2fx)" wire_ratio wire_gate );
     ];
   Sb_util.Table.print table;
   json_out "BENCH_codec.json"
@@ -611,6 +725,12 @@ let perf_codec ~calib =
       ("rs16_decode_us", jfloat dec16);
       ("norm_encode_all", jfloat (enc *. 1e3 /. calib));
       ("norm_decode", jfloat (dec *. 1e3 /. calib));
+      ("wire_v1_encode_us", jfloat we1);
+      ("wire_v2_encode_us", jfloat we2);
+      ("wire_v1_decode_us", jfloat wd1);
+      ("wire_v2_decode_us", jfloat wd2);
+      ("wire_overhead_ratio", jfloat wire_ratio);
+      ("wire_overhead_gate", jfloat wire_gate);
       ("pass", jbool pass);
     ];
   pass

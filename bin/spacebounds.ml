@@ -1168,7 +1168,18 @@ let serve_cmd =
       & info [ "no-dedup" ]
           ~doc:"Disable the per-incarnation at-most-once tables.")
   in
-  let run algo value_bytes f k sockdir statedir cluster server no_dedup =
+  let wire_version =
+    Arg.(
+      value
+      & opt int Sb_service.Wire.version
+      & info [ "wire-version" ] ~docv:"V"
+          ~doc:"Pin the daemon to an older wire version: frames and persisted \
+                state are encoded at $(docv) and newer frames are rejected, \
+                making this binary behave exactly like an old build (for \
+                mixed-version rollout scenarios).")
+  in
+  let run algo value_bytes f k sockdir statedir cluster server no_dedup
+      wire_version =
     let algorithm, cfg = build ~algo ~value_bytes ~f ~k in
     let servers =
       match (cluster, server) with
@@ -1178,16 +1189,24 @@ let serve_cmd =
         prerr_endline "serve: --cluster and --server are exclusive";
         exit 2
     in
-    Printf.printf "serving %s: n=%d f=%d k=%d, servers [%s] under %s%s\n%!"
+    if
+      wire_version < Sb_service.Wire.min_version
+      || wire_version > Sb_service.Wire.version
+    then begin
+      Printf.eprintf "serve: --wire-version %d outside %d..%d\n" wire_version
+        Sb_service.Wire.min_version Sb_service.Wire.version;
+      exit 2
+    end;
+    Printf.printf "serving %s: n=%d f=%d k=%d wire v%d, servers [%s] under %s%s\n%!"
       algorithm.Sb_sim.Runtime.name cfg.Sb_registers.Common.n
-      cfg.Sb_registers.Common.f k
+      cfg.Sb_registers.Common.f k wire_version
       (String.concat ";" (List.map string_of_int servers))
       sockdir
       (match statedir with
        | Some d -> Printf.sprintf " (durable: %s)" d
        | None -> "");
-    Sb_service.Daemon.run ~dedup:(not no_dedup) ?statedir ~sockdir ~servers
-      ~init_obj:algorithm.Sb_sim.Runtime.init_obj ();
+    Sb_service.Daemon.run ~dedup:(not no_dedup) ~wire_version ?statedir ~sockdir
+      ~servers ~init_obj:algorithm.Sb_sim.Runtime.init_obj ();
     print_endline "serve: bye"
   in
   Cmd.v
@@ -1198,7 +1217,7 @@ let serve_cmd =
              storage/dedup/incarnation counters on a stats endpoint.")
     Term.(
       const run $ algo_arg $ value_bytes_arg $ serve_f_arg $ serve_k_arg
-      $ sockdir_arg $ statedir $ cluster $ server $ no_dedup)
+      $ sockdir_arg $ statedir $ cluster $ server $ no_dedup $ wire_version)
 
 (* ------------------------------------------------------------------ *)
 (* loadgen                                                             *)
@@ -1322,6 +1341,17 @@ let loadgen_cmd =
                    recoveries observed\n"
       r.Sb_service.Sdk.retransmissions r.Sb_service.Sdk.reconnects
       r.Sb_service.Sdk.recoveries_observed;
+    Printf.printf "schema          : %d downgrade(s) to wire v1, %d typed \
+                   reject(s)\n"
+      r.Sb_service.Sdk.downgrades
+      (List.length r.Sb_service.Sdk.schema_rejects);
+    List.iter
+      (fun (s, detail) ->
+        Printf.printf "schema reject   : server %d: %s\n" s detail)
+      r.Sb_service.Sdk.schema_rejects;
+    if r.Sb_service.Sdk.schema_rejects <> [] then
+      fail "%d server(s) refused the schema handshake"
+        (List.length r.Sb_service.Sdk.schema_rejects);
     (* Consistency: the run's trace through the same checkers the
        simulators use. *)
     let history =
@@ -1425,6 +1455,9 @@ let loadgen_cmd =
         ("retransmissions", Sb_util.Jsonx.int r.Sb_service.Sdk.retransmissions);
         ("reconnects", Sb_util.Jsonx.int r.Sb_service.Sdk.reconnects);
         ("recoveries", Sb_util.Jsonx.int r.Sb_service.Sdk.recoveries_observed);
+        ("downgrades", Sb_util.Jsonx.int r.Sb_service.Sdk.downgrades);
+        ( "schema_rejects",
+          Sb_util.Jsonx.int (List.length r.Sb_service.Sdk.schema_rejects) );
         ( "weak_ok",
           Sb_util.Jsonx.bool (match weak with Sb_spec.Regularity.Ok -> true | _ -> false) );
         ( "algo_check_ok",
@@ -1450,6 +1483,238 @@ let loadgen_cmd =
       $ seed_arg $ writers_arg $ writes_each_arg $ readers_arg
       $ reads_each_arg $ sockdir_arg $ rto_arg $ max_attempts_arg $ sample_arg
       $ deadline_arg $ settle_arg $ think_arg $ json_arg $ no_bounds_arg)
+
+(* ------------------------------------------------------------------ *)
+(* schema — dump the wire schema, certify cross-version compatibility  *)
+(* ------------------------------------------------------------------ *)
+
+let schema_cmd =
+  let module Sch = Sb_schema.Schema in
+  let module Compat = Sb_schema.Compat in
+  let module W = Sb_service.Wire in
+  let golden_path dir v = Filename.concat dir (Printf.sprintf "v%d.json" v) in
+  let read_file path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let version_ok v = v >= W.min_version && v <= W.version in
+  let dump_cmd =
+    let version_arg =
+      Arg.(
+        value & opt int W.version
+        & info [ "schema-version" ] ~docv:"N"
+            ~doc:"Wire version to describe (default: the newest).")
+    in
+    let out_arg =
+      Arg.(
+        value & opt (some string) None
+        & info [ "o"; "output" ] ~docv:"FILE"
+            ~doc:"Write to $(docv) instead of stdout (this is how the golden \
+                  schemas/v<N>.json files are (re)generated).")
+    in
+    let run v out =
+      if not (version_ok v) then begin
+        Printf.eprintf "schema dump: version %d outside %d..%d\n" v
+          W.min_version W.version;
+        exit 2
+      end;
+      let json = Sch.to_json (W.schema_v ~version:v) in
+      match out with
+      | None -> print_string json
+      | Some file ->
+        let oc = open_out file in
+        output_string oc json;
+        close_out oc;
+        Printf.printf "wrote %s (hash %s)\n" file
+          (Sch.hash_hex (W.schema_v ~version:v))
+    in
+    Cmd.v
+      (Cmd.info "dump"
+         ~doc:"Print the programmatic wire schema (extracted from the codec, \
+               so it cannot drift) as canonical JSON.")
+      Term.(const run $ version_arg $ out_arg)
+  in
+  let check_cmd =
+    let dir_arg =
+      Arg.(
+        value & opt string "schemas"
+        & info [ "dir" ] ~docv:"DIR"
+            ~doc:"Directory of committed golden v<N>.json schemas.")
+    in
+    let all_arg =
+      Arg.(
+        value & flag
+        & info [ "all" ]
+            ~doc:"Also run the seeded negative controls: a reordered field \
+                  pair and a narrowed scalar, both of which the certifier \
+                  must refute (the reorder with a concrete MISINTERPRET \
+                  counterexample) or it has lost its teeth.")
+    in
+    let old_arg =
+      Arg.(
+        value & opt (some file) None
+        & info [ "old" ] ~docv:"FILE" ~doc:"Writer-side schema JSON file.")
+    in
+    let new_arg =
+      Arg.(
+        value & opt (some file) None
+        & info [ "new" ] ~docv:"FILE" ~doc:"Reader-side schema JSON file.")
+    in
+    let json_arg =
+      Arg.(
+        value & opt (some string) None
+        & info [ "json" ] ~docv:"FILE"
+            ~doc:"Write the full machine-readable report (every cell, every \
+                  counterexample) to $(docv).")
+    in
+    let run dir all old_f new_f json =
+      let module J = Sb_util.Jsonx in
+      let failures = ref [] in
+      let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+      let results = ref [] in
+      let note_result label (r : Compat.result) =
+        results := (label, r) :: !results;
+        print_string (Compat.render r);
+        print_newline ()
+      in
+      let drift_notes = ref [] in
+      (match (old_f, new_f) with
+       | Some o, Some nw ->
+         (* Explicit file-vs-file mode. *)
+         let load path =
+           match Sch.of_json (read_file path) with
+           | Ok s -> s
+           | Error e ->
+             Printf.eprintf "schema check: %s: %s\n" path e;
+             exit 2
+         in
+         let r = Compat.check ~old_:(load o) ~new_:(load nw) in
+         note_result (Printf.sprintf "%s -> %s" o nw) r;
+         if not r.Compat.r_compatible then
+           fail "%s and %s are incompatible" o nw
+       | Some _, None | None, Some _ ->
+         prerr_endline "schema check: --old and --new go together";
+         exit 2
+       | None, None ->
+         (* 1. Golden drift gate: the committed description of every
+            supported version must equal the one the codec produces. *)
+         for v = W.min_version to W.version do
+           let code = W.schema_v ~version:v in
+           let path = golden_path dir v in
+           if not (Sys.file_exists path) then
+             fail "golden %s missing (regenerate: spacebounds schema dump \
+                   --schema-version %d -o %s)"
+               path v path
+           else
+             match Sch.of_json (read_file path) with
+             | Error e -> fail "golden %s unreadable: %s" path e
+             | Ok golden ->
+               if Sch.equal golden code then
+                 Printf.printf "golden v%d      : %s matches the code (hash %s)\n"
+                   v path (Sch.hash_hex code)
+               else begin
+                 fail "golden %s drifted from the code (an edit without a \
+                       version bump)" path;
+                 List.iter
+                   (fun line ->
+                     drift_notes := line :: !drift_notes;
+                     Printf.printf "  drift: %s\n" line)
+                   (Sch.diff golden code)
+               end
+         done;
+         (* 2. Every consecutive version pair must be certified
+            compatible in both directions. *)
+         for v = W.min_version to W.version - 1 do
+           let r =
+             Compat.check ~old_:(W.schema_v ~version:v)
+               ~new_:(W.schema_v ~version:(v + 1))
+           in
+           note_result (Printf.sprintf "v%d <-> v%d" v (v + 1)) r;
+           if not r.Compat.r_compatible then
+             fail "wire v%d and v%d are not decode-compatible" v (v + 1)
+         done;
+         (* 3. The teeth: seeded incompatible edits must be refuted. *)
+         if all then
+           List.iter
+             (fun (name, desc, edited) ->
+               let r = Compat.check ~old_:W.schema ~new_:edited in
+               note_result (Printf.sprintf "seeded:%s" name) r;
+               if r.Compat.r_compatible then
+                 fail "seeded edit %S was NOT refuted (%s)" name desc
+               else begin
+                 Printf.printf "seeded %-26s: refuted, as it must be (%s)\n"
+                   name desc;
+                 if name = "reordered-welcome-fields" then begin
+                   let has_witness =
+                     List.exists
+                       (fun (c : Compat.cell) ->
+                         c.Compat.c_verdict = Compat.Misinterpret
+                         && c.Compat.c_witness <> None)
+                       r.Compat.r_cells
+                   in
+                   if not has_witness then
+                     fail "seeded edit %S refuted without a concrete \
+                           MISINTERPRET counterexample"
+                       name
+                 end
+               end)
+             (Compat.seeded_edits W.schema));
+      let ok = !failures = [] in
+      (match json with
+       | None -> ()
+       | Some file ->
+         let body =
+           J.obj
+             [
+               ("suite", J.str "schema-check");
+               ("ok", J.bool ok);
+               ("newest_version", J.int W.version);
+               ("newest_hash", J.str W.schema_hash_hex);
+               ( "drift",
+                 J.arr (List.rev_map (fun l -> J.str l) !drift_notes) );
+               ( "failures",
+                 J.arr (List.rev_map (fun l -> J.str l) !failures) );
+               ( "checks",
+                 J.arr
+                   (List.rev_map
+                      (fun (label, r) ->
+                        J.obj
+                          [
+                            ("label", J.str label);
+                            ("result", Compat.result_json r);
+                          ])
+                      !results) );
+             ]
+         in
+         let oc = open_out file in
+         output_string oc body;
+         output_char oc '\n';
+         close_out oc;
+         Printf.printf "wrote %s\n" file);
+      if ok then print_endline "SCHEMA: ok"
+      else begin
+        List.iter (Printf.printf "SCHEMA FAIL     : %s\n") (List.rev !failures);
+        print_endline "SCHEMA: FAIL";
+        exit 1
+      end
+    in
+    Cmd.v
+      (Cmd.info "check"
+         ~doc:"Certify wire-schema compatibility: diff the committed golden \
+               schemas against the codec's own description (drift gate), \
+               classify every cross-version (writer, reader) field pair over \
+               the tag/width lattice, and fail with a concrete counterexample \
+               payload on any possible misinterpretation.")
+      Term.(const run $ dir_arg $ all_arg $ old_arg $ new_arg $ json_arg)
+  in
+  Cmd.group
+    (Cmd.info "schema"
+       ~doc:"Self-describing wire schemas: dump the codec's layout \
+             description, statically certify old/new compatibility, refute \
+             seeded incompatible edits.")
+    [ dump_cmd; check_cmd ]
 
 (* ------------------------------------------------------------------ *)
 (* quorums                                                             *)
@@ -1589,5 +1854,5 @@ let () =
           [
             experiments_cmd; lower_bound_cmd; simulate_cmd; explore_cmd;
             replay_cmd; demo_cmd; quorums_cmd; audit_cmd; chaos_cmd;
-            serve_cmd; loadgen_cmd; lint_cmd;
+            serve_cmd; loadgen_cmd; lint_cmd; schema_cmd;
           ]))

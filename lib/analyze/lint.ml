@@ -1,12 +1,13 @@
-type rule = Nondet | Poly_compare | Marshal | Hashtbl_order
+type rule = Nondet | Poly_compare | Marshal | Hashtbl_order | Wire_catchall
 
-let all_rules = [ Nondet; Poly_compare; Marshal; Hashtbl_order ]
+let all_rules = [ Nondet; Poly_compare; Marshal; Hashtbl_order; Wire_catchall ]
 
 let rule_name = function
   | Nondet -> "nondet"
   | Poly_compare -> "poly-compare"
   | Marshal -> "marshal"
   | Hashtbl_order -> "hashtbl-order"
+  | Wire_catchall -> "wire-catchall"
 
 let rule_of_name s = List.find_opt (fun r -> rule_name r = s) all_rules
 
@@ -231,6 +232,36 @@ let collect ~rules ~filename src =
          itself would double-report every comparison as a first-class
          use. *)
       List.iter (fun (_, a) -> it.Ast_iterator.expr it a) args
+    | Parsetree.Pexp_match (scrut, cases) ->
+      (* A match whose scrutinee is a wire discriminant (an identifier
+         mentioning "tag" or "version") with a [_] arm: the arm
+         swallows tags the codec does not know, which is exactly how a
+         schema bump turns into silent misdecoding instead of a typed
+         reject.  Bind the value ([| n -> ...]) and reject it. *)
+      let is_discriminant (e : Parsetree.expression) =
+        match e.pexp_desc with
+        | Parsetree.Pexp_ident { txt; _ } -> (
+          match try Longident.flatten txt with _ -> [] with
+          | [] -> false
+          | parts ->
+            let last =
+              String.lowercase_ascii (List.nth parts (List.length parts - 1))
+            in
+            contains last "tag" || contains last "version")
+        | _ -> false
+      in
+      if is_discriminant scrut then
+        List.iter
+          (fun (c : Parsetree.case) ->
+            match c.pc_lhs.ppat_desc with
+            | Parsetree.Ppat_any ->
+              flag c.pc_lhs.ppat_loc Wire_catchall
+                "catch-all _ arm on a wire tag/version match accepts unknown \
+                 discriminants silently; bind the value and reject it \
+                 explicitly"
+            | _ -> ())
+          cases;
+      default.expr it e
     | _ ->
       (match e.pexp_desc with
       | Parsetree.Pexp_ident { txt; _ } -> check_longident txt e.pexp_loc
@@ -290,8 +321,10 @@ let protocol_core path =
 let rules_for path =
   let core = protocol_core path in
   let sanitizer = contains path "lib/sanitize/" in
+  let wire = contains path "lib/service/" in
   (if core then [ Nondet; Poly_compare; Hashtbl_order ] else [])
   @ (if sanitizer then [ Hashtbl_order ] else [])
+  @ (if wire then [ Wire_catchall ] else [])
   @ [ Marshal ]
 
 let rec walk dir acc =

@@ -23,6 +23,12 @@
       order is deterministic only for identical insertion histories, so
       order-sensitive folds feeding traces or state hashes make
       logically equal worlds diverge.
+    - {b wire-catchall} — in [lib/service], no catch-all [_] arm in a
+      [match] on a wire discriminant (an identifier mentioning "tag" or
+      "version"): a codec that silently absorbs unknown tags turns the
+      next schema bump into misdecoding instead of a typed reject.
+      Decoders must bind the discriminant and raise/return on the
+      unknown value.
 
     Findings at sites that are individually justified are suppressed
     in-source with a pragma comment on the same or the preceding line:
@@ -33,7 +39,7 @@
     the report (and the JSON output) rather than discarded, so every
     exemption stays reviewable. *)
 
-type rule = Nondet | Poly_compare | Marshal | Hashtbl_order
+type rule = Nondet | Poly_compare | Marshal | Hashtbl_order | Wire_catchall
 
 val all_rules : rule list
 val rule_name : rule -> string
@@ -76,8 +82,8 @@ val rules_for : string -> rule list
     determinism and ordering rules on protocol cores ([lib/sim],
     [lib/registers], [lib/storage], [lib/quorums], [lib/msgnet],
     [lib/spec], [lib/kv], and the transport-agnostic service cores),
-    [hashtbl-order] additionally on the sanitizers, and [marshal]
-    everywhere. *)
+    [hashtbl-order] additionally on the sanitizers, [wire-catchall] on
+    [lib/service], and [marshal] everywhere. *)
 
 val lint_tree : root:string -> report
 (** Scans every [*.ml] under [root] (skipping [_build] and dot

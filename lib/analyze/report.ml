@@ -130,10 +130,8 @@ let gates c = [ gate_defaults c; gate_negative_control c; gate_independence c; g
 (* JSON                                                                *)
 (* ------------------------------------------------------------------ *)
 
-let obj fields =
-  "{" ^ String.concat ", " (List.map (fun (k, v) -> J.str k ^ ": " ^ v) fields) ^ "}"
-
-let arr items = "[" ^ String.concat ", " items ^ "]"
+let obj = J.obj
+let arr = J.arr
 
 let verdict_bool = function Certify.Proved -> true | Certify.Refuted _ -> false
 

@@ -1,0 +1,486 @@
+module S = Schema
+module J = Sb_util.Jsonx
+
+type verdict = Identical | Widened | Reject_cleanly | Misinterpret
+
+let verdict_name = function
+  | Identical -> "identical"
+  | Widened -> "widened"
+  | Reject_cleanly -> "reject-cleanly"
+  | Misinterpret -> "MISINTERPRET"
+
+type witness = {
+  w_payload : string;
+  w_writer : string;
+  w_reader : string;
+  w_diverges : string;
+}
+
+type cell = {
+  c_direction : string;
+  c_path : string;
+  c_writer_ty : string;
+  c_reader_ty : string;
+  c_verdict : verdict;
+  c_detail : string;
+  c_witness : witness option;
+}
+
+type result = {
+  r_old_version : int;
+  r_new_version : int;
+  r_old_hash : string;
+  r_new_hash : string;
+  r_cells : cell list;
+  r_reasons : string list;
+  r_compatible : bool;
+}
+
+let hex_of_bytes b =
+  String.concat ""
+    (List.init (Bytes.length b) (fun i ->
+         Printf.sprintf "%02x" (Bytes.get_uint8 b i)))
+
+let show_value v = Format.asprintf "%a" S.pp_value v
+
+(* ------------------------------------------------------------------ *)
+(* Semantic comparison of a writer's value with the reader's decoding  *)
+(* ------------------------------------------------------------------ *)
+
+(* Scalars compare numerically across kinds: a value that survives a
+   width change unchanged (e.g. i64 5 read as u32 5) is widening, not
+   misinterpretation.  Records pair by field name — a transposed pair
+   shows up as two shared names with exchanged values; a pure rename is
+   ignored here (widening) and only noted in the cell detail.  An enum
+   tag that maps to a different arm name means the same byte means a
+   different operation: always a divergence. *)
+let rec sem_diff path (w : S.value) (r : S.value) =
+  let diverge path = Some (path, show_value w, show_value r) in
+  let num = function
+    | S.Vbool false -> Some 0L
+    | S.Vbool true -> Some 1L
+    | S.Vu8 n | S.Vu32 n -> Some (Int64.of_int n)
+    | S.Vi64 n -> Some n
+    | _ -> None
+  in
+  match (num w, num r) with
+  | Some a, Some b -> if Int64.equal a b then None else diverge path
+  | _ -> (
+    match (w, r) with
+    | S.Vbytes a, S.Vbytes b -> if String.equal a b then None else diverge path
+    | S.Voption None, S.Voption None -> None
+    | S.Voption (Some a), S.Voption (Some b) -> sem_diff (path ^ "?") a b
+    | S.Voption _, S.Voption _ -> diverge path
+    | S.Vlist a, S.Vlist b ->
+      if List.length a <> List.length b then diverge (path ^ ".length")
+      else
+        List.fold_left2
+          (fun acc x y ->
+            match acc with
+            | Some _ -> acc
+            | None -> sem_diff (path ^ "[]") x y)
+          None a b
+    | S.Vrecord a, S.Vrecord b ->
+      List.fold_left
+        (fun acc (n, x) ->
+          match acc with
+          | Some _ -> acc
+          | None -> (
+            match List.assoc_opt n b with
+            | Some y -> sem_diff (path ^ "." ^ n) x y
+            | None -> None))
+        None a
+    | S.Venum (t1, n1, b1), S.Venum (t2, n2, b2) ->
+      if t1 <> t2 then diverge (path ^ ".tag")
+      else if n1 <> n2 then Some (path, n1, n2)
+      else sem_diff (path ^ "." ^ n1) b1 b2
+    | _ -> diverge path)
+
+(* ------------------------------------------------------------------ *)
+(* Experiments: encode under the writer, decode under the reader       *)
+(* ------------------------------------------------------------------ *)
+
+type outcome = {
+  o_total : int;
+  o_match : int;
+  o_reject : int;
+  o_witness : witness option;  (** First misinterpreting payload. *)
+}
+
+(* [wrap_payload]/[wrap_writer]/[wrap_reader] lift the reported
+   counterexample from body form to frame-level form (the enum tag byte
+   and the arm names around the body). *)
+let experiments ?(wrap_payload = fun (b : bytes) -> b)
+    ?(wrap_writer = fun (v : S.value) -> v)
+    ?(wrap_reader = fun (v : S.value) -> v) wty rty =
+  List.fold_left
+    (fun o v ->
+      let body = S.encode wty v in
+      match S.decode rty body with
+      | Error _ -> { o with o_total = o.o_total + 1; o_reject = o.o_reject + 1 }
+      | Ok rv -> (
+        match sem_diff "" v rv with
+        | None -> { o with o_total = o.o_total + 1; o_match = o.o_match + 1 }
+        | Some (dpath, _, _) ->
+          let w =
+            match o.o_witness with
+            | Some _ as w -> w
+            | None ->
+              Some
+                {
+                  w_payload = hex_of_bytes (wrap_payload body);
+                  w_writer = show_value (wrap_writer v);
+                  w_reader = show_value (wrap_reader rv);
+                  w_diverges = (if dpath = "" then "." else dpath);
+                }
+          in
+          { o with o_total = o.o_total + 1; o_witness = w }))
+    { o_total = 0; o_match = 0; o_reject = 0; o_witness = None }
+    (S.samples wty)
+
+let verdict_of_outcome ~equal o =
+  match o.o_witness with
+  | Some _ -> Misinterpret
+  | None ->
+    if o.o_reject = 0 then if equal then Identical else Widened
+    else Reject_cleanly
+
+let outcome_detail o =
+  if o.o_witness <> None then
+    Printf.sprintf "%d of %d synthesized payloads decode to a different meaning"
+      (o.o_total - o.o_match - o.o_reject)
+      o.o_total
+  else if o.o_reject = 0 then
+    Printf.sprintf "all %d synthesized payloads decode identically" o.o_total
+  else if o.o_match = 0 then
+    Printf.sprintf "all %d synthesized payloads reject cleanly" o.o_total
+  else
+    Printf.sprintf
+      "%d of %d synthesized payloads reject cleanly, the rest decode identically"
+      o.o_reject o.o_total
+
+(* ------------------------------------------------------------------ *)
+(* Cell construction                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let cell ~direction ~path ~wty ~rty verdict detail witness =
+  {
+    c_direction = direction;
+    c_path = path;
+    c_writer_ty = S.str_ty wty;
+    c_reader_ty = S.str_ty rty;
+    c_verdict = verdict;
+    c_detail = detail;
+    c_witness = witness;
+  }
+
+(* Isolated field-pair classification.  A field decodes at its own
+   offset only when the preceding fields consumed identically — the
+   arm-level whole-message experiment is the authority on alignment;
+   this gives the per-field row of the table. *)
+let field_cell ~direction ~path (wf : S.field) (rf : S.field) =
+  let o = experiments wf.S.f_ty rf.S.f_ty in
+  let equal = S.equal_ty wf.S.f_ty rf.S.f_ty in
+  let name_note =
+    if wf.S.f_name <> rf.S.f_name then
+      Printf.sprintf " (writer names it %S, reader %S)" wf.S.f_name rf.S.f_name
+    else ""
+  in
+  let verdict = verdict_of_outcome ~equal o in
+  (* Same bytes under a different field name at the same position is a
+     transposition/rename: if the layouts agree the decode succeeds, so
+     the arm-level experiment decides whether values land in the wrong
+     field.  Surface the name change here as a misinterpret signal when
+     the types line up (the bytes will be accepted as the other field). *)
+  let verdict =
+    if wf.S.f_name <> rf.S.f_name && verdict <> Reject_cleanly then Misinterpret
+    else verdict
+  in
+  let detail =
+    (match (S.byte_width wf.S.f_ty, S.byte_width rf.S.f_ty) with
+    | Some a, Some b when a <> b ->
+      Printf.sprintf "fixed width %d vs %d; " a b
+    | _ -> "")
+    ^ outcome_detail o ^ name_note
+  in
+  cell ~direction ~path ~wty:wf.S.f_ty ~rty:rf.S.f_ty verdict detail o.o_witness
+
+let arm_cells ~direction ~path (wa : S.arm) (ra : S.arm) =
+  let wrap_payload body =
+    let payload = Bytes.create (Bytes.length body + 1) in
+    Bytes.set_uint8 payload 0 wa.S.a_tag;
+    Bytes.blit body 0 payload 1 (Bytes.length body);
+    payload
+  in
+  let o =
+    experiments ~wrap_payload
+      ~wrap_writer:(fun v -> S.Venum (wa.S.a_tag, wa.S.a_name, v))
+      ~wrap_reader:(fun v -> S.Venum (ra.S.a_tag, ra.S.a_name, v))
+      wa.S.a_body ra.S.a_body
+  in
+  let equal = S.equal_ty wa.S.a_body ra.S.a_body in
+  let name_mismatch = wa.S.a_name <> ra.S.a_name in
+  let verdict =
+    if name_mismatch then Misinterpret else verdict_of_outcome ~equal o
+  in
+  let witness =
+    match (o.o_witness, name_mismatch) with
+    | (Some _ as w), _ -> w
+    | None, true ->
+      (* Same tag, different meaning: any payload that decodes is a
+         counterexample; synthesize from the head sample. *)
+      let v = List.hd (S.samples wa.S.a_body) in
+      let body = S.encode wa.S.a_body v in
+      Some
+        {
+          w_payload = hex_of_bytes (wrap_payload body);
+          w_writer = show_value (S.Venum (wa.S.a_tag, wa.S.a_name, v));
+          w_reader =
+            (match S.decode ra.S.a_body body with
+            | Ok rv -> show_value (S.Venum (ra.S.a_tag, ra.S.a_name, rv))
+            | Error e -> Printf.sprintf "%s(<reject: %s>)" ra.S.a_name e);
+          w_diverges = "(arm name)";
+        }
+    | None, false -> None
+  in
+  let detail =
+    if name_mismatch then
+      Printf.sprintf "tag %d is %S to the writer but %S to the reader"
+        wa.S.a_tag wa.S.a_name ra.S.a_name
+    else outcome_detail o
+  in
+  let top =
+    cell ~direction ~path ~wty:wa.S.a_body ~rty:ra.S.a_body verdict detail
+      witness
+  in
+  let fields =
+    match (wa.S.a_body, ra.S.a_body) with
+    | S.Record wfs, S.Record rfs ->
+      let rec pair i wfs rfs acc =
+        match (wfs, rfs) with
+        | [], [] -> List.rev acc
+        | wf :: wfs', [] ->
+          let c =
+            cell ~direction
+              ~path:(path ^ "." ^ wf.S.f_name)
+              ~wty:wf.S.f_ty ~rty:(S.Record []) Reject_cleanly
+              "writer-only field: surplus bytes fail the reader's \
+               exact-consumption check"
+              None
+          in
+          pair (i + 1) wfs' [] (c :: acc)
+        | [], rf :: rfs' ->
+          let c =
+            cell ~direction
+              ~path:(path ^ "." ^ rf.S.f_name)
+              ~wty:(S.Record []) ~rty:rf.S.f_ty Reject_cleanly
+              "reader-only field: the reader runs out of bytes (truncated)"
+              None
+          in
+          pair (i + 1) [] rfs' (c :: acc)
+        | wf :: wfs', rf :: rfs' ->
+          let c =
+            field_cell ~direction ~path:(path ^ "." ^ wf.S.f_name) wf rf
+          in
+          pair (i + 1) wfs' rfs' (c :: acc)
+      in
+      pair 0 wfs rfs []
+    | _ -> []
+  in
+  top :: fields
+
+let direction_cells ~direction (writer : S.t) (reader : S.t) =
+  List.concat_map
+    (fun (root, wty) ->
+      match List.assoc_opt root reader.S.s_roots with
+      | None ->
+        [
+          cell ~direction ~path:root ~wty ~rty:(S.Record []) Reject_cleanly
+            "root absent from the reader's schema" None;
+        ]
+      | Some rty -> (
+        match (wty, rty) with
+        | S.Enum warms, S.Enum rarms ->
+          List.concat_map
+            (fun (wa : S.arm) ->
+              let path = root ^ "." ^ wa.S.a_name in
+              match
+                List.find_opt (fun (a : S.arm) -> a.S.a_tag = wa.S.a_tag) rarms
+              with
+              | None ->
+                [
+                  cell ~direction ~path ~wty:wa.S.a_body ~rty Reject_cleanly
+                    (Printf.sprintf
+                       "tag %d outside the reader's vocabulary {%s}: rejected \
+                        as an unknown tag"
+                       wa.S.a_tag
+                       (String.concat ","
+                          (List.map
+                             (fun (a : S.arm) -> string_of_int a.S.a_tag)
+                             rarms)))
+                    None;
+                ]
+              | Some ra -> arm_cells ~direction ~path wa ra)
+            warms
+        | _ ->
+          let o = experiments wty rty in
+          [
+            cell ~direction ~path:root ~wty ~rty
+              (verdict_of_outcome ~equal:(S.equal_ty wty rty) o)
+              (outcome_detail o) o.o_witness;
+          ]))
+    writer.S.s_roots
+
+let check ~old_ ~new_ =
+  let cells =
+    direction_cells ~direction:"old->new" old_ new_
+    @ direction_cells ~direction:"new->old" new_ old_
+  in
+  let reasons =
+    if old_.S.s_version = new_.S.s_version && not (S.equal old_ new_) then
+      Printf.sprintf
+        "both schemas claim version %d but the layouts differ — bump the \
+         version (and note it in CHANGES.md)"
+        old_.S.s_version
+      :: List.map (fun d -> "drift: " ^ d) (S.diff old_ new_)
+    else []
+  in
+  let misinterprets =
+    List.exists (fun c -> c.c_verdict = Misinterpret) cells
+  in
+  {
+    r_old_version = old_.S.s_version;
+    r_new_version = new_.S.s_version;
+    r_old_hash = S.hash_hex old_;
+    r_new_hash = S.hash_hex new_;
+    r_cells = cells;
+    r_reasons = reasons;
+    r_compatible = (not misinterprets) && reasons = [];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let render r =
+  let b = Buffer.create 4096 in
+  Printf.bprintf b "schema v%d (%s) vs v%d (%s): %s\n" r.r_old_version
+    (String.sub r.r_old_hash 0 12)
+    r.r_new_version
+    (String.sub r.r_new_hash 0 12)
+    (if r.r_compatible then "COMPATIBLE" else "INCOMPATIBLE");
+  List.iter (fun reason -> Printf.bprintf b "  ! %s\n" reason) r.r_reasons;
+  List.iter
+    (fun c ->
+      Printf.bprintf b "  [%s] %-40s %-14s %s\n" c.c_direction c.c_path
+        (verdict_name c.c_verdict)
+        c.c_detail;
+      match c.c_witness with
+      | None -> ()
+      | Some w ->
+        Printf.bprintf b "      counterexample payload: %s\n" w.w_payload;
+        Printf.bprintf b "      writer reads: %s\n" w.w_writer;
+        Printf.bprintf b "      reader reads: %s\n" w.w_reader;
+        Printf.bprintf b "      diverges at:  %s\n" w.w_diverges)
+    r.r_cells;
+  Buffer.contents b
+
+let witness_json w =
+  J.obj
+    [
+      ("payload", J.str w.w_payload);
+      ("writer_value", J.str w.w_writer);
+      ("reader_value", J.str w.w_reader);
+      ("diverges", J.str w.w_diverges);
+    ]
+
+let cell_json c =
+  J.obj
+    ([
+       ("direction", J.str c.c_direction);
+       ("path", J.str c.c_path);
+       ("writer", J.str c.c_writer_ty);
+       ("reader", J.str c.c_reader_ty);
+       ("verdict", J.str (verdict_name c.c_verdict));
+       ("detail", J.str c.c_detail);
+     ]
+    @ match c.c_witness with
+      | Some w -> [ ("witness", witness_json w) ]
+      | None -> [])
+
+let result_json r =
+  J.obj
+    [
+      ("old_version", J.int r.r_old_version);
+      ("new_version", J.int r.r_new_version);
+      ("old_hash", J.str r.r_old_hash);
+      ("new_hash", J.str r.r_new_hash);
+      ("compatible", J.bool r.r_compatible);
+      ("reasons", J.arr (List.map J.str r.r_reasons));
+      ("cells", J.arr (List.map cell_json r.r_cells));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Seeded negative controls                                            *)
+(* ------------------------------------------------------------------ *)
+
+let edit_msg_arm schema arm_name f =
+  let hit = ref false in
+  let roots =
+    List.map
+      (fun (root, ty) ->
+        if root <> "msg" then (root, ty)
+        else
+          match ty with
+          | S.Enum arms ->
+            ( root,
+              S.Enum
+                (List.map
+                   (fun (a : S.arm) ->
+                     if a.S.a_name = arm_name then begin
+                       hit := true;
+                       { a with S.a_body = f a.S.a_body }
+                     end
+                     else a)
+                   arms) )
+          | _ -> (root, ty))
+      schema.S.s_roots
+  in
+  if not !hit then
+    invalid_arg
+      (Printf.sprintf "Compat.seeded_edits: no %S arm in the msg root" arm_name);
+  { schema with S.s_roots = roots }
+
+let seeded_edits schema =
+  let reorder =
+    edit_msg_arm schema "Welcome" (function
+      | S.Record (f1 :: f2 :: rest) -> S.Record (f2 :: f1 :: rest)
+      | _ -> invalid_arg "Compat.seeded_edits: Welcome body shape changed")
+  in
+  let narrow =
+    edit_msg_arm schema "Request" (function
+      | S.Record fs ->
+        let hit = ref false in
+        let fs =
+          List.map
+            (fun (f : S.field) ->
+              if f.S.f_name = "ticket" && f.S.f_ty = S.I64 then begin
+                hit := true;
+                { f with S.f_ty = S.U32 }
+              end
+              else f)
+            fs
+        in
+        if not !hit then
+          invalid_arg "Compat.seeded_edits: Request.ticket shape changed";
+        S.Record fs
+      | _ -> invalid_arg "Compat.seeded_edits: Request body shape changed")
+  in
+  [
+    ( "reordered-welcome-fields",
+      "transposes Welcome.server and Welcome.incarnation without a version bump",
+      reorder );
+    ( "narrowed-request-ticket",
+      "narrows Request.ticket from i64 to u32 without a version bump",
+      narrow );
+  ]

@@ -1,0 +1,79 @@
+(** Static decode-compatibility certifier over two wire schemas.
+
+    For each direction (old-writer → new-reader and new-writer →
+    old-reader) and each message of the writer's vocabulary, the
+    certifier classifies the (writer, reader) pair — and, for record
+    bodies, every positional field pair — into the lattice
+
+    - [Identical]: byte-identical layout, same meaning;
+    - [Widened]: every writer payload decodes and every shared-name
+      field keeps its value (e.g. appended arms, renamed fields);
+    - [Reject_cleanly]: some or all writer payloads fail the reader's
+      strict decoder (unknown tag, truncation, trailing bytes) — safe,
+      because a clean reject surfaces as a typed handshake/decode error
+      and triggers renegotiation, never a wrong value;
+    - [Misinterpret]: a writer payload decodes successfully under the
+      reader but means something else — the storage-side analogue of
+      the wrong-but-well-formed failure mode, and the only verdict that
+      makes two versions incompatible.
+
+    Verdicts are decided by exhaustive analysis over the tag/width
+    lattice: the deterministic {!Schema.samples} corpus covers every
+    enum arm, both option states and degenerate/short list lengths, and
+    every experiment is a concrete encode-under-writer /
+    decode-under-reader run, so a [Misinterpret] always carries a
+    replayable counterexample payload with both decodings — the same
+    discipline as the RMW-algebra certifier's refutations.
+
+    Two schemas carrying the {e same} version number must be identical
+    (that is the golden-file drift gate); an edit without a version bump
+    is incompatible regardless of the lattice. *)
+
+type verdict = Identical | Widened | Reject_cleanly | Misinterpret
+
+val verdict_name : verdict -> string
+
+type witness = {
+  w_payload : string;  (** Hex of the synthesized message payload. *)
+  w_writer : string;  (** The writer's own decoding, pretty-printed. *)
+  w_reader : string;  (** The reader's divergent decoding. *)
+  w_diverges : string;  (** First diverging field path. *)
+}
+
+type cell = {
+  c_direction : string;  (** ["old->new"] or ["new->old"]. *)
+  c_path : string;  (** e.g. [msg.Welcome] or [msg.Welcome.server]. *)
+  c_writer_ty : string;
+  c_reader_ty : string;
+  c_verdict : verdict;
+  c_detail : string;
+  c_witness : witness option;  (** Present on every [Misinterpret]. *)
+}
+
+type result = {
+  r_old_version : int;
+  r_new_version : int;
+  r_old_hash : string;  (** Hex. *)
+  r_new_hash : string;
+  r_cells : cell list;
+  r_reasons : string list;
+      (** Non-lattice incompatibility reasons (same-version drift). *)
+  r_compatible : bool;
+}
+
+val check : old_:Schema.t -> new_:Schema.t -> result
+
+val render : result -> string
+(** Human-readable report: one line per cell, counterexamples inset. *)
+
+val result_json : result -> string
+(** The [SCHEMA_report.json] form of one comparison. *)
+
+val seeded_edits : Schema.t -> (string * string * Schema.t) list
+(** [(name, description, edited)] negative controls derived from a live
+    schema: a transposed field pair ([reordered-welcome-fields]) and a
+    narrowed scalar ([narrowed-request-ticket]).  {!check} against the
+    original must refute both — the reorder with a [Misinterpret]
+    counterexample — or the certifier has lost its teeth.  Raises
+    [Invalid_argument] if the schema no longer has the expected shape
+    (update the seeds alongside the layout). *)

@@ -1,0 +1,817 @@
+module H = Sb_util.Hash128
+
+type ty =
+  | Bool
+  | U8
+  | U32
+  | I64
+  | Bytes
+  | Option of ty
+  | List of ty
+  | Record of field list
+  | Enum of arm list
+
+and field = { f_name : string; f_ty : ty }
+and arm = { a_tag : int; a_name : string; a_body : ty }
+
+type t = { s_version : int; s_roots : (string * ty) list }
+
+let max_depth = 64
+
+let kind_code = function
+  | Bool -> 0x01
+  | I64 -> 0x05
+  | U8 -> 0x07
+  | U32 -> 0x09
+  | Bytes -> 0x0c
+  | List _ -> 0x20
+  | Record _ -> 0x21
+  | Enum _ -> 0x22
+  | Option _ -> 0x23
+
+let scalar_width = function
+  | Bool | U8 -> Some 1
+  | U32 -> Some 4
+  | I64 -> Some 8
+  | Bytes | Option _ | List _ | Record _ | Enum _ -> None
+
+let rec byte_width ty =
+  match ty with
+  | Bool | U8 | U32 | I64 -> scalar_width ty
+  | Bytes | Option _ | List _ -> None
+  | Record fs ->
+    List.fold_left
+      (fun acc f ->
+        match (acc, byte_width f.f_ty) with
+        | Some a, Some b -> Some (a + b)
+        | _ -> None)
+      (Some 0) fs
+  | Enum [] -> None
+  | Enum (a0 :: rest) -> (
+    match byte_width a0.a_body with
+    | None -> None
+    | Some w ->
+      if List.for_all (fun a -> byte_width a.a_body = Some w) rest then
+        Some (1 + w)
+      else None)
+
+(* The type contains only ints, strings and lists, so structural
+   polymorphic equality is exactly structural schema equality. *)
+let equal_ty (a : ty) (b : ty) = a = b
+let equal (a : t) (b : t) = a = b
+
+let rec pp_ty ppf = function
+  | Bool -> Format.pp_print_string ppf "bool"
+  | U8 -> Format.pp_print_string ppf "u8"
+  | U32 -> Format.pp_print_string ppf "u32"
+  | I64 -> Format.pp_print_string ppf "i64"
+  | Bytes -> Format.pp_print_string ppf "bytes"
+  | Option t -> Format.fprintf ppf "option<%a>" pp_ty t
+  | List t -> Format.fprintf ppf "list<%a>" pp_ty t
+  | Record fs ->
+    Format.fprintf ppf "record{%a}"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+         (fun ppf f -> Format.fprintf ppf "%s: %a" f.f_name pp_ty f.f_ty))
+      fs
+  | Enum arms ->
+    Format.fprintf ppf "enum{%a}"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " | ")
+         (fun ppf a ->
+           match a.a_body with
+           | Record [] -> Format.fprintf ppf "%d:%s" a.a_tag a.a_name
+           | b -> Format.fprintf ppf "%d:%s %a" a.a_tag a.a_name pp_ty b))
+      arms
+
+let str_ty ty = Format.asprintf "%a" pp_ty ty
+
+(* ------------------------------------------------------------------ *)
+(* Validation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let validate t =
+  let fail fmt = Printf.ksprintf (fun m -> raise (Failure m)) fmt in
+  let rec go path depth ty =
+    if depth > max_depth then fail "%s: nesting deeper than %d" path max_depth;
+    match ty with
+    | Bool | U8 | U32 | I64 | Bytes -> ()
+    | Option t -> go (path ^ "?") (depth + 1) t
+    | List t -> go (path ^ "[]") (depth + 1) t
+    | Record fs ->
+      let seen = Hashtbl.create 8 in
+      List.iter
+        (fun f ->
+          if Hashtbl.mem seen f.f_name then
+            fail "%s: duplicate field %S" path f.f_name;
+          Hashtbl.replace seen f.f_name ();
+          go (path ^ "." ^ f.f_name) (depth + 1) f.f_ty)
+        fs
+    | Enum arms ->
+      if arms = [] then fail "%s: empty enum" path;
+      let seen = Hashtbl.create 8 in
+      List.iter
+        (fun a ->
+          if a.a_tag < 0 || a.a_tag > 0xff then
+            fail "%s.%s: tag %d outside u8" path a.a_name a.a_tag;
+          if Hashtbl.mem seen a.a_tag then
+            fail "%s: duplicate tag %d" path a.a_tag;
+          Hashtbl.replace seen a.a_tag ();
+          go (path ^ "." ^ a.a_name) (depth + 1) a.a_body)
+        arms
+  in
+  match List.iter (fun (name, ty) -> go name 0 ty) t.s_roots with
+  | () -> Ok ()
+  | exception Failure m -> Error m
+
+(* ------------------------------------------------------------------ *)
+(* Field-level diff                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let diff a b =
+  let acc = ref [] in
+  let line fmt = Printf.ksprintf (fun m -> acc := m :: !acc) fmt in
+  let rec go path x y =
+    if not (equal_ty x y) then
+      match (x, y) with
+      | Option x', Option y' -> go (path ^ "?") x' y'
+      | List x', List y' -> go (path ^ "[]") x' y'
+      | Record fx, Record fy ->
+        let rec fields i fx fy =
+          match (fx, fy) with
+          | [], [] -> ()
+          | f :: fx', [] ->
+            line "%s.%s: only in old" path f.f_name;
+            fields (i + 1) fx' []
+          | [], f :: fy' ->
+            line "%s.%s: only in new" path f.f_name;
+            fields (i + 1) [] fy'
+          | f1 :: fx', f2 :: fy' ->
+            if f1.f_name <> f2.f_name then
+              line "%s: field %d named %S vs %S" path i f1.f_name f2.f_name;
+            go (path ^ "." ^ f1.f_name) f1.f_ty f2.f_ty;
+            fields (i + 1) fx' fy'
+        in
+        fields 0 fx fy
+      | Enum ax, Enum ay ->
+        let tags =
+          List.sort_uniq compare
+            (List.map (fun a -> a.a_tag) ax @ List.map (fun a -> a.a_tag) ay)
+        in
+        List.iter
+          (fun tag ->
+            let fx = List.find_opt (fun a -> a.a_tag = tag) ax in
+            let fy = List.find_opt (fun a -> a.a_tag = tag) ay in
+            match (fx, fy) with
+            | Some a1, Some a2 ->
+              if a1.a_name <> a2.a_name then
+                line "%s: tag %d named %S vs %S" path tag a1.a_name a2.a_name;
+              go (path ^ "." ^ a1.a_name) a1.a_body a2.a_body
+            | Some a1, None -> line "%s.%s: tag %d only in old" path a1.a_name tag
+            | None, Some a2 -> line "%s.%s: tag %d only in new" path a2.a_name tag
+            | None, None -> ())
+          tags
+      | _ -> line "%s: %s vs %s" path (str_ty x) (str_ty y)
+  in
+  if a.s_version <> b.s_version then
+    line "schema_version: %d vs %d" a.s_version b.s_version;
+  let roots =
+    List.sort_uniq compare (List.map fst a.s_roots @ List.map fst b.s_roots)
+  in
+  List.iter
+    (fun name ->
+      match (List.assoc_opt name a.s_roots, List.assoc_opt name b.s_roots) with
+      | Some x, Some y -> go name x y
+      | Some _, None -> line "%s: root only in old" name
+      | None, Some _ -> line "%s: root only in new" name
+      | None, None -> ())
+    roots;
+  List.rev !acc
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+(* ------------------------------------------------------------------ *)
+
+type json =
+  | Jnull
+  | Jbool of bool
+  | Jint of int
+  | Jstr of string
+  | Jarr of json list
+  | Jobj of (string * json) list
+
+let jstr_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let rec emit_compact b = function
+  | Jnull -> Buffer.add_string b "null"
+  | Jbool x -> Buffer.add_string b (if x then "true" else "false")
+  | Jint n -> Buffer.add_string b (string_of_int n)
+  | Jstr s -> Buffer.add_string b (jstr_escape s)
+  | Jarr xs ->
+    Buffer.add_char b '[';
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_char b ',';
+        emit_compact b x)
+      xs;
+    Buffer.add_char b ']'
+  | Jobj kvs ->
+    Buffer.add_char b '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b (jstr_escape k);
+        Buffer.add_char b ':';
+        emit_compact b v)
+      kvs;
+    Buffer.add_char b '}'
+
+let compact j =
+  let b = Buffer.create 1024 in
+  emit_compact b j;
+  Buffer.contents b
+
+let is_scalar = function
+  | Jnull | Jbool _ | Jint _ | Jstr _ -> true
+  | Jarr _ | Jobj _ -> false
+
+let rec emit_pretty b indent j =
+  let pad n = String.make n ' ' in
+  match j with
+  | Jnull | Jbool _ | Jint _ | Jstr _ -> emit_compact b j
+  | Jarr xs when List.for_all is_scalar xs -> emit_compact b j
+  | Jarr xs ->
+    Buffer.add_string b "[\n";
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_string b ",\n";
+        Buffer.add_string b (pad (indent + 2));
+        emit_pretty b (indent + 2) x)
+      xs;
+    Buffer.add_char b '\n';
+    Buffer.add_string b (pad indent);
+    Buffer.add_char b ']'
+  | Jobj kvs ->
+    Buffer.add_string b "{\n";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_string b ",\n";
+        Buffer.add_string b (pad (indent + 2));
+        Buffer.add_string b (jstr_escape k);
+        Buffer.add_string b ": ";
+        emit_pretty b (indent + 2) v)
+      kvs;
+    Buffer.add_char b '\n';
+    Buffer.add_string b (pad indent);
+    Buffer.add_char b '}'
+
+let pretty j =
+  let b = Buffer.create 4096 in
+  emit_pretty b 0 j;
+  Buffer.add_char b '\n';
+  Buffer.contents b
+
+exception Bad of string
+
+let parse_json s =
+  let n = String.length s in
+  let i = ref 0 in
+  let fail msg = raise (Bad (Printf.sprintf "json: %s at offset %d" msg !i)) in
+  let skip_ws () =
+    while
+      !i < n && (match s.[!i] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      incr i
+    done
+  in
+  let expect ch =
+    skip_ws ();
+    if !i < n && s.[!i] = ch then incr i
+    else fail (Printf.sprintf "expected '%c'" ch)
+  in
+  let lit word v =
+    if !i + String.length word <= n && String.sub s !i (String.length word) = word
+    then begin
+      i := !i + String.length word;
+      v
+    end
+    else fail "bad literal"
+  in
+  let pstring () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !i >= n then fail "unterminated string";
+      match s.[!i] with
+      | '"' -> incr i
+      | '\\' ->
+        incr i;
+        if !i >= n then fail "unterminated escape";
+        (match s.[!i] with
+        | '"' -> Buffer.add_char b '"'
+        | '\\' -> Buffer.add_char b '\\'
+        | '/' -> Buffer.add_char b '/'
+        | 'n' -> Buffer.add_char b '\n'
+        | 't' -> Buffer.add_char b '\t'
+        | 'r' -> Buffer.add_char b '\r'
+        | 'b' -> Buffer.add_char b '\b'
+        | 'f' -> Buffer.add_char b '\012'
+        | 'u' ->
+          if !i + 4 >= n then fail "bad \\u escape";
+          let code =
+            try int_of_string ("0x" ^ String.sub s (!i + 1) 4)
+            with _ -> fail "bad \\u escape"
+          in
+          if code > 0xff then fail "non-latin \\u escape unsupported";
+          Buffer.add_char b (Char.chr code);
+          i := !i + 4
+        | c -> fail (Printf.sprintf "bad escape '\\%c'" c));
+        incr i;
+        go ()
+      | c ->
+        Buffer.add_char b c;
+        incr i;
+        go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let rec value () =
+    skip_ws ();
+    if !i >= n then fail "unexpected end of input";
+    match s.[!i] with
+    | '{' ->
+      incr i;
+      skip_ws ();
+      if !i < n && s.[!i] = '}' then begin
+        incr i;
+        Jobj []
+      end
+      else begin
+        let rec members acc =
+          let k = (skip_ws (); pstring ()) in
+          expect ':';
+          let v = value () in
+          skip_ws ();
+          if !i < n && s.[!i] = ',' then begin
+            incr i;
+            members ((k, v) :: acc)
+          end
+          else begin
+            expect '}';
+            List.rev ((k, v) :: acc)
+          end
+        in
+        Jobj (members [])
+      end
+    | '[' ->
+      incr i;
+      skip_ws ();
+      if !i < n && s.[!i] = ']' then begin
+        incr i;
+        Jarr []
+      end
+      else begin
+        let rec elems acc =
+          let v = value () in
+          skip_ws ();
+          if !i < n && s.[!i] = ',' then begin
+            incr i;
+            elems (v :: acc)
+          end
+          else begin
+            expect ']';
+            List.rev (v :: acc)
+          end
+        in
+        Jarr (elems [])
+      end
+    | '"' -> Jstr (pstring ())
+    | 't' -> lit "true" (Jbool true)
+    | 'f' -> lit "false" (Jbool false)
+    | 'n' -> lit "null" Jnull
+    | '-' | '0' .. '9' ->
+      let start = !i in
+      if s.[!i] = '-' then incr i;
+      while
+        !i < n && (match s.[!i] with '0' .. '9' -> true | _ -> false)
+      do
+        incr i
+      done;
+      if !i < n && (s.[!i] = '.' || s.[!i] = 'e' || s.[!i] = 'E') then
+        fail "non-integer number";
+      Jint (int_of_string (String.sub s start (!i - start)))
+    | c -> fail (Printf.sprintf "unexpected '%c'" c)
+  in
+  match
+    let v = value () in
+    skip_ws ();
+    if !i <> n then fail "trailing input";
+    v
+  with
+  | v -> Ok v
+  | exception Bad m -> Error m
+
+let rec json_of_ty ty =
+  let code = ("code", Jint (kind_code ty)) in
+  match ty with
+  | Bool -> Jobj [ ("kind", Jstr "bool"); code; ("width", Jint 1) ]
+  | U8 -> Jobj [ ("kind", Jstr "u8"); code; ("width", Jint 1) ]
+  | U32 -> Jobj [ ("kind", Jstr "u32"); code; ("width", Jint 4) ]
+  | I64 -> Jobj [ ("kind", Jstr "i64"); code; ("width", Jint 8) ]
+  | Bytes -> Jobj [ ("kind", Jstr "bytes"); code ]
+  | Option t -> Jobj [ ("kind", Jstr "option"); code; ("some", json_of_ty t) ]
+  | List t -> Jobj [ ("kind", Jstr "list"); code; ("elem", json_of_ty t) ]
+  | Record fs ->
+    Jobj
+      [
+        ("kind", Jstr "record");
+        code;
+        ( "fields",
+          Jarr
+            (List.map
+               (fun f ->
+                 Jobj [ ("name", Jstr f.f_name); ("type", json_of_ty f.f_ty) ])
+               fs) );
+      ]
+  | Enum arms ->
+    Jobj
+      [
+        ("kind", Jstr "enum");
+        code;
+        ("tags", Jarr (List.map (fun a -> Jint a.a_tag) arms));
+        ( "arms",
+          Jarr
+            (List.map
+               (fun a ->
+                 Jobj
+                   [
+                     ("tag", Jint a.a_tag);
+                     ("name", Jstr a.a_name);
+                     ("body", json_of_ty a.a_body);
+                   ])
+               arms) );
+      ]
+
+let doc_sans_hash t =
+  Jobj
+    [
+      ("schema_version", Jint t.s_version);
+      ("roots", Jobj (List.map (fun (name, ty) -> (name, json_of_ty ty)) t.s_roots));
+    ]
+
+let hash t =
+  let h = H.create () in
+  H.add_string h (compact (doc_sans_hash t));
+  H.digest h
+
+let hash_hex t =
+  let h = H.create () in
+  H.add_string h (compact (doc_sans_hash t));
+  H.to_hex h
+
+let to_json t =
+  pretty
+    (Jobj
+       [
+         ("schema_version", Jint t.s_version);
+         ("hash", Jstr (hash_hex t));
+         ("roots", Jobj (List.map (fun (name, ty) -> (name, json_of_ty ty)) t.s_roots));
+       ])
+
+let jfield name = function
+  | Jobj kvs -> (
+    match List.assoc_opt name kvs with
+    | Some v -> v
+    | None -> raise (Bad (Printf.sprintf "missing field %S" name)))
+  | _ -> raise (Bad (Printf.sprintf "expected an object around %S" name))
+
+let jint = function Jint n -> n | _ -> raise (Bad "expected an integer")
+let jstring = function Jstr s -> s | _ -> raise (Bad "expected a string")
+let jlist = function Jarr xs -> xs | _ -> raise (Bad "expected an array")
+
+let rec ty_of_json j =
+  let kind = jstring (jfield "kind" j) in
+  let t =
+    match kind with
+    | "bool" -> Bool
+    | "u8" -> U8
+    | "u32" -> U32
+    | "i64" -> I64
+    | "bytes" -> Bytes
+    | "option" -> Option (ty_of_json (jfield "some" j))
+    | "list" -> List (ty_of_json (jfield "elem" j))
+    | "record" ->
+      Record
+        (List.map
+           (fun f ->
+             {
+               f_name = jstring (jfield "name" f);
+               f_ty = ty_of_json (jfield "type" f);
+             })
+           (jlist (jfield "fields" j)))
+    | "enum" ->
+      Enum
+        (List.map
+           (fun a ->
+             {
+               a_tag = jint (jfield "tag" a);
+               a_name = jstring (jfield "name" a);
+               a_body = ty_of_json (jfield "body" a);
+             })
+           (jlist (jfield "arms" j)))
+    | k -> raise (Bad (Printf.sprintf "unknown kind %S" k))
+  in
+  (match jfield "code" j with
+  | code when jint code <> kind_code t ->
+    raise
+      (Bad
+         (Printf.sprintf "kind %S carries code %d, expected %d" kind (jint code)
+            (kind_code t)))
+  | _ -> ());
+  (match (scalar_width t, j) with
+  | Some w, Jobj kvs when List.mem_assoc "width" kvs ->
+    if jint (jfield "width" j) <> w then
+      raise (Bad (Printf.sprintf "kind %S carries a wrong width" kind))
+  | _ -> ());
+  t
+
+let of_json s =
+  match parse_json s with
+  | Error e -> Error e
+  | Ok j -> (
+    match
+      let version = jint (jfield "schema_version" j) in
+      let roots =
+        match jfield "roots" j with
+        | Jobj kvs -> List.map (fun (name, tj) -> (name, ty_of_json tj)) kvs
+        | _ -> raise (Bad "roots must be an object")
+      in
+      let t = { s_version = version; s_roots = roots } in
+      (match validate t with Ok () -> () | Error m -> raise (Bad m));
+      (match j with
+      | Jobj kvs when List.mem_assoc "hash" kvs ->
+        let declared = jstring (jfield "hash" j) in
+        let actual = hash_hex t in
+        if declared <> actual then
+          raise
+            (Bad
+               (Printf.sprintf
+                  "embedded hash %s does not match the layout's canonical hash %s"
+                  declared actual))
+      | _ -> ());
+      t
+    with
+    | t -> Ok t
+    | exception Bad m -> Error m)
+
+(* ------------------------------------------------------------------ *)
+(* Generic values and the schema-driven codec                          *)
+(* ------------------------------------------------------------------ *)
+
+type value =
+  | Vbool of bool
+  | Vu8 of int
+  | Vu32 of int
+  | Vi64 of int64
+  | Vbytes of string
+  | Voption of value option
+  | Vlist of value list
+  | Vrecord of (string * value) list
+  | Venum of int * string * value
+
+let rec pp_value ppf = function
+  | Vbool x -> Format.fprintf ppf "%b" x
+  | Vu8 n -> Format.fprintf ppf "%d" n
+  | Vu32 n -> Format.fprintf ppf "%d" n
+  | Vi64 n -> Format.fprintf ppf "%Ld" n
+  | Vbytes s ->
+    Format.pp_print_string ppf "0x";
+    String.iter (fun c -> Format.fprintf ppf "%02x" (Char.code c)) s
+  | Voption None -> Format.pp_print_string ppf "none"
+  | Voption (Some v) -> Format.fprintf ppf "some %a" pp_value v
+  | Vlist xs ->
+    Format.fprintf ppf "[%a]"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+         pp_value)
+      xs
+  | Vrecord fs ->
+    Format.fprintf ppf "{%a}"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+         (fun ppf (n, v) -> Format.fprintf ppf "%s=%a" n pp_value v))
+      fs
+  | Venum (_, name, Vrecord []) -> Format.pp_print_string ppf name
+  | Venum (_, name, body) -> Format.fprintf ppf "%s(%a)" name pp_value body
+
+let encode ty v =
+  let b = Buffer.create 256 in
+  let mismatch ty v =
+    invalid_arg
+      (Format.asprintf "Sb_schema.encode: value %a does not inhabit %a" pp_value
+         v pp_ty ty)
+  in
+  let rec go depth ty v =
+    if depth > max_depth then invalid_arg "Sb_schema.encode: nesting too deep";
+    match (ty, v) with
+    | Bool, Vbool x -> Buffer.add_uint8 b (if x then 1 else 0)
+    | U8, Vu8 n ->
+      if n < 0 || n > 0xff then mismatch ty v;
+      Buffer.add_uint8 b n
+    | U32, Vu32 n ->
+      if n < 0 || n > 0x7fffffff then mismatch ty v;
+      Buffer.add_int32_be b (Int32.of_int n)
+    | I64, Vi64 n -> Buffer.add_int64_be b n
+    | Bytes, Vbytes s ->
+      Buffer.add_int32_be b (Int32.of_int (String.length s));
+      Buffer.add_string b s
+    | Option _, Voption None -> Buffer.add_uint8 b 0
+    | Option t, Voption (Some x) ->
+      Buffer.add_uint8 b 1;
+      go (depth + 1) t x
+    | List t, Vlist xs ->
+      Buffer.add_int32_be b (Int32.of_int (List.length xs));
+      List.iter (go (depth + 1) t) xs
+    | Record fs, Vrecord vs ->
+      if List.length fs <> List.length vs then mismatch ty v;
+      List.iter2
+        (fun f (n, x) ->
+          if f.f_name <> n then mismatch ty v;
+          go (depth + 1) f.f_ty x)
+        fs vs
+    | Enum arms, Venum (tag, _, body) -> (
+      match List.find_opt (fun a -> a.a_tag = tag) arms with
+      | None -> mismatch ty v
+      | Some a ->
+        Buffer.add_uint8 b tag;
+        go (depth + 1) a.a_body body)
+    | _ -> mismatch ty v
+  in
+  go 0 ty v;
+  Buffer.to_bytes b
+
+let decode ty buf =
+  let stop = Bytes.length buf in
+  let pos = ref 0 in
+  let fail fmt = Printf.ksprintf (fun m -> raise (Bad m)) fmt in
+  let need n = if !pos + n > stop then fail "truncated value" in
+  let u8 () =
+    need 1;
+    let v = Bytes.get_uint8 buf !pos in
+    incr pos;
+    v
+  in
+  let u32 () =
+    need 4;
+    let v = Int32.to_int (Bytes.get_int32_be buf !pos) in
+    pos := !pos + 4;
+    if v < 0 then fail "negative length";
+    v
+  in
+  let rec go depth ty =
+    if depth > max_depth then fail "nesting deeper than %d" max_depth;
+    match ty with
+    | Bool -> (
+      match u8 () with
+      | 0 -> Vbool false
+      | 1 -> Vbool true
+      | n -> fail "bad bool byte %d" n)
+    | U8 -> Vu8 (u8 ())
+    | U32 -> Vu32 (u32 ())
+    | I64 ->
+      need 8;
+      let v = Bytes.get_int64_be buf !pos in
+      pos := !pos + 8;
+      Vi64 v
+    | Bytes ->
+      let n = u32 () in
+      need n;
+      let s = Bytes.sub_string buf !pos n in
+      pos := !pos + n;
+      Vbytes s
+    | Option t -> (
+      match u8 () with
+      | 0 -> Voption None
+      | 1 -> Voption (Some (go (depth + 1) t))
+      | n -> fail "bad presence byte %d" n)
+    | List t ->
+      let n = u32 () in
+      if n > stop - !pos then fail "list longer than frame";
+      Vlist (List.init n (fun _ -> go (depth + 1) t))
+    | Record fs ->
+      Vrecord (List.map (fun f -> (f.f_name, go (depth + 1) f.f_ty)) fs)
+    | Enum arms -> (
+      let tag = u8 () in
+      match List.find_opt (fun a -> a.a_tag = tag) arms with
+      | Some a -> Venum (tag, a.a_name, go (depth + 1) a.a_body)
+      | None ->
+        fail "unknown tag %d (valid: %s)" tag
+          (String.concat ","
+             (List.map (fun a -> string_of_int a.a_tag) arms)))
+  in
+  match
+    let v = go 0 ty in
+    if !pos <> stop then fail "trailing bytes";
+    v
+  with
+  | v -> Ok v
+  | exception Bad m -> Error m
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic witness corpus                                        *)
+(* ------------------------------------------------------------------ *)
+
+let rec take n = function
+  | [] -> []
+  | x :: tl -> if n <= 0 then [] else x :: take (n - 1) tl
+
+let samples ty =
+  let ctr = ref 0 in
+  let fresh () =
+    incr ctr;
+    !ctr
+  in
+  (* Every scalar leaf draws a distinct site-dependent value with high
+     bits set, so that two transposed fields of the same type decode to
+     visibly different values.  I64 stays under bit 62 so the witnesses
+     survive codecs that carry the value in an OCaml 63-bit int. *)
+  let rec base depth ty =
+    match ty with
+    | Bool -> Vbool true
+    | U8 -> Vu8 (0x90 + (fresh () * 7 mod 0x60))
+    | U32 -> Vu32 (0x00a0_0000 lor (fresh () * 0x0101 land 0xffff))
+    | I64 -> Vi64 Int64.(add 0x1142_0000_0000_0000L (of_int (fresh () * 0x01010101)))
+    | Bytes ->
+      let c = fresh () in
+      Vbytes
+        (String.init 3 (fun k -> Char.chr (0x80 + ((c * 11) + (k * 17)) mod 0x7f)))
+    | Option t -> Voption (Some (base (depth + 1) t))
+    | List t -> Vlist [ base (depth + 1) t; base (depth + 1) t ]
+    | Record fs -> Vrecord (List.map (fun f -> (f.f_name, base (depth + 1) f.f_ty)) fs)
+    | Enum [] -> invalid_arg "Sb_schema.samples: empty enum"
+    | Enum (a :: _) -> Venum (a.a_tag, a.a_name, base (depth + 1) a.a_body)
+  in
+  let rec vars depth ty =
+    if depth > max_depth then [ base depth ty ]
+    else
+      match ty with
+      | Bool -> [ Vbool true; Vbool false ]
+      (* The small second sample doubles as a plausible count/length so
+         that shifted parses can realign over variable-width fields. *)
+      | U8 -> [ base depth ty; Vu8 2 ]
+      | U32 -> [ base depth ty; Vu32 3 ]
+      | I64 -> [ base depth ty; Vi64 5L ]
+      | Bytes -> [ base depth ty; Vbytes "" ]
+      | Option t ->
+        List.map (fun v -> Voption (Some v)) (take 2 (vars (depth + 1) t))
+        @ [ Voption None ]
+      | List t -> (
+        let vs = vars (depth + 1) t in
+        [ Vlist (take 2 vs); Vlist [] ]
+        @ match vs with v :: _ -> [ Vlist [ v ] ] | [] -> [])
+      | Record fs ->
+        let b = List.map (fun f -> (f.f_name, base (depth + 1) f.f_ty)) fs in
+        let head = Vrecord b in
+        let alts =
+          List.concat_map
+            (fun f ->
+              match vars (depth + 1) f.f_ty with
+              | [] | [ _ ] -> []
+              | _ :: rest ->
+                List.map
+                  (fun v ->
+                    Vrecord
+                      (List.map
+                         (fun (n, bv) -> if n = f.f_name then (n, v) else (n, bv))
+                         b))
+                  (take 4 rest))
+            fs
+        in
+        take 128 (head :: alts)
+      | Enum arms ->
+        take 160
+          (List.concat_map
+             (fun a ->
+               List.map
+                 (fun v -> Venum (a.a_tag, a.a_name, v))
+                 (take 32 (vars (depth + 1) a.a_body)))
+             arms)
+  in
+  vars 0 ty

@@ -1,4 +1,5 @@
 module D = Sb_sim.Rmwdesc
+module Sch = Sb_schema.Schema
 
 let sockpath ~sockdir i = Filename.concat sockdir (Printf.sprintf "server-%d.sock" i)
 
@@ -10,15 +11,15 @@ let statefile ~statedir i =
 (* atomically (temp + rename) after every mutating RMW.                 *)
 (* ------------------------------------------------------------------ *)
 
-let save_state file (p : Wire.persisted) =
+let save_state ~version file (p : Wire.persisted) =
   let tmp = file ^ ".tmp" in
   let oc = open_out_bin tmp in
-  let buf = Wire.encode_persisted p in
+  let buf = Wire.encode_persisted ~version p in
   output_bytes oc buf;
   close_out oc;
   Sys.rename tmp file
 
-let load_state file : Wire.persisted option =
+let load_state ~max_version file : Wire.persisted option =
   if not (Sys.file_exists file) then None
   else begin
     let ic = open_in_bin file in
@@ -29,7 +30,9 @@ let load_state file : Wire.persisted option =
     if len < 4 then None
     else
       let body = Bytes.sub buf 4 (len - 4) in
-      match Wire.decode_persisted body with Ok p -> Some p | Error _ -> None
+      match Wire.decode_persisted ~max_version body with
+      | Ok p -> Some p
+      | Error _ -> None
   end
 
 (* ------------------------------------------------------------------ *)
@@ -40,6 +43,10 @@ type conn = {
   fd : Unix.file_descr;
   reader : Wire.Reader.t;
   out : Buffer.t;
+  mutable peer_version : int;
+      (** Negotiated at [Hello]; replies are framed at this version. *)
+  mutable closing : bool;
+      (** Close after the out buffer drains (a [Reject] was sent). *)
   mutable closed : bool;
 }
 
@@ -48,10 +55,13 @@ type server = {
   core : Server_core.t;
   listen_fd : Unix.file_descr;
   state_path : string option;
+  wire_version : int;
+  own_schema : Wire.peer_schema;
   mutable conns : conn list;
 }
 
-let enqueue conn msg = Buffer.add_bytes conn.out (Wire.encode_msg msg)
+let enqueue conn msg =
+  Buffer.add_bytes conn.out (Wire.encode_msg ~version:conn.peer_version msg)
 
 let close_conn conn =
   if not conn.closed then begin
@@ -63,18 +73,70 @@ let persist srv =
   match srv.state_path with
   | None -> ()
   | Some file ->
-    save_state file
+    save_state ~version:srv.wire_version file
       {
         Wire.p_incarnation = Server_core.incarnation srv.core;
         p_state = Server_core.state srv.core;
       }
 
-let handle_msg srv conn (msg : Wire.msg) =
-  match msg with
-  | Wire.Hello _ ->
+(* Connect-time schema negotiation.  A v1 client's [Hello] carries no
+   schema: serve it at v1 framing.  A v2+ client is served at
+   min(ours, theirs) — cross-version pairs are certified
+   decode-compatible at build time by [spacebounds schema check] — but
+   a peer claiming {e our} schema version with a {e different} layout
+   hash is drifted, and gets a typed [Reject] instead of decode
+   crashes later. *)
+let handle_hello srv conn (peer : Wire.peer_schema option) =
+  match peer with
+  | Some ps
+    when ps.Wire.ps_version = srv.wire_version
+         && not (String.equal ps.Wire.ps_hash srv.own_schema.Wire.ps_hash) ->
+    conn.peer_version <- min srv.wire_version (max 2 Wire.min_version);
+    enqueue conn
+      (Wire.Reject
+         {
+           rj_code = Wire.Incompatible_schema;
+           rj_detail =
+             Printf.sprintf "schema v%d hash mismatch: ours %s, peer %s"
+               srv.wire_version
+               (Sch.hash_hex (Wire.schema_v ~version:srv.wire_version))
+               (String.concat ""
+                  (List.map
+                     (fun c -> Printf.sprintf "%02x" (Char.code c))
+                     (List.init
+                        (String.length ps.Wire.ps_hash)
+                        (String.get ps.Wire.ps_hash))));
+         });
+    conn.closing <- true
+  | Some ps when ps.Wire.ps_version < Wire.min_version ->
+    conn.peer_version <- min srv.wire_version (max 2 Wire.min_version);
+    enqueue conn
+      (Wire.Reject
+         {
+           rj_code = Wire.Unsupported_version;
+           rj_detail =
+             Printf.sprintf "peer schema v%d below minimum %d"
+               ps.Wire.ps_version Wire.min_version;
+         });
+    conn.closing <- true
+  | _ ->
+    let negotiated =
+      match peer with
+      | None -> 1
+      | Some ps -> max 1 (min srv.wire_version ps.Wire.ps_version)
+    in
+    conn.peer_version <- negotiated;
     enqueue conn
       (Wire.Welcome
-         { server = srv.sid; incarnation = Server_core.incarnation srv.core })
+         {
+           server = srv.sid;
+           incarnation = Server_core.incarnation srv.core;
+           schema = (if negotiated >= 2 then Some srv.own_schema else None);
+         })
+
+let handle_msg srv conn (msg : Wire.msg) =
+  match msg with
+  | Wire.Hello { client = _; schema } -> handle_hello srv conn schema
   | Wire.Request rq ->
     let rmw = D.apply rq.Wire.rq_desc in
     let oc =
@@ -104,7 +166,7 @@ let handle_msg srv conn (msg : Wire.msg) =
            st_dedup_hits = Server_core.dedup_hits srv.core;
            st_applied = Server_core.applied_count srv.core;
          })
-  | Wire.Welcome _ | Wire.Response _ | Wire.Stats _ ->
+  | Wire.Welcome _ | Wire.Response _ | Wire.Stats _ | Wire.Reject _ ->
     (* Server-to-client messages arriving at a server: drop the peer. *)
     close_conn conn
 
@@ -115,7 +177,7 @@ let read_conn srv conn =
   | n ->
     Wire.Reader.feed conn.reader buf 0 n;
     let rec drain () =
-      if not conn.closed then
+      if (not conn.closed) && not conn.closing then
         match Wire.Reader.next conn.reader with
         | Ok None -> ()
         | Ok (Some msg) ->
@@ -134,6 +196,7 @@ let write_conn conn =
     Buffer.clear conn.out;
     if n < Bytes.length pending then
       Buffer.add_subbytes conn.out pending n (Bytes.length pending - n)
+    else if conn.closing then close_conn conn
   | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
   | exception Unix.Unix_error _ -> close_conn conn
 
@@ -142,7 +205,14 @@ let accept_conn srv =
   | fd, _ ->
     Unix.set_nonblock fd;
     srv.conns <-
-      { fd; reader = Wire.Reader.create (); out = Buffer.create 256; closed = false }
+      {
+        fd;
+        reader = Wire.Reader.create ~max_version:srv.wire_version ();
+        out = Buffer.create 256;
+        peer_version = 1;
+        closing = false;
+        closed = false;
+      }
       :: srv.conns
   | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
 
@@ -158,13 +228,13 @@ let install_signals () =
   (try Sys.set_signal Sys.sigint handler with Invalid_argument _ -> ());
   try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ()
 
-let make_server ?statedir ~dedup ~sockdir ~init_obj sid =
+let make_server ?statedir ~dedup ~wire_version ~sockdir ~init_obj sid =
   let core =
     let fresh () = Server_core.create ~dedup (init_obj sid) in
     match statedir with
     | None -> fresh ()
     | Some dir -> (
-      match load_state (statefile ~statedir:dir sid) with
+      match load_state ~max_version:wire_version (statefile ~statedir:dir sid) with
       | Some p ->
         (* Restarting over a persisted state is a recovery: the
            at-most-once table died with the process, so the server
@@ -180,19 +250,38 @@ let make_server ?statedir ~dedup ~sockdir ~init_obj sid =
   Unix.bind listen_fd (ADDR_UNIX path);
   Unix.listen listen_fd 64;
   let srv =
-    { sid; core; listen_fd; state_path = Option.map (fun d -> statefile ~statedir:d sid) statedir; conns = [] }
+    {
+      sid;
+      core;
+      listen_fd;
+      state_path = Option.map (fun d -> statefile ~statedir:d sid) statedir;
+      wire_version;
+      own_schema =
+        {
+          Wire.ps_version = wire_version;
+          ps_hash = Sch.hash (Wire.schema_v ~version:wire_version);
+        };
+      conns = [];
+    }
   in
   persist srv;
   srv
 
-let run ?(dedup = true) ?statedir ?stop ~sockdir ~servers ~init_obj () =
+let run ?(dedup = true) ?(wire_version = Wire.version) ?statedir ?stop ~sockdir
+    ~servers ~init_obj () =
+  if wire_version < Wire.min_version || wire_version > Wire.version then
+    invalid_arg
+      (Printf.sprintf "Daemon.run: wire_version %d outside %d..%d" wire_version
+         Wire.min_version Wire.version);
   interrupted := false;
   install_signals ();
   (match statedir with
    | Some dir when not (Sys.file_exists dir) -> Unix.mkdir dir 0o755
    | _ -> ());
   if not (Sys.file_exists sockdir) then Unix.mkdir sockdir 0o755;
-  let srvs = List.map (make_server ?statedir ~dedup ~sockdir ~init_obj) servers in
+  let srvs =
+    List.map (make_server ?statedir ~dedup ~wire_version ~sockdir ~init_obj) servers
+  in
   let should_stop () =
     !interrupted || (match stop with Some f -> f () | None -> false)
   in

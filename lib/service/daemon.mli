@@ -13,7 +13,19 @@
     restarted over a persisted state recovers into a fresh incarnation,
     exactly like [Recover_server] in the simulated transport.  Killing
     the process loses the at-most-once table — the fault model of the
-    paper's crash-recoverable base objects. *)
+    paper's crash-recoverable base objects.
+
+    {2 Mixed-version clusters}
+
+    [?wire_version] pins a daemon to an older wire version: its frames
+    (and persisted state) are encoded at that version and its reader
+    rejects newer frames, which makes the binary behave exactly like an
+    old build — the mixed-version scenarios restart daemons one
+    schema-version apart under live load.  Connect-time, the [Hello]
+    handshake carries the peer's schema version + hash (v2+); a peer
+    claiming the daemon's own schema version with a different layout
+    hash gets a typed [Wire.Reject] and a clean close instead of decode
+    crashes mid-stream. *)
 
 val sockpath : sockdir:string -> int -> string
 (** [sockdir/server-<i>.sock] — where server [i] listens. *)
@@ -23,6 +35,7 @@ val statefile : statedir:string -> int -> string
 
 val run :
   ?dedup:bool ->
+  ?wire_version:int ->
   ?statedir:string ->
   ?stop:(unit -> bool) ->
   sockdir:string ->
@@ -35,5 +48,8 @@ val run :
     hosts a whole cluster in one process; [servers = [i]] is one daemon
     of a multi-process deployment.  [init_obj] supplies the initial
     object state when no persisted state exists.  [dedup] (default
-    true) arms the per-incarnation at-most-once table.  Sockets are
-    unlinked on the way out. *)
+    true) arms the per-incarnation at-most-once table.
+    [wire_version] (default [Wire.version]) pins the daemon's protocol
+    version; raises [Invalid_argument] outside
+    [Wire.min_version..Wire.version].  Sockets are unlinked on the way
+    out. *)

@@ -44,6 +44,10 @@ type report = {
   retransmissions : int;
   reconnects : int;
   recoveries_observed : int;
+  downgrades : int;
+      (* v2 handshakes that fell back to v1 after an old daemon closed *)
+  schema_rejects : (int * string) list;
+      (* typed handshake refusals, by server; chronological *)
   peak_sampled_bits : int;
   timed_out : bool;
 }
@@ -79,7 +83,10 @@ type engine = {
   clients : client array;
   conns : connstate array;
   responses : Mailbox.t;
-  timers : (int * bytes) Rt.t;  (* server id, encoded request frame *)
+  timers : (int * Wire.msg) Rt.t;
+      (* server id, request message — re-encoded at the server's
+         negotiated version on every (re)send, so a retransmission
+         armed before a downgrade still reaches the v1 server *)
   rt_cfg : Rt.config;
   mutable next_ticket : int;
   mutable next_op : int;
@@ -98,6 +105,12 @@ type engine = {
   mutable reconnects : int;
   connects : int array;
   mutable recoveries_observed : int;
+  peer_version : int array;
+      (* negotiated wire version per server; starts optimistic *)
+  welcomed : bool array;  (* this connection completed its handshake *)
+  rejected : bool array;  (* typed schema reject: do not reconnect *)
+  mutable downgrades : int;
+  mutable schema_rejects : (int * string) list;  (* reversed *)
 }
 
 let now_ms eng = (Unix.gettimeofday () -. eng.start) *. 1000.0
@@ -111,6 +124,9 @@ let tick eng =
 (* Connections                                                          *)
 (* ------------------------------------------------------------------ *)
 
+let own_schema =
+  { Wire.ps_version = Wire.version; ps_hash = Wire.schema_hash }
+
 let try_connect eng s =
   let path = Daemon.sockpath ~sockdir:eng.cfg.sockdir s in
   let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
@@ -118,7 +134,12 @@ let try_connect eng s =
   | () ->
     Unix.set_nonblock fd;
     let c = { fd; reader = Wire.Reader.create (); out = Buffer.create 256 } in
-    Buffer.add_bytes c.out (Wire.encode_msg (Wire.Hello { client = 0 }));
+    eng.welcomed.(s) <- false;
+    (* Hello optimistically at the last version this server spoke
+       (initially ours); v1 framing drops the schema field itself. *)
+    Buffer.add_bytes c.out
+      (Wire.encode_msg ~version:eng.peer_version.(s)
+         (Wire.Hello { client = 0; schema = Some own_schema }));
     eng.conns.(s) <- Up c;
     eng.connects.(s) <- eng.connects.(s) + 1;
     if eng.connects.(s) > 1 then eng.reconnects <- eng.reconnects + 1
@@ -129,31 +150,50 @@ let try_connect eng s =
 
 let mark_down eng s =
   (match eng.conns.(s) with
-   | Up c -> ( try Unix.close c.fd with Unix.Unix_error _ -> ())
+   | Up c ->
+     (try Unix.close c.fd with Unix.Unix_error _ -> ());
+     (* A close before [Welcome] while we were speaking v2+ is how an
+        old daemon refuses frames it cannot decode: fall back to v1 for
+        this server (sticky) and let the reconnect retry the
+        handshake. *)
+     if (not eng.welcomed.(s)) && eng.peer_version.(s) > 1 then begin
+       eng.peer_version.(s) <- 1;
+       eng.downgrades <- eng.downgrades + 1
+     end
    | Down _ -> ());
   eng.conns.(s) <-
     Down { retry_at = now_ms eng +. float_of_int eng.cfg.reconnect_ms }
+
+let schema_reject eng s detail =
+  eng.schema_rejects <- (s, detail) :: eng.schema_rejects;
+  eng.rejected.(s) <- true;
+  eng.welcomed.(s) <- true;  (* a typed refusal is not a downgrade *)
+  mark_down eng s
 
 let ensure_conns eng =
   Array.iteri
     (fun s st ->
       match st with
       | Up _ -> ()
-      | Down d -> if now_ms eng >= d.retry_at then try_connect eng s)
+      | Down d ->
+        if (not eng.rejected.(s)) && now_ms eng >= d.retry_at then
+          try_connect eng s)
     eng.conns
 
 (* A request towards a dead server waits in its retransmit timer;
-   resends go out once the connection is back. *)
-let send_to eng s frame =
+   resends go out once the connection is back.  Frames are encoded at
+   send time, at the server's negotiated version. *)
+let send_to eng s msg =
   match eng.conns.(s) with
-  | Up c -> Buffer.add_bytes c.out frame
+  | Up c ->
+    Buffer.add_bytes c.out (Wire.encode_msg ~version:eng.peer_version.(s) msg)
   | Down _ -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Fibers: the same Trigger/Await effects, interpreted over sockets     *)
 (* ------------------------------------------------------------------ *)
 
-let timer_live eng ticket (t : (int * bytes) Rt.timer) =
+let timer_live eng ticket (t : (int * Wire.msg) Rt.timer) =
   (not (Mailbox.has eng.responses ticket))
   && Rt.within_budget eng.rt_cfg t
   && eng.clients.(t.Rt.owner).current_op <> None
@@ -183,17 +223,16 @@ let handle_fiber eng (cl : client) (op : R.op) (body : unit -> bytes option) :
                 let ticket = eng.next_ticket in
                 eng.next_ticket <- ticket + 1;
                 eng.desc_log <- d :: eng.desc_log;
-                let frame =
-                  Wire.encode_msg
-                    (Wire.Request
-                       {
-                         rq_client = cl.cid;
-                         rq_ticket = ticket;
-                         rq_op = op.R.id;
-                         rq_nature = nature;
-                         rq_payload = payload;
-                         rq_desc = d;
-                       })
+                let req =
+                  Wire.Request
+                    {
+                      rq_client = cl.cid;
+                      rq_ticket = ticket;
+                      rq_op = op.R.id;
+                      rq_nature = nature;
+                      rq_payload = payload;
+                      rq_desc = d;
+                    }
                 in
                 Trace.add eng.tr
                   (Rmw_trigger
@@ -206,10 +245,10 @@ let handle_fiber eng (cl : client) (op : R.op) (body : unit -> bytes option) :
                        payload_bits =
                          Sb_storage.Accounting.bits_of_blocks payload;
                      });
-                send_to eng obj frame;
+                send_to eng obj req;
                 Rt.arm eng.timers ~ticket ~owner:cl.cid
                   ~deadline:(now_ms_int eng + eng.cfg.rto_ms)
-                  (obj, frame);
+                  (obj, req);
                 continue k ticket)
           | R.Await (tickets, quorum) ->
             Some
@@ -325,10 +364,35 @@ let record_sample eng =
     eng.samples <- { at_ms = now_ms eng; total_bits = total } :: eng.samples
   end
 
+let reject_code_name = function
+  | Wire.Unsupported_version -> "unsupported-version"
+  | Wire.Incompatible_schema -> "incompatible-schema"
+
 let handle_inbound eng s (msg : Wire.msg) =
   match msg with
-  | Wire.Welcome { server; incarnation } ->
-    if server = s then note_incarnation eng s incarnation
+  | Wire.Welcome { server; incarnation; schema } ->
+    if server = s then begin
+      (match schema with
+       | Some ps
+         when ps.Wire.ps_version = Wire.version
+              && not (String.equal ps.Wire.ps_hash Wire.schema_hash) ->
+         (* Same schema version, different layout: drifted peer. *)
+         schema_reject eng s
+           (Printf.sprintf "welcome schema v%d hash differs from ours"
+              ps.Wire.ps_version)
+       | Some ps ->
+         eng.welcomed.(s) <- true;
+         eng.peer_version.(s) <-
+           max 1 (min Wire.version ps.Wire.ps_version)
+       | None ->
+         (* v1 daemons have no schema field to send. *)
+         eng.welcomed.(s) <- true;
+         eng.peer_version.(s) <- 1);
+      if not eng.rejected.(s) then note_incarnation eng s incarnation
+    end
+  | Wire.Reject { rj_code; rj_detail } ->
+    schema_reject eng s
+      (Printf.sprintf "%s: %s" (reject_code_name rj_code) rj_detail)
   | Wire.Response rs ->
     note_incarnation eng s rs.Wire.rs_incarnation;
     Mailbox.record eng.responses ~ticket:rs.Wire.rs_ticket
@@ -390,8 +454,8 @@ let fire_retransmits eng =
       | Some t ->
         Rt.backoff eng.rt_cfg t ~now:(now_ms_int eng);
         eng.retransmissions <- eng.retransmissions + 1;
-        let s, frame = t.Rt.req in
-        send_to eng s frame)
+        let s, req = t.Rt.req in
+        send_to eng s req)
     (Rt.due eng.timers ~now:(now_ms_int eng) ~live:(timer_live eng))
 
 let fire_sampling eng =
@@ -399,8 +463,7 @@ let fire_sampling eng =
     eng.next_sample_at <-
       now_ms eng +. float_of_int eng.cfg.sample_every_ms;
     Array.fill eng.last_stats 0 (Array.length eng.last_stats) None;
-    let q = Wire.encode_msg Wire.Stats_query in
-    Array.iteri (fun s _ -> send_to eng s q) eng.conns
+    Array.iteri (fun s _ -> send_to eng s Wire.Stats_query) eng.conns
   end
 
 let select_round eng timeout =
@@ -467,6 +530,11 @@ let create ~algorithm ~seed ~workload cfg =
     reconnects = 0;
     connects = Array.make cfg.n 0;
     recoveries_observed = 0;
+    peer_version = Array.make cfg.n Wire.version;
+    welcomed = Array.make cfg.n false;
+    rejected = Array.make cfg.n false;
+    downgrades = 0;
+    schema_rejects = [];
   }
 
 (* A quiescent stats round over fresh connections; used for the final
@@ -482,7 +550,8 @@ let fetch_stats ?(timeout_ms = 5000) ~sockdir ~servers () =
           let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
           match
             Unix.connect fd (ADDR_UNIX path);
-            let frame = Wire.encode_msg Wire.Stats_query in
+            (* v1 framing: readable by every daemon version. *)
+            let frame = Wire.encode_msg ~version:1 Wire.Stats_query in
             let _ = Unix.write fd frame 0 (Bytes.length frame) in
             let reader = Wire.Reader.create () in
             let buf = Bytes.create 65536 in
@@ -572,6 +641,8 @@ let run_workload ~algorithm ~seed ~workload cfg =
     retransmissions = eng.retransmissions;
     reconnects = eng.reconnects;
     recoveries_observed = eng.recoveries_observed;
+    downgrades = eng.downgrades;
+    schema_rejects = List.rev eng.schema_rejects;
     peak_sampled_bits;
     timed_out = !timed_out;
   }

@@ -54,6 +54,15 @@ type report = {
   retransmissions : int;
   reconnects : int;
   recoveries_observed : int;  (** Server incarnation bumps seen. *)
+  downgrades : int;
+      (** Servers renegotiated down to wire v1 after an old daemon
+          closed on a v2 [Hello] — the expected path when new clients
+          meet an un-upgraded fleet. *)
+  schema_rejects : (int * string) list;
+      (** Typed [Wire.Reject] refusals (or welcome-hash mismatches
+          detected client-side), by server id, chronological.  A
+          rejected server is never re-dialled; a healthy mixed-version
+          run has none. *)
   peak_sampled_bits : int;
   timed_out : bool;  (** The deadline cut the run short. *)
 }

@@ -1,7 +1,9 @@
 open Sb_storage
 module D = Sb_sim.Rmwdesc
+module Sch = Sb_schema.Schema
 
-let version = 1
+let version = 2
+let min_version = 1
 let max_frame_bytes = 64 * 1024 * 1024
 
 type nature = [ `Mutating | `Readonly | `Merge ]
@@ -33,13 +35,17 @@ type stats = {
   st_applied : int;
 }
 
+type peer_schema = { ps_version : int; ps_hash : string }
+type reject_code = Unsupported_version | Incompatible_schema
+
 type msg =
-  | Hello of { client : int }
-  | Welcome of { server : int; incarnation : int }
+  | Hello of { client : int; schema : peer_schema option }
+  | Welcome of { server : int; incarnation : int; schema : peer_schema option }
   | Request of request
   | Response of response
   | Stats_query
   | Stats of stats
+  | Reject of { rj_code : reject_code; rj_detail : string }
 
 exception Decode of string
 
@@ -181,6 +187,11 @@ let r_block c =
   let source = r_int c in
   let index = r_int c in
   let data = r_bytes c in
+  (* [Block.v] raises [Invalid_argument] on negative coordinates; an
+     adversarial frame must surface as a decode error, not a crash
+     (found by the Reader partial-delivery fuzz). *)
+  if source < 0 || index < 0 then
+    raise (Decode (Printf.sprintf "negative block coordinate %d/%d" source index));
   Block.v ~source ~index data
 
 let r_chunk c =
@@ -195,20 +206,23 @@ let r_objstate c =
   Objstate.with_stored_ts (Objstate.init ~vp ~vf ()) stored_ts
 
 let r_nature c : nature =
-  match r_u8 c with
+  let tag = r_u8 c in
+  match tag with
   | 0 -> `Mutating
   | 1 -> `Readonly
   | 2 -> `Merge
   | n -> raise (Decode (Printf.sprintf "bad nature tag %d" n))
 
 let r_resp c =
-  match r_u8 c with
+  let tag = r_u8 c in
+  match tag with
   | 0 -> D.Ack
   | 1 -> D.Snap (r_objstate c)
   | n -> raise (Decode (Printf.sprintf "bad resp tag %d" n))
 
 let r_desc c =
-  match r_u8 c with
+  let tag = r_u8 c in
+  match tag with
   | 0 -> D.Snapshot
   | 1 -> D.Abd_store (r_chunk c)
   | 2 -> D.Lww_store (r_chunk c)
@@ -216,13 +230,15 @@ let r_desc c =
   | 4 ->
     let replicate = r_bool c in
     let eviction =
-      match r_u8 c with
+      let tag = r_u8 c in
+      match tag with
       | 0 -> D.Barrier
       | 1 -> D.Own_ts
       | n -> raise (Decode (Printf.sprintf "bad eviction tag %d" n))
     in
     let trim =
-      match r_u8 c with
+      let tag = r_u8 c in
+      match tag with
       | 0 -> D.Keep_all
       | 1 -> D.Keep_newest (r_int c)
       | n -> raise (Decode (Printf.sprintf "bad trim tag %d" n))
@@ -250,17 +266,188 @@ let r_desc c =
   | n -> raise (Decode (Printf.sprintf "bad desc tag %d" n))
 
 (* ------------------------------------------------------------------ *)
+(* The programmatic schema                                              *)
+(*                                                                      *)
+(* Defined right beside the writers/readers it describes, and pinned to *)
+(* them from three directions: the test suite decodes codec output with *)
+(* the schema-driven interpreter and re-encodes it byte-for-byte, the   *)
+(* golden schemas/v<N>.json files are diffed against [schema_v] on      *)
+(* every runtest, and [spacebounds schema check --all] certifies each   *)
+(* committed version pair.                                              *)
+(* ------------------------------------------------------------------ *)
+
+let fld f_name f_ty = { Sch.f_name; f_ty }
+let earm a_tag a_name a_body = { Sch.a_tag; a_name; a_body }
+let unit_ty = Sch.Record []
+
+let ty_ts = Sch.Record [ fld "num" Sch.I64; fld "client" Sch.I64 ]
+
+let ty_block =
+  Sch.Record [ fld "source" Sch.I64; fld "index" Sch.I64; fld "data" Sch.Bytes ]
+
+let ty_chunk = Sch.Record [ fld "ts" ty_ts; fld "block" ty_block ]
+
+let ty_objstate =
+  Sch.Record
+    [
+      fld "stored_ts" ty_ts;
+      fld "vp" (Sch.List ty_chunk);
+      fld "vf" (Sch.List ty_chunk);
+    ]
+
+let ty_nature =
+  Sch.Enum
+    [ earm 0 "Mutating" unit_ty; earm 1 "Readonly" unit_ty; earm 2 "Merge" unit_ty ]
+
+let ty_resp = Sch.Enum [ earm 0 "Ack" unit_ty; earm 1 "Snap" ty_objstate ]
+
+let ty_desc =
+  Sch.Enum
+    [
+      earm 0 "Snapshot" unit_ty;
+      earm 1 "Abd_store" ty_chunk;
+      earm 2 "Lww_store" ty_chunk;
+      earm 3 "Safe_update" ty_chunk;
+      earm 4 "Adaptive_update"
+        (Sch.Record
+           [
+             fld "replicate" Sch.Bool;
+             fld "eviction"
+               (Sch.Enum [ earm 0 "Barrier" unit_ty; earm 1 "Own_ts" unit_ty ]);
+             fld "trim"
+               (Sch.Enum
+                  [
+                    earm 0 "Keep_all" unit_ty;
+                    earm 1 "Keep_newest" (Sch.Record [ fld "delta" Sch.I64 ]);
+                  ]);
+             fld "k" Sch.I64;
+             fld "piece" ty_block;
+             fld "replica_pieces" (Sch.List ty_block);
+             fld "ts" ty_ts;
+             fld "stored_ts" ty_ts;
+           ]);
+      earm 5 "Adaptive_gc" (Sch.Record [ fld "piece" ty_block; fld "ts" ty_ts ]);
+      earm 6 "Rateless_update"
+        (Sch.Record
+           [
+             fld "pieces" (Sch.List ty_block);
+             fld "ts" ty_ts;
+             fld "stored_ts" ty_ts;
+           ]);
+      earm 7 "Rateless_gc"
+        (Sch.Record [ fld "pieces" (Sch.List ty_block); fld "ts" ty_ts ]);
+    ]
+
+let ty_peer_schema = Sch.Record [ fld "version" Sch.U8; fld "hash" Sch.Bytes ]
+
+let ty_request =
+  Sch.Record
+    [
+      fld "client" Sch.I64;
+      fld "ticket" Sch.I64;
+      fld "op" Sch.I64;
+      fld "nature" ty_nature;
+      fld "payload" (Sch.List ty_block);
+      fld "desc" ty_desc;
+    ]
+
+let ty_response =
+  Sch.Record
+    [
+      fld "ticket" Sch.I64;
+      fld "op" Sch.I64;
+      fld "server" Sch.I64;
+      fld "incarnation" Sch.I64;
+      fld "dedup" Sch.Bool;
+      fld "resp" ty_resp;
+    ]
+
+let ty_stats =
+  Sch.Record
+    [
+      fld "server" Sch.I64;
+      fld "incarnation" Sch.I64;
+      fld "storage_bits" Sch.I64;
+      fld "max_bits" Sch.I64;
+      fld "dedup_hits" Sch.I64;
+      fld "applied" Sch.I64;
+    ]
+
+let ty_msg ~v =
+  let handshake_fields =
+    if v >= 2 then [ fld "schema" (Sch.Option ty_peer_schema) ] else []
+  in
+  Sch.Enum
+    ([
+       earm 1 "Hello" (Sch.Record (fld "client" Sch.I64 :: handshake_fields));
+       earm 2 "Welcome"
+         (Sch.Record
+            ([ fld "server" Sch.I64; fld "incarnation" Sch.I64 ]
+            @ handshake_fields));
+       earm 3 "Request" ty_request;
+       earm 4 "Response" ty_response;
+       earm 5 "Stats_query" unit_ty;
+       earm 6 "Stats" ty_stats;
+     ]
+    @
+    if v >= 2 then
+      [
+        earm 8 "Reject"
+          (Sch.Record
+             [
+               fld "code"
+                 (Sch.Enum
+                    [
+                      earm 0 "Unsupported_version" unit_ty;
+                      earm 1 "Incompatible_schema" unit_ty;
+                    ]);
+               fld "detail" Sch.Bytes;
+             ]);
+      ]
+    else [])
+
+let ty_persisted =
+  Sch.Enum
+    [
+      earm 7 "Persisted"
+        (Sch.Record [ fld "incarnation" Sch.I64; fld "state" ty_objstate ]);
+    ]
+
+let schema_v ~version:v =
+  if v < min_version || v > version then
+    invalid_arg (Printf.sprintf "Wire.schema_v: unknown version %d" v);
+  { Sch.s_version = v; s_roots = [ ("msg", ty_msg ~v); ("persisted", ty_persisted) ] }
+
+let schema = schema_v ~version
+let schema_hash = Sch.hash schema
+let schema_hash_hex = Sch.hash_hex schema
+
+(* ------------------------------------------------------------------ *)
 (* Messages                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let w_msg b = function
-  | Hello { client } ->
+let w_opt w b = function
+  | None -> w_u8 b 0
+  | Some x ->
     w_u8 b 1;
-    w_int b client
-  | Welcome { server; incarnation } ->
+    w b x
+
+let w_peer_schema b { ps_version; ps_hash } =
+  w_u8 b ps_version;
+  w_bytes b (Bytes.of_string ps_hash)
+
+let w_msg ~v b = function
+  | Hello { client; schema } ->
+    w_u8 b 1;
+    w_int b client;
+    (* v1 framing has no handshake field: the schema info is dropped,
+       which is exactly what speaking to a v1 peer means. *)
+    if v >= 2 then w_opt w_peer_schema b schema
+  | Welcome { server; incarnation; schema } ->
     w_u8 b 2;
     w_int b server;
-    w_int b incarnation
+    w_int b incarnation;
+    if v >= 2 then w_opt w_peer_schema b schema
   | Request { rq_client; rq_ticket; rq_op; rq_nature; rq_payload; rq_desc } ->
     w_u8 b 3;
     w_int b rq_client;
@@ -287,14 +474,36 @@ let w_msg b = function
     w_int b st_max_bits;
     w_int b st_dedup_hits;
     w_int b st_applied
+  | Reject { rj_code; rj_detail } ->
+    if v < 2 then invalid_arg "Wire: Reject requires wire version >= 2";
+    w_u8 b 8;
+    w_u8 b (match rj_code with Unsupported_version -> 0 | Incompatible_schema -> 1);
+    w_bytes b (Bytes.of_string rj_detail)
 
-let r_msg c =
-  match r_u8 c with
-  | 1 -> Hello { client = r_int c }
+let r_opt r c =
+  let presence = r_u8 c in
+  match presence with
+  | 0 -> None
+  | 1 -> Some (r c)
+  | n -> raise (Decode (Printf.sprintf "bad presence byte %d" n))
+
+let r_peer_schema c =
+  let ps_version = r_u8 c in
+  let ps_hash = Bytes.to_string (r_bytes c) in
+  { ps_version; ps_hash }
+
+let r_msg ~v c =
+  let tag = r_u8 c in
+  match tag with
+  | 1 ->
+    let client = r_int c in
+    let schema = if v >= 2 then r_opt r_peer_schema c else None in
+    Hello { client; schema }
   | 2 ->
     let server = r_int c in
     let incarnation = r_int c in
-    Welcome { server; incarnation }
+    let schema = if v >= 2 then r_opt r_peer_schema c else None in
+    Welcome { server; incarnation; schema }
   | 3 ->
     let rq_client = r_int c in
     let rq_ticket = r_int c in
@@ -320,32 +529,50 @@ let r_msg c =
     let st_dedup_hits = r_int c in
     let st_applied = r_int c in
     Stats { st_server; st_incarnation; st_storage_bits; st_max_bits; st_dedup_hits; st_applied }
-  | n -> raise (Decode (Printf.sprintf "bad message tag %d" n))
+  | 8 when v >= 2 ->
+    let code =
+      let tag = r_u8 c in
+      match tag with
+      | 0 -> Unsupported_version
+      | 1 -> Incompatible_schema
+      | n -> raise (Decode (Printf.sprintf "bad reject code %d" n))
+    in
+    let detail = Bytes.to_string (r_bytes c) in
+    Reject { rj_code = code; rj_detail = detail }
+  | n -> raise (Decode (Printf.sprintf "bad message tag %d for version %d" n v))
 
-let frame_body w_payload v =
+let frame_body ~v w_payload payload =
   let body = Buffer.create 256 in
-  w_u8 body version;
-  w_payload body v;
+  w_u8 body v;
+  w_payload body payload;
   let framed = Buffer.create (Buffer.length body + 4) in
   w_u32 framed (Buffer.length body);
   Buffer.add_buffer framed body;
   Buffer.to_bytes framed
 
-let decode_body r_payload buf =
+let decode_body ?(max_version = version) r_payload buf =
   let c = { buf; pos = 0; stop = Bytes.length buf } in
   match
     let v = r_u8 c in
-    if v <> version then
-      raise (Decode (Printf.sprintf "wire version %d, expected %d" v version));
-    let m = r_payload c in
+    if v < min_version || v > max_version then
+      raise
+        (Decode
+           (Printf.sprintf "unsupported wire version %d (supported %d..%d)" v
+              min_version max_version));
+    let m = r_payload v c in
     if c.pos <> c.stop then raise (Decode "trailing bytes in frame");
     m
   with
   | m -> Ok m
   | exception Decode e -> Error e
+  | exception Invalid_argument e ->
+    (* Constructor invariants (e.g. [Block.v] on a negative index) are a
+       decode failure for wire data, never a crash. *)
+    Error ("invalid value in frame: " ^ e)
 
-let encode_msg m = frame_body w_msg m
-let decode_msg buf = decode_body r_msg buf
+let encode_msg ?version:(v = version) m = frame_body ~v (w_msg ~v) m
+let decode_msg ?max_version buf =
+  decode_body ?max_version (fun v c -> r_msg ~v c) buf
 
 type persisted = { p_incarnation : int; p_state : Objstate.t }
 
@@ -355,24 +582,27 @@ let w_persisted b { p_incarnation; p_state } =
   w_objstate b p_state
 
 let r_persisted c =
-  match r_u8 c with
+  let tag = r_u8 c in
+  match tag with
   | 7 ->
     let p_incarnation = r_int c in
     let p_state = r_objstate c in
     { p_incarnation; p_state }
   | n -> raise (Decode (Printf.sprintf "bad state tag %d" n))
 
-let encode_persisted p = frame_body w_persisted p
-let decode_persisted buf = decode_body r_persisted buf
+let encode_persisted ?version:(v = version) p = frame_body ~v w_persisted p
+let decode_persisted ?max_version buf =
+  decode_body ?max_version (fun _v c -> r_persisted c) buf
 
 (* ------------------------------------------------------------------ *)
 (* Incremental frame reader                                            *)
 (* ------------------------------------------------------------------ *)
 
 module Reader = struct
-  type t = { mutable acc : Bytes.t; mutable len : int }
+  type t = { mutable acc : Bytes.t; mutable len : int; max_version : int }
 
-  let create () = { acc = Bytes.create 4096; len = 0 }
+  let create ?(max_version = version) () =
+    { acc = Bytes.create 4096; len = 0; max_version }
 
   let feed t src off n =
     if n > 0 then begin
@@ -399,17 +629,30 @@ module Reader = struct
         let rest = t.len - 4 - frame in
         Bytes.blit t.acc (4 + frame) t.acc 0 rest;
         t.len <- rest;
-        match decode_msg body with Ok m -> Ok (Some m) | Error e -> Error e
+        match decode_msg ~max_version:t.max_version body with
+        | Ok m -> Ok (Some m)
+        | Error e -> Error e
       end
     end
 end
 
 let equal_msg (a : msg) (b : msg) = a = b
 
+let pp_peer_schema ppf = function
+  | None -> ()
+  | Some { ps_version; ps_hash } ->
+    Format.fprintf ppf " schema=v%d/%s" ps_version
+      (String.concat ""
+         (List.init
+            (min 4 (String.length ps_hash))
+            (fun i -> Printf.sprintf "%02x" (Char.code ps_hash.[i]))))
+
 let pp_msg ppf = function
-  | Hello { client } -> Format.fprintf ppf "hello(client=%d)" client
-  | Welcome { server; incarnation } ->
-    Format.fprintf ppf "welcome(server=%d inc=%d)" server incarnation
+  | Hello { client; schema } ->
+    Format.fprintf ppf "hello(client=%d%a)" client pp_peer_schema schema
+  | Welcome { server; incarnation; schema } ->
+    Format.fprintf ppf "welcome(server=%d inc=%d%a)" server incarnation
+      pp_peer_schema schema
   | Request r ->
     Format.fprintf ppf "request(client=%d ticket=%d op=%d %a)" r.rq_client
       r.rq_ticket r.rq_op D.pp r.rq_desc
@@ -420,3 +663,9 @@ let pp_msg ppf = function
   | Stats s ->
     Format.fprintf ppf "stats(server=%d inc=%d bits=%d max=%d)" s.st_server
       s.st_incarnation s.st_storage_bits s.st_max_bits
+  | Reject { rj_code; rj_detail } ->
+    Format.fprintf ppf "reject(%s: %s)"
+      (match rj_code with
+      | Unsupported_version -> "unsupported-version"
+      | Incompatible_schema -> "incompatible-schema")
+      rj_detail

@@ -3,16 +3,42 @@
 
     Every frame on a connection is [u32 length] (big endian) followed by
     [length] body bytes; the body starts with a one-byte protocol
-    {!version} and a one-byte message tag.  Integers are 8-byte
-    big-endian two's complement; byte strings and lists are
-    [u32]-counted.  The payload vocabulary is exactly the simulator's:
-    requests carry an {!Sb_sim.Rmwdesc.t} (the serializable form of the
-    RMW closure a register triggers, mirroring
-    [Sb_msgnet.Mp_runtime.message]), responses carry an
-    {!Sb_sim.Rmwdesc.resp}.  The property tests in [test_service.ml]
-    round-trip all of these against randomly generated values. *)
+    version and a one-byte message tag.  Integers are 8-byte big-endian
+    two's complement; byte strings and lists are [u32]-counted.  The
+    payload vocabulary is exactly the simulator's: requests carry an
+    {!Sb_sim.Rmwdesc.t} (the serializable form of the RMW closure a
+    register triggers, mirroring [Sb_msgnet.Mp_runtime.message]),
+    responses carry an {!Sb_sim.Rmwdesc.resp}.  The property tests in
+    [test_service.ml] round-trip all of these against randomly generated
+    values.
+
+    {2 Versions and schemas}
+
+    Two body layouts are spoken today.  Version 1 is PR 5's positional
+    layout.  Version 2 appends an {e optional} [peer_schema] handshake
+    field to [Hello]/[Welcome] (schema version + canonical hash, used by
+    [Daemon]/[Sdk] to reject incompatible peers with a typed {!msg.Reject}
+    instead of a decode crash) and adds the [Reject] message itself;
+    every other message is byte-identical across both versions, which is
+    what makes a mixed-version fleet work and is certified statically by
+    [spacebounds schema check].
+
+    Encoders default to the newest version; [?version] pins a frame to
+    an older peer's negotiated version.  Decoders accept any version in
+    [min_version..max_version] — a daemon pinned to [~max_version:1]
+    behaves exactly like an old binary and cleanly rejects v2 frames.
+
+    The full layout vocabulary is exported as a first-class
+    {!Sb_schema.Schema.t} via {!schema_v}, defined next to the codec and
+    locked to it by the drift gates in [dune runtest] and the golden
+    [schemas/v<N>.json] files. *)
 
 val version : int
+(** The newest wire version this build speaks (2). *)
+
+val min_version : int
+(** The oldest version still decoded (1). *)
+
 val max_frame_bytes : int
 
 type nature = [ `Mutating | `Readonly | `Merge ]
@@ -48,31 +74,50 @@ type stats = {
   st_applied : int;       (** RMWs applied (dedup hits excluded). *)
 }
 
+type peer_schema = {
+  ps_version : int;  (** The peer's schema (= wire) version. *)
+  ps_hash : string;  (** 16-byte {!Sb_schema.Schema.hash} digest. *)
+}
+
+type reject_code = Unsupported_version | Incompatible_schema
+
 type msg =
-  | Hello of { client : int }
-  | Welcome of { server : int; incarnation : int }
+  | Hello of { client : int; schema : peer_schema option }
+      (** [schema] travels only in v2 framing; encoding at v1 drops it
+          (a v1 peer could not read it anyway). *)
+  | Welcome of { server : int; incarnation : int; schema : peer_schema option }
   | Request of request
   | Response of response
   | Stats_query
   | Stats of stats
+  | Reject of { rj_code : reject_code; rj_detail : string }
+      (** Typed handshake refusal, v2-only: encoding at v1 raises
+          [Invalid_argument] — v1 peers are refused by closing the
+          connection, which they already handle. *)
 
-val encode_msg : msg -> bytes
-(** The full frame, length prefix included — write it verbatim. *)
+val encode_msg : ?version:int -> msg -> bytes
+(** The full frame, length prefix included — write it verbatim.
+    [?version] (default {!version}) selects the body layout for the
+    peer's negotiated version. *)
 
-val decode_msg : bytes -> (msg, string) result
-(** Decodes a frame {e body} (the bytes after the length prefix). *)
+val decode_msg : ?max_version:int -> bytes -> (msg, string) result
+(** Decodes a frame {e body} (the bytes after the length prefix),
+    accepting versions [min_version..max_version] (default
+    {!version}). *)
 
 (** Durable server state, persisted by [Daemon] across restarts. *)
 type persisted = { p_incarnation : int; p_state : Sb_storage.Objstate.t }
 
-val encode_persisted : persisted -> bytes
-val decode_persisted : bytes -> (persisted, string) result
+val encode_persisted : ?version:int -> persisted -> bytes
+val decode_persisted : ?max_version:int -> bytes -> (persisted, string) result
 
 (** Incremental frame extraction over a byte stream. *)
 module Reader : sig
   type t
 
-  val create : unit -> t
+  val create : ?max_version:int -> unit -> t
+  (** [max_version] (default {!version}) bounds accepted frame
+      versions, like {!decode_msg}. *)
 
   val feed : t -> bytes -> int -> int -> unit
   (** [feed t buf off len] appends [len] bytes of [buf] at [off]. *)
@@ -80,8 +125,23 @@ module Reader : sig
   val next : t -> (msg option, string) result
   (** The next complete frame, [Ok None] if more bytes are needed,
       [Error _] on a malformed frame (the connection should be
-      dropped). *)
+      dropped).  Never raises, whatever the bytes. *)
 end
 
 val equal_msg : msg -> msg -> bool
 val pp_msg : Format.formatter -> msg -> unit
+
+(** {2 The programmatic schema} *)
+
+val schema_v : version:int -> Sb_schema.Schema.t
+(** The layout description of a supported wire version, with roots
+    ["msg"] and ["persisted"].  Raises [Invalid_argument] outside
+    [min_version..version]. *)
+
+val schema : Sb_schema.Schema.t
+(** [schema_v ~version]. *)
+
+val schema_hash : string
+(** 16-byte digest of {!schema} — what [Hello]/[Welcome] carry. *)
+
+val schema_hash_hex : string

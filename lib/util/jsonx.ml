@@ -3,6 +3,11 @@ let float x = Printf.sprintf "%.6g" x
 let int = string_of_int
 let str s = Printf.sprintf "%S" s
 
+let obj fields =
+  "{" ^ String.concat ", " (List.map (fun (k, v) -> str k ^ ": " ^ v) fields) ^ "}"
+
+let arr items = "[" ^ String.concat ", " items ^ "]"
+
 let write file fields =
   let oc = open_out file in
   output_string oc "{\n";

@@ -14,6 +14,13 @@ val int : int -> string
 val str : string -> string
 (** Quoted and escaped — for string-valued fields. *)
 
+val obj : (string * string) list -> string
+(** One-line object from already-rendered values — the report builders
+    ([LINT_report.json], [SCHEMA_report.json]) nest these. *)
+
+val arr : string list -> string
+(** One-line array from already-rendered values. *)
+
 val write : string -> (string * string) list -> unit
 (** [write file fields] writes [{ "k": v, ... }] and prints
     ["wrote file"].  Values are emitted verbatim: pass them through

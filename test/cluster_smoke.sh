@@ -74,3 +74,69 @@ grep -q '"recoveries": 2' "$JSON" || {
 }
 grep -q '"ok": true' "$JSON" || { echo "report not ok"; cat "$JSON"; exit 1; }
 echo "== smoke test passed"
+
+# ---------------------------------------------------------------------
+# Mixed-version phase: the same cluster shape pinned to wire v1 (an
+# old build), the current-version loadgen negotiating down to every
+# daemon, and a rolling upgrade of f servers to the current wire
+# version under live load.  Theorem 2 ceiling/floor and regularity are
+# still enforced by loadgen itself; on top of that the report must show
+# the downgrades happening and zero schema rejects.
+# ---------------------------------------------------------------------
+echo "== mixed-version phase: restarting the cluster pinned to wire v1"
+for pid in "${PIDS[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+wait 2>/dev/null || true
+rm -rf "$SOCKDIR" "$STATEDIR"
+mkdir -p "$SOCKDIR" "$STATEDIR"
+MIXED_JSON=${MIXED_JSON:-BENCH_service_mixed.json}
+
+start_server_v1() {
+  $SPACEBOUNDS serve "${ALGO_ARGS[@]}" --server "$1" --wire-version 1 \
+    --sockdir "$SOCKDIR" --statedir "$STATEDIR" &
+  PIDS[$1]=$!
+}
+
+for i in $(seq 0 $((N - 1))); do start_server_v1 "$i"; done
+for _ in $(seq 1 100); do
+  up=$(ls "$SOCKDIR" 2>/dev/null | grep -c '\.sock$' || true)
+  [ "$up" -eq "$N" ] && break
+  sleep 0.1
+done
+[ "$(ls "$SOCKDIR" | grep -c '\.sock$')" -eq "$N" ] || {
+  echo "v1 cluster did not come up"; exit 1;
+}
+
+echo "== loadgen (current version) against the v1 cluster"
+$SPACEBOUNDS loadgen "${ALGO_ARGS[@]}" \
+  --writers 2 --writes-each 60 --readers 2 --reads-each 60 \
+  --seed 23 --think-ms 25 --sockdir "$SOCKDIR" --json "$MIXED_JSON" &
+LOADGEN=$!
+
+# Roll f = 2 daemons forward to the current wire version mid-run: the
+# upgraded servers come back self-describing, the still-v1 majority
+# keeps serving, and the client keeps both generations in one quorum.
+sleep 0.9
+echo "== rolling servers 3 and 4 forward to the current wire version"
+kill -9 "${PIDS[3]}" "${PIDS[4]}"
+sleep 0.7
+start_server 3
+start_server 4
+
+wait "$LOADGEN"
+echo "== mixed-version loadgen verdict: green"
+
+# Every daemon started at v1, so the client must have negotiated down
+# once per server — and a downgrade is not a reject.
+grep -q "\"downgrades\": $N" "$MIXED_JSON" || {
+  echo "expected $N wire downgrades in $MIXED_JSON:"; cat "$MIXED_JSON"; exit 1;
+}
+grep -q '"schema_rejects": 0' "$MIXED_JSON" || {
+  echo "expected no schema rejects in $MIXED_JSON:"; cat "$MIXED_JSON"; exit 1;
+}
+grep -q '"recoveries": 2' "$MIXED_JSON" || {
+  echo "expected 2 observed recoveries in $MIXED_JSON:"; cat "$MIXED_JSON"; exit 1;
+}
+grep -q '"ok": true' "$MIXED_JSON" || {
+  echo "mixed-version report not ok"; cat "$MIXED_JSON"; exit 1;
+}
+echo "== mixed-version smoke test passed"

@@ -1,0 +1,12 @@
+(* Negative control for the wire-catchall rule: catch-all [_] arms in
+   matches on wire discriminants.  Never compiled — only parsed by the
+   lint. *)
+
+let decode_body tag buf =
+  match tag with
+  | 1 -> `Hello buf
+  | 2 -> `Welcome buf
+  | _ -> `Hello buf (* silently absorbs unknown tags: next bump misdecodes *)
+
+let check_version version =
+  match version with 1 -> `V1 | 2 -> `V2 | _ -> `V2

@@ -229,7 +229,15 @@ let test_lint_flags_each_rule () =
   Alcotest.(check (list string)) "marshal" [ "marshal" ]
     (active_rules "let f v = Marshal.to_string v []");
   Alcotest.(check (list string)) "fold" [ "hashtbl-order" ]
-    (active_rules "let f t = Hashtbl.fold (fun k _ acc -> k :: acc) t []")
+    (active_rules "let f t = Hashtbl.fold (fun k _ acc -> k :: acc) t []");
+  Alcotest.(check (list string)) "catch-all on a tag" [ "wire-catchall" ]
+    (active_rules "let f tag = match tag with 0 -> 1 | _ -> 2");
+  Alcotest.(check (list string)) "catch-all on a version" [ "wire-catchall" ]
+    (active_rules "let f v = match wire_version with 1 -> v | _ -> 0");
+  Alcotest.(check (list string)) "binding arm not flagged" []
+    (active_rules "let f tag = match tag with 0 -> 1 | n -> n + 1");
+  Alcotest.(check (list string)) "catch-all on a plain ident not flagged" []
+    (active_rules "let f xs = match xs with [] -> 0 | _ -> 1")
 
 let test_lint_watched_equality () =
   Alcotest.(check (list string)) "= on watched annotation" [ "poly-compare" ]
@@ -270,7 +278,11 @@ let test_lint_rules_scoped () =
   Alcotest.(check bool) "marshal applies everywhere" true
     (List.mem L.Marshal (L.rules_for "lib/experiments/figures.ml"));
   Alcotest.(check bool) "sanitizers get hashtbl-order" true
-    (List.mem L.Hashtbl_order (L.rules_for "lib/sanitize/monitor.ml"))
+    (List.mem L.Hashtbl_order (L.rules_for "lib/sanitize/monitor.ml"));
+  Alcotest.(check bool) "service gets wire-catchall" true
+    (List.mem L.Wire_catchall (L.rules_for "lib/service/wire.ml"));
+  Alcotest.(check bool) "protocol cores exempt from wire-catchall" false
+    (List.mem L.Wire_catchall (L.rules_for "lib/sim/runtime.ml"))
 
 (* ------------------------------------------------------------------ *)
 (* Lint: fixture negative controls                                     *)

@@ -81,14 +81,29 @@ let gen_resp =
   Gen.oneof
     [ Gen.return D.Ack; Gen.map (fun st -> D.Snap st) gen_objstate ]
 
+let gen_peer_schema =
+  Gen.map2
+    (fun ps_version hash -> { Wire.ps_version; ps_hash = hash })
+    Gen.(1 -- 5)
+    Gen.(string_size (return 16))
+
 let gen_msg =
   Gen.oneof
     [
-      Gen.map (fun client -> Wire.Hello { client }) Gen.(int_bound 100);
       Gen.map2
-        (fun server incarnation -> Wire.Welcome { server; incarnation })
+        (fun client schema -> Wire.Hello { client; schema })
+        Gen.(int_bound 100)
+        (Gen.option gen_peer_schema);
+      Gen.map3
+        (fun server incarnation schema ->
+          Wire.Welcome { server; incarnation; schema })
         Gen.(int_bound 20)
-        Gen.(1 -- 50);
+        Gen.(1 -- 50)
+        (Gen.option gen_peer_schema);
+      Gen.map2
+        (fun rj_code rj_detail -> Wire.Reject { rj_code; rj_detail })
+        (Gen.oneofl [ Wire.Unsupported_version; Wire.Incompatible_schema ])
+        Gen.(string_size (int_bound 40));
       Gen.map3
         (fun (rq_client, rq_ticket, rq_op) rq_nature (rq_payload, rq_desc) ->
           Wire.Request { rq_client; rq_ticket; rq_op; rq_nature; rq_payload; rq_desc })
@@ -134,7 +149,7 @@ let test_reader_chunking =
        Gen.(pair (list_size (1 -- 5) gen_msg) (int_range 1 13))
        (fun (msgs, chunk) ->
          let stream =
-           Bytes.concat Bytes.empty (List.map Wire.encode_msg msgs)
+           Bytes.concat Bytes.empty (List.map (fun m -> Wire.encode_msg m) msgs)
          in
          let reader = Wire.Reader.create () in
          let got = ref [] in
@@ -156,6 +171,88 @@ let test_reader_chunking =
          done;
          List.length !got = List.length msgs
          && List.for_all2 Wire.equal_msg msgs (List.rev !got)))
+
+(* What a v1 frame can carry: the handshake schema fields are dropped
+   (a v1 peer could not read them) and [Reject] does not exist. *)
+let project_v1 = function
+  | Wire.Hello { client; _ } -> Wire.Hello { client; schema = None }
+  | Wire.Welcome { server; incarnation; _ } ->
+    Wire.Welcome { server; incarnation; schema = None }
+  | m -> m
+
+let test_roundtrip_v1 =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:300
+       ~name:"v1 encoding round-trips to the v1 projection" gen_msg
+       (fun msg ->
+         match msg with
+         | Wire.Reject _ -> true  (* v2-only; encoding at v1 raises *)
+         | _ -> (
+           match
+             Wire.decode_msg (body_of_frame (Wire.encode_msg ~version:1 msg))
+           with
+           | Ok msg' -> Wire.equal_msg (project_v1 msg) msg'
+           | Error e -> QCheck2.Test.fail_reportf "v1 decode failed: %s" e)))
+
+(* The partial-delivery fuzz: arbitrary chunkings of a valid stream
+   with an optional adversarial twist (truncated tail or one corrupted
+   byte) must always produce decode / need-more / clean error — never
+   an exception.  This is the test that caught [Block.v] raising
+   [Invalid_argument] on negative coordinates from hostile frames. *)
+let test_reader_adversarial =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:300
+       ~name:"reader survives truncation/corruption under any chunking"
+       Gen.(
+         quad
+           (list_size (1 -- 4) gen_msg)
+           (list_size (1 -- 30) (1 -- 7))
+           (oneofl [ `Intact; `Truncate; `Corrupt ])
+           (pair (int_bound 10_000) (int_bound 255)))
+       (fun (msgs, chunks, twist, (pos_seed, byte)) ->
+         let stream =
+           Bytes.concat Bytes.empty (List.map (fun m -> Wire.encode_msg m) msgs)
+         in
+         let stream =
+           match twist with
+           | `Intact -> stream
+           | `Truncate ->
+             Bytes.sub stream 0 (pos_seed mod max 1 (Bytes.length stream))
+           | `Corrupt ->
+             let b = Bytes.copy stream in
+             if Bytes.length b > 0 then
+               Bytes.set b (pos_seed mod Bytes.length b) (Char.chr byte);
+             b
+         in
+         let reader = Wire.Reader.create () in
+         let decoded = ref 0 in
+         let failed = ref false in
+         let rec drain () =
+           if not !failed then
+             match Wire.Reader.next reader with
+             | Ok (Some _) ->
+               incr decoded;
+               drain ()
+             | Ok None -> ()
+             | Error _ -> failed := true
+         in
+         (try
+            let n = Bytes.length stream in
+            let off = ref 0 in
+            let cs = ref chunks in
+            while !off < n && not !failed do
+              let c = match !cs with c :: rest -> cs := rest; c | [] -> 1 in
+              let len = min c (n - !off) in
+              Wire.Reader.feed reader stream !off len;
+              drain ();
+              off := !off + len
+            done
+          with e ->
+            QCheck2.Test.fail_reportf "reader raised: %s"
+              (Printexc.to_string e));
+         match twist with
+         | `Intact -> (not !failed) && !decoded = List.length msgs
+         | `Truncate | `Corrupt -> true))
 
 let test_desc_semantic_roundtrip =
   QCheck_alcotest.to_alcotest
@@ -256,12 +353,12 @@ let fresh_dir prefix =
   (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
   d
 
-let with_cluster ?statedir ~algorithm ~n fn =
+let with_cluster ?statedir ?wire_version ~algorithm ~n fn =
   let sockdir = fresh_dir "sb-sock" in
   let pid = Unix.fork () in
   if pid = 0 then begin
     (try
-       Daemon.run ?statedir ~sockdir ~servers:(List.init n Fun.id)
+       Daemon.run ?statedir ?wire_version ~sockdir ~servers:(List.init n Fun.id)
          ~init_obj:algorithm.R.init_obj ()
      with _ -> ());
     Unix._exit 0
@@ -445,8 +542,12 @@ let test_wire_dedup_replay () =
             in
             loop ()
           in
-          (match rpc (Wire.Hello { client = 9 }) with
-           | Wire.Welcome { server = 0; incarnation = 1 } -> ()
+          let own =
+            { Wire.ps_version = Wire.version; ps_hash = Wire.schema_hash }
+          in
+          (match rpc (Wire.Hello { client = 9; schema = Some own }) with
+           | Wire.Welcome { server = 0; incarnation = 1; schema = Some got }
+             when got.Wire.ps_hash = Wire.schema_hash -> ()
            | m -> Alcotest.failf "unexpected hello reply: %a" Wire.pp_msg m);
           let req =
             Wire.Request
@@ -466,13 +567,83 @@ let test_wire_dedup_replay () =
           | Wire.Stats { st_dedup_hits = 1; st_applied = 1; _ } -> ()
           | m -> Alcotest.failf "stats: %a" Wire.pp_msg m))
 
+(* A new client against an old (v1-pinned) cluster: every server closes
+   the v2 Hello, the SDK falls back to v1 framing (one counted
+   downgrade per server), and the workload then completes normally with
+   no typed rejects. *)
+let test_mixed_version_cluster () =
+  let value_bytes = 32 in
+  let algorithm, cfg = adaptive_setup ~value_bytes ~f:1 ~k:1 in
+  with_cluster ~wire_version:1 ~algorithm ~n:cfg.Common.n (fun sockdir ->
+      let workload =
+        Sb_experiments.Workloads.writers_and_readers ~value_bytes ~writers:2
+          ~writes_each:2 ~readers:1 ~reads_each:2
+      in
+      let r =
+        Sdk.run_workload ~algorithm ~seed:11 ~workload
+          (Sdk.default_config ~n:cfg.Common.n ~f:cfg.Common.f ~sockdir)
+      in
+      Alcotest.(check bool) "not timed out" false r.Sdk.timed_out;
+      Alcotest.(check int) "all ops completed" r.Sdk.ops_invoked
+        r.Sdk.ops_completed;
+      Alcotest.(check int) "one downgrade per v1 server" cfg.Common.n
+        r.Sdk.downgrades;
+      Alcotest.(check int) "no typed rejects" 0
+        (List.length r.Sdk.schema_rejects);
+      let history =
+        Sb_spec.History.of_trace ~initial:(Common.initial_value cfg) r.Sdk.trace
+      in
+      Alcotest.(check bool) "weakly regular across versions" true
+        (is_ok (Sb_spec.Regularity.check_weak history)))
+
+(* A peer claiming our schema version with a different layout hash is
+   drifted: the daemon answers with a typed [Reject] instead of
+   misdecoding its frames later. *)
+let test_schema_hash_reject () =
+  let algorithm, cfg = adaptive_setup ~value_bytes:32 ~f:1 ~k:1 in
+  with_cluster ~algorithm ~n:cfg.Common.n (fun sockdir ->
+      let fd = Unix.(socket PF_UNIX SOCK_STREAM 0) in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          Unix.connect fd (Unix.ADDR_UNIX (Daemon.sockpath ~sockdir 0));
+          let bogus =
+            { Wire.ps_version = Wire.version; ps_hash = String.make 16 'x' }
+          in
+          let frame =
+            Wire.encode_msg (Wire.Hello { client = 1; schema = Some bogus })
+          in
+          ignore (Unix.write fd frame 0 (Bytes.length frame));
+          let reader = Wire.Reader.create () in
+          let buf = Bytes.create 4096 in
+          let rec next () =
+            match Wire.Reader.next reader with
+            | Ok (Some m) -> m
+            | Ok None ->
+              let k = Unix.read fd buf 0 (Bytes.length buf) in
+              if k = 0 then failwith "eof before reject";
+              Wire.Reader.feed reader buf 0 k;
+              next ()
+            | Error e -> failwith e
+          in
+          (match next () with
+           | Wire.Reject { rj_code = Wire.Incompatible_schema; rj_detail } ->
+             Alcotest.(check bool) "detail names the mismatch" true
+               (String.length rj_detail > 0)
+           | m -> Alcotest.failf "expected a reject, got %a" Wire.pp_msg m);
+          (* ... and the daemon closes after flushing the reject. *)
+          let k = Unix.read fd buf 0 (Bytes.length buf) in
+          Alcotest.(check int) "connection closed" 0 k))
+
 let () =
   Alcotest.run "service"
     [
       ( "wire",
         [
           test_roundtrip;
+          test_roundtrip_v1;
           test_reader_chunking;
+          test_reader_adversarial;
           test_desc_semantic_roundtrip;
           Alcotest.test_case "malformed frames rejected" `Quick test_malformed;
           Alcotest.test_case "persisted state round-trips" `Quick
@@ -489,5 +660,9 @@ let () =
             test_restart_recovers_incarnation;
           Alcotest.test_case "wire-level duplicate is replayed" `Quick
             test_wire_dedup_replay;
+          Alcotest.test_case "mixed-version cluster downgrades cleanly" `Quick
+            test_mixed_version_cluster;
+          Alcotest.test_case "drifted schema hash gets a typed reject" `Quick
+            test_schema_hash_reject;
         ] );
     ]
