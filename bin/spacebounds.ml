@@ -1065,8 +1065,77 @@ let chaos_cmd =
           ~doc:"Also write a flat-JSON campaign summary to FILE (same format \
                 as the BENCH_*.json metric files).")
   in
+  let live_arg =
+    Arg.(
+      value & flag
+      & info [ "live" ]
+          ~doc:"Run the campaign against the real stack instead of the \
+                simulator: forked daemon processes per server with \
+                socket-layer fault hooks (drop / duplicate / delay / \
+                fragment / slow-close), deterministic crash points around \
+                the persist path, seeded disk corruption with quarantine \
+                recovery, and a forked SDK load generator judging \
+                regularity and the Theorem 2 bounds.  With --live, --all \
+                sweeps adaptive + abd; 3 seeds per green scenario (1 with \
+                --quick).")
+  in
+  let live_report_arg =
+    Arg.(
+      value
+      & opt string "CHAOS_live_report.json"
+      & info [ "live-report" ] ~docv:"FILE"
+          ~doc:"Where --live writes its flat-JSON campaign report.")
+  in
+  let live_spec_of ~algo ~value_bytes ~f ~k =
+    let _, cfg = build ~algo ~value_bytes ~f ~k in
+    let check =
+      match algo with
+      | Abd_atomic -> Sb_spec.Regularity.check_atomic ?budget:None
+      | Safe -> Sb_spec.Regularity.check_safe
+      | _ -> Sb_spec.Regularity.check_strong
+    in
+    {
+      Sb_faults.Live.sp_name = algo_label algo;
+      sp_make = (fun () -> fst (build ~algo ~value_bytes ~f ~k));
+      sp_n = cfg.Sb_registers.Common.n;
+      sp_f = cfg.Sb_registers.Common.f;
+      sp_k = code_k ~algo ~k;
+      sp_value_bytes = value_bytes;
+      sp_initial = Sb_registers.Common.initial_value cfg;
+      sp_bounds = (algo = Adaptive);
+      sp_check = check;
+    }
+  in
+  let run_live ~algo ~all ~value_bytes ~f ~k ~seed ~quick ~report_file =
+    let module L = Sb_faults.Live in
+    let cfg =
+      {
+        (if quick then L.quick_config else L.default_config) with
+        L.lc_base_seed = seed;
+      }
+    in
+    let algos = if all then [ Adaptive; Abd ] else [ algo ] in
+    let specs =
+      List.map (fun algo -> live_spec_of ~algo ~value_bytes ~f ~k) algos
+    in
+    let cells = L.campaign cfg specs in
+    Sb_util.Table.print (L.report cells);
+    L.write_report report_file cells;
+    Printf.printf "chaos --live: report written to %s\n" report_file;
+    if L.all_ok cells then
+      Printf.printf "chaos --live: all %d cells passed\n" (List.length cells)
+    else begin
+      L.explain_failures Format.std_formatter cells;
+      print_endline "chaos --live: FAILURES (see above)";
+      exit 1
+    end
+  in
   let run algo all value_bytes f k seeds seed drops duplicate delay no_crash
-      no_sanitize budget quick csv json =
+      no_sanitize budget quick csv json live live_report =
+    if live then
+      run_live ~algo ~all ~value_bytes ~f ~k ~seed ~quick
+        ~report_file:live_report
+    else
     let module C = Sb_faults.Chaos in
     let base = if quick then C.quick_config else C.default_config in
     let cfg =
@@ -1122,7 +1191,7 @@ let chaos_cmd =
       const run $ algo_arg $ all_arg $ value_bytes_arg $ f_arg $ k_arg
       $ seeds_arg $ seed_arg $ drops_arg $ duplicate_arg $ delay_arg
       $ no_crash_arg $ no_sanitize_arg $ budget_arg $ quick_arg $ csv_arg
-      $ json_arg)
+      $ json_arg $ live_arg $ live_report_arg)
 
 (* ------------------------------------------------------------------ *)
 (* serve                                                               *)
@@ -1178,8 +1247,20 @@ let serve_cmd =
                 making this binary behave exactly like an old build (for \
                 mixed-version rollout scenarios).")
   in
+  let crash_at =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "crash-at" ] ~docv:"SPEC"
+          ~doc:"Deterministic crash-point injection: abort the process \
+                (exit 70, as abruptly as SIGKILL) at the Nth persist. \
+                $(docv) is persist:N (between the temp-file fsync and the \
+                rename — inside the torn-write window), persist-pre:N \
+                (before the temp file is touched) or persist-post:N (after \
+                the rename, before the response).  Requires --statedir.")
+  in
   let run algo value_bytes f k sockdir statedir cluster server no_dedup
-      wire_version =
+      wire_version crash_at =
     let algorithm, cfg = build ~algo ~value_bytes ~f ~k in
     let servers =
       match (cluster, server) with
@@ -1188,6 +1269,16 @@ let serve_cmd =
       | true, Some _ ->
         prerr_endline "serve: --cluster and --server are exclusive";
         exit 2
+    in
+    let crash_at =
+      match crash_at with
+      | None -> None
+      | Some spec -> (
+        match Sb_service.Daemon.crash_point_of_string spec with
+        | Ok cp -> Some cp
+        | Error msg ->
+          Printf.eprintf "serve: --crash-at %s: %s\n" spec msg;
+          exit 2)
     in
     if
       wire_version < Sb_service.Wire.min_version
@@ -1205,8 +1296,9 @@ let serve_cmd =
       (match statedir with
        | Some d -> Printf.sprintf " (durable: %s)" d
        | None -> "");
-    Sb_service.Daemon.run ~dedup:(not no_dedup) ~wire_version ?statedir ~sockdir
-      ~servers ~init_obj:algorithm.Sb_sim.Runtime.init_obj ();
+    Sb_service.Daemon.run ~dedup:(not no_dedup) ~wire_version ?statedir
+      ?crash_at ~sockdir ~servers
+      ~init_obj:algorithm.Sb_sim.Runtime.init_obj ();
     print_endline "serve: bye"
   in
   Cmd.v
@@ -1217,7 +1309,8 @@ let serve_cmd =
              storage/dedup/incarnation counters on a stats endpoint.")
     Term.(
       const run $ algo_arg $ value_bytes_arg $ serve_f_arg $ serve_k_arg
-      $ sockdir_arg $ statedir $ cluster $ server $ no_dedup $ wire_version)
+      $ sockdir_arg $ statedir $ cluster $ server $ no_dedup $ wire_version
+      $ crash_at)
 
 (* ------------------------------------------------------------------ *)
 (* loadgen                                                             *)

@@ -13,6 +13,7 @@ type t = {
   duplicate : float;
   delay : float;
   delay_steps : int;
+  fragment : float;
   partitions : partition list;
   crashes : (int * int) list;
   recoveries : (int * int) list;
@@ -23,13 +24,15 @@ let none =
     duplicate = 0.0;
     delay = 0.0;
     delay_steps = 16;
+    fragment = 0.0;
     partitions = [];
     crashes = [];
     recoveries = [];
   }
 
-let lossy ?(duplicate = 0.0) ?(delay = 0.0) ?(delay_steps = 16) drop =
-  { none with drop; duplicate; delay; delay_steps }
+let lossy ?(duplicate = 0.0) ?(delay = 0.0) ?(delay_steps = 16)
+    ?(fragment = 0.0) drop =
+  { none with drop; duplicate; delay; delay_steps; fragment }
 
 let crash_recovery ~server ~crash_at ~recover_at t =
   if recover_at <= crash_at then
@@ -65,8 +68,11 @@ let last_heal t =
 let rate_ok r = r >= 0.0 && r <= 1.0
 
 let validate ~n ~f t =
-  if not (rate_ok t.drop && rate_ok t.duplicate && rate_ok t.delay) then
-    invalid_arg "Sb_faults.Plan.validate: rates must lie in [0, 1]";
+  if
+    not
+      (rate_ok t.drop && rate_ok t.duplicate && rate_ok t.delay
+      && rate_ok t.fragment)
+  then invalid_arg "Sb_faults.Plan.validate: rates must lie in [0, 1]";
   if t.drop +. t.duplicate +. t.delay > 1.0 then
     invalid_arg "Sb_faults.Plan.validate: drop + duplicate + delay must be <= 1";
   if t.delay > 0.0 && t.delay_steps < 1 then

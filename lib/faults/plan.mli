@@ -25,6 +25,12 @@ type t = {
   duplicate : float;  (** Per-message network-duplication probability. *)
   delay : float;      (** Per-message probability of an extra hold. *)
   delay_steps : int;  (** Maximum extra hold, in simulation steps. *)
+  fragment : float;
+      (** Per-frame probability of fragmented/partial delivery.  Only
+          meaningful to the live transport ({!Live}), where a frame is
+          split into staggered partial writes through the peer's
+          incremental reader; the simulated transport delivers whole
+          messages and ignores it. *)
   partitions : partition list;
   crashes : (int * int) list;     (** [(time, server)] crash points. *)
   recoveries : (int * int) list;  (** [(time, server)] recovery points. *)
@@ -34,9 +40,11 @@ val none : t
 (** The fault-free plan: under it {!Inject.policy} behaves like a fair
     random scheduler. *)
 
-val lossy : ?duplicate:float -> ?delay:float -> ?delay_steps:int -> float -> t
+val lossy :
+  ?duplicate:float -> ?delay:float -> ?delay_steps:int -> ?fragment:float ->
+  float -> t
 (** [lossy drop] is a message-fault-only plan.  Defaults: no
-    duplication, no delay. *)
+    duplication, no delay, no fragmentation. *)
 
 val crash_recovery : server:int -> crash_at:int -> recover_at:int -> t -> t
 (** Adds one crash/recovery pair for [server].  Raises

@@ -61,8 +61,12 @@ module Retransmit = struct
       t []
     |> List.sort Int.compare
 
-  let backoff cfg tm ~now =
+  let backoff ?cap ?(jitter = 0) cfg tm ~now =
     tm.attempt <- tm.attempt + 1;
-    (* Exponential backoff, capped to keep deadlines reachable. *)
-    tm.deadline <- now + (cfg.rto * (1 lsl min tm.attempt 16))
+    (* Exponential backoff, capped to keep deadlines reachable.  The
+       caller may tighten the cap and add jitter it drew from its own
+       seeded source — this module stays deterministic. *)
+    let d = cfg.rto * (1 lsl min tm.attempt 16) in
+    let d = match cap with Some c -> min d (max cfg.rto c) | None -> d in
+    tm.deadline <- now + d + max 0 jitter
 end

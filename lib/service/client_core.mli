@@ -60,7 +60,11 @@ module Retransmit : sig
   val due : 'req t -> now:int -> live:(int -> 'req timer -> bool) -> int list
   (** {!pending} restricted to expired deadlines. *)
 
-  val backoff : config -> 'req timer -> now:int -> unit
+  val backoff : ?cap:int -> ?jitter:int -> config -> 'req timer -> now:int -> unit
   (** Count an attempt and push the deadline out exponentially
-      ([rto * 2^attempt], capped). *)
+      ([rto * 2^attempt], capped).  [cap] bounds the exponential term
+      (floored at [rto]); [jitter] is extra milliseconds/steps the
+      caller drew from its own seeded randomness — desynchronising
+      retry storms is the caller's policy, determinism is this
+      module's. *)
 end

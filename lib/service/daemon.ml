@@ -7,33 +7,114 @@ let statefile ~statedir i =
   Filename.concat statedir (Printf.sprintf "server-%d.state" i)
 
 (* ------------------------------------------------------------------ *)
-(* Durable state: framed [Wire.persisted] in a file, written            *)
-(* atomically (temp + rename) after every mutating RMW.                 *)
+(* Durable state: a checksummed [Wire.persisted] container in a file,   *)
+(* written atomically (temp + fsync + rename + directory fsync) after   *)
+(* every mutating RMW.                                                  *)
 (* ------------------------------------------------------------------ *)
 
-let save_state ~version file (p : Wire.persisted) =
-  let tmp = file ^ ".tmp" in
-  let oc = open_out_bin tmp in
-  let buf = Wire.encode_persisted ~version p in
-  output_bytes oc buf;
-  close_out oc;
-  Sys.rename tmp file
+let fsync_dir dir =
+  (* Persist the rename itself.  Directory fsync is a Linux-ism some
+     filesystems refuse; a refusal only loses the last durability
+     notch, so it is best-effort. *)
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | dfd ->
+    (try Unix.fsync dfd with Unix.Unix_error _ -> ());
+    (try Unix.close dfd with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
 
-let load_state ~max_version file : Wire.persisted option =
-  if not (Sys.file_exists file) then None
-  else begin
-    let ic = open_in_bin file in
-    let len = in_channel_length ic in
-    let buf = Bytes.create len in
-    really_input ic buf 0 len;
-    close_in ic;
-    if len < 4 then None
-    else
-      let body = Bytes.sub buf 4 (len - 4) in
-      match Wire.decode_persisted ~max_version body with
-      | Ok p -> Some p
-      | Error _ -> None
-  end
+let save_state ?(before_rename = fun () -> ()) ~version file
+    (p : Wire.persisted) =
+  let tmp = file ^ ".tmp" in
+  let buf = Wire.seal_persisted ~version p in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  let len = Bytes.length buf in
+  let rec write_all off =
+    if off < len then write_all (off + Unix.write fd buf off (len - off))
+  in
+  write_all 0;
+  (* The temp file must be on disk before the rename publishes it:
+     renaming an unsynced file is exactly the torn-write window where a
+     crash leaves a half-written file as the durable state. *)
+  Unix.fsync fd;
+  Unix.close fd;
+  before_rename ();
+  Sys.rename tmp file;
+  fsync_dir (Filename.dirname file)
+
+type load_result =
+  | Loaded of Wire.persisted
+  | Absent
+  | Corrupt of string
+
+(* Never raises and never guesses: a state file either verifies its
+   checksum and decodes exactly, or it is [Corrupt] — truncations,
+   bit-flips, and garbage all land there deterministically. *)
+let load_state ~max_version file : load_result =
+  if not (Sys.file_exists file) then Absent
+  else
+    match
+      let ic = open_in_bin file in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let len = in_channel_length ic in
+          let buf = Bytes.create len in
+          really_input ic buf 0 len;
+          buf)
+    with
+    | buf -> (
+      match Wire.unseal_persisted ~max_version buf with
+      | Ok p -> Loaded p
+      | Error e -> Corrupt e)
+    | exception Sys_error e -> Corrupt e
+    | exception End_of_file -> Corrupt "unreadable state file"
+
+let quarantine_path file = file ^ ".corrupt"
+
+(* ------------------------------------------------------------------ *)
+(* Crash points: deterministic process aborts around the persist path   *)
+(* ------------------------------------------------------------------ *)
+
+type crash_stage = Crash_before_write | Crash_before_rename | Crash_after_rename
+
+type crash_point = { cp_stage : crash_stage; cp_persist : int }
+
+let crash_point_of_string s =
+  let parse stage rest =
+    match int_of_string_opt rest with
+    | Some n when n >= 1 -> Ok { cp_stage = stage; cp_persist = n }
+    | _ -> Error (Printf.sprintf "bad crash-point count %S" rest)
+  in
+  match String.index_opt s ':' with
+  | Some i -> (
+    let key = String.sub s 0 i in
+    let rest = String.sub s (i + 1) (String.length s - i - 1) in
+    match key with
+    | "persist" -> parse Crash_before_rename rest
+    | "persist-pre" -> parse Crash_before_write rest
+    | "persist-post" -> parse Crash_after_rename rest
+    | k -> Error (Printf.sprintf "unknown crash point %S" k))
+  | None ->
+    Error
+      (Printf.sprintf
+         "crash point %S: expected persist:<n>, persist-pre:<n>, or \
+          persist-post:<n>"
+         s)
+
+let crash_point_to_string cp =
+  Printf.sprintf "%s:%d"
+    (match cp.cp_stage with
+    | Crash_before_write -> "persist-pre"
+    | Crash_before_rename -> "persist"
+    | Crash_after_rename -> "persist-post")
+    cp.cp_persist
+
+(* Simulate a hard crash: no cleanup, no at_exit, sockets left behind
+   — indistinguishable from SIGKILL to everyone else. *)
+let crash_now cp =
+  Printf.eprintf "daemon: crash point %s reached, aborting\n%!"
+    (crash_point_to_string cp);
+  Unix._exit 70
 
 (* ------------------------------------------------------------------ *)
 (* Connections                                                          *)
@@ -43,10 +124,16 @@ type conn = {
   fd : Unix.file_descr;
   reader : Wire.Reader.t;
   out : Buffer.t;
+  delayed : (float * bytes) Queue.t;
+      (** Fault-delayed output segments, FIFO by enqueue order with a
+          per-segment due time — order is preserved (a later segment
+          never overtakes an earlier one), so the byte stream stays
+          frame-decodable however the hooks slice it. *)
   mutable peer_version : int;
       (** Negotiated at [Hello]; replies are framed at this version. *)
   mutable closing : bool;
-      (** Close after the out buffer drains (a [Reject] was sent). *)
+      (** Close after the out buffer drains (a [Reject] was sent, or a
+          fault hook asked for a slow close). *)
   mutable closed : bool;
 }
 
@@ -57,11 +144,50 @@ type server = {
   state_path : string option;
   wire_version : int;
   own_schema : Wire.peer_schema;
+  hooks : Netfault.t;
+  started : float;
+  crash : (crash_point * int ref) option;
+      (** Crash-point config and the persist counter it watches — the
+          counter is shared across the servers a process hosts, so
+          [persist:<n>] means "this process's nth persist". *)
   mutable conns : conn list;
 }
 
-let enqueue conn msg =
-  Buffer.add_bytes conn.out (Wire.encode_msg ~version:conn.peer_version msg)
+let now_ms srv = (Unix.gettimeofday () -. srv.started) *. 1000.0
+
+(* Queue output behind any fault-delayed segments so bytes never
+   reorder; segments with no pending predecessor and no delay go
+   straight to the out buffer. *)
+let push_out srv conn segments =
+  let now = now_ms srv in
+  List.iter
+    (fun (delay_ms, chunk) ->
+      if delay_ms <= 0 && Queue.is_empty conn.delayed then
+        Buffer.add_bytes conn.out chunk
+      else Queue.add (now +. float_of_int (max 0 delay_ms), chunk) conn.delayed)
+    segments
+
+let flush_delayed srv conn =
+  let now = now_ms srv in
+  let rec go () =
+    match Queue.peek_opt conn.delayed with
+    | Some (due, chunk) when due <= now ->
+      ignore (Queue.pop conn.delayed);
+      Buffer.add_bytes conn.out chunk;
+      go ()
+    | _ -> ()
+  in
+  go ()
+
+let enqueue srv conn msg =
+  let frame = Wire.encode_msg ~version:conn.peer_version msg in
+  match srv.hooks.Netfault.nf_frame ~server:srv.sid frame with
+  | Netfault.Pass -> push_out srv conn [ (0, frame) ]
+  | Netfault.Drop -> ()
+  | Netfault.Emit segments -> push_out srv conn segments
+  | Netfault.Emit_close segments ->
+    push_out srv conn segments;
+    conn.closing <- true
 
 let close_conn conn =
   if not conn.closed then begin
@@ -73,11 +199,23 @@ let persist srv =
   match srv.state_path with
   | None -> ()
   | Some file ->
-    save_state ~version:srv.wire_version file
+    let p =
       {
         Wire.p_incarnation = Server_core.incarnation srv.core;
         p_state = Server_core.state srv.core;
       }
+    in
+    (match srv.crash with
+     | None -> save_state ~version:srv.wire_version file p
+     | Some (cp, count) ->
+       incr count;
+       let armed = !count = cp.cp_persist in
+       if armed && cp.cp_stage = Crash_before_write then crash_now cp;
+       save_state
+         ~before_rename:(fun () ->
+           if armed && cp.cp_stage = Crash_before_rename then crash_now cp)
+         ~version:srv.wire_version file p;
+       if armed && cp.cp_stage = Crash_after_rename then crash_now cp)
 
 (* Connect-time schema negotiation.  A v1 client's [Hello] carries no
    schema: serve it at v1 framing.  A v2+ client is served at
@@ -92,7 +230,7 @@ let handle_hello srv conn (peer : Wire.peer_schema option) =
     when ps.Wire.ps_version = srv.wire_version
          && not (String.equal ps.Wire.ps_hash srv.own_schema.Wire.ps_hash) ->
     conn.peer_version <- min srv.wire_version (max 2 Wire.min_version);
-    enqueue conn
+    enqueue srv conn
       (Wire.Reject
          {
            rj_code = Wire.Incompatible_schema;
@@ -110,7 +248,7 @@ let handle_hello srv conn (peer : Wire.peer_schema option) =
     conn.closing <- true
   | Some ps when ps.Wire.ps_version < Wire.min_version ->
     conn.peer_version <- min srv.wire_version (max 2 Wire.min_version);
-    enqueue conn
+    enqueue srv conn
       (Wire.Reject
          {
            rj_code = Wire.Unsupported_version;
@@ -126,7 +264,7 @@ let handle_hello srv conn (peer : Wire.peer_schema option) =
       | Some ps -> max 1 (min srv.wire_version ps.Wire.ps_version)
     in
     conn.peer_version <- negotiated;
-    enqueue conn
+    enqueue srv conn
       (Wire.Welcome
          {
            server = srv.sid;
@@ -145,7 +283,7 @@ let handle_msg srv conn (msg : Wire.msg) =
     in
     if (not oc.Server_core.dedup_hit) && oc.Server_core.after != oc.Server_core.before
     then persist srv;
-    enqueue conn
+    enqueue srv conn
       (Wire.Response
          {
            rs_ticket = rq.Wire.rq_ticket;
@@ -156,7 +294,7 @@ let handle_msg srv conn (msg : Wire.msg) =
            rs_resp = oc.Server_core.resp;
          })
   | Wire.Stats_query ->
-    enqueue conn
+    enqueue srv conn
       (Wire.Stats
          {
            st_server = srv.sid;
@@ -196,25 +334,36 @@ let write_conn conn =
     Buffer.clear conn.out;
     if n < Bytes.length pending then
       Buffer.add_subbytes conn.out pending n (Bytes.length pending - n)
-    else if conn.closing then close_conn conn
+    else if conn.closing && Queue.is_empty conn.delayed then close_conn conn
   | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
   | exception Unix.Unix_error _ -> close_conn conn
 
 let accept_conn srv =
   match Unix.accept srv.listen_fd with
   | fd, _ ->
-    Unix.set_nonblock fd;
-    srv.conns <-
-      {
-        fd;
-        reader = Wire.Reader.create ~max_version:srv.wire_version ();
-        out = Buffer.create 256;
-        peer_version = 1;
-        closing = false;
-        closed = false;
-      }
-      :: srv.conns
-  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+    if not (srv.hooks.Netfault.nf_accept ~server:srv.sid) then
+      (* A refused accept: the peer's dial succeeds and then the
+         connection resets — what a dying or overloaded daemon looks
+         like from outside. *)
+      (try Unix.close fd with Unix.Unix_error _ -> ())
+    else begin
+      Unix.set_nonblock fd;
+      srv.conns <-
+        {
+          fd;
+          reader = Wire.Reader.create ~max_version:srv.wire_version ();
+          out = Buffer.create 256;
+          delayed = Queue.create ();
+          peer_version = 1;
+          closing = false;
+          closed = false;
+        }
+        :: srv.conns
+    end
+  | exception Unix.Unix_error _ ->
+    (* EAGAIN/EINTR, or a peer that reset before we accepted
+       (ECONNABORTED) — all transient; never worth dying over. *)
+    ()
 
 (* ------------------------------------------------------------------ *)
 (* The event loop                                                       *)
@@ -228,20 +377,37 @@ let install_signals () =
   (try Sys.set_signal Sys.sigint handler with Invalid_argument _ -> ());
   try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ()
 
-let make_server ?statedir ~dedup ~wire_version ~sockdir ~init_obj sid =
+let make_server ?statedir ~dedup ~wire_version ~sockdir ~init_obj ~hooks ~crash
+    sid =
   let core =
     let fresh () = Server_core.create ~dedup (init_obj sid) in
     match statedir with
     | None -> fresh ()
     | Some dir -> (
-      match load_state ~max_version:wire_version (statefile ~statedir:dir sid) with
-      | Some p ->
+      let file = statefile ~statedir:dir sid in
+      match load_state ~max_version:wire_version file with
+      | Loaded p ->
         (* Restarting over a persisted state is a recovery: the
            at-most-once table died with the process, so the server
            comes back in a fresh incarnation. *)
         Server_core.create ~dedup ~incarnation:(p.Wire.p_incarnation + 1)
           p.Wire.p_state
-      | None -> fresh ())
+      | Absent -> fresh ()
+      | Corrupt reason ->
+        (* Never load garbage, never crash: quarantine the damaged file
+           for post-mortem and rejoin as a fresh base object.  Losing a
+           base object's contents is a failure the protocols budget for
+           (it spends one of the f tolerated failures); serving a
+           misdecoded state would not be. *)
+        (try Sys.rename file (quarantine_path file)
+         with Sys_error _ -> (
+           try Sys.remove file with Sys_error _ -> ()));
+        Printf.eprintf
+          "daemon: server %d state corrupt (%s); quarantined to %s, \
+           recovering fresh\n\
+           %!"
+          sid reason (quarantine_path file);
+        fresh ())
   in
   let path = sockpath ~sockdir sid in
   (try Unix.unlink path with Unix.Unix_error _ -> ());
@@ -261,14 +427,17 @@ let make_server ?statedir ~dedup ~wire_version ~sockdir ~init_obj sid =
           Wire.ps_version = wire_version;
           ps_hash = Sch.hash (Wire.schema_v ~version:wire_version);
         };
+      hooks;
+      started = Unix.gettimeofday ();
+      crash;
       conns = [];
     }
   in
   persist srv;
   srv
 
-let run ?(dedup = true) ?(wire_version = Wire.version) ?statedir ?stop ~sockdir
-    ~servers ~init_obj () =
+let run ?(dedup = true) ?(wire_version = Wire.version) ?statedir ?stop
+    ?(hooks = Netfault.none) ?crash_at ~sockdir ~servers ~init_obj () =
   if wire_version < Wire.min_version || wire_version > Wire.version then
     invalid_arg
       (Printf.sprintf "Daemon.run: wire_version %d outside %d..%d" wire_version
@@ -279,16 +448,42 @@ let run ?(dedup = true) ?(wire_version = Wire.version) ?statedir ?stop ~sockdir
    | Some dir when not (Sys.file_exists dir) -> Unix.mkdir dir 0o755
    | _ -> ());
   if not (Sys.file_exists sockdir) then Unix.mkdir sockdir 0o755;
+  let crash =
+    (* One persist counter per process, whichever server persists. *)
+    Option.map (fun cp -> (cp, ref 0)) crash_at
+  in
   let srvs =
-    List.map (make_server ?statedir ~dedup ~wire_version ~sockdir ~init_obj) servers
+    List.map
+      (make_server ?statedir ~dedup ~wire_version ~sockdir ~init_obj ~hooks
+         ~crash)
+      servers
   in
   let should_stop () =
     !interrupted || (match stop with Some f -> f () | None -> false)
+  in
+  (* Delayed fault segments need a finer clock than the idle 200 ms
+     select round. *)
+  let tick =
+    if hooks == Netfault.none then 0.2 else 0.02
   in
   let finished = ref false in
   while not !finished do
     if should_stop () then finished := true
     else begin
+      List.iter (fun s -> List.iter (flush_delayed s) s.conns) srvs;
+      List.iter
+        (fun s ->
+          List.iter
+            (fun c ->
+              if
+                c.closing && (not c.closed)
+                && Buffer.length c.out = 0
+                && Queue.is_empty c.delayed
+              then close_conn c)
+            s.conns)
+        srvs;
+      (* Prune after the slow-close sweep: a freshly closed fd in the
+         select set is EBADF, which would take the whole process down. *)
       List.iter (fun s -> s.conns <- List.filter (fun c -> not c.closed) s.conns)
         srvs;
       let rds =
@@ -304,7 +499,7 @@ let run ?(dedup = true) ?(wire_version = Wire.version) ?statedir ?stop ~sockdir
               s.conns)
           srvs
       in
-      match Unix.select rds wrs [] 0.2 with
+      match Unix.select rds wrs [] tick with
       | readable, writable, _ ->
         List.iter
           (fun s ->

@@ -33,11 +33,68 @@ val sockpath : sockdir:string -> int -> string
 val statefile : statedir:string -> int -> string
 (** [statedir/server-<i>.state] — where server [i] persists. *)
 
+val quarantine_path : string -> string
+(** Where a corrupt state file is moved before the server recovers
+    fresh ([<file>.corrupt]). *)
+
+(** {2 Durable state}
+
+    State files are {!Wire.seal_persisted} containers: the framed
+    record plus a 16-byte checksum trailer.  [save_state] writes a
+    temp file, [fsync]s it, renames it over the target, and [fsync]s
+    the containing directory — a crash at any instant leaves either
+    the old state or the new state on disk, never a torn mixture. *)
+
+val save_state :
+  ?before_rename:(unit -> unit) -> version:int -> string -> Wire.persisted ->
+  unit
+(** [before_rename] (default no-op) runs between the temp-file fsync
+    and the rename — the hook crash points use to abort inside the
+    publication window. *)
+
+type load_result =
+  | Loaded of Wire.persisted
+  | Absent  (** No state file: a genuinely fresh server. *)
+  | Corrupt of string
+      (** The file exists but fails the container shape, checksum, or
+          decode — truncations, bit-flips, and garbage all land here,
+          deterministically and without raising. *)
+
+val load_state : max_version:int -> string -> load_result
+
+(** {2 Crash points}
+
+    Deterministic aborts around the persist path, counted per process
+    ([persist:<n>] fires on the [n]th persist, including each hosted
+    server's boot-time persist).  The abort is [Unix._exit] — no
+    cleanup, indistinguishable from SIGKILL. *)
+
+type crash_stage =
+  | Crash_before_write
+      (** Before the temp file is touched ([persist-pre:<n>]). *)
+  | Crash_before_rename
+      (** Between the temp-file fsync and the rename — inside the
+          torn-write window ([persist:<n>]): the old state must still
+          load on restart. *)
+  | Crash_after_rename
+      (** After the rename, before the response is sent
+          ([persist-post:<n>]): the new state is durable but the
+          client retransmits into the fresh incarnation. *)
+
+type crash_point = { cp_stage : crash_stage; cp_persist : int }
+
+val crash_point_of_string : string -> (crash_point, string) result
+(** Parses ["persist:<n>"], ["persist-pre:<n>"], ["persist-post:<n>"]. *)
+
+val crash_point_to_string : crash_point -> string
+
 val run :
   ?dedup:bool ->
   ?wire_version:int ->
   ?statedir:string ->
   ?stop:(unit -> bool) ->
+  ?hooks:Netfault.t ->
+  ?crash_at:crash_point ->
   sockdir:string ->
   servers:int list ->
   init_obj:(int -> Sb_storage.Objstate.t) ->
@@ -51,5 +108,9 @@ val run :
     true) arms the per-incarnation at-most-once table.
     [wire_version] (default [Wire.version]) pins the daemon's protocol
     version; raises [Invalid_argument] outside
-    [Wire.min_version..Wire.version].  Sockets are unlinked on the way
-    out. *)
+    [Wire.min_version..Wire.version].  [hooks] (default
+    {!Netfault.none}) inject socket-layer faults into accepts and
+    outbound frames; [crash_at] arms one crash point (requires
+    [statedir] to ever fire).  A server whose state file is corrupt
+    quarantines it ({!quarantine_path}) and rejoins fresh.  Sockets are
+    unlinked on the way out. *)

@@ -1,0 +1,36 @@
+(* Socket-layer fault hooks.  The daemon and the SDK consult one of
+   these at every connection attempt and for every outbound frame; the
+   seeded policies that fill them in live in Sb_faults.Live, keeping
+   the service itself free of any fault-plan vocabulary. *)
+
+type action =
+  | Pass
+  | Drop
+  | Emit of (int * bytes) list
+  | Emit_close of (int * bytes) list
+
+type t = {
+  nf_accept : server:int -> bool;
+  nf_connect : server:int -> bool;
+  nf_frame : server:int -> bytes -> action;
+}
+
+let none =
+  {
+    nf_accept = (fun ~server:_ -> true);
+    nf_connect = (fun ~server:_ -> true);
+    nf_frame = (fun ~server:_ _ -> Pass);
+  }
+
+(* Frame layout: u32 length, then u8 version, u8 tag.  A policy that
+   wants to spare the handshake peeks at the tag; a frame too short to
+   carry one is left to the peer's reader to reject. *)
+let frame_tag frame =
+  if Bytes.length frame < 6 then None else Some (Bytes.get_uint8 frame 5)
+
+let handshake_tags = [ 1; 2; 8 ]
+
+let is_handshake frame =
+  match frame_tag frame with
+  | Some tag -> List.mem tag handshake_tags
+  | None -> false

@@ -32,6 +32,29 @@ let default_config ~n ~f ~sockdir =
 
 type sample = { at_ms : float; total_bits : int }
 
+type failure_reason =
+  | Attempts_exhausted of int
+  | Deadline_expired
+
+type op_failure = {
+  fl_op : int;
+  fl_client : int;
+  fl_kind : Trace.op_kind;
+  fl_at_ms : float;
+  fl_reason : failure_reason;
+}
+
+type server_health = {
+  sh_server : int;
+  sh_connects : int;
+  sh_dial_failures : int;
+  sh_fail_streak : int;
+}
+
+(* Raised into an abandoned fiber at its await point so its cleanup
+   runs; the engine catches it at the discontinue site. *)
+exception Op_abandoned
+
 type report = {
   trace : Trace.t;
   ops_invoked : int;
@@ -50,6 +73,14 @@ type report = {
       (* typed handshake refusals, by server; chronological *)
   peak_sampled_bits : int;
   timed_out : bool;
+  failures : op_failure list;
+      (* typed per-operation failures, chronological: an operation that
+         can no longer reach its quorum within the retransmission
+         budget fails with [Attempts_exhausted]; operations still in
+         flight when [deadline_ms] expires fail with
+         [Deadline_expired].  Never a hang, never a raw exception. *)
+  health : server_health list;
+      (* per-server connection health at the end of the run *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -74,7 +105,17 @@ type client = {
   c_prng : Sb_util.Prng.t;
 }
 
-type conn = { fd : Unix.file_descr; reader : Wire.Reader.t; out : Buffer.t }
+type conn = {
+  fd : Unix.file_descr;
+  reader : Wire.Reader.t;
+  out : Buffer.t;
+  delayed : (float * bytes) Queue.t;
+      (* (due wall-ms, chunk): fault-delayed output segments.  Once the
+         queue is non-empty every later chunk appends behind it, so
+         byte order on the wire is always preserved. *)
+  mutable closing : bool;  (* slow-close once out + delayed drain *)
+}
+
 type connstate = Up of conn | Down of { mutable retry_at : float }
 
 type engine = {
@@ -111,6 +152,17 @@ type engine = {
   rejected : bool array;  (* typed schema reject: do not reconnect *)
   mutable downgrades : int;
   mutable schema_rejects : (int * string) list;  (* reversed *)
+  hooks : Netfault.t;
+  j_prng : Sb_util.Prng.t;
+      (* backoff jitter; split from the root seed *after* the client
+         prngs so client randomness streams (and thus desc_log parity
+         with the simulated transport) are unchanged *)
+  dial_failures : int array;
+  fail_streak : int array;
+      (* consecutive dial failures / drops per server; reset on
+         Welcome.  Drives the escalating reconnect backoff so a dead
+         peer is not hammered at a fixed cadence. *)
+  mutable op_failures : op_failure list;  (* reversed *)
 }
 
 let now_ms eng = (Unix.gettimeofday () -. eng.start) *. 1000.0
@@ -127,26 +179,84 @@ let tick eng =
 let own_schema =
   { Wire.ps_version = Wire.version; ps_hash = Wire.schema_hash }
 
+(* Escalating jittered reconnect backoff: reconnect_ms * 2^streak,
+   capped at 32x, plus seeded jitter so a fleet of clients does not
+   retry a dead peer in lockstep. *)
+let retry_delay eng s =
+  let base = max 1 eng.cfg.reconnect_ms in
+  let d = min (base * (1 lsl min eng.fail_streak.(s) 5)) (base * 32) in
+  float_of_int (d + Sb_util.Prng.int eng.j_prng (max 1 (base / 2)))
+
+let dial_failed eng s =
+  eng.dial_failures.(s) <- eng.dial_failures.(s) + 1;
+  eng.fail_streak.(s) <- eng.fail_streak.(s) + 1;
+  eng.conns.(s) <- Down { retry_at = now_ms eng +. retry_delay eng s }
+
+let push_out eng c segments =
+  List.iter
+    (fun (delay_ms, chunk) ->
+      if delay_ms <= 0 && Queue.is_empty c.delayed then
+        Buffer.add_bytes c.out chunk
+      else Queue.add (now_ms eng +. float_of_int delay_ms, chunk) c.delayed)
+    segments
+
+let flush_delayed eng c =
+  let now = now_ms eng in
+  let rec go () =
+    match Queue.peek_opt c.delayed with
+    | Some (due, chunk) when due <= now ->
+      ignore (Queue.pop c.delayed);
+      Buffer.add_bytes c.out chunk;
+      go ()
+    | _ -> ()
+  in
+  go ()
+
+let send_frame eng s c frame =
+  (* A slow-closing connection already has a truncated frame as its
+     stream tail; appending anything more would let the peer's reader
+     complete that frame with the next frame's header bytes — silent
+     payload corruption, not loss.  Drop instead; retransmission takes
+     over once the close lands and the server is re-dialled. *)
+  if c.closing then ()
+  else
+    match eng.hooks.Netfault.nf_frame ~server:s frame with
+  | Netfault.Pass -> push_out eng c [ (0, frame) ]
+  | Netfault.Drop -> ()
+  | Netfault.Emit segs -> push_out eng c segs
+  | Netfault.Emit_close segs ->
+    push_out eng c segs;
+    c.closing <- true
+
 let try_connect eng s =
-  let path = Daemon.sockpath ~sockdir:eng.cfg.sockdir s in
-  let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
-  match Unix.connect fd (ADDR_UNIX path) with
-  | () ->
-    Unix.set_nonblock fd;
-    let c = { fd; reader = Wire.Reader.create (); out = Buffer.create 256 } in
-    eng.welcomed.(s) <- false;
-    (* Hello optimistically at the last version this server spoke
-       (initially ours); v1 framing drops the schema field itself. *)
-    Buffer.add_bytes c.out
-      (Wire.encode_msg ~version:eng.peer_version.(s)
-         (Wire.Hello { client = 0; schema = Some own_schema }));
-    eng.conns.(s) <- Up c;
-    eng.connects.(s) <- eng.connects.(s) + 1;
-    if eng.connects.(s) > 1 then eng.reconnects <- eng.reconnects + 1
-  | exception Unix.Unix_error _ ->
-    (try Unix.close fd with Unix.Unix_error _ -> ());
-    eng.conns.(s) <-
-      Down { retry_at = now_ms eng +. float_of_int eng.cfg.reconnect_ms }
+  if not (eng.hooks.Netfault.nf_connect ~server:s) then dial_failed eng s
+  else
+    let path = Daemon.sockpath ~sockdir:eng.cfg.sockdir s in
+    let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+    match Unix.connect fd (ADDR_UNIX path) with
+    | () ->
+      Unix.set_nonblock fd;
+      let c =
+        {
+          fd;
+          reader = Wire.Reader.create ();
+          out = Buffer.create 256;
+          delayed = Queue.create ();
+          closing = false;
+        }
+      in
+      eng.welcomed.(s) <- false;
+      (* Hello optimistically at the last version this server spoke
+         (initially ours); v1 framing drops the schema field itself. *)
+      send_frame eng s c
+        (Wire.encode_msg ~version:eng.peer_version.(s)
+           (Wire.Hello { client = 0; schema = Some own_schema }));
+      eng.conns.(s) <- Up c;
+      eng.connects.(s) <- eng.connects.(s) + 1;
+      if eng.connects.(s) > 1 then eng.reconnects <- eng.reconnects + 1
+    | exception Unix.Unix_error _ ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      dial_failed eng s
 
 let mark_down eng s =
   (match eng.conns.(s) with
@@ -161,8 +271,8 @@ let mark_down eng s =
        eng.downgrades <- eng.downgrades + 1
      end
    | Down _ -> ());
-  eng.conns.(s) <-
-    Down { retry_at = now_ms eng +. float_of_int eng.cfg.reconnect_ms }
+  eng.fail_streak.(s) <- eng.fail_streak.(s) + 1;
+  eng.conns.(s) <- Down { retry_at = now_ms eng +. retry_delay eng s }
 
 let schema_reject eng s detail =
   eng.schema_rejects <- (s, detail) :: eng.schema_rejects;
@@ -185,8 +295,7 @@ let ensure_conns eng =
    send time, at the server's negotiated version. *)
 let send_to eng s msg =
   match eng.conns.(s) with
-  | Up c ->
-    Buffer.add_bytes c.out (Wire.encode_msg ~version:eng.peer_version.(s) msg)
+  | Up c -> send_frame eng s c (Wire.encode_msg ~version:eng.peer_version.(s) msg)
   | Down _ -> ()
 
 (* ------------------------------------------------------------------ *)
@@ -388,7 +497,10 @@ let handle_inbound eng s (msg : Wire.msg) =
          (* v1 daemons have no schema field to send. *)
          eng.welcomed.(s) <- true;
          eng.peer_version.(s) <- 1);
-      if not eng.rejected.(s) then note_incarnation eng s incarnation
+      if not eng.rejected.(s) then begin
+        eng.fail_streak.(s) <- 0;
+        note_incarnation eng s incarnation
+      end
     end
   | Wire.Reject { rj_code; rj_detail } ->
     schema_reject eng s
@@ -446,13 +558,102 @@ let all_done eng =
     (fun cl -> cl.queue = [] && cl.current_op = None)
     eng.clients
 
+(* ------------------------------------------------------------------ *)
+(* Typed failure paths: never hang, never leak a parked fiber           *)
+(* ------------------------------------------------------------------ *)
+
+(* Unwind an abandoned fiber by resuming its continuation with
+   [Op_abandoned]; any timers its unwinding leaves behind are swept. *)
+let abandon_fiber eng cl =
+  match cl.waiting with
+  | None -> ()
+  | Some { w_tickets; w_k; _ } ->
+    cl.waiting <- None;
+    Rt.cancel_list eng.timers w_tickets;
+    (match discontinue w_k Op_abandoned with
+     | Done _ | Blocked -> ()
+     | exception Op_abandoned -> ()
+     | exception _ -> ());
+    cl.waiting <- None;
+    Rt.cancel_list eng.timers (Rt.owned eng.timers ~owner:cl.cid)
+
+let record_failure eng cl reason =
+  match cl.current_op with
+  | None -> ()
+  | Some op ->
+    eng.op_failures <-
+      {
+        fl_op = op.R.id;
+        fl_client = cl.cid;
+        fl_kind = op.R.kind;
+        fl_at_ms = now_ms eng;
+        fl_reason = reason;
+      }
+      :: eng.op_failures;
+    cl.current_op <- None
+
+(* With a bounded retransmission budget, a parked operation whose
+   remaining reachable responses cannot meet its quorum is failed with
+   a typed [Attempts_exhausted] instead of hanging forever.  A ticket
+   still counts as reachable while its final attempt's RTO window is
+   open — the last send gets its chance to land. *)
+let sweep_exhausted eng =
+  if eng.cfg.max_attempts > 0 then begin
+    let now = now_ms_int eng in
+    Array.iter
+      (fun cl ->
+        match cl.waiting with
+        | None -> ()
+        | Some { w_tickets; w_quorum; _ } ->
+          let reachable =
+            List.fold_left
+              (fun acc tk ->
+                if Mailbox.has eng.responses tk then acc + 1
+                else
+                  match Rt.find eng.timers tk with
+                  | Some t
+                    when Rt.within_budget eng.rt_cfg t || now < t.Rt.deadline
+                    -> acc + 1
+                  | Some _ | None -> acc)
+              0 w_tickets
+          in
+          if reachable < w_quorum then begin
+            let attempts =
+              List.fold_left
+                (fun acc tk ->
+                  match Rt.find eng.timers tk with
+                  | Some t -> max acc t.Rt.attempt
+                  | None -> acc)
+                0 w_tickets
+            in
+            abandon_fiber eng cl;
+            record_failure eng cl (Attempts_exhausted attempts);
+            after_op eng cl
+          end)
+      eng.clients
+  end
+
+let fail_in_flight eng reason =
+  Array.iter
+    (fun cl ->
+      if cl.current_op <> None then begin
+        abandon_fiber eng cl;
+        record_failure eng cl reason
+      end)
+    eng.clients
+
 let fire_retransmits eng =
   List.iter
     (fun ticket ->
       match Rt.find eng.timers ticket with
       | None -> ()
       | Some t ->
-        Rt.backoff eng.rt_cfg t ~now:(now_ms_int eng);
+        (* Cap the exponential term and add seeded jitter so retry
+           storms against a recovering daemon de-synchronise. *)
+        Rt.backoff
+          ~cap:(eng.cfg.rto_ms * 64)
+          ~jitter:(Sb_util.Prng.int eng.j_prng (max 1 (eng.cfg.rto_ms / 2)))
+          eng.rt_cfg t ~now:(now_ms_int eng);
         eng.retransmissions <- eng.retransmissions + 1;
         let s, req = t.Rt.req in
         send_to eng s req)
@@ -472,43 +673,61 @@ let select_round eng timeout =
     (fun st ->
       match st with
       | Up c ->
+        flush_delayed eng c;
         rds := c.fd :: !rds;
         if Buffer.length c.out > 0 then wrs := c.fd :: !wrs
       | Down _ -> ())
     eng.conns;
-  match Unix.select !rds !wrs [] timeout with
-  | readable, writable, _ ->
-    Array.iteri
-      (fun s st ->
-        match st with
-        | Up c ->
-          if List.memq c.fd writable && Buffer.length c.out > 0 then
-            write_conn eng s c;
-          (match eng.conns.(s) with
-           | Up c when List.memq c.fd readable -> read_conn eng s c
-           | _ -> ())
-        | Down _ -> ())
-      eng.conns
-  | exception Unix.Unix_error (EINTR, _, _) -> ()
+  (match Unix.select !rds !wrs [] timeout with
+   | readable, writable, _ ->
+     Array.iteri
+       (fun s st ->
+         match st with
+         | Up c ->
+           if List.memq c.fd writable && Buffer.length c.out > 0 then
+             write_conn eng s c;
+           (match eng.conns.(s) with
+            | Up c when List.memq c.fd readable -> read_conn eng s c
+            | _ -> ())
+         | Down _ -> ())
+       eng.conns
+   | exception Unix.Unix_error (EINTR, _, _) -> ());
+  (* Slow-close sweep: an [Emit_close] connection drops once its
+     remaining output (buffered and delayed) has drained. *)
+  Array.iteri
+    (fun s st ->
+      match st with
+      | Up c
+        when c.closing
+             && Buffer.length c.out = 0
+             && Queue.is_empty c.delayed -> mark_down eng s
+      | _ -> ())
+    eng.conns
 
-let create ~algorithm ~seed ~workload cfg =
+let create ?(hooks = Netfault.none) ~algorithm ~seed ~workload cfg =
   let root = Sb_util.Prng.create seed in
+  (* Clients split from the root first, in cid order — the same order
+     the simulated transport uses, so desc_log parity holds.  The
+     jitter prng splits strictly after them. *)
+  let clients =
+    Array.mapi
+      (fun i ops ->
+        {
+          cid = i;
+          queue = ops;
+          waiting = None;
+          current_op = None;
+          op_start = 0.0;
+          ready_at = 0.0;
+          c_prng = Sb_util.Prng.split root;
+        })
+      workload
+  in
+  let j_prng = Sb_util.Prng.split root in
   {
     cfg;
     algorithm;
-    clients =
-      Array.mapi
-        (fun i ops ->
-          {
-            cid = i;
-            queue = ops;
-            waiting = None;
-            current_op = None;
-            op_start = 0.0;
-            ready_at = 0.0;
-            c_prng = Sb_util.Prng.split root;
-          })
-        workload;
+    clients;
     conns = Array.init cfg.n (fun _ -> Down { retry_at = 0.0 });
     responses = Mailbox.create ();
     timers = Rt.create ();
@@ -535,19 +754,32 @@ let create ~algorithm ~seed ~workload cfg =
     rejected = Array.make cfg.n false;
     downgrades = 0;
     schema_rejects = [];
+    hooks;
+    j_prng;
+    dial_failures = Array.make cfg.n 0;
+    fail_streak = Array.make cfg.n 0;
+    op_failures = [];
   }
 
 (* A quiescent stats round over fresh connections; used for the final
    report and exposed for post-run floor checks. *)
 let fetch_stats ?(timeout_ms = 5000) ~sockdir ~servers () =
-  let deadline = Unix.gettimeofday () +. (float_of_int timeout_ms /. 1000.0) in
   List.filter_map
     (fun s ->
+      (* Budgeted per server: a slow or unreachable server exhausts its
+         own window, never the remaining servers'. *)
+      let deadline =
+        Unix.gettimeofday () +. (float_of_int timeout_ms /. 1000.0)
+      in
       let path = Daemon.sockpath ~sockdir s in
       let rec attempt () =
         if Unix.gettimeofday () > deadline then None
         else
           let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+          (* Reads are select-bounded: a reply lost to a fault plane (or
+             a wedged server) costs one short attempt, not a hang — the
+             retry re-dials and re-queries from scratch. *)
+          let attempt_deadline = min deadline (Unix.gettimeofday () +. 0.5) in
           match
             Unix.connect fd (ADDR_UNIX path);
             (* v1 framing: readable by every daemon version. *)
@@ -560,14 +792,18 @@ let fetch_stats ?(timeout_ms = 5000) ~sockdir ~servers () =
               | Ok (Some (Wire.Stats st)) -> Some st
               | Ok (Some _) -> read_loop ()
               | Ok None ->
-                if Unix.gettimeofday () > deadline then None
+                let remaining = attempt_deadline -. Unix.gettimeofday () in
+                if remaining <= 0.0 then None
                 else begin
-                  let n = Unix.read fd buf 0 (Bytes.length buf) in
-                  if n = 0 then None
-                  else begin
-                    Wire.Reader.feed reader buf 0 n;
-                    read_loop ()
-                  end
+                  match Unix.select [ fd ] [] [] remaining with
+                  | [], _, _ -> None
+                  | _ ->
+                    let n = Unix.read fd buf 0 (Bytes.length buf) in
+                    if n = 0 then None
+                    else begin
+                      Wire.Reader.feed reader buf 0 n;
+                      read_loop ()
+                    end
                 end
               | Error _ -> None
             in
@@ -597,20 +833,30 @@ let invoke_due eng =
         then invoke_next eng cl)
       eng.clients
 
-let run_workload ~algorithm ~seed ~workload cfg =
-  let eng = create ~algorithm ~seed ~workload cfg in
+let run_workload ?hooks ~algorithm ~seed ~workload cfg =
+  (* A server closing mid-write (crash, slow-close fault) must surface
+     as EPIPE on the socket, not kill the whole client process. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let eng = create ?hooks ~algorithm ~seed ~workload cfg in
   ensure_conns eng;
   (* Invoke every client's first operation, in cid order — the same
      deterministic start the simulated transports use. *)
   Array.iter (fun cl -> invoke_next eng cl) eng.clients;
   let timed_out = ref false in
   while (not (all_done eng)) && not !timed_out do
-    if now_ms eng > float_of_int eng.cfg.deadline_ms then timed_out := true
+    if now_ms eng > float_of_int eng.cfg.deadline_ms then begin
+      timed_out := true;
+      (* The deadline is a typed failure, not a silent hang: every
+         in-flight operation is unwound and recorded. *)
+      fail_in_flight eng Deadline_expired
+    end
     else begin
       ensure_conns eng;
       invoke_due eng;
       fire_retransmits eng;
       fire_sampling eng;
+      sweep_exhausted eng;
       select_round eng 0.02;
       resume_runnable eng
     end
@@ -645,4 +891,13 @@ let run_workload ~algorithm ~seed ~workload cfg =
     schema_rejects = List.rev eng.schema_rejects;
     peak_sampled_bits;
     timed_out = !timed_out;
+    failures = List.rev eng.op_failures;
+    health =
+      List.init eng.cfg.n (fun s ->
+          {
+            sh_server = s;
+            sh_connects = eng.connects.(s);
+            sh_dial_failures = eng.dial_failures.(s);
+            sh_fail_streak = eng.fail_streak.(s);
+          });
   }

@@ -37,6 +37,36 @@ type sample = { at_ms : float; total_bits : int }
     (servers that missed the sampling round contribute their last
     reply; rounds with any server missing are skipped). *)
 
+(** Why an operation was abandoned instead of completing. *)
+type failure_reason =
+  | Attempts_exhausted of int
+      (** The retransmission budget ([max_attempts]) ran out on enough
+          servers that the operation's quorum became unreachable; the
+          payload is the deepest attempt count among its tickets. *)
+  | Deadline_expired  (** Still in flight when [deadline_ms] struck. *)
+
+type op_failure = {
+  fl_op : int;
+  fl_client : int;
+  fl_kind : Sb_sim.Trace.op_kind;
+  fl_at_ms : float;
+  fl_reason : failure_reason;
+}
+
+type server_health = {
+  sh_server : int;
+  sh_connects : int;       (** Successful dials over the run. *)
+  sh_dial_failures : int;  (** Refused/failed dials over the run. *)
+  sh_fail_streak : int;
+      (** Consecutive failures at end of run (0 = last contact was
+          healthy).  While positive, reconnects back off exponentially
+          (capped at 32x [reconnect_ms]) with seeded jitter. *)
+}
+
+exception Op_abandoned
+(** Raised into an abandoned operation's fiber at its await point so
+    protocol-level cleanup can run; the engine absorbs it. *)
+
 type report = {
   trace : Sb_sim.Trace.t;
       (** Invoke/Return/Rmw_trigger events on a logical clock, ready
@@ -65,9 +95,15 @@ type report = {
           run has none. *)
   peak_sampled_bits : int;
   timed_out : bool;  (** The deadline cut the run short. *)
+  failures : op_failure list;
+      (** Typed per-operation failures, chronological.  With
+          [max_attempts = 0] and no deadline pressure this is empty;
+          it is never possible for an operation to silently hang. *)
+  health : server_health list;  (** Per server, at end of run. *)
 }
 
 val run_workload :
+  ?hooks:Netfault.t ->
   algorithm:Sb_sim.Runtime.algorithm ->
   seed:int ->
   workload:Sb_sim.Trace.op_kind list array ->
@@ -75,13 +111,17 @@ val run_workload :
   report
 (** Drive the closed-loop workload (one fiber per array slot, next
     operation invoked as soon as the previous returns) to completion
-    against the cluster reachable under [config.sockdir]. *)
+    against the cluster reachable under [config.sockdir].  [hooks]
+    (default {!Netfault.none}) inject socket-layer faults into the
+    client's dials and outbound frames — the client-side half of a
+    {!Sb_faults.Live} fault plane. *)
 
 val fetch_stats :
   ?timeout_ms:int -> sockdir:string -> servers:int list -> unit ->
   Wire.stats list
-(** One blocking stats round over fresh connections, retrying each
-    server until [timeout_ms] (default 5000); servers that never answer
-    are omitted.  This is how the load generator checks the
+(** One stats round over fresh connections, retrying each server with
+    select-bounded reads under its own [timeout_ms] budget (default
+    5000; a slow server never starves the others); servers that never
+    answer are omitted.  This is how the load generator checks the
     post-quiescence GC floor and how the CI smoke test asserts that
     killed servers were re-admitted. *)

@@ -594,6 +594,42 @@ let encode_persisted ?version:(v = version) p = frame_body ~v w_persisted p
 let decode_persisted ?max_version buf =
   decode_body ?max_version (fun _v c -> r_persisted c) buf
 
+(* The state-file container wraps the persisted frame in a 16-byte
+   Hash128 checksum trailer.  The trailer sits outside the
+   schema-described frame body on purpose: the golden schemas/v*.json
+   files pin the [persisted] layout, and an integrity envelope is a
+   property of the file, not of the wire vocabulary. *)
+
+let checksum_bytes = 16
+
+let seal_persisted ?version p =
+  let frame = encode_persisted ?version p in
+  let h = Sb_util.Hash128.create () in
+  Sb_util.Hash128.add_bytes h frame;
+  Bytes.cat frame (Bytes.of_string (Sb_util.Hash128.digest h))
+
+let unseal_persisted ?max_version buf =
+  let total = Bytes.length buf in
+  if total < 4 + checksum_bytes then Error "state file too short"
+  else
+    let len = Int32.to_int (Bytes.get_int32_be buf 0) in
+    if len < 1 || len > max_frame_bytes then
+      Error (Printf.sprintf "bad state frame length %d" len)
+    else if total <> 4 + len + checksum_bytes then
+      Error
+        (Printf.sprintf "state file length %d does not match frame %d" total
+           len)
+    else begin
+      let h = Sb_util.Hash128.create () in
+      Sb_util.Hash128.add_subbytes h buf 0 (4 + len);
+      if
+        not
+          (String.equal (Sb_util.Hash128.digest h)
+             (Bytes.sub_string buf (4 + len) checksum_bytes))
+      then Error "state checksum mismatch"
+      else decode_persisted ?max_version (Bytes.sub buf 4 len)
+    end
+
 (* ------------------------------------------------------------------ *)
 (* Incremental frame reader                                            *)
 (* ------------------------------------------------------------------ *)

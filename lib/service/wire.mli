@@ -111,6 +111,19 @@ type persisted = { p_incarnation : int; p_state : Sb_storage.Objstate.t }
 val encode_persisted : ?version:int -> persisted -> bytes
 val decode_persisted : ?max_version:int -> bytes -> (persisted, string) result
 
+val seal_persisted : ?version:int -> persisted -> bytes
+(** {!encode_persisted} wrapped in the state-file container: the
+    framed record followed by a 16-byte Hash128 checksum of it.  The
+    trailer lives outside the schema-described frame body, so the
+    golden wire schemas are unaffected. *)
+
+val unseal_persisted :
+  ?max_version:int -> bytes -> (persisted, string) result
+(** Verifies the container shape (length prefix consistent with the
+    file size) and the checksum before decoding; any truncation,
+    bit-flip, or garbage yields [Error] — never an exception, never a
+    silently-misdecoded state. *)
+
 (** Incremental frame extraction over a byte stream. *)
 module Reader : sig
   type t

@@ -140,3 +140,70 @@ grep -q '"ok": true' "$MIXED_JSON" || {
   echo "mixed-version report not ok"; cat "$MIXED_JSON"; exit 1;
 }
 echo "== mixed-version smoke test passed"
+
+# ---------------------------------------------------------------------
+# Crash-point phase: server 0 armed to abort inside the torn-write
+# window (after the temp-file fsync, before the rename) on its 3rd
+# persist.  The abort is _exit 70 — indistinguishable from SIGKILL.
+# The restart must load the OLD state (the rename never happened),
+# recover into a fresh incarnation, and the loadgen run stays green
+# with exactly that one recovery observed.
+# ---------------------------------------------------------------------
+echo "== crash-point phase: server 0 armed with --crash-at persist:3"
+for pid in "${PIDS[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+wait 2>/dev/null || true
+rm -rf "$SOCKDIR" "$STATEDIR"
+mkdir -p "$SOCKDIR" "$STATEDIR"
+CRASH_JSON=${CRASH_JSON:-BENCH_service_crash.json}
+
+$SPACEBOUNDS serve "${ALGO_ARGS[@]}" --server 0 --crash-at persist:3 \
+  --sockdir "$SOCKDIR" --statedir "$STATEDIR" &
+PIDS[0]=$!
+for i in $(seq 1 $((N - 1))); do start_server "$i"; done
+for _ in $(seq 1 100); do
+  up=$(ls "$SOCKDIR" 2>/dev/null | grep -c '\.sock$' || true)
+  [ "$up" -eq "$N" ] && break
+  sleep 0.1
+done
+[ "$(ls "$SOCKDIR" | grep -c '\.sock$')" -eq "$N" ] || {
+  echo "armed cluster did not come up"; exit 1;
+}
+
+$SPACEBOUNDS loadgen "${ALGO_ARGS[@]}" \
+  --writers 2 --writes-each 60 --readers 2 --reads-each 60 \
+  --seed 31 --think-ms 25 --sockdir "$SOCKDIR" --json "$CRASH_JSON" &
+LOADGEN=$!
+
+set +e
+wait "${PIDS[0]}"; code=$?
+set -e
+[ "$code" -eq 70 ] || { echo "expected crash exit 70, got $code"; exit 1; }
+echo "== server 0 hit its crash point (exit 70); restarting over its state"
+start_server 0
+
+wait "$LOADGEN"
+echo "== crash-point loadgen verdict: green"
+grep -q '"recoveries": 1' "$CRASH_JSON" || {
+  echo "expected 1 observed recovery in $CRASH_JSON:"; cat "$CRASH_JSON"; exit 1;
+}
+grep -q '"ok": true' "$CRASH_JSON" || {
+  echo "crash-point report not ok"; cat "$CRASH_JSON"; exit 1;
+}
+echo "== crash-point smoke test passed"
+
+# ---------------------------------------------------------------------
+# Live chaos phase: seeded socket/disk fault campaigns over forked
+# clusters — frame loss/duplication/fragmentation, a held-then-healed
+# partition, torn-write crash points, and corrupted state files that
+# must quarantine and recover fresh.  Green cells re-assert regularity
+# and the Theorem 2 ceiling/floor under faults; the report lands in
+# CHAOS_live_report.json for the CI artifact.
+# ---------------------------------------------------------------------
+echo "== live chaos campaign (quick)"
+CHAOS_JSON=${CHAOS_JSON:-CHAOS_live_report.json}
+$SPACEBOUNDS chaos --live --quick -a adaptive -f 2 -k 1 --seed 7 \
+  --value-bytes 64 --live-report "$CHAOS_JSON"
+grep -q '"ok": true' "$CHAOS_JSON" || {
+  echo "live chaos report not ok"; cat "$CHAOS_JSON"; exit 1;
+}
+echo "== live chaos passed"

@@ -444,6 +444,111 @@ let test_chaos_smoke () =
        (List.filter (fun l -> String.trim l <> "")
           (String.split_on_char '\n' csv)))
 
+(* ------------------------------------------------------------------ *)
+(* Live fault plane (socket-layer hooks + disk faults)                 *)
+(* ------------------------------------------------------------------ *)
+
+module Live = Sb_faults.Live
+module Netfault = Sb_service.Netfault
+module SWire = Sb_service.Wire
+
+let data_frame i =
+  SWire.encode_msg
+    (SWire.Request
+       {
+         rq_client = 1;
+         rq_ticket = i;
+         rq_op = 1;
+         rq_nature = `Readonly;
+         rq_payload = [];
+         rq_desc = Sb_sim.Rmwdesc.Snapshot;
+       })
+
+(* Fragmentation preserves the byte stream: the scheduled segments
+   reassemble the exact frame (a slow-close may truncate the tail to a
+   strict prefix — the peer's incremental reader treats that as a
+   partial write followed by EOF, never as garbage). *)
+let test_live_hooks_fragmentation () =
+  let hooks = Live.hooks ~seed:5 (Plan.lossy ~fragment:1.0 0.0) in
+  for i = 1 to 50 do
+    let frame = data_frame i in
+    match hooks.Netfault.nf_frame ~server:0 frame with
+    | Netfault.Pass -> Alcotest.fail "fragment=1.0 left a frame whole"
+    | Netfault.Drop -> Alcotest.fail "drop=0.0 dropped a frame"
+    | Netfault.Emit segs ->
+      Alcotest.(check bool) "split into several segments" true
+        (List.length segs >= 2);
+      List.iter
+        (fun (d, _) ->
+          Alcotest.(check bool) "segment delay non-negative" true (d >= 0))
+        segs;
+      Alcotest.(check bytes) "segments reassemble the frame" frame
+        (Bytes.concat Bytes.empty (List.map snd segs))
+    | Netfault.Emit_close segs ->
+      let got = Bytes.concat Bytes.empty (List.map snd segs) in
+      let len = Bytes.length got in
+      Alcotest.(check bool) "slow-close emits a strict prefix" true
+        (len < Bytes.length frame && Bytes.equal got (Bytes.sub frame 0 len))
+  done
+
+(* Handshake frames ride above the fault plane: campaigns exercise the
+   data path, not the (idempotent, retried-on-reconnect) handshake. *)
+let test_live_hooks_handshake_immune () =
+  let hooks =
+    Live.hooks ~seed:9 (Plan.lossy ~duplicate:0.2 ~fragment:0.5 0.3)
+  in
+  let hello = SWire.encode_msg (SWire.Hello { client = 1; schema = None }) in
+  for _ = 1 to 100 do
+    match hooks.Netfault.nf_frame ~server:0 hello with
+    | Netfault.Pass -> ()
+    | _ -> Alcotest.fail "handshake frame was faulted"
+  done
+
+(* The live hooks are a pure function of (seed, plan, call sequence):
+   two instances built alike fault identically, frame for frame. *)
+let test_live_hooks_deterministic () =
+  let plan = Plan.lossy ~duplicate:0.2 ~delay:0.3 ~delay_steps:5 ~fragment:0.3 0.2 in
+  let a = Live.hooks ~seed:7 plan in
+  let b = Live.hooks ~seed:7 plan in
+  for i = 1 to 200 do
+    let frame = data_frame i in
+    let ra = a.Netfault.nf_frame ~server:(i mod 3) frame in
+    let rb = b.Netfault.nf_frame ~server:(i mod 3) frame in
+    if ra <> rb then Alcotest.failf "frame %d diverged between equal seeds" i
+  done
+
+(* Each disk-fault mode damages a freshly saved state file in a way the
+   checksummed loader detects; [Df_none] touches nothing. *)
+let test_disk_fault_modes () =
+  let file =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "sb-diskfault-%d.state" (Unix.getpid ()))
+  in
+  let p =
+    { Sb_service.Wire.p_incarnation = 3; p_state = Sb_storage.Objstate.init () }
+  in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove file with Sys_error _ -> ())
+    (fun () ->
+      List.iter
+        (fun fault ->
+          Sb_service.Daemon.save_state ~version:SWire.version file p;
+          Alcotest.(check bool)
+            (Live.disk_fault_name fault ^ " applied")
+            true
+            (Live.corrupt_file ~seed:11 fault file);
+          match Sb_service.Daemon.load_state ~max_version:SWire.version file with
+          | Sb_service.Daemon.Corrupt _ -> ()
+          | _ -> Alcotest.failf "%s not detected" (Live.disk_fault_name fault))
+        [ Live.Df_truncate; Live.Df_bitflip ];
+      Sb_service.Daemon.save_state ~version:SWire.version file p;
+      Alcotest.(check bool) "Df_none is a no-op" false
+        (Live.corrupt_file ~seed:11 Live.Df_none file);
+      match Sb_service.Daemon.load_state ~max_version:SWire.version file with
+      | Sb_service.Daemon.Loaded _ -> ()
+      | _ -> Alcotest.fail "untouched file should still load")
+
 let () =
   Alcotest.run "faults"
     [
@@ -492,4 +597,15 @@ let () =
         ] );
       ( "chaos",
         [ Alcotest.test_case "campaign smoke" `Quick test_chaos_smoke ] );
+      ( "live",
+        [
+          Alcotest.test_case "fragments reassemble the frame" `Quick
+            test_live_hooks_fragmentation;
+          Alcotest.test_case "handshakes ride above the faults" `Quick
+            test_live_hooks_handshake_immune;
+          Alcotest.test_case "hooks deterministic per seed" `Quick
+            test_live_hooks_deterministic;
+          Alcotest.test_case "disk faults detected by the loader" `Quick
+            test_disk_fault_modes;
+        ] );
     ]

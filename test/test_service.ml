@@ -635,6 +635,247 @@ let test_schema_hash_reject () =
           let k = Unix.read fd buf 0 (Bytes.length buf) in
           Alcotest.(check int) "connection closed" 0 k))
 
+(* ------------------------------------------------------------------ *)
+(* Durable state under disk faults                                     *)
+(* ------------------------------------------------------------------ *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path s =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc s)
+
+(* Fuzz the recovery path: any truncation, bit-flip, emptying or
+   garbage overwrite of a saved state file is reported as [Corrupt] —
+   deterministically, and never by raising — while the pristine file
+   still loads back equal. *)
+let test_load_state_fuzz =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:150
+       ~name:"load_state refuses any mutation, never raises"
+       Gen.(quad gen_objstate (int_range 1 9) (int_bound 3) (int_bound 100_000))
+       (fun (st, inc, kind, mseed) ->
+         let dir = fresh_dir "sb-fuzz" in
+         let file = Filename.concat dir "server-0.state" in
+         Fun.protect
+           ~finally:(fun () ->
+             (try Sys.remove file with Sys_error _ -> ());
+             try Unix.rmdir dir with Unix.Unix_error _ -> ())
+           (fun () ->
+             let p = { Wire.p_incarnation = inc; p_state = st } in
+             Daemon.save_state ~version:Wire.version file p;
+             (match Daemon.load_state ~max_version:Wire.version file with
+              | Daemon.Loaded p' when p' = p -> ()
+              | _ -> QCheck2.Test.fail_report "pristine file did not load back");
+             let body = read_file file in
+             let len = String.length body in
+             let mutated =
+               match kind with
+               | 0 -> String.sub body 0 (mseed mod len)
+               | 1 ->
+                 let b = Bytes.of_string body in
+                 let bit = mseed mod (len * 8) in
+                 Bytes.set b (bit / 8)
+                   (Char.chr
+                      (Char.code (Bytes.get b (bit / 8))
+                      lxor (1 lsl (bit mod 8))));
+                 Bytes.to_string b
+               | 2 -> ""
+               | _ ->
+                 String.init
+                   (1 + (mseed mod 64))
+                   (fun i -> Char.chr ((mseed + (i * 37)) land 0xff))
+             in
+             if String.equal mutated body then true
+             else begin
+               write_file file mutated;
+               let r1 = Daemon.load_state ~max_version:Wire.version file in
+               let r2 = Daemon.load_state ~max_version:Wire.version file in
+               match (r1, r2) with
+               | Daemon.Corrupt a, Daemon.Corrupt b when String.equal a b ->
+                 true
+               | Daemon.Corrupt _, Daemon.Corrupt _ ->
+                 QCheck2.Test.fail_report "corruption verdict not deterministic"
+               | Daemon.Loaded _, _ ->
+                 QCheck2.Test.fail_report "mutated state file loaded"
+               | Daemon.Absent, _ ->
+                 QCheck2.Test.fail_report "file exists but reported Absent"
+               | _, (Daemon.Loaded _ | Daemon.Absent) ->
+                 QCheck2.Test.fail_report "second load diverged from the first"
+             end)))
+
+(* A corrupt state file is quarantined at boot: the server rejoins
+   fresh (incarnation 1 — not a recovery bump), the damaged bytes are
+   preserved next to the state file, and the cluster keeps serving on
+   the surviving quorum. *)
+let test_corrupt_state_quarantined () =
+  let value_bytes = 32 in
+  let algorithm, cfg = adaptive_setup ~value_bytes ~f:1 ~k:1 in
+  let statedir = fresh_dir "sb-state" in
+  let value = Sb_experiments.Workloads.distinct_value ~value_bytes 1 in
+  with_cluster ~statedir ~algorithm ~n:cfg.Common.n (fun sockdir ->
+      let r =
+        Sdk.run_workload ~algorithm ~seed:3 ~workload:[| [ Trace.Write value ] |]
+          (Sdk.default_config ~n:cfg.Common.n ~f:cfg.Common.f ~sockdir)
+      in
+      Alcotest.(check int) "write completed" 1 r.Sdk.ops_completed);
+  let file = Daemon.statefile ~statedir 0 in
+  let body = Bytes.of_string (read_file file) in
+  Bytes.set body 9 (Char.chr (Char.code (Bytes.get body 9) lxor 0x10));
+  write_file file (Bytes.to_string body);
+  with_cluster ~statedir ~algorithm ~n:cfg.Common.n (fun sockdir ->
+      let stats =
+        Sdk.fetch_stats ~sockdir ~servers:(List.init cfg.Common.n Fun.id) ()
+      in
+      Alcotest.(check int) "all servers up" cfg.Common.n (List.length stats);
+      List.iter
+        (fun st ->
+          let expect = if st.Wire.st_server = 0 then 1 else 2 in
+          Alcotest.(check int)
+            (Printf.sprintf "server %d incarnation" st.Wire.st_server)
+            expect st.Wire.st_incarnation)
+        stats;
+      Alcotest.(check bool) "damaged bytes quarantined" true
+        (Sys.file_exists (Daemon.quarantine_path file));
+      let r =
+        Sdk.run_workload ~algorithm ~seed:4 ~workload:[| [ Trace.Read ] |]
+          (Sdk.default_config ~n:cfg.Common.n ~f:cfg.Common.f ~sockdir)
+      in
+      Alcotest.(check int) "read completed over surviving quorum" 1
+        r.Sdk.ops_completed)
+
+(* ------------------------------------------------------------------ *)
+(* Graceful degradation: typed failures instead of hangs               *)
+(* ------------------------------------------------------------------ *)
+
+(* Nothing is listening anywhere: with a bounded retransmission budget
+   the operation is abandoned with a typed exhaustion failure — well
+   before the run deadline — and every dial failure lands on the
+   per-server health ledger. *)
+let test_attempts_exhausted () =
+  let algorithm, cfg = adaptive_setup ~value_bytes:32 ~f:1 ~k:1 in
+  let sockdir = fresh_dir "sb-empty" in
+  let base = Sdk.default_config ~n:cfg.Common.n ~f:cfg.Common.f ~sockdir in
+  let sdk_cfg =
+    { base with Sdk.rto_ms = 10; max_attempts = 2; deadline_ms = 10_000 }
+  in
+  let value = Sb_experiments.Workloads.distinct_value ~value_bytes:32 1 in
+  let r =
+    Sdk.run_workload ~algorithm ~seed:1 ~workload:[| [ Trace.Write value ] |]
+      sdk_cfg
+  in
+  Alcotest.(check bool) "deadline did not strike" false r.Sdk.timed_out;
+  Alcotest.(check int) "nothing completed" 0 r.Sdk.ops_completed;
+  (match r.Sdk.failures with
+   | [ { Sdk.fl_reason = Sdk.Attempts_exhausted n;
+         fl_client = 0;
+         fl_kind = Trace.Write _;
+         _
+       } ] ->
+     Alcotest.(check bool)
+       (Printf.sprintf "attempt count %d positive" n)
+       true (n > 0)
+   | fs -> Alcotest.failf "expected one exhaustion failure, got %d" (List.length fs));
+  List.iter
+    (fun h ->
+      Alcotest.(check bool)
+        (Printf.sprintf "server %d dial failures on the ledger" h.Sdk.sh_server)
+        true
+        (h.Sdk.sh_dial_failures > 0 && h.Sdk.sh_fail_streak > 0))
+    r.Sdk.health
+
+(* Same dead cluster but an unbounded retry budget: the run deadline
+   converts the in-flight operation into a typed [Deadline_expired]
+   failure rather than a silent hang. *)
+let test_deadline_expired () =
+  let algorithm, cfg = adaptive_setup ~value_bytes:32 ~f:1 ~k:1 in
+  let sockdir = fresh_dir "sb-empty" in
+  let base = Sdk.default_config ~n:cfg.Common.n ~f:cfg.Common.f ~sockdir in
+  let sdk_cfg =
+    { base with Sdk.rto_ms = 20; max_attempts = 0; deadline_ms = 400 }
+  in
+  let r =
+    Sdk.run_workload ~algorithm ~seed:1 ~workload:[| [ Trace.Read ] |] sdk_cfg
+  in
+  Alcotest.(check bool) "run timed out" true r.Sdk.timed_out;
+  Alcotest.(check int) "nothing completed" 0 r.Sdk.ops_completed;
+  match r.Sdk.failures with
+  | [ { Sdk.fl_reason = Sdk.Deadline_expired; fl_kind = Trace.Read; _ } ] -> ()
+  | fs -> Alcotest.failf "expected one deadline failure, got %d" (List.length fs)
+
+(* A SIGKILLed cluster restarted over the same state directory mid-run:
+   the workload rides out the outage through reconnection, and each
+   server's incarnation bump is observed exactly once, no matter how
+   many reconnect attempts it took. *)
+let test_restart_bump_counted_once () =
+  let value_bytes = 32 in
+  let algorithm, cfg = adaptive_setup ~value_bytes ~f:1 ~k:1 in
+  let n = cfg.Common.n in
+  let statedir = fresh_dir "sb-state" in
+  let sockdir = fresh_dir "sb-sock" in
+  let boot_daemons () =
+    Daemon.run ~statedir ~sockdir ~servers:(List.init n Fun.id)
+      ~init_obj:algorithm.R.init_obj ()
+  in
+  let pid1 = Unix.fork () in
+  if pid1 = 0 then begin
+    (try boot_daemons () with _ -> ());
+    Unix._exit 0
+  end;
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  let rec wait_up () =
+    if
+      List.for_all
+        (fun i -> Sys.file_exists (Daemon.sockpath ~sockdir i))
+        (List.init n Fun.id)
+    then ()
+    else if Unix.gettimeofday () > deadline then failwith "cluster did not come up"
+    else begin
+      Unix.sleepf 0.02;
+      wait_up ()
+    end
+  in
+  wait_up ();
+  (* A helper process kills the cluster mid-run and becomes the
+     replacement over the same state directory. *)
+  let killer = Unix.fork () in
+  if killer = 0 then begin
+    Unix.sleepf 0.3;
+    (try Unix.kill pid1 Sys.sigkill with Unix.Unix_error _ -> ());
+    Unix.sleepf 0.1;
+    (try boot_daemons () with _ -> ());
+    Unix._exit 0
+  end;
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun pid ->
+          (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+          try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+        [ pid1; killer ])
+    (fun () ->
+      let workload =
+        Sb_experiments.Workloads.writers_and_readers ~value_bytes ~writers:2
+          ~writes_each:10 ~readers:1 ~reads_each:10
+      in
+      let base = Sdk.default_config ~n ~f:cfg.Common.f ~sockdir in
+      let sdk_cfg =
+        { base with Sdk.rto_ms = 30; reconnect_ms = 20; think_ms = 50 }
+      in
+      let r = Sdk.run_workload ~algorithm ~seed:9 ~workload sdk_cfg in
+      Alcotest.(check bool) "not timed out" false r.Sdk.timed_out;
+      Alcotest.(check int) "all ops completed" r.Sdk.ops_invoked
+        r.Sdk.ops_completed;
+      Alcotest.(check bool)
+        (Printf.sprintf "reconnected after the kill (%d)" r.Sdk.reconnects)
+        true (r.Sdk.reconnects > 0);
+      Alcotest.(check int) "each server's bump observed exactly once" n
+        r.Sdk.recoveries_observed)
+
 let () =
   Alcotest.run "service"
     [
@@ -648,6 +889,21 @@ let () =
           Alcotest.test_case "malformed frames rejected" `Quick test_malformed;
           Alcotest.test_case "persisted state round-trips" `Quick
             test_persisted_roundtrip;
+        ] );
+      ( "durability",
+        [
+          test_load_state_fuzz;
+          Alcotest.test_case "corrupt state quarantined at boot" `Quick
+            test_corrupt_state_quarantined;
+        ] );
+      ( "degradation",
+        [
+          Alcotest.test_case "retry budget exhaustion is typed" `Quick
+            test_attempts_exhausted;
+          Alcotest.test_case "deadline expiry is typed" `Quick
+            test_deadline_expired;
+          Alcotest.test_case "restart bump observed exactly once" `Quick
+            test_restart_bump_counted_once;
         ] );
       ( "server-core",
         [ Alcotest.test_case "at-most-once semantics" `Quick test_server_core_dedup ] );
