@@ -84,7 +84,8 @@ let gate_wire c =
       let msg =
         W.Request
           {
-            W.rq_client = 1;
+            W.rq_key = "";
+            rq_client = 1;
             rq_ticket = i;
             rq_op = i;
             rq_nature = D.default_nature d;

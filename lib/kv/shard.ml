@@ -1,0 +1,53 @@
+(* Consistent-hash key → shard ring.
+
+   Classic fixed-point ring: every shard owns [vnodes] points placed by
+   hashing "shard/replica", sorted once at construction; a key hashes to
+   a point and is owned by the first shard point clockwise from it.
+   Lookups are a binary search, construction is O(shards·vnodes·log).
+
+   All placement flows through [Sb_util.Hash128] (seedless, stable
+   across runs and processes), so every daemon, SDK and test computes
+   the same key → shard mapping without coordination — which is what
+   lets the SDK route batches and the per-shard state files stay
+   consistent across restarts. *)
+
+type t = { shards : int; points : (int64 * int) array }
+
+let hash_string s =
+  let h = Sb_util.Hash128.create () in
+  Sb_util.Hash128.add_string h s;
+  fst (Sb_util.Hash128.lanes h)
+
+let create ?(vnodes = 64) ~shards () =
+  if shards <= 0 then invalid_arg "Shard.create: shards must be positive";
+  if vnodes <= 0 then invalid_arg "Shard.create: vnodes must be positive";
+  let points =
+    Array.init (shards * vnodes) (fun i ->
+        let shard = i / vnodes and replica = i mod vnodes in
+        (hash_string (Printf.sprintf "%d/%d" shard replica), shard))
+  in
+  (* Same unsigned order the binary search in [lookup] assumes. *)
+  Array.sort
+    (fun (h1, s1) (h2, s2) ->
+      match Int64.unsigned_compare h1 h2 with
+      | 0 -> Int.compare s1 s2
+      | c -> c)
+    points;
+  { shards; points }
+
+let shards t = t.shards
+
+let lookup t key =
+  if t.shards = 1 then 0
+  else begin
+    let h = hash_string key in
+    (* First point with hash >= h, wrapping to the ring's start. *)
+    let n = Array.length t.points in
+    let lo = ref 0 and hi = ref n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if Int64.unsigned_compare (fst t.points.(mid)) h < 0 then lo := mid + 1
+      else hi := mid
+    done;
+    snd t.points.(if !lo = n then 0 else !lo)
+  end

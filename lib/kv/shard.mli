@@ -1,0 +1,21 @@
+(** Consistent-hash key → shard mapping.
+
+    A fixed-point hash ring shared by the daemon (to route a keyed RMW
+    to its shard's [Server_core]), the state files (shard membership is
+    stable across restarts) and any client that wants locality hints.
+    The placement hash is seedless and deterministic, so every process
+    computes the same mapping without coordination; with [vnodes]
+    points per shard the key space splits near-uniformly, and growing
+    the ring by one shard moves only ~1/shards of the keys. *)
+
+type t
+
+val create : ?vnodes:int -> shards:int -> unit -> t
+(** [create ~shards ()] builds the ring ([vnodes] defaults to 64 points
+    per shard).  Raises [Invalid_argument] unless both are positive. *)
+
+val shards : t -> int
+
+val lookup : t -> string -> int
+(** [lookup t key] is the shard owning [key], in [0..shards-1].
+    Deterministic across processes and runs. *)

@@ -6,6 +6,13 @@ let sockpath ~sockdir i = Filename.concat sockdir (Printf.sprintf "server-%d.soc
 let statefile ~statedir i =
   Filename.concat statedir (Printf.sprintf "server-%d.state" i)
 
+(* Shard 0 of a single-shard server keeps the historical file name, so
+   pre-sharding state files restart unchanged under the default
+   [~shards:1]. *)
+let statefile_shard ~statedir ~shards i j =
+  if shards = 1 then statefile ~statedir i
+  else Filename.concat statedir (Printf.sprintf "server-%d-shard-%d.state" i j)
+
 (* ------------------------------------------------------------------ *)
 (* Durable state: a checksummed [Wire.persisted] container in a file,   *)
 (* written atomically (temp + fsync + rename + directory fsync) after   *)
@@ -137,11 +144,26 @@ type conn = {
   mutable closed : bool;
 }
 
+(* One shard: a keyed [Server_core] with its own state file and
+   incarnation.  Keys are routed to shards by the consistent-hash ring
+   below; all of a server's shards live behind the same listen socket
+   and the same event loop (or the same domain when the loops are
+   spread across cores). *)
+type shard = {
+  sh_id : int;
+  sh_core : Server_core.t;
+  sh_path : string option;
+  mutable sh_dirty : bool;
+      (* Set by the request path, cleared by the per-round group
+         commit: every frame read in one event-loop round shares one
+         persist (two fsyncs) per touched shard. *)
+}
+
 type server = {
   sid : int;
-  core : Server_core.t;
+  shards : shard array;
+  ring : Sb_kv.Shard.t;
   listen_fd : Unix.file_descr;
-  state_path : string option;
   wire_version : int;
   own_schema : Wire.peer_schema;
   hooks : Netfault.t;
@@ -152,6 +174,16 @@ type server = {
           [persist:<n>] means "this process's nth persist". *)
   mutable conns : conn list;
 }
+
+let shard_of_key srv key = srv.shards.(Sb_kv.Shard.lookup srv.ring key)
+
+(* The server-level incarnation (Welcome, v≤2 stats): all shards crash
+   and recover together with the process, so the max is what a
+   single-register client means by "the server's incarnation". *)
+let server_incarnation srv =
+  Array.fold_left
+    (fun acc sh -> max acc (Server_core.incarnation sh.sh_core))
+    0 srv.shards
 
 let now_ms srv = (Unix.gettimeofday () -. srv.started) *. 1000.0
 
@@ -195,18 +227,26 @@ let close_conn conn =
     try Unix.close conn.fd with Unix.Unix_error _ -> ()
   end
 
-let persist srv =
-  match srv.state_path with
+let persist srv sh =
+  match sh.sh_path with
   | None -> ()
   | Some file ->
+    let entries = Server_core.entries sh.sh_core in
     let p =
       {
-        Wire.p_incarnation = Server_core.incarnation srv.core;
-        p_state = Server_core.state srv.core;
+        Wire.p_incarnation = Server_core.incarnation sh.sh_core;
+        p_state = Server_core.state sh.sh_core;
+        p_keyed = List.filter (fun (k, _) -> k <> "") entries;
       }
     in
+    (* Keyed states need v3 frames; a daemon pinned below v3 never
+       receives keyed traffic (its reader rejects v3 frames), so its
+       [p_keyed] stays empty and the pinned version is honoured. *)
+    let version =
+      if p.Wire.p_keyed = [] then srv.wire_version else max srv.wire_version 3
+    in
     (match srv.crash with
-     | None -> save_state ~version:srv.wire_version file p
+     | None -> save_state ~version file p
      | Some (cp, count) ->
        incr count;
        let armed = !count = cp.cp_persist in
@@ -214,7 +254,7 @@ let persist srv =
        save_state
          ~before_rename:(fun () ->
            if armed && cp.cp_stage = Crash_before_rename then crash_now cp)
-         ~version:srv.wire_version file p;
+         ~version file p;
        if armed && cp.cp_stage = Crash_after_rename then crash_now cp)
 
 (* Connect-time schema negotiation.  A v1 client's [Hello] carries no
@@ -268,43 +308,98 @@ let handle_hello srv conn (peer : Wire.peer_schema option) =
       (Wire.Welcome
          {
            server = srv.sid;
-           incarnation = Server_core.incarnation srv.core;
+           incarnation = server_incarnation srv;
            schema = (if negotiated >= 2 then Some srv.own_schema else None);
          })
+
+(* Apply one keyed request to its shard; the caller decides when the
+   touched shard is persisted (per request for singles, once per frame
+   for batches — the batch is what amortises the two fsyncs). *)
+let apply_request srv (rq : Wire.request) =
+  let sh = shard_of_key srv rq.Wire.rq_key in
+  let rmw = D.apply rq.Wire.rq_desc in
+  let oc =
+    Server_core.handle_key sh.sh_core ~key:rq.Wire.rq_key
+      ~client:rq.Wire.rq_client ~ticket:rq.Wire.rq_ticket
+      ~nature:rq.Wire.rq_nature rmw
+  in
+  let dirty =
+    (not oc.Server_core.dedup_hit)
+    && oc.Server_core.after != oc.Server_core.before
+  in
+  let resp =
+    {
+      Wire.rs_key = rq.Wire.rq_key;
+      rs_ticket = rq.Wire.rq_ticket;
+      rs_op = rq.Wire.rq_op;
+      rs_server = srv.sid;
+      rs_incarnation = Server_core.incarnation sh.sh_core;
+      rs_dedup = oc.Server_core.dedup_hit;
+      rs_resp = oc.Server_core.resp;
+    }
+  in
+  (sh, dirty, resp)
+
+let shard_stats srv =
+  Array.to_list
+    (Array.map
+       (fun sh ->
+         {
+           Wire.ss_shard = sh.sh_id;
+           ss_incarnation = Server_core.incarnation sh.sh_core;
+           ss_keys = Server_core.key_count sh.sh_core;
+           ss_storage_bits = Server_core.storage_bits sh.sh_core;
+           ss_max_bits = Server_core.max_bits sh.sh_core;
+           ss_max_key_bits = Server_core.max_key_bits sh.sh_core;
+         })
+       srv.shards)
+
+let sum f srv = Array.fold_left (fun acc sh -> acc + f sh.sh_core) 0 srv.shards
 
 let handle_msg srv conn (msg : Wire.msg) =
   match msg with
   | Wire.Hello { client = _; schema } -> handle_hello srv conn schema
+  | Wire.Request rq when rq.Wire.rq_key <> "" && conn.peer_version < 3 ->
+    (* A keyed RMW on a connection negotiated below v3 has no reply
+       framing that can echo the key; a conforming client never does
+       this, so drop the peer rather than mis-answer. *)
+    close_conn conn
   | Wire.Request rq ->
-    let rmw = D.apply rq.Wire.rq_desc in
-    let oc =
-      Server_core.handle srv.core ~client:rq.Wire.rq_client
-        ~ticket:rq.Wire.rq_ticket ~nature:rq.Wire.rq_nature rmw
-    in
-    if (not oc.Server_core.dedup_hit) && oc.Server_core.after != oc.Server_core.before
-    then persist srv;
-    enqueue srv conn
-      (Wire.Response
-         {
-           rs_ticket = rq.Wire.rq_ticket;
-           rs_op = rq.Wire.rq_op;
-           rs_server = srv.sid;
-           rs_incarnation = Server_core.incarnation srv.core;
-           rs_dedup = oc.Server_core.dedup_hit;
-           rs_resp = oc.Server_core.resp;
-         })
+    let sh, dirty, resp = apply_request srv rq in
+    if dirty then sh.sh_dirty <- true;
+    enqueue srv conn (Wire.Response resp)
+  | Wire.Req_batch reqs
+    when conn.peer_version < 3
+         && List.exists (fun r -> r.Wire.rq_key <> "") reqs ->
+    close_conn conn
+  | Wire.Req_batch reqs ->
+    (* Apply in list order, answer with one frame.  Touched shards are
+       only marked dirty here; the event loop group-commits them after
+       the whole read phase and before any response bytes hit a socket,
+       the same durability order the single-request path keeps.  A
+       batch can only arrive in a v3 frame, but the reply must still
+       respect the negotiated version (a client that never said Hello
+       is served at v1 and gets singles). *)
+    let outcomes = List.map (apply_request srv) reqs in
+    List.iter (fun (sh, dirty, _) -> if dirty then sh.sh_dirty <- true) outcomes;
+    let resps = List.map (fun (_, _, r) -> r) outcomes in
+    if conn.peer_version >= 3 then enqueue srv conn (Wire.Resp_batch resps)
+    else List.iter (fun r -> enqueue srv conn (Wire.Response r)) resps
   | Wire.Stats_query ->
     enqueue srv conn
       (Wire.Stats
          {
            st_server = srv.sid;
-           st_incarnation = Server_core.incarnation srv.core;
-           st_storage_bits = Server_core.storage_bits srv.core;
-           st_max_bits = Server_core.max_bits srv.core;
-           st_dedup_hits = Server_core.dedup_hits srv.core;
-           st_applied = Server_core.applied_count srv.core;
+           st_incarnation = server_incarnation srv;
+           st_storage_bits = sum Server_core.storage_bits srv;
+           st_max_bits = sum Server_core.max_bits srv;
+           st_dedup_hits = sum Server_core.dedup_hits srv;
+           st_applied = sum Server_core.applied_count srv;
+           st_keys = sum Server_core.key_count srv;
+           st_shards = shard_stats srv;
          })
-  | Wire.Welcome _ | Wire.Response _ | Wire.Stats _ | Wire.Reject _ ->
+  | Wire.Welcome _ | Wire.Response _ | Wire.Stats _ | Wire.Reject _
+  | Wire.Resp_batch _ ->
     (* Server-to-client messages arriving at a server: drop the peer. *)
     close_conn conn
 
@@ -369,29 +464,33 @@ let accept_conn srv =
 (* The event loop                                                       *)
 (* ------------------------------------------------------------------ *)
 
-let interrupted = ref false
+(* Atomic, not a plain ref: with [~domains:n] every event-loop domain
+   polls the flag the signal handler (running on the main domain)
+   sets. *)
+let interrupted = Atomic.make false
 
 let install_signals () =
-  let handler = Sys.Signal_handle (fun _ -> interrupted := true) in
+  let handler = Sys.Signal_handle (fun _ -> Atomic.set interrupted true) in
   (try Sys.set_signal Sys.sigterm handler with Invalid_argument _ -> ());
   (try Sys.set_signal Sys.sigint handler with Invalid_argument _ -> ());
   try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ()
 
-let make_server ?statedir ~dedup ~wire_version ~sockdir ~init_obj ~hooks ~crash
-    sid =
+let make_shard ?statedir ~dedup ~wire_version ~shards ~init_obj sid j =
+  let fresh () = Server_core.create ~dedup (init_obj sid) in
   let core =
-    let fresh () = Server_core.create ~dedup (init_obj sid) in
     match statedir with
     | None -> fresh ()
     | Some dir -> (
-      let file = statefile ~statedir:dir sid in
-      match load_state ~max_version:wire_version file with
+      (* Keyed states are v3 frames whatever the serving version: a
+         pinned daemon must still reload its own durable keys. *)
+      let file = statefile_shard ~statedir:dir ~shards sid j in
+      match load_state ~max_version:(max wire_version 3) file with
       | Loaded p ->
         (* Restarting over a persisted state is a recovery: the
-           at-most-once table died with the process, so the server
+           at-most-once table died with the process, so the shard
            comes back in a fresh incarnation. *)
-        Server_core.create ~dedup ~incarnation:(p.Wire.p_incarnation + 1)
-          p.Wire.p_state
+        Server_core.load ~dedup ~incarnation:(p.Wire.p_incarnation + 1)
+          ~initial:p.Wire.p_state p.Wire.p_keyed
       | Absent -> fresh ()
       | Corrupt reason ->
         (* Never load garbage, never crash: quarantine the damaged file
@@ -403,11 +502,24 @@ let make_server ?statedir ~dedup ~wire_version ~sockdir ~init_obj ~hooks ~crash
          with Sys_error _ -> (
            try Sys.remove file with Sys_error _ -> ()));
         Printf.eprintf
-          "daemon: server %d state corrupt (%s); quarantined to %s, \
+          "daemon: server %d shard %d state corrupt (%s); quarantined to %s, \
            recovering fresh\n\
            %!"
-          sid reason (quarantine_path file);
+          sid j reason (quarantine_path file);
         fresh ())
+  in
+  {
+    sh_id = j;
+    sh_core = core;
+    sh_path =
+      Option.map (fun d -> statefile_shard ~statedir:d ~shards sid j) statedir;
+    sh_dirty = false;
+  }
+
+let make_server ?statedir ~dedup ~wire_version ~shards ~ring ~sockdir ~init_obj
+    ~hooks ~crash sid =
+  let shard_arr =
+    Array.init shards (make_shard ?statedir ~dedup ~wire_version ~shards ~init_obj sid)
   in
   let path = sockpath ~sockdir sid in
   (try Unix.unlink path with Unix.Unix_error _ -> ());
@@ -418,9 +530,9 @@ let make_server ?statedir ~dedup ~wire_version ~sockdir ~init_obj ~hooks ~crash
   let srv =
     {
       sid;
-      core;
+      shards = shard_arr;
+      ring;
       listen_fd;
-      state_path = Option.map (fun d -> statefile ~statedir:d sid) statedir;
       wire_version;
       own_schema =
         {
@@ -433,39 +545,16 @@ let make_server ?statedir ~dedup ~wire_version ~sockdir ~init_obj ~hooks ~crash
       conns = [];
     }
   in
-  persist srv;
+  Array.iter (persist srv) srv.shards;
   srv
 
-let run ?(dedup = true) ?(wire_version = Wire.version) ?statedir ?stop
-    ?(hooks = Netfault.none) ?crash_at ~sockdir ~servers ~init_obj () =
-  if wire_version < Wire.min_version || wire_version > Wire.version then
-    invalid_arg
-      (Printf.sprintf "Daemon.run: wire_version %d outside %d..%d" wire_version
-         Wire.min_version Wire.version);
-  interrupted := false;
-  install_signals ();
-  (match statedir with
-   | Some dir when not (Sys.file_exists dir) -> Unix.mkdir dir 0o755
-   | _ -> ());
-  if not (Sys.file_exists sockdir) then Unix.mkdir sockdir 0o755;
-  let crash =
-    (* One persist counter per process, whichever server persists. *)
-    Option.map (fun cp -> (cp, ref 0)) crash_at
-  in
-  let srvs =
-    List.map
-      (make_server ?statedir ~dedup ~wire_version ~sockdir ~init_obj ~hooks
-         ~crash)
-      servers
-  in
-  let should_stop () =
-    !interrupted || (match stop with Some f -> f () | None -> false)
-  in
-  (* Delayed fault segments need a finer clock than the idle 200 ms
-     select round. *)
-  let tick =
-    if hooks == Netfault.none then 0.2 else 0.02
-  in
+(* One select loop over a partition of the servers.  With [~domains:1]
+   (the default) there is a single partition holding everything — the
+   historical daemon.  With more domains each partition runs its own
+   loop on its own domain: servers (and therefore shards and their
+   object states) are partitioned, never shared, so there is no
+   cross-domain locking anywhere on the request path. *)
+let event_loop ~tick ~should_stop srvs =
   let finished = ref false in
   while not !finished do
     if should_stop () then finished := true
@@ -500,25 +589,95 @@ let run ?(dedup = true) ?(wire_version = Wire.version) ?statedir ?stop
           srvs
       in
       match Unix.select rds wrs [] tick with
-      | readable, writable, _ ->
+      | readable, _writable, _ ->
         List.iter
           (fun s ->
             if List.memq s.listen_fd readable then accept_conn s;
             List.iter
               (fun c ->
                 if (not c.closed) && List.memq c.fd readable then read_conn s c)
-              s.conns;
+              s.conns)
+          srvs;
+        (* Group commit: every shard dirtied by this round's read phase
+           persists exactly once, before any response from the round is
+           allowed onto a socket — the ack-after-fsync order of the
+           per-request path, at a fraction of the fsyncs.  Under load
+           the commit batch grows by itself: frames queue up behind a
+           slow fsync and the next round persists them all together. *)
+        List.iter
+          (fun s ->
+            Array.iter
+              (fun sh ->
+                if sh.sh_dirty then begin
+                  persist s sh;
+                  sh.sh_dirty <- false
+                end)
+              s.shards)
+          srvs;
+        (* Opportunistic flush: don't sit on this round's responses
+           until the next select round says the fd is writable — a
+           freshly drained socket almost always is, and write_conn
+           already treats EAGAIN as "try again later". *)
+        List.iter
+          (fun s ->
             List.iter
               (fun c ->
-                if
-                  (not c.closed) && List.memq c.fd writable
-                  && Buffer.length c.out > 0
-                then write_conn c)
+                if (not c.closed) && Buffer.length c.out > 0 then write_conn c)
               s.conns)
           srvs
       | exception Unix.Unix_error (EINTR, _, _) -> ()
     end
-  done;
+  done
+
+let run ?(dedup = true) ?(wire_version = Wire.version) ?(shards = 1)
+    ?(domains = 1) ?statedir ?stop ?(hooks = Netfault.none) ?crash_at ~sockdir
+    ~servers ~init_obj () =
+  if wire_version < Wire.min_version || wire_version > Wire.version then
+    invalid_arg
+      (Printf.sprintf "Daemon.run: wire_version %d outside %d..%d" wire_version
+         Wire.min_version Wire.version);
+  if shards < 1 then invalid_arg "Daemon.run: shards must be positive";
+  if domains < 1 then invalid_arg "Daemon.run: domains must be positive";
+  if domains > 1 && crash_at <> None then
+    invalid_arg
+      "Daemon.run: crash points count process-wide persists and need a single \
+       event-loop domain";
+  Atomic.set interrupted false;
+  install_signals ();
+  (match statedir with
+   | Some dir when not (Sys.file_exists dir) -> Unix.mkdir dir 0o755
+   | _ -> ());
+  if not (Sys.file_exists sockdir) then Unix.mkdir sockdir 0o755;
+  let crash =
+    (* One persist counter per process, whichever server persists. *)
+    Option.map (fun cp -> (cp, ref 0)) crash_at
+  in
+  let ring = Sb_kv.Shard.create ~shards () in
+  let srvs =
+    List.map
+      (make_server ?statedir ~dedup ~wire_version ~shards ~ring ~sockdir
+         ~init_obj ~hooks ~crash)
+      servers
+  in
+  let should_stop () =
+    Atomic.get interrupted || (match stop with Some f -> f () | None -> false)
+  in
+  (* Delayed fault segments need a finer clock than the idle 200 ms
+     select round. *)
+  let tick = if hooks == Netfault.none then 0.2 else 0.02 in
+  let jobs = min domains (List.length srvs) in
+  if jobs <= 1 then event_loop ~tick ~should_stop srvs
+  else begin
+    (* Shard affinity by partition: server i is owned by domain
+       i mod jobs, for its whole lifetime.  [Pool.run] claims one
+       partition per domain; each loop touches only its own servers. *)
+    let parts =
+      Array.init jobs (fun d ->
+          List.filteri (fun i _ -> i mod jobs = d) srvs)
+    in
+    Sb_parallel.Pool.run ~jobs jobs (fun d ->
+        event_loop ~tick ~should_stop parts.(d))
+  end;
   List.iter
     (fun s ->
       List.iter close_conn s.conns;

@@ -1,12 +1,31 @@
-(** The networked register server: a single-threaded [select] event
-    loop hosting one or more {!Server_core} instances behind Unix-domain
-    stream sockets.
+(** The networked register server: [select] event loops hosting sharded
+    {!Server_core} instances behind Unix-domain stream sockets.
 
     Each hosted server [i] listens on [sockdir/server-i.sock] and speaks
     the {!Wire} protocol: [Hello]/[Welcome] on connect, [Request] →
-    [Response] (the request's {!Sb_sim.Rmwdesc.t} is applied through the
-    same interpreter the simulator uses), and [Stats_query] → [Stats]
-    as a live counters endpoint.
+    [Response] and [Req_batch] → [Resp_batch] (each request's
+    {!Sb_sim.Rmwdesc.t} is applied through the same interpreter the
+    simulator uses), and [Stats_query] → [Stats] as a live counters
+    endpoint with per-shard aggregation.
+
+    {2 Shards}
+
+    A server hosts [shards] keyed {!Server_core} instances; a request's
+    key is routed by the consistent-hash ring ({!Sb_kv.Shard}), so every
+    process — daemon, SDK, tests — computes the same key → shard mapping
+    without coordination.  Each shard has its own state file, its own
+    incarnation, and its own at-most-once table.  A batch frame is
+    applied in list order and each touched shard is persisted once per
+    frame — the batch is what amortises the two [fsync]s per mutation
+    that bound the single-request path.
+
+    By default every server's shards share one event loop (the
+    historical single-threaded daemon).  [?domains] spreads the hosted
+    servers across that many event-loop domains ({!Sb_parallel.Pool}),
+    partitioned by server id with stable affinity — object state is
+    never shared across domains, so there is no locking on the request
+    path.  (This box's 1-CPU perf trap applies: multicore speedup gates
+    arm only at ≥2 cores.)
 
     With [statedir], object state and incarnation are persisted
     (atomically, temp + rename) after every mutating RMW; a daemon
@@ -32,6 +51,11 @@ val sockpath : sockdir:string -> int -> string
 
 val statefile : statedir:string -> int -> string
 (** [statedir/server-<i>.state] — where server [i] persists. *)
+
+val statefile_shard : statedir:string -> shards:int -> int -> int -> string
+(** [statefile_shard ~statedir ~shards i j] — where server [i]'s shard
+    [j] persists.  With [shards = 1] this is {!statefile}, so
+    pre-sharding state files restart unchanged. *)
 
 val quarantine_path : string -> string
 (** Where a corrupt state file is moved before the server recovers
@@ -91,6 +115,8 @@ val crash_point_to_string : crash_point -> string
 val run :
   ?dedup:bool ->
   ?wire_version:int ->
+  ?shards:int ->
+  ?domains:int ->
   ?statedir:string ->
   ?stop:(unit -> bool) ->
   ?hooks:Netfault.t ->
@@ -104,13 +130,17 @@ val run :
     true, polled between select rounds).  [servers = [0; ...; n-1]]
     hosts a whole cluster in one process; [servers = [i]] is one daemon
     of a multi-process deployment.  [init_obj] supplies the initial
-    object state when no persisted state exists.  [dedup] (default
-    true) arms the per-incarnation at-most-once table.
-    [wire_version] (default [Wire.version]) pins the daemon's protocol
-    version; raises [Invalid_argument] outside
-    [Wire.min_version..Wire.version].  [hooks] (default
+    object state when no persisted state exists (for every key of every
+    shard).  [dedup] (default true) arms the per-incarnation
+    at-most-once tables.  [shards] (default 1) is the number of keyed
+    {!Server_core}s per server; [domains] (default 1) the number of
+    event-loop domains the servers are partitioned across (capped at
+    the server count; incompatible with [crash_at], whose persist
+    counter is process-wide).  [wire_version] (default [Wire.version])
+    pins the daemon's protocol version; raises [Invalid_argument]
+    outside [Wire.min_version..Wire.version].  [hooks] (default
     {!Netfault.none}) inject socket-layer faults into accepts and
     outbound frames; [crash_at] arms one crash point (requires
-    [statedir] to ever fire).  A server whose state file is corrupt
+    [statedir] to ever fire).  A shard whose state file is corrupt
     quarantines it ({!quarantine_path}) and rejoins fresh.  Sockets are
     unlinked on the way out. *)

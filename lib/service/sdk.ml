@@ -15,6 +15,8 @@ type config = {
   sample_every_ms : int;
   deadline_ms : int;
   think_ms : int;
+  batch_max : int;
+  flush_ms : int;
 }
 
 let default_config ~n ~f ~sockdir =
@@ -28,6 +30,8 @@ let default_config ~n ~f ~sockdir =
     sample_every_ms = 20;
     deadline_ms = 120_000;
     think_ms = 0;
+    batch_max = 1;
+    flush_ms = 2;
   }
 
 type sample = { at_ms : float; total_bits : int }
@@ -67,8 +71,10 @@ type report = {
   retransmissions : int;
   reconnects : int;
   recoveries_observed : int;
+  batches_sent : int;  (* Req_batch frames (2+ requests each) *)
+  frames_sent : int;  (* every frame handed to a socket buffer *)
   downgrades : int;
-      (* v2 handshakes that fell back to v1 after an old daemon closed *)
+      (* v2+ handshakes that fell back to v1 after an old daemon closed *)
   schema_rejects : (int * string) list;
       (* typed handshake refusals, by server; chronological *)
   peak_sampled_bits : int;
@@ -98,8 +104,16 @@ type parked = {
 type client = {
   cid : int;
   mutable queue : Trace.op_kind list;
+  mutable key_queue : string list;
+      (* parallel to [queue] when non-empty: the key each queued
+         operation addresses (keyed closed-loop workloads); empty for
+         plain workloads, which stay on the "" register *)
   mutable waiting : parked option;
   mutable current_op : R.op option;
+  mutable current_key : string;
+      (* the register the in-flight operation addresses; "" is the
+         pre-sharding single register, and the only key v1/v2 peers can
+         be spoken to about *)
   mutable op_start : float;
   mutable ready_at : float;  (* closed-loop pacing: next invocation time *)
   c_prng : Sb_util.Prng.t;
@@ -114,6 +128,9 @@ type conn = {
          queue is non-empty every later chunk appends behind it, so
          byte order on the wire is always preserved. *)
   mutable closing : bool;  (* slow-close once out + delayed drain *)
+  mutable pending : Wire.request list;  (* reversed batch buffer *)
+  mutable pending_n : int;
+  mutable pending_since : float;  (* wall-ms of the oldest pending req *)
 }
 
 type connstate = Up of conn | Down of { mutable retry_at : float }
@@ -163,6 +180,15 @@ type engine = {
          Welcome.  Drives the escalating reconnect backoff so a dead
          peer is not hammered at a fixed cadence. *)
   mutable op_failures : op_failure list;  (* reversed *)
+  open_loop : bool;
+      (* open loop: completed slots return to [free_slots] instead of
+         invoking their next queued operation, and the per-event trace
+         and desc log are not accumulated (an open-loop run is tens of
+         thousands of operations; its observables are counters and
+         latencies, not histories) *)
+  mutable free_slots : int list;
+  mutable batches_sent : int;  (* Req_batch frames (2+ requests) *)
+  mutable frames_sent : int;  (* every frame handed to a socket buffer *)
 }
 
 let now_ms eng = (Unix.gettimeofday () -. eng.start) *. 1000.0
@@ -219,14 +245,16 @@ let send_frame eng s c frame =
      payload corruption, not loss.  Drop instead; retransmission takes
      over once the close lands and the server is re-dialled. *)
   if c.closing then ()
-  else
+  else begin
+    eng.frames_sent <- eng.frames_sent + 1;
     match eng.hooks.Netfault.nf_frame ~server:s frame with
-  | Netfault.Pass -> push_out eng c [ (0, frame) ]
-  | Netfault.Drop -> ()
-  | Netfault.Emit segs -> push_out eng c segs
-  | Netfault.Emit_close segs ->
-    push_out eng c segs;
-    c.closing <- true
+    | Netfault.Pass -> push_out eng c [ (0, frame) ]
+    | Netfault.Drop -> ()
+    | Netfault.Emit segs -> push_out eng c segs
+    | Netfault.Emit_close segs ->
+      push_out eng c segs;
+      c.closing <- true
+  end
 
 let try_connect eng s =
   if not (eng.hooks.Netfault.nf_connect ~server:s) then dial_failed eng s
@@ -243,6 +271,9 @@ let try_connect eng s =
           out = Buffer.create 256;
           delayed = Queue.create ();
           closing = false;
+          pending = [];
+          pending_n = 0;
+          pending_since = 0.0;
         }
       in
       eng.welcomed.(s) <- false;
@@ -290,13 +321,78 @@ let ensure_conns eng =
           try_connect eng s)
     eng.conns
 
+(* Flush a connection's batch buffer: one request goes out as the plain
+   [Request] frame (so a batch_max > 1 client is byte-identical to a
+   classic one under low concurrency), two or more as a [Req_batch]. *)
+let flush_batch eng s c =
+  match c.pending with
+  | [] -> ()
+  | [ rq ] ->
+    c.pending <- [];
+    c.pending_n <- 0;
+    send_frame eng s c
+      (Wire.encode_msg ~version:eng.peer_version.(s) (Wire.Request rq))
+  | rqs ->
+    c.pending <- [];
+    c.pending_n <- 0;
+    eng.batches_sent <- eng.batches_sent + 1;
+    send_frame eng s c
+      (Wire.encode_msg ~version:eng.peer_version.(s)
+         (Wire.Req_batch (List.rev rqs)))
+
+(* Keyed traffic needs wire v3; towards an older peer the frame is
+   unencodable, so it is dropped rather than raised on — the operation
+   fails by its retransmission/deadline budget, never the process. *)
+let encodable eng s msg =
+  eng.peer_version.(s) >= 3
+  ||
+  match msg with
+  | Wire.Request rq -> rq.Wire.rq_key = ""
+  | Wire.Req_batch _ | Wire.Resp_batch _ -> false
+  | _ -> true
+
 (* A request towards a dead server waits in its retransmit timer;
    resends go out once the connection is back.  Frames are encoded at
-   send time, at the server's negotiated version. *)
+   send time, at the server's negotiated version.  Any pending batch
+   flushes first: a connection's frames stay in send order. *)
 let send_to eng s msg =
   match eng.conns.(s) with
-  | Up c -> send_frame eng s c (Wire.encode_msg ~version:eng.peer_version.(s) msg)
-  | Down _ -> ()
+  | Up c when encodable eng s msg ->
+    flush_batch eng s c;
+    send_frame eng s c (Wire.encode_msg ~version:eng.peer_version.(s) msg)
+  | Up _ | Down _ -> ()
+
+(* Triggered requests route here: buffered while batching is armed for
+   the peer (negotiated v3+, handshake done), immediate otherwise. *)
+let enqueue_req eng s (rq : Wire.request) =
+  match eng.conns.(s) with
+  | Up c
+    when eng.cfg.batch_max > 1
+         && eng.welcomed.(s)
+         && eng.peer_version.(s) >= 3
+         && not c.closing ->
+    if c.pending = [] then c.pending_since <- now_ms eng;
+    c.pending <- rq :: c.pending;
+    c.pending_n <- c.pending_n + 1;
+    if c.pending_n >= eng.cfg.batch_max then flush_batch eng s c
+  | _ -> send_to eng s (Wire.Request rq)
+
+(* Age-based flush: a batch never waits longer than [flush_ms] for
+   co-travellers, so light load degenerates to single frames with a
+   bounded (milliseconds) latency tax instead of a stall. *)
+let fire_flushes eng =
+  if eng.cfg.batch_max > 1 then begin
+    let now = now_ms eng in
+    Array.iteri
+      (fun s st ->
+        match st with
+        | Up c
+          when c.pending_n > 0
+               && now -. c.pending_since >= float_of_int eng.cfg.flush_ms ->
+          flush_batch eng s c
+        | _ -> ())
+      eng.conns
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Fibers: the same Trigger/Await effects, interpreted over sockets     *)
@@ -331,33 +427,34 @@ let handle_fiber eng (cl : client) (op : R.op) (body : unit -> bytes option) :
                 in
                 let ticket = eng.next_ticket in
                 eng.next_ticket <- ticket + 1;
-                eng.desc_log <- d :: eng.desc_log;
-                let req =
-                  Wire.Request
-                    {
-                      rq_client = cl.cid;
-                      rq_ticket = ticket;
-                      rq_op = op.R.id;
-                      rq_nature = nature;
-                      rq_payload = payload;
-                      rq_desc = d;
-                    }
+                if not eng.open_loop then eng.desc_log <- d :: eng.desc_log;
+                let rq =
+                  {
+                    Wire.rq_key = cl.current_key;
+                    rq_client = cl.cid;
+                    rq_ticket = ticket;
+                    rq_op = op.R.id;
+                    rq_nature = nature;
+                    rq_payload = payload;
+                    rq_desc = d;
+                  }
                 in
-                Trace.add eng.tr
-                  (Rmw_trigger
-                     {
-                       time = tick eng;
-                       ticket;
-                       op = op.R.id;
-                       client = cl.cid;
-                       obj;
-                       payload_bits =
-                         Sb_storage.Accounting.bits_of_blocks payload;
-                     });
-                send_to eng obj req;
+                if not eng.open_loop then
+                  Trace.add eng.tr
+                    (Rmw_trigger
+                       {
+                         time = tick eng;
+                         ticket;
+                         op = op.R.id;
+                         client = cl.cid;
+                         obj;
+                         payload_bits =
+                           Sb_storage.Accounting.bits_of_blocks payload;
+                       });
+                enqueue_req eng obj rq;
                 Rt.arm eng.timers ~ticket ~owner:cl.cid
                   ~deadline:(now_ms_int eng + eng.cfg.rto_ms)
-                  (obj, req);
+                  (obj, Wire.Request rq);
                 continue k ticket)
           | R.Await (tickets, quorum) ->
             Some
@@ -379,39 +476,55 @@ let finish_op eng cl (op : R.op) result =
   cl.current_op <- None;
   eng.ops_completed <- eng.ops_completed + 1;
   eng.latencies <- (now_ms eng -. cl.op_start) :: eng.latencies;
-  Trace.add eng.tr
-    (Return { time = tick eng; op = op.R.id; client = cl.cid; result })
+  if not eng.open_loop then
+    Trace.add eng.tr
+      (Return { time = tick eng; op = op.R.id; client = cl.cid; result })
 
-let rec invoke_next eng cl =
+(* [at] is the operation's start for latency purposes: invocation time
+   in the closed loop, the Poisson {e intended} time in the open loop —
+   the open-loop latency includes any backlog queueing delay, which is
+   what makes it coordinated-omission-safe. *)
+let rec start_op eng cl kind ~at =
+  let op = { R.id = eng.next_op; client = cl.cid; kind; rounds = 0 } in
+  eng.next_op <- eng.next_op + 1;
+  cl.current_op <- Some op;
+  cl.op_start <- at;
+  eng.ops_invoked <- eng.ops_invoked + 1;
+  if not eng.open_loop then
+    Trace.add eng.tr
+      (Invoke { time = tick eng; op = op.R.id; client = cl.cid; kind });
+  let ctx = { R.self = cl.cid; op; n_objects = eng.cfg.n; prng = cl.c_prng } in
+  let body () =
+    match kind with
+    | Trace.Write v ->
+      eng.algorithm.R.write ctx v;
+      None
+    | Trace.Read -> eng.algorithm.R.read ctx
+  in
+  (match handle_fiber eng cl op body with
+   | Done result ->
+     finish_op eng cl op result;
+     after_op eng cl
+   | Blocked -> ())
+
+and invoke_next eng cl =
   match cl.queue with
   | [] -> ()
   | kind :: rest ->
     cl.queue <- rest;
-    let op = { R.id = eng.next_op; client = cl.cid; kind; rounds = 0 } in
-    eng.next_op <- eng.next_op + 1;
-    cl.current_op <- Some op;
-    cl.op_start <- now_ms eng;
-    eng.ops_invoked <- eng.ops_invoked + 1;
-    Trace.add eng.tr
-      (Invoke { time = tick eng; op = op.R.id; client = cl.cid; kind });
-    let ctx = { R.self = cl.cid; op; n_objects = eng.cfg.n; prng = cl.c_prng } in
-    let body () =
-      match kind with
-      | Trace.Write v ->
-        eng.algorithm.R.write ctx v;
-        None
-      | Trace.Read -> eng.algorithm.R.read ctx
-    in
-    (match handle_fiber eng cl op body with
-     | Done result ->
-       finish_op eng cl op result;
-       after_op eng cl
-     | Blocked -> ())
+    (match cl.key_queue with
+     | k :: krest ->
+       cl.current_key <- k;
+       cl.key_queue <- krest
+     | [] -> ());
+    start_op eng cl kind ~at:(now_ms eng)
 
 (* Closed loop: the next operation follows the completed one, either
-   immediately or after the configured think time. *)
+   immediately or after the configured think time.  Open loop: the slot
+   returns to the pool; the arrival process owns invocation. *)
 and after_op eng cl =
-  if eng.cfg.think_ms = 0 then invoke_next eng cl
+  if eng.open_loop then eng.free_slots <- cl.cid :: eng.free_slots
+  else if eng.cfg.think_ms = 0 then invoke_next eng cl
   else cl.ready_at <- now_ms eng +. float_of_int eng.cfg.think_ms
 
 let resume eng cl =
@@ -477,7 +590,7 @@ let reject_code_name = function
   | Wire.Unsupported_version -> "unsupported-version"
   | Wire.Incompatible_schema -> "incompatible-schema"
 
-let handle_inbound eng s (msg : Wire.msg) =
+let rec handle_inbound eng s (msg : Wire.msg) =
   match msg with
   | Wire.Welcome { server; incarnation; schema } ->
     if server = s then begin
@@ -505,18 +618,21 @@ let handle_inbound eng s (msg : Wire.msg) =
   | Wire.Reject { rj_code; rj_detail } ->
     schema_reject eng s
       (Printf.sprintf "%s: %s" (reject_code_name rj_code) rj_detail)
-  | Wire.Response rs ->
-    note_incarnation eng s rs.Wire.rs_incarnation;
-    Mailbox.record eng.responses ~ticket:rs.Wire.rs_ticket
-      ~obj:rs.Wire.rs_server rs.Wire.rs_resp;
-    Rt.cancel eng.timers rs.Wire.rs_ticket
+  | Wire.Response rs -> handle_response eng s rs
+  | Wire.Resp_batch rss -> List.iter (handle_response eng s) rss
   | Wire.Stats st ->
     eng.last_stats.(s) <- Some st;
     note_incarnation eng s st.Wire.st_incarnation;
     record_sample eng
-  | Wire.Hello _ | Wire.Request _ | Wire.Stats_query ->
+  | Wire.Hello _ | Wire.Request _ | Wire.Req_batch _ | Wire.Stats_query ->
     (* Client-to-server traffic arriving at the client: drop the peer. *)
     mark_down eng s
+
+and handle_response eng s (rs : Wire.response) =
+  note_incarnation eng s rs.Wire.rs_incarnation;
+  Mailbox.record eng.responses ~ticket:rs.Wire.rs_ticket
+    ~obj:rs.Wire.rs_server rs.Wire.rs_resp;
+  Rt.cancel eng.timers rs.Wire.rs_ticket
 
 let read_conn eng s c =
   let buf = Bytes.create 65536 in
@@ -704,7 +820,8 @@ let select_round eng timeout =
       | _ -> ())
     eng.conns
 
-let create ?(hooks = Netfault.none) ~algorithm ~seed ~workload cfg =
+let create ?(hooks = Netfault.none) ?(open_loop = false) ~algorithm ~seed
+    ~workload cfg =
   let root = Sb_util.Prng.create seed in
   (* Clients split from the root first, in cid order — the same order
      the simulated transport uses, so desc_log parity holds.  The
@@ -715,8 +832,10 @@ let create ?(hooks = Netfault.none) ~algorithm ~seed ~workload cfg =
         {
           cid = i;
           queue = ops;
+          key_queue = [];
           waiting = None;
           current_op = None;
+          current_key = "";
           op_start = 0.0;
           ready_at = 0.0;
           c_prng = Sb_util.Prng.split root;
@@ -759,10 +878,22 @@ let create ?(hooks = Netfault.none) ~algorithm ~seed ~workload cfg =
     dial_failures = Array.make cfg.n 0;
     fail_streak = Array.make cfg.n 0;
     op_failures = [];
+    open_loop;
+    free_slots = [];
+    batches_sent = 0;
+    frames_sent = 0;
   }
 
 (* A quiescent stats round over fresh connections; used for the final
-   report and exposed for post-run floor checks. *)
+   report and exposed for post-run floor checks.
+
+   Each connection handshakes first and queries at the negotiated
+   version — min(ours, the Welcome's schema version) — so a v3 daemon
+   answers with its per-shard aggregation tail while older daemons
+   still answer with their own framing.  A daemon so old it closes the
+   connection on a too-new [Hello] (instead of answering [Welcome]) is
+   retried once pinned at v1, mirroring the engine's sticky
+   downgrade. *)
 let fetch_stats ?(timeout_ms = 5000) ~sockdir ~servers () =
   List.filter_map
     (fun s ->
@@ -772,7 +903,7 @@ let fetch_stats ?(timeout_ms = 5000) ~sockdir ~servers () =
         Unix.gettimeofday () +. (float_of_int timeout_ms /. 1000.0)
       in
       let path = Daemon.sockpath ~sockdir s in
-      let rec attempt () =
+      let rec attempt hello_v =
         if Unix.gettimeofday () > deadline then None
         else
           let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
@@ -782,48 +913,104 @@ let fetch_stats ?(timeout_ms = 5000) ~sockdir ~servers () =
           let attempt_deadline = min deadline (Unix.gettimeofday () +. 0.5) in
           match
             Unix.connect fd (ADDR_UNIX path);
-            (* v1 framing: readable by every daemon version. *)
-            let frame = Wire.encode_msg ~version:1 Wire.Stats_query in
-            let _ = Unix.write fd frame 0 (Bytes.length frame) in
+            let send v msg =
+              let frame = Wire.encode_msg ~version:v msg in
+              ignore (Unix.write fd frame 0 (Bytes.length frame))
+            in
+            (* v1 framing drops the schema field itself. *)
+            send hello_v (Wire.Hello { client = 0; schema = Some own_schema });
             let reader = Wire.Reader.create () in
             let buf = Bytes.create 65536 in
+            let negotiated = ref None in
             let rec read_loop () =
               match Wire.Reader.next reader with
-              | Ok (Some (Wire.Stats st)) -> Some st
+              | Ok (Some (Wire.Welcome { schema; _ })) when !negotiated = None
+                ->
+                let v =
+                  match schema with
+                  | Some ps -> max 1 (min Wire.version ps.Wire.ps_version)
+                  | None -> 1
+                in
+                negotiated := Some v;
+                send v Wire.Stats_query;
+                read_loop ()
+              | Ok (Some (Wire.Stats st)) -> `Stats st
+              | Ok (Some (Wire.Reject _)) -> `Rejected
               | Ok (Some _) -> read_loop ()
               | Ok None ->
                 let remaining = attempt_deadline -. Unix.gettimeofday () in
-                if remaining <= 0.0 then None
+                if remaining <= 0.0 then `Timeout
                 else begin
                   match Unix.select [ fd ] [] [] remaining with
-                  | [], _, _ -> None
+                  | [], _, _ -> `Timeout
                   | _ ->
                     let n = Unix.read fd buf 0 (Bytes.length buf) in
-                    if n = 0 then None
+                    if n = 0 then
+                      (* Closed before [Welcome] while we spoke v2+: an
+                         old daemon refusing frames it cannot decode. *)
+                      if !negotiated = None && hello_v > 1 then `Closed
+                      else `Timeout
                     else begin
                       Wire.Reader.feed reader buf 0 n;
                       read_loop ()
                     end
                 end
-              | Error _ -> None
+              | Error _ -> `Timeout
             in
             read_loop ()
           with
-          | r ->
+          | r -> (
             (try Unix.close fd with Unix.Unix_error _ -> ());
-            (match r with
-             | Some _ -> r
-             | None -> if Unix.gettimeofday () > deadline then None else attempt ())
+            match r with
+            | `Stats st -> Some st
+            | `Rejected -> None
+            | `Closed -> attempt 1
+            | `Timeout ->
+              if Unix.gettimeofday () > deadline then None
+              else attempt hello_v)
           | exception Unix.Unix_error _ ->
             (try Unix.close fd with Unix.Unix_error _ -> ());
             if Unix.gettimeofday () > deadline then None
             else begin
               Unix.sleepf 0.02;
-              attempt ()
+              attempt hello_v
             end
       in
-      attempt ())
+      attempt Wire.version)
     servers
+
+let report_of eng ~wall_ms ~final_stats ~timed_out =
+  let peak_sampled_bits =
+    List.fold_left (fun acc s -> max acc s.total_bits) 0 eng.samples
+  in
+  {
+    trace = eng.tr;
+    ops_invoked = eng.ops_invoked;
+    ops_completed = eng.ops_completed;
+    wall_ms;
+    latencies_ms = List.rev eng.latencies;
+    samples = List.rev eng.samples;
+    final_stats;
+    desc_log = List.rev eng.desc_log;
+    retransmissions = eng.retransmissions;
+    reconnects = eng.reconnects;
+    recoveries_observed = eng.recoveries_observed;
+    batches_sent = eng.batches_sent;
+    frames_sent = eng.frames_sent;
+    downgrades = eng.downgrades;
+    schema_rejects = List.rev eng.schema_rejects;
+    peak_sampled_bits;
+    timed_out;
+    failures = List.rev eng.op_failures;
+    health =
+      List.init eng.cfg.n (fun s ->
+          {
+            sh_server = s;
+            sh_connects = eng.connects.(s);
+            sh_dial_failures = eng.dial_failures.(s);
+            sh_fail_streak = eng.fail_streak.(s);
+          });
+  }
 
 let invoke_due eng =
   if eng.cfg.think_ms > 0 then
@@ -833,12 +1020,14 @@ let invoke_due eng =
         then invoke_next eng cl)
       eng.clients
 
-let run_workload ?hooks ~algorithm ~seed ~workload cfg =
-  (* A server closing mid-write (crash, slow-close fault) must surface
-     as EPIPE on the socket, not kill the whole client process. *)
-  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
-   with Invalid_argument _ -> ());
-  let eng = create ?hooks ~algorithm ~seed ~workload cfg in
+(* A server closing mid-write (crash, slow-close fault) must surface
+   as EPIPE on the socket, not kill the whole client process. *)
+let ignore_sigpipe () =
+  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  with Invalid_argument _ -> ()
+
+let drive eng =
+  ignore_sigpipe ();
   ensure_conns eng;
   (* Invoke every client's first operation, in cid order — the same
      deterministic start the simulated transports use. *)
@@ -857,6 +1046,7 @@ let run_workload ?hooks ~algorithm ~seed ~workload cfg =
       fire_retransmits eng;
       fire_sampling eng;
       sweep_exhausted eng;
+      fire_flushes eng;
       select_round eng 0.02;
       resume_runnable eng
     end
@@ -872,32 +1062,167 @@ let run_workload ?hooks ~algorithm ~seed ~workload cfg =
     fetch_stats ~timeout_ms:5000 ~sockdir:eng.cfg.sockdir
       ~servers:(List.init eng.cfg.n Fun.id) ()
   in
-  let peak_sampled_bits =
-    List.fold_left (fun acc s -> max acc s.total_bits) 0 eng.samples
+  report_of eng ~wall_ms ~final_stats ~timed_out:!timed_out
+
+let run_workload ?hooks ~algorithm ~seed ~workload cfg =
+  drive (create ?hooks ~algorithm ~seed ~workload cfg)
+
+let run_keyed ?hooks ~algorithm ~seed ~workload cfg =
+  let eng =
+    create ?hooks ~algorithm ~seed
+      ~workload:(Array.map (List.map snd) workload)
+      cfg
   in
+  Array.iteri
+    (fun i ops -> eng.clients.(i).key_queue <- List.map fst ops)
+    workload;
+  drive eng
+
+(* ------------------------------------------------------------------ *)
+(* The open loop                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type open_config = {
+  ol_rate : float;
+  ol_duration_ms : int;
+  ol_keys : int;
+  ol_zipf : float;
+  ol_write_ratio : float;
+  ol_max_inflight : int;
+  ol_value : int -> bytes;
+}
+
+let default_open_config =
   {
-    trace = eng.tr;
-    ops_invoked = eng.ops_invoked;
-    ops_completed = eng.ops_completed;
-    wall_ms;
-    latencies_ms = List.rev eng.latencies;
-    samples = List.rev eng.samples;
-    final_stats;
-    desc_log = List.rev eng.desc_log;
-    retransmissions = eng.retransmissions;
-    reconnects = eng.reconnects;
-    recoveries_observed = eng.recoveries_observed;
-    downgrades = eng.downgrades;
-    schema_rejects = List.rev eng.schema_rejects;
-    peak_sampled_bits;
-    timed_out = !timed_out;
-    failures = List.rev eng.op_failures;
-    health =
-      List.init eng.cfg.n (fun s ->
-          {
-            sh_server = s;
-            sh_connects = eng.connects.(s);
-            sh_dial_failures = eng.dial_failures.(s);
-            sh_fail_streak = eng.fail_streak.(s);
-          });
+    ol_rate = 500.0;
+    ol_duration_ms = 10_000;
+    ol_keys = 100;
+    ol_zipf = 0.0;
+    ol_write_ratio = 0.5;
+    ol_max_inflight = 512;
+    ol_value = (fun i -> Bytes.of_string (Printf.sprintf "v%08d" i));
   }
+
+let key_name r = Printf.sprintf "k%05d" r
+
+(* Key sampler over ranks [0, keys): [zipf = 0] is uniform, otherwise
+   the Zipfian exponent (cdf inverted by binary search).  Rank-to-name
+   mapping is dense; the consistent hash scatters hot ranks over
+   shards. *)
+let make_key_sampler ~keys ~zipf prng =
+  if keys <= 1 then fun () -> 0
+  else if zipf <= 0.0 then fun () -> Sb_util.Prng.int prng keys
+  else begin
+    let cdf = Array.make keys 0.0 in
+    let acc = ref 0.0 in
+    for r = 0 to keys - 1 do
+      acc := !acc +. (1.0 /. (float_of_int (r + 1) ** zipf));
+      cdf.(r) <- !acc
+    done;
+    let total = !acc in
+    fun () ->
+      let u = Sb_util.Prng.float prng total in
+      let lo = ref 0 and hi = ref (keys - 1) in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if cdf.(mid) > u then hi := mid else lo := mid + 1
+      done;
+      !lo
+  end
+
+let run_open ?hooks ~algorithm ~seed ocfg cfg =
+  if ocfg.ol_rate <= 0.0 then invalid_arg "Sdk.run_open: rate must be > 0";
+  if ocfg.ol_keys < 1 then invalid_arg "Sdk.run_open: keys must be >= 1";
+  if ocfg.ol_max_inflight < 1 then
+    invalid_arg "Sdk.run_open: max_inflight must be >= 1";
+  let eng =
+    create ?hooks ~open_loop:true ~algorithm ~seed
+      ~workload:(Array.make ocfg.ol_max_inflight [])
+      cfg
+  in
+  eng.free_slots <- List.init ocfg.ol_max_inflight Fun.id;
+  (* Arrival/key randomness is independent of the client prngs: the
+     open loop has no simulator twin to keep desc parity with. *)
+  let a_prng = Sb_util.Prng.create (seed lxor 0x5bd1e995) in
+  let sample_key =
+    make_key_sampler ~keys:ocfg.ol_keys ~zipf:ocfg.ol_zipf a_prng
+  in
+  let duration = float_of_int ocfg.ol_duration_ms in
+  (* Poisson arrivals: exponential inter-arrival gaps, in ms. *)
+  let interarrival () =
+    let u = Sb_util.Prng.float a_prng 1.0 in
+    -.log (1.0 -. u) /. ocfg.ol_rate *. 1000.0
+  in
+  let backlog = Queue.create () in
+  let next_arrival = ref (interarrival ()) in
+  let writes = ref 0 in
+  (* Materialise every arrival whose intended time has passed, whether
+     or not a slot is free: an arrival that must wait in the backlog
+     keeps its intended start, so its queueing delay is measured —
+     never omitted — by the latency it eventually reports. *)
+  let gen_due () =
+    let now = now_ms eng in
+    while !next_arrival <= now && !next_arrival <= duration do
+      let key = key_name (sample_key ()) in
+      let kind =
+        if Sb_util.Prng.float a_prng 1.0 < ocfg.ol_write_ratio then begin
+          incr writes;
+          Trace.Write (ocfg.ol_value !writes)
+        end
+        else Trace.Read
+      in
+      Queue.add (!next_arrival, key, kind) backlog;
+      next_arrival := !next_arrival +. interarrival ()
+    done
+  in
+  let rec assign () =
+    match (eng.free_slots, Queue.peek_opt backlog) with
+    | cid :: rest, Some (intended, key, kind) ->
+      ignore (Queue.pop backlog);
+      eng.free_slots <- rest;
+      let cl = eng.clients.(cid) in
+      cl.current_key <- key;
+      start_op eng cl kind ~at:intended;
+      assign ()
+    | _ -> ()
+  in
+  ignore_sigpipe ();
+  ensure_conns eng;
+  let timed_out = ref false in
+  let finished () =
+    !next_arrival > duration && Queue.is_empty backlog && all_done eng
+  in
+  while (not (finished ())) && not !timed_out do
+    if now_ms eng > float_of_int eng.cfg.deadline_ms then begin
+      timed_out := true;
+      fail_in_flight eng Deadline_expired
+    end
+    else begin
+      ensure_conns eng;
+      gen_due ();
+      assign ();
+      fire_retransmits eng;
+      fire_sampling eng;
+      sweep_exhausted eng;
+      fire_flushes eng;
+      (* Fine-grained while arrivals are still being injected (their
+         timing is the experiment); relaxed once only the drain and
+         its responses remain. *)
+      let timeout = if now_ms eng <= duration then 0.002 else 0.02 in
+      select_round eng timeout;
+      resume_runnable eng;
+      assign ()
+    end
+  done;
+  let wall_ms = now_ms eng in
+  Array.iter
+    (fun st ->
+      match st with
+      | Up c -> ( try Unix.close c.fd with Unix.Unix_error _ -> ())
+      | Down _ -> ())
+    eng.conns;
+  let final_stats =
+    fetch_stats ~timeout_ms:5000 ~sockdir:eng.cfg.sockdir
+      ~servers:(List.init eng.cfg.n Fun.id) ()
+  in
+  report_of eng ~wall_ms ~final_stats ~timed_out:!timed_out

@@ -28,9 +28,20 @@ type config = {
   deadline_ms : int;       (** Abort the run after this long. *)
   think_ms : int;          (** Closed-loop pacing: delay before each
                                client's next operation; 0 = back-to-back. *)
+  batch_max : int;
+      (** Per-connection request batching: triggered requests towards a
+          v3+ peer are buffered and sent as one [Req_batch] frame of up
+          to this many.  1 (the default) sends classic single-request
+          frames; batching also disarms itself per server when the
+          negotiated version is below 3.  Retransmissions are always
+          single frames. *)
+  flush_ms : int;
+      (** A pending batch never waits longer than this for
+          co-travellers (size may flush it sooner). *)
 }
 
 val default_config : n:int -> f:int -> sockdir:string -> config
+(** [batch_max = 1], [flush_ms = 2]; see the field docs for the rest. *)
 
 type sample = { at_ms : float; total_bits : int }
 (** Total storage bits across all servers at one sampling instant
@@ -84,6 +95,11 @@ type report = {
   retransmissions : int;
   reconnects : int;
   recoveries_observed : int;  (** Server incarnation bumps seen. *)
+  batches_sent : int;
+      (** [Req_batch] frames put on the wire (each carried ≥ 2
+          requests); 0 whenever [batch_max = 1] or every peer
+          negotiated below v3. *)
+  frames_sent : int;  (** Every frame handed to a socket buffer. *)
   downgrades : int;
       (** Servers renegotiated down to wire v1 after an old daemon
           closed on a v2 [Hello] — the expected path when new clients
@@ -111,10 +127,75 @@ val run_workload :
   report
 (** Drive the closed-loop workload (one fiber per array slot, next
     operation invoked as soon as the previous returns) to completion
-    against the cluster reachable under [config.sockdir].  [hooks]
-    (default {!Netfault.none}) inject socket-layer faults into the
-    client's dials and outbound frames — the client-side half of a
+    against the cluster reachable under [config.sockdir].  Operations
+    address the [""] register — the pre-sharding single object.
+    [hooks] (default {!Netfault.none}) inject socket-layer faults into
+    the client's dials and outbound frames — the client-side half of a
     {!Sb_faults.Live} fault plane. *)
+
+val run_keyed :
+  ?hooks:Netfault.t ->
+  algorithm:Sb_sim.Runtime.algorithm ->
+  seed:int ->
+  workload:(string * Sb_sim.Trace.op_kind) list array ->
+  config ->
+  report
+(** {!run_workload} with a key per operation: each slot's operations
+    run in order, each addressing the named register of the sharded
+    daemon.  Non-[""] keys need a v3+ fleet — towards an older peer
+    keyed frames are unencodable and are dropped (the operation fails
+    by its retransmission/deadline budget rather than crashing the
+    client). *)
+
+(** {2 The open loop}
+
+    Closed-loop clients measure a system that is never saturated by
+    construction: each client waits for its previous operation, so a
+    slow service throttles its own offered load and hides queueing
+    delay (coordinated omission).  The open loop instead draws arrival
+    times from a Poisson process at a target rate and starts each
+    operation at its intended time — or queues it, with the intended
+    time preserved, when all [ol_max_inflight] slots are busy — so
+    reported latency includes every millisecond the service made an
+    arrival wait. *)
+
+type open_config = {
+  ol_rate : float;  (** Target arrival rate, operations/second. *)
+  ol_duration_ms : int;  (** Arrival-generation window. *)
+  ol_keys : int;  (** Key-space size; keys are {!key_name}[ 0..K-1]. *)
+  ol_zipf : float;
+      (** 0 = uniform key popularity; otherwise the Zipfian exponent
+          (rank-frequency skew; 0.99 is the YCSB-style default). *)
+  ol_write_ratio : float;  (** Probability an arrival is a write. *)
+  ol_max_inflight : int;
+      (** Concurrent operation slots — the paper's concurrency [c] for
+          the per-object Theorem 2 ceiling under this load. *)
+  ol_value : int -> bytes;
+      (** Payload for the [i]-th write (1-based, process-wide). *)
+}
+
+val default_open_config : open_config
+(** 500 ops/s for 10 s over 100 uniform keys, half writes, 512 slots. *)
+
+val key_name : int -> string
+(** The wire key for rank [r] — shared with the loadgen's per-key
+    accounting so external checks can address the same registers. *)
+
+val run_open :
+  ?hooks:Netfault.t ->
+  algorithm:Sb_sim.Runtime.algorithm ->
+  seed:int ->
+  open_config ->
+  config ->
+  report
+(** Drive the open-loop workload against the cluster under
+    [config.sockdir] and drain it (arrival generation stops at
+    [ol_duration_ms]; the run ends when every arrival has completed or
+    failed, or at [deadline_ms]).  The report's [latencies_ms] are
+    intended-start latencies (coordinated-omission-safe); its [trace]
+    and [desc_log] are empty — an open-loop run's observables are
+    counters, latencies and storage samples.  Batching applies as
+    configured ([batch_max]/[flush_ms]). *)
 
 val fetch_stats :
   ?timeout_ms:int -> sockdir:string -> servers:int list -> unit ->

@@ -2,13 +2,14 @@ open Sb_storage
 module D = Sb_sim.Rmwdesc
 module Sch = Sb_schema.Schema
 
-let version = 2
+let version = 3
 let min_version = 1
 let max_frame_bytes = 64 * 1024 * 1024
 
 type nature = [ `Mutating | `Readonly | `Merge ]
 
 type request = {
+  rq_key : string;
   rq_client : int;
   rq_ticket : int;
   rq_op : int;
@@ -18,12 +19,22 @@ type request = {
 }
 
 type response = {
+  rs_key : string;
   rs_ticket : int;
   rs_op : int;
   rs_server : int;
   rs_incarnation : int;
   rs_dedup : bool;
   rs_resp : D.resp;
+}
+
+type shard_stat = {
+  ss_shard : int;
+  ss_incarnation : int;
+  ss_keys : int;
+  ss_storage_bits : int;
+  ss_max_bits : int;
+  ss_max_key_bits : int;
 }
 
 type stats = {
@@ -33,6 +44,8 @@ type stats = {
   st_max_bits : int;
   st_dedup_hits : int;
   st_applied : int;
+  st_keys : int;
+  st_shards : shard_stat list;
 }
 
 type peer_schema = { ps_version : int; ps_hash : string }
@@ -46,6 +59,8 @@ type msg =
   | Stats_query
   | Stats of stats
   | Reject of { rj_code : reject_code; rj_detail : string }
+  | Req_batch of request list
+  | Resp_batch of response list
 
 exception Decode of string
 
@@ -61,6 +76,12 @@ let w_bool b v = w_u8 b (if v then 1 else 0)
 let w_bytes b s =
   w_u32 b (Bytes.length s);
   Buffer.add_bytes b s
+
+(* Same framing as [w_bytes] without the intermediate copy — used on
+   the per-request key, which rides in every batched frame entry. *)
+let w_string b s =
+  w_u32 b (String.length s);
+  Buffer.add_string b s
 
 let w_list w b xs =
   w_u32 b (List.length xs);
@@ -340,38 +361,59 @@ let ty_desc =
 
 let ty_peer_schema = Sch.Record [ fld "version" Sch.U8; fld "hash" Sch.Bytes ]
 
-let ty_request =
-  Sch.Record
-    [
-      fld "client" Sch.I64;
-      fld "ticket" Sch.I64;
-      fld "op" Sch.I64;
-      fld "nature" ty_nature;
-      fld "payload" (Sch.List ty_block);
-      fld "desc" ty_desc;
-    ]
+(* v3 appends trailing fields only (the key tag on requests/responses,
+   the per-shard aggregation on stats) and adds new enum tags — both
+   evolutions the compatibility certifier classifies as clean cross-
+   version rejects, never misinterpretations, exactly like the v2
+   handshake-field precedent. *)
 
-let ty_response =
+let ty_request ~v =
   Sch.Record
-    [
-      fld "ticket" Sch.I64;
-      fld "op" Sch.I64;
-      fld "server" Sch.I64;
-      fld "incarnation" Sch.I64;
-      fld "dedup" Sch.Bool;
-      fld "resp" ty_resp;
-    ]
+    ([
+       fld "client" Sch.I64;
+       fld "ticket" Sch.I64;
+       fld "op" Sch.I64;
+       fld "nature" ty_nature;
+       fld "payload" (Sch.List ty_block);
+       fld "desc" ty_desc;
+     ]
+    @ if v >= 3 then [ fld "key" Sch.Bytes ] else [])
 
-let ty_stats =
+let ty_response ~v =
+  Sch.Record
+    ([
+       fld "ticket" Sch.I64;
+       fld "op" Sch.I64;
+       fld "server" Sch.I64;
+       fld "incarnation" Sch.I64;
+       fld "dedup" Sch.Bool;
+       fld "resp" ty_resp;
+     ]
+    @ if v >= 3 then [ fld "key" Sch.Bytes ] else [])
+
+let ty_shard_stat =
   Sch.Record
     [
-      fld "server" Sch.I64;
+      fld "shard" Sch.I64;
       fld "incarnation" Sch.I64;
+      fld "keys" Sch.I64;
       fld "storage_bits" Sch.I64;
       fld "max_bits" Sch.I64;
-      fld "dedup_hits" Sch.I64;
-      fld "applied" Sch.I64;
+      fld "max_key_bits" Sch.I64;
     ]
+
+let ty_stats ~v =
+  Sch.Record
+    ([
+       fld "server" Sch.I64;
+       fld "incarnation" Sch.I64;
+       fld "storage_bits" Sch.I64;
+       fld "max_bits" Sch.I64;
+       fld "dedup_hits" Sch.I64;
+       fld "applied" Sch.I64;
+     ]
+    @ if v >= 3 then [ fld "keys" Sch.I64; fld "shards" (Sch.List ty_shard_stat) ]
+      else [])
 
 let ty_msg ~v =
   let handshake_fields =
@@ -384,39 +426,59 @@ let ty_msg ~v =
          (Sch.Record
             ([ fld "server" Sch.I64; fld "incarnation" Sch.I64 ]
             @ handshake_fields));
-       earm 3 "Request" ty_request;
-       earm 4 "Response" ty_response;
+       earm 3 "Request" (ty_request ~v);
+       earm 4 "Response" (ty_response ~v);
        earm 5 "Stats_query" unit_ty;
-       earm 6 "Stats" ty_stats;
+       earm 6 "Stats" (ty_stats ~v);
      ]
+    @ (if v >= 2 then
+         [
+           earm 8 "Reject"
+             (Sch.Record
+                [
+                  fld "code"
+                    (Sch.Enum
+                       [
+                         earm 0 "Unsupported_version" unit_ty;
+                         earm 1 "Incompatible_schema" unit_ty;
+                       ]);
+                  fld "detail" Sch.Bytes;
+                ]);
+         ]
+       else [])
     @
-    if v >= 2 then
+    if v >= 3 then
       [
-        earm 8 "Reject"
-          (Sch.Record
-             [
-               fld "code"
-                 (Sch.Enum
-                    [
-                      earm 0 "Unsupported_version" unit_ty;
-                      earm 1 "Incompatible_schema" unit_ty;
-                    ]);
-               fld "detail" Sch.Bytes;
-             ]);
+        earm 9 "Req_batch"
+          (Sch.Record [ fld "requests" (Sch.List (ty_request ~v)) ]);
+        earm 10 "Resp_batch"
+          (Sch.Record [ fld "responses" (Sch.List (ty_response ~v)) ]);
       ]
     else [])
 
-let ty_persisted =
+let ty_persisted ~v =
   Sch.Enum
     [
       earm 7 "Persisted"
-        (Sch.Record [ fld "incarnation" Sch.I64; fld "state" ty_objstate ]);
+        (Sch.Record
+           ([ fld "incarnation" Sch.I64; fld "state" ty_objstate ]
+           @
+           if v >= 3 then
+             [
+               fld "keyed"
+                 (Sch.List
+                    (Sch.Record [ fld "key" Sch.Bytes; fld "state" ty_objstate ]));
+             ]
+           else []));
     ]
 
 let schema_v ~version:v =
   if v < min_version || v > version then
     invalid_arg (Printf.sprintf "Wire.schema_v: unknown version %d" v);
-  { Sch.s_version = v; s_roots = [ ("msg", ty_msg ~v); ("persisted", ty_persisted) ] }
+  {
+    Sch.s_version = v;
+    s_roots = [ ("msg", ty_msg ~v); ("persisted", ty_persisted ~v) ];
+  }
 
 let schema = schema_v ~version
 let schema_hash = Sch.hash schema
@@ -436,6 +498,68 @@ let w_peer_schema b { ps_version; ps_hash } =
   w_u8 b ps_version;
   w_bytes b (Bytes.of_string ps_hash)
 
+let w_request ~v b
+    { rq_key; rq_client; rq_ticket; rq_op; rq_nature; rq_payload; rq_desc } =
+  (* A keyed request cannot be narrowed to a pre-key frame: the peer
+     would silently apply it to its only register.  Multi-key traffic
+     therefore requires a v3 peer; "" is the pre-v3 single register. *)
+  if v < 3 && rq_key <> "" then
+    invalid_arg "Wire: keyed request requires wire version >= 3";
+  w_int b rq_client;
+  w_int b rq_ticket;
+  w_int b rq_op;
+  w_nature b rq_nature;
+  w_list w_block b rq_payload;
+  w_desc b rq_desc;
+  if v >= 3 then w_string b rq_key
+
+let w_response ~v b
+    { rs_key; rs_ticket; rs_op; rs_server; rs_incarnation; rs_dedup; rs_resp } =
+  if v < 3 && rs_key <> "" then
+    invalid_arg "Wire: keyed response requires wire version >= 3";
+  w_int b rs_ticket;
+  w_int b rs_op;
+  w_int b rs_server;
+  w_int b rs_incarnation;
+  w_bool b rs_dedup;
+  w_resp b rs_resp;
+  if v >= 3 then w_string b rs_key
+
+let w_shard_stat b
+    { ss_shard; ss_incarnation; ss_keys; ss_storage_bits; ss_max_bits; ss_max_key_bits }
+    =
+  w_int b ss_shard;
+  w_int b ss_incarnation;
+  w_int b ss_keys;
+  w_int b ss_storage_bits;
+  w_int b ss_max_bits;
+  w_int b ss_max_key_bits
+
+let w_stats ~v b
+    {
+      st_server;
+      st_incarnation;
+      st_storage_bits;
+      st_max_bits;
+      st_dedup_hits;
+      st_applied;
+      st_keys;
+      st_shards;
+    } =
+  w_int b st_server;
+  w_int b st_incarnation;
+  w_int b st_storage_bits;
+  w_int b st_max_bits;
+  w_int b st_dedup_hits;
+  w_int b st_applied;
+  (* The per-shard aggregation is a diagnostic refinement of the summary
+     fields above: dropping it for a pre-v3 peer loses detail, never
+     meaning. *)
+  if v >= 3 then begin
+    w_int b st_keys;
+    w_list w_shard_stat b st_shards
+  end
+
 let w_msg ~v b = function
   | Hello { client; schema } ->
     w_u8 b 1;
@@ -448,37 +572,29 @@ let w_msg ~v b = function
     w_int b server;
     w_int b incarnation;
     if v >= 2 then w_opt w_peer_schema b schema
-  | Request { rq_client; rq_ticket; rq_op; rq_nature; rq_payload; rq_desc } ->
+  | Request rq ->
     w_u8 b 3;
-    w_int b rq_client;
-    w_int b rq_ticket;
-    w_int b rq_op;
-    w_nature b rq_nature;
-    w_list w_block b rq_payload;
-    w_desc b rq_desc
-  | Response { rs_ticket; rs_op; rs_server; rs_incarnation; rs_dedup; rs_resp } ->
+    w_request ~v b rq
+  | Response rs ->
     w_u8 b 4;
-    w_int b rs_ticket;
-    w_int b rs_op;
-    w_int b rs_server;
-    w_int b rs_incarnation;
-    w_bool b rs_dedup;
-    w_resp b rs_resp
+    w_response ~v b rs
   | Stats_query -> w_u8 b 5
-  | Stats { st_server; st_incarnation; st_storage_bits; st_max_bits; st_dedup_hits; st_applied }
-    ->
+  | Stats st ->
     w_u8 b 6;
-    w_int b st_server;
-    w_int b st_incarnation;
-    w_int b st_storage_bits;
-    w_int b st_max_bits;
-    w_int b st_dedup_hits;
-    w_int b st_applied
+    w_stats ~v b st
   | Reject { rj_code; rj_detail } ->
     if v < 2 then invalid_arg "Wire: Reject requires wire version >= 2";
     w_u8 b 8;
     w_u8 b (match rj_code with Unsupported_version -> 0 | Incompatible_schema -> 1);
     w_bytes b (Bytes.of_string rj_detail)
+  | Req_batch reqs ->
+    if v < 3 then invalid_arg "Wire: Req_batch requires wire version >= 3";
+    w_u8 b 9;
+    w_list (w_request ~v) b reqs
+  | Resp_batch resps ->
+    if v < 3 then invalid_arg "Wire: Resp_batch requires wire version >= 3";
+    w_u8 b 10;
+    w_list (w_response ~v) b resps
 
 let r_opt r c =
   let presence = r_u8 c in
@@ -492,6 +608,59 @@ let r_peer_schema c =
   let ps_hash = Bytes.to_string (r_bytes c) in
   { ps_version; ps_hash }
 
+let r_request ~v c =
+  let rq_client = r_int c in
+  let rq_ticket = r_int c in
+  let rq_op = r_int c in
+  let rq_nature = r_nature c in
+  let rq_payload = r_list r_block c in
+  let rq_desc = r_desc c in
+  let rq_key = if v >= 3 then Bytes.to_string (r_bytes c) else "" in
+  { rq_key; rq_client; rq_ticket; rq_op; rq_nature; rq_payload; rq_desc }
+
+let r_response ~v c =
+  let rs_ticket = r_int c in
+  let rs_op = r_int c in
+  let rs_server = r_int c in
+  let rs_incarnation = r_int c in
+  let rs_dedup = r_bool c in
+  let rs_resp = r_resp c in
+  let rs_key = if v >= 3 then Bytes.to_string (r_bytes c) else "" in
+  { rs_key; rs_ticket; rs_op; rs_server; rs_incarnation; rs_dedup; rs_resp }
+
+let r_shard_stat c =
+  let ss_shard = r_int c in
+  let ss_incarnation = r_int c in
+  let ss_keys = r_int c in
+  let ss_storage_bits = r_int c in
+  let ss_max_bits = r_int c in
+  let ss_max_key_bits = r_int c in
+  { ss_shard; ss_incarnation; ss_keys; ss_storage_bits; ss_max_bits; ss_max_key_bits }
+
+let r_stats ~v c =
+  let st_server = r_int c in
+  let st_incarnation = r_int c in
+  let st_storage_bits = r_int c in
+  let st_max_bits = r_int c in
+  let st_dedup_hits = r_int c in
+  let st_applied = r_int c in
+  let st_keys, st_shards =
+    if v >= 3 then
+      let keys = r_int c in
+      (keys, r_list r_shard_stat c)
+    else (0, [])
+  in
+  {
+    st_server;
+    st_incarnation;
+    st_storage_bits;
+    st_max_bits;
+    st_dedup_hits;
+    st_applied;
+    st_keys;
+    st_shards;
+  }
+
 let r_msg ~v c =
   let tag = r_u8 c in
   match tag with
@@ -504,31 +673,12 @@ let r_msg ~v c =
     let incarnation = r_int c in
     let schema = if v >= 2 then r_opt r_peer_schema c else None in
     Welcome { server; incarnation; schema }
-  | 3 ->
-    let rq_client = r_int c in
-    let rq_ticket = r_int c in
-    let rq_op = r_int c in
-    let rq_nature = r_nature c in
-    let rq_payload = r_list r_block c in
-    let rq_desc = r_desc c in
-    Request { rq_client; rq_ticket; rq_op; rq_nature; rq_payload; rq_desc }
-  | 4 ->
-    let rs_ticket = r_int c in
-    let rs_op = r_int c in
-    let rs_server = r_int c in
-    let rs_incarnation = r_int c in
-    let rs_dedup = r_bool c in
-    let rs_resp = r_resp c in
-    Response { rs_ticket; rs_op; rs_server; rs_incarnation; rs_dedup; rs_resp }
+  | 3 -> Request (r_request ~v c)
+  | 4 -> Response (r_response ~v c)
   | 5 -> Stats_query
-  | 6 ->
-    let st_server = r_int c in
-    let st_incarnation = r_int c in
-    let st_storage_bits = r_int c in
-    let st_max_bits = r_int c in
-    let st_dedup_hits = r_int c in
-    let st_applied = r_int c in
-    Stats { st_server; st_incarnation; st_storage_bits; st_max_bits; st_dedup_hits; st_applied }
+  | 6 -> Stats (r_stats ~v c)
+  | 9 when v >= 3 -> Req_batch (r_list (r_request ~v) c)
+  | 10 when v >= 3 -> Resp_batch (r_list (r_response ~v) c)
   | 8 when v >= 2 ->
     let code =
       let tag = r_u8 c in
@@ -541,14 +691,55 @@ let r_msg ~v c =
     Reject { rj_code = code; rj_detail = detail }
   | n -> raise (Decode (Printf.sprintf "bad message tag %d for version %d" n v))
 
-let frame_body ~v w_payload payload =
-  let body = Buffer.create 256 in
-  w_u8 body v;
-  w_payload body payload;
-  let framed = Buffer.create (Buffer.length body + 4) in
-  w_u32 framed (Buffer.length body);
-  Buffer.add_buffer framed body;
-  Buffer.to_bytes framed
+(* Cheap per-message size estimates.  Batch and persisted frames are
+   kilobytes; growing a Buffer there means repeated doublings, each a
+   major-heap allocation and full copy at these sizes, which doubles
+   encode cost on the loadgen hot path.  Slight overestimates are fine
+   — the hint only has to keep growth rare. *)
+let hint_fold f acc xs = List.fold_left (fun a x -> a + f x) acc xs
+let hint_block (blk : Block.t) = 20 + Bytes.length blk.data
+let hint_chunk (c : Chunk.t) = 16 + hint_block c.block
+
+let hint_objstate (st : Objstate.t) =
+  hint_fold hint_chunk (hint_fold hint_chunk 24 st.vp) st.vf
+
+let hint_desc (d : D.t) =
+  match d with
+  | D.Snapshot -> 1
+  | D.Abd_store c | D.Lww_store c | D.Safe_update c -> 1 + hint_chunk c
+  | D.Adaptive_update { piece; replica_pieces; _ } ->
+    60 + hint_fold hint_block (hint_block piece) replica_pieces
+  | D.Adaptive_gc { piece; _ } -> 20 + hint_block piece
+  | D.Rateless_update { pieces; _ } | D.Rateless_gc { pieces; _ } ->
+    40 + hint_fold hint_block 0 pieces
+
+let hint_resp = function D.Ack -> 1 | D.Snap st -> 1 + hint_objstate st
+
+let hint_request (r : request) =
+  48 + String.length r.rq_key
+  + hint_fold hint_block (hint_desc r.rq_desc) r.rq_payload
+
+let hint_response (r : response) =
+  48 + String.length r.rs_key + hint_resp r.rs_resp
+
+let hint_msg = function
+  | Request r -> 16 + hint_request r
+  | Response r -> 16 + hint_response r
+  | Req_batch reqs -> hint_fold hint_request 16 reqs
+  | Resp_batch resps -> hint_fold hint_response 16 resps
+  | Hello _ | Welcome _ | Stats_query | Stats _ | Reject _ -> 512
+
+let frame_body ~hint ~v w_payload payload =
+  (* Length prefix written as a placeholder and patched after the body,
+     so the whole frame is built in one right-sized buffer with one
+     final copy. *)
+  let b = Buffer.create (hint payload + 8) in
+  w_u32 b 0;
+  w_u8 b v;
+  w_payload b payload;
+  let framed = Buffer.to_bytes b in
+  Bytes.set_int32_be framed 0 (Int32.of_int (Bytes.length framed - 4));
+  framed
 
 let decode_body ?(max_version = version) r_payload buf =
   let c = { buf; pos = 0; stop = Bytes.length buf } in
@@ -570,29 +761,55 @@ let decode_body ?(max_version = version) r_payload buf =
        decode failure for wire data, never a crash. *)
     Error ("invalid value in frame: " ^ e)
 
-let encode_msg ?version:(v = version) m = frame_body ~v (w_msg ~v) m
+let encode_msg ?version:(v = version) m = frame_body ~hint:hint_msg ~v (w_msg ~v) m
 let decode_msg ?max_version buf =
   decode_body ?max_version (fun v c -> r_msg ~v c) buf
 
-type persisted = { p_incarnation : int; p_state : Objstate.t }
+type persisted = {
+  p_incarnation : int;
+  p_state : Objstate.t;
+  p_keyed : (string * Objstate.t) list;
+}
 
-let w_persisted b { p_incarnation; p_state } =
+let w_keyed_state b (key, st) =
+  w_bytes b (Bytes.of_string key);
+  w_objstate b st
+
+let w_persisted ~v b { p_incarnation; p_state; p_keyed } =
+  (* Pre-v3 state frames hold exactly one register; dropping keyed
+     entries on downgrade would lose durable data, so refuse. *)
+  if v < 3 && p_keyed <> [] then
+    invalid_arg "Wire: keyed state requires wire version >= 3";
   w_u8 b 7;
   w_int b p_incarnation;
-  w_objstate b p_state
+  w_objstate b p_state;
+  if v >= 3 then w_list w_keyed_state b p_keyed
 
-let r_persisted c =
+let r_keyed_state c =
+  let key = Bytes.to_string (r_bytes c) in
+  let st = r_objstate c in
+  (key, st)
+
+let r_persisted ~v c =
   let tag = r_u8 c in
   match tag with
   | 7 ->
     let p_incarnation = r_int c in
     let p_state = r_objstate c in
-    { p_incarnation; p_state }
+    let p_keyed = if v >= 3 then r_list r_keyed_state c else [] in
+    { p_incarnation; p_state; p_keyed }
   | n -> raise (Decode (Printf.sprintf "bad state tag %d" n))
 
-let encode_persisted ?version:(v = version) p = frame_body ~v w_persisted p
+let hint_persisted { p_state; p_keyed; _ } =
+  hint_fold
+    (fun (key, st) -> 8 + String.length key + hint_objstate st)
+    (32 + hint_objstate p_state)
+    p_keyed
+
+let encode_persisted ?version:(v = version) p =
+  frame_body ~hint:hint_persisted ~v (w_persisted ~v) p
 let decode_persisted ?max_version buf =
-  decode_body ?max_version (fun _v c -> r_persisted c) buf
+  decode_body ?max_version (fun v c -> r_persisted ~v c) buf
 
 (* The state-file container wraps the persisted frame in a 16-byte
    Hash128 checksum trailer.  The trailer sits outside the
@@ -690,15 +907,19 @@ let pp_msg ppf = function
     Format.fprintf ppf "welcome(server=%d inc=%d%a)" server incarnation
       pp_peer_schema schema
   | Request r ->
-    Format.fprintf ppf "request(client=%d ticket=%d op=%d %a)" r.rq_client
-      r.rq_ticket r.rq_op D.pp r.rq_desc
+    Format.fprintf ppf "request(key=%S client=%d ticket=%d op=%d %a)" r.rq_key
+      r.rq_client r.rq_ticket r.rq_op D.pp r.rq_desc
   | Response r ->
-    Format.fprintf ppf "response(ticket=%d op=%d server=%d inc=%d dedup=%b)"
+    Format.fprintf ppf
+      "response(key=%S ticket=%d op=%d server=%d inc=%d dedup=%b)" r.rs_key
       r.rs_ticket r.rs_op r.rs_server r.rs_incarnation r.rs_dedup
   | Stats_query -> Format.fprintf ppf "stats-query"
   | Stats s ->
-    Format.fprintf ppf "stats(server=%d inc=%d bits=%d max=%d)" s.st_server
-      s.st_incarnation s.st_storage_bits s.st_max_bits
+    Format.fprintf ppf "stats(server=%d inc=%d bits=%d max=%d keys=%d shards=%d)"
+      s.st_server s.st_incarnation s.st_storage_bits s.st_max_bits s.st_keys
+      (List.length s.st_shards)
+  | Req_batch reqs -> Format.fprintf ppf "req-batch(%d)" (List.length reqs)
+  | Resp_batch resps -> Format.fprintf ppf "resp-batch(%d)" (List.length resps)
   | Reject { rj_code; rj_detail } ->
     Format.fprintf ppf "reject(%s: %s)"
       (match rj_code with

@@ -14,13 +14,18 @@
 
     {2 Versions and schemas}
 
-    Two body layouts are spoken today.  Version 1 is PR 5's positional
+    Three body layouts are spoken today.  Version 1 is PR 5's positional
     layout.  Version 2 appends an {e optional} [peer_schema] handshake
     field to [Hello]/[Welcome] (schema version + canonical hash, used by
     [Daemon]/[Sdk] to reject incompatible peers with a typed {!msg.Reject}
-    instead of a decode crash) and adds the [Reject] message itself;
-    every other message is byte-identical across both versions, which is
-    what makes a mixed-version fleet work and is certified statically by
+    instead of a decode crash) and adds the [Reject] message itself.
+    Version 3 is the sharded-service layout: requests and responses gain
+    a trailing key tag ([""] = the pre-v3 single register), [Stats]
+    gains a per-shard aggregation tail, and two batch containers
+    ({!msg.Req_batch}/{!msg.Resp_batch}) carry many keyed RMWs under one
+    length prefix, amortising framing and syscalls.  Every evolution is
+    append-only per record or a brand-new tag, which is what makes a
+    mixed-version fleet work and is certified statically by
     [spacebounds schema check].
 
     Encoders default to the newest version; [?version] pins a frame to
@@ -34,7 +39,7 @@
     [schemas/v<N>.json] files. *)
 
 val version : int
-(** The newest wire version this build speaks (2). *)
+(** The newest wire version this build speaks (3). *)
 
 val min_version : int
 (** The oldest version still decoded (1). *)
@@ -44,6 +49,11 @@ val max_frame_bytes : int
 type nature = [ `Mutating | `Readonly | `Merge ]
 
 type request = {
+  rq_key : string;
+      (** The target register.  [""] is the pre-v3 single register;
+          travels only in v3+ framing, and encoding a non-empty key at an
+          older version raises [Invalid_argument] (a keyed RMW must never
+          silently collapse onto a peer's only register). *)
   rq_client : int;
   rq_ticket : int;
   rq_op : int;
@@ -55,6 +65,7 @@ type request = {
 }
 
 type response = {
+  rs_key : string;  (** Echo of the request's key (v3+ framing). *)
   rs_ticket : int;
   rs_op : int;
   rs_server : int;
@@ -65,6 +76,20 @@ type response = {
   rs_resp : Sb_sim.Rmwdesc.resp;
 }
 
+(** Per-shard accounting (v3+): the Theorem 2 ceiling is a per-object
+    bound, so the fleet check needs per-shard high-water marks, not just
+    the process totals. *)
+type shard_stat = {
+  ss_shard : int;
+  ss_incarnation : int;
+  ss_keys : int;  (** Registers hosted by this shard. *)
+  ss_storage_bits : int;  (** Bits stored across the shard's keys now. *)
+  ss_max_bits : int;  (** Shard-total high-water mark. *)
+  ss_max_key_bits : int;
+      (** High-water mark of any {e single} key's bits — what the
+          per-key Theorem 2 ceiling is checked against. *)
+}
+
 type stats = {
   st_server : int;
   st_incarnation : int;
@@ -72,6 +97,8 @@ type stats = {
   st_max_bits : int;      (** High-water mark since this incarnation began. *)
   st_dedup_hits : int;
   st_applied : int;       (** RMWs applied (dedup hits excluded). *)
+  st_keys : int;          (** Total keys hosted (v3+ framing, else 0). *)
+  st_shards : shard_stat list;  (** Per-shard breakdown (v3+ framing). *)
 }
 
 type peer_schema = {
@@ -94,6 +121,12 @@ type msg =
       (** Typed handshake refusal, v2-only: encoding at v1 raises
           [Invalid_argument] — v1 peers are refused by closing the
           connection, which they already handle. *)
+  | Req_batch of request list
+      (** Many key-tagged RMWs under one length prefix (v3-only;
+          encoding at an older version raises [Invalid_argument]).  The
+          server applies them in list order and answers with one
+          {!msg.Resp_batch}. *)
+  | Resp_batch of response list
 
 val encode_msg : ?version:int -> msg -> bytes
 (** The full frame, length prefix included — write it verbatim.
@@ -105,8 +138,17 @@ val decode_msg : ?max_version:int -> bytes -> (msg, string) result
     accepting versions [min_version..max_version] (default
     {!version}). *)
 
-(** Durable server state, persisted by [Daemon] across restarts. *)
-type persisted = { p_incarnation : int; p_state : Sb_storage.Objstate.t }
+(** Durable server state, persisted by [Daemon] across restarts — one
+    record per shard.  [p_state] is the [""] key's register (the only
+    one a pre-v3 frame can hold); [p_keyed] lists every other key's
+    state and travels only in v3+ framing (encoding a non-empty list at
+    an older version raises [Invalid_argument] — durable keys must never
+    be silently dropped). *)
+type persisted = {
+  p_incarnation : int;
+  p_state : Sb_storage.Objstate.t;
+  p_keyed : (string * Sb_storage.Objstate.t) list;
+}
 
 val encode_persisted : ?version:int -> persisted -> bytes
 val decode_persisted : ?max_version:int -> bytes -> (persisted, string) result

@@ -15,7 +15,7 @@ set -ue
 SPACEBOUNDS=${1:-_build/default/bin/spacebounds.exe}
 SOCKDIR=$(mktemp -d)
 STATEDIR=$(mktemp -d)
-JSON=${JSON:-BENCH_service.json}
+JSON=${JSON:-BENCH_service_closed.json}
 
 F=2
 K=1
@@ -190,6 +190,155 @@ grep -q '"ok": true' "$CRASH_JSON" || {
   echo "crash-point report not ok"; cat "$CRASH_JSON"; exit 1;
 }
 echo "== crash-point smoke test passed"
+
+# ---------------------------------------------------------------------
+# Sharded open-loop bench phase: every daemon hosts 8 shards, the
+# loadgen drives Poisson arrivals over 1000 keys through batched v3
+# frames, and the run is gated against the committed baseline in
+# bench/baselines/BENCH_service.json (ms_per_op and p99 within budget,
+# plus the hard gates the baseline carries: >= 900 ops/s at p99 under
+# 50 ms).  No state files here: this phase measures the service stack
+# itself, not the disk — the durable sharded run is the next phase.
+# ---------------------------------------------------------------------
+echo "== sharded bench phase: 8 shards/server, open loop over 1000 keys"
+for pid in "${PIDS[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+wait 2>/dev/null || true
+rm -rf "$SOCKDIR" "$STATEDIR"
+mkdir -p "$SOCKDIR" "$STATEDIR"
+OPEN_JSON=${OPEN_JSON:-BENCH_service.json}
+
+start_server_sharded() {
+  $SPACEBOUNDS serve "${ALGO_ARGS[@]}" --server "$1" --shards 8 \
+    --sockdir "$SOCKDIR" &
+  PIDS[$1]=$!
+}
+
+for i in $(seq 0 $((N - 1))); do start_server_sharded "$i"; done
+for _ in $(seq 1 100); do
+  up=$(ls "$SOCKDIR" 2>/dev/null | grep -c '\.sock$' || true)
+  [ "$up" -eq "$N" ] && break
+  sleep 0.1
+done
+[ "$(ls "$SOCKDIR" | grep -c '\.sock$')" -eq "$N" ] || {
+  echo "sharded cluster did not come up"; exit 1;
+}
+
+$SPACEBOUNDS loadgen "${ALGO_ARGS[@]}" \
+  --open-loop --rate 1000 --duration-ms 8000 --keys 1000 \
+  --settle-ms 1000 --sockdir "$SOCKDIR" --json "$OPEN_JSON" --check
+grep -q '"ok": true' "$OPEN_JSON" || {
+  echo "sharded bench report not ok"; cat "$OPEN_JSON"; exit 1;
+}
+grep -q '"schema_rejects": 0' "$OPEN_JSON" || {
+  echo "expected no schema rejects in $OPEN_JSON"; cat "$OPEN_JSON"; exit 1;
+}
+echo "== sharded bench phase passed"
+
+# ---------------------------------------------------------------------
+# Sharded chaos phase: the same 8-shard fleet with durable per-shard
+# state, open-loop load over 1000 keys, and f = 2 daemons SIGKILLed
+# mid-run then restarted over their state files.  The run must drain
+# green — every arrival completes, both recoveries are observed, and
+# the Theorem 2 ceiling (per key and fleet-wide) plus the quiescent GC
+# budget hold across the crash-recovery.
+# ---------------------------------------------------------------------
+echo "== sharded chaos phase: kill f=2 daemons mid open-loop run"
+for pid in "${PIDS[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+wait 2>/dev/null || true
+rm -rf "$SOCKDIR" "$STATEDIR"
+mkdir -p "$SOCKDIR" "$STATEDIR"
+SHARD_JSON=${SHARD_JSON:-BENCH_service_sharded.json}
+
+start_server_sharded_durable() {
+  $SPACEBOUNDS serve "${ALGO_ARGS[@]}" --server "$1" --shards 8 \
+    --sockdir "$SOCKDIR" --statedir "$STATEDIR" &
+  PIDS[$1]=$!
+}
+
+for i in $(seq 0 $((N - 1))); do start_server_sharded_durable "$i"; done
+for _ in $(seq 1 100); do
+  up=$(ls "$SOCKDIR" 2>/dev/null | grep -c '\.sock$' || true)
+  [ "$up" -eq "$N" ] && break
+  sleep 0.1
+done
+[ "$(ls "$SOCKDIR" | grep -c '\.sock$')" -eq "$N" ] || {
+  echo "durable sharded cluster did not come up"; exit 1;
+}
+
+$SPACEBOUNDS loadgen "${ALGO_ARGS[@]}" \
+  --open-loop --rate 500 --duration-ms 8000 --keys 1000 \
+  --settle-ms 1000 --sockdir "$SOCKDIR" --json "$SHARD_JSON" &
+LOADGEN=$!
+
+sleep 2
+echo "== SIGKILL sharded servers 3 and 4"
+kill -9 "${PIDS[3]}" "${PIDS[4]}"
+sleep 0.7
+echo "== restarting sharded servers 3 and 4 over $STATEDIR"
+start_server_sharded_durable 3
+start_server_sharded_durable 4
+
+wait "$LOADGEN"
+echo "== sharded chaos loadgen verdict: green"
+grep -q '"recoveries": 2' "$SHARD_JSON" || {
+  echo "expected 2 observed recoveries in $SHARD_JSON:"; cat "$SHARD_JSON"; exit 1;
+}
+grep -q '"ok": true' "$SHARD_JSON" || {
+  echo "sharded chaos report not ok"; cat "$SHARD_JSON"; exit 1;
+}
+echo "== sharded chaos phase passed"
+
+# ---------------------------------------------------------------------
+# Multicore phase: the whole fleet in ONE process, first on a single
+# event-loop domain, then with one domain per core (shard-affine
+# partitioning, no cross-domain locking).  The speedup gate follows
+# the lib/parallel precedent — armed only where there are real cores
+# to win: >= 4 cores must show 1.25x, 2-3 cores 1.05x (the SDK client
+# process competes for the same cores), a single core only records.
+# ---------------------------------------------------------------------
+CORES=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+echo "== multicore phase: single-process fleet, $CORES core(s)"
+for pid in "${PIDS[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+wait 2>/dev/null || true
+rm -rf "$SOCKDIR" "$STATEDIR"
+mkdir -p "$SOCKDIR" "$STATEDIR"
+
+throughput_of() {
+  grep -o '"throughput_ops_s": [0-9.]*' "$1" | awk '{print $2}'
+}
+
+run_domains() {  # $1 = domains, $2 = json
+  rm -f "$SOCKDIR"/*.sock
+  $SPACEBOUNDS serve "${ALGO_ARGS[@]}" --shards 8 --domains "$1" \
+    --sockdir "$SOCKDIR" &
+  CLUSTER=$!
+  for _ in $(seq 1 100); do
+    up=$(ls "$SOCKDIR" 2>/dev/null | grep -c '\.sock$' || true)
+    [ "$up" -eq "$N" ] && break
+    sleep 0.1
+  done
+  $SPACEBOUNDS loadgen "${ALGO_ARGS[@]}" \
+    --open-loop --rate 3000 --duration-ms 6000 --keys 1000 \
+    --rto 20000 --settle-ms 500 --sockdir "$SOCKDIR" --json "$2"
+  kill "$CLUSTER" 2>/dev/null || true
+  wait "$CLUSTER" 2>/dev/null || true
+}
+
+run_domains 1 BENCH_service_domains1.json
+T1=$(throughput_of BENCH_service_domains1.json)
+if [ "$CORES" -ge 2 ]; then
+  run_domains "$CORES" BENCH_service_domainsN.json
+  TN=$(throughput_of BENCH_service_domainsN.json)
+  if [ "$CORES" -ge 4 ]; then REQ=1.25; else REQ=1.05; fi
+  echo "== domains speedup: $TN vs $T1 ops/s (gate ${REQ}x at $CORES cores)"
+  awk -v tn="$TN" -v t1="$T1" -v req="$REQ" \
+    'BEGIN { exit !(tn >= req * t1) }' || {
+    echo "multicore speedup gate failed: $TN < $REQ x $T1"; exit 1;
+  }
+else
+  echo "== domains speedup gate skipped (recorded $T1 ops/s; single core)"
+fi
+echo "== multicore phase passed"
 
 # ---------------------------------------------------------------------
 # Live chaos phase: seeded socket/disk fault campaigns over forked

@@ -456,6 +456,7 @@ let data_frame i =
   SWire.encode_msg
     (SWire.Request
        {
+         rq_key = "";
          rq_client = 1;
          rq_ticket = i;
          rq_op = 1;
@@ -526,7 +527,8 @@ let test_disk_fault_modes () =
       (Printf.sprintf "sb-diskfault-%d.state" (Unix.getpid ()))
   in
   let p =
-    { Sb_service.Wire.p_incarnation = 3; p_state = Sb_storage.Objstate.init () }
+    { Sb_service.Wire.p_incarnation = 3; p_state = Sb_storage.Objstate.init ();
+      p_keyed = [] }
   in
   Fun.protect
     ~finally:(fun () -> try Sys.remove file with Sys_error _ -> ())

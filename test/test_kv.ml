@@ -191,6 +191,176 @@ let test_socket_put_get () =
           Alcotest.failf "socket history not regular: %s"
             (Sb_spec.Regularity.to_string cx))
 
+(* The sharded fleet end to end: one forked daemon process per server,
+   each hosting 4 shards; three concurrent SDK clients put/get/delete
+   disjoint slices of 120 keys over batched v3 frames while a killer
+   process SIGKILLs server n-1 mid-run (the one tolerated crash at
+   f = 1); then a single-client read sweep verifies every key against
+   the last value its writer left, and the quiescent stats of the
+   surviving servers are checked against Theorem 2 — per-key ceiling
+   during the run, exact (keys + shards) x D/k GC floor per server
+   after it. *)
+let test_sharded_socket_kv () =
+  let module R = Sb_sim.Runtime in
+  let module Trace = Sb_sim.Trace in
+  let module Daemon = Sb_service.Daemon in
+  let module Sdk = Sb_service.Sdk in
+  let module Wire = Sb_service.Wire in
+  let value_bytes = 32 in
+  let f, k = (1, 1) in
+  let n = (2 * f) + k in
+  let shards = 4 in
+  let keys = 120 in
+  let c = { Common.n; f; codec = Codec.rs_vandermonde ~value_bytes ~k ~n } in
+  let algorithm = Sb_registers.Adaptive.make c in
+  let sockdir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "sb-kv-shard-%d" (Unix.getpid ()))
+  in
+  (try Unix.mkdir sockdir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let start_server i =
+    let pid = Unix.fork () in
+    if pid = 0 then begin
+      (try
+         Daemon.run ~shards ~sockdir ~servers:[ i ]
+           ~init_obj:algorithm.R.init_obj ()
+       with _ -> ());
+      Unix._exit 0
+    end
+    else pid
+  in
+  let pids = Array.init n start_server in
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun pid ->
+          (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+          try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+        pids)
+    (fun () ->
+      let deadline = Unix.gettimeofday () +. 10.0 in
+      let rec wait_up () =
+        if
+          List.for_all
+            (fun i -> Sys.file_exists (Daemon.sockpath ~sockdir i))
+            (List.init n Fun.id)
+        then ()
+        else if Unix.gettimeofday () > deadline then
+          failwith "sharded cluster did not come up"
+        else begin
+          Unix.sleepf 0.02;
+          wait_up ()
+        end
+      in
+      wait_up ();
+      let key i = Sdk.key_name i in
+      let value i = Sb_experiments.Workloads.distinct_value ~value_bytes i in
+      let tombstone = Bytes.make value_bytes '\000' in
+      (* Client j owns keys with i mod 3 = j: writes each, reads each
+         back, then deletes (tombstone-writes) every third of its own. *)
+      let clients = 3 in
+      let slice j = List.filter (fun i -> i mod clients = j)
+          (List.init keys Fun.id) in
+      let expected = Array.init keys value in
+      let workload =
+        Array.init clients (fun j ->
+            let mine = slice j in
+            List.map (fun i -> (key i, Trace.Write (value i))) mine
+            @ List.map (fun i -> (key i, Trace.Read)) mine
+            @ List.filter_map
+                (fun i ->
+                  if i mod 3 = 0 then begin
+                    expected.(i) <- tombstone;
+                    Some (key i, Trace.Write tombstone)
+                  end
+                  else None)
+                mine)
+      in
+      let cfg_sdk =
+        {
+          (Sdk.default_config ~n ~f ~sockdir) with
+          Sdk.batch_max = 8;
+          flush_ms = 1;
+          think_ms = 2;
+        }
+      in
+      (* The killer lands while the clients are mid-workload: the
+         crash is a real SIGKILL of a separate daemon process. *)
+      let killer = Unix.fork () in
+      if killer = 0 then begin
+        Unix.sleepf 0.25;
+        (try Unix.kill pids.(n - 1) Sys.sigkill with Unix.Unix_error _ -> ());
+        Unix._exit 0
+      end;
+      let r = Sdk.run_keyed ~algorithm ~seed:13 ~workload cfg_sdk in
+      (try ignore (Unix.waitpid [] killer) with Unix.Unix_error _ -> ());
+      Alcotest.(check bool) "phase A did not time out" false r.Sdk.timed_out;
+      Alcotest.(check int) "phase A all ops completed" r.Sdk.ops_invoked
+        r.Sdk.ops_completed;
+      (* Read sweep from one fresh client: invocation order is workload
+         order, so the i-th read's result is key i's final value. *)
+      let sweep =
+        Sdk.run_keyed ~algorithm ~seed:17
+          ~workload:[| List.init keys (fun i -> (key i, Trace.Read)) |]
+          { cfg_sdk with Sdk.think_ms = 0 }
+      in
+      Alcotest.(check int) "sweep all ops completed" keys
+        sweep.Sdk.ops_completed;
+      let got =
+        List.filter_map
+          (fun (_, kind, _, ret, res) ->
+            match (kind, ret) with
+            | Trace.Read, Some _ -> Some res
+            | _ -> None)
+          (Trace.operations sweep.Sdk.trace)
+      in
+      Alcotest.(check (list (option bytes)))
+        "every key reads back its writer's last value"
+        (Array.to_list (Array.map Option.some expected))
+        got;
+      (* Theorem 2 against the survivors' quiescent stats. *)
+      let live = List.init (n - 1) Fun.id in
+      let stats = Sdk.fetch_stats ~sockdir ~servers:live () in
+      Alcotest.(check int) "both surviving servers answered stats"
+        (n - 1) (List.length stats);
+      let d_bits = 8 * value_bytes in
+      let m = (2 * f) + k in
+      (* One client per key: concurrency c = 1, so the per-key ceiling
+         is min((c+1)m, m^2) D/k.  Summing each survivor's largest
+         per-key high-water mark over-approximates any one key's
+         fleet-wide peak. *)
+      let ceiling_bits = min ((1 + 1) * m) (m * m) * d_bits / k in
+      let per_key_peak =
+        List.fold_left
+          (fun acc (st : Wire.stats) ->
+            Alcotest.(check int)
+              "per-shard stats cover every shard" shards
+              (List.length st.Wire.st_shards);
+            acc
+            + List.fold_left
+                (fun a (ss : Wire.shard_stat) -> max a ss.Wire.ss_max_key_bits)
+                0 st.Wire.st_shards)
+          0 stats
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "per-key peak %d within Theorem 2 ceiling %d"
+           per_key_peak ceiling_bits)
+        true
+        (per_key_peak <= ceiling_bits);
+      (* Exact GC floor: the survivors were in every quorum, so each
+         holds exactly one D/k-bit block per live object — the 120 keys
+         plus each shard's legacy "" register.  Tombstoned keys still
+         cost the floor: a register cannot store less and stay live. *)
+      let floor_per_server = (keys + shards) * d_bits / k in
+      List.iter
+        (fun (st : Wire.stats) ->
+          Alcotest.(check int)
+            (Printf.sprintf "server %d quiescent storage at the exact floor"
+               st.Wire.st_server)
+            floor_per_server st.Wire.st_storage_bits)
+        stats)
+
 let test_consistency_check () =
   let s = Store.create ~cfg:(cfg ()) () in
   List.iter (fun i -> Store.put s ~key:"k" (b (string_of_int i))) [ 1; 2; 3 ];
@@ -320,6 +490,7 @@ let () =
           Alcotest.test_case "crash tolerance" `Quick test_crash_tolerance;
           Alcotest.test_case "delete under crashes" `Quick test_delete_under_crashes;
           Alcotest.test_case "socket put/get" `Quick test_socket_put_get;
+          Alcotest.test_case "sharded socket kv" `Quick test_sharded_socket_kv;
           Alcotest.test_case "consistency check" `Quick test_consistency_check;
           Alcotest.test_case "atomic backend" `Quick test_atomic_store;
           Alcotest.test_case "safe backend" `Quick test_safe_store;

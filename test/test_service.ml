@@ -87,6 +87,44 @@ let gen_peer_schema =
     Gen.(1 -- 5)
     Gen.(string_size (return 16))
 
+(* Keys skew towards "" (the pre-sharding register) and the loadgen's
+   dense k-names, with a tail of arbitrary bytes. *)
+let gen_key =
+  Gen.oneof
+    [
+      Gen.return "";
+      Gen.map (Printf.sprintf "k%05d") Gen.(int_bound 999);
+      Gen.(string_size (1 -- 8));
+    ]
+
+let gen_request =
+  Gen.map3
+    (fun (rq_client, rq_ticket, rq_op) (rq_nature, rq_key) (rq_payload, rq_desc) ->
+      { Wire.rq_key; rq_client; rq_ticket; rq_op; rq_nature; rq_payload;
+        rq_desc })
+    (Gen.triple Gen.(int_bound 100) Gen.(int_bound 100_000) Gen.(int_bound 10_000))
+    (Gen.pair gen_nature gen_key)
+    (Gen.pair Gen.(list_size (int_bound 3) gen_block) gen_desc)
+
+let gen_response =
+  Gen.map3
+    (fun (rs_ticket, rs_op, rs_server) (rs_incarnation, rs_dedup, rs_key) rs_resp ->
+      { Wire.rs_key; rs_ticket; rs_op; rs_server; rs_incarnation; rs_dedup;
+        rs_resp })
+    (Gen.triple Gen.(int_bound 100_000) Gen.(int_bound 10_000) Gen.(int_bound 20))
+    (Gen.triple Gen.(1 -- 50) Gen.bool gen_key)
+    gen_resp
+
+let gen_shard_stat =
+  Gen.map3
+    (fun (ss_shard, ss_incarnation) (ss_keys, ss_storage_bits)
+         (ss_max_bits, ss_max_key_bits) ->
+      { Wire.ss_shard; ss_incarnation; ss_keys; ss_storage_bits; ss_max_bits;
+        ss_max_key_bits })
+    (Gen.pair Gen.(int_bound 16) Gen.(1 -- 50))
+    (Gen.pair Gen.(int_bound 1000) Gen.(int_bound 1_000_000))
+    (Gen.pair Gen.(int_bound 1_000_000) Gen.(int_bound 1_000_000))
+
 let gen_msg =
   Gen.oneof
     [
@@ -104,28 +142,25 @@ let gen_msg =
         (fun rj_code rj_detail -> Wire.Reject { rj_code; rj_detail })
         (Gen.oneofl [ Wire.Unsupported_version; Wire.Incompatible_schema ])
         Gen.(string_size (int_bound 40));
-      Gen.map3
-        (fun (rq_client, rq_ticket, rq_op) rq_nature (rq_payload, rq_desc) ->
-          Wire.Request { rq_client; rq_ticket; rq_op; rq_nature; rq_payload; rq_desc })
-        (Gen.triple Gen.(int_bound 100) Gen.(int_bound 100_000) Gen.(int_bound 10_000))
-        gen_nature
-        (Gen.pair Gen.(list_size (int_bound 3) gen_block) gen_desc);
-      Gen.map3
-        (fun (rs_ticket, rs_op, rs_server) (rs_incarnation, rs_dedup) rs_resp ->
-          Wire.Response { rs_ticket; rs_op; rs_server; rs_incarnation; rs_dedup; rs_resp })
-        (Gen.triple Gen.(int_bound 100_000) Gen.(int_bound 10_000) Gen.(int_bound 20))
-        (Gen.pair Gen.(1 -- 50) Gen.bool)
-        gen_resp;
+      Gen.map (fun rq -> Wire.Request rq) gen_request;
+      Gen.map (fun rs -> Wire.Response rs) gen_response;
+      Gen.map (fun rqs -> Wire.Req_batch rqs)
+        Gen.(list_size (int_bound 5) gen_request);
+      Gen.map (fun rss -> Wire.Resp_batch rss)
+        Gen.(list_size (int_bound 5) gen_response);
       Gen.return Wire.Stats_query;
       Gen.map3
         (fun (st_server, st_incarnation) (st_storage_bits, st_max_bits)
-             (st_dedup_hits, st_applied) ->
+             ((st_dedup_hits, st_applied), (st_keys, st_shards)) ->
           Wire.Stats
             { st_server; st_incarnation; st_storage_bits; st_max_bits;
-              st_dedup_hits; st_applied })
+              st_dedup_hits; st_applied; st_keys; st_shards })
         (Gen.pair Gen.(int_bound 20) Gen.(1 -- 50))
         (Gen.pair Gen.(int_bound 1_000_000) Gen.(int_bound 1_000_000))
-        (Gen.pair Gen.(int_bound 1000) Gen.(int_bound 100_000));
+        (Gen.pair
+           (Gen.pair Gen.(int_bound 1000) Gen.(int_bound 100_000))
+           (Gen.pair Gen.(int_bound 5000)
+              Gen.(list_size (int_bound 4) gen_shard_stat)));
     ]
 
 (* ------------------------------------------------------------------ *)
@@ -172,12 +207,25 @@ let test_reader_chunking =
          List.length !got = List.length msgs
          && List.for_all2 Wire.equal_msg msgs (List.rev !got)))
 
+(* Whether [encode_msg ~version:v] accepts the message at all:
+   [Reject] is v2+; batch containers and keyed request/response
+   traffic are v3+ (the writer raises rather than silently dropping a
+   key). *)
+let encodable_at ~v = function
+  | Wire.Reject _ -> v >= 2
+  | Wire.Req_batch _ | Wire.Resp_batch _ -> v >= 3
+  | Wire.Request { rq_key; _ } -> v >= 3 || rq_key = ""
+  | Wire.Response { rs_key; _ } -> v >= 3 || rs_key = ""
+  | _ -> true
+
 (* What a v1 frame can carry: the handshake schema fields are dropped
-   (a v1 peer could not read them) and [Reject] does not exist. *)
+   (a v1 peer could not read them), as is the v3 per-shard stats
+   aggregation tail. *)
 let project_v1 = function
   | Wire.Hello { client; _ } -> Wire.Hello { client; schema = None }
   | Wire.Welcome { server; incarnation; _ } ->
     Wire.Welcome { server; incarnation; schema = None }
+  | Wire.Stats st -> Wire.Stats { st with st_keys = 0; st_shards = [] }
   | m -> m
 
 let test_roundtrip_v1 =
@@ -185,14 +233,13 @@ let test_roundtrip_v1 =
     (QCheck2.Test.make ~count:300
        ~name:"v1 encoding round-trips to the v1 projection" gen_msg
        (fun msg ->
-         match msg with
-         | Wire.Reject _ -> true  (* v2-only; encoding at v1 raises *)
-         | _ -> (
+         if not (encodable_at ~v:1 msg) then true
+         else
            match
              Wire.decode_msg (body_of_frame (Wire.encode_msg ~version:1 msg))
            with
            | Ok msg' -> Wire.equal_msg (project_v1 msg) msg'
-           | Error e -> QCheck2.Test.fail_reportf "v1 decode failed: %s" e)))
+           | Error e -> QCheck2.Test.fail_reportf "v1 decode failed: %s" e))
 
 (* The partial-delivery fuzz: arbitrary chunkings of a valid stream
    with an optional adversarial twist (truncated tail or one corrupted
@@ -264,7 +311,7 @@ let test_desc_semantic_roundtrip =
            Wire.encode_msg
              (Wire.Request
                 {
-                  rq_client = 1; rq_ticket = 1; rq_op = 1;
+                  rq_key = ""; rq_client = 1; rq_ticket = 1; rq_op = 1;
                   rq_nature = D.default_nature desc;
                   rq_payload = []; rq_desc = desc;
                 })
@@ -272,6 +319,31 @@ let test_desc_semantic_roundtrip =
          match Wire.decode_msg (body_of_frame frame) with
          | Ok (Wire.Request { rq_desc; _ }) ->
            D.equal desc rq_desc && D.apply desc st = D.apply rq_desc st
+         | Ok _ -> false
+         | Error e -> QCheck2.Test.fail_reportf "decode failed: %s" e))
+
+(* The batch container preserves each keyed description exactly, in
+   list order: applying every decoded desc to a state must equal
+   applying the originals — the property the daemon's apply-in-order
+   batch loop rests on. *)
+let test_batch_apply_equivalence =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:200
+       ~name:"a decoded batch applies identically, per keyed desc, in order"
+       Gen.(pair (list_size (1 -- 6) gen_request) gen_objstate)
+       (fun (reqs, st) ->
+         let frame = Wire.encode_msg (Wire.Req_batch reqs) in
+         match Wire.decode_msg (body_of_frame frame) with
+         | Ok (Wire.Req_batch reqs') ->
+           List.length reqs = List.length reqs'
+           && List.for_all2
+                (fun a b ->
+                  String.equal a.Wire.rq_key b.Wire.rq_key
+                  && a.Wire.rq_ticket = b.Wire.rq_ticket
+                  && a.Wire.rq_client = b.Wire.rq_client
+                  && D.equal a.Wire.rq_desc b.Wire.rq_desc
+                  && D.apply a.Wire.rq_desc st = D.apply b.Wire.rq_desc st)
+                reqs reqs'
          | Ok _ -> false
          | Error e -> QCheck2.Test.fail_reportf "decode failed: %s" e))
 
@@ -303,12 +375,19 @@ let test_persisted_roundtrip () =
       ~vf:[ Chunk.v ~ts:(Timestamp.make ~num:2 ~client:0) (Block.v ~source:2 ~index:0 (Bytes.of_string "ab")) ]
       ()
   in
-  let p = { Wire.p_incarnation = 7; p_state = st } in
-  match Wire.decode_persisted (body_of_frame (Wire.encode_persisted p)) with
+  let p = { Wire.p_incarnation = 7; p_state = st; p_keyed = [] } in
+  (match Wire.decode_persisted (body_of_frame (Wire.encode_persisted p)) with
+   | Ok p' ->
+     Alcotest.(check int) "incarnation" 7 p'.Wire.p_incarnation;
+     Alcotest.(check bool) "state" true (p'.Wire.p_state = st)
+   | Error e -> Alcotest.failf "decode_persisted: %s" e);
+  (* A sharded state file carries its keyed registers too. *)
+  let keyed = [ ("k00001", st); ("k00007", Objstate.init ()) ] in
+  let pk = { Wire.p_incarnation = 3; p_state = st; p_keyed = keyed } in
+  match Wire.decode_persisted (body_of_frame (Wire.encode_persisted pk)) with
   | Ok p' ->
-    Alcotest.(check int) "incarnation" 7 p'.Wire.p_incarnation;
-    Alcotest.(check bool) "state" true (p'.Wire.p_state = st)
-  | Error e -> Alcotest.failf "decode_persisted: %s" e
+    Alcotest.(check bool) "keyed entries survive" true (p'.Wire.p_keyed = keyed)
+  | Error e -> Alcotest.failf "decode_persisted keyed: %s" e
 
 (* ------------------------------------------------------------------ *)
 (* Server core                                                         *)
@@ -552,7 +631,8 @@ let test_wire_dedup_replay () =
           let req =
             Wire.Request
               {
-                rq_client = 9; rq_ticket = 77; rq_op = 1; rq_nature = `Merge;
+                rq_key = ""; rq_client = 9; rq_ticket = 77; rq_op = 1;
+                rq_nature = `Merge;
                 rq_payload = [];
                 rq_desc = D.Abd_store (chunk ~num:1 ~client:9 "dup");
               }
@@ -666,7 +746,7 @@ let test_load_state_fuzz =
              (try Sys.remove file with Sys_error _ -> ());
              try Unix.rmdir dir with Unix.Unix_error _ -> ())
            (fun () ->
-             let p = { Wire.p_incarnation = inc; p_state = st } in
+             let p = { Wire.p_incarnation = inc; p_state = st; p_keyed = [] } in
              Daemon.save_state ~version:Wire.version file p;
              (match Daemon.load_state ~max_version:Wire.version file with
               | Daemon.Loaded p' when p' = p -> ()
@@ -886,6 +966,7 @@ let () =
           test_reader_chunking;
           test_reader_adversarial;
           test_desc_semantic_roundtrip;
+          test_batch_apply_equivalence;
           Alcotest.test_case "malformed frames rejected" `Quick test_malformed;
           Alcotest.test_case "persisted state round-trips" `Quick
             test_persisted_roundtrip;
