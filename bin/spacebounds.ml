@@ -1,7 +1,7 @@
 (* spacebounds: command-line driver for the reproduction.
 
    Subcommands:
-   - experiments     run the per-claim experiment tables (E1-E17)
+   - experiments     run the per-claim experiment tables (E1-E18)
    - quorums         check the quorum structure behind "await n - f"
    - replay          re-check a saved trace against the consistency levels
    - lower-bound     drive one algorithm with the adversary Ad
@@ -37,6 +37,10 @@ type algo_kind =
   | Safe
   | Versioned of int
   | Rateless
+  | Rw_regular
+  | Rw_fcopy
+  | Rw_safe
+  | Byz_reg of int
 
 let algo_conv =
   let parse s =
@@ -50,12 +54,20 @@ let algo_conv =
     | "premature-gc" -> Ok Premature_gc
     | "safe" -> Ok Safe
     | "rateless" -> Ok Rateless
+    | "rw-regular" -> Ok Rw_regular
+    | "rw-fcopy" -> Ok Rw_fcopy
+    | "rw-safe" -> Ok Rw_safe
+    | "byz-regular" -> Ok (Byz_reg 1)
     | _ -> (
       match String.split_on_char ':' s with
       | [ "versioned"; d ] -> (
         match int_of_string_opt d with
         | Some d when d >= 0 -> Ok (Versioned d)
         | _ -> Error (`Msg "versioned:<delta> needs a non-negative integer"))
+      | [ "byz-regular"; b ] -> (
+        match int_of_string_opt b with
+        | Some b when b >= 0 -> Ok (Byz_reg b)
+        | _ -> Error (`Msg "byz-regular:<b> needs a non-negative integer"))
       | _ -> Error (`Msg (Printf.sprintf "unknown algorithm %S" s)))
   in
   let print ppf = function
@@ -69,6 +81,10 @@ let algo_conv =
     | Safe -> Format.fprintf ppf "safe"
     | Versioned d -> Format.fprintf ppf "versioned:%d" d
     | Rateless -> Format.fprintf ppf "rateless"
+    | Rw_regular -> Format.fprintf ppf "rw-regular"
+    | Rw_fcopy -> Format.fprintf ppf "rw-fcopy"
+    | Rw_safe -> Format.fprintf ppf "rw-safe"
+    | Byz_reg b -> Format.fprintf ppf "byz-regular:%d" b
   in
   Arg.conv (parse, print)
 
@@ -78,8 +94,10 @@ let algo_arg =
     & opt algo_conv Adaptive
     & info [ "a"; "algorithm" ] ~docv:"ALGO"
         ~doc:"Register emulation: adaptive, pure-ec, abd (replication), \
-              abd-atomic, safe, versioned:<delta>, rateless; seeded bugs: \
-              abd-broken, abd-misdeclared, premature-gc.")
+              abd-atomic, safe, versioned:<delta>, rateless; base-object \
+              emulations: rw-regular, rw-safe (read/write objects), \
+              byz-regular:<b> (Byzantine objects); seeded bugs: abd-broken, \
+              abd-misdeclared, premature-gc, rw-fcopy.")
 
 let value_bytes_arg =
   Arg.(
@@ -96,7 +114,7 @@ let k_arg =
 let seed_arg =
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Scheduler seed.")
 
-let build ~algo ~value_bytes ~f ~k =
+let build ?(rw_writers = 1) ~algo ~value_bytes ~f ~k () =
   match algo with
   | Abd | Abd_atomic | Abd_broken | Abd_misdeclared ->
     let n = (2 * f) + 1 in
@@ -112,6 +130,27 @@ let build ~algo ~value_bytes ~f ~k =
       | _ -> Sb_registers.Abd.make_broken ~quorum_slack:1
     in
     (make cfg, cfg)
+  | Rw_regular | Rw_fcopy ->
+    (* Full replication over read/write base objects: each of the
+       [rw_writers] writers owns a group of 2f+1 cells. *)
+    let n = rw_writers * ((2 * f) + 1) in
+    let cfg =
+      { Sb_registers.Common.n; f;
+        codec = Sb_codec.Codec.replication ~value_bytes ~n }
+    in
+    let make =
+      match algo with
+      | Rw_regular -> Sb_registers.Rw_replica.make ~writers:rw_writers
+      | _ -> Sb_registers.Rw_replica.make_fcopy ~writers:rw_writers
+    in
+    (make cfg, cfg)
+  | Byz_reg b ->
+    let n = (2 * f) + (2 * b) + 1 in
+    let cfg =
+      { Sb_registers.Common.n; f;
+        codec = Sb_codec.Codec.replication ~value_bytes ~n }
+    in
+    (Sb_registers.Byz_regular.make ~budget:b cfg, cfg)
   | _ ->
     let n = (2 * f) + k in
     let codec =
@@ -124,12 +163,22 @@ let build ~algo ~value_bytes ~f ~k =
       | Adaptive -> Sb_registers.Adaptive.make
       | Pure_ec -> Sb_registers.Adaptive.make_unbounded
       | Safe -> Sb_registers.Safe_register.make
+      | Rw_safe -> Sb_registers.Rw_replica.make_safe
       | Premature_gc -> Sb_registers.Adaptive.make_premature_gc
       | Versioned delta -> Sb_registers.Adaptive.make_versioned ~delta
       | Rateless -> fun cfg -> Sb_registers.Rateless.make ~codec_seed:7 cfg
-      | Abd | Abd_atomic | Abd_broken | Abd_misdeclared -> assert false
+      | Abd | Abd_atomic | Abd_broken | Abd_misdeclared | Rw_regular
+      | Rw_fcopy | Byz_reg _ -> assert false
     in
     (make cfg, cfg)
+
+(* The base-object model each emulation is written against; the
+   --base-model flag can override it (e.g. to run ABD over rw objects
+   and watch the sanitizers object). *)
+let default_base_model = function
+  | Rw_regular | Rw_fcopy | Rw_safe -> Sb_baseobj.Model.Read_write
+  | Byz_reg b -> Sb_baseobj.Model.Byzantine { budget = b }
+  | _ -> Sb_baseobj.Model.Rmw
 
 (* ------------------------------------------------------------------ *)
 (* Sanitizers (Sb_sanitize)                                            *)
@@ -138,20 +187,41 @@ let build ~algo ~value_bytes ~f ~k =
 (* The code dimension the monitors should reason with: the replication
    family always runs with k = 1 regardless of the --k flag. *)
 let code_k ~algo ~k =
-  match algo with Abd | Abd_atomic | Abd_broken | Abd_misdeclared -> 1 | _ -> k
+  match algo with
+  | Abd | Abd_atomic | Abd_broken | Abd_misdeclared | Rw_regular | Rw_fcopy
+  | Byz_reg _ -> 1
+  | _ -> k
+
+(* Storage floor asserted by the Storage_floor sanitizer rule: full-copy
+   rw emulations must keep (f+1) live D-bit copies per writer group at
+   all times; Byzantine masking emulations keep f+1 honest copies. *)
+let storage_floor ?(rw_writers = 1) ~algo ~value_bytes ~f () =
+  let d_bits = 8 * value_bytes in
+  match algo with
+  (* The floor a correct rw emulation must keep; rw-fcopy (the seeded
+     bug) gets the same floor and is expected to trip it. *)
+  | Rw_regular | Rw_fcopy -> Some (rw_writers * (f + 1), d_bits)
+  | Byz_reg _ -> Some (f + 1, d_bits)
+  | _ -> None
 
 (* The availability (premature-GC) monitor is sound only for algorithms
    that promise a decodable readable frontier at all times; the safe and
    bounded-version registers transiently violate it by design. *)
-let sanitize_cfg ~algo ~k =
+let sanitize_cfg ?byz ?rw_writers ?(value_bytes = 0) ~algo ~f ~k () =
   let reg_avail =
     match algo with
     (* premature-gc is the seeded availability bug: the monitor that
        catches it must of course be armed. *)
-    | Adaptive | Pure_ec | Abd | Abd_atomic | Premature_gc -> true
-    | Abd_broken | Abd_misdeclared | Safe | Versioned _ | Rateless -> false
+    | Adaptive | Pure_ec | Abd | Abd_atomic | Premature_gc | Rw_regular
+    | Byz_reg _ -> true
+    | Abd_broken | Abd_misdeclared | Safe | Versioned _ | Rateless | Rw_fcopy
+    | Rw_safe -> false
   in
-  Sb_sanitize.Monitor.config ~reg_avail ~k:(code_k ~algo ~k) ()
+  let floor =
+    if value_bytes = 0 then None
+    else storage_floor ?rw_writers ~algo ~value_bytes ~f ()
+  in
+  Sb_sanitize.Monitor.config ~reg_avail ?floor ?byz ~k:(code_k ~algo ~k) ()
 
 let sanitize_arg =
   Arg.(
@@ -161,6 +231,72 @@ let sanitize_arg =
               storage accounting, quorum discipline, oracle symmetry, \
               premature-GC, crash discipline) to every execution; any \
               violation aborts with a shrunk replayable schedule.")
+
+(* ------------------------------------------------------------------ *)
+(* Base-object model flags                                             *)
+(* ------------------------------------------------------------------ *)
+
+let base_model_conv =
+  let parse s =
+    match Sb_baseobj.Model.of_string s with
+    | Ok m -> Ok m
+    | Error e -> Error (`Msg e)
+  in
+  Arg.conv (parse, Sb_baseobj.Model.pp)
+
+let base_model_arg =
+  Arg.(
+    value
+    & opt (some base_model_conv) None
+    & info [ "base-model" ] ~docv:"MODEL"
+        ~doc:"Base-object model: rmw (arbitrary atomic read-modify-write), \
+              rw (read + blind overwrite only), byz:<b> (RMW objects, up to \
+              b of which lie).  Defaults to the model the chosen emulation \
+              is written against.")
+
+let byz_behaviour_conv =
+  let parse s =
+    match Sb_adversary.Byz.behaviour_of_string s with
+    | Ok b -> Ok b
+    | Error e -> Error (`Msg e)
+  in
+  let print ppf b =
+    Format.fprintf ppf "%s" (Sb_adversary.Byz.behaviour_to_string b)
+  in
+  Arg.conv (parse, print)
+
+let byz_behaviour_arg =
+  Arg.(
+    value
+    & opt byz_behaviour_conv Sb_adversary.Byz.Stale_echo
+    & info [ "byz-behaviour" ] ~docv:"B"
+        ~doc:"Lying policy for compromised base objects: stale-echo, \
+              split-brain, or poison.  Only meaningful under a byz:<b> \
+              base model.")
+
+(* Resolve the effective model and per-run Byzantine policy for a CLI
+   invocation, applying the policy-level budget gate (budget <= f). *)
+let resolve_model ?override ~algo ~f () =
+  let model =
+    match override with Some m -> m | None -> default_base_model algo
+  in
+  Sb_baseobj.Model.validate ~f model;
+  model
+
+let byz_policy_of ~seed ~n ~model behaviour =
+  match (model : Sb_baseobj.Model.t) with
+  | Byzantine { budget } when budget > 0 ->
+    Some (Sb_adversary.Byz.policy ~seed ~n ~budget behaviour)
+  | _ -> None
+
+(* Typed base-object model errors become exit-code-2 usage errors
+   instead of backtraces. *)
+let with_model_errors body =
+  try body () with
+  | Sb_baseobj.Model.Error e ->
+    Printf.eprintf "base-object model error: %s\n"
+      (Sb_baseobj.Model.error_to_string e);
+    exit 2
 
 let report_sanitizer_violation (r : Sb_sanitize.Monitor.report) =
   let module E = Sb_modelcheck.Explore in
@@ -180,7 +316,7 @@ let experiments_cmd =
     Arg.(
       value
       & opt (some string) None
-      & info [ "e"; "only" ] ~docv:"ID" ~doc:"Run a single experiment (E1..E17).")
+      & info [ "e"; "only" ] ~docv:"ID" ~doc:"Run a single experiment (E1..E18).")
   in
   let csv_dir =
     Arg.(
@@ -239,7 +375,7 @@ let experiments_cmd =
     end
   in
   Cmd.v
-    (Cmd.info "experiments" ~doc:"Run the per-claim experiments (E1-E17).")
+    (Cmd.info "experiments" ~doc:"Run the per-claim experiments (E1-E18).")
     Term.(const run $ only $ csv_dir $ markdown)
 
 (* ------------------------------------------------------------------ *)
@@ -257,7 +393,7 @@ let lower_bound_cmd =
       & info [ "ell" ] ~docv:"BITS" ~doc:"Adversary threshold (default D/2).")
   in
   let run algo value_bytes f k c ell =
-    let algorithm, cfg = build ~algo ~value_bytes ~f ~k in
+    let algorithm, cfg = build ~algo ~value_bytes ~f ~k () in
     let r = Sb_adversary.Lower_bound.run ?ell_bits:ell ~algorithm ~cfg ~c () in
     let d = 8 * value_bytes in
     Printf.printf "algorithm        : %s\n" algorithm.Sb_sim.Runtime.name;
@@ -307,18 +443,35 @@ let simulate_cmd =
                 replay command).")
   in
   let run algo value_bytes f k seed writers writes_each readers reads_each show_trace
-      save sanitize =
-    let algorithm, cfg = build ~algo ~value_bytes ~f ~k in
+      save sanitize base_model byz_behaviour =
+   with_model_errors @@ fun () ->
+    (match algo with
+     | (Rw_safe | Byz_reg _) when writers > 1 ->
+       Printf.eprintf
+         "%s is a single-writer emulation; rerun with --writers 1\n"
+         (Format.asprintf "%a" (Arg.conv_printer algo_conv) algo);
+       exit 2
+     | _ -> ());
+    let rw_writers = writers in
+    let algorithm, cfg = build ~rw_writers ~algo ~value_bytes ~f ~k () in
+    let model = resolve_model ?override:base_model ~algo ~f () in
+    let byz = byz_policy_of ~seed ~n:cfg.n ~model byz_behaviour in
+    Option.iter (Sb_baseobj.Model.check_policy model ~n:cfg.n) byz;
     let workload =
       Sb_experiments.Workloads.writers_and_readers ~value_bytes ~writers
         ~writes_each ~readers ~reads_each
     in
     if sanitize then begin
       let mk_world () =
-        Sb_sim.Runtime.create ~seed ~algorithm ~n:cfg.n ~f:cfg.f ~workload ()
+        Sb_sim.Runtime.create ~seed ~base_model:model ?byz ~algorithm ~n:cfg.n
+          ~f:cfg.f ~workload ()
       in
       match
-        Sb_sanitize.Monitor.run (sanitize_cfg ~algo ~k) ~mk_world
+        Sb_sanitize.Monitor.run
+          (sanitize_cfg
+             ?byz:(Option.map (fun p -> p.Sb_baseobj.Model.bp_compromised) byz)
+             ~rw_writers ~value_bytes ~algo ~f ~k ())
+          ~mk_world
           (Sb_sim.Runtime.random_policy ~seed ())
       with
       | Ok (_, m) ->
@@ -329,7 +482,8 @@ let simulate_cmd =
         exit 1
     end;
     let m =
-      Sb_experiments.Runs.measure ~seed ~algorithm ~cfg ~workload ()
+      Sb_experiments.Runs.measure ~seed ~base_model:model ?byz ~algorithm ~cfg
+        ~workload ()
     in
     if show_trace then
       Format.printf "%a@." Sb_spec.History.pp m.history;
@@ -339,7 +493,8 @@ let simulate_cmd =
        (* Re-run deterministically to recover the raw trace (measure
           consumes the world). *)
        let w =
-         Sb_sim.Runtime.create ~seed ~algorithm ~n:cfg.n ~f:cfg.f ~workload ()
+         Sb_sim.Runtime.create ~seed ~base_model:model ?byz ~algorithm ~n:cfg.n
+           ~f:cfg.f ~workload ()
        in
        ignore (Sb_sim.Runtime.run w (Sb_sim.Runtime.random_policy ~seed ()));
        let oc = open_out file in
@@ -365,7 +520,8 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Run a workload under a fair random schedule.")
     Term.(
       const run $ algo_arg $ value_bytes_arg $ f_arg $ k_arg $ seed_arg $ writers
-      $ writes_each $ readers $ reads_each $ show_trace $ save $ sanitize_arg)
+      $ writes_each $ readers $ reads_each $ show_trace $ save $ sanitize_arg
+      $ base_model_arg $ byz_behaviour_arg)
 
 (* ------------------------------------------------------------------ *)
 (* replay                                                              *)
@@ -569,10 +725,14 @@ let explore_cmd =
     | `Safe -> ("safeness", Sb_spec.Regularity.check_safe)
     | `Atomic -> ("atomicity", fun h -> Sb_spec.Regularity.check_atomic h)
   in
-  let mk_config ?(paranoid_key = false) ~algo ~value_bytes ~f ~k ~seed ~writers
-      ~writes_each ~readers ~reads_each ~crashes ~client_crashes ~bound ~dpor
-      ~cache ~lint ~max_schedules ~check () =
-    let algorithm, cfg = build ~algo ~value_bytes ~f ~k in
+  let mk_config ?(paranoid_key = false) ?base_model
+      ?(byz_behaviour = Sb_adversary.Byz.Stale_echo) ~algo ~value_bytes ~f ~k
+      ~seed ~writers ~writes_each ~readers ~reads_each ~crashes ~client_crashes
+      ~bound ~dpor ~cache ~lint ~max_schedules ~check () =
+    let algorithm, cfg = build ~rw_writers:writers ~algo ~value_bytes ~f ~k () in
+    let model = resolve_model ?override:base_model ~algo ~f () in
+    let byz = byz_policy_of ~seed ~n:cfg.n ~model byz_behaviour in
+    Option.iter (Sb_baseobj.Model.check_policy model ~n:cfg.n) byz;
     let workload =
       Sb_experiments.Workloads.writers_and_readers ~value_bytes ~writers
         ~writes_each ~readers ~reads_each
@@ -581,7 +741,7 @@ let explore_cmd =
     ( algorithm,
       cfg,
       E.config ~seed ~dpor ~cache ~paranoid_key ~bound ~crash_objs:crashes
-        ~crash_clients:client_crashes
+        ~crash_clients:client_crashes ~base_model:model ?byz
         ~max_schedules ~lint ~algorithm ~n:cfg.n ~f:cfg.f ~workload
         ~initial:(Bytes.make value_bytes '\000') ~check:check_fn () )
   in
@@ -616,9 +776,12 @@ let explore_cmd =
       close_out oc;
       Printf.printf "shrunk decision trace saved to %s\n" file
   in
-  let run_replay ~algo ~value_bytes ~f ~k ~seed ~writers ~writes_each ~readers
+  let run_replay ?base_model ?(byz_behaviour = Sb_adversary.Byz.Stale_echo)
+      ~algo ~value_bytes ~f ~k ~seed ~writers ~writes_each ~readers
       ~reads_each ~check file =
-    let algorithm, cfg = build ~algo ~value_bytes ~f ~k in
+    let algorithm, cfg = build ~rw_writers:writers ~algo ~value_bytes ~f ~k () in
+    let model = resolve_model ?override:base_model ~algo ~f () in
+    let byz = byz_policy_of ~seed ~n:cfg.n ~model byz_behaviour in
     let workload =
       Sb_experiments.Workloads.writers_and_readers ~value_bytes ~writers
         ~writes_each ~readers ~reads_each
@@ -639,7 +802,8 @@ let explore_cmd =
         lines
     in
     let w =
-      Sb_sim.Runtime.create ~seed ~algorithm ~n:cfg.n ~f:cfg.f ~workload ()
+      Sb_sim.Runtime.create ~seed ~base_model:model ?byz ~algorithm ~n:cfg.n
+        ~f:cfg.f ~workload ()
     in
     let applied = Sb_sim.Runtime.replay w decisions in
     Printf.printf "replayed %d/%d decisions\n" applied (List.length decisions);
@@ -660,7 +824,8 @@ let explore_cmd =
   let run algo value_bytes f k seed writers writes_each readers reads_each
       crashes client_crashes bound no_dpor cache paranoid_key compare_flag
       compare_budget jobs lint max_schedules check quick replay_file save
-      sanitize =
+      sanitize base_model byz_behaviour =
+   with_model_errors @@ fun () ->
     (* --quick: the CI smoke preset — tiny exhaustive sweep with lint and
        the sanitizers on, then confirm the seeded abd-broken bug is found
        and shrinks. *)
@@ -668,10 +833,17 @@ let explore_cmd =
       if quick then (Abd, 1, 1, 1, 1, 1, 1, true, true)
       else (algo, f, k, writers, writes_each, readers, reads_each, lint, sanitize)
     in
+    (match algo with
+     | (Rw_safe | Byz_reg _) when writers > 1 ->
+       Printf.eprintf
+         "%s is a single-writer emulation; rerun with --writers 1\n"
+         (Format.asprintf "%a" (Arg.conv_printer algo_conv) algo);
+       exit 2
+     | _ -> ());
     match replay_file with
     | Some file ->
-      run_replay ~algo ~value_bytes ~f ~k ~seed ~writers ~writes_each ~readers
-        ~reads_each ~check file
+      run_replay ?base_model ~byz_behaviour ~algo ~value_bytes ~f ~k ~seed
+        ~writers ~writes_each ~readers ~reads_each ~check file
     | None ->
       let jobs = if jobs <= 0 then Sb_parallel.Pool.default_jobs () else jobs in
       (* --compare caps the reduced pass too: either side of the
@@ -684,9 +856,10 @@ let explore_cmd =
         else max_schedules
       in
       let algorithm, cfg, econfig =
-        mk_config ~paranoid_key ~algo ~value_bytes ~f ~k ~seed ~writers
-          ~writes_each ~readers ~reads_each ~crashes ~client_crashes ~bound
-          ~dpor:(not no_dpor) ~cache ~lint ~max_schedules ~check ()
+        mk_config ~paranoid_key ?base_model ~byz_behaviour ~algo ~value_bytes
+          ~f ~k ~seed ~writers ~writes_each ~readers ~reads_each ~crashes
+          ~client_crashes ~bound ~dpor:(not no_dpor) ~cache ~lint
+          ~max_schedules ~check ()
       in
       let check_name, _ = checker check in
       Printf.printf "algorithm     : %s (n=%d f=%d k=%d D=%d bits, seed %d)\n"
@@ -705,7 +878,15 @@ let explore_cmd =
       let t0 = Unix.gettimeofday () in
       let outcome =
         if sanitize then begin
-          match Sb_sanitize.Monitor.explore_sanitized (sanitize_cfg ~algo ~k) econfig with
+          let scfg =
+            sanitize_cfg
+              ?byz:
+                (Option.map
+                   (fun p -> p.Sb_baseobj.Model.bp_compromised)
+                   econfig.E.byz)
+              ~rw_writers:writers ~value_bytes ~algo ~f ~k ()
+          in
+          match Sb_sanitize.Monitor.explore_sanitized scfg econfig with
           | Ok outcome -> outcome
           | Error r ->
             report_sanitizer_violation r;
@@ -727,9 +908,10 @@ let explore_cmd =
           else max_schedules
         in
         let _, _, naive =
-          mk_config ~algo ~value_bytes ~f ~k ~seed ~writers ~writes_each
-            ~readers ~reads_each ~crashes ~client_crashes ~bound ~dpor:false
-            ~cache:false ~lint:false ~max_schedules:naive_cap ~check ()
+          mk_config ?base_model ~byz_behaviour ~algo ~value_bytes ~f ~k ~seed
+            ~writers ~writes_each ~readers ~reads_each ~crashes ~client_crashes
+            ~bound ~dpor:false ~cache:false ~lint:false
+            ~max_schedules:naive_cap ~check ()
         in
         let n_out = E.explore naive in
         (if n_out.E.complete then
@@ -808,7 +990,8 @@ let explore_cmd =
       $ writers $ writes_each $ readers $ reads_each $ crashes $ client_crashes
       $ bound_arg $ no_dpor $ cache_flag $ paranoid_arg $ compare_flag
       $ compare_budget $ jobs_arg $ lint $ max_schedules $ check_arg $ quick
-      $ replay_file $ save_arg $ sanitize_arg)
+      $ replay_file $ save_arg $ sanitize_arg $ base_model_arg
+      $ byz_behaviour_arg)
 
 (* ------------------------------------------------------------------ *)
 (* audit — machine-check the DPOR independence relation                *)
@@ -848,14 +1031,18 @@ let audit_cmd =
   in
   let run algo value_bytes f k seed writers writes_each readers reads_each
       crashes max_states mutate =
-    let algorithm, cfg = build ~algo ~value_bytes ~f ~k in
+   with_model_errors @@ fun () ->
+    let algorithm, cfg =
+      build ~rw_writers:writers ~algo ~value_bytes ~f ~k ()
+    in
+    let model = resolve_model ~algo ~f () in
     let workload =
       Sb_experiments.Workloads.writers_and_readers ~value_bytes ~writers
         ~writes_each ~readers ~reads_each
     in
     let econfig =
-      E.config ~seed ~crash_objs:crashes ~algorithm ~n:cfg.n ~f:cfg.f ~workload
-        ~initial:(Bytes.make value_bytes '\000')
+      E.config ~seed ~crash_objs:crashes ~base_model:model ~algorithm ~n:cfg.n
+        ~f:cfg.f ~workload ~initial:(Bytes.make value_bytes '\000')
         ~check:Sb_spec.Regularity.check_weak ()
     in
     let relation =
@@ -908,7 +1095,7 @@ let demo_cmd =
     Arg.(value & opt int 40 & info [ "steps" ] ~docv:"N" ~doc:"Snapshots to print.")
   in
   let run algo value_bytes f k c steps =
-    let algorithm, cfg = build ~algo ~value_bytes ~f ~k in
+    let algorithm, cfg = build ~algo ~value_bytes ~f ~k () in
     let d = 8 * value_bytes in
     let ell = d / 2 in
     let workload =
@@ -971,28 +1158,50 @@ let chaos_cmd =
     | Safe -> "safe"
     | Versioned d -> Printf.sprintf "versioned:%d" d
     | Rateless -> "rateless"
+    | Rw_regular -> "rw-regular"
+    | Rw_fcopy -> "rw-fcopy"
+    | Rw_safe -> "rw-safe"
+    | Byz_reg b -> Printf.sprintf "byz-regular:%d" b
   in
-  let spec_of ~algo ~value_bytes ~f ~k =
-    let _, cfg = build ~algo ~value_bytes ~f ~k in
+  let spec_of ?(byz_behaviour = Sb_adversary.Byz.Stale_echo) ~algo ~value_bytes
+      ~f ~k () =
+    (* The default chaos workload races two writers; the rw replication
+       families then provision one cell group per writer. *)
+    let rw_writers = match algo with Rw_regular | Rw_fcopy -> 2 | _ -> 1 in
+    let _, cfg = build ~rw_writers ~algo ~value_bytes ~f ~k () in
     let check =
       match algo with
       | Abd_atomic -> Sb_spec.Regularity.check_atomic ?budget:None
-      | Safe -> Sb_spec.Regularity.check_safe
+      | Safe | Rw_safe -> Sb_spec.Regularity.check_safe
       | _ -> Sb_spec.Regularity.check_strong
     in
     let reg_avail =
       match algo with
-      | Adaptive | Pure_ec | Abd | Abd_atomic -> true
+      | Adaptive | Pure_ec | Abd | Abd_atomic | Rw_regular | Byz_reg _ -> true
       | _ -> false
     in
+    let sp_byz =
+      match algo with
+      | Byz_reg b when b > 0 -> Some byz_behaviour
+      | _ -> None
+    in
+    let sp_workload =
+      match algo with
+      | Rw_safe | Byz_reg _ -> Some Sb_faults.Chaos.swmr_workload
+      | _ -> None
+    in
     { Sb_faults.Chaos.sp_name = algo_label algo;
-      sp_make = (fun () -> fst (build ~algo ~value_bytes ~f ~k));
+      sp_make = (fun () -> fst (build ~rw_writers ~algo ~value_bytes ~f ~k ()));
       sp_n = cfg.Sb_registers.Common.n;
       sp_f = cfg.Sb_registers.Common.f;
       sp_k = code_k ~algo ~k;
       sp_value_bytes = value_bytes;
       sp_reg_avail = reg_avail;
       sp_check = check;
+      sp_base_model = default_base_model algo;
+      sp_byz;
+      sp_floor = storage_floor ~rw_writers ~algo ~value_bytes ~f ();
+      sp_workload;
     }
   in
   let all_arg =
@@ -1002,6 +1211,16 @@ let chaos_cmd =
           ~doc:"Sweep the whole correct-register matrix (adaptive, pure-ec, \
                 abd, abd-atomic, safe, versioned:1, rateless) instead of one \
                 algorithm.")
+  in
+  let base_models_arg =
+    Arg.(
+      value & flag
+      & info [ "base-models" ]
+          ~doc:"Sweep the base-object-model emulation matrix instead: \
+                rw-regular and rw-safe over read/write objects, byz-regular \
+                with lying budgets 0 and f over Byzantine objects — the \
+                sibling-paper storage floors stay armed throughout \
+                (write the summary with --json for a BOUNDS report).")
   in
   let f_arg =
     Arg.(value & opt int 1 & info [ "f" ] ~docv:"F" ~doc:"Failures tolerated.")
@@ -1087,7 +1306,7 @@ let chaos_cmd =
           ~doc:"Where --live writes its flat-JSON campaign report.")
   in
   let live_spec_of ~algo ~value_bytes ~f ~k =
-    let _, cfg = build ~algo ~value_bytes ~f ~k in
+    let _, cfg = build ~algo ~value_bytes ~f ~k () in
     let check =
       match algo with
       | Abd_atomic -> Sb_spec.Regularity.check_atomic ?budget:None
@@ -1096,7 +1315,7 @@ let chaos_cmd =
     in
     {
       Sb_faults.Live.sp_name = algo_label algo;
-      sp_make = (fun () -> fst (build ~algo ~value_bytes ~f ~k));
+      sp_make = (fun () -> fst (build ~algo ~value_bytes ~f ~k ()));
       sp_n = cfg.Sb_registers.Common.n;
       sp_f = cfg.Sb_registers.Common.f;
       sp_k = code_k ~algo ~k;
@@ -1130,8 +1349,10 @@ let chaos_cmd =
       exit 1
     end
   in
-  let run algo all value_bytes f k seeds seed drops duplicate delay no_crash
-      no_sanitize budget quick csv json live live_report =
+  let run algo all base_models value_bytes f k seeds seed drops duplicate delay
+      no_crash no_sanitize budget quick csv json live live_report byz_behaviour
+      =
+   with_model_errors @@ fun () ->
     if live then
       run_live ~algo ~all ~value_bytes ~f ~k ~seed ~quick
         ~report_file:live_report
@@ -1152,11 +1373,18 @@ let chaos_cmd =
       }
     in
     let algos =
-      if all then
+      if base_models then [ Rw_regular; Rw_safe; Byz_reg 0; Byz_reg f ]
+      else if all then
         [ Adaptive; Pure_ec; Abd; Abd_atomic; Safe; Versioned 1; Rateless ]
       else [ algo ]
     in
-    let specs = List.map (fun algo -> spec_of ~algo ~value_bytes ~f ~k) algos in
+    List.iter
+      (fun algo -> Sb_baseobj.Model.validate ~f (default_base_model algo))
+      algos;
+    let specs =
+      List.map (fun algo -> spec_of ~byz_behaviour ~algo ~value_bytes ~f ~k ())
+        algos
+    in
     let cells = C.campaign cfg specs in
     let table = C.report cells in
     if csv then print_string (Sb_util.Table.to_csv table)
@@ -1164,14 +1392,25 @@ let chaos_cmd =
     (match json with
      | None -> ()
      | Some file ->
+       let floors =
+         List.filter_map
+           (fun (sp : C.spec) ->
+             Option.map
+               (fun (copies, d_bits) ->
+                 ( Printf.sprintf "floor_bits_%s" sp.C.sp_name,
+                   Sb_util.Jsonx.int (copies * d_bits) ))
+               sp.C.sp_floor)
+           specs
+       in
        Sb_util.Jsonx.write file
-         [
-           ("suite", Sb_util.Jsonx.str "chaos");
-           ("algos", Sb_util.Jsonx.int (List.length specs));
-           ("cells", Sb_util.Jsonx.int (List.length cells));
-           ("runs", Sb_util.Jsonx.int (List.length cells * cfg.C.seeds));
-           ("ok", Sb_util.Jsonx.bool (C.all_ok cells));
-         ]);
+         ([
+            ("suite", Sb_util.Jsonx.str "chaos");
+            ("algos", Sb_util.Jsonx.int (List.length specs));
+            ("cells", Sb_util.Jsonx.int (List.length cells));
+            ("runs", Sb_util.Jsonx.int (List.length cells * cfg.C.seeds));
+            ("ok", Sb_util.Jsonx.bool (C.all_ok cells));
+          ]
+          @ floors));
     if C.all_ok cells then
       Printf.printf "chaos: all %d cells passed (%d runs)\n" (List.length cells)
         (List.length cells * cfg.C.seeds)
@@ -1188,10 +1427,10 @@ let chaos_cmd =
              sanitizers attached, consistency checked, and channel-inclusive \
              storage accounting verified.")
     Term.(
-      const run $ algo_arg $ all_arg $ value_bytes_arg $ f_arg $ k_arg
-      $ seeds_arg $ seed_arg $ drops_arg $ duplicate_arg $ delay_arg
-      $ no_crash_arg $ no_sanitize_arg $ budget_arg $ quick_arg $ csv_arg
-      $ json_arg $ live_arg $ live_report_arg)
+      const run $ algo_arg $ all_arg $ base_models_arg $ value_bytes_arg
+      $ f_arg $ k_arg $ seeds_arg $ seed_arg $ drops_arg $ duplicate_arg
+      $ delay_arg $ no_crash_arg $ no_sanitize_arg $ budget_arg $ quick_arg
+      $ csv_arg $ json_arg $ live_arg $ live_report_arg $ byz_behaviour_arg)
 
 (* ------------------------------------------------------------------ *)
 (* serve                                                               *)
@@ -1276,7 +1515,7 @@ let serve_cmd =
   in
   let run algo value_bytes f k sockdir statedir cluster server no_dedup
       wire_version crash_at shards domains =
-    let algorithm, cfg = build ~algo ~value_bytes ~f ~k in
+    let algorithm, cfg = build ~algo ~value_bytes ~f ~k () in
     let servers =
       match (cluster, server) with
       | _, None -> List.init cfg.Sb_registers.Common.n Fun.id
@@ -1496,7 +1735,7 @@ let loadgen_cmd =
       sockdir rto max_attempts sample_ms deadline_ms settle_ms think_ms json
       no_bounds open_loop rate duration_ms keys key_dist write_ratio
       max_inflight batch flush_ms check =
-    let algorithm, cfg = build ~algo ~value_bytes ~f ~k in
+    let algorithm, cfg = build ~algo ~value_bytes ~f ~k () in
     let n = cfg.Sb_registers.Common.n in
     let batch = if batch >= 1 then batch else if open_loop then 16 else 1 in
     let zipf =

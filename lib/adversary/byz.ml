@@ -1,0 +1,85 @@
+open Sb_storage
+open Sb_util
+module Model = Sb_baseobj.Model
+
+type behaviour = Stale_echo | Split_brain | Poison
+
+let behaviour_to_string = function
+  | Stale_echo -> "stale-echo"
+  | Split_brain -> "split-brain"
+  | Poison -> "poison"
+
+let behaviour_of_string = function
+  | "stale-echo" -> Ok Stale_echo
+  | "split-brain" -> Ok Split_brain
+  | "poison" -> Ok Poison
+  | s ->
+    Error
+      (Printf.sprintf
+         "unknown Byzantine behaviour %S (expected stale-echo, split-brain \
+          or poison)"
+         s)
+
+let all_behaviours = [ Stale_echo; Split_brain; Poison ]
+
+let flip b = Bytes.map (fun c -> Char.chr (Char.code c lxor 0xff)) b
+
+(* The state [before] with every block's contents bit-flipped: timestamps,
+   provenance tags and block lengths all survive, so the result passes
+   every well-formedness check a reader can apply locally — only
+   cross-object corroboration on the {e data} can unmask it. *)
+let poison_state (st : Objstate.t) =
+  let poison_chunk (c : Chunk.t) =
+    Chunk.v ~ts:c.ts
+      (Block.v ~source:c.block.Block.source ~index:c.block.Block.index
+         (flip c.block.Block.data))
+  in
+  { st with
+    Objstate.vf = List.map poison_chunk st.vf;
+    vp = List.map poison_chunk st.vp
+  }
+
+(* The initial state's blocks re-tagged under a fabricated high
+   timestamp: a "write" that never happened.  Provenance stays at source
+   0 — non-authenticated objects cannot forge the source function, only
+   lie about recency. *)
+let fabricate_high ~ts (init : Objstate.t) =
+  let retag (c : Chunk.t) = Chunk.v ~ts c.block in
+  { Objstate.stored_ts = ts; vp = []; vf = List.map retag init.vf }
+
+let policy ~seed ~n ~budget behaviour : Model.byz_policy =
+  if budget < 0 then invalid_arg "Byz.policy: negative budget";
+  if budget > n then invalid_arg "Byz.policy: budget exceeds object count";
+  let rng = Prng.create (0xb12a47 lxor (seed * 0x9e3779b9)) in
+  (* Seeded liar selection: Fisher-Yates over the object ids, first
+     [budget] are compromised.  Everything the liars will ever do is
+     fixed here, at construction — [bp_act] is a pure function of its
+     arguments, as the model-checker's state caching requires. *)
+  let ids = Array.init n Fun.id in
+  Prng.shuffle rng ids;
+  let liars = Array.sub ids 0 budget in
+  let compromised o = Array.exists (Int.equal o) liars in
+  let fab_ts =
+    Timestamp.make ~num:(1_000_000 + Prng.int rng 1_000_000) ~client:0
+  in
+  let bp_act ~obj:_ ~client ~cls ~before ~init =
+    match (behaviour, (cls : Model.op_class)) with
+    | Stale_echo, Read -> Model.Fabricate init
+    | Stale_echo, _ -> Model.Drop_write
+    | Split_brain, Read ->
+      (* Equivocation: even-numbered clients see a fabricated future
+         write all liars agree on; odd-numbered clients see the initial
+         state.  No single reader can tell, and two readers disagree. *)
+      if client mod 2 = 0 then Model.Fabricate (fabricate_high ~ts:fab_ts init)
+      else Model.Fabricate init
+    | Split_brain, _ -> Model.Drop_write
+    | Poison, Read -> Model.Fabricate (poison_state before)
+    | Poison, _ -> Model.Honest
+  in
+  { Model.bp_name =
+      Printf.sprintf "%s(seed=%d,b=%d)" (behaviour_to_string behaviour) seed
+        budget;
+    bp_budget = budget;
+    bp_compromised = compromised;
+    bp_act
+  }

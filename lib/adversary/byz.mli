@@ -1,0 +1,46 @@
+(** Seeded Byzantine base-object behaviours.
+
+    Declarative, reproducible lying policies for the
+    [Sb_baseobj.Model.Byzantine] base-object model: a behaviour plus a
+    seed fully determines which objects are compromised (Fisher–Yates
+    liar selection) and what each liar answers.  The resulting
+    {!Sb_baseobj.Model.byz_policy} is a {e pure} function of the
+    delivery's stable inputs — object, client, operation class, current
+    and initial states — never of ticket or operation ids, so runs are
+    replayable from the seed and sound under the explorer's state
+    caching. *)
+
+type behaviour =
+  | Stale_echo
+      (** Liars answer every read with the initial state and silently
+          drop writes: the omission-style lie that makes stale data
+          survive behind positive acks. *)
+  | Split_brain
+      (** Equivocation: liars show even-numbered clients a fabricated
+          never-written value under a common high timestamp, and
+          odd-numbered clients the initial state; writes are dropped.
+          All liars agree on the fabricated value, so with [b+1] liars
+          it acquires enough corroboration to defeat a budget-[b]
+          masking quorum — the designed negative control. *)
+  | Poison
+      (** Liars answer reads with the {e true} current state whose block
+          contents are bit-flipped, keeping timestamps, provenance tags
+          and lengths intact — well-formed junk only cross-object
+          corroboration on the data can unmask.  Writes are applied
+          honestly. *)
+
+val behaviour_to_string : behaviour -> string
+(** ["stale-echo"], ["split-brain"], ["poison"]. *)
+
+val behaviour_of_string : string -> (behaviour, string) result
+
+val all_behaviours : behaviour list
+
+val policy :
+  seed:int -> n:int -> budget:int -> behaviour -> Sb_baseobj.Model.byz_policy
+(** [policy ~seed ~n ~budget b] compromises a seed-chosen set of
+    [budget] of the [n] objects and makes them act out [b].  Raises
+    [Invalid_argument] if [budget] is negative or exceeds [n].  Note
+    this builds the {e mechanism}: budgets above the model's [f] are
+    deliberately constructible (negative controls); plan validation is
+    where over-budget configurations are rejected. *)

@@ -10,11 +10,12 @@ type ctor =
   | Adaptive_gc
   | Rateless_update
   | Rateless_gc
+  | Rw_write
 
 let all_ctors =
   [
     Snapshot; Abd_store; Lww_store; Safe_update; Adaptive_update; Adaptive_gc;
-    Rateless_update; Rateless_gc;
+    Rateless_update; Rateless_gc; Rw_write;
   ]
 
 (* Exhaustive on purpose: a new [Rmwdesc.t] constructor fails to compile
@@ -29,6 +30,7 @@ let ctor_of_desc (d : D.t) =
   | D.Adaptive_gc _ -> Adaptive_gc
   | D.Rateless_update _ -> Rateless_update
   | D.Rateless_gc _ -> Rateless_gc
+  | D.Rw_write _ -> Rw_write
 
 let ctor_name = function
   | Snapshot -> "snapshot"
@@ -39,6 +41,7 @@ let ctor_name = function
   | Adaptive_gc -> "adaptive-gc"
   | Rateless_update -> "rateless-update"
   | Rateless_gc -> "rateless-gc"
+  | Rw_write -> "rw-write"
 
 let ctor_of_name s = List.find_opt (fun c -> ctor_name c = s) all_ctors
 let equal_ctor (a : ctor) (b : ctor) = a = b
@@ -180,6 +183,21 @@ let families () =
            (fun pieces ->
              List.map (fun ts -> D.Rateless_gc { pieces; ts }) [ ts_11; ts_21 ])
            [ [ blk_b ]; [ blk_a; blk_c ] ]) );
+    (* Blind overwrites: full-copy writes at each round, a chunk pair
+       (the shape a coded rw cell would store), and the meta-data-only
+       stub the rw-replica trim round issues.  Two same-cell overwrites
+       at distinct timestamps are the non-commuting witness pair the
+       certifier must find. *)
+    ( Rw_write,
+      Array.of_list
+        (List.concat_map
+           (fun ts ->
+             D.Rw_write { chunks = []; ts }
+             :: List.map
+                  (fun c -> D.Rw_write { chunks = [ c ]; ts })
+                  [ List.nth chunks 1; List.nth chunks 4 ])
+           [ ts_11; ts_21 ]
+        @ [ D.Rw_write { chunks = [ List.nth chunks 1; List.nth chunks 4 ]; ts = ts_21 } ]) );
   ]
 
 let default () = { states = states (); families = families () }

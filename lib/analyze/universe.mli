@@ -27,6 +27,7 @@ type ctor =
   | Adaptive_gc
   | Rateless_update
   | Rateless_gc
+  | Rw_write
 
 val all_ctors : ctor list
 (** Every constructor, in declaration order. *)

@@ -17,10 +17,13 @@ type measurement = {
   strong : Sb_spec.Regularity.verdict;
 }
 
-let measure ?(seed = 1) ?(max_steps = 2_000_000) ?policy ~algorithm
+let measure ?(seed = 1) ?(max_steps = 2_000_000) ?policy
+    ?(base_model = Sb_baseobj.Model.Rmw) ?byz ~algorithm
     ~(cfg : Sb_registers.Common.config) ~workload () =
   let policy = match policy with Some p -> p | None -> R.random_policy ~seed () in
-  let w = R.create ~seed ~algorithm ~n:cfg.n ~f:cfg.f ~workload () in
+  let w =
+    R.create ~seed ~base_model ?byz ~algorithm ~n:cfg.n ~f:cfg.f ~workload ()
+  in
   let outcome = R.run ~max_steps w policy in
   let ops = Sb_sim.Trace.operations (R.trace w) in
   let count pred = List.length (List.filter pred ops) in
@@ -50,8 +53,12 @@ let measure ?(seed = 1) ?(max_steps = 2_000_000) ?policy ~algorithm
     strong = Sb_spec.Regularity.check_strong history;
   }
 
-let measure_many ?(seeds = [ 1; 2; 3; 4; 5 ]) ?max_steps ~algorithm ~cfg ~workload () =
-  List.map (fun seed -> measure ~seed ?max_steps ~algorithm ~cfg ~workload ()) seeds
+let measure_many ?(seeds = [ 1; 2; 3; 4; 5 ]) ?max_steps ?base_model ?byz
+    ~algorithm ~cfg ~workload () =
+  List.map
+    (fun seed ->
+      measure ~seed ?max_steps ?base_model ?byz ~algorithm ~cfg ~workload ())
+    seeds
 
 let worst ms =
   match ms with

@@ -28,6 +28,8 @@ val measure :
   ?seed:int ->
   ?max_steps:int ->
   ?policy:Sb_sim.Runtime.policy ->
+  ?base_model:Sb_baseobj.Model.t ->
+  ?byz:Sb_baseobj.Model.byz_policy ->
   algorithm:Sb_sim.Runtime.algorithm ->
   cfg:Sb_registers.Common.config ->
   workload:Sb_sim.Trace.op_kind list array ->
@@ -38,6 +40,8 @@ val measure :
 val measure_many :
   ?seeds:int list ->
   ?max_steps:int ->
+  ?base_model:Sb_baseobj.Model.t ->
+  ?byz:Sb_baseobj.Model.byz_policy ->
   algorithm:Sb_sim.Runtime.algorithm ->
   cfg:Sb_registers.Common.config ->
   workload:Sb_sim.Trace.op_kind list array ->

@@ -12,6 +12,18 @@ type spec = {
   sp_value_bytes : int;
   sp_reg_avail : bool;
   sp_check : Sb_spec.History.t -> Sb_spec.Regularity.verdict;
+  sp_base_model : Sb_baseobj.Model.t;
+  sp_byz : Sb_adversary.Byz.behaviour option;
+      (** Lying behaviour for [Byzantine] base models; the policy is
+          seeded per run ([Sb_adversary.Byz.policy]) with the model's
+          budget, so liar selection varies across the seed sweep. *)
+  sp_floor : (int * int) option;
+      (** [(copies, d_bits)] arms the sanitizer's replication-floor
+          monitor — [(f+1, D)] for the emulations whose sibling bounds
+          prove that floor. *)
+  sp_workload : (value_bytes:int -> Sb_sim.Trace.op_kind list array) option;
+      (** Override the default two-writers-one-reader workload (the
+          single-writer emulations need SWMR drives). *)
 }
 
 type config = {
@@ -78,6 +90,16 @@ let workload ~value_bytes =
      [ Trace.Read; Trace.Read ];
   |]
 
+(* One writer, two readers: the drive for the single-writer emulations
+   (rw-safe, byz-regular), where blind overwrites or masking quorums are
+   only claimed correct under SWMR. *)
+let swmr_workload ~value_bytes =
+  let v i = Sb_util.Values.distinct ~value_bytes i in
+  [| [ Trace.Write (v 1); Trace.Write (v 2) ];
+     [ Trace.Read; Trace.Read ];
+     [ Trace.Read ];
+  |]
+
 let plan_for cfg ~drop =
   let p =
     Plan.lossy ~duplicate:cfg.duplicate ~delay:cfg.delay drop
@@ -89,16 +111,35 @@ let plan_for cfg ~drop =
 let run_one cfg (sp : spec) ~drop ~seed =
   let plan = plan_for cfg ~drop in
   Plan.validate ~n:sp.sp_n ~f:sp.sp_f plan;
+  let byz =
+    Option.map
+      (fun behaviour ->
+        Sb_adversary.Byz.policy ~seed ~n:sp.sp_n
+          ~budget:(Sb_baseobj.Model.budget sp.sp_base_model)
+          behaviour)
+      sp.sp_byz
+  in
+  let wl =
+    match sp.sp_workload with
+    | Some mk -> mk ~value_bytes:sp.sp_value_bytes
+    | None -> workload ~value_bytes:sp.sp_value_bytes
+  in
   let w =
     MP.create ~seed ~retransmit:{ MP.rto = cfg.rto; max_attempts = 0 }
-      ~algorithm:(sp.sp_make ()) ~n:sp.sp_n ~f:sp.sp_f
-      ~workload:(workload ~value_bytes:sp.sp_value_bytes) ()
+      ~base_model:sp.sp_base_model ?byz ~algorithm:(sp.sp_make ()) ~n:sp.sp_n
+      ~f:sp.sp_f ~workload:wl ()
   in
   let monitor =
     if cfg.sanitize then
       Some
         (Monitor.attach_mp
            (Monitor.config ~mode:Monitor.Collect ~reg_avail:sp.sp_reg_avail
+              ?floor:sp.sp_floor
+              ?byz:
+                (Option.map
+                   (fun (p : Sb_baseobj.Model.byz_policy) ->
+                     p.Sb_baseobj.Model.bp_compromised)
+                   byz)
               ~k:sp.sp_k ())
            w)
     else None

@@ -24,7 +24,26 @@ type spec = {
   sp_reg_avail : bool;  (** Arm the availability monitor (regular regs). *)
   sp_check : Sb_spec.History.t -> Sb_spec.Regularity.verdict;
       (** The consistency level this register promises. *)
+  sp_base_model : Sb_baseobj.Model.t;
+      (** Base-object model the runtime enforces ([Rmw] for the
+          historical specs). *)
+  sp_byz : Sb_adversary.Byz.behaviour option;
+      (** Lying behaviour under a [Byzantine] base model; each run
+          builds [Sb_adversary.Byz.policy] from its scheduler seed and
+          the model's budget, so liar selection varies across the seed
+          sweep and every run stays replayable from its seed. *)
+  sp_floor : (int * int) option;
+      (** [(copies, d_bits)]: arm the sanitizer's replication-floor
+          monitor, e.g. [(f+1, D)] for the read/write and Byzantine
+          emulations whose sibling bounds prove that floor. *)
+  sp_workload : (value_bytes:int -> Sb_sim.Trace.op_kind list array) option;
+      (** Workload override; [None] is the default
+          two-writers-one-reader drive. *)
 }
+
+val swmr_workload : value_bytes:int -> Sb_sim.Trace.op_kind list array
+(** One writer (two writes), two readers — the drive for single-writer
+    emulations. *)
 
 type config = {
   seeds : int;            (** Runs per (algorithm, drop) cell. *)

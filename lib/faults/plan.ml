@@ -8,6 +8,8 @@ type partition = {
   p_mode : partition_mode;
 }
 
+type byz = { bz_behaviour : Sb_adversary.Byz.behaviour; bz_budget : int }
+
 type t = {
   drop : float;
   duplicate : float;
@@ -17,6 +19,7 @@ type t = {
   partitions : partition list;
   crashes : (int * int) list;
   recoveries : (int * int) list;
+  byz : byz option;
 }
 
 let none =
@@ -28,6 +31,7 @@ let none =
     partitions = [];
     crashes = [];
     recoveries = [];
+    byz = None;
   }
 
 let lossy ?(duplicate = 0.0) ?(delay = 0.0) ?(delay_steps = 16)
@@ -41,6 +45,9 @@ let crash_recovery ~server ~crash_at ~recover_at t =
     crashes = t.crashes @ [ (crash_at, server) ];
     recoveries = t.recoveries @ [ (recover_at, server) ];
   }
+
+let byzantine ~behaviour ~budget t =
+  { t with byz = Some { bz_behaviour = behaviour; bz_budget = budget } }
 
 let partition ~name ~servers ~start ~heal ?(mode = Isolate_hold) t =
   if heal <= start then
@@ -109,4 +116,14 @@ let validate ~n ~f t =
       else if !down > 0 then decr down)
     events;
   if !worst > f then
-    invalid_arg "Sb_faults.Plan.validate: crash schedule exceeds the f budget"
+    invalid_arg "Sb_faults.Plan.validate: crash schedule exceeds the f budget";
+  (* The Byzantine entry is validated with the typed Model error, not an
+     Invalid_argument: an over-budget adversary is a {e policy} mistake
+     the caller may want to match on (the CLI prints it and exits
+     nonzero; negative-control harnesses bypass validation entirely and
+     build the over-budget world by hand). *)
+  match t.byz with
+  | None -> ()
+  | Some b ->
+    Sb_baseobj.Model.validate ~f
+      (Sb_baseobj.Model.Byzantine { budget = b.bz_budget })

@@ -20,6 +20,14 @@ type partition = {
   p_mode : partition_mode;
 }
 
+type byz = {
+  bz_behaviour : Sb_adversary.Byz.behaviour;
+  bz_budget : int;  (** How many base objects the behaviour compromises. *)
+}
+(** Declarative Byzantine entry: which lying behaviour, over how many
+    objects.  The seeded liar selection and the per-delivery decisions
+    come from [Sb_adversary.Byz.policy] at interpretation time. *)
+
 type t = {
   drop : float;       (** Per-message loss probability. *)
   duplicate : float;  (** Per-message network-duplication probability. *)
@@ -34,6 +42,7 @@ type t = {
   partitions : partition list;
   crashes : (int * int) list;     (** [(time, server)] crash points. *)
   recoveries : (int * int) list;  (** [(time, server)] recovery points. *)
+  byz : byz option;  (** Byzantine base-object behaviour, if any. *)
 }
 
 val none : t
@@ -60,6 +69,9 @@ val partition :
   t
 (** Adds a named partition (default mode {!Isolate_hold}). *)
 
+val byzantine : behaviour:Sb_adversary.Byz.behaviour -> budget:int -> t -> t
+(** Sets the Byzantine entry. *)
+
 val isolation : t -> now:int -> int -> partition_mode option
 (** [isolation t ~now server] is the strongest partition mode isolating
     [server] at time [now] ([Isolate_drop] dominates), or [None]. *)
@@ -71,4 +83,8 @@ val validate : n:int -> f:int -> t -> unit
 (** Checks rates lie in [0, 1] and sum to at most 1, partition and
     crash/recovery schedules name servers in [0, n) with sane times, and
     the crash schedule never exceeds the [f] concurrent-crash budget.
-    Raises [Invalid_argument] otherwise. *)
+    Raises [Invalid_argument] otherwise.  A {!byz} entry whose budget is
+    negative or exceeds [f] raises the {e typed}
+    [Sb_baseobj.Model.Error] instead ([Budget_exceeds_f]) — callers gate
+    on it; negative-control harnesses skip validation and build the
+    over-budget world directly. *)

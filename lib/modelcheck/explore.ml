@@ -11,6 +11,8 @@ type config = {
   n : int;
   f : int;
   workload : Sb_sim.Trace.op_kind list array;
+  base_model : Sb_baseobj.Model.t;
+  byz : Sb_baseobj.Model.byz_policy option;
   seed : int;
   initial : bytes;
   check : Sb_spec.History.t -> Sb_spec.Regularity.verdict;
@@ -31,13 +33,16 @@ exception Instrumented_failure of exn * R.decision list
 
 let config ?(seed = 1) ?(dpor = true) ?(cache = false) ?(paranoid_key = false)
     ?(bound = Exhaustive) ?(crash_objs = 0) ?(crash_clients = 0)
-    ?(max_schedules = 0) ?(stop_on_violation = true) ?(lint = false) ?on_history
-    ?instrument ~algorithm ~n ~f ~workload ~initial ~check () =
+    ?(max_schedules = 0) ?(stop_on_violation = true) ?(lint = false)
+    ?(base_model = Sb_baseobj.Model.Rmw) ?byz ?on_history ?instrument
+    ~algorithm ~n ~f ~workload ~initial ~check () =
   {
     algorithm;
     n;
     f;
     workload;
+    base_model;
+    byz;
     seed;
     initial;
     check;
@@ -346,7 +351,8 @@ let fresh_world cfg =
     (* The hash chains only feed the state cache; without it their
        per-step upkeep is a pure tax (~20% on the flagship space). *)
     R.create ~seed:cfg.seed ~metrics:false ~fingerprints:cfg.cache
-      ~algorithm:cfg.algorithm ~n:cfg.n ~f:cfg.f ~workload:cfg.workload ()
+      ~base_model:cfg.base_model ?byz:cfg.byz ~algorithm:cfg.algorithm ~n:cfg.n
+      ~f:cfg.f ~workload:cfg.workload ()
   in
   (match cfg.instrument with Some f -> f w | None -> ());
   w

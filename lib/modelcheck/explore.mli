@@ -70,6 +70,18 @@ type config = {
   n : int;
   f : int;
   workload : Sb_sim.Trace.op_kind list array;
+  base_model : Sb_baseobj.Model.t;
+      (** Base-object model every explored world enforces.  Under
+          [Read_write] the per-(client, object) FIFO discipline shapes
+          enabledness, which the search sees through
+          [Runtime.decision_enabled] like any other constraint; same-
+          object deliveries are already dependent, so the independence
+          relation needs no change. *)
+  byz : Sb_baseobj.Model.byz_policy option;
+      (** Byzantine behaviour for compromised objects.  Policies must be
+          pure functions of stable inputs (see
+          [Sb_baseobj.Model.byz_policy]) — the state cache assumes two
+          worlds with equal keys behave identically. *)
   seed : int;  (** World seed; replays always reuse it. *)
   initial : bytes;  (** The register's initial value [v0]. *)
   check : Sb_spec.History.t -> Sb_spec.Regularity.verdict;
@@ -124,6 +136,8 @@ val config :
   ?max_schedules:int ->
   ?stop_on_violation:bool ->
   ?lint:bool ->
+  ?base_model:Sb_baseobj.Model.t ->
+  ?byz:Sb_baseobj.Model.byz_policy ->
   ?on_history:(Sb_sim.Runtime.decision list -> Sb_spec.History.t -> unit) ->
   ?instrument:(Sb_sim.Runtime.world -> unit) ->
   algorithm:Sb_sim.Runtime.algorithm ->
@@ -136,7 +150,8 @@ val config :
   config
 (** Defaults: [seed 1], [dpor true], [cache false], [paranoid_key
     false], [Exhaustive], no crashes, no schedule cap, stop on the first
-    violation, no lint, no instrumentation. *)
+    violation, no lint, [Rmw] base model, nobody Byzantine, no
+    instrumentation. *)
 
 (** {2 The independence relation, exposed}
 

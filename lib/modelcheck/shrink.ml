@@ -2,7 +2,8 @@ module R = Sb_sim.Runtime
 
 let replay_world (cfg : Explore.config) decisions =
   let w =
-    R.create ~seed:cfg.seed ~algorithm:cfg.algorithm ~n:cfg.n ~f:cfg.f
+    R.create ~seed:cfg.seed ~base_model:cfg.Explore.base_model
+      ?byz:cfg.Explore.byz ~algorithm:cfg.algorithm ~n:cfg.n ~f:cfg.f
       ~workload:cfg.workload ()
   in
   ignore (R.replay w decisions);

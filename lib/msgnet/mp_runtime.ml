@@ -88,6 +88,10 @@ type world = {
   n : int;
   f : int;
   fifo : bool;
+  base_model : Sb_baseobj.Model.t;
+  byz : Sb_baseobj.Model.byz_policy option;
+  init_states : Objstate.t array;
+  (* Pristine [init_obj] states for Byzantine stale-echo policies. *)
   retransmit : retransmit_config option;
   algorithm : R.algorithm;
   (* Each server is a [Sb_service.Server_core]: durable objstate,
@@ -150,9 +154,12 @@ let info_of (m : message) : message_info =
     sent_at = m.sent_at;
   }
 
-let create ?(seed = 1) ?(fifo = false) ?(dedup = true) ?retransmit ~algorithm ~n
-    ~f ~workload () =
+let create ?(seed = 1) ?(fifo = false) ?(dedup = true) ?retransmit
+    ?(base_model = Sb_baseobj.Model.Rmw) ?byz ~algorithm ~n ~f ~workload () =
   if f < 0 || 2 * f >= n then invalid_arg "Mp_runtime.create: need 0 <= f < n/2";
+  (match byz with
+  | Some policy -> Sb_baseobj.Model.check_policy base_model ~n policy
+  | None -> ());
   (match retransmit with
    | Some { rto; _ } when rto <= 0 ->
      invalid_arg "Mp_runtime.create: retransmission timeout must be positive"
@@ -162,6 +169,9 @@ let create ?(seed = 1) ?(fifo = false) ?(dedup = true) ?retransmit ~algorithm ~n
     n;
     f;
     fifo;
+    base_model;
+    byz;
+    init_states = Array.init n algorithm.R.init_obj;
     retransmit;
     algorithm;
     servers = Array.init n (fun i -> Score.create ~dedup (algorithm.R.init_obj i));
@@ -213,6 +223,12 @@ let emit w ev = List.iter (fun f -> f ev) w.observers
 let time w = w.now
 let n_servers w = w.n
 let f_tolerance w = w.f
+let base_model w = w.base_model
+
+let byz_compromised w o =
+  match w.byz with
+  | Some bp -> bp.Sb_baseobj.Model.bp_compromised o
+  | None -> false
 let server_state w i = Score.state w.servers.(i)
 let server_alive w i = w.server_live.(i)
 let server_incarnation w i = Score.incarnation w.servers.(i)
@@ -332,6 +348,8 @@ let handle_fiber w (cl : client) (op : R.op) (body : unit -> bytes option) :
               (fun (k : (b, fiber_outcome) continuation) ->
                 if obj < 0 || obj >= w.n then
                   invalid_arg "Mp_runtime: no such server";
+                Sb_baseobj.Model.check_op w.base_model
+                  (Option.map Sb_sim.Rmwdesc.op_class desc);
                 let ticket = w.next_ticket in
                 w.next_ticket <- ticket + 1;
                 let msg_id = w.next_msg in
@@ -459,6 +477,14 @@ let destination_alive w (m : message) =
    undelivered message on each channel. *)
 let channel_key (m : message) = (m.kind, m.m_client, m.m_server)
 
+(* The read/write base-object model guarantees per-(client, object)
+   issue-order application regardless of the configured transport mode:
+   request channels are forced FIFO so a straggling blind overwrite can
+   never roll a cell backwards past a newer write on the same channel.
+   Response channels stay free to reorder. *)
+let fifo_channel w (m : message) =
+  w.fifo || (Sb_baseobj.Model.fifo_writes w.base_model && m.kind = Request)
+
 let head_of_channel w (m : message) =
   List.for_all
     (fun id ->
@@ -473,7 +499,7 @@ let deliverable w =
          let m = Hashtbl.find w.channel id in
          if
            destination_alive w m
-           && ((not w.fifo) || head_of_channel w m)
+           && ((not (fifo_channel w m)) || head_of_channel w m)
          then Some (info_of m)
          else None)
        w.channel_order)
@@ -523,7 +549,7 @@ let deliver_msg w id =
   | Some m -> (
     if not (destination_alive w m) then
       invalid_arg "Mp_runtime.step: destination has crashed";
-    if w.fifo && not (head_of_channel w m) then
+    if fifo_channel w m && not (head_of_channel w m) then
       invalid_arg "Mp_runtime.step: FIFO channel, an older message is pending";
     remove_msg w id;
     (* Incarnation fencing: the message travelled on a connection to (or
@@ -534,10 +560,56 @@ let deliver_msg w id =
       w.fenced <- w.fenced + 1
     else
       match m.kind with
-      | Request ->
+      | Request -> (
         let rmw, _payload =
           match m.req with Some r -> r | None -> assert false
         in
+        (* A compromised server lies instead of consulting the server
+           core: it acknowledges without applying, or fabricates a
+           well-formed state.  The lie bypasses the at-most-once table
+           on purpose — equivocation between retries is exactly the
+           behaviour the Byzantine model grants. *)
+        let lie =
+          match w.byz with
+          | Some bp when bp.Sb_baseobj.Model.bp_compromised m.m_server ->
+            let cls =
+              match m.m_desc with
+              | Some d -> Sb_sim.Rmwdesc.op_class d
+              | None -> Sb_baseobj.Model.General
+            in
+            bp.Sb_baseobj.Model.bp_act ~obj:m.m_server ~client:m.m_client
+              ~cls
+              ~before:(Score.state w.servers.(m.m_server))
+              ~init:w.init_states.(m.m_server)
+          | _ -> Sb_baseobj.Model.Honest
+        in
+        match lie with
+        | Sb_baseobj.Model.Drop_write | Sb_baseobj.Model.Fabricate _ ->
+          let st = Score.state w.servers.(m.m_server) in
+          let resp =
+            match lie with
+            | Sb_baseobj.Model.Fabricate fake -> R.Snap fake
+            | _ -> R.Ack
+          in
+          Trace.add w.tr
+            (Rmw_deliver { time = w.now; ticket = m.m_ticket; obj = m.m_server });
+          if observed w then
+            emit w
+              (R.E_deliver
+                 {
+                   ticket = m.m_ticket;
+                   obj = m.m_server;
+                   client = m.m_client;
+                   op = m.m_op;
+                   nature = m.m_nature;
+                   rmw;
+                   before = st;
+                   after = st;
+                   resp;
+                   observable = not w.clients.(m.m_client).crashed;
+                 });
+          send_response w ~to_request:m resp
+        | Sb_baseobj.Model.Honest ->
         (* The shared server core either answers from the at-most-once
            table (a duplicate within this incarnation: network
            duplication or retransmission; the RMW is not re-applied) or
@@ -569,7 +641,7 @@ let deliver_msg w id =
                    observable = not w.clients.(m.m_client).crashed;
                  });
           send_response w ~to_request:m oc.Score.resp
-        end
+        end)
       | Response ->
         let resp = match m.resp with Some r -> r | None -> assert false in
         Mailbox.record w.responses ~ticket:m.m_ticket ~obj:m.m_server resp;

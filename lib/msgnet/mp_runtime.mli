@@ -83,6 +83,8 @@ val create :
   ?fifo:bool ->
   ?dedup:bool ->
   ?retransmit:retransmit_config ->
+  ?base_model:Sb_baseobj.Model.t ->
+  ?byz:Sb_baseobj.Model.byz_policy ->
   algorithm:Sb_sim.Runtime.algorithm ->
   n:int ->
   f:int ->
@@ -99,13 +101,28 @@ val create :
     [Sb_sanitize] monitors must object).  [retransmit] (default off)
     arms client-side retransmission timers; without it the runtime
     behaves exactly as the lossless crash-stop emulation unless a policy
-    issues fault decisions. *)
+    issues fault decisions.
+
+    [base_model] (default [Rmw]) and [byz] mirror
+    {!Sb_sim.Runtime.create}: under [Read_write] triggers are gated on
+    operation class and request channels are forced FIFO (issue-order
+    application per (client, server) pair, regardless of [fifo]); under
+    [Byzantine] the policy decides per-request whether a compromised
+    server answers honestly, acks without applying, or fabricates a
+    state — bypassing the at-most-once table, since equivocation
+    between retries is exactly what the model grants. *)
 
 (** {1 Introspection} *)
 
 val time : world -> int
 val n_servers : world -> int
 val f_tolerance : world -> int
+
+val base_model : world -> Sb_baseobj.Model.t
+
+val byz_compromised : world -> int -> bool
+(** As {!Sb_sim.Runtime.byz_compromised}. *)
+
 val server_state : world -> int -> Sb_storage.Objstate.t
 val server_alive : world -> int -> bool
 

@@ -1,0 +1,24 @@
+(** Byzantine-tolerant regular register over non-authenticated base
+    objects (masking quorums).
+
+    The executable side of "Integrated Bounds for Disintegrated Storage"
+    (Berger, Keidar, Spiegelman, arXiv:1805.06265): when up to [b] base
+    objects can return fabricated-but-well-formed states and there are
+    no signatures, corroboration replaces trust — a read accepts a value
+    only when [b+1] distinct objects return an identical (timestamp,
+    provenance, contents) triple.  Coded pieces cannot be corroborated
+    this way without keeping full information around, so the emulation
+    stores full copies and the space bound collapses back to the
+    replication floor [>= (f+1) * D]. *)
+
+val make : budget:int -> Common.config -> Sb_sim.Runtime.algorithm
+(** SWMR regular register tolerating [cfg.f] crashes plus [budget]
+    Byzantine base objects.  Requires [cfg.n >= 2f + 2*budget + 1]
+    (masking quorums), replication codec ([k = 1]), and
+    [budget >= 0]; raises [Invalid_argument] otherwise.  With
+    [budget = 0] this degenerates to the ABD baseline.  Correct for a
+    single writer per run; the fault campaigns drive it with SWMR
+    workloads.  Running it under a Byzantine policy whose effective
+    budget exceeds [budget] is the designed negative control: [b+1]
+    coordinated liars can corroborate a fabricated triple and the
+    regularity verdict is refuted with a replayable counterexample. *)

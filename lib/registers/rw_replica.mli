@@ -1,0 +1,44 @@
+(** Register emulations over read/write base objects.
+
+    In the model of "Space Complexity of Fault Tolerant Register
+    Emulations" (Chockler and Spiegelman, arXiv:1705.07212) the base
+    objects support only reads and {e blind overwrites} — no conditional
+    RMWs ([Sb_baseobj.Model.Read_write]).  Their lower bound: any
+    regular MWR register emulation tolerating [f] base-object crashes
+    must keep [f+1] {e full copies} of the written value alive per
+    writer; neither adaptivity nor erasure coding helps.  These
+    emulations make both sides of that bound executable. *)
+
+val make : ?writers:int -> Common.config -> Sb_sim.Runtime.algorithm
+(** Multi-writer regular register hitting the [f+1]-copy floor exactly.
+    [cfg.n] must equal [writers * (2f + 1)] (default [writers = 1]):
+    writer [g] owns cells [g*(2f+1) .. (g+1)*(2f+1) - 1] and only clients
+    [0 .. writers-1] may write.  A write snapshots all cells to pick a
+    timestamp, overwrites its own group with [2f+1] full copies, awaits
+    [f+1] acks, then trims the non-keeper cells back to meta-data-only
+    stubs — so quiescent live storage is exactly [(f+1) * D] bits per
+    group, the paper's floor.  A read re-snapshots until it holds a full
+    copy at least as new as the newest [storedTS] it saw: a stub's
+    timestamp proves its write completed, and a single non-atomic
+    snapshot can catch different writes' trim victims and miss every
+    full copy (the exhaustive litmus found exactly that schedule).  The
+    codec must be replication ([k = 1]); raises [Invalid_argument]
+    otherwise. *)
+
+val make_fcopy : ?writers:int -> Common.config -> Sb_sim.Runtime.algorithm
+(** Negative control: identical to {!make} — same honest [f+1]-ack
+    quorums — but the trim round stubs one keeper too, leaving only [f]
+    full copies per write.  A crash set of size [f] can then erase every
+    full copy of the latest value, and the quiescent live storage
+    [f * D] sits below the proven floor — the seeded violation the
+    [Sb_sanitize] storage-floor rule must catch.  Its read is one-shot
+    (no evidence retry): with only [f] keepers a quiescent quorum can be
+    all stubs, so the retrying read would spin.  Requires [f >= 1]. *)
+
+val make_safe : Common.config -> Sb_sim.Runtime.algorithm
+(** The coded contrast the bound leaves open for weaker semantics: a
+    single-writer {e safe} register storing one coded piece per cell
+    ([n = 2f + k]) with no trim round, i.e. [(2f+k) * D/k] quiescent
+    bits — strictly below the regular floor once [k > 2].  A read
+    overlapping a write may return the initial value [v0]; reads with no
+    concurrent write return the latest written value. *)

@@ -18,6 +18,7 @@ type rule =
   | Crash_discipline of { detail : string }
   | Adversary_partition of { detail : string }
   | Dedup of { obj : int; ticket : int }
+  | Storage_floor of { copies : int; d_bits : int; live_full : int; need : int }
 
 type violation = { rule : rule; v_time : int; v_detail : string }
 
@@ -29,11 +30,13 @@ type config = {
   k : int;
   reg_avail : bool;
   adversary : (int * int) option;
+  floor : (int * int) option;
+  byz : (int -> bool) option;
   mode : mode;
 }
 
-let config ?(mode = Collect) ?(reg_avail = false) ?adversary ~k () =
-  { k; reg_avail; adversary; mode }
+let config ?(mode = Collect) ?(reg_avail = false) ?adversary ?floor ?byz ~k () =
+  { k; reg_avail; adversary; floor; byz; mode }
 
 let rule_name = function
   | Commutativity _ -> "commutativity"
@@ -47,6 +50,7 @@ let rule_name = function
   | Crash_discipline _ -> "crash-discipline"
   | Adversary_partition _ -> "adversary-partition"
   | Dedup _ -> "dedup"
+  | Storage_floor _ -> "storage-floor"
 
 let pp_violation ppf v =
   Format.fprintf ppf "[%s] t=%d %s" (rule_name v.rule) v.v_time v.v_detail
@@ -274,6 +278,34 @@ let check_avail m =
     end
   end
 
+(* The replication floor of the sibling lower bounds
+   (Chockler-Spiegelman arXiv:1705.07212 over read/write base objects;
+   Berger-Keidar-Spiegelman arXiv:1805.06265 over Byzantine ones): at
+   least [copies] {e full} copies of the value must exist across the
+   objects, of which only the live ones can be checked — an emulation
+   that keeps fewer live full copies than [copies] minus the crashes so
+   far has garbage-collected below the proven floor, and a crash set of
+   the remaining budget can erase the value.  A "full copy" is an object
+   whose stored block bits reach the value size [d_bits] (Definition 2
+   accounting: metadata excluded, so a meta-data-only stub counts
+   zero). *)
+let check_floor m =
+  match m.cfg.floor with
+  | None -> ()
+  | Some (copies, d_bits) ->
+    let live_full = ref 0 in
+    for o = 0 to m.view.v_n - 1 do
+      if (not m.obj_dead.(o)) && m.acct.(o) >= d_bits then incr live_full
+    done;
+    let need = copies - m.crashed_objs in
+    if !live_full < need then
+      record m
+        (Storage_floor { copies; d_bits; live_full = !live_full; need })
+        (Printf.sprintf
+           "only %d live objects hold a full copy (>= %d bits) but the \
+            replication floor demands %d (%d copies minus %d crashed)"
+           !live_full d_bits need copies m.crashed_objs)
+
 (* Quorum discipline over full broadcasts: liveness demands the quorum
    be reachable with f crashes, safety demands any two quorums used on
    the same register intersect in k objects (Section 2; n >= 2f + k). *)
@@ -361,12 +393,23 @@ let on_deliver m ~ticket ~obj ~nature ~(rmw : R.rmw) ~before ~after ~resp =
     record m
       (Crash_discipline { detail = "delivery on a crashed object" })
       (Printf.sprintf "ticket %d took effect on crashed object %d" ticket obj);
+  (* A compromised object's deliveries are exempt from the behavioural
+     monitors: its "RMW applications" may be fabrications that neither
+     mutate state nor respect at-most-once (equivocation between retries
+     is exactly what the Byzantine model grants), so re-applying closures
+     or counting applications would flag the lie, not a bug.  Storage
+     accounting and the floor check still apply — lies never touch the
+     stored state. *)
+  let compromised =
+    match m.cfg.byz with Some p -> p obj | None -> false
+  in
   (* At-most-once discipline per incarnation: a non-readonly RMW that
      takes effect twice within one object epoch slipped past the
      server's dedup table (a duplicated or retransmitted request was
      re-applied). *)
   (match nature with
   | `Readonly -> ()
+  | (`Mutating | `Merge) when compromised -> ()
   | `Mutating | `Merge -> (
     match Hashtbl.find_opt m.applied_once ticket with
     | Some epoch when epoch = m.obj_epoch.(obj) ->
@@ -383,6 +426,7 @@ let on_deliver m ~ticket ~obj ~nature ~(rmw : R.rmw) ~before ~after ~resp =
      independence relation assumes the result is the same.  Re-apply the
      two (pure) RMW closures in swapped order and compare. *)
   (match ti, Hashtbl.find_opt m.last_deliver obj with
+  | _ when compromised -> ()
   | Some ti, Some ld
     when ld.ld_after = before
          && commuting_class ld.ld_nature nature
@@ -414,16 +458,18 @@ let on_deliver m ~ticket ~obj ~nature ~(rmw : R.rmw) ~before ~after ~resp =
     Vclock.join_into m.oclk.(obj) ti.ti_clk;
     Vclock.tick m.oclk.(obj) (m.view.v_clients + obj);
     Hashtbl.replace m.dclk ticket (Vclock.copy m.oclk.(obj));
-    Hashtbl.replace m.last_deliver obj
-      {
-        ld_ticket = ticket;
-        ld_nature = nature;
-        ld_rmw = rmw;
-        ld_before = before;
-        ld_after = after;
-        ld_resp = resp;
-        ld_clk = ti.ti_clk;
-      }
+    if compromised then Hashtbl.remove m.last_deliver obj
+    else
+      Hashtbl.replace m.last_deliver obj
+        {
+          ld_ticket = ticket;
+          ld_nature = nature;
+          ld_rmw = rmw;
+          ld_before = before;
+          ld_after = after;
+          ld_resp = resp;
+          ld_clk = ti.ti_clk;
+        }
   | None -> Hashtbl.remove m.last_deliver obj);
   (* The frontier invariant is monotone in the stored blocks: an RMW
      that only added blocks cannot break it (a good state stays good),
@@ -438,6 +484,7 @@ let on_deliver m ~ticket ~obj ~nature ~(rmw : R.rmw) ~before ~after ~resp =
              (Objstate.blocks before)))
   in
   if evicted then check_avail m;
+  if state_changed then check_floor m;
   check_adversary m
 
 let on_await m (op : R.op) ~tickets ~quorum ~responders =
@@ -471,6 +518,7 @@ let on_crash_obj m o =
       (Printf.sprintf "%d objects crashed but the resilience bound is f = %d"
          m.crashed_objs m.view.v_f);
   check_avail m;
+  check_floor m;
   check_adversary m
 
 let on_recover_obj m o incarnation =
@@ -493,6 +541,7 @@ let on_recover_obj m o incarnation =
   (* The rejoined object's durable blocks re-enter the live frontier;
      [acct.(o)] was maintained through the crash, so the accounting
      cross-check needs no reseeding.  Availability only improves. *)
+  check_floor m;
   check_adversary m
 
 let on_crash_client m c =
@@ -573,6 +622,7 @@ let make cfg view =
     List.iter (check_oracle m) (view.v_blocks o)
   done;
   check_avail m;
+  check_floor m;
   m
 
 let attach cfg (w : R.world) =
@@ -705,7 +755,9 @@ let instrument cfg w = ignore (attach { cfg with mode = Raise } w)
 let explore_sanitized cfg (ecfg : Sb_modelcheck.Explore.config) =
   let ecfg = { ecfg with instrument = Some (instrument cfg) } in
   let mk_world () =
-    R.create ~seed:ecfg.seed ~metrics:false ~algorithm:ecfg.algorithm ~n:ecfg.n
+    R.create ~seed:ecfg.seed ~metrics:false
+      ~base_model:ecfg.Sb_modelcheck.Explore.base_model
+      ?byz:ecfg.Sb_modelcheck.Explore.byz ~algorithm:ecfg.algorithm ~n:ecfg.n
       ~f:ecfg.f ~workload:ecfg.workload ()
   in
   match Sb_modelcheck.Explore.explore ecfg with

@@ -81,6 +81,14 @@ type rule =
           duplicated or retransmitted request.  (Re-application in a
           {e later} incarnation is legal — the table is volatile — and
           is not flagged; idempotent RMWs make it harmless.) *)
+  | Storage_floor of { copies : int; d_bits : int; live_full : int; need : int }
+      (** The replication floor of the sibling lower bounds
+          (arXiv:1705.07212 over read/write base objects,
+          arXiv:1805.06265 over Byzantine ones): fewer than
+          [copies - crashed] live objects hold a full copy ([>= d_bits]
+          stored block bits) of the value.  An emulation below this
+          floor has trimmed too eagerly — a crash set within the
+          remaining budget can erase the latest value entirely. *)
 
 type violation = { rule : rule; v_time : int; v_detail : string }
 
@@ -102,12 +110,34 @@ type config = {
   adversary : (int * int) option;
       (** [(ell_bits, d_bits)]: enable the Definition 7 partition
           cross-check (plain simulator worlds only). *)
+  floor : (int * int) option;
+      (** [(copies, d_bits)]: enable the replication-floor monitor — at
+          every point of the run, live objects holding [>= d_bits]
+          stored block bits must number at least [copies] minus the
+          objects currently crashed.  Opt-in per algorithm: [(f+1, D)]
+          for the read/write and Byzantine register emulations, whose
+          sibling bounds prove exactly that floor; coded RMW-model
+          algorithms sit below it by design. *)
+  byz : (int -> bool) option;
+      (** Which objects a Byzantine policy compromises.  Their
+          deliveries are exempt from the commutativity and dedup
+          monitors (fabricated responses neither mutate state nor
+          respect at-most-once — flagging them would flag the lie, not a
+          bug); storage accounting and the floor monitor still apply. *)
   mode : mode;
 }
 
 val config :
-  ?mode:mode -> ?reg_avail:bool -> ?adversary:int * int -> k:int -> unit -> config
-(** Defaults: [Collect], availability monitor off, no adversary check. *)
+  ?mode:mode ->
+  ?reg_avail:bool ->
+  ?adversary:int * int ->
+  ?floor:int * int ->
+  ?byz:(int -> bool) ->
+  k:int ->
+  unit ->
+  config
+(** Defaults: [Collect], availability monitor off, no adversary check,
+    no floor monitor, nobody compromised. *)
 
 type t
 

@@ -2,7 +2,7 @@ open Sb_storage
 module D = Sb_sim.Rmwdesc
 module Sch = Sb_schema.Schema
 
-let version = 3
+let version = 4
 let min_version = 1
 let max_frame_bytes = 64 * 1024 * 1024
 
@@ -116,7 +116,7 @@ let w_resp b = function
     w_u8 b 1;
     w_objstate b st
 
-let w_desc b (d : D.t) =
+let w_desc ~v b (d : D.t) =
   match d with
   | D.Snapshot -> w_u8 b 0
   | D.Abd_store c ->
@@ -155,6 +155,13 @@ let w_desc b (d : D.t) =
   | D.Rateless_gc { pieces; ts } ->
     w_u8 b 7;
     w_list w_block b pieces;
+    w_ts b ts
+  | D.Rw_write { chunks; ts } ->
+    (* A blind overwrite has no pre-v4 encoding; narrowing it would
+       change its meaning, so refuse like the keyed-request precedent. *)
+    if v < 4 then invalid_arg "Wire: rw-write requires wire version >= 4";
+    w_u8 b 8;
+    w_list w_chunk b chunks;
     w_ts b ts
 
 (* ------------------------------------------------------------------ *)
@@ -241,7 +248,7 @@ let r_resp c =
   | 1 -> D.Snap (r_objstate c)
   | n -> raise (Decode (Printf.sprintf "bad resp tag %d" n))
 
-let r_desc c =
+let r_desc ~v c =
   let tag = r_u8 c in
   match tag with
   | 0 -> D.Snapshot
@@ -284,6 +291,10 @@ let r_desc c =
     let pieces = r_list r_block c in
     let ts = r_ts c in
     D.Rateless_gc { pieces; ts }
+  | 8 when v >= 4 ->
+    let chunks = r_list r_chunk c in
+    let ts = r_ts c in
+    D.Rw_write { chunks; ts }
   | n -> raise (Decode (Printf.sprintf "bad desc tag %d" n))
 
 (* ------------------------------------------------------------------ *)
@@ -322,9 +333,9 @@ let ty_nature =
 
 let ty_resp = Sch.Enum [ earm 0 "Ack" unit_ty; earm 1 "Snap" ty_objstate ]
 
-let ty_desc =
+let ty_desc ~v =
   Sch.Enum
-    [
+    ([
       earm 0 "Snapshot" unit_ty;
       earm 1 "Abd_store" ty_chunk;
       earm 2 "Lww_store" ty_chunk;
@@ -358,6 +369,16 @@ let ty_desc =
       earm 7 "Rateless_gc"
         (Sch.Record [ fld "pieces" (Sch.List ty_block); fld "ts" ty_ts ]);
     ]
+    @
+    (* v4 adds the read/write base-object overwrite — a new enum tag,
+       the evolution class the compatibility certifier treats as a
+       clean cross-version reject (the v3 batch-tag precedent). *)
+    if v >= 4 then
+      [
+        earm 8 "Rw_write"
+          (Sch.Record [ fld "chunks" (Sch.List ty_chunk); fld "ts" ty_ts ]);
+      ]
+    else [])
 
 let ty_peer_schema = Sch.Record [ fld "version" Sch.U8; fld "hash" Sch.Bytes ]
 
@@ -375,7 +396,7 @@ let ty_request ~v =
        fld "op" Sch.I64;
        fld "nature" ty_nature;
        fld "payload" (Sch.List ty_block);
-       fld "desc" ty_desc;
+       fld "desc" (ty_desc ~v);
      ]
     @ if v >= 3 then [ fld "key" Sch.Bytes ] else [])
 
@@ -510,7 +531,7 @@ let w_request ~v b
   w_int b rq_op;
   w_nature b rq_nature;
   w_list w_block b rq_payload;
-  w_desc b rq_desc;
+  w_desc ~v b rq_desc;
   if v >= 3 then w_string b rq_key
 
 let w_response ~v b
@@ -614,7 +635,7 @@ let r_request ~v c =
   let rq_op = r_int c in
   let rq_nature = r_nature c in
   let rq_payload = r_list r_block c in
-  let rq_desc = r_desc c in
+  let rq_desc = r_desc ~v c in
   let rq_key = if v >= 3 then Bytes.to_string (r_bytes c) else "" in
   { rq_key; rq_client; rq_ticket; rq_op; rq_nature; rq_payload; rq_desc }
 
@@ -712,6 +733,7 @@ let hint_desc (d : D.t) =
   | D.Adaptive_gc { piece; _ } -> 20 + hint_block piece
   | D.Rateless_update { pieces; _ } | D.Rateless_gc { pieces; _ } ->
     40 + hint_fold hint_block 0 pieces
+  | D.Rw_write { chunks; _ } -> 24 + hint_fold hint_chunk 0 chunks
 
 let hint_resp = function D.Ack -> 1 | D.Snap st -> 1 + hint_objstate st
 

@@ -39,7 +39,8 @@
     [schemas/v<N>.json] files. *)
 
 val version : int
-(** The newest wire version this build speaks (3). *)
+(** The newest wire version this build speaks (4: adds the rw-write
+    description tag for read/write base objects). *)
 
 val min_version : int
 (** The oldest version still decoded (1). *)

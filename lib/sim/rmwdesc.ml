@@ -27,6 +27,7 @@ type t =
       stored_ts : Timestamp.t;
     }
   | Rateless_gc of { pieces : Block.t list; ts : Timestamp.t }
+  | Rw_write of { chunks : Chunk.t list; ts : Timestamp.t }
 
 let apply_trim trim chunks =
   match trim with
@@ -174,6 +175,18 @@ let rateless_gc ~pieces ~ts : rmw =
     in
     (Objstate.with_stored_ts { st with Objstate.vp } ts, Ack)
 
+(* Blind overwrite — the whole interface a read/write base object offers
+   besides [snapshot] (Chockler-Spiegelman, arXiv:1705.07212, Section 2).
+   No condition, no merge: the cell becomes exactly the written content,
+   timestamps included, and delivery order decides what survives.  The
+   runtimes compensate with per-(client, object) FIFO delivery under the
+   [Read_write] model — a base object there is an atomic register behind
+   a sequential channel.  An empty [chunks] list is the "stub" overwrite
+   the rw-replica register uses to trim non-keeper cells down to
+   meta-data only. *)
+let rw_write ~chunks ~ts : rmw =
+  fun _st -> ({ Objstate.vf = chunks; vp = []; stored_ts = ts }, Ack)
+
 let apply = function
   | Snapshot -> snapshot
   | Abd_store c -> abd_store c
@@ -186,13 +199,24 @@ let apply = function
   | Adaptive_gc { piece; ts } -> adaptive_gc ~piece ~ts
   | Rateless_update { pieces; ts; stored_ts } -> rateless_update ~pieces ~ts ~stored_ts
   | Rateless_gc { pieces; ts } -> rateless_gc ~pieces ~ts
+  | Rw_write { chunks; ts } -> rw_write ~chunks ~ts
 
 let default_nature = function
   | Snapshot -> `Readonly
   | Abd_store _ -> `Merge
   | Lww_store _ | Safe_update _ | Adaptive_update _ | Adaptive_gc _
-  | Rateless_update _ | Rateless_gc _ ->
+  | Rateless_update _ | Rateless_gc _ | Rw_write _ ->
     `Mutating
+
+(* Operation classes the base-object models discriminate on: a
+   [Read_write] base object accepts [Read] and [Overwrite] only; every
+   conditional or merging description is [General] and RMW-only. *)
+let op_class = function
+  | Snapshot -> Sb_baseobj.Model.Read
+  | Rw_write _ -> Sb_baseobj.Model.Overwrite
+  | Abd_store _ | Lww_store _ | Safe_update _ | Adaptive_update _
+  | Adaptive_gc _ | Rateless_update _ | Rateless_gc _ ->
+    Sb_baseobj.Model.General
 
 (* sb-lint: allow poly-compare — descs are first-order data (no closures); structural equality is the definition *)
 let equal (a : t) (b : t) = a = b
@@ -231,3 +255,7 @@ let pp ppf = function
     Format.fprintf ppf "rateless-gc([%a] ts=%a)"
       (Format.pp_print_list ~pp_sep:Format.pp_print_space pp_block)
       pieces Timestamp.pp ts
+  | Rw_write { chunks; ts } ->
+    Format.fprintf ppf "rw-write([%a] ts=%a)"
+      (Format.pp_print_list ~pp_sep:Format.pp_print_space pp_chunk)
+      chunks Timestamp.pp ts

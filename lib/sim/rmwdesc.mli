@@ -63,6 +63,15 @@ type t =
       pieces : Sb_storage.Block.t list;
       ts : Sb_storage.Timestamp.t;
     }
+  | Rw_write of {
+      chunks : Sb_storage.Chunk.t list;
+      ts : Sb_storage.Timestamp.t;
+    }
+      (** Blind wholesale overwrite — the only mutator a [Read_write]
+          base object offers.  The cell becomes exactly [chunks] (in
+          [Vf]) with [storedTS = ts]; an empty list is a meta-data-only
+          stub.  Non-commuting by construction: delivery order decides
+          what survives. *)
 
 val apply : t -> rmw
 (** The one interpreter.  Every transport applies descriptions through
@@ -72,6 +81,12 @@ val default_nature : t -> [ `Mutating | `Readonly | `Merge ]
 (** The honest concurrency declaration for each description.  Callers
     may override it (the mis-declared-merge experiment declares
     [Lww_store] as [`Merge] on purpose). *)
+
+val op_class : t -> Sb_baseobj.Model.op_class
+(** The base-object operation class of a description: [Snapshot] is
+    [Read], {!Rw_write} is [Overwrite], everything conditional or
+    merging is [General] (RMW-only).  The runtimes gate triggers on
+    this under restricted base-object models. *)
 
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit

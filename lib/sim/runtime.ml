@@ -170,6 +170,12 @@ type world = {
   n : int;
   f : int;
   algorithm : algorithm;
+  base_model : Sb_baseobj.Model.t;
+  byz : Sb_baseobj.Model.byz_policy option;
+  init_objects : Sb_storage.Objstate.t array;
+  (* The pristine [init_obj] states, kept for Byzantine policies that
+     replay the initial value (stale echo): policies are pure functions
+     of canonically-stable inputs, never of history. *)
   objects : Sb_storage.Objstate.t array;
   alive : bool array;
   clients : client array;
@@ -209,10 +215,18 @@ type world = {
      check and no allocation. *)
 }
 
-let create ?(seed = 1) ?(metrics = true) ?(fingerprints = true) ~algorithm ~n
-    ~f ~workload () =
+let create ?(seed = 1) ?(metrics = true) ?(fingerprints = true)
+    ?(base_model = Sb_baseobj.Model.Rmw) ?byz ~algorithm ~n ~f ~workload () =
   if f < 0 || 2 * f >= n then
     invalid_arg "Runtime.create: need 0 <= f < n/2";
+  (* The policy must fit the model: lying requires a Byzantine model and
+     at most the model's budget of compromised objects.  The budget
+     itself is NOT checked against [f] here — negative controls run
+     over-budget adversaries mechanically; [Model.validate] is the
+     policy-level gate (CLI, fault plans). *)
+  (match byz with
+  | Some policy -> Sb_baseobj.Model.check_policy base_model ~n policy
+  | None -> ());
   let root_prng = Sb_util.Prng.create seed in
   let clients =
     Array.mapi
@@ -233,6 +247,9 @@ let create ?(seed = 1) ?(metrics = true) ?(fingerprints = true) ~algorithm ~n
     n;
     f;
     algorithm;
+    base_model;
+    byz;
+    init_objects = Array.init n algorithm.init_obj;
     objects = Array.init n algorithm.init_obj;
     alive = Array.make n true;
     clients;
@@ -363,6 +380,13 @@ let enqueue_op w ~client kind =
 let time w = w.now
 let n_objects w = w.n
 let f_tolerance w = w.f
+let base_model w = w.base_model
+
+let byz_compromised w o =
+  match w.byz with
+  | Some bp -> bp.Sb_baseobj.Model.bp_compromised o
+  | None -> false
+
 let obj_state w i = w.objects.(i)
 let obj_alive w i = w.alive.(i)
 let obj_bits w i = if w.alive.(i) then Sb_storage.Objstate.bits w.objects.(i) else 0
@@ -523,6 +547,10 @@ let handle_fiber w cl op (body : unit -> bytes option) : fiber_outcome =
                 (fun (k : (b, fiber_outcome) continuation) ->
                   if obj < 0 || obj >= w.n then
                     invalid_arg "Runtime.trigger: no such object";
+                  (* Restricted base-object models gate on the operation
+                     class; [Rmw] and [Byzantine] accept everything. *)
+                  Sb_baseobj.Model.check_op w.base_model
+                    (Option.map Rmwdesc.op_class desc);
                   let ticket = w.next_ticket in
                   w.next_ticket <- ticket + 1;
                   let p =
@@ -654,12 +682,33 @@ type decision =
 
 type policy = world -> decision
 
+(* Under the read/write model each (client, object) pair is an atomic
+   register behind a sequential channel (the sibling papers' base-object
+   interface): a client's operations on one cell take effect in issue
+   order, so a pending RMW is deliverable only while it is the oldest
+   pending for its pair.  Without this discipline a straggling blind
+   overwrite could roll a cell backwards past a newer write. *)
+let rw_head w (p : pending) =
+  not
+    (List.exists
+       (fun t ->
+         t < p.ticket
+         &&
+         match Hashtbl.find_opt w.pendings t with
+         | Some q -> q.p_client = p.p_client && q.p_obj = p.p_obj
+         | None -> false)
+       w.pending_order)
+
+let delivery_enabled w (p : pending) =
+  w.alive.(p.p_obj)
+  && ((not (Sb_baseobj.Model.fifo_writes w.base_model)) || rw_head w p)
+
 let deliverable w =
   List.rev
     (List.filter_map
        (fun t ->
          let p = Hashtbl.find w.pendings t in
-         if w.alive.(p.p_obj) then Some (info_of_pending p) else None)
+         if delivery_enabled w p then Some (info_of_pending p) else None)
        w.pending_order)
 
 let client_steppable w cl =
@@ -682,10 +731,37 @@ let deliver w ticket =
   | Some p ->
     if not w.alive.(p.p_obj) then
       invalid_arg "Runtime.step: object has crashed; RMW cannot take effect";
+    if
+      Sb_baseobj.Model.fifo_writes w.base_model && not (rw_head w p)
+    then
+      invalid_arg
+        "Runtime.step: read/write base objects deliver per-(client, object) \
+         FIFO; an older operation on this pair is still pending";
     Hashtbl.remove w.pendings ticket;
     w.pending_order <- List.filter (fun t -> t <> ticket) w.pending_order;
     let before = w.objects.(p.p_obj) in
-    let state, resp = p.p_rmw before in
+    let state, resp =
+      (* A compromised object may lie about this delivery: acknowledge
+         without applying, or respond with a fabricated well-formed
+         state.  The lie is confined to the response/state pair — the
+         trace and event stream record what the object actually did, so
+         monitors stay grounded in the honest view. *)
+      match w.byz with
+      | Some bp when bp.Sb_baseobj.Model.bp_compromised p.p_obj -> (
+        let cls =
+          match p.p_desc with
+          | Some d -> Rmwdesc.op_class d
+          | None -> Sb_baseobj.Model.General
+        in
+        match
+          bp.Sb_baseobj.Model.bp_act ~obj:p.p_obj ~client:p.p_client ~cls
+            ~before ~init:w.init_objects.(p.p_obj)
+        with
+        | Sb_baseobj.Model.Honest -> p.p_rmw before
+        | Sb_baseobj.Model.Drop_write -> (before, Ack)
+        | Sb_baseobj.Model.Fabricate st -> (before, Snap st))
+      | _ -> p.p_rmw before
+    in
     w.objects.(p.p_obj) <- state;
     Trace.add w.tr (Rmw_deliver { time = w.now; ticket; obj = p.p_obj });
     let cl = w.clients.(p.p_client) in
@@ -837,7 +913,7 @@ let crashed_objects w =
 let decision_enabled w = function
   | Deliver t -> (
     match Hashtbl.find_opt w.pendings t with
-    | Some p -> w.alive.(p.p_obj)
+    | Some p -> delivery_enabled w p
     | None -> false)
   | Step c ->
     c >= 0 && c < Array.length w.clients && client_steppable w w.clients.(c)

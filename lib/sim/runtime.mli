@@ -152,6 +152,8 @@ val create :
   ?seed:int ->
   ?metrics:bool ->
   ?fingerprints:bool ->
+  ?base_model:Sb_baseobj.Model.t ->
+  ?byz:Sb_baseobj.Model.byz_policy ->
   algorithm:algorithm ->
   n:int ->
   f:int ->
@@ -168,7 +170,19 @@ val create :
     controls the incremental hash chains behind {!state_hash} — hashing
     consumed responses is a measurable per-step tax, so worlds that
     never extract a state hash (uncached exploration, plain simulation
-    at scale) opt out; {!state_hash} then raises [Invalid_argument]. *)
+    at scale) opt out; {!state_hash} then raises [Invalid_argument].
+
+    [base_model] (default [Rmw]) selects the base-object interface
+    ({!Sb_baseobj.Model.t}).  Under [Read_write], triggers are gated on
+    their operation class (snapshot and blind overwrite only — a
+    merge-class description raises [Sb_baseobj.Model.Error]), and
+    delivery is per-(client, object) FIFO: each cell behaves like an
+    atomic register behind a sequential channel, the sibling papers'
+    interface (arXiv:1705.07212).  Under [Byzantine], [byz] supplies the
+    seeded lying policy; [create] checks the policy fits the model's
+    budget ({!Sb_baseobj.Model.check_policy}) but deliberately does not
+    check [budget <= f] — negative controls run over-budget adversaries
+    mechanically. *)
 
 val enqueue_op : world -> client:int -> Trace.op_kind -> unit
 (** Appends an operation to a live client's queue.  Lets layered
@@ -181,6 +195,15 @@ val enqueue_op : world -> client:int -> Trace.op_kind -> unit
 val time : world -> int
 val n_objects : world -> int
 val f_tolerance : world -> int
+
+val base_model : world -> Sb_baseobj.Model.t
+(** The base-object model this world was created with. *)
+
+val byz_compromised : world -> int -> bool
+(** Whether the Byzantine policy (if any) compromises object [o] —
+    [false] everywhere without a policy.  Monitors use this to scope
+    honest-object invariants. *)
+
 val obj_state : world -> int -> Sb_storage.Objstate.t
 val obj_alive : world -> int -> bool
 val obj_bits : world -> int -> int

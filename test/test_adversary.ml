@@ -304,6 +304,83 @@ let test_starve_object_harmless () =
     (outcome.R.halted || outcome.R.quiescent);
   Alcotest.(check int) "every write completes (quorums avoid object 0)" c (completed w)
 
+(* ------------------------------------------------------------------ *)
+(* Seeded Byzantine policies: replayability                            *)
+(* ------------------------------------------------------------------ *)
+
+module Byz = Sb_adversary.Byz
+module Model = Sb_baseobj.Model
+
+let qtest ?(count = 40) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* A few well-formed object states to probe [bp_act] with: the initial
+   state and a written-to state at a non-zero timestamp. *)
+let sample_state ~num =
+  let ts = Sb_storage.Timestamp.make ~num ~client:0 in
+  let block = Sb_storage.Block.initial ~index:0 (Bytes.make 8 '\042') in
+  Sb_storage.Objstate.init ~vf:[ Sb_storage.Chunk.v ~ts block ] ()
+
+let byz_act_samples n =
+  let init = sample_state ~num:0 and written = sample_state ~num:3 in
+  List.concat_map
+    (fun obj ->
+      List.concat_map
+        (fun client ->
+          List.concat_map
+            (fun cls ->
+              [ (obj, client, cls, init, init); (obj, client, cls, written, init) ])
+            [ Model.Read; Model.Overwrite; Model.General ])
+        [ 0; 1; 2 ])
+    (List.init n Fun.id)
+
+(* The whole point of seeded behaviours: (seed, n, budget, behaviour)
+   fully determines the policy.  Two independently built policies must
+   agree on the compromised set and on every acting decision — this is
+   what makes Byzantine campaigns replayable from their plan entry. *)
+let test_byz_policy_deterministic =
+  qtest ~count:60 "seeded byz policies are pure in (seed, n, budget, behaviour)"
+    QCheck2.Gen.(
+      quad (int_range 0 1000) (int_range 1 9) (int_range 0 4) (int_range 0 2))
+    (fun (seed, n, budget, bi) ->
+      let budget = min budget n in
+      let behaviour = List.nth Byz.all_behaviours bi in
+      let p1 = Byz.policy ~seed ~n ~budget behaviour in
+      let p2 = Byz.policy ~seed ~n ~budget behaviour in
+      let compromised p = List.filter p.Model.bp_compromised (List.init n Fun.id) in
+      let liars = compromised p1 in
+      if liars <> compromised p2 then
+        QCheck2.Test.fail_report "compromised sets differ across rebuilds";
+      if List.length liars <> budget then
+        QCheck2.Test.fail_reportf "liar count %d <> budget %d"
+          (List.length liars) budget;
+      List.iter
+        (fun (obj, client, cls, before, init) ->
+          let a1 = p1.Model.bp_act ~obj ~client ~cls ~before ~init
+          and a2 = p2.Model.bp_act ~obj ~client ~cls ~before ~init in
+          (* sb-lint: allow poly-compare — byz_action is first-order data *)
+          if a1 <> a2 then
+            QCheck2.Test.fail_reportf
+              "bp_act diverges at obj=%d client=%d" obj client)
+        (byz_act_samples n);
+      true)
+
+(* Different seeds must be able to move the liar set — otherwise the
+   litmus sweeps over seeds would silently test one liar position. *)
+let test_byz_policy_seed_sensitive () =
+  let n = 5 and budget = 2 in
+  let sets =
+    List.map
+      (fun seed ->
+        let p = Byz.policy ~seed ~n ~budget Byz.Stale_echo in
+        List.filter p.Sb_baseobj.Model.bp_compromised (List.init n Fun.id))
+      [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+  in
+  let distinct = List.sort_uniq compare sets in
+  Alcotest.(check bool)
+    "at least two distinct liar sets across eight seeds" true
+    (List.length distinct > 1)
+
 let () =
   Alcotest.run "adversary"
     [
@@ -368,5 +445,11 @@ let () =
                 (List.length snap.frozen);
               Alcotest.(check int) "no channel bits initially" 0
                 snap.storage_channel_bits);
+        ] );
+      ( "byz-policies",
+        [
+          test_byz_policy_deterministic;
+          Alcotest.test_case "liar set moves with the seed" `Quick
+            test_byz_policy_seed_sensitive;
         ] );
     ]

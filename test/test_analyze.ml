@@ -56,6 +56,22 @@ let test_snapshot_readonly () =
   Alcotest.(check bool) "snapshot readonly" true
     (C.certified_nature c U.Snapshot = `Readonly)
 
+(* The read/write base-object vocabulary: the blind overwrite is
+   [`Mutating], and provably NOT merge-class — two concurrent overwrites
+   do not commute (last delivery wins), which is exactly why nothing
+   server-side can arbitrate between writers in the [Read_write] model
+   and the emulations need disjoint cell groups.  The certifier must
+   refute any merge claim with a concrete state counterexample. *)
+let test_rw_write_not_a_merge () =
+  let c = Lazy.force cert in
+  Alcotest.(check bool) "rw-write mutating" true
+    (C.certified_nature c U.Rw_write = `Mutating);
+  match C.check_declaration c U.Rw_write ~claimed:`Merge with
+  | Ok () -> Alcotest.fail "blind overwrite accepted as merge-class"
+  | Error cx ->
+    Alcotest.(check bool) "commutation counterexample" true
+      (cx.C.cx_d2 <> None)
+
 (* The negative control of the whole exercise: the seeded bug from PR 2
    declared [Lww_store] merge-class; the certifier must refute that
    claim statically, with a concrete counterexample. *)
@@ -335,6 +351,8 @@ let () =
           Alcotest.test_case "defaults match certified" `Quick
             test_defaults_match_certified;
           Alcotest.test_case "snapshot readonly" `Quick test_snapshot_readonly;
+          Alcotest.test_case "rw-write not a merge" `Quick
+            test_rw_write_not_a_merge;
           Alcotest.test_case "lww-as-merge refuted" `Quick test_lww_merge_refuted;
           Alcotest.test_case "abd-as-merge accepted" `Quick test_abd_merge_accepted;
           Alcotest.test_case "DPOR independence derived" `Quick

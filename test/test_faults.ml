@@ -407,6 +407,109 @@ let test_fifo_unordered_equivalence () =
     algorithms
 
 (* ------------------------------------------------------------------ *)
+(* Byzantine plan entries: the policy gate                              *)
+(* ------------------------------------------------------------------ *)
+
+module Model = Sb_baseobj.Model
+module Byz = Sb_adversary.Byz
+
+(* A declarative byz entry is validated like any other plan field, but
+   with the TYPED error: budgets over [f] raise [Model.Error
+   Budget_exceeds_f], not a stringly [Invalid_argument] — callers gate
+   campaigns on it while negative-control harnesses construct the
+   over-budget world directly. *)
+let test_plan_byz_validate () =
+  let with_budget b =
+    Plan.byzantine ~behaviour:Byz.Stale_echo ~budget:b Plan.none
+  in
+  Plan.validate ~n:5 ~f:1 (with_budget 0);
+  Plan.validate ~n:5 ~f:1 (with_budget 1);
+  (match Plan.validate ~n:5 ~f:1 (with_budget 2) with
+  | () -> Alcotest.fail "budget 2 > f = 1 accepted"
+  | exception Model.Error (Model.Budget_exceeds_f { budget; f }) ->
+    Alcotest.(check int) "budget reported" 2 budget;
+    Alcotest.(check int) "f reported" 1 f);
+  match Plan.validate ~n:5 ~f:1 (with_budget (-1)) with
+  | () -> Alcotest.fail "negative budget accepted"
+  | exception Model.Error (Model.Negative_budget _) -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Byzantine chaos campaign + the over-budget negative control          *)
+(* ------------------------------------------------------------------ *)
+
+let byz_cfg ~f ~b =
+  let n = (2 * f) + (2 * b) + 1 in
+  { Common.n; f; codec = Codec.replication ~value_bytes ~n }
+
+let byz_spec ~f ~b behaviour =
+  let cfg = byz_cfg ~f ~b in
+  {
+    Chaos.sp_name = Printf.sprintf "byz-regular:%d" b;
+    sp_make = (fun () -> Sb_registers.Byz_regular.make ~budget:b cfg);
+    sp_n = cfg.Common.n;
+    sp_f = cfg.Common.f;
+    sp_k = 1;
+    sp_value_bytes = value_bytes;
+    sp_reg_avail = true;
+    sp_check = Sb_spec.Regularity.check_strong;
+    sp_base_model = Model.Byzantine { budget = b };
+    sp_byz = (if b > 0 then Some behaviour else None);
+    sp_floor = Some (f + 1, 8 * value_bytes);
+    sp_workload = Some Chaos.swmr_workload;
+  }
+
+(* Within budget ([b <= f]) every lying behaviour must ride out the full
+   chaos plan — message loss, duplication, crash/recovery — with a clean
+   strong-regularity verdict and the floor monitor armed. *)
+let test_chaos_byz_within_budget () =
+  let config =
+    { Chaos.quick_config with Chaos.seeds = 2; drops = [ 0.0; 0.2 ] }
+  in
+  List.iter
+    (fun behaviour ->
+      let cells = Chaos.campaign config [ byz_spec ~f:1 ~b:1 behaviour ] in
+      if not (Chaos.all_ok cells) then (
+        Chaos.explain_failures Format.str_formatter cells;
+        Alcotest.failf "byz campaign (%s) failed:@ %s"
+          (Byz.behaviour_to_string behaviour)
+          (Format.flush_str_formatter ())))
+    Byz.all_behaviours
+
+(* The designed refutation: [b+1] split-brain liars against a budget-[b]
+   masking register.  The explorer finds a strong-regularity violation,
+   the shrinker minimises it, and the shrunk schedule still replays to a
+   violation on a fresh world — the counterexample is a portable
+   artifact, not a flaky observation. *)
+let test_chaos_byz_over_budget_refuted () =
+  let f = 1 and b = 1 in
+  let cfg = byz_cfg ~f ~b in
+  let over = b + 1 in
+  let module E = Sb_modelcheck.Explore in
+  let byz = Byz.policy ~seed:7 ~n:cfg.Common.n ~budget:over Byz.Split_brain in
+  let econfig =
+    E.config
+      ~base_model:(Model.Byzantine { budget = over })
+      ~byz
+      ~algorithm:(Sb_registers.Byz_regular.make ~budget:b cfg)
+      ~n:cfg.Common.n ~f:cfg.Common.f
+      ~workload:[| [ Trace.Write (v 1) ]; [ Trace.Read ] |]
+      ~initial:v0 ~check:Sb_spec.Regularity.check_strong ()
+  in
+  let out = E.explore econfig in
+  match out.E.first_violation with
+  | None ->
+    Alcotest.fail
+      "b+1 corroborating liars did not defeat the budget-b masking quorum"
+  | Some viol ->
+    let shrunk = Sb_modelcheck.Shrink.shrink econfig viol.E.v_decisions in
+    Alcotest.(check bool) "shrunk non-empty" true (shrunk <> []);
+    Alcotest.(check bool) "shrunk no longer than original" true
+      (List.length shrunk <= List.length viol.E.v_decisions);
+    (match Sb_modelcheck.Shrink.check_decisions econfig shrunk with
+    | Some _ -> ()
+    | None -> Alcotest.fail "shrunk schedule no longer violates on replay")
+
+(* ------------------------------------------------------------------ *)
 (* Chaos campaign                                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -421,6 +524,10 @@ let test_chaos_smoke () =
       sp_value_bytes = value_bytes;
       sp_reg_avail = true;
       sp_check = Sb_spec.Regularity.check_strong;
+      sp_base_model = Sb_baseobj.Model.Rmw;
+      sp_byz = None;
+      sp_floor = None;
+      sp_workload = None;
     }
   in
   let config =
@@ -599,6 +706,14 @@ let () =
         ] );
       ( "chaos",
         [ Alcotest.test_case "campaign smoke" `Quick test_chaos_smoke ] );
+      ( "byzantine",
+        [
+          Alcotest.test_case "plan budget gate" `Quick test_plan_byz_validate;
+          Alcotest.test_case "within-budget campaign green" `Quick
+            test_chaos_byz_within_budget;
+          Alcotest.test_case "over-budget refuted+shrunk" `Quick
+            test_chaos_byz_over_budget_refuted;
+        ] );
       ( "live",
         [
           Alcotest.test_case "fragments reassemble the frame" `Quick

@@ -129,7 +129,8 @@ type outcome = {
 }
 
 let explore_litmus ?(crash_objs = 0) ?(crash_clients = 0) ?(lint = false)
-    ?(assert_dpor = true) (a : algo) workload =
+    ?(assert_dpor = true) ?(base_model = Sb_baseobj.Model.Rmw) ?byz (a : algo)
+    workload =
   let all = ref SS.empty and after_write = ref SS.empty in
   let on_history _decisions (h : H.t) =
     List.iter
@@ -144,8 +145,9 @@ let explore_litmus ?(crash_objs = 0) ?(crash_clients = 0) ?(lint = false)
       (H.completed_reads h)
   in
   let cfg =
-    E.config ~crash_objs ~crash_clients ~lint ~on_history ~algorithm:a.a_alg
-      ~n:a.a_n ~f:a.a_f ~workload ~initial:v0 ~check:a.a_check ()
+    E.config ~crash_objs ~crash_clients ~lint ~on_history ~base_model ?byz
+      ~algorithm:a.a_alg ~n:a.a_n ~f:a.a_f ~workload ~initial:v0
+      ~check:a.a_check ()
   in
   let out = E.explore cfg in
   Alcotest.(check bool)
@@ -316,6 +318,129 @@ let test_two_writers_crash_abd () =
     (a.a_name ^ ": after a write completed")
     (ss [ "v1"; "v2" ]) o.o_after_write
 
+(* ------------------------------------------------------------------ *)
+(* Read/write and Byzantine base objects                               *)
+(* ------------------------------------------------------------------ *)
+
+let rw_regular () =
+  let n = 3 and f = 1 in
+  let cfg = { Common.n; f; codec = Codec.replication ~value_bytes ~n } in
+  {
+    a_name = "rw-regular";
+    a_alg = Sb_registers.Rw_replica.make cfg;
+    a_n = n;
+    a_f = f;
+    a_level = "strong regularity";
+    a_check = Reg.check_strong;
+  }
+
+let rw_safe () =
+  let n = 4 and f = 1 in
+  let cfg = { Common.n; f; codec = Codec.rs_vandermonde ~value_bytes ~k:2 ~n } in
+  {
+    a_name = "rw-safe";
+    a_alg = Sb_registers.Rw_replica.make_safe cfg;
+    a_n = n;
+    a_f = f;
+    a_level = "strong safety";
+    a_check = Reg.check_safe;
+  }
+
+let byz_regular ~budget () =
+  let n = 3 + (2 * budget) and f = 1 in
+  let cfg = { Common.n; f; codec = Codec.replication ~value_bytes ~n } in
+  {
+    a_name = Printf.sprintf "byz-regular:%d" budget;
+    a_alg = Sb_registers.Byz_regular.make ~budget cfg;
+    a_n = n;
+    a_f = f;
+    a_level = "strong regularity";
+    a_check = Reg.check_strong;
+  }
+
+(* Blind overwrites over FIFO cells keep the full regular read-value
+   sets: {v0, v1} overall, exactly {v1} once the write completed —
+   exhaustively, over every schedule the Read_write model admits. *)
+let test_rw_regular_one_writer () =
+  let a = rw_regular () in
+  let o = explore_litmus ~lint:true ~base_model:Sb_baseobj.Model.Read_write a
+      one_writer
+  in
+  check_set (a.a_name ^ ": all results") (ss [ "v0"; "v1" ]) o.o_all;
+  check_set
+    (a.a_name ^ ": after the write completed")
+    (ss [ "v1" ]) o.o_after_write
+
+let test_rw_regular_crash_object () =
+  let a = rw_regular () in
+  let o =
+    explore_litmus ~crash_objs:1 ~base_model:Sb_baseobj.Model.Read_write a
+      one_writer
+  in
+  check_set (a.a_name ^ ": all results") (ss [ "v0"; "v1" ]) o.o_all;
+  check_set
+    (a.a_name ^ ": after the write completed")
+    (ss [ "v1" ]) o.o_after_write
+
+(* The safe escape hatch, as a read-value set: with two sequential
+   writes by one writer, a read racing the second write may fall back
+   to v0 even though the first write completed — exactly what
+   distinguishes safe from regular in the litmus. *)
+let swmr_two_writes = [| [ Trace.Write v1; Trace.Write v2 ]; [ Trace.Read ] |]
+
+let test_rw_safe_v0_after_write () =
+  let a = rw_safe () in
+  let o =
+    explore_litmus ~assert_dpor:false ~base_model:Sb_baseobj.Model.Read_write a
+      swmr_two_writes
+  in
+  check_set (a.a_name ^ ": all results") (ss [ "v0"; "v1"; "v2" ]) o.o_all;
+  if not (SS.mem "v0" o.o_after_write) then
+    Alcotest.fail
+      "rw-safe never fell back to v0 after a completed write: the safe/regular \
+       gap is not being exercised";
+  check_set
+    (a.a_name ^ ": after a write completed")
+    (ss [ "v0"; "v1"; "v2" ]) o.o_after_write
+
+(* The regular emulation over the same scenario must never show v0 once
+   a write completed — the two sets side by side are the bound's
+   dividing line as data. *)
+let test_rw_regular_no_v0_after_write () =
+  let a = rw_regular () in
+  let o =
+    explore_litmus ~assert_dpor:false ~base_model:Sb_baseobj.Model.Read_write a
+      swmr_two_writes
+  in
+  check_set
+    (a.a_name ^ ": after a write completed")
+    (ss [ "v1"; "v2" ]) o.o_after_write
+
+(* Byzantine litmus: one stale-echoing liar against a budget-1 masking
+   register — every schedule, every liar position (the policy is pure in
+   the object id, so fixing the seed fixes the liar; sweep seeds to move
+   it). *)
+let test_byz_regular_masked () =
+  let a = byz_regular ~budget:1 () in
+  List.iter
+    (fun seed ->
+      let byz =
+        Sb_adversary.Byz.policy ~seed ~n:a.a_n ~budget:1
+          Sb_adversary.Byz.Stale_echo
+      in
+      let o =
+        explore_litmus ~assert_dpor:false
+          ~base_model:(Sb_baseobj.Model.Byzantine { budget = 1 })
+          ~byz a one_writer
+      in
+      check_set
+        (Printf.sprintf "%s seed=%d: all results" a.a_name seed)
+        (ss [ "v0"; "v1" ]) o.o_all;
+      check_set
+        (Printf.sprintf "%s seed=%d: after the write completed" a.a_name seed)
+        (ss [ "v1" ]) o.o_after_write)
+    [ 1; 2; 3 ]
+
 let () =
   Alcotest.run "litmus"
     [
@@ -339,5 +464,18 @@ let () =
           Alcotest.test_case "adaptive, object crash" `Quick
             (test_crash_object adaptive);
           Alcotest.test_case "abd 2w+crash" `Slow test_two_writers_crash_abd;
+        ] );
+      ( "base-models",
+        [
+          Alcotest.test_case "rw-regular, one writer" `Quick
+            test_rw_regular_one_writer;
+          Alcotest.test_case "rw-regular, object crash" `Quick
+            test_rw_regular_crash_object;
+          Alcotest.test_case "rw-safe shows v0 after write" `Quick
+            test_rw_safe_v0_after_write;
+          Alcotest.test_case "rw-regular hides v0 after write" `Quick
+            test_rw_regular_no_v0_after_write;
+          Alcotest.test_case "byz-regular:1 masks a stale echo" `Quick
+            test_byz_regular_masked;
         ] );
     ]

@@ -637,6 +637,215 @@ let test_large_values () =
   Alcotest.(check (list (option bytes))) "4 KiB round trip" [ Some value ]
     (read_results w)
 
+(* ------------------------------------------------------------------ *)
+(* Base-object models: rw and Byzantine emulations                     *)
+(* ------------------------------------------------------------------ *)
+
+module Model = Sb_baseobj.Model
+
+let rw_cfg ~writers ~f =
+  let n = writers * ((2 * f) + 1) in
+  { Common.n; f; codec = Codec.replication ~value_bytes ~n }
+
+let byz_cfg ~f ~b =
+  let n = (2 * f) + (2 * b) + 1 in
+  { Common.n; f; codec = Codec.replication ~value_bytes ~n }
+
+let run_model ?(seed = 1) ?policy ~base_model ?byz ~algorithm
+    ~(cfg : Common.config) workload =
+  let policy = match policy with Some p -> p | None -> R.random_policy ~seed () in
+  let w =
+    R.create ~seed ~base_model ?byz ~algorithm ~n:cfg.n ~f:cfg.f ~workload ()
+  in
+  let outcome = R.run w policy in
+  (w, outcome)
+
+let test_rw_regular_sequential () =
+  let cfg = rw_cfg ~writers:1 ~f:1 in
+  let algorithm = Sb_registers.Rw_replica.make cfg in
+  let w, outcome =
+    run_model ~policy:(R.fifo_policy ()) ~base_model:Model.Read_write
+      ~algorithm ~cfg
+      [| [ Trace.Write (v 1); Trace.Write (v 2); Trace.Read ] |]
+  in
+  Alcotest.(check bool) "quiescent" true outcome.R.quiescent;
+  Alcotest.(check (list (option bytes))) "last write wins" [ Some (v 2) ]
+    (read_results w)
+
+let test_rw_regular_floor_exact () =
+  (* The Chockler-Spiegelman floor, to the bit: at quiescence each
+     writer group holds exactly f+1 full copies; everything else is a
+     metadata stub. *)
+  List.iter
+    (fun (writers, f) ->
+      let cfg = rw_cfg ~writers ~f in
+      let algorithm = Sb_registers.Rw_replica.make ~writers cfg in
+      let workload =
+        Array.init (writers + 1) (fun i ->
+            if i < writers then [ Trace.Write (v (i + 1)); Trace.Write (v (i + 7)) ]
+            else [ Trace.Read; Trace.Read ])
+      in
+      List.iter
+        (fun seed ->
+          let w, outcome =
+            run_model ~seed ~base_model:Model.Read_write ~algorithm ~cfg
+              workload
+          in
+          Alcotest.(check bool) "quiescent" true outcome.R.quiescent;
+          Alcotest.(check int)
+            (Printf.sprintf "writers=%d f=%d seed=%d: exactly writers*(f+1)*D live bits"
+               writers f seed)
+            (writers * (f + 1) * d)
+            (R.storage_bits_objects w))
+        [ 1; 2; 3 ])
+    [ (1, 1); (1, 2); (2, 1); (3, 1) ]
+
+let test_rw_regular_strong =
+  qtest ~count:30 "rw-regular: strongly regular under random schedules"
+    QCheck2.Gen.(int_bound 100_000)
+    (fun seed ->
+      let writers = 2 and f = 1 in
+      let cfg = rw_cfg ~writers ~f in
+      let algorithm = Sb_registers.Rw_replica.make ~writers cfg in
+      let workload =
+        Sb_experiments.Workloads.writers_and_readers ~value_bytes ~writers
+          ~writes_each:2 ~readers:2 ~reads_each:2
+      in
+      let w, outcome =
+        run_model ~seed ~base_model:Model.Read_write ~algorithm ~cfg workload
+      in
+      outcome.R.quiescent
+      && is_ok (Sb_spec.Regularity.check_strong (history w)))
+
+let test_rw_regular_crash_tolerant () =
+  let writers = 2 and f = 1 in
+  let cfg = rw_cfg ~writers ~f in
+  let algorithm = Sb_registers.Rw_replica.make ~writers cfg in
+  let workload =
+    Sb_experiments.Workloads.writers_and_readers ~value_bytes ~writers
+      ~writes_each:2 ~readers:2 ~reads_each:2
+  in
+  (* One crash per writer group would exceed f; crash f = 1 object. *)
+  let policy = R.random_policy ~crash_objs:[ (12, 0) ] ~seed:4 () in
+  let w, outcome =
+    run_model ~policy ~base_model:Model.Read_write ~algorithm ~cfg workload
+  in
+  Alcotest.(check bool) "quiescent with f crashes" true outcome.R.quiescent;
+  Alcotest.(check bool) "strongly regular" true
+    (is_ok (Sb_spec.Regularity.check_strong (history w)))
+
+let test_rw_safe_storage () =
+  (* The coded escape hatch: (2f+k) * D/k quiescent bits, strictly below
+     the (f+1) * D regular floor for k > 2. *)
+  let f = 1 and k = 4 in
+  let cfg = coded_cfg ~f ~k in
+  let algorithm = Sb_registers.Rw_replica.make_safe cfg in
+  let w, outcome =
+    run_model ~policy:(R.fifo_policy ()) ~base_model:Model.Read_write
+      ~algorithm ~cfg
+      [| [ Trace.Write (v 1); Trace.Write (v 2) ]; [ Trace.Read ] |]
+  in
+  Alcotest.(check bool) "quiescent" true outcome.R.quiescent;
+  Alcotest.(check int) "(2f+k)D/k quiescent bits"
+    (((2 * f) + k) * d / k)
+    (R.storage_bits_objects w);
+  Alcotest.(check bool) "below the regular floor" true
+    (R.storage_bits_objects w < (f + 1) * d);
+  Alcotest.(check bool) "safe" true
+    (is_ok (Sb_spec.Regularity.check_safe (history w)))
+
+let test_rw_rejects_general_rmw () =
+  (* A merge-class register over rw base objects must die with the
+     typed model error, not an assert: the Read_write model gates every
+     trigger on the op class. *)
+  let cfg = abd_cfg ~f:1 in
+  let algorithm = Sb_registers.Abd.make cfg in
+  match
+    run_model ~base_model:Model.Read_write ~algorithm ~cfg
+      [| [ Trace.Write (v 1) ] |]
+  with
+  | exception Model.Error (Model.Op_not_supported { cls = Model.General; _ }) ->
+    ()
+  | exception e ->
+    Alcotest.failf "expected Op_not_supported, got %s" (Printexc.to_string e)
+  | _ -> Alcotest.fail "abd over rw base objects was not rejected"
+
+let byz_swmr_workload =
+  [| [ Trace.Write (v 1); Trace.Write (v 2) ];
+     [ Trace.Read; Trace.Read ];
+     [ Trace.Read ];
+  |]
+
+let test_byz_masks_liars =
+  qtest ~count:30 "byz-regular: b <= f liars masked (all behaviours)"
+    QCheck2.Gen.(pair (int_bound 100_000) (int_bound 2))
+    (fun (seed, which) ->
+      let behaviour = List.nth Sb_adversary.Byz.all_behaviours which in
+      let f = 1 and b = 1 in
+      let cfg = byz_cfg ~f ~b in
+      let algorithm = Sb_registers.Byz_regular.make ~budget:b cfg in
+      let byz = Sb_adversary.Byz.policy ~seed ~n:cfg.Common.n ~budget:b behaviour in
+      let w, outcome =
+        run_model ~seed ~base_model:(Model.Byzantine { budget = b }) ~byz
+          ~algorithm ~cfg byz_swmr_workload
+      in
+      outcome.R.quiescent
+      && is_ok (Sb_spec.Regularity.check_strong (history w)))
+
+let test_byz_budget_zero_is_abd_like () =
+  let f = 1 in
+  let cfg = byz_cfg ~f ~b:0 in
+  let algorithm = Sb_registers.Byz_regular.make ~budget:0 cfg in
+  let w, outcome =
+    run_model ~policy:(R.fifo_policy ())
+      ~base_model:(Model.Byzantine { budget = 0 }) ~algorithm ~cfg
+      [| [ Trace.Write (v 1); Trace.Read ] |]
+  in
+  Alcotest.(check bool) "quiescent" true outcome.R.quiescent;
+  Alcotest.(check (list (option bytes))) "round trip" [ Some (v 1) ]
+    (read_results w)
+
+let test_byz_over_budget_refuted () =
+  (* The mechanism/policy split: the runtime happily runs an over-budget
+     adversary (f+1 liars against a budget-f register), and equivocating
+     liars then defeat the b+1 masking quorum on some schedule — the
+     negative control behind the Integrated-Bounds collapse. *)
+  let f = 1 and b = 1 in
+  let cfg = byz_cfg ~f ~b in
+  let algorithm = Sb_registers.Byz_regular.make ~budget:b cfg in
+  let broken =
+    List.exists
+      (fun seed ->
+        let byz =
+          Sb_adversary.Byz.policy ~seed ~n:cfg.Common.n ~budget:(b + 1)
+            Sb_adversary.Byz.Split_brain
+        in
+        let w, _ =
+          run_model ~seed ~base_model:(Model.Byzantine { budget = b + 1 })
+            ~byz ~algorithm ~cfg byz_swmr_workload
+        in
+        not (is_ok (Sb_spec.Regularity.check_strong (history w))))
+      (List.init 30 succ)
+  in
+  Alcotest.(check bool) "b+1 equivocating liars break regularity" true broken
+
+let base_model_suite =
+  [
+    Alcotest.test_case "rw-regular sequential" `Quick test_rw_regular_sequential;
+    Alcotest.test_case "rw-regular (f+1)D floor exact" `Quick
+      test_rw_regular_floor_exact;
+    test_rw_regular_strong;
+    Alcotest.test_case "rw-regular crash tolerant" `Quick
+      test_rw_regular_crash_tolerant;
+    Alcotest.test_case "rw-safe coded storage" `Quick test_rw_safe_storage;
+    Alcotest.test_case "rw rejects general RMW" `Quick test_rw_rejects_general_rmw;
+    test_byz_masks_liars;
+    Alcotest.test_case "byz budget 0 round trip" `Quick
+      test_byz_budget_zero_is_abd_like;
+    Alcotest.test_case "byz over-budget refuted" `Quick
+      test_byz_over_budget_refuted;
+  ]
+
 let () =
   Alcotest.run "registers"
     [
@@ -668,6 +877,7 @@ let () =
           Alcotest.test_case "pure-ec exceeds cap" `Quick test_pure_ec_exceeds_adaptive_cap;
         ] );
       ("crashes", List.concat_map crash_suite algorithms);
+      ("base-models", base_model_suite);
       ( "config",
         [
           Alcotest.test_case "validation" `Quick test_config_validation;

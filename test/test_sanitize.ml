@@ -199,6 +199,64 @@ let monitors_silent =
           (Monitor.violation_to_string r.Monitor.r_violation))
 
 (* ------------------------------------------------------------------ *)
+(* The replication-floor monitor (read/write base-object model)        *)
+(* ------------------------------------------------------------------ *)
+
+let rw_cfg ~f =
+  let n = (2 * f) + 1 in
+  { Common.n; f; codec = Codec.replication ~value_bytes ~n }
+
+let rw_world ~algorithm ~(cfg : Common.config) wl ~seed () =
+  R.create ~seed ~base_model:Sb_baseobj.Model.Read_write ~algorithm ~n:cfg.n
+    ~f:cfg.f ~workload:wl ()
+
+(* The seeded premature-trim register keeps only [f] full copies: the
+   floor monitor must flag it — deterministically, on the fifo schedule,
+   with a shrunk replayable trace — because a crash set of size [f] can
+   then erase every full copy of the latest value. *)
+let test_storage_floor_caught () =
+  let f = 1 in
+  let cfg = rw_cfg ~f in
+  let algorithm = Sb_registers.Rw_replica.make_fcopy cfg in
+  let wl = workload ~writers:1 ~readers:1 () in
+  let mcfg =
+    Monitor.config ~floor:(f + 1, 8 * value_bytes) ~k:1 ()
+  in
+  let mk_world = rw_world ~algorithm ~cfg wl ~seed:1 in
+  match Monitor.run mcfg ~mk_world (R.fifo_policy ()) with
+  | Ok _ -> Alcotest.fail "rw-fcopy ran clean under the floor monitor"
+  | Error r ->
+    Alcotest.(check string) "rule" "storage-floor" (rule_of r);
+    (match r.Monitor.r_violation.Monitor.rule with
+     | Monitor.Storage_floor { copies; live_full; need; _ } ->
+       Alcotest.(check int) "demanded copies" (f + 1) copies;
+       Alcotest.(check bool) "short of the floor" true (live_full < need)
+     | _ -> Alcotest.fail "wrong violation payload");
+    Alcotest.(check bool) "shrunk trace still violates" true
+      (Monitor.violates ~mk_world mcfg r.Monitor.r_shrunk)
+
+(* The floor-exact register stays silent with the same monitor armed:
+   trimming down to [f+1] keepers never dips below the floor, across
+   random schedules. *)
+let floor_monitor_silent_on_rw_regular =
+  qtest ~count:40 "floor monitor silent on rw-regular"
+    QCheck2.Gen.(int_range 1 500)
+    (fun seed ->
+      let f = 1 in
+      let cfg = rw_cfg ~f in
+      let algorithm = Sb_registers.Rw_replica.make cfg in
+      let wl = workload ~writers:1 ~readers:1 () in
+      let mcfg =
+        Monitor.config ~reg_avail:true ~floor:(f + 1, 8 * value_bytes) ~k:1 ()
+      in
+      let mk_world = rw_world ~algorithm ~cfg wl ~seed in
+      match Monitor.run mcfg ~mk_world (R.random_policy ~seed ()) with
+      | Ok (_, m) -> Monitor.events_seen m > 0
+      | Error r ->
+        QCheck2.Test.fail_reportf "rw-regular (seed %d): %s" seed
+          (Monitor.violation_to_string r.Monitor.r_violation))
+
+(* ------------------------------------------------------------------ *)
 (* Message-passing runtime                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -240,6 +298,12 @@ let () =
           Alcotest.test_case "catches misdeclared merge" `Quick
             test_audit_catches_misdeclared_merge;
           Alcotest.test_case "mutation detected" `Quick test_audit_mutation_detected;
+        ] );
+      ( "storage floor",
+        [
+          Alcotest.test_case "rw-fcopy caught+shrunk" `Quick
+            test_storage_floor_caught;
+          floor_monitor_silent_on_rw_regular;
         ] );
       ("no false positives", [ monitors_silent ]);
       ("message passing", [ Alcotest.test_case "attach_mp" `Quick test_attach_mp ]);
